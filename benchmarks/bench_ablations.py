@@ -1,0 +1,125 @@
+"""Ablation studies for the design choices DESIGN.md calls out.
+
+Not paper artifacts — these probe the knobs behind them:
+
+* discrete 1Q-drive steps per pulse (the paper claims 4 steps match 250);
+* the parallel-drive amplitude bound;
+* the router's lookahead window;
+* the closed-form fidelity model (Eq. 10-11) against an actual
+  amplitude-damping density-matrix simulation.
+"""
+
+import numpy as np
+from conftest import run_once
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.gate import Gate
+from repro.circuits.workloads import get_workload
+from repro.core.parallel_drive import (
+    ParallelDriveTemplate,
+    sample_template_coordinates,
+)
+from repro.core.coverage import RegionHull, haar_coordinate_samples
+from repro.pulse.decoherence import simulate_circuit_fidelity
+from repro.transpiler.coupling import square_lattice
+from repro.transpiler.layout import trivial_layout
+from repro.transpiler.routing import route_circuit
+
+
+def _k1_haar_fraction(steps: int, eps_bound: float, haar) -> float:
+    template = ParallelDriveTemplate(
+        gc=np.pi / 2, gg=0.0, pulse_duration=1.0, steps_per_pulse=steps,
+        repetitions=1, parallel=True,
+    )
+    points = sample_template_coordinates(
+        template, 4000, seed=5, eps_bound=eps_bound
+    )
+    left = points[points[:, 0] <= np.pi / 2 + 1e-9]
+    hull = RegionHull(left)
+    on_left = haar[haar[:, 0] <= np.pi / 2 + 1e-9]
+    return float(hull.contains(on_left).mean())
+
+
+def test_ablation_drive_time_steps(benchmark):
+    """Paper Sec. III-B: 4 drive steps give (near) converged coverage."""
+    haar = haar_coordinate_samples(3000, seed=9)
+
+    def run():
+        return {
+            steps: _k1_haar_fraction(steps, 2 * np.pi, haar)
+            for steps in (1, 2, 4, 8)
+        }
+
+    fractions = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\nK=1 parallel-iSWAP left-half Haar coverage vs drive steps:")
+    for steps, fraction in fractions.items():
+        print(f"  steps={steps}: {fraction:.3f}")
+    # The true reachable sets are nested in step count, but the *hull
+    # estimates* at a fixed sample budget are not: each added step
+    # doubles the drive dimensions and spreads the same samples thinner
+    # (steps=8 recovers toward steps=4 as the budget grows).  This is
+    # why the paper — and this library — standardize on 4 steps: near
+    # the few-step expressiveness plateau, still cheap to sample.
+    assert fractions[1] >= fractions[8]  # thinning effect, documented
+    assert min(fractions.values()) > 0.4  # every variant fills the bulk
+
+
+def test_ablation_drive_amplitude_bound(benchmark):
+    """Stronger 1Q drives reach more of the chamber, saturating by 2pi."""
+    haar = haar_coordinate_samples(3000, seed=9)
+
+    def run():
+        return {
+            bound: _k1_haar_fraction(4, bound, haar)
+            for bound in (np.pi / 2, np.pi, 2 * np.pi)
+        }
+
+    fractions = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\nK=1 coverage vs 1Q amplitude bound:")
+    for bound, fraction in fractions.items():
+        print(f"  eps <= {bound:.2f}: {fraction:.3f}")
+    assert fractions[2 * np.pi] >= fractions[np.pi / 2]
+
+
+def test_ablation_router_lookahead(benchmark):
+    """Lookahead routing vs purely greedy: fewer SWAPs on QFT-16."""
+    coupling = square_lattice(4, 4)
+    circuit = get_workload("qft", 16)
+
+    def run():
+        counts = {}
+        for window in (1, 5, 20):
+            result = route_circuit(
+                circuit, coupling, trivial_layout(16, coupling),
+                seed=3, lookahead=window,
+            )
+            counts[window] = result.swap_count
+        return counts
+
+    counts = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\nQFT-16 SWAP count vs router lookahead window:")
+    for window, swaps in counts.items():
+        print(f"  lookahead={window}: {swaps} swaps")
+    assert counts[20] <= counts[1]
+
+
+def test_ablation_fidelity_model_vs_simulation(benchmark):
+    """Eq. 10-11 against amplitude-damping density-matrix evolution."""
+
+    def run():
+        rows = []
+        for n in (2, 3, 4):
+            circuit = QuantumCircuit(n)
+            for q in range(n):
+                circuit.append(Gate("x", (q,), duration=0.25))
+            circuit.append(Gate("id", (0,), duration=3.0))
+            simulated, model = simulate_circuit_fidelity(circuit, t1=25.0)
+            rows.append((n, simulated, model))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\nall-excited register: simulated vs exp(-N D / T1):")
+    for n, simulated, model in rows:
+        print(f"  n={n}: simulated={simulated:.4f} model={model:.4f}")
+        # The model's worst case is tight for the all-excited state.
+        assert abs(simulated - model) / model < 0.03

@@ -1,0 +1,16 @@
+"""Regenerate paper Fig. 12: fractional iSWAP/CNOT containment."""
+
+from conftest import run_once
+
+from repro.experiments import run_fig12
+
+
+def test_fig12_fractional_relation(benchmark, record_result):
+    result = run_once(benchmark, run_fig12, seed=3)
+    record_result(result)
+    for n in (2, 4, 8):
+        row = result.data[f"n={n}"]
+        # Two 1/n-iSWAP pulses reach the matching 2/n-CNOT...
+        assert row["reachable"], f"n={n}"
+        # ...but cannot beat the interaction-resource floor.
+        assert row["unreachable_blocked"], f"n={n}"

@@ -1,0 +1,18 @@
+"""Regenerate paper Fig. 1: Cartan trajectories for CNOT and SWAP."""
+
+from conftest import run_once
+
+from repro.experiments import run_fig1
+
+
+def test_fig1_trajectories(benchmark, record_result):
+    result = run_once(benchmark, run_fig1, seed=7)
+    record_result(result)
+    # Traditional templates stop to steer; parallel-driven ones curve.
+    assert result.data["CNOT_traditional"]["endpoint_error"] < 1e-3
+    assert result.data["CNOT_parallel"]["endpoint_error"] < 1e-3
+    assert result.data["SWAP_parallel"]["endpoint_error"] < 1e-3
+    assert len(result.data["CNOT_parallel"]["markers"]) == 0
+    assert len(result.data["CNOT_traditional"]["markers"]) == 1
+    assert len(result.data["SWAP_parallel"]["markers"]) == 1
+    assert len(result.data["SWAP_traditional"]["markers"]) == 2

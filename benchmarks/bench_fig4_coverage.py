@@ -1,0 +1,16 @@
+"""Regenerate paper Fig. 4: traditional gate coverage sets."""
+
+from conftest import run_once
+
+from repro.experiments import run_fig4
+
+
+def test_fig4_coverage_sets(benchmark, record_result):
+    result = run_once(benchmark, run_fig4)
+    record_result(result)
+    # Known landmarks from the paper's Fig. 4 panels:
+    assert result.data["B"][1] > 0.98  # B spans the chamber at k=2
+    assert 0.70 < result.data["sqrt_iSWAP"][1] < 0.88  # ~79% at k=2
+    assert result.data["iSWAP"][1] < 0.02  # base plane only at k=2
+    assert result.data["iSWAP"][2] > 0.98  # everything at k=3
+    assert result.data["sqrt_CNOT"][2] < 0.9  # slow burner (k=6 to span)

@@ -1,0 +1,20 @@
+"""Regenerate paper Fig. 5: best basis per metric across SLFs."""
+
+from conftest import run_once
+
+from repro.experiments import run_fig5
+
+
+def test_fig5_best_basis(benchmark, record_result):
+    result = run_once(benchmark, run_fig5)
+    record_result(result)
+    # Paper Sec. II-D: with appreciable 1Q gates under the linear SLF the
+    # best Haar gate is the sqrt(iSWAP)-fraction family member.
+    linear_25 = result.data["linear_d1q0.25"]
+    assert linear_25["haar"]["winner"] == "iSWAP^0.5"
+    # With free 1Q gates the optimum moves toward identity (smaller
+    # fractions) for every SLF.
+    for slf in ("linear", "squared", "snail"):
+        free = result.data[f"{slf}_d1q0"]["haar"]["cost"]
+        costly = result.data[f"{slf}_d1q0.25"]["haar"]["cost"]
+        assert free < costly

@@ -1,0 +1,16 @@
+"""Regenerate paper Fig. 6: Haar duration vs fractional iSWAP basis."""
+
+from conftest import run_once
+
+from repro.experiments import run_fig6
+
+
+def test_fig6_fractional_curve(benchmark, record_result):
+    result = run_once(benchmark, run_fig6)
+    record_result(result)
+    # Free 1Q gates: smaller fractions keep winning (curve decreasing).
+    assert result.data["d1q_0"]["best_fraction"] <= 0.375
+    # D[1Q] = 0.25: the optimum is sqrt(iSWAP) (paper's conclusion).
+    assert result.data["d1q_0.25"]["best_fraction"] == 0.5
+    # D[1Q] = 0.1: optimum at or below the half pulse.
+    assert result.data["d1q_0.1"]["best_fraction"] <= 0.5

@@ -1,0 +1,18 @@
+"""Regenerate paper Fig. 7: K=1 native set of parallel-driven iSWAP."""
+
+from conftest import run_once
+
+from repro.experiments import run_fig7
+
+
+def test_fig7_parallel_native_set(benchmark, record_result):
+    result = run_once(benchmark, run_fig7)
+    record_result(result)
+    assert result.data["full_dimensional"]  # lifts off the base plane
+    contains = result.data["contains"]
+    assert contains["CNOT"]
+    assert contains["iSWAP"]
+    assert contains["B"]
+    assert contains["(pi/2, pi/4, pi/4)"]  # the paper's example point
+    assert not contains["SWAP"]  # the resource floor
+    assert 0.55 < result.data["haar_fraction"] < 0.9

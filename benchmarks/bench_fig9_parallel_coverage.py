@@ -1,0 +1,23 @@
+"""Regenerate paper Fig. 9: parallel-drive extended coverage sets."""
+
+from conftest import run_once
+
+from repro.experiments import run_fig4, run_fig9
+
+
+def test_fig9_extended_coverage(benchmark, record_result):
+    result = run_once(benchmark, run_fig9)
+    record_result(result)
+    # Paper's three observations on Fig. 9 vs Fig. 4:
+    # (1) K=1 regions acquire nonzero volume;
+    assert result.data["iSWAP"][0] > 0.3
+    assert result.data["B"][0] > 0.2
+    # (2) every K region is a superset of the traditional one;
+    standard = run_fig4()
+    for basis, fractions in result.data.items():
+        for k, fraction in enumerate(fractions):
+            assert fraction >= standard.data[basis][k] - 0.03, (basis, k)
+    # (3) SWAP is still the last corner reached: no basis becomes
+    # complete at K=1.
+    for basis, fractions in result.data.items():
+        assert fractions[0] < 0.995, basis

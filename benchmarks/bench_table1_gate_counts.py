@@ -1,0 +1,17 @@
+"""Regenerate paper Table I: decomposition gate counts."""
+
+from conftest import run_once
+
+from repro.experiments import run_table1
+from repro.experiments.tables import PAPER_TABLE1
+
+
+def test_table1_gate_counts(benchmark, record_result):
+    result = run_once(benchmark, run_table1)
+    record_result(result)
+    for basis, (k_cnot, k_swap, e_haar, k_w) in PAPER_TABLE1.items():
+        row = result.data[basis]
+        assert row["K[CNOT]"] == k_cnot
+        assert row["K[SWAP]"] == k_swap
+        assert abs(row["K[W]"] - k_w) < 0.01
+        assert abs(row["E[K[Haar]]"] - e_haar) < 0.1, basis

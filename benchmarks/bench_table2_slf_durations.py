@@ -1,0 +1,20 @@
+"""Regenerate paper Table II: speed-limit scaled durations (D[1Q]=0)."""
+
+from conftest import run_once
+
+from repro.experiments import run_table2
+from repro.experiments.tables import PAPER_TABLE2
+
+
+def test_table2_slf_durations(benchmark, record_result):
+    result = run_once(benchmark, run_table2)
+    record_result(result)
+    for slf_name, rows in PAPER_TABLE2.items():
+        tolerance = 0.06 if slf_name == "snail" else 0.02
+        for basis, (d_basis, d_cnot, d_swap, _, _) in rows.items():
+            ours = result.data[slf_name][basis]
+            assert abs(ours["DBasis"] - d_basis) <= tolerance, (
+                slf_name, basis, "DBasis"
+            )
+            assert abs(ours["D[CNOT]"] - d_cnot) <= 2 * tolerance
+            assert abs(ours["D[SWAP]"] - d_swap) <= 3 * tolerance

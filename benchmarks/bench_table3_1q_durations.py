@@ -1,0 +1,17 @@
+"""Regenerate paper Table III: durations with 1Q overhead."""
+
+from conftest import run_once
+
+from repro.experiments import run_table3
+from repro.experiments.tables import PAPER_TABLE3
+
+
+def test_table3_1q_durations(benchmark, record_result):
+    result = run_once(benchmark, run_table3)
+    record_result(result)
+    for basis, (d_cnot, d_swap, e_haar, d_w) in PAPER_TABLE3.items():
+        row = result.data[basis]
+        assert abs(row["D[CNOT]"] - d_cnot) < 0.01
+        assert abs(row["D[SWAP]"] - d_swap) < 0.01
+        assert abs(row["D[W]"] - d_w) < 0.01
+        assert abs(row["E[D[Haar]]"] - e_haar) < 0.1, basis

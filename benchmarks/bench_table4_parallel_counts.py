@@ -1,0 +1,27 @@
+"""Regenerate paper Table IV: parallel-drive extended gate counts."""
+
+from conftest import run_once
+
+from repro.experiments import run_table4
+from repro.experiments.tables import PAPER_TABLE4
+
+
+def test_table4_parallel_counts(benchmark, record_result):
+    from repro.core.scoring import weighted_score
+
+    result = run_once(benchmark, run_table4)
+    record_result(result)
+    for basis, (k_cnot, k_swap, e_haar, k_w) in PAPER_TABLE4.items():
+        row = result.data[basis]
+        assert row["K[CNOT]"] == k_cnot
+        assert row["K[SWAP]"] == k_swap
+        # Our K[W] is the lambda combination of the row's own counts;
+        # the paper's sqrt_CNOT entry (3.65) instead reflects its joint
+        # fractional template, so the paper comparison stays loose.
+        assert abs(
+            row["K[W]"] - weighted_score(k_cnot, k_swap)
+        ) < 0.01, basis
+        assert abs(row["K[W]"] - k_w) < 0.5, basis
+        # Hull-estimated Haar column: generous band vs the paper's own
+        # Monte-Carlo values.
+        assert abs(row["E[K[Haar]]"] - e_haar) < 0.35, basis

@@ -1,0 +1,20 @@
+"""Regenerate paper Table V: parallel-drive durations (joint templates)."""
+
+from conftest import run_once
+
+from repro.experiments import run_table5
+from repro.experiments.tables import PAPER_TABLE5
+
+
+def test_table5_parallel_durations(benchmark, record_result):
+    result = run_once(benchmark, run_table5)
+    record_result(result)
+    for basis, (d_cnot, d_swap, e_haar, d_w) in PAPER_TABLE5.items():
+        row = result.data[basis]
+        assert abs(row["D[CNOT]"] - d_cnot) < 0.01
+        assert abs(row["D[SWAP]"] - d_swap) < 0.01
+        assert abs(row["D[W]"] - d_w) < 0.01
+        assert abs(row["E[D[Haar]]"] - e_haar) < 0.35, basis
+    # The paper's conclusion: sqrt(iSWAP) stays the best W-score basis.
+    weighted = {b: result.data[b]["D[W]"] for b in result.data}
+    assert min(weighted, key=weighted.get) == "sqrt_iSWAP"

@@ -1,0 +1,35 @@
+"""Benchmark harness configuration.
+
+Every benchmark regenerates one paper artifact (table or figure) via the
+experiment drivers, prints the regenerated rows next to the paper's
+published values, and persists them under ``results/``.  Timings come
+from pytest-benchmark (single-round pedantic mode: these are experiment
+pipelines, not microbenchmarks).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.common import ExperimentResult, results_dir
+
+
+@pytest.fixture
+def record_result(capsys):
+    """Save an experiment result and echo its table into the bench log."""
+
+    def _record(result: ExperimentResult) -> ExperimentResult:
+        result.save(results_dir())
+        with capsys.disabled():
+            print(f"\n{result}\n")
+        return result
+
+    return _record
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Run an experiment exactly once under the benchmark timer."""
+    return benchmark.pedantic(
+        func, args=args, kwargs=kwargs, rounds=1, iterations=1,
+        warmup_rounds=0,
+    )

@@ -1,0 +1,61 @@
+"""Co-design walkthrough: pick the best basis gate for your coupler.
+
+Reproduces the paper's Sec. II analysis in miniature: score the six
+candidate bases on gate counts (Table I) and speed-limit-scaled
+durations (Tables II-III), then report the winner per metric.
+
+Run:  python examples/basis_gate_selection.py
+"""
+
+from repro.core import (
+    LinearSpeedLimit,
+    PAPER_BASES,
+    duration_score,
+    gate_count_score,
+    haar_coordinate_samples,
+    snail_speed_limit,
+)
+
+
+def main() -> None:
+    haar = haar_coordinate_samples(3000, seed=99)
+
+    print("Gate counts (paper Table I):")
+    print(f"  {'basis':12s} {'K[CNOT]':>8s} {'K[SWAP]':>8s} "
+          f"{'E[K[Haar]]':>11s} {'K[W]':>6s}")
+    for basis in PAPER_BASES:
+        score = gate_count_score(basis, haar)
+        print(
+            f"  {basis:12s} {score.k_cnot:8d} {score.k_swap:8d} "
+            f"{score.expected_haar:11.2f} {score.k_weighted:6.2f}"
+        )
+    print("  -> counting gates alone, B looks best (spans everything in 2)")
+
+    for slf_name, slf, one_q in (
+        ("linear SLF, free 1Q gates", LinearSpeedLimit(), 0.0),
+        ("linear SLF, D[1Q]=0.25", LinearSpeedLimit(), 0.25),
+        ("characterized SNAIL, D[1Q]=0.25", snail_speed_limit(), 0.25),
+    ):
+        print(f"\nDurations under {slf_name}:")
+        print(f"  {'basis':12s} {'D[CNOT]':>8s} {'D[SWAP]':>8s} "
+              f"{'E[D[Haar]]':>11s} {'D[W]':>6s}")
+        best_basis, best_w = None, float("inf")
+        for basis in PAPER_BASES:
+            score = duration_score(basis, slf, one_q, haar)
+            print(
+                f"  {basis:12s} {score.d_cnot:8.2f} {score.d_swap:8.2f} "
+                f"{score.expected_haar:11.2f} {score.d_weighted:6.2f}"
+            )
+            if score.d_weighted < best_w:
+                best_basis, best_w = basis, score.d_weighted
+        print(f"  -> best W-score basis: {best_basis} ({best_w:.2f})")
+
+    print(
+        "\nConclusion (paper Sec. II-D): once pulse time and 1Q overhead "
+        "are priced in,\nsqrt(iSWAP) overtakes B -- the theoretical win "
+        "does not survive the speed limit."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+"""Quickstart: the paper's core objects in five minutes.
+
+Builds conversion-gain gates, reads their Weyl-chamber coordinates,
+prices them against speed limits, and synthesizes a CNOT from a single
+parallel-driven iSWAP pulse (the paper's headline trick).
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.core import (
+    LinearSpeedLimit,
+    ParallelDriveTemplate,
+    SquaredSpeedLimit,
+    cg_unitary,
+    snail_speed_limit,
+    synthesize,
+)
+from repro.quantum import weyl_coordinates
+from repro.quantum.weyl import named_gate_coordinates
+
+
+def main() -> None:
+    print("=" * 64)
+    print("1. Conversion-gain driving realizes base-plane gates (Eq. 1-4)")
+    print("=" * 64)
+    for label, theta_c, theta_g in (
+        ("iSWAP  (conversion only)", np.pi / 2, 0.0),
+        ("CNOT   (equal drives)   ", np.pi / 4, np.pi / 4),
+        ("B      (1:3 ratio)      ", 3 * np.pi / 8, np.pi / 8),
+    ):
+        gate = cg_unitary(theta_c, theta_g)
+        coords = weyl_coordinates(gate)
+        print(
+            f"  {label} theta_c={theta_c:.3f} theta_g={theta_g:.3f}"
+            f" -> Weyl {np.round(coords, 4)}"
+        )
+
+    print()
+    print("=" * 64)
+    print("2. Speed limits turn drive ratios into durations (Alg. 1)")
+    print("=" * 64)
+    slfs = {
+        "linear ": LinearSpeedLimit(),
+        "squared": SquaredSpeedLimit(),
+        "SNAIL  ": snail_speed_limit(),
+    }
+    print("  basis durations in iSWAP pulses (fastest iSWAP = 1.0):")
+    print("  SLF      iSWAP   CNOT     B")
+    for name, slf in slfs.items():
+        iswap = slf.gate_duration(named_gate_coordinates("iSWAP"))
+        cnot = slf.gate_duration(named_gate_coordinates("CNOT"))
+        b_gate = slf.gate_duration(named_gate_coordinates("B"))
+        print(f"  {name}  {iswap:5.2f}  {cnot:5.2f}  {b_gate:5.2f}")
+    print("  (note the characterized SNAIL pays 1.8x for CNOT: conversion")
+    print("   can be pumped much harder than gain)")
+
+    print()
+    print("=" * 64)
+    print("3. Parallel drive: CNOT from ONE iSWAP pulse (Fig. 8 / Fig. 10)")
+    print("=" * 64)
+    template = ParallelDriveTemplate(
+        gc=np.pi / 2, gg=0.0, pulse_duration=1.0, repetitions=1,
+        parallel=True,
+    )
+    result = synthesize(
+        template, named_gate_coordinates("CNOT"), seed=1, restarts=4,
+        max_iterations=2500,
+    )
+    print(f"  converged: {result.converged} (loss {result.loss:.2e})")
+    print(f"  final coordinates: {np.round(result.coordinates, 6)}")
+    print("  -> the 1Q 'steering' is absorbed into the 2Q pulse: no")
+    print("     interleaved 1Q gates, 1.0 pulses instead of 2x0.5 + layer")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,36 @@
+"""repro: reproduction of "Parallel Driving for Fast Quantum Computing
+Under Speed Limits" (McKinney et al., ISCA 2023).
+
+The package is organized bottom-up:
+
+* :mod:`repro.quantum`   — two-qubit linear algebra (Weyl chamber, KAK,
+  Makhlin invariants, Haar sampling);
+* :mod:`repro.pulse`     — conversion–gain Hamiltonians, time evolution,
+  and the synthetic SNAIL speed-limit characterization;
+* :mod:`repro.circuits`  — circuit IR, scheduling, benchmark workloads;
+* :mod:`repro.transpiler`— routing, consolidation, basis translation,
+  and the decoherence fidelity model;
+* :mod:`repro.core`      — the paper's contribution: speed-limit
+  functions, coverage sets, parallel-drive synthesis, gate scoring, and
+  decomposition rules;
+* :mod:`repro.experiments` — one driver per paper table/figure.
+
+Quickstart::
+
+    import numpy as np
+    from repro.core import LinearSpeedLimit, synthesize, ParallelDriveTemplate
+    from repro.quantum import weyl_coordinates, CNOT
+
+    slf = LinearSpeedLimit()
+    print(slf.gate_duration(weyl_coordinates(CNOT)))  # 1.0 pulse
+
+    template = ParallelDriveTemplate(
+        gc=np.pi / 2, gg=0.0, pulse_duration=1.0, repetitions=1
+    )
+    result = synthesize(template, weyl_coordinates(CNOT), seed=1)
+    print(result.converged)  # True: one parallel-driven iSWAP pulse == CNOT
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,32 @@
+"""Circuit IR substrate: gates, circuits, scheduling, workloads."""
+
+from .circuit import QuantumCircuit
+from .dag import ScheduledCircuit, asap_schedule, dependency_layers
+from .gate import Gate, gate_matrix
+from .qasm import from_qasm, to_qasm
+from .simulation import (
+    apply_gate,
+    circuit_unitary,
+    permutation_matrix,
+    simulate_statevector,
+    zero_state,
+)
+from .workloads import WORKLOADS, get_workload
+
+__all__ = [
+    "Gate",
+    "QuantumCircuit",
+    "ScheduledCircuit",
+    "WORKLOADS",
+    "apply_gate",
+    "asap_schedule",
+    "circuit_unitary",
+    "dependency_layers",
+    "from_qasm",
+    "gate_matrix",
+    "get_workload",
+    "permutation_matrix",
+    "simulate_statevector",
+    "to_qasm",
+    "zero_state",
+]

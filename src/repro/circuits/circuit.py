@@ -1,0 +1,210 @@
+"""Quantum circuit intermediate representation.
+
+A thin, explicit list-of-gates IR: enough structure for the paper's
+transpilation study (routing, consolidation, basis translation,
+scheduling) without the weight of a full SDK.  Gates execute in list
+order; commutation-based reordering is never attempted.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Iterable, Iterator
+
+import numpy as np
+
+from .gate import Gate
+
+__all__ = ["QuantumCircuit"]
+
+
+class QuantumCircuit:
+    """A sequence of gates on ``num_qubits`` qubits."""
+
+    def __init__(self, num_qubits: int, name: str = "circuit"):
+        if num_qubits < 1:
+            raise ValueError("circuit needs at least one qubit")
+        self.num_qubits = int(num_qubits)
+        self.name = name
+        self._gates: list[Gate] = []
+
+    # -- container protocol -------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._gates)
+
+    def __iter__(self) -> Iterator[Gate]:
+        return iter(self._gates)
+
+    def __getitem__(self, index):
+        return self._gates[index]
+
+    def __repr__(self) -> str:
+        ops = dict(self.count_ops())
+        return (
+            f"QuantumCircuit({self.name!r}, qubits={self.num_qubits}, "
+            f"gates={len(self)}, ops={ops})"
+        )
+
+    @property
+    def gates(self) -> tuple[Gate, ...]:
+        """Immutable view of the gate list."""
+        return tuple(self._gates)
+
+    # -- construction --------------------------------------------------------
+
+    def append(self, gate: Gate) -> "QuantumCircuit":
+        """Append a gate, validating qubit indices; returns self."""
+        for qubit in gate.qubits:
+            if not 0 <= qubit < self.num_qubits:
+                raise ValueError(
+                    f"gate {gate.name} on qubit {qubit} outside register "
+                    f"of size {self.num_qubits}"
+                )
+        self._gates.append(gate)
+        return self
+
+    def add(self, name: str, qubits: Iterable[int], *params: float) -> "QuantumCircuit":
+        """Append a registry gate by name."""
+        return self.append(
+            Gate(name=name, qubits=tuple(qubits), params=tuple(params))
+        )
+
+    # 1Q shorthands.
+    def h(self, q: int):  # noqa: D102 - trivial shorthand
+        return self.add("h", [q])
+
+    def x(self, q: int):  # noqa: D102
+        return self.add("x", [q])
+
+    def y(self, q: int):  # noqa: D102
+        return self.add("y", [q])
+
+    def z(self, q: int):  # noqa: D102
+        return self.add("z", [q])
+
+    def s(self, q: int):  # noqa: D102
+        return self.add("s", [q])
+
+    def sdg(self, q: int):  # noqa: D102
+        return self.add("sdg", [q])
+
+    def t(self, q: int):  # noqa: D102
+        return self.add("t", [q])
+
+    def tdg(self, q: int):  # noqa: D102
+        return self.add("tdg", [q])
+
+    def sx(self, q: int):  # noqa: D102
+        return self.add("sx", [q])
+
+    def rx(self, theta: float, q: int):  # noqa: D102
+        return self.add("rx", [q], theta)
+
+    def ry(self, theta: float, q: int):  # noqa: D102
+        return self.add("ry", [q], theta)
+
+    def rz(self, theta: float, q: int):  # noqa: D102
+        return self.add("rz", [q], theta)
+
+    def p(self, lam: float, q: int):  # noqa: D102
+        return self.add("p", [q], lam)
+
+    def u3(self, theta: float, phi: float, lam: float, q: int):  # noqa: D102
+        return self.add("u3", [q], theta, phi, lam)
+
+    # 2Q shorthands.
+    def cx(self, control: int, target: int):  # noqa: D102
+        return self.add("cx", [control, target])
+
+    def cz(self, a: int, b: int):  # noqa: D102
+        return self.add("cz", [a, b])
+
+    def cp(self, lam: float, a: int, b: int):  # noqa: D102
+        return self.add("cp", [a, b], lam)
+
+    def swap(self, a: int, b: int):  # noqa: D102
+        return self.add("swap", [a, b])
+
+    def iswap(self, a: int, b: int):  # noqa: D102
+        return self.add("iswap", [a, b])
+
+    def rzz(self, theta: float, a: int, b: int):  # noqa: D102
+        return self.add("rzz", [a, b], theta)
+
+    def unitary(
+        self, matrix: np.ndarray, qubits: Iterable[int], name: str = "unitary"
+    ) -> "QuantumCircuit":
+        """Append an explicit-matrix gate."""
+        qubits = tuple(qubits)
+        return self.append(
+            Gate(name=name, qubits=qubits, matrix=np.asarray(matrix, complex))
+        )
+
+    def ccx(self, a: int, b: int, c: int) -> "QuantumCircuit":
+        """Toffoli via the standard 6-CNOT + T decomposition."""
+        self.h(c)
+        self.cx(b, c)
+        self.tdg(c)
+        self.cx(a, c)
+        self.t(c)
+        self.cx(b, c)
+        self.tdg(c)
+        self.cx(a, c)
+        self.t(b)
+        self.t(c)
+        self.h(c)
+        self.cx(a, b)
+        self.t(a)
+        self.tdg(b)
+        self.cx(a, b)
+        return self
+
+    # -- combination ---------------------------------------------------------
+
+    def copy(self, name: str | None = None) -> "QuantumCircuit":
+        """Shallow copy (gates are immutable)."""
+        out = QuantumCircuit(self.num_qubits, name or self.name)
+        out._gates = list(self._gates)
+        return out
+
+    def compose(
+        self, other: "QuantumCircuit", qubits: Iterable[int] | None = None
+    ) -> "QuantumCircuit":
+        """Append another circuit, optionally remapped onto ``qubits``."""
+        if qubits is None:
+            mapping = {q: q for q in range(other.num_qubits)}
+        else:
+            qubits = list(qubits)
+            if len(qubits) != other.num_qubits:
+                raise ValueError("qubit mapping size mismatch")
+            mapping = dict(enumerate(qubits))
+        for gate in other:
+            self.append(gate.remapped(mapping))
+        return self
+
+    def inverse(self) -> "QuantumCircuit":
+        """Circuit implementing the inverse unitary."""
+        out = QuantumCircuit(self.num_qubits, f"{self.name}_dg")
+        for gate in reversed(self._gates):
+            out.append(gate.inverse())
+        return out
+
+    # -- analysis ------------------------------------------------------------
+
+    def count_ops(self) -> Counter:
+        """Histogram of gate names."""
+        return Counter(gate.name for gate in self._gates)
+
+    def two_qubit_gates(self) -> list[Gate]:
+        """All gates acting on exactly two qubits."""
+        return [g for g in self._gates if g.is_two_qubit]
+
+    def depth(self) -> int:
+        """Standard unit-duration circuit depth."""
+        frontier = [0] * self.num_qubits
+        for gate in self._gates:
+            level = 1 + max(frontier[q] for q in gate.qubits)
+            for q in gate.qubits:
+                frontier[q] = level
+        return max(frontier, default=0)

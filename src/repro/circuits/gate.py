@@ -1,0 +1,138 @@
+"""Circuit-level gate representation.
+
+A :class:`Gate` is a named operation on a tuple of qubit indices with
+optional parameters, an optional explicit matrix (used for consolidated
+2Q blocks and Quantum-Volume layers), and an optional duration in
+normalized pulse units (attached by the transpiler's basis pass).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from ..quantum import gates as glib
+
+__all__ = ["Gate", "gate_matrix", "KNOWN_GATES"]
+
+
+def _fixed(matrix: np.ndarray):
+    return lambda: matrix
+
+
+#: Builders mapping gate name -> callable(*params) -> unitary matrix.
+KNOWN_GATES: dict[str, object] = {
+    "id": _fixed(glib.I2),
+    "x": _fixed(glib.X),
+    "y": _fixed(glib.Y),
+    "z": _fixed(glib.Z),
+    "h": _fixed(glib.H),
+    "s": _fixed(glib.S),
+    "sdg": _fixed(glib.SDG),
+    "t": _fixed(glib.T),
+    "tdg": _fixed(glib.TDG),
+    "sx": _fixed(glib.SX),
+    "rx": glib.rx,
+    "ry": glib.ry,
+    "rz": glib.rz,
+    "p": glib.phase_gate,
+    "u3": glib.u3,
+    "cx": _fixed(glib.CNOT),
+    "cz": _fixed(glib.CZ),
+    "swap": _fixed(glib.SWAP),
+    "iswap": _fixed(glib.ISWAP),
+    "cp": glib.cphase,
+    "rxx": glib.rxx,
+    "ryy": glib.ryy,
+    "rzz": glib.rzz,
+    "can": glib.canonical_gate,
+    "sqrt_iswap": _fixed(glib.SQRT_ISWAP),
+    "b": _fixed(glib.B_GATE),
+}
+
+#: Gates whose inverse is itself.
+_SELF_INVERSE = {"id", "x", "y", "z", "h", "cx", "cz", "swap", "rxx_pi"}
+#: name -> inverse name for fixed Clifford-ish pairs.
+_INVERSE_NAME = {"s": "sdg", "sdg": "s", "t": "tdg", "tdg": "t"}
+#: Parameterized gates inverted by negating every parameter.
+_NEGATE_PARAMS = {"rx", "ry", "rz", "p", "cp", "rxx", "ryy", "rzz", "can"}
+
+
+@dataclass(frozen=True)
+class Gate:
+    """One operation in a circuit."""
+
+    name: str
+    qubits: tuple[int, ...]
+    params: tuple[float, ...] = ()
+    matrix: np.ndarray | None = field(default=None, compare=False)
+    duration: float | None = None
+
+    def __post_init__(self) -> None:
+        if len(set(self.qubits)) != len(self.qubits):
+            raise ValueError(f"duplicate qubits in gate {self.name}: {self.qubits}")
+        if not self.qubits:
+            raise ValueError("gate must act on at least one qubit")
+
+    @property
+    def num_qubits(self) -> int:
+        """Number of qubits the gate acts on."""
+        return len(self.qubits)
+
+    @property
+    def is_two_qubit(self) -> bool:
+        """True for 2Q gates (the ones routing/decomposition care about)."""
+        return self.num_qubits == 2
+
+    def to_matrix(self) -> np.ndarray:
+        """Resolve the unitary matrix of this gate."""
+        return gate_matrix(self)
+
+    def inverse(self) -> "Gate":
+        """Gate implementing the inverse unitary."""
+        if self.matrix is not None:
+            return replace(self, matrix=self.matrix.conj().T)
+        if self.name in _SELF_INVERSE:
+            return self
+        if self.name in _INVERSE_NAME:
+            return replace(self, name=_INVERSE_NAME[self.name])
+        if self.name in _NEGATE_PARAMS:
+            return replace(self, params=tuple(-p for p in self.params))
+        if self.name == "iswap":
+            # ISWAP uses the +i convention; its inverse is the canonical
+            # gate CAN(pi/2, pi/2, 0), which carries -i entries.
+            return replace(
+                self, name="can", params=(np.pi / 2, np.pi / 2, 0.0)
+            )
+        if self.name == "sqrt_iswap":
+            return replace(
+                self, name="can", params=(np.pi / 4, np.pi / 4, 0.0)
+            )
+        if self.name == "u3":
+            theta, phi, lam = self.params
+            return replace(self, params=(-theta, -lam, -phi))
+        if self.name == "sx":
+            return replace(self, name="rx", params=(-np.pi / 2,))
+        return replace(self, matrix=self.to_matrix().conj().T, name="unitary")
+
+    def remapped(self, mapping: dict[int, int]) -> "Gate":
+        """Gate with qubit indices translated through ``mapping``."""
+        return replace(self, qubits=tuple(mapping[q] for q in self.qubits))
+
+
+def gate_matrix(gate: Gate) -> np.ndarray:
+    """Unitary matrix of a gate (explicit matrix wins over the registry)."""
+    if gate.matrix is not None:
+        matrix = np.asarray(gate.matrix, dtype=complex)
+        expected = 2**gate.num_qubits
+        if matrix.shape != (expected, expected):
+            raise ValueError(
+                f"gate {gate.name} has matrix shape {matrix.shape}, "
+                f"expected {(expected, expected)}"
+            )
+        return matrix
+    builder = KNOWN_GATES.get(gate.name)
+    if builder is None:
+        raise KeyError(f"no matrix known for gate {gate.name!r}")
+    return builder(*gate.params)

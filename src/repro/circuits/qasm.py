@@ -1,0 +1,89 @@
+"""Minimal OpenQASM 2.0 export/import for the circuit IR.
+
+Covers the gate vocabulary the workloads and transpiler emit.  Explicit
+matrix gates (QV layers, consolidated blocks) are not expressible in
+QASM 2 and are rejected on export.
+"""
+
+from __future__ import annotations
+
+import re
+
+import numpy as np
+
+from .circuit import QuantumCircuit
+from .gate import Gate
+
+__all__ = ["to_qasm", "from_qasm"]
+
+_EXPORT_NAMES = {
+    "id", "x", "y", "z", "h", "s", "sdg", "t", "tdg", "sx",
+    "rx", "ry", "rz", "p", "u3", "cx", "cz", "swap", "iswap",
+    "cp", "rzz", "rxx", "ryy",
+}
+
+_GATE_PATTERN = re.compile(
+    r"^\s*(?P<name>[a-z_][a-z0-9_]*)\s*"
+    r"(?:\((?P<params>[^)]*)\))?\s*"
+    r"(?P<qubits>q\[\d+\](?:\s*,\s*q\[\d+\])*)\s*;\s*$"
+)
+_QUBIT_PATTERN = re.compile(r"q\[(\d+)\]")
+
+
+def to_qasm(circuit: QuantumCircuit) -> str:
+    """Serialize a circuit to OpenQASM 2.0 text."""
+    lines = [
+        "OPENQASM 2.0;",
+        'include "qelib1.inc";',
+        f"qreg q[{circuit.num_qubits}];",
+    ]
+    for gate in circuit:
+        if gate.matrix is not None or gate.name not in _EXPORT_NAMES:
+            raise ValueError(
+                f"gate {gate.name!r} is not expressible in OpenQASM 2"
+            )
+        params = ""
+        if gate.params:
+            params = "(" + ",".join(repr(float(p)) for p in gate.params) + ")"
+        qubits = ",".join(f"q[{q}]" for q in gate.qubits)
+        lines.append(f"{gate.name}{params} {qubits};")
+    return "\n".join(lines) + "\n"
+
+
+def from_qasm(text: str) -> QuantumCircuit:
+    """Parse the QASM subset produced by :func:`to_qasm`."""
+    circuit: QuantumCircuit | None = None
+    for raw_line in text.splitlines():
+        line = raw_line.split("//")[0].strip()
+        if not line:
+            continue
+        if line.startswith(("OPENQASM", "include")):
+            continue
+        if line.startswith("qreg"):
+            match = re.match(r"qreg\s+q\[(\d+)\]\s*;", line)
+            if not match:
+                raise ValueError(f"malformed qreg line: {raw_line!r}")
+            circuit = QuantumCircuit(int(match.group(1)))
+            continue
+        if circuit is None:
+            raise ValueError("gate statement before qreg declaration")
+        match = _GATE_PATTERN.match(line)
+        if not match:
+            raise ValueError(f"cannot parse QASM line: {raw_line!r}")
+        name = match.group("name")
+        if name not in _EXPORT_NAMES:
+            raise ValueError(f"unsupported QASM gate {name!r}")
+        params = tuple(
+            float(token)
+            for token in (match.group("params") or "").split(",")
+            if token.strip()
+        )
+        qubits = tuple(
+            int(index) for index in _QUBIT_PATTERN.findall(
+                match.group("qubits")
+            )
+        )
+        circuit.append(Gate(name, qubits, params=params))
+    if circuit is None:
+        raise ValueError("no qreg declaration found")
+    return circuit

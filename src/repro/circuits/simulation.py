@@ -1,0 +1,99 @@
+"""Statevector and unitary simulation of small circuits.
+
+Used for correctness tests of the workload generators and the routing
+pass (permutation-aware equivalence), not for the 16-qubit benchmark
+runs, which only require scheduling.  Qubit 0 is the most significant
+(leftmost) tensor factor, matching :mod:`repro.quantum.gates`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .circuit import QuantumCircuit
+from .gate import Gate
+
+__all__ = [
+    "zero_state",
+    "apply_gate",
+    "simulate_statevector",
+    "circuit_unitary",
+    "permutation_matrix",
+]
+
+_MAX_UNITARY_QUBITS = 12
+
+
+def zero_state(num_qubits: int) -> np.ndarray:
+    """The all-zeros computational basis state."""
+    state = np.zeros(2**num_qubits, dtype=complex)
+    state[0] = 1.0
+    return state
+
+
+def apply_gate(state: np.ndarray, gate: Gate, num_qubits: int) -> np.ndarray:
+    """Apply a gate to a state (or batch of states in the last axis).
+
+    ``state`` may have shape ``(2**n,)`` or ``(2**n, batch)``.
+    """
+    matrix = gate.to_matrix()
+    k = gate.num_qubits
+    batch_shape = state.shape[1:]
+    tensor = state.reshape((2,) * num_qubits + batch_shape)
+    gate_tensor = matrix.reshape((2,) * (2 * k))
+    # Contract the gate's input axes with the targeted qubit axes.
+    in_axes = tuple(range(k, 2 * k))
+    tensor = np.tensordot(gate_tensor, tensor, axes=(in_axes, gate.qubits))
+    # tensordot puts the gate's output axes first; move them home.
+    tensor = np.moveaxis(tensor, range(k), gate.qubits)
+    return tensor.reshape(state.shape)
+
+
+def simulate_statevector(
+    circuit: QuantumCircuit, initial: np.ndarray | None = None
+) -> np.ndarray:
+    """Final statevector of a circuit applied to ``initial`` (default |0>)."""
+    state = (
+        zero_state(circuit.num_qubits)
+        if initial is None
+        else np.asarray(initial, dtype=complex)
+    )
+    expected = 2**circuit.num_qubits
+    if state.shape[0] != expected:
+        raise ValueError(f"state has dim {state.shape[0]}, expected {expected}")
+    for gate in circuit:
+        state = apply_gate(state, gate, circuit.num_qubits)
+    return state
+
+
+def circuit_unitary(circuit: QuantumCircuit) -> np.ndarray:
+    """Full unitary of a circuit (capped at 12 qubits)."""
+    if circuit.num_qubits > _MAX_UNITARY_QUBITS:
+        raise ValueError(
+            f"unitary simulation capped at {_MAX_UNITARY_QUBITS} qubits"
+        )
+    dim = 2**circuit.num_qubits
+    unitary = np.eye(dim, dtype=complex)
+    for gate in circuit:
+        unitary = apply_gate(unitary, gate, circuit.num_qubits)
+    return unitary
+
+
+def permutation_matrix(permutation: dict[int, int], num_qubits: int) -> np.ndarray:
+    """Unitary permuting qubits: logical ``q`` ends up at ``permutation[q]``.
+
+    Used to check routed circuits, which implement the original circuit up
+    to a final qubit relabeling left by inserted SWAPs.
+    """
+    dim = 2**num_qubits
+    matrix = np.zeros((dim, dim), dtype=complex)
+    for basis_index in range(dim):
+        bits = [(basis_index >> (num_qubits - 1 - q)) & 1 for q in range(num_qubits)]
+        permuted = [0] * num_qubits
+        for q in range(num_qubits):
+            permuted[permutation[q]] = bits[q]
+        target = 0
+        for bit in permuted:
+            target = (target << 1) | bit
+        matrix[target, basis_index] = 1.0
+    return matrix

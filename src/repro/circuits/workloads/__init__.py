@@ -1,0 +1,76 @@
+"""Benchmark workload registry (the circuits of paper Fig. 3b / Table VII).
+
+``get_workload(name)`` builds each benchmark at its paper configuration:
+16 logical qubits (the 4x4 lattice) unless the algorithm's structure
+dictates otherwise.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from ..circuit import QuantumCircuit
+from .adder import cuccaro_adder
+from .ghz import ghz
+from .hlf import hidden_linear_function
+from .multiplier import draper_multiplier
+from .qaoa import qaoa_maxcut
+from .qft import qft
+from .quantum_volume import quantum_volume
+from .vqe import vqe_ansatz
+
+__all__ = [
+    "WORKLOADS",
+    "get_workload",
+    "cuccaro_adder",
+    "draper_multiplier",
+    "ghz",
+    "hidden_linear_function",
+    "qaoa_maxcut",
+    "qft",
+    "quantum_volume",
+    "vqe_ansatz",
+]
+
+
+def _adder_16(num_qubits: int, seed: int | None) -> QuantumCircuit:
+    if num_qubits % 2 != 0 or num_qubits < 4:
+        raise ValueError("adder workload needs an even qubit count >= 4")
+    return cuccaro_adder(bits=(num_qubits - 2) // 2)
+
+
+def _multiplier_16(num_qubits: int, seed: int | None) -> QuantumCircuit:
+    if num_qubits % 4 != 0:
+        raise ValueError("multiplier workload needs a multiple of 4 qubits")
+    return draper_multiplier(bits=num_qubits // 4)
+
+
+#: name -> builder(num_qubits, seed) for every paper benchmark.
+WORKLOADS: dict[str, Callable[[int, int | None], QuantumCircuit]] = {
+    "ghz": lambda n, seed: ghz(n),
+    "qft": lambda n, seed: qft(n),
+    "hlf": lambda n, seed: hidden_linear_function(n, seed=seed),
+    "qaoa": lambda n, seed: qaoa_maxcut(n, seed=seed),
+    "adder": _adder_16,
+    "multiplier": _multiplier_16,
+    "vqe_linear": lambda n, seed: vqe_ansatz(
+        n, entanglement="linear", reps=1, seed=seed, name="vqe_linear"
+    ),
+    "vqe_full": lambda n, seed: vqe_ansatz(
+        n, entanglement="full", reps=2, seed=seed, name="vqe_full"
+    ),
+    "quantum_volume": lambda n, seed: quantum_volume(n, seed=seed),
+}
+
+
+def get_workload(
+    name: str, num_qubits: int = 16, seed: int | None = 11
+) -> QuantumCircuit:
+    """Build a registered benchmark circuit."""
+    try:
+        builder = WORKLOADS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown workload {name!r}; known: {sorted(WORKLOADS)}"
+        ) from None
+    return builder(num_qubits, seed)

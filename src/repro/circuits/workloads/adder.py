@@ -1,0 +1,57 @@
+"""Cuccaro ripple-carry adder workload.
+
+Computes ``|a>|b> -> |a>|a+b>`` on ``2*bits + 2`` qubits (input carry and
+output carry included).  Toffolis use the standard 6-CNOT decomposition so
+the transpiler only ever sees 1Q/2Q gates.
+"""
+
+from __future__ import annotations
+
+from ..circuit import QuantumCircuit
+
+__all__ = ["cuccaro_adder", "adder_register_layout"]
+
+
+def adder_register_layout(bits: int) -> dict[str, list[int]]:
+    """Qubit indices of the carry-in, a, b, and carry-out registers.
+
+    Register bit 0 is the least significant.  Layout (LSB first):
+    ``[cin, a0, b0, a1, b1, ..., cout]``.
+    """
+    layout = {
+        "cin": [0],
+        "a": [1 + 2 * k for k in range(bits)],
+        "b": [2 + 2 * k for k in range(bits)],
+        "cout": [2 * bits + 1],
+    }
+    return layout
+
+
+def _maj(circuit: QuantumCircuit, c: int, b: int, a: int) -> None:
+    circuit.cx(a, b)
+    circuit.cx(a, c)
+    circuit.ccx(c, b, a)
+
+
+def _uma(circuit: QuantumCircuit, c: int, b: int, a: int) -> None:
+    circuit.ccx(c, b, a)
+    circuit.cx(a, c)
+    circuit.cx(c, b)
+
+
+def cuccaro_adder(bits: int, name: str = "adder") -> QuantumCircuit:
+    """Ripple-carry adder (Cuccaro et al. 2004) on ``2*bits + 2`` qubits."""
+    if bits < 1:
+        raise ValueError("adder needs at least one bit")
+    layout = adder_register_layout(bits)
+    circuit = QuantumCircuit(2 * bits + 2, name)
+    a, b = layout["a"], layout["b"]
+    cin, cout = layout["cin"][0], layout["cout"][0]
+
+    carries = [cin] + a[:-1]
+    for k in range(bits):
+        _maj(circuit, carries[k], b[k], a[k])
+    circuit.cx(a[-1], cout)
+    for k in reversed(range(bits)):
+        _uma(circuit, carries[k], b[k], a[k])
+    return circuit

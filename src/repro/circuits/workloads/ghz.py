@@ -1,0 +1,16 @@
+"""GHZ-state preparation workload."""
+
+from __future__ import annotations
+
+from ..circuit import QuantumCircuit
+
+__all__ = ["ghz"]
+
+
+def ghz(num_qubits: int, name: str = "ghz") -> QuantumCircuit:
+    """Linear-depth GHZ preparation: H then a CNOT chain."""
+    circuit = QuantumCircuit(num_qubits, name)
+    circuit.h(0)
+    for qubit in range(num_qubits - 1):
+        circuit.cx(qubit, qubit + 1)
+    return circuit

@@ -1,0 +1,37 @@
+"""Hidden Linear Function problem workload (Bravyi-Gosset-Koenig)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...quantum.random import as_rng
+from ..circuit import QuantumCircuit
+
+__all__ = ["hidden_linear_function"]
+
+
+def hidden_linear_function(
+    num_qubits: int, seed: int | None = 5, name: str = "hlf"
+) -> QuantumCircuit:
+    """Constant-depth HLF circuit for a random symmetric binary matrix.
+
+    ``H^n . [CZ_ij : A_ij = 1] . [S_i : A_ii = 1] . H^n``.
+    """
+    rng = as_rng(seed)
+    adjacency = rng.integers(0, 2, size=(num_qubits, num_qubits))
+    adjacency = np.triu(adjacency)
+    adjacency = adjacency + np.triu(adjacency, 1).T  # symmetric
+
+    circuit = QuantumCircuit(num_qubits, name)
+    for qubit in range(num_qubits):
+        circuit.h(qubit)
+    for i in range(num_qubits):
+        for j in range(i + 1, num_qubits):
+            if adjacency[i, j]:
+                circuit.cz(i, j)
+    for i in range(num_qubits):
+        if adjacency[i, i]:
+            circuit.s(i)
+    for qubit in range(num_qubits):
+        circuit.h(qubit)
+    return circuit

@@ -1,0 +1,68 @@
+"""Fourier-basis (Draper) multiplier workload.
+
+Computes ``|a>|b>|0> -> |a>|b>|a*b mod 2^(2*bits)>`` on ``4*bits`` qubits:
+QFT on the output register, doubly controlled phase additions for every
+partial product ``a_i * b_j * 2^(i+j)``, then the inverse QFT.  All
+operations are 1Q/2Q; the doubly controlled phases use the standard
+five-gate CCP decomposition.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..circuit import QuantumCircuit
+from .qft import qft
+
+__all__ = ["draper_multiplier", "multiplier_register_layout"]
+
+
+def multiplier_register_layout(bits: int) -> dict[str, list[int]]:
+    """Qubit indices of the a, b, and output registers (bit 0 = LSB)."""
+    return {
+        "a": list(range(bits)),
+        "b": list(range(bits, 2 * bits)),
+        "out": list(range(2 * bits, 4 * bits)),
+    }
+
+
+def _ccphase(
+    circuit: QuantumCircuit, theta: float, control_a: int, control_b: int, target: int
+) -> None:
+    """Doubly controlled phase via the standard CP/CNOT construction."""
+    circuit.cp(theta / 2, control_b, target)
+    circuit.cx(control_a, control_b)
+    circuit.cp(-theta / 2, control_b, target)
+    circuit.cx(control_a, control_b)
+    circuit.cp(theta / 2, control_a, target)
+
+
+def draper_multiplier(bits: int, name: str = "multiplier") -> QuantumCircuit:
+    """Out-of-place multiplier on ``4*bits`` qubits (e.g. 16 for bits=4)."""
+    if bits < 1:
+        raise ValueError("multiplier needs at least one bit per operand")
+    layout = multiplier_register_layout(bits)
+    out_bits = 2 * bits
+    circuit = QuantumCircuit(4 * bits, name)
+    out = layout["out"]
+
+    # QFT over the output register, MSB-first ordering (out[-1] is the MSB,
+    # matching the qft() builder applied to reversed output wires).
+    msb_first = list(reversed(out))
+    circuit.compose(qft(out_bits, with_swaps=False), qubits=msb_first)
+
+    # Phase-space addition of each partial product 2^(i+j) a_i b_j.  In the
+    # Fourier frame, adding 2^w rotates MSB-relative qubit t by pi/2^(t-w)
+    # for t >= w; smaller t see full 2*pi turns (identity).
+    for i, a_qubit in enumerate(layout["a"]):
+        for j, b_qubit in enumerate(layout["b"]):
+            weight = i + j
+            for t in range(weight, out_bits):
+                theta = np.pi / 2 ** (t - weight)
+                target = msb_first[out_bits - 1 - t]
+                _ccphase(circuit, theta, a_qubit, b_qubit, target)
+
+    circuit.compose(
+        qft(out_bits, with_swaps=False).inverse(), qubits=msb_first
+    )
+    return circuit

@@ -1,0 +1,31 @@
+"""Quantum Fourier Transform workload."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..circuit import QuantumCircuit
+
+__all__ = ["qft"]
+
+
+def qft(
+    num_qubits: int, with_swaps: bool = True, name: str = "qft"
+) -> QuantumCircuit:
+    """Textbook QFT: Hadamards, controlled phases, optional bit reversal.
+
+    Controlled-phase angles ``pi / 2^k`` produce the small CPhase
+    rotations near identity that motivate short fractional basis gates
+    (paper Sec. IV).
+    """
+    circuit = QuantumCircuit(num_qubits, name)
+    for target in range(num_qubits):
+        circuit.h(target)
+        for offset, control in enumerate(
+            range(target + 1, num_qubits), start=1
+        ):
+            circuit.cp(np.pi / 2**offset, control, target)
+    if with_swaps:
+        for low in range(num_qubits // 2):
+            circuit.swap(low, num_qubits - 1 - low)
+    return circuit

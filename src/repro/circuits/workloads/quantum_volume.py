@@ -1,0 +1,35 @@
+"""Quantum Volume model circuits (random SU(4) brickwork)."""
+
+from __future__ import annotations
+
+from ...quantum.random import as_rng, haar_unitary
+from ..circuit import QuantumCircuit
+
+__all__ = ["quantum_volume"]
+
+
+def quantum_volume(
+    num_qubits: int,
+    depth: int | None = None,
+    seed: int | None = 17,
+    name: str = "quantum_volume",
+) -> QuantumCircuit:
+    """Square QV circuit: ``depth`` layers of Haar-random SU(4) gates.
+
+    Each layer randomly permutes the qubits and applies an independent
+    Haar-random two-qubit unitary to each adjacent pair of the
+    permutation — the model circuit family behind the Quantum Volume
+    metric.  These generic gates are exactly the "Haar random targets"
+    the paper's E[D[Haar]] score prices.
+    """
+    depth = depth if depth is not None else num_qubits
+    if depth < 1:
+        raise ValueError("depth must be >= 1")
+    rng = as_rng(seed)
+    circuit = QuantumCircuit(num_qubits, name)
+    for _ in range(depth):
+        permutation = rng.permutation(num_qubits)
+        for index in range(0, num_qubits - 1, 2):
+            a, b = int(permutation[index]), int(permutation[index + 1])
+            circuit.unitary(haar_unitary(4, rng), (a, b), name="su4")
+    return circuit

@@ -1,0 +1,58 @@
+"""Hardware-efficient VQE ansatz workloads (linear and full entanglement).
+
+The paper evaluates two variants: "VQE L" with linear (chain)
+entanglement and the much deeper "VQE F" with all-to-all entanglement.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...quantum.random import as_rng
+from ..circuit import QuantumCircuit
+
+__all__ = ["vqe_ansatz"]
+
+
+def vqe_ansatz(
+    num_qubits: int,
+    entanglement: str = "linear",
+    reps: int = 1,
+    seed: int | None = 13,
+    name: str | None = None,
+) -> QuantumCircuit:
+    """Two-local RY ansatz with CX entanglement.
+
+    Args:
+        entanglement: ``"linear"`` (nearest-neighbour chain) or ``"full"``
+            (every ordered pair once per repetition).
+        reps: number of entanglement repetitions; a final rotation layer
+            closes the ansatz.
+    """
+    if entanglement not in ("linear", "full"):
+        raise ValueError("entanglement must be 'linear' or 'full'")
+    if reps < 1:
+        raise ValueError("reps must be >= 1")
+    rng = as_rng(seed)
+    circuit = QuantumCircuit(
+        num_qubits, name or f"vqe_{entanglement}"
+    )
+
+    def rotation_layer() -> None:
+        for qubit in range(num_qubits):
+            circuit.ry(float(rng.uniform(0, 2 * np.pi)), qubit)
+
+    for _ in range(reps):
+        rotation_layer()
+        if entanglement == "linear":
+            pairs = [(q, q + 1) for q in range(num_qubits - 1)]
+        else:
+            pairs = [
+                (a, b)
+                for a in range(num_qubits)
+                for b in range(a + 1, num_qubits)
+            ]
+        for a, b in pairs:
+            circuit.cx(a, b)
+    rotation_layer()
+    return circuit

@@ -1,0 +1,109 @@
+"""Command-line interface: regenerate paper artifacts from the shell.
+
+Usage::
+
+    python -m repro list
+    python -m repro run table1 table6
+    python -m repro run all
+    python -m repro transpile qft --trials 5
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from .experiments import EXPERIMENTS, results_dir, run_experiment
+
+__all__ = ["main"]
+
+
+def _cmd_list(_: argparse.Namespace) -> int:
+    print("available experiments (paper artifact ids):")
+    for experiment_id in sorted(EXPERIMENTS):
+        doc = (EXPERIMENTS[experiment_id].__doc__ or "").strip().splitlines()
+        summary = doc[0] if doc else ""
+        print(f"  {experiment_id:8s} {summary}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    ids = sorted(EXPERIMENTS) if "all" in args.experiments else args.experiments
+    unknown = [i for i in ids if i not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment ids: {unknown}", file=sys.stderr)
+        return 2
+    for experiment_id in ids:
+        start = time.time()
+        result = run_experiment(experiment_id)
+        path = result.save(results_dir())
+        print(result)
+        print(f"[{time.time() - start:.1f}s] saved to {path}\n")
+    return 0
+
+
+def _cmd_transpile(args: argparse.Namespace) -> int:
+    from .circuits.workloads import get_workload
+    from .core.decomposition_rules import (
+        BaselineSqrtISwapRules,
+        ParallelSqrtISwapRules,
+    )
+    from .transpiler.coupling import square_lattice
+    from .transpiler.fidelity import PAPER_FIDELITY_MODEL
+    from .transpiler.pipeline import transpile
+
+    circuit = get_workload(args.workload, args.qubits)
+    coupling = square_lattice(4, 4)
+    base = transpile(
+        circuit, coupling, BaselineSqrtISwapRules(), args.trials, args.seed
+    )
+    opt = transpile(
+        circuit, coupling, ParallelSqrtISwapRules(), args.trials, args.seed
+    )
+    model = PAPER_FIDELITY_MODEL
+    gain = 100 * (base.duration - opt.duration) / base.duration
+    print(f"{args.workload}: baseline {base.duration:.2f} pulses, "
+          f"parallel-drive {opt.duration:.2f} pulses ({gain:.1f}% faster)")
+    print(f"  FT {model.total_fidelity(base.duration, args.qubits):.4f} -> "
+          f"{model.total_fidelity(opt.duration, args.qubits):.4f}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point for ``python -m repro``."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'Parallel Driving for Fast Quantum Computing "
+            "Under Speed Limits' (ISCA 2023)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list reproducible artifacts")
+
+    run_parser = sub.add_parser("run", help="regenerate paper artifacts")
+    run_parser.add_argument(
+        "experiments", nargs="+", help="artifact ids, or 'all'"
+    )
+
+    transpile_parser = sub.add_parser(
+        "transpile", help="compare baseline vs parallel-drive on a workload"
+    )
+    transpile_parser.add_argument("workload")
+    transpile_parser.add_argument("--qubits", type=int, default=16)
+    transpile_parser.add_argument("--trials", type=int, default=5)
+    transpile_parser.add_argument("--seed", type=int, default=7)
+
+    args = parser.parse_args(argv)
+    handlers = {
+        "list": _cmd_list,
+        "run": _cmd_run,
+        "transpile": _cmd_transpile,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

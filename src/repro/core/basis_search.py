@@ -1,0 +1,261 @@
+"""Best-basis search over the conversion–gain continuum (Fig. 5, Fig. 6).
+
+Candidate bases live on drive-ratio rays (iSWAP conversion-only, B, CNOT)
+at several pulse fractions.  Each candidate is priced per metric — CNOT,
+SWAP, Haar, W(lambda) — using its coverage sets and a speed-limit
+function, and the cheapest candidate per metric wins.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .conversion_gain import GateFamily, coordinates_for_drive
+from .coverage import build_coverage_set, haar_coordinate_samples
+from .scoring import DEFAULT_LAMBDA, weighted_score
+from .speed_limit import SpeedLimitFunction
+
+__all__ = [
+    "CandidateBasis",
+    "CandidateScores",
+    "default_candidates",
+    "score_candidate",
+    "best_basis_search",
+    "fractional_iswap_curve",
+]
+
+_HALF_PI = np.pi / 2
+
+
+@dataclass(frozen=True)
+class CandidateBasis:
+    """One point of the search grid: a drive-ratio ray and pulse fraction."""
+
+    label: str
+    beta: float  # theta_g / theta_c drive ratio
+    fraction: float  # of the full pi/2 total rotation
+
+    @property
+    def drive_angles(self) -> tuple[float, float]:
+        """Accumulated angles (theta_c, theta_g) of one pulse."""
+        total = self.fraction * _HALF_PI
+        theta_c = total / (1.0 + self.beta)
+        return theta_c, total - theta_c
+
+    @property
+    def coordinates(self) -> np.ndarray:
+        """Weyl coordinates of the candidate gate."""
+        return coordinates_for_drive(*self.drive_angles)
+
+
+@dataclass(frozen=True)
+class CandidateScores:
+    """Metric costs of one candidate under one SLF / 1Q-duration config."""
+
+    candidate: CandidateBasis
+    pulse_time: float
+    d_cnot: float
+    d_swap: float
+    d_haar: float
+    d_weighted: float
+
+    def metric(self, name: str) -> float:
+        """Look up a metric by name: cnot, swap, haar, or w."""
+        return {
+            "cnot": self.d_cnot,
+            "swap": self.d_swap,
+            "haar": self.d_haar,
+            "w": self.d_weighted,
+        }[name]
+
+
+def default_candidates() -> list[CandidateBasis]:
+    """The search grid: three rays x three pulse fractions."""
+    grid = []
+    for family, beta in (("iSWAP", 0.0), ("B", 1.0 / 3.0), ("CNOT", 1.0)):
+        for fraction in (0.25, 0.5, 1.0):
+            grid.append(
+                CandidateBasis(
+                    label=f"{family}^{fraction:g}", beta=beta,
+                    fraction=fraction,
+                )
+            )
+    return grid
+
+
+def _candidate_kmax(candidate: CandidateBasis) -> int:
+    """Template-size cap: enough to cover SWAP's interaction resource.
+
+    SWAP needs a total of 1.5 full-pulse equivalents on the iSWAP ray and
+    3 on the CNOT ray; padding by two covers the B ray and Haar tails.
+    """
+    per_pulse = candidate.fraction
+    return int(np.ceil(3.0 / per_pulse)) + 1
+
+
+#: K[CNOT], K[SWAP] for the full gate of each ray (paper Table I).
+_FULL_RAY_COUNTS = {
+    0.0: {"CNOT": 2, "SWAP": 3},  # iSWAP ray
+    1.0 / 3.0: {"CNOT": 2, "SWAP": 2},  # B ray
+    1.0: {"CNOT": 1, "SWAP": 3},  # CNOT ray
+}
+
+#: Known fractional counts that beat the fractional-copy upper bound
+#: (paper Table I square-root rows).
+_FRACTION_COUNTS = {
+    (0.0, 0.5): {"CNOT": 2, "SWAP": 3},  # sqrt(iSWAP)
+    (1.0 / 3.0, 0.5): {"CNOT": 2, "SWAP": 4},  # sqrt(B)
+    (1.0, 0.5): {"CNOT": 2, "SWAP": 6},  # sqrt(CNOT)
+}
+
+
+def _named_counts(candidate: CandidateBasis) -> dict[str, int]:
+    """K[CNOT], K[SWAP] for a grid candidate.
+
+    Exact Table-I values at fractions 1 and 1/2; smaller fractions use
+    the fractional-copy construction (m copies of the pulse compose
+    exactly into the coarser gate on the same ray), which the paper's
+    Sec. IV confirms is tight on the iSWAP and CNOT rays.
+    """
+    if candidate.beta not in _FULL_RAY_COUNTS:
+        raise ValueError(f"no named-count rule for ray beta={candidate.beta}")
+    if abs(candidate.fraction - 1.0) < 1e-9:
+        return dict(_FULL_RAY_COUNTS[candidate.beta])
+    if abs(candidate.fraction - 0.5) < 1e-9:
+        return dict(_FRACTION_COUNTS[(candidate.beta, 0.5)])
+    multiplier = 0.5 / candidate.fraction
+    if abs(multiplier - round(multiplier)) > 1e-9:
+        raise ValueError(
+            f"fraction {candidate.fraction} is not a dyadic sub-fraction"
+        )
+    half_counts = _FRACTION_COUNTS[(candidate.beta, 0.5)]
+    return {
+        name: int(round(multiplier)) * count
+        for name, count in half_counts.items()
+    }
+
+
+def score_candidate(
+    candidate: CandidateBasis,
+    slf: SpeedLimitFunction,
+    one_q_duration: float,
+    haar_samples: np.ndarray | None = None,
+    lam: float = DEFAULT_LAMBDA,
+    samples_per_k: int = 1500,
+    seed: int = 20230302,
+) -> CandidateScores:
+    """Duration-based metric costs of one candidate basis."""
+    if haar_samples is None:
+        haar_samples = haar_coordinate_samples(2000, seed=99)
+    theta_c, theta_g = candidate.drive_angles
+    # The gain-heavy mirror pulse realizes the same class; price the
+    # faster of the two drive assignments (paper plots both rays).
+    pulse_time = min(
+        slf.min_duration(theta_c, theta_g), slf.min_duration(theta_g, theta_c)
+    )
+    kmax = _candidate_kmax(candidate)
+    coverage = build_coverage_set(
+        gc=theta_c / candidate.fraction,
+        gg=theta_g / candidate.fraction,
+        pulse_duration=candidate.fraction,
+        kmax=kmax,
+        basis_name=candidate.label,
+        parallel=False,
+        samples_per_k=samples_per_k,
+        seed=seed,
+        steps_per_pulse=1,
+        # Light hull boosting: random sampling alone under-fills small
+        # fractional bases' per-K regions, which inflates their Haar
+        # costs and would mis-rank Fig. 5/6's near-identity candidates.
+        boost_targets=True,
+        synthesis_restarts=1,
+        synthesis_iterations=400,
+    )
+
+    def priced(ks: np.ndarray) -> np.ndarray:
+        return ks * pulse_time + (ks + 1) * one_q_duration
+
+    counts = _named_counts(candidate)
+    k_haar = np.minimum(coverage.min_k(haar_samples), kmax)
+    d_cnot = float(priced(np.array([counts["CNOT"]]))[0])
+    d_swap = float(priced(np.array([counts["SWAP"]]))[0])
+    d_haar = float(priced(k_haar).mean())
+    return CandidateScores(
+        candidate=candidate,
+        pulse_time=pulse_time,
+        d_cnot=d_cnot,
+        d_swap=d_swap,
+        d_haar=d_haar,
+        d_weighted=weighted_score(d_cnot, d_swap, lam),
+    )
+
+
+def best_basis_search(
+    slf: SpeedLimitFunction,
+    one_q_duration: float,
+    candidates: list[CandidateBasis] | None = None,
+    haar_samples: np.ndarray | None = None,
+    lam: float = DEFAULT_LAMBDA,
+    samples_per_k: int = 1500,
+) -> dict[str, CandidateScores]:
+    """Best candidate per metric (Fig. 5's dots for one SLF / D[1Q]).
+
+    Returns a mapping ``metric -> winning CandidateScores`` for metrics
+    cnot, swap, haar, w.
+    """
+    candidates = candidates or default_candidates()
+    if haar_samples is None:
+        haar_samples = haar_coordinate_samples(2000, seed=99)
+    scored = [
+        score_candidate(
+            c, slf, one_q_duration, haar_samples, lam, samples_per_k
+        )
+        for c in candidates
+    ]
+    return {
+        metric: min(scored, key=lambda s: s.metric(metric))
+        for metric in ("cnot", "swap", "haar", "w")
+    }
+
+
+def fractional_iswap_curve(
+    one_q_durations: tuple[float, ...] = (0.0, 0.1, 0.25),
+    fractions: tuple[float, ...] = (0.25, 0.375, 0.5, 0.75, 1.0),
+    haar_samples: np.ndarray | None = None,
+    samples_per_k: int = 1500,
+) -> dict[float, list[tuple[float, float]]]:
+    """Fig. 6: expected Haar duration vs fractional iSWAP basis.
+
+    Returns, per ``D[1Q]`` value, a list of ``(fraction, E[D[Haar]])``
+    points.  Pulse time equals the fraction (conversion-only drive under
+    any normalized SLF).
+    """
+    if haar_samples is None:
+        haar_samples = haar_coordinate_samples(2000, seed=99)
+    curves: dict[float, list[tuple[float, float]]] = {
+        d1q: [] for d1q in one_q_durations
+    }
+    for fraction in fractions:
+        theta_c = fraction * _HALF_PI
+        kmax = int(np.ceil(3.0 / fraction)) + 1
+        coverage = build_coverage_set(
+            gc=theta_c / fraction,
+            gg=0.0,
+            pulse_duration=fraction,
+            kmax=kmax,
+            basis_name=f"iSWAP^{fraction:g}",
+            parallel=False,
+            samples_per_k=samples_per_k,
+            seed=20230302,
+            steps_per_pulse=1,
+            boost_targets=True,
+            synthesis_restarts=1,
+            synthesis_iterations=400,
+        )
+        ks = np.minimum(coverage.min_k(haar_samples), kmax)
+        for d1q in one_q_durations:
+            expected = float(np.mean(ks * fraction + (ks + 1) * d1q))
+            curves[d1q].append((fraction, expected))
+    return curves

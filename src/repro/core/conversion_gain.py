@@ -1,0 +1,131 @@
+"""Conversion–gain gate families (paper Sec. II, Eq. 1–4).
+
+Simultaneous conversion and gain driving natively realizes every gate on
+the Weyl-chamber base plane:
+
+``CG(theta_c, theta_g) = CAN(theta_c + theta_g, theta_c - theta_g, 0)``
+
+A *gate family* is the ray of fixed drive ratio ``beta = theta_g /
+theta_c``: iSWAP is conversion-only (``beta = 0``) or gain-only
+(``beta = inf``), the CNOT family sits on ``beta = 1``, and the B family
+on ``beta = 1/3``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..quantum.weyl import canonicalize_coordinates
+
+__all__ = [
+    "cg_unitary",
+    "coordinates_for_drive",
+    "drive_angles_for_coordinates",
+    "drive_ratio",
+    "GateFamily",
+    "ISWAP_CONVERSION_FAMILY",
+    "ISWAP_GAIN_FAMILY",
+    "CNOT_FAMILY",
+    "B_FAMILY",
+    "family_for_coordinates",
+]
+
+
+def cg_unitary(
+    theta_c: float,
+    theta_g: float,
+    phi_c: float = 0.0,
+    phi_g: float = 0.0,
+) -> np.ndarray:
+    """Closed-form conversion–gain propagator (generalizes paper Eq. 2).
+
+    ``theta_c = gc * t`` acts on the ``{|01>, |10>}`` block; ``theta_g =
+    gg * t`` on ``{|00>, |11>}``; the pump phases rotate each block.
+    """
+    cos_g, sin_g = np.cos(theta_g), np.sin(theta_g)
+    cos_c, sin_c = np.cos(theta_c), np.sin(theta_c)
+    out = np.zeros((4, 4), dtype=complex)
+    out[0, 0] = out[3, 3] = cos_g
+    out[0, 3] = -1j * sin_g * np.exp(1j * phi_g)
+    out[3, 0] = -1j * sin_g * np.exp(-1j * phi_g)
+    out[1, 1] = out[2, 2] = cos_c
+    out[1, 2] = -1j * sin_c * np.exp(-1j * phi_c)
+    out[2, 1] = -1j * sin_c * np.exp(1j * phi_c)
+    return out
+
+
+def coordinates_for_drive(theta_c: float, theta_g: float) -> np.ndarray:
+    """Canonical Weyl coordinates of ``CG(theta_c, theta_g)``."""
+    return canonicalize_coordinates(
+        np.array([theta_c + theta_g, theta_c - theta_g, 0.0])
+    )
+
+
+def drive_angles_for_coordinates(coords: np.ndarray) -> tuple[float, float]:
+    """Drive angles ``(theta_c, theta_g)`` realizing a base-plane gate.
+
+    Returns the conversion-dominant assignment (``theta_c >= theta_g``);
+    swapping the two angles gives the locally equivalent gain-dominant
+    pulse.
+    """
+    c1, c2, c3 = np.asarray(coords, dtype=float)
+    if abs(c3) > 1e-7:
+        raise ValueError(
+            f"coordinates {coords} are off the base plane; conversion-gain "
+            "drives realize only c3 == 0 gates"
+        )
+    return (c1 + c2) / 2.0, (c1 - c2) / 2.0
+
+
+def drive_ratio(coords: np.ndarray) -> float:
+    """Drive ratio ``beta = theta_g / theta_c`` of a base-plane gate."""
+    theta_c, theta_g = drive_angles_for_coordinates(coords)
+    if theta_c == 0:
+        return float("inf")
+    return theta_g / theta_c
+
+
+@dataclass(frozen=True)
+class GateFamily:
+    """A ray of gates sharing a drive ratio (paper Fig. 5 dotted lines)."""
+
+    name: str
+    beta: float
+
+    def drive_angles(self, total_angle: float) -> tuple[float, float]:
+        """Split ``theta_c + theta_g = total_angle`` at this family's ratio."""
+        if np.isinf(self.beta):
+            return 0.0, total_angle
+        theta_c = total_angle / (1.0 + self.beta)
+        return theta_c, total_angle - theta_c
+
+    def coordinates(self, fraction: float) -> np.ndarray:
+        """Weyl coordinates of the family member at pulse ``fraction``.
+
+        ``fraction = 1`` is the full named gate (e.g. CNOT for the CNOT
+        family), ``fraction = 0.5`` its square root, and so on.
+        """
+        theta_c, theta_g = self.drive_angles(fraction * np.pi / 2)
+        return coordinates_for_drive(theta_c, theta_g)
+
+
+ISWAP_CONVERSION_FAMILY = GateFamily("iSWAP (conversion)", beta=0.0)
+ISWAP_GAIN_FAMILY = GateFamily("iSWAP (gain)", beta=float("inf"))
+CNOT_FAMILY = GateFamily("CNOT", beta=1.0)
+B_FAMILY = GateFamily("B", beta=1.0 / 3.0)
+
+
+def family_for_coordinates(coords: np.ndarray) -> GateFamily:
+    """The gate family (drive-ratio ray) through a base-plane gate."""
+    beta = drive_ratio(coords)
+    for family in (
+        ISWAP_CONVERSION_FAMILY,
+        CNOT_FAMILY,
+        B_FAMILY,
+        ISWAP_GAIN_FAMILY,
+    ):
+        if np.isclose(beta, family.beta, atol=1e-9):
+            return family
+    return GateFamily(f"beta={beta:.4f}", beta=beta)

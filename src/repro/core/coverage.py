@@ -1,0 +1,403 @@
+"""Coverage sets: which gates a K-template spans (paper Figs. 4, 9; Alg. 2).
+
+A coverage set records, for each template size K, the region of the Weyl
+chamber reachable by K applications of a basis gate with interleaved
+(and optionally parallel-driven) 1Q gates.  Regions are estimated
+numerically, exactly as the paper's Algorithm 2:
+
+1. sample many random template instantiations and collect coordinates;
+2. run the Nelder–Mead synthesizer toward exterior targets
+   (I, CNOT, iSWAP, SWAP) and keep every coordinate along the training
+   path;
+3. split points into the left/right chamber halves (``c1 <= pi/2``) to
+   preserve convexity and take convex hulls;
+4. score membership with Delaunay triangulations (with dimension fallback
+   for degenerate regions such as iSWAP's K=2 base plane).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+from scipy.spatial import Delaunay, QhullError
+
+from ..quantum.random import as_rng, haar_unitaries_batch
+from ..quantum.weyl import batched_weyl_coordinates
+from .parallel_drive import (
+    ParallelDriveTemplate,
+    sample_template_coordinates,
+    synthesize,
+)
+
+__all__ = [
+    "RegionHull",
+    "KCoverage",
+    "CoverageSet",
+    "build_coverage_set",
+    "haar_coordinate_samples",
+    "expected_cost",
+    "default_cache_dir",
+]
+
+
+def default_cache_dir() -> Path:
+    """Directory for persisted coverage point clouds.
+
+    Overridable via ``REPRO_CACHE_DIR``; defaults to
+    ``~/.cache/repro-coverage``.  Hull construction from cached points
+    takes milliseconds, so persisting the raw clouds makes repeated test
+    and benchmark runs cheap.
+    """
+    override = os.environ.get("REPRO_CACHE_DIR")
+    base = Path(override) if override else Path.home() / ".cache" / "repro-coverage"
+    base.mkdir(parents=True, exist_ok=True)
+    return base
+
+_HALF_PI = np.pi / 2
+#: Synthesis anchors for hull boosting: the paper's four exterior points
+#: plus boundary gates random sampling reaches only asymptotically (B, the
+#: CNOT-SWAP edge midpoint and its right-half mirror, and sqrt(SWAP)).
+_EXTERIOR_TARGETS: tuple[tuple[str, tuple[float, float, float]], ...] = (
+    ("I", (0.0, 0.0, 0.0)),
+    ("CNOT", (_HALF_PI, 0.0, 0.0)),
+    ("iSWAP", (_HALF_PI, _HALF_PI, 0.0)),
+    ("SWAP", (_HALF_PI, _HALF_PI, _HALF_PI)),
+    ("B", (_HALF_PI, np.pi / 4, 0.0)),
+    ("CNOT-SWAP-mid", (_HALF_PI, np.pi / 4, np.pi / 4)),
+    ("mirror-mid", (3 * np.pi / 4, np.pi / 4, np.pi / 4)),
+    ("sqrt_SWAP", (np.pi / 4, np.pi / 4, np.pi / 4)),
+)
+
+
+class RegionHull:
+    """Point-cloud convex hull with degenerate-dimension fallback.
+
+    Supports full 3-D regions, planar regions (e.g. the chamber base
+    plane), line segments (e.g. the CNOT family), and single points.
+    """
+
+    def __init__(self, points: np.ndarray, tol: float = 1e-4):
+        points = np.asarray(points, dtype=float)
+        if points.ndim != 2 or points.shape[1] != 3:
+            raise ValueError("expected an (N, 3) coordinate array")
+        if len(points) == 0:
+            raise ValueError("region needs at least one point")
+        self.tol = tol
+        self.centroid = points.mean(axis=0)
+        centered = points - self.centroid
+        # Rank-reveal the point cloud to pick the right hull dimension.
+        _, singular, vt = np.linalg.svd(centered, full_matrices=False)
+        self.rank = int(np.sum(singular > tol * max(1.0, singular[0])))
+        self.basis = vt[: self.rank] if self.rank else np.zeros((0, 3))
+        self._delaunay: Delaunay | None = None
+        self._interval: tuple[float, float] | None = None
+        if self.rank >= 1:
+            projected = centered @ self.basis.T
+            if self.rank == 1:
+                line = projected[:, 0]
+                self._interval = (float(line.min()), float(line.max()))
+            else:
+                self._delaunay = self._triangulate(projected)
+                if self._delaunay is None:
+                    # Nearly degenerate cloud: retreat one dimension.
+                    self.rank -= 1
+                    self.basis = self.basis[: self.rank]
+                    if self.rank == 1:
+                        line = centered @ self.basis[0]
+                        self._interval = (float(line.min()), float(line.max()))
+                    else:
+                        self._delaunay = self._triangulate(
+                            centered @ self.basis.T
+                        )
+
+    @staticmethod
+    def _triangulate(projected: np.ndarray) -> Delaunay | None:
+        """Delaunay with a joggled-input retry for tough point clouds."""
+        try:
+            return Delaunay(projected)
+        except QhullError:
+            try:
+                return Delaunay(projected, qhull_options="QJ")
+            except QhullError:
+                return None
+
+    def contains(self, coords: np.ndarray) -> np.ndarray:
+        """Vectorized membership test; accepts shape (3,) or (N, 3)."""
+        coords = np.atleast_2d(np.asarray(coords, dtype=float))
+        centered = coords - self.centroid
+        if self.rank == 0:
+            inside = np.ones(len(coords), dtype=bool)
+        else:
+            projected = centered @ self.basis.T
+            if self.rank == 1:
+                low, high = self._interval  # type: ignore[misc]
+                inside = (projected[:, 0] >= low - self.tol) & (
+                    projected[:, 0] <= high + self.tol
+                )
+            elif self._delaunay is not None:
+                inside = self._delaunay.find_simplex(projected) >= 0
+            else:  # pragma: no cover - exhausted fallbacks
+                inside = np.zeros(len(coords), dtype=bool)
+        # Off-subspace displacement must vanish for membership.
+        if self.rank < 3:
+            residual = centered - (
+                (centered @ self.basis.T) @ self.basis
+                if self.rank
+                else np.zeros_like(centered)
+            )
+            inside &= np.linalg.norm(residual, axis=1) <= self.tol
+        return inside
+
+    @property
+    def is_full_dimensional(self) -> bool:
+        """True when the region has nonzero 3-D volume."""
+        return self.rank == 3
+
+
+@dataclass(frozen=True)
+class KCoverage:
+    """Reachable region for one template size K (both chamber halves)."""
+
+    k: int
+    left: RegionHull
+    right: RegionHull | None
+    num_points: int
+
+    def contains(self, coords: np.ndarray) -> np.ndarray:
+        """Vectorized membership across both chamber halves."""
+        coords = np.atleast_2d(np.asarray(coords, dtype=float))
+        result = np.zeros(len(coords), dtype=bool)
+        on_left = coords[:, 0] <= _HALF_PI + 1e-9
+        if on_left.any():
+            result[on_left] = self.left.contains(coords[on_left])
+        on_right = ~on_left
+        if on_right.any() and self.right is not None:
+            result[on_right] = self.right.contains(coords[on_right])
+        return result
+
+
+@dataclass(frozen=True)
+class CoverageSet:
+    """Coverage regions of a basis template for K = 1..kmax."""
+
+    basis_name: str
+    parallel: bool
+    coverages: tuple[KCoverage, ...]
+
+    @property
+    def kmax(self) -> int:
+        """Largest template size with a computed region."""
+        return len(self.coverages)
+
+    def coverage_for(self, k: int) -> KCoverage:
+        """Region for template size ``k`` (1-based)."""
+        if not 1 <= k <= self.kmax:
+            raise ValueError(f"k={k} outside computed range 1..{self.kmax}")
+        return self.coverages[k - 1]
+
+    def min_k(self, coords: np.ndarray) -> np.ndarray:
+        """Smallest covering K per coordinate row (``kmax + 1`` if none)."""
+        coords = np.atleast_2d(np.asarray(coords, dtype=float))
+        result = np.full(len(coords), self.kmax + 1, dtype=int)
+        unresolved = np.ones(len(coords), dtype=bool)
+        for coverage in self.coverages:
+            if not unresolved.any():
+                break
+            hit = np.zeros(len(coords), dtype=bool)
+            hit[unresolved] = coverage.contains(coords[unresolved])
+            result[hit] = coverage.k
+            unresolved &= ~hit
+        return result
+
+    def expected_haar_k(
+        self, samples: np.ndarray
+    ) -> tuple[float, np.ndarray]:
+        """Haar-expected template size and per-K fractions.
+
+        ``samples`` are Haar coordinate rows (see
+        :func:`haar_coordinate_samples`).  Uncovered samples are priced at
+        ``kmax + 1``, which surfaces insufficient ``kmax`` rather than
+        silently clipping.
+        """
+        ks = self.min_k(samples)
+        fractions = np.array(
+            [np.mean(ks == k) for k in range(1, self.kmax + 2)]
+        )
+        return float(ks.mean()), fractions
+
+
+def haar_coordinate_samples(
+    count: int, seed: int | np.random.Generator | None = None
+) -> np.ndarray:
+    """Weyl coordinates of Haar-random two-qubit unitaries."""
+    rng = as_rng(seed)
+    return batched_weyl_coordinates(haar_unitaries_batch(4, count, rng))
+
+
+def _split_halves(points: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Partition coordinates at the c1 = pi/2 plane (boundary in both)."""
+    on_left = points[:, 0] <= _HALF_PI + 1e-9
+    on_right = points[:, 0] >= _HALF_PI - 1e-9
+    return points[on_left], points[on_right]
+
+
+def build_coverage_set(
+    gc: float,
+    gg: float,
+    pulse_duration: float,
+    kmax: int,
+    basis_name: str = "basis",
+    parallel: bool = False,
+    samples_per_k: int = 3000,
+    steps_per_pulse: int = 4,
+    seed: int | np.random.Generator | None = 0,
+    boost_targets: bool = True,
+    synthesis_restarts: int = 3,
+    synthesis_iterations: int = 1200,
+    cache: bool = True,
+) -> CoverageSet:
+    """Estimate coverage regions for a conversion–gain basis (Alg. 2).
+
+    Args:
+        gc, gg: pump strengths of one application, pre-scaled so that the
+            pulse realizes the basis gate in ``pulse_duration``.
+        parallel: include the Eq. 9 1Q drives as free template variables.
+        boost_targets: run the synthesizer toward the chamber's exterior
+            points and fold its training path into the point cloud —
+            random sampling alone under-fills hull corners.
+        cache: persist/reuse the sampled point clouds on disk.
+    """
+    cache_path: Path | None = None
+    key: str | None = None
+    if cache:
+        seed_token = seed if isinstance(seed, int) else "rng"
+        key = (
+            f"{basis_name}_gc{gc:.6f}_gg{gg:.6f}_d{pulse_duration:.4f}"
+            f"_k{kmax}_n{samples_per_k}_s{steps_per_pulse}"
+            f"_{'par' if parallel else 'std'}_b{int(boost_targets)}"
+            f"_r{synthesis_restarts}_i{synthesis_iterations}_seed{seed_token}"
+            "_v2"
+        )
+        memoized = _ASSEMBLED_MEMO.get(key)
+        if memoized is not None:
+            return memoized
+        cache_path = default_cache_dir() / f"{key}.npz"
+        if cache_path.exists():
+            try:
+                data = np.load(cache_path)
+                clouds = [data[f"k{k}"] for k in range(1, kmax + 1)]
+                assembled = _assemble_coverage(basis_name, parallel, clouds)
+                _ASSEMBLED_MEMO[key] = assembled
+                return assembled
+            except (OSError, KeyError, ValueError):
+                # Corrupted or partial cache (e.g. interrupted writer):
+                # fall through and rebuild.
+                cache_path.unlink(missing_ok=True)
+
+    rng = as_rng(seed)
+    clouds: list[np.ndarray] = []
+    for k in range(1, kmax + 1):
+        template = ParallelDriveTemplate(
+            gc=gc,
+            gg=gg,
+            pulse_duration=pulse_duration,
+            steps_per_pulse=steps_per_pulse,
+            repetitions=k,
+            parallel=parallel,
+        )
+        points = sample_template_coordinates(template, samples_per_k, rng)
+        # Anchor exactly-known reachable points: the undriven template
+        # with identity interiors realizes the k-fold basis power, whose
+        # coordinates random local sampling only approaches (e.g. the
+        # iSWAP corner of the K=1 parallel-iSWAP region).
+        anchor = template.coordinates(
+            np.zeros(template.num_parameters)
+        )
+        points = np.vstack([points, anchor[None, :]])
+        if boost_targets:
+            for _, target_coords in _EXTERIOR_TARGETS:
+                target = np.asarray(target_coords, dtype=float)
+                result = synthesize(
+                    template,
+                    target,
+                    seed=rng,
+                    restarts=synthesis_restarts,
+                    max_iterations=synthesis_iterations,
+                    record_history=True,
+                )
+                if result.coordinate_history:
+                    points = np.vstack([points, result.coordinate_history])
+                if result.converged:
+                    points = np.vstack([points, target[None, :]])
+        clouds.append(points)
+    if cache_path is not None:
+        # Atomic publish: concurrent builders must never expose a
+        # partially written archive.
+        temporary = cache_path.with_suffix(f".tmp{os.getpid()}.npz")
+        np.savez_compressed(
+            temporary,
+            **{f"k{k}": cloud for k, cloud in enumerate(clouds, start=1)},
+        )
+        temporary.replace(cache_path)
+    assembled = _assemble_coverage(basis_name, parallel, clouds)
+    if key is not None:
+        _ASSEMBLED_MEMO[key] = assembled
+    return assembled
+
+
+#: In-process memo of assembled coverage sets (hull construction from a
+#: cached cloud costs seconds at scale; repeated scoring sweeps like
+#: Fig. 5's SLF grid reuse the same sets dozens of times).
+_ASSEMBLED_MEMO: dict[str, CoverageSet] = {}
+
+
+def _assemble_coverage(
+    basis_name: str, parallel: bool, clouds: list[np.ndarray]
+) -> CoverageSet:
+    """Build hull structures from per-K point clouds."""
+    coverages = []
+    for k, points in enumerate(clouds, start=1):
+        left_pts, right_pts = _split_halves(points)
+        left = RegionHull(left_pts if len(left_pts) else points)
+        right = RegionHull(right_pts) if len(right_pts) >= 4 else None
+        coverages.append(
+            KCoverage(k=k, left=left, right=right, num_points=len(points))
+        )
+    return CoverageSet(
+        basis_name=basis_name,
+        parallel=parallel,
+        coverages=tuple(coverages),
+    )
+
+
+def expected_cost(
+    candidates: list[tuple[KCoverage, float]],
+    samples: np.ndarray,
+    fallback_cost: float | None = None,
+) -> float:
+    """Haar-expected cost choosing the cheapest covering candidate.
+
+    Implements the paper's "joint spanning region" scoring (Table V): each
+    candidate pairs a reachable region with the duration of its template;
+    every Haar sample is priced at the cheapest region containing it.
+
+    Args:
+        fallback_cost: price for samples no candidate covers; ``None``
+            raises if any sample is uncovered.
+    """
+    samples = np.atleast_2d(np.asarray(samples, dtype=float))
+    costs = np.full(len(samples), np.inf)
+    for region, cost in candidates:
+        hit = region.contains(samples)
+        costs[hit] = np.minimum(costs[hit], cost)
+    uncovered = ~np.isfinite(costs)
+    if uncovered.any():
+        if fallback_cost is None:
+            raise ValueError(
+                f"{int(uncovered.sum())} samples not covered by any candidate"
+            )
+        costs[uncovered] = fallback_cost
+    return float(costs.mean())

@@ -1,0 +1,377 @@
+"""Gate scoring: decomposition counts and speed-limit-scaled durations.
+
+Implements the paper's scoring functions:
+
+* ``K[UB][UT]`` — basis applications to reach a target (Table I / IV);
+* ``E[K[Haar]]`` — Haar-expected template size via coverage sets;
+* ``D[UB][UT] = K tmin + (K+1) D[1Q]`` — duration costs (Eq. 7,
+  Tables II / III / V);
+* ``W(lambda) = lambda D[CNOT] + (1 - lambda) D[SWAP]`` — the
+  workload-weighted score (Eq. 6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..quantum.weyl import named_gate_coordinates
+from .coverage import CoverageSet, expected_cost, haar_coordinate_samples
+from .decomposition_rules import (
+    BASIS_DRIVE_ANGLES,
+    NAMED_GATE_COUNTS,
+    coverage_for_basis,
+)
+from .speed_limit import SpeedLimitFunction, decomposition_duration
+
+__all__ = [
+    "DEFAULT_LAMBDA",
+    "PARALLEL_NAMED_COUNTS",
+    "PAPER_BASES",
+    "GateCountScore",
+    "DurationScore",
+    "gate_count_score",
+    "duration_score",
+    "parallel_gate_count_score",
+    "parallel_duration_score",
+    "weighted_score",
+    "frequency_weighted_score",
+    "basis_kmax",
+]
+
+#: CNOT fraction fitted from the paper's transpiled benchmarks (Fig. 3b):
+#: lambda = 731 / (731 + 828).
+DEFAULT_LAMBDA = 731 / (731 + 828)
+
+#: The six comparison bases of the paper's tables.
+PAPER_BASES = ("iSWAP", "sqrt_iSWAP", "CNOT", "sqrt_CNOT", "B", "sqrt_B")
+
+#: Paper Table IV named counts under parallel drive.
+PARALLEL_NAMED_COUNTS: dict[str, dict[str, int]] = {
+    "iSWAP": {"CNOT": 1, "SWAP": 2},
+    "sqrt_iSWAP": {"CNOT": 2, "SWAP": 3},
+    "CNOT": {"CNOT": 1, "SWAP": 3},
+    "sqrt_CNOT": {"CNOT": 2, "SWAP": 6},
+    "B": {"CNOT": 1, "SWAP": 2},
+    "sqrt_B": {"CNOT": 2, "SWAP": 4},
+}
+
+#: Template sizes needed for full chamber coverage per basis.
+_KMAX: dict[str, int] = {
+    "iSWAP": 3,
+    "sqrt_iSWAP": 3,
+    "CNOT": 3,
+    "sqrt_CNOT": 6,
+    "B": 2,
+    "sqrt_B": 4,
+}
+
+
+def basis_kmax(basis_name: str) -> int:
+    """Largest template size needed for 100% coverage of a paper basis."""
+    return _KMAX[basis_name]
+
+
+def weighted_score(
+    cnot_cost: float, swap_cost: float, lam: float = DEFAULT_LAMBDA
+) -> float:
+    """W(lambda): CNOT/SWAP-weighted cost (paper Eq. 6)."""
+    if not 0.0 <= lam <= 1.0:
+        raise ValueError("lambda must be in [0, 1]")
+    return lam * cnot_cost + (1.0 - lam) * swap_cost
+
+
+@dataclass(frozen=True)
+class GateCountScore:
+    """One row of Table I / Table IV."""
+
+    basis: str
+    k_cnot: int
+    k_swap: int
+    expected_haar: float
+    k_weighted: float
+
+
+@dataclass(frozen=True)
+class DurationScore:
+    """One row of Table II / III / V."""
+
+    basis: str
+    d_basis: float
+    d_cnot: float
+    d_swap: float
+    expected_haar: float
+    d_weighted: float
+
+
+def _haar_expected(
+    coverage: CoverageSet, haar_samples: np.ndarray
+) -> float:
+    """Haar-expected K; tolerates a small uncovered tail.
+
+    Hull estimation slightly under-fills the chamber corners, so up to 2%
+    of samples may fall outside the kmax region; those are priced at
+    ``kmax + 1`` (conservative).  A larger uncovered fraction indicates a
+    genuinely insufficient ``kmax`` and raises.
+    """
+    expected, fractions = coverage.expected_haar_k(haar_samples)
+    if fractions[-1] > 0.02:
+        raise RuntimeError(
+            f"{coverage.basis_name}: {fractions[-1]:.1%} of Haar samples "
+            f"uncovered at kmax={coverage.kmax}; increase kmax"
+        )
+    return expected
+
+
+def gate_count_score(
+    basis_name: str,
+    haar_samples: np.ndarray | None = None,
+    lam: float = DEFAULT_LAMBDA,
+    samples_per_k: int = 3000,
+) -> GateCountScore:
+    """Table I row: decomposition gate counts for one basis."""
+    counts = NAMED_GATE_COUNTS[basis_name]
+    if haar_samples is None:
+        haar_samples = haar_coordinate_samples(4000, seed=99)
+    coverage = coverage_for_basis(
+        basis_name,
+        kmax=basis_kmax(basis_name),
+        parallel=False,
+        samples_per_k=samples_per_k,
+    )
+    return GateCountScore(
+        basis=basis_name,
+        k_cnot=counts["CNOT"],
+        k_swap=counts["SWAP"],
+        expected_haar=_haar_expected(coverage, haar_samples),
+        k_weighted=weighted_score(counts["CNOT"], counts["SWAP"], lam),
+    )
+
+
+def duration_score(
+    basis_name: str,
+    slf: SpeedLimitFunction,
+    one_q_duration: float = 0.0,
+    haar_samples: np.ndarray | None = None,
+    lam: float = DEFAULT_LAMBDA,
+    samples_per_k: int = 3000,
+) -> DurationScore:
+    """Table II / III row: speed-limit-scaled durations (Alg. 1 + Eq. 7)."""
+    counts = NAMED_GATE_COUNTS[basis_name]
+    if haar_samples is None:
+        haar_samples = haar_coordinate_samples(4000, seed=99)
+    tmin = slf.gate_duration(named_gate_coordinates(basis_name))
+    coverage = coverage_for_basis(
+        basis_name,
+        kmax=basis_kmax(basis_name),
+        parallel=False,
+        samples_per_k=samples_per_k,
+    )
+    ks = coverage.min_k(haar_samples)
+    if np.mean(ks > coverage.kmax) > 0.02:
+        raise RuntimeError(f"{basis_name}: insufficient kmax for Haar score")
+    ks = np.minimum(ks, coverage.kmax)
+    expected = float(
+        np.mean(
+            ks * tmin + (ks + 1) * one_q_duration
+        )
+    )
+    d_cnot = decomposition_duration(counts["CNOT"], tmin, one_q_duration)
+    d_swap = decomposition_duration(counts["SWAP"], tmin, one_q_duration)
+    return DurationScore(
+        basis=basis_name,
+        d_basis=tmin,
+        d_cnot=d_cnot,
+        d_swap=d_swap,
+        expected_haar=expected,
+        d_weighted=weighted_score(d_cnot, d_swap, lam),
+    )
+
+
+def parallel_gate_count_score(
+    basis_name: str,
+    haar_samples: np.ndarray | None = None,
+    lam: float = DEFAULT_LAMBDA,
+    samples_per_k: int = 3000,
+) -> GateCountScore:
+    """Table IV row: gate counts with parallel-drive extended coverage."""
+    counts = PARALLEL_NAMED_COUNTS[basis_name]
+    if haar_samples is None:
+        haar_samples = haar_coordinate_samples(4000, seed=99)
+    ks = _parallel_min_k(basis_name, haar_samples, samples_per_k)
+    kmax = basis_kmax(basis_name)
+    uncovered = float(np.mean(ks > kmax))
+    if uncovered > 0.02:
+        raise RuntimeError(
+            f"{basis_name}: {uncovered:.1%} of Haar samples uncovered"
+        )
+    return GateCountScore(
+        basis=basis_name,
+        k_cnot=counts["CNOT"],
+        k_swap=counts["SWAP"],
+        expected_haar=float(ks.mean()),
+        k_weighted=weighted_score(counts["CNOT"], counts["SWAP"], lam),
+    )
+
+
+def _parallel_min_k(
+    basis_name: str, haar_samples: np.ndarray, samples_per_k: int
+) -> np.ndarray:
+    """Per-sample minimal K under parallel drive.
+
+    Setting every drive amplitude to zero recovers the traditional
+    template, so the extended region provably contains the standard one;
+    taking the element-wise minimum over both hull estimates enforces
+    that containment against sampling noise.
+    """
+    kmax = basis_kmax(basis_name)
+    extended = coverage_for_basis(
+        basis_name, kmax=kmax, parallel=True, samples_per_k=samples_per_k
+    )
+    standard = coverage_for_basis(
+        basis_name, kmax=kmax, parallel=False, samples_per_k=samples_per_k
+    )
+    return np.minimum(
+        extended.min_k(haar_samples), standard.min_k(haar_samples)
+    )
+
+
+def _is_iswap_family_basis(basis_name: str) -> bool:
+    theta_c, theta_g = BASIS_DRIVE_ANGLES[basis_name]
+    return theta_g < 1e-9 or theta_c < 1e-9
+
+
+def parallel_duration_score(
+    basis_name: str,
+    one_q_duration: float = 0.25,
+    haar_samples: np.ndarray | None = None,
+    lam: float = DEFAULT_LAMBDA,
+    samples_per_k: int = 3000,
+) -> DurationScore:
+    """Table V row: durations with parallel drive and joint templates.
+
+    Uses the linear speed limit (the paper's Table V configuration):
+    every full-rotation basis pulse costs 1.0, square roots 0.5.
+
+    Named targets follow the paper's joint rules:
+
+    * CNOT costs one full-gate pulse time plus two 1Q layers for every
+      basis (fractional copies absorb interior layers; Fig. 10/12);
+    * SWAP costs 1.5 pulses for iSWAP-family bases (Fig. 11, quantized
+      to the basis pulse), and the Table IV count of full-gate pulses
+      otherwise.
+
+    The Haar expectation prices each sample at the cheapest covering
+    template among the fractional basis's own extended regions and the
+    full gate's (the paper's "joint spanning regions").
+    """
+    if haar_samples is None:
+        haar_samples = haar_coordinate_samples(4000, seed=99)
+    theta_c, theta_g = BASIS_DRIVE_ANGLES[basis_name]
+    fraction = (theta_c + theta_g) / (np.pi / 2)  # 1.0 or 0.5
+    quantum = fraction  # linear SLF: pulse time equals rotation fraction
+
+    def quantize(total: float) -> float:
+        steps = max(1, int(np.ceil(total / quantum - 1e-9)))
+        return steps * quantum
+
+    full_counts = PARALLEL_NAMED_COUNTS[_full_basis_name(basis_name)]
+    # CNOT: one full-gate pulse worth of 2Q time, interior absorbed.
+    d_cnot = quantize(1.0) + 2 * one_q_duration
+    if _is_iswap_family_basis(basis_name):
+        swap_pulse = quantize(1.5)
+        swap_layers = 3
+    else:
+        swap_pulse = quantize(float(full_counts["SWAP"]))
+        swap_layers = full_counts["SWAP"] + 1
+    d_swap = swap_pulse + swap_layers * one_q_duration
+
+    # Joint Haar expectation: fractional templates plus full-gate
+    # templates (two fractional copies each, interior absorbed).
+    candidates = []
+    frac_kmax = basis_kmax(basis_name)
+    for parallel in (True, False):
+        # The standard regions are provable subsets of the extended ones
+        # (zero drive amplitudes); including both makes the joint score
+        # robust to hull sampling noise.
+        frac_cov = coverage_for_basis(
+            basis_name,
+            kmax=frac_kmax,
+            parallel=parallel,
+            samples_per_k=samples_per_k,
+        )
+        for k in range(1, frac_cov.kmax + 1):
+            cost = k * quantum + (k + 1) * one_q_duration
+            candidates.append((frac_cov.coverage_for(k), cost))
+    full_name = _full_basis_name(basis_name)
+    if full_name != basis_name:
+        for parallel in (True, False):
+            full_cov = coverage_for_basis(
+                full_name,
+                kmax=basis_kmax(full_name),
+                parallel=parallel,
+                samples_per_k=samples_per_k,
+            )
+            for k in range(1, full_cov.kmax + 1):
+                cost = k * 1.0 + (k + 1) * one_q_duration
+                candidates.append((full_cov.coverage_for(k), cost))
+    frac_cov = coverage_for_basis(
+        basis_name, kmax=frac_kmax, parallel=True,
+        samples_per_k=samples_per_k,
+    )
+    expected = expected_cost(
+        candidates,
+        haar_samples,
+        fallback_cost=(frac_cov.kmax + 1) * quantum
+        + (frac_cov.kmax + 2) * one_q_duration,
+    )
+    return DurationScore(
+        basis=basis_name,
+        d_basis=quantum,
+        d_cnot=d_cnot,
+        d_swap=d_swap,
+        expected_haar=expected,
+        d_weighted=weighted_score(d_cnot, d_swap, lam),
+    )
+
+
+def _full_basis_name(basis_name: str) -> str:
+    """The full-rotation gate of a (possibly fractional) basis family."""
+    return basis_name.removeprefix("sqrt_")
+
+
+def frequency_weighted_score(
+    target_coordinates: np.ndarray,
+    frequencies: np.ndarray,
+    duration_of,
+) -> float:
+    """Full workload-weighted cost ``V(UB)`` (paper Eq. 5).
+
+    Unlike :func:`weighted_score` (the two-point W(lambda) simplification
+    of Eq. 6), this prices *every* observed target class by its
+    decomposition duration, weighted by its empirical frequency — e.g.
+    the Fig. 3b shot-chart histogram of a transpiled benchmark suite.
+
+    Args:
+        target_coordinates: ``(N, 3)`` Weyl coordinates of the observed
+            2Q target gates.
+        frequencies: length-N non-negative weights (need not sum to 1).
+        duration_of: callable mapping a coordinate triple to the basis's
+            decomposition duration (e.g. ``rules.duration``).
+    """
+    target_coordinates = np.atleast_2d(
+        np.asarray(target_coordinates, dtype=float)
+    )
+    frequencies = np.asarray(frequencies, dtype=float)
+    if len(frequencies) != len(target_coordinates):
+        raise ValueError("one frequency per target class required")
+    if np.any(frequencies < 0):
+        raise ValueError("frequencies must be non-negative")
+    total = frequencies.sum()
+    if total <= 0:
+        raise ValueError("at least one positive frequency required")
+    costs = np.array(
+        [duration_of(coords) for coords in target_coordinates]
+    )
+    return float(np.dot(frequencies, costs) / total)

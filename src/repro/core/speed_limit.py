@@ -1,0 +1,253 @@
+"""Speed-limit functions and duration scaling (paper Sec. II-C, Alg. 1).
+
+A Speed Limit Function (SLF) bounds the simultaneously applicable
+conversion/gain drive strengths ``(gc, gg)``.  A 2Q gate is specified by
+accumulated angles ``theta_c = gc * t`` and ``theta_g = gg * t``; scaling
+the strengths up to the SLF boundary along the ray ``gg = beta * gc``
+(``beta = theta_g / theta_c``) gives the minimum pulse duration
+
+``tmin = theta_c / gc_max``             (Algorithm 1)
+
+All SLFs here are normalized so the fastest iSWAP takes exactly one unit
+("a single pulse"): the largest axis intercept equals ``pi/2``.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+from scipy.interpolate import PchipInterpolator
+from scipy.optimize import brentq
+
+__all__ = [
+    "SpeedLimitFunction",
+    "LinearSpeedLimit",
+    "SquaredSpeedLimit",
+    "CharacterizedSpeedLimit",
+    "snail_speed_limit",
+    "decomposition_duration",
+]
+
+_HALF_PI = np.pi / 2
+
+
+class SpeedLimitFunction(ABC):
+    """Boundary of the feasible ``(gc, gg)`` drive-strength region."""
+
+    #: Human-readable name used in tables.
+    name: str = "abstract"
+
+    @property
+    @abstractmethod
+    def max_conversion(self) -> float:
+        """Conversion-only intercept (``gg = 0``)."""
+
+    @property
+    @abstractmethod
+    def max_gain(self) -> float:
+        """Gain-only intercept (``gc = 0``)."""
+
+    @abstractmethod
+    def boundary(self, gc: float) -> float:
+        """Largest feasible ``gg`` at conversion strength ``gc``."""
+
+    def feasible(self, gc: float, gg: float, atol: float = 1e-9) -> bool:
+        """True when the strength pair obeys the speed limit."""
+        if gc < -atol or gg < -atol:
+            return False
+        if gc > self.max_conversion + atol:
+            return False
+        return gg <= self.boundary(min(gc, self.max_conversion)) + atol
+
+    def max_strengths(self, beta: float) -> tuple[float, float]:
+        """Boundary intersection with the ray ``gg = beta * gc``.
+
+        ``beta = inf`` (or a very large value) selects the gain axis.
+        """
+        if beta < 0:
+            raise ValueError("drive-ratio beta must be non-negative")
+        if beta == 0:
+            return self.max_conversion, 0.0
+        if np.isinf(beta):
+            return 0.0, self.max_gain
+
+        def excess(gc: float) -> float:
+            return self.boundary(gc) - beta * gc
+
+        hi = self.max_conversion
+        if excess(hi) >= 0:  # ray exits through the x-intercept wall
+            return hi, self.boundary(hi)
+        gc_max = brentq(excess, 0.0, hi, xtol=1e-14)
+        return float(gc_max), float(beta * gc_max)
+
+    def min_duration(self, theta_c: float, theta_g: float) -> float:
+        """Minimum pulse time realizing the accumulated angles (Alg. 1)."""
+        theta_c = abs(float(theta_c))
+        theta_g = abs(float(theta_g))
+        if theta_c == 0 and theta_g == 0:
+            return 0.0
+        if theta_c == 0:
+            return theta_g / self.max_gain
+        beta = theta_g / theta_c
+        gc_max, _ = self.max_strengths(beta)
+        return theta_c / gc_max
+
+    def gate_duration(self, coords: np.ndarray) -> float:
+        """Minimum duration of a base-plane gate given Weyl coordinates.
+
+        Uses the conversion-heavy drive assignment
+        ``theta_c = (c1 + c2)/2``, ``theta_g = (c1 - c2)/2``; the
+        gain-heavy mirror assignment is checked too and the faster of the
+        two is returned (the two assignments swap the roles of the pumps).
+        """
+        c1, c2, c3 = np.asarray(coords, dtype=float)
+        if abs(c3) > 1e-7:
+            raise ValueError(
+                "conversion-gain drives only realize base-plane gates"
+            )
+        theta_c = (c1 + c2) / 2
+        theta_g = (c1 - c2) / 2
+        return min(
+            self.min_duration(theta_c, theta_g),
+            self.min_duration(theta_g, theta_c),
+        )
+
+
+class LinearSpeedLimit(SpeedLimitFunction):
+    """Amplitude-additive limit ``gc + gg <= L`` (voltage-like)."""
+
+    name = "linear"
+
+    def __init__(self, limit: float = _HALF_PI):
+        if limit <= 0:
+            raise ValueError("limit must be positive")
+        self.limit = float(limit)
+
+    @property
+    def max_conversion(self) -> float:
+        return self.limit
+
+    @property
+    def max_gain(self) -> float:
+        return self.limit
+
+    def boundary(self, gc: float) -> float:
+        return max(self.limit - gc, 0.0)
+
+
+class SquaredSpeedLimit(SpeedLimitFunction):
+    """Power-additive limit ``gc^2 + gg^2 <= L^2``."""
+
+    name = "squared"
+
+    def __init__(self, limit: float = _HALF_PI):
+        if limit <= 0:
+            raise ValueError("limit must be positive")
+        self.limit = float(limit)
+
+    @property
+    def max_conversion(self) -> float:
+        return self.limit
+
+    @property
+    def max_gain(self) -> float:
+        return self.limit
+
+    def boundary(self, gc: float) -> float:
+        if gc >= self.limit:
+            return 0.0
+        return float(np.sqrt(self.limit**2 - gc**2))
+
+
+class CharacterizedSpeedLimit(SpeedLimitFunction):
+    """SLF interpolated from measured (or simulated) boundary points.
+
+    Normalizes the data so the larger axis intercept equals ``pi/2``
+    (fastest iSWAP = 1 pulse), then interpolates with a shape-preserving
+    monotone cubic.
+    """
+
+    name = "snail"
+
+    def __init__(self, gc_points: np.ndarray, gg_points: np.ndarray):
+        gc_points = np.asarray(gc_points, dtype=float)
+        gg_points = np.asarray(gg_points, dtype=float)
+        if gc_points.ndim != 1 or gc_points.shape != gg_points.shape:
+            raise ValueError("boundary points must be matching 1-D arrays")
+        if gc_points.size < 3:
+            raise ValueError("need at least three boundary points")
+        if np.any(np.diff(gc_points) <= 0):
+            raise ValueError("gc points must be strictly increasing")
+        # Extend the data to the axes when the sweep stops short of them.
+        if gc_points[0] > 0:
+            slope = (gg_points[1] - gg_points[0]) / (
+                gc_points[1] - gc_points[0]
+            )
+            gc_points = np.concatenate(([0.0], gc_points))
+            gg_points = np.concatenate(
+                ([gg_points[0] - slope * gc_points[1]], gg_points)
+            )
+        if gg_points[-1] > 1e-12:
+            slope = (gg_points[-1] - gg_points[-2]) / (
+                gc_points[-1] - gc_points[-2]
+            )
+            if slope < 0:
+                gc_points = np.concatenate(
+                    (gc_points, [gc_points[-1] - gg_points[-1] / slope])
+                )
+                gg_points = np.concatenate((gg_points, [0.0]))
+        intercept = max(gc_points[-1], gg_points[0])
+        scale = _HALF_PI / intercept
+        self._gc = gc_points * scale
+        self._gg = np.maximum(gg_points * scale, 0.0)
+        self._interp = PchipInterpolator(
+            self._gc, self._gg, extrapolate=False
+        )
+
+    @property
+    def max_conversion(self) -> float:
+        return float(self._gc[-1])
+
+    @property
+    def max_gain(self) -> float:
+        return float(self._gg[0])
+
+    def boundary(self, gc: float) -> float:
+        if gc >= self.max_conversion:
+            return 0.0
+        if gc <= 0.0:
+            return self.max_gain
+        return float(max(self._interp(gc), 0.0))
+
+
+def snail_speed_limit(
+    shots: int = 800, seed: int | None = 7
+) -> CharacterizedSpeedLimit:
+    """Characterized SLF from a simulated SNAIL sweep (Fig. 3c pipeline).
+
+    Runs the synthetic characterization experiment end to end: sweep the
+    pumps, threshold the monitoring qubit's ground population, fit and
+    normalize the boundary.
+    """
+    from ..pulse.snail import SNAILModel, fit_boundary
+
+    model = SNAILModel()
+    sweep = model.characterization_sweep(shots=shots, seed=seed)
+    gc_points, gg_points = fit_boundary(sweep)
+    return CharacterizedSpeedLimit(gc_points, gg_points)
+
+
+def decomposition_duration(
+    gate_count: float, basis_duration: float, one_q_duration: float = 0.0
+) -> float:
+    """Total duration of a K-template (paper Eq. 7).
+
+    ``D = K * tmin + (K + 1) * D[1Q]`` — K basis pulses with 1Q layers
+    around and between them.
+    """
+    if gate_count < 0:
+        raise ValueError("gate count must be non-negative")
+    if basis_duration < 0 or one_q_duration < 0:
+        raise ValueError("durations must be non-negative")
+    return gate_count * basis_duration + (gate_count + 1) * one_q_duration

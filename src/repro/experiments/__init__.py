@@ -1,0 +1,87 @@
+"""Experiment drivers: one per paper table and figure.
+
+``run_experiment(id)`` dispatches by artifact id ("table1" ... "table7",
+"fig1", "fig3a" ... "fig12"); ``EXPERIMENTS`` lists everything available.
+Each driver returns an :class:`~repro.experiments.common.ExperimentResult`
+whose ``table`` is the regenerated rows/series next to the paper's
+published values.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from .common import ExperimentResult, format_table, results_dir
+from .fig1_trajectories import run_fig1
+from .fig3_hamiltonian import run_fig3a, run_fig3b, run_fig3c
+from .fig_coverage import run_fig4, run_fig7, run_fig9, run_fig12
+from .fig_search import run_fig5, run_fig6, run_fig8
+from .table7 import run_table7
+from .tables import (
+    run_table1,
+    run_table2,
+    run_table3,
+    run_table4,
+    run_table5,
+    run_table6,
+)
+
+__all__ = [
+    "EXPERIMENTS",
+    "ExperimentResult",
+    "format_table",
+    "results_dir",
+    "run_experiment",
+    "run_fig1",
+    "run_fig3a",
+    "run_fig3b",
+    "run_fig3c",
+    "run_fig4",
+    "run_fig5",
+    "run_fig6",
+    "run_fig7",
+    "run_fig8",
+    "run_fig9",
+    "run_fig12",
+    "run_table1",
+    "run_table2",
+    "run_table3",
+    "run_table4",
+    "run_table5",
+    "run_table6",
+    "run_table7",
+]
+
+#: Registry of every reproducible artifact.
+EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
+    "fig1": run_fig1,
+    "fig3a": run_fig3a,
+    "fig3b": run_fig3b,
+    "fig3c": run_fig3c,
+    "fig4": run_fig4,
+    "fig5": run_fig5,
+    "fig6": run_fig6,
+    "fig7": run_fig7,
+    "fig8": run_fig8,
+    "fig9": run_fig9,
+    "fig12": run_fig12,
+    "table1": run_table1,
+    "table2": run_table2,
+    "table3": run_table3,
+    "table4": run_table4,
+    "table5": run_table5,
+    "table6": run_table6,
+    "table7": run_table7,
+}
+
+
+def run_experiment(experiment_id: str, **kwargs) -> ExperimentResult:
+    """Run one registered experiment by artifact id."""
+    try:
+        driver = EXPERIMENTS[experiment_id]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; "
+            f"known: {sorted(EXPERIMENTS)}"
+        ) from None
+    return driver(**kwargs)

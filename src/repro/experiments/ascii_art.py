@@ -1,0 +1,89 @@
+"""ASCII rendering of Weyl-chamber data.
+
+matplotlib is unavailable offline, so the figure experiments render
+their point clouds as character rasters: a density map over a chosen
+2-D projection of the chamber.  Crude, but enough to *see* Fig. 3a's
+base-plane band, Fig. 7's lifted volume, and the coverage sets.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["render_projection", "render_base_plane", "CHAMBER_LANDMARKS"]
+
+#: Landmarks drawn on base-plane projections: (c1, c2) -> label char.
+CHAMBER_LANDMARKS: dict[str, tuple[float, float]] = {
+    "I": (0.0, 0.0),
+    "C": (np.pi / 2, 0.0),  # CNOT
+    "S": (np.pi / 2, np.pi / 2),  # iSWAP (SWAP projects here too)
+    "B": (np.pi / 2, np.pi / 4),
+}
+
+_SHADES = " .:-=+*#%@"
+
+
+def render_projection(
+    points: np.ndarray,
+    axes: tuple[int, int] = (0, 1),
+    width: int = 48,
+    height: int = 16,
+    x_range: tuple[float, float] = (0.0, np.pi),
+    y_range: tuple[float, float] = (0.0, np.pi / 2),
+    landmarks: dict[str, tuple[float, float]] | None = None,
+) -> str:
+    """Density raster of a coordinate cloud projected onto two axes.
+
+    Args:
+        points: ``(N, 3)`` Weyl coordinates.
+        axes: which coordinates to use as (x, y).
+        landmarks: optional label characters stamped at (x, y) positions.
+    """
+    points = np.atleast_2d(np.asarray(points, dtype=float))
+    if points.shape[1] != 3:
+        raise ValueError("expected (N, 3) coordinates")
+    if width < 8 or height < 4:
+        raise ValueError("raster too small to be readable")
+    xs = points[:, axes[0]]
+    ys = points[:, axes[1]]
+    x_lo, x_hi = x_range
+    y_lo, y_hi = y_range
+    cols = np.clip(
+        ((xs - x_lo) / (x_hi - x_lo) * (width - 1)).astype(int), 0, width - 1
+    )
+    rows = np.clip(
+        ((ys - y_lo) / (y_hi - y_lo) * (height - 1)).astype(int),
+        0,
+        height - 1,
+    )
+    histogram = np.zeros((height, width))
+    np.add.at(histogram, (rows, cols), 1.0)
+    peak = histogram.max()
+    raster = np.full((height, width), " ", dtype="<U1")
+    if peak > 0:
+        # Log shading keeps sparse regions visible next to dense bands.
+        levels = np.log1p(histogram) / np.log1p(peak)
+        indices = np.clip(
+            (levels * (len(_SHADES) - 1)).astype(int), 0, len(_SHADES) - 1
+        )
+        raster = np.array(list(_SHADES))[indices]
+    for label, (x, y) in (landmarks or {}).items():
+        col = int(round((x - x_lo) / (x_hi - x_lo) * (width - 1)))
+        row = int(round((y - y_lo) / (y_hi - y_lo) * (height - 1)))
+        if 0 <= row < height and 0 <= col < width:
+            raster[row, col] = label
+    lines = ["".join(raster[r]) for r in range(height - 1, -1, -1)]
+    return "\n".join("  " + line for line in lines)
+
+
+def render_base_plane(
+    points: np.ndarray, width: int = 48, height: int = 16
+) -> str:
+    """(c1, c2) projection with the standard gate landmarks."""
+    return render_projection(
+        points,
+        axes=(0, 1),
+        width=width,
+        height=height,
+        landmarks=CHAMBER_LANDMARKS,
+    )

@@ -1,0 +1,85 @@
+"""Shared experiment infrastructure: result records and text tables."""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+__all__ = ["ExperimentResult", "format_table", "results_dir"]
+
+
+def results_dir() -> Path:
+    """Directory where experiment artifacts are written.
+
+    Overridable via ``REPRO_RESULTS_DIR``; defaults to ``./results``.
+    """
+    override = os.environ.get("REPRO_RESULTS_DIR")
+    base = Path(override) if override else Path.cwd() / "results"
+    base.mkdir(parents=True, exist_ok=True)
+    return base
+
+
+def format_table(
+    headers: list[str], rows: list[list[object]], precision: int = 2
+) -> str:
+    """Render an aligned plain-text table."""
+
+    def render(value: object) -> str:
+        if isinstance(value, (float, np.floating)):
+            return f"{value:.{precision}f}"
+        return str(value)
+
+    text_rows = [[render(v) for v in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in text_rows)) if text_rows
+        else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = [
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in text_rows:
+        lines.append(
+            "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row))
+        )
+    return "\n".join(lines)
+
+
+def _jsonable(value):
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if isinstance(value, (np.floating, np.integer)):
+        return value.item()
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    return value
+
+
+@dataclass
+class ExperimentResult:
+    """Output of one experiment driver."""
+
+    experiment_id: str
+    title: str
+    table: str
+    data: dict = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        return f"== {self.experiment_id}: {self.title} ==\n{self.table}"
+
+    def save(self, directory: Path | None = None) -> Path:
+        """Write the table (and JSON data) under the results directory."""
+        directory = directory or results_dir()
+        directory.mkdir(parents=True, exist_ok=True)
+        text_path = directory / f"{self.experiment_id}.txt"
+        text_path.write_text(str(self) + "\n")
+        json_path = directory / f"{self.experiment_id}.json"
+        json_path.write_text(json.dumps(_jsonable(self.data), indent=2))
+        return text_path

@@ -1,0 +1,171 @@
+"""Fig. 3: Hamiltonian design space analysis.
+
+* 3a — the set of gates natively produced by conversion+gain driving
+  (a sweep over theta_c, theta_g mapped to Weyl coordinates, colored by
+  the normalized total angle);
+* 3b — the frequency of 2Q target-gate classes after transpiling the
+  benchmark suite onto the 4x4 lattice, and the fitted lambda;
+* 3c — the simulated SNAIL speed-limit characterization sweep.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import numpy as np
+
+from ..circuits.workloads import get_workload
+from ..core.conversion_gain import coordinates_for_drive
+from ..core.decomposition_rules import BaselineSqrtISwapRules
+from ..pulse.snail import SNAILModel, fit_boundary
+from ..quantum.weyl import named_gate_coordinates, weyl_coordinates
+from ..transpiler.consolidate import collect_2q_blocks, merge_1q_runs
+from ..transpiler.coupling import square_lattice
+from ..transpiler.layout import trivial_layout
+from ..transpiler.routing import route_circuit
+from .common import ExperimentResult, format_table
+
+__all__ = ["run_fig3a", "run_fig3b", "run_fig3c", "FIG3B_WORKLOADS"]
+
+#: Fig. 3b's benchmark suite (Quantum Volume explicitly excluded).
+FIG3B_WORKLOADS = (
+    "qft", "qaoa", "adder", "multiplier", "ghz", "hlf",
+    "vqe_linear", "vqe_full",
+)
+
+_TOL = 1e-6
+
+
+def run_fig3a(grid: int = 41) -> ExperimentResult:
+    """Sweep theta_c, theta_g and map to the Weyl chamber (Fig. 3a).
+
+    An odd grid size keeps the exact midpoint ratios (e.g. CNOT's
+    theta_c = theta_g = pi/4) on the grid.
+    """
+    thetas = np.linspace(0.0, np.pi / 2, grid)
+    points = []
+    for theta_c in thetas:
+        for theta_g in thetas:
+            coords = coordinates_for_drive(theta_c, theta_g)
+            points.append(
+                [
+                    theta_c,
+                    theta_g,
+                    *coords,
+                    (theta_c + theta_g) / (np.pi / 2),
+                ]
+            )
+    points = np.asarray(points)
+    off_plane = float(np.abs(points[:, 4]).max())
+    named_hits = {
+        name: bool(
+            np.min(
+                np.linalg.norm(
+                    points[:, 2:5] - named_gate_coordinates(name), axis=1
+                )
+            )
+            < 0.05
+        )
+        for name in ("CNOT", "iSWAP", "B", "sqrt_iSWAP")
+    }
+    rows = [
+        ["grid points", len(points)],
+        ["max |c3| (expect 0)", f"{off_plane:.2e}"],
+    ] + [[f"reaches {k}", v] for k, v in named_hits.items()]
+    from .ascii_art import render_base_plane
+
+    table = format_table(["property", "value"], rows)
+    table += (
+        "\n\nbase-plane density (x: c1, y: c2; I/C/B/S landmarks):\n"
+        + render_base_plane(points[:, 2:5])
+    )
+    return ExperimentResult(
+        "fig3a",
+        "Gates natively produced by conversion+gain driving",
+        table,
+        {"points": points.tolist(), "named_hits": named_hits},
+    )
+
+
+def _classify(coords: np.ndarray) -> str:
+    swap = named_gate_coordinates("SWAP")
+    iswap = named_gate_coordinates("iSWAP")
+    if np.allclose(coords, swap, atol=1e-4):
+        return "SWAP"
+    if np.allclose(coords, iswap, atol=1e-4):
+        return "iSWAP"
+    if abs(coords[0] - np.pi / 2) < 1e-4 and coords[1] < 1e-4:
+        return "CNOT"
+    if coords[1] < 1e-4 and coords[2] < 1e-4:
+        return "CNOT-family"
+    if np.all(np.abs(coords) < 1e-6):
+        return "identity"
+    return "other"
+
+
+def run_fig3b(
+    num_qubits: int = 16, seed: int = 7, workloads=FIG3B_WORKLOADS
+) -> ExperimentResult:
+    """Transpile the benchmark suite and histogram 2Q target classes."""
+    coupling = square_lattice(4, 4)
+    counts: Counter = Counter()
+    coordinates: list[list[float]] = []
+    for name in workloads:
+        circuit = get_workload(name, num_qubits)
+        routed = route_circuit(
+            circuit, coupling, trivial_layout(num_qubits, coupling), seed=seed
+        )
+        blocked = collect_2q_blocks(merge_1q_runs(routed.circuit))
+        for gate in blocked:
+            if gate.num_qubits != 2:
+                continue
+            coords = weyl_coordinates(gate.to_matrix())
+            counts[_classify(coords)] += 1
+            coordinates.append(list(coords))
+    cnot_like = counts["CNOT"]
+    swap_like = counts["SWAP"]
+    lam = cnot_like / max(cnot_like + swap_like, 1)
+    rows = [[cls, counts[cls]] for cls in sorted(counts)]
+    rows.append(["lambda = CNOT/(CNOT+SWAP)", f"{lam:.3f} (paper 0.47)"])
+    table = format_table(["target class", "count"], rows)
+    return ExperimentResult(
+        "fig3b",
+        "Frequency of transpiled 2Q target gates (4x4 lattice)",
+        table,
+        {
+            "counts": dict(counts),
+            "lambda": lam,
+            "coordinates": coordinates,
+        },
+    )
+
+
+def run_fig3c(seed: int = 7, shots: int = 800) -> ExperimentResult:
+    """Simulated SNAIL pump sweep and fitted speed-limit boundary."""
+    model = SNAILModel()
+    sweep = model.characterization_sweep(shots=shots, seed=seed)
+    gc_fit, gg_fit = fit_boundary(sweep)
+    fit_err = float(
+        np.max(np.abs(gg_fit - model.breakdown_boundary(gc_fit)))
+    )
+    rows = [
+        ["conversion-only intercept (MHz)", f"{model.conversion_max_mhz:.1f}"],
+        ["gain-only intercept (MHz)", f"{model.gain_max_mhz:.2f}"],
+        ["sweep grid", f"{len(sweep.gc_values)} x {len(sweep.gg_values)}"],
+        ["shots per point", sweep.shots],
+        ["boundary points fitted", len(gc_fit)],
+        ["max fit error (MHz)", f"{fit_err:.3f}"],
+    ]
+    table = format_table(["property", "value"], rows)
+    return ExperimentResult(
+        "fig3c",
+        "SNAIL speed-limit characterization (simulated sweep)",
+        table,
+        {
+            "gc_mhz": sweep.gc_values.tolist(),
+            "gg_mhz": sweep.gg_values.tolist(),
+            "ground_population": sweep.ground_population.tolist(),
+            "boundary_gc": gc_fit.tolist(),
+            "boundary_gg": gg_fit.tolist(),
+        },
+    )

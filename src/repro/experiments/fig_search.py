@@ -1,0 +1,139 @@
+"""Figs. 5, 6, 8: basis search and optimizer experiments.
+
+* Fig. 5 — the best basis per metric across SLFs and 1Q durations;
+* Fig. 6 — the Haar-duration curve over fractional iSWAP bases;
+* Fig. 8 — the Nelder–Mead convergence of a parallel-driven iSWAP
+  template to CNOT.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.basis_search import best_basis_search, fractional_iswap_curve
+from ..core.parallel_drive import ParallelDriveTemplate, synthesize
+from ..core.speed_limit import (
+    LinearSpeedLimit,
+    SquaredSpeedLimit,
+    snail_speed_limit,
+)
+from ..quantum.weyl import named_gate_coordinates
+from .common import ExperimentResult, format_table
+
+__all__ = ["run_fig5", "run_fig6", "run_fig8"]
+
+
+def run_fig5(
+    one_q_durations: tuple[float, ...] = (0.0, 0.1, 0.25),
+    samples_per_k: int = 1500,
+) -> ExperimentResult:
+    """Fig. 5: best basis per metric for each SLF and D[1Q]."""
+    slfs = {
+        "linear": LinearSpeedLimit(),
+        "squared": SquaredSpeedLimit(),
+        "snail": snail_speed_limit(),
+    }
+    rows = []
+    data = {}
+    for slf_name, slf in slfs.items():
+        for one_q in one_q_durations:
+            winners = best_basis_search(
+                slf, one_q, samples_per_k=samples_per_k
+            )
+            entry = {}
+            for metric, score in winners.items():
+                rows.append(
+                    [
+                        slf_name,
+                        one_q,
+                        metric,
+                        score.candidate.label,
+                        round(score.metric(metric), 3),
+                    ]
+                )
+                entry[metric] = {
+                    "winner": score.candidate.label,
+                    "cost": score.metric(metric),
+                }
+            data[f"{slf_name}_d1q{one_q:g}"] = entry
+    table = format_table(
+        ["SLF", "D[1Q]", "metric", "best basis", "cost"], rows, precision=3
+    )
+    return ExperimentResult(
+        "fig5", "Best basis per metric (SLF x 1Q duration)", table, data
+    )
+
+
+def run_fig6(samples_per_k: int = 1500) -> ExperimentResult:
+    """Fig. 6: expected Haar duration of fractional iSWAP bases."""
+    curves = fractional_iswap_curve(samples_per_k=samples_per_k)
+    fractions = [point[0] for point in next(iter(curves.values()))]
+    rows = []
+    data = {}
+    for d1q, points in curves.items():
+        best = min(points, key=lambda p: p[1])
+        rows.append(
+            [f"D[1Q]={d1q:g}"]
+            + [f"{value:.3f}" for _, value in points]
+            + [f"best: iSWAP^{best[0]:g}"]
+        )
+        data[f"d1q_{d1q:g}"] = {
+            "points": points,
+            "best_fraction": best[0],
+        }
+    table = format_table(
+        ["config"]
+        + [f"f={fraction:g}" for fraction in fractions]
+        + ["optimum"],
+        rows,
+    )
+    return ExperimentResult(
+        "fig6",
+        "Expected duration of Haar gates vs fractional iSWAP basis",
+        table,
+        data,
+    )
+
+
+def run_fig8(seed: int = 1, restarts: int = 4) -> ExperimentResult:
+    """Fig. 8: optimizer convergence of parallel iSWAP (K=1) to CNOT."""
+    template = ParallelDriveTemplate(
+        gc=np.pi / 2, gg=0.0, pulse_duration=1.0, repetitions=1,
+        parallel=True,
+    )
+    result = synthesize(
+        template,
+        named_gate_coordinates("CNOT"),
+        seed=seed,
+        restarts=restarts,
+        max_iterations=2500,
+        record_history=True,
+    )
+    history = np.array(result.loss_history)
+    best_curve = np.minimum.accumulate(history)
+    milestones = {}
+    for threshold in (1e-2, 1e-4, 1e-8):
+        hits = np.nonzero(best_curve < threshold)[0]
+        milestones[threshold] = int(hits[0]) if hits.size else None
+    rows = [
+        ["final loss", f"{result.loss:.2e}"],
+        ["converged", result.converged],
+        ["total evaluations", len(history)],
+        ["final coordinates", np.round(result.coordinates, 6).tolist()],
+    ] + [
+        [f"evals to loss < {threshold:g}", count]
+        for threshold, count in milestones.items()
+    ]
+    table = format_table(["property", "value"], rows)
+    return ExperimentResult(
+        "fig8",
+        "Optimizer convergence: parallel iSWAP (K=1) to CNOT",
+        table,
+        {
+            "loss_history": best_curve.tolist(),
+            "coordinate_history": [
+                c.tolist() for c in result.coordinate_history
+            ],
+            "final_loss": result.loss,
+        },
+    )

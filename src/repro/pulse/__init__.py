@@ -1,0 +1,52 @@
+"""Pulse-level substrate: Hamiltonians, time evolution, SNAIL model."""
+
+from .decoherence import (
+    amplitude_damping_kraus,
+    evolve_with_damping,
+    simulate_circuit_fidelity,
+    state_fidelity,
+)
+from .evolution import (
+    batched_piecewise_propagators,
+    batched_step_propagators,
+    propagate_piecewise,
+    step_propagator,
+)
+from .hamiltonian import (
+    ConversionGainParameters,
+    conversion_gain_hamiltonian,
+    parallel_drive_hamiltonian,
+)
+from .operators import (
+    conversion_operator,
+    drive_operator,
+    gain_operator,
+    pauli_string,
+    qubit_lowering,
+)
+from .schedule import ParallelDriveSchedule, trajectory_coordinates
+from .snail import CharacterizationSweep, SNAILModel, fit_boundary
+
+__all__ = [
+    "CharacterizationSweep",
+    "ConversionGainParameters",
+    "ParallelDriveSchedule",
+    "SNAILModel",
+    "amplitude_damping_kraus",
+    "evolve_with_damping",
+    "simulate_circuit_fidelity",
+    "state_fidelity",
+    "batched_piecewise_propagators",
+    "batched_step_propagators",
+    "conversion_gain_hamiltonian",
+    "conversion_operator",
+    "drive_operator",
+    "fit_boundary",
+    "gain_operator",
+    "parallel_drive_hamiltonian",
+    "pauli_string",
+    "propagate_piecewise",
+    "qubit_lowering",
+    "step_propagator",
+    "trajectory_coordinates",
+]

@@ -1,0 +1,98 @@
+"""Conversion–gain Hamiltonians (paper Eq. 1 and Eq. 9).
+
+``H = gc (e^{i phi_c} a† b + h.c.) + gg (e^{i phi_g} a b + h.c.)
+    + eps1(t) (a + a†) + eps2(t) (b + b†)``
+
+The first two terms are the modulator-driven two-body interactions
+(conversion and gain); the last two are the parallel 1Q drives applied
+directly to the qubits during the 2Q pulse.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .operators import conversion_operator, drive_operator, gain_operator
+
+__all__ = [
+    "conversion_gain_hamiltonian",
+    "parallel_drive_hamiltonian",
+    "ConversionGainParameters",
+]
+
+
+def conversion_gain_hamiltonian(
+    gc: float, gg: float, phi_c: float = 0.0, phi_g: float = 0.0
+) -> np.ndarray:
+    """Bare conversion–gain Hamiltonian (Eq. 1) as a 4x4 Hermitian matrix."""
+    return gc * conversion_operator(phi_c) + gg * gain_operator(phi_g)
+
+
+def parallel_drive_hamiltonian(
+    gc: float,
+    gg: float,
+    phi_c: float = 0.0,
+    phi_g: float = 0.0,
+    eps1: float = 0.0,
+    eps2: float = 0.0,
+) -> np.ndarray:
+    """Parallel-driven Hamiltonian (Eq. 9) for one constant time step."""
+    hamiltonian = conversion_gain_hamiltonian(gc, gg, phi_c, phi_g)
+    if eps1:
+        hamiltonian = hamiltonian + eps1 * drive_operator(0)
+    if eps2:
+        hamiltonian = hamiltonian + eps2 * drive_operator(1)
+    return hamiltonian
+
+
+@dataclass(frozen=True)
+class ConversionGainParameters:
+    """Drive configuration of one 2Q basis-gate application.
+
+    ``eps1``/``eps2`` hold one amplitude per discrete time step
+    (``D[2Q]/D[1Q]`` steps in the paper); empty tuples mean no parallel
+    drive.  ``duration`` is in normalized pulse units (fastest iSWAP = 1).
+    """
+
+    gc: float
+    gg: float
+    duration: float
+    phi_c: float = 0.0
+    phi_g: float = 0.0
+    eps1: tuple[float, ...] = field(default=())
+    eps2: tuple[float, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        if self.duration <= 0:
+            raise ValueError("duration must be positive")
+        if self.eps1 and self.eps2 and len(self.eps1) != len(self.eps2):
+            raise ValueError("eps1 and eps2 must have equal step counts")
+
+    @property
+    def num_steps(self) -> int:
+        """Number of piecewise-constant steps (1 when undriven)."""
+        return max(len(self.eps1), len(self.eps2), 1)
+
+    @property
+    def theta_c(self) -> float:
+        """Accumulated conversion angle ``gc * t``."""
+        return self.gc * self.duration
+
+    @property
+    def theta_g(self) -> float:
+        """Accumulated gain angle ``gg * t``."""
+        return self.gg * self.duration
+
+    def step_hamiltonians(self) -> list[np.ndarray]:
+        """One Hamiltonian per piecewise-constant step."""
+        steps = self.num_steps
+        eps1 = self.eps1 or (0.0,) * steps
+        eps2 = self.eps2 or (0.0,) * steps
+        return [
+            parallel_drive_hamiltonian(
+                self.gc, self.gg, self.phi_c, self.phi_g, e1, e2
+            )
+            for e1, e2 in zip(eps1, eps2)
+        ]

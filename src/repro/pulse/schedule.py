@@ -1,0 +1,86 @@
+"""Drive schedules: piecewise-constant pulse envelopes.
+
+A :class:`ParallelDriveSchedule` bundles the modulator pumps (conversion
+and gain) with per-step 1Q drive amplitudes and evaluates the resulting
+unitary or its intermediate trajectory through the Weyl chamber.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..quantum.weyl import weyl_coordinates
+from .evolution import propagate_piecewise
+from .hamiltonian import ConversionGainParameters
+
+__all__ = ["ParallelDriveSchedule", "trajectory_coordinates"]
+
+
+@dataclass(frozen=True)
+class ParallelDriveSchedule:
+    """A single parallel-driven 2Q pulse (one basis-gate application)."""
+
+    parameters: ConversionGainParameters
+
+    @classmethod
+    def from_drives(
+        cls,
+        gc: float,
+        gg: float,
+        duration: float,
+        phi_c: float = 0.0,
+        phi_g: float = 0.0,
+        eps1: tuple[float, ...] = (),
+        eps2: tuple[float, ...] = (),
+    ) -> "ParallelDriveSchedule":
+        """Convenience constructor mirroring Eq. 9's free parameters."""
+        return cls(
+            ConversionGainParameters(
+                gc=gc,
+                gg=gg,
+                duration=duration,
+                phi_c=phi_c,
+                phi_g=phi_g,
+                eps1=tuple(eps1),
+                eps2=tuple(eps2),
+            )
+        )
+
+    @property
+    def step_duration(self) -> float:
+        """Duration of one piecewise-constant step."""
+        return self.parameters.duration / self.parameters.num_steps
+
+    def unitary(self) -> np.ndarray:
+        """Total 4x4 propagator of the pulse."""
+        hams = self.parameters.step_hamiltonians()
+        return propagate_piecewise(
+            hams, [self.step_duration] * len(hams)
+        )
+
+    def partial_unitaries(self, substeps_per_step: int = 8) -> list[np.ndarray]:
+        """Accumulated propagators sampled along the pulse (for trajectories).
+
+        Returns ``n_steps * substeps_per_step + 1`` matrices starting at the
+        identity and ending at :meth:`unitary`.
+        """
+        if substeps_per_step < 1:
+            raise ValueError("substeps_per_step must be >= 1")
+        hams = self.parameters.step_hamiltonians()
+        dt = self.step_duration / substeps_per_step
+        out = [np.eye(4, dtype=complex)]
+        for ham in hams:
+            for _ in range(substeps_per_step):
+                out.append(
+                    propagate_piecewise([ham], [dt]) @ out[-1]
+                )
+        return out
+
+
+def trajectory_coordinates(
+    unitaries: list[np.ndarray],
+) -> np.ndarray:
+    """Weyl-chamber coordinates along a list of accumulated unitaries."""
+    return np.array([weyl_coordinates(u) for u in unitaries])

@@ -1,0 +1,84 @@
+"""Two-qubit linear-algebra substrate.
+
+Gate constants, Haar sampling, Weyl-chamber coordinates, Makhlin
+invariants, and the Cartan (KAK) decomposition — the mathematical toolkit
+the paper's co-design analysis is built on.
+"""
+
+from .gates import (
+    B_GATE,
+    CNOT,
+    CZ,
+    ISWAP,
+    MAGIC_BASIS,
+    SQRT_B,
+    SQRT_CNOT,
+    SQRT_ISWAP,
+    SWAP,
+    b_gate_power,
+    canonical_gate,
+    cnot_power,
+    cphase,
+    iswap_power,
+)
+from .euler import u3_angles, xyx_angles, zyz_angles, zyz_matrix
+from .kak import KAKDecomposition, kak_decompose
+from .linalg import (
+    allclose_up_to_global_phase,
+    average_gate_fidelity,
+    is_unitary,
+    unitary_infidelity,
+)
+from .makhlin import (
+    locally_equivalent,
+    makhlin_distance,
+    makhlin_from_coordinates,
+    makhlin_invariants,
+)
+from .random import haar_unitary, random_local_pair, random_su2
+from .weyl import (
+    WEYL_POINTS,
+    canonicalize_coordinates,
+    in_weyl_chamber,
+    named_gate_coordinates,
+    weyl_coordinates,
+)
+
+__all__ = [
+    "B_GATE",
+    "CNOT",
+    "CZ",
+    "ISWAP",
+    "MAGIC_BASIS",
+    "SQRT_B",
+    "SQRT_CNOT",
+    "SQRT_ISWAP",
+    "SWAP",
+    "KAKDecomposition",
+    "WEYL_POINTS",
+    "allclose_up_to_global_phase",
+    "average_gate_fidelity",
+    "b_gate_power",
+    "canonical_gate",
+    "canonicalize_coordinates",
+    "cnot_power",
+    "cphase",
+    "haar_unitary",
+    "in_weyl_chamber",
+    "is_unitary",
+    "iswap_power",
+    "kak_decompose",
+    "locally_equivalent",
+    "makhlin_distance",
+    "makhlin_from_coordinates",
+    "makhlin_invariants",
+    "named_gate_coordinates",
+    "random_local_pair",
+    "random_su2",
+    "u3_angles",
+    "unitary_infidelity",
+    "weyl_coordinates",
+    "xyx_angles",
+    "zyz_angles",
+    "zyz_matrix",
+]

@@ -1,0 +1,78 @@
+"""Single-qubit Euler-angle decompositions.
+
+Turns arbitrary 2x2 unitaries into rotation-gate sequences (ZYZ by
+default), which lets the synthesis layer emit *concrete* 1Q gates for
+decomposition templates rather than placeholder durations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .gates import rx, ry, rz, u3
+from .linalg import allclose_up_to_global_phase, assert_unitary
+
+__all__ = [
+    "zyz_angles",
+    "xyx_angles",
+    "u3_angles",
+    "zyz_matrix",
+]
+
+
+def zyz_angles(unitary: np.ndarray) -> tuple[float, float, float, float]:
+    """Decompose U = e^{i alpha} Rz(phi) Ry(theta) Rz(lam).
+
+    Returns ``(alpha, phi, theta, lam)``.
+    """
+    unitary = assert_unitary(np.asarray(unitary, dtype=complex), "unitary")
+    if unitary.shape != (2, 2):
+        raise ValueError("expected a single-qubit unitary")
+    det = np.linalg.det(unitary)
+    alpha = 0.5 * np.angle(det)
+    special = unitary * np.exp(-1j * alpha)
+    # special = [[cos(t/2) e^{-i(phi+lam)/2}, -sin(t/2) e^{-i(phi-lam)/2}],
+    #            [sin(t/2) e^{+i(phi-lam)/2},  cos(t/2) e^{+i(phi+lam)/2}]]
+    cos_half = np.clip(abs(special[0, 0]), 0.0, 1.0)
+    theta = 2.0 * np.arccos(cos_half)
+    if abs(special[0, 0]) > 1e-12 and abs(special[1, 0]) > 1e-12:
+        plus = 2.0 * np.angle(special[1, 1])
+        minus = 2.0 * np.angle(special[1, 0])
+        phi = (plus + minus) / 2.0
+        lam = (plus - minus) / 2.0
+    elif abs(special[0, 0]) > 1e-12:  # theta ~ 0: only phi+lam defined
+        phi = 2.0 * np.angle(special[1, 1])
+        lam = 0.0
+    else:  # theta ~ pi: only phi-lam defined
+        phi = 2.0 * np.angle(special[1, 0])
+        lam = 0.0
+    return float(alpha), float(phi), float(theta), float(lam)
+
+
+def zyz_matrix(alpha: float, phi: float, theta: float, lam: float) -> np.ndarray:
+    """Reassemble a unitary from its ZYZ angles."""
+    return np.exp(1j * alpha) * rz(phi) @ ry(theta) @ rz(lam)
+
+
+def xyx_angles(unitary: np.ndarray) -> tuple[float, float, float, float]:
+    """Decompose U = e^{i alpha} Rx(phi) Ry(theta) Rx(lam).
+
+    Obtained from the ZYZ form by conjugating with the Hadamard-like
+    basis change that swaps the X and Z axes.
+    """
+    from .gates import H
+
+    alpha, phi, theta, lam = zyz_angles(H @ np.asarray(unitary, complex) @ H)
+    # H Rz(a) H = Rx(a); H Ry(t) H = Ry(-t).
+    return alpha, phi, -theta, lam
+
+
+def u3_angles(unitary: np.ndarray) -> tuple[float, float, float]:
+    """Angles ``(theta, phi, lam)`` with ``u3(...) ~ unitary`` (mod phase)."""
+    _, phi, theta, lam = zyz_angles(unitary)
+    candidate = u3(theta, phi, lam)
+    if not allclose_up_to_global_phase(
+        candidate, np.asarray(unitary, complex), atol=1e-7
+    ):  # pragma: no cover - zyz_angles already guarantees this
+        raise RuntimeError("u3 angle extraction failed")
+    return theta, phi, lam

@@ -1,0 +1,233 @@
+"""Standard gate library.
+
+Constants are module-level 2x2 / 4x4 ``numpy`` arrays; parameterized gates
+are constructor functions.  All two-qubit matrices follow the little-endian
+ordering ``|q1 q0>`` is *not* used — we use the conventional textbook
+big-endian basis ``|q0 q1> = {|00>, |01>, |10>, |11>}`` where qubit 0 is the
+left (control) factor of the Kronecker product.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.linalg import expm
+
+__all__ = [
+    "I2",
+    "X",
+    "Y",
+    "Z",
+    "H",
+    "S",
+    "SDG",
+    "T",
+    "TDG",
+    "SX",
+    "rx",
+    "ry",
+    "rz",
+    "phase_gate",
+    "u3",
+    "random_axes_rotation",
+    "II",
+    "XX",
+    "YY",
+    "ZZ",
+    "CNOT",
+    "CX",
+    "CZ",
+    "SWAP",
+    "ISWAP",
+    "SQRT_ISWAP",
+    "SQRT_CNOT",
+    "B_GATE",
+    "SQRT_B",
+    "DCNOT",
+    "MAGIC_BASIS",
+    "canonical_gate",
+    "cphase",
+    "rxx",
+    "ryy",
+    "rzz",
+    "iswap_power",
+    "cnot_power",
+    "b_gate_power",
+    "controlled",
+]
+
+I2 = np.eye(2, dtype=complex)
+X = np.array([[0, 1], [1, 0]], dtype=complex)
+Y = np.array([[0, -1j], [1j, 0]], dtype=complex)
+Z = np.array([[1, 0], [0, -1]], dtype=complex)
+H = np.array([[1, 1], [1, -1]], dtype=complex) / np.sqrt(2)
+S = np.array([[1, 0], [0, 1j]], dtype=complex)
+SDG = S.conj().T
+T = np.array([[1, 0], [0, np.exp(1j * np.pi / 4)]], dtype=complex)
+TDG = T.conj().T
+SX = np.array([[1 + 1j, 1 - 1j], [1 - 1j, 1 + 1j]], dtype=complex) / 2
+
+II = np.eye(4, dtype=complex)
+XX = np.kron(X, X)
+YY = np.kron(Y, Y)
+ZZ = np.kron(Z, Z)
+
+CNOT = np.array(
+    [[1, 0, 0, 0], [0, 1, 0, 0], [0, 0, 0, 1], [0, 0, 1, 0]], dtype=complex
+)
+CX = CNOT
+CZ = np.diag([1, 1, 1, -1]).astype(complex)
+SWAP = np.array(
+    [[1, 0, 0, 0], [0, 0, 1, 0], [0, 1, 0, 0], [0, 0, 0, 1]], dtype=complex
+)
+ISWAP = np.array(
+    [[1, 0, 0, 0], [0, 0, 1j, 0], [0, 1j, 0, 0], [0, 0, 0, 1]], dtype=complex
+)
+# DCNOT (double CNOT): CNOT(0,1) followed by CNOT(1,0); locally
+# equivalent to iSWAP.
+DCNOT = np.array(
+    [[1, 0, 0, 0], [0, 0, 1, 0], [0, 0, 0, 1], [0, 1, 0, 0]], dtype=complex
+)
+
+#: Magic (Bell-like) basis: columns map computational states to maximally
+#: entangled states; conjugation by it carries SU(2)xSU(2) onto SO(4).
+MAGIC_BASIS = (
+    np.array(
+        [[1, 0, 0, 1j], [0, 1j, 1, 0], [0, 1j, -1, 0], [1, 0, 0, -1j]],
+        dtype=complex,
+    )
+    / np.sqrt(2)
+)
+
+
+def rx(theta: float) -> np.ndarray:
+    """Rotation about the X axis by ``theta`` radians."""
+    c, s = np.cos(theta / 2), np.sin(theta / 2)
+    return np.array([[c, -1j * s], [-1j * s, c]], dtype=complex)
+
+
+def ry(theta: float) -> np.ndarray:
+    """Rotation about the Y axis by ``theta`` radians."""
+    c, s = np.cos(theta / 2), np.sin(theta / 2)
+    return np.array([[c, -s], [s, c]], dtype=complex)
+
+
+def rz(theta: float) -> np.ndarray:
+    """Rotation about the Z axis by ``theta`` radians."""
+    phase = np.exp(-1j * theta / 2)
+    return np.array([[phase, 0], [0, phase.conjugate()]], dtype=complex)
+
+
+def phase_gate(lam: float) -> np.ndarray:
+    """Diagonal phase gate ``diag(1, e^{i lam})``."""
+    return np.array([[1, 0], [0, np.exp(1j * lam)]], dtype=complex)
+
+
+def u3(theta: float, phi: float, lam: float) -> np.ndarray:
+    """General single-qubit unitary in the standard U3 parameterization."""
+    c, s = np.cos(theta / 2), np.sin(theta / 2)
+    return np.array(
+        [
+            [c, -np.exp(1j * lam) * s],
+            [np.exp(1j * phi) * s, np.exp(1j * (phi + lam)) * c],
+        ],
+        dtype=complex,
+    )
+
+
+def random_axes_rotation(axis: np.ndarray, theta: float) -> np.ndarray:
+    """Rotation by ``theta`` about an arbitrary Bloch axis (unit 3-vector)."""
+    axis = np.asarray(axis, dtype=float)
+    norm = np.linalg.norm(axis)
+    if norm < 1e-12:
+        raise ValueError("rotation axis must be non-zero")
+    nx, ny, nz = axis / norm
+    generator = nx * X + ny * Y + nz * Z
+    return expm(-0.5j * theta * generator)
+
+
+def canonical_gate(c1: float, c2: float, c3: float) -> np.ndarray:
+    """Canonical two-qubit gate ``exp(-i/2 (c1 XX + c2 YY + c3 ZZ))``.
+
+    The coordinates ``(c1, c2, c3)`` are the Weyl-chamber coordinates used
+    throughout the paper: CNOT=(pi/2,0,0), iSWAP=(pi/2,pi/2,0),
+    SWAP=(pi/2,pi/2,pi/2), B=(pi/2,pi/4,0).
+    """
+    # XX, YY, ZZ commute, so the exponential factors exactly.
+    return _pauli_exp(XX, c1) @ _pauli_exp(YY, c2) @ _pauli_exp(ZZ, c3)
+
+
+def _pauli_exp(pauli: np.ndarray, angle: float) -> np.ndarray:
+    """exp(-i angle/2 * pauli) for an involutory Pauli product."""
+    return np.cos(angle / 2) * II - 1j * np.sin(angle / 2) * pauli
+
+
+def rxx(theta: float) -> np.ndarray:
+    """Two-qubit XX rotation ``exp(-i theta/2 XX)``."""
+    return _pauli_exp(XX, theta)
+
+
+def ryy(theta: float) -> np.ndarray:
+    """Two-qubit YY rotation ``exp(-i theta/2 YY)``."""
+    return _pauli_exp(YY, theta)
+
+
+def rzz(theta: float) -> np.ndarray:
+    """Two-qubit ZZ rotation ``exp(-i theta/2 ZZ)``."""
+    return _pauli_exp(ZZ, theta)
+
+
+def cphase(theta: float) -> np.ndarray:
+    """Controlled-phase gate ``diag(1, 1, 1, e^{i theta})``."""
+    return np.diag([1, 1, 1, np.exp(1j * theta)]).astype(complex)
+
+
+def iswap_power(exponent: float) -> np.ndarray:
+    """``iSWAP**exponent`` via the canonical gate family.
+
+    ``iswap_power(1)`` is locally equivalent to iSWAP and
+    ``iswap_power(0.5)`` to sqrt(iSWAP); the exact matrix is the principal
+    power of the iSWAP matrix.
+    """
+    angle = exponent * np.pi / 2
+    return np.array(
+        [
+            [1, 0, 0, 0],
+            [0, np.cos(angle), 1j * np.sin(angle), 0],
+            [0, 1j * np.sin(angle), np.cos(angle), 0],
+            [0, 0, 0, 1],
+        ],
+        dtype=complex,
+    )
+
+
+def cnot_power(exponent: float) -> np.ndarray:
+    """Principal matrix power ``CNOT**exponent``."""
+    lam = np.exp(1j * np.pi * exponent)
+    block = np.array(
+        [[1 + lam, 1 - lam], [1 - lam, 1 + lam]], dtype=complex
+    ) / 2
+    out = np.eye(4, dtype=complex)
+    out[2:, 2:] = block
+    return out
+
+
+def b_gate_power(exponent: float) -> np.ndarray:
+    """Principal power of the Berkeley B gate, ``CAN(pi/2, pi/4, 0)``."""
+    return canonical_gate(exponent * np.pi / 2, exponent * np.pi / 4, 0.0)
+
+
+#: Common named gates from the paper's comparison set.
+SQRT_ISWAP = iswap_power(0.5)
+SQRT_CNOT = cnot_power(0.5)
+B_GATE = canonical_gate(np.pi / 2, np.pi / 4, 0.0)
+SQRT_B = b_gate_power(0.5)
+
+
+def controlled(unitary: np.ndarray) -> np.ndarray:
+    """Controlled version of a single-qubit unitary (control = qubit 0)."""
+    unitary = np.asarray(unitary, dtype=complex)
+    if unitary.shape != (2, 2):
+        raise ValueError("controlled() expects a 2x2 unitary")
+    out = np.eye(4, dtype=complex)
+    out[2:, 2:] = unitary
+    return out

@@ -1,0 +1,167 @@
+"""Linear-algebra utilities for small quantum unitaries.
+
+All matrices are dense ``numpy.ndarray`` with ``complex128`` dtype.  The
+helpers here are deliberately defensive: quantum decomposition code is
+notoriously sensitive to silent shape or unitarity errors, so the public
+entry points validate their inputs and raise :class:`ValueError` early.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "dagger",
+    "is_unitary",
+    "is_hermitian",
+    "is_special_unitary",
+    "assert_unitary",
+    "to_special_unitary",
+    "global_phase_difference",
+    "allclose_up_to_global_phase",
+    "unitary_infidelity",
+    "average_gate_fidelity",
+    "kron_factor_4x4",
+    "closest_unitary",
+    "commutes",
+]
+
+_ATOL = 1e-9
+
+
+def dagger(matrix: np.ndarray) -> np.ndarray:
+    """Return the conjugate transpose of ``matrix``."""
+    return np.asarray(matrix).conj().T
+
+
+def is_unitary(matrix: np.ndarray, atol: float = _ATOL) -> bool:
+    """Return True when ``matrix`` is square and unitary within ``atol``."""
+    matrix = np.asarray(matrix)
+    if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+        return False
+    identity = np.eye(matrix.shape[0])
+    return bool(np.allclose(matrix @ dagger(matrix), identity, atol=atol))
+
+
+def is_hermitian(matrix: np.ndarray, atol: float = _ATOL) -> bool:
+    """Return True when ``matrix`` equals its conjugate transpose."""
+    matrix = np.asarray(matrix)
+    if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+        return False
+    return bool(np.allclose(matrix, dagger(matrix), atol=atol))
+
+
+def is_special_unitary(matrix: np.ndarray, atol: float = 1e-8) -> bool:
+    """Return True when ``matrix`` is unitary with determinant one."""
+    if not is_unitary(matrix, atol=atol):
+        return False
+    return bool(abs(np.linalg.det(matrix) - 1.0) <= atol)
+
+
+def assert_unitary(matrix: np.ndarray, name: str = "matrix") -> np.ndarray:
+    """Validate unitarity and return the array; raise ValueError otherwise."""
+    matrix = np.asarray(matrix, dtype=complex)
+    if not is_unitary(matrix):
+        raise ValueError(f"{name} is not unitary (shape {matrix.shape})")
+    return matrix
+
+
+def to_special_unitary(matrix: np.ndarray) -> tuple[np.ndarray, complex]:
+    """Rescale a unitary into SU(n).
+
+    Returns ``(special, phase)`` such that ``matrix = phase * special`` and
+    ``det(special) == 1``.  The phase branch is chosen deterministically via
+    the principal n-th root of the determinant.
+    """
+    matrix = assert_unitary(matrix)
+    dim = matrix.shape[0]
+    det = np.linalg.det(matrix)
+    phase = det ** (1.0 / dim)
+    return matrix / phase, phase
+
+
+def global_phase_difference(a: np.ndarray, b: np.ndarray) -> complex:
+    """Return the phase ``p`` minimizing ``||a - p*b||`` (Frobenius)."""
+    a = np.asarray(a, dtype=complex)
+    b = np.asarray(b, dtype=complex)
+    overlap = np.trace(dagger(b) @ a)
+    if abs(overlap) < 1e-14:
+        return 1.0 + 0.0j
+    return overlap / abs(overlap)
+
+
+def allclose_up_to_global_phase(
+    a: np.ndarray, b: np.ndarray, atol: float = 1e-7
+) -> bool:
+    """Return True when ``a`` and ``b`` agree up to a single global phase."""
+    a = np.asarray(a, dtype=complex)
+    b = np.asarray(b, dtype=complex)
+    if a.shape != b.shape:
+        return False
+    phase = global_phase_difference(a, b)
+    return bool(np.allclose(a, phase * b, atol=atol))
+
+
+def unitary_infidelity(a: np.ndarray, b: np.ndarray) -> float:
+    """Phase-insensitive infidelity ``1 - |tr(a† b)| / dim`` between unitaries."""
+    a = np.asarray(a, dtype=complex)
+    b = np.asarray(b, dtype=complex)
+    dim = a.shape[0]
+    return float(1.0 - abs(np.trace(dagger(a) @ b)) / dim)
+
+
+def average_gate_fidelity(a: np.ndarray, b: np.ndarray) -> float:
+    """Average gate fidelity between two unitaries of dimension d.
+
+    Uses the standard closed form
+    ``F_avg = (|tr(a† b)|^2 + d) / (d^2 + d)``.
+    """
+    a = np.asarray(a, dtype=complex)
+    b = np.asarray(b, dtype=complex)
+    dim = a.shape[0]
+    overlap = abs(np.trace(dagger(a) @ b)) ** 2
+    return float((overlap + dim) / (dim * dim + dim))
+
+
+def kron_factor_4x4(matrix: np.ndarray) -> tuple[complex, np.ndarray, np.ndarray]:
+    """Factor a 4x4 matrix into ``phase * kron(f1, f2)`` with unitary factors.
+
+    Only valid when ``matrix`` is (numerically) a Kronecker product of two
+    2x2 unitaries; raises :class:`ValueError` otherwise.  The factors are
+    returned in SU(2) and the residual scalar in ``phase``.
+    """
+    matrix = np.asarray(matrix, dtype=complex)
+    if matrix.shape != (4, 4):
+        raise ValueError(f"expected a 4x4 matrix, got {matrix.shape}")
+    # Rearrange into the (outer ⊗ inner) product structure and use the
+    # dominant singular vector pair: exact when matrix == kron(f1, f2).
+    blocks = matrix.reshape(2, 2, 2, 2).transpose(0, 2, 1, 3).reshape(4, 4)
+    u, s, vh = np.linalg.svd(blocks)
+    if s[1] > 1e-6:
+        raise ValueError("matrix is not a Kronecker product of 2x2 factors")
+    f1 = np.sqrt(s[0]) * u[:, 0].reshape(2, 2)
+    f2 = np.sqrt(s[0]) * vh[0, :].reshape(2, 2)
+    # Normalize each factor into SU(2) and pool phases.
+    det1 = np.linalg.det(f1)
+    det2 = np.linalg.det(f2)
+    if abs(det1) < 1e-12 or abs(det2) < 1e-12:
+        raise ValueError("degenerate factors; matrix is not a kron product")
+    f1 = f1 / np.sqrt(det1)
+    f2 = f2 / np.sqrt(det2)
+    phase = global_phase_difference(matrix, np.kron(f1, f2))
+    if not np.allclose(matrix, phase * np.kron(f1, f2), atol=1e-7):
+        raise ValueError("matrix is not a Kronecker product of 2x2 factors")
+    return phase, f1, f2
+
+
+def closest_unitary(matrix: np.ndarray) -> np.ndarray:
+    """Project ``matrix`` to the closest unitary in Frobenius norm (polar)."""
+    u, _, vh = np.linalg.svd(np.asarray(matrix, dtype=complex))
+    return u @ vh
+
+
+def commutes(a: np.ndarray, b: np.ndarray, atol: float = _ATOL) -> bool:
+    """Return True when ``[a, b] == 0`` within ``atol``."""
+    a = np.asarray(a)
+    b = np.asarray(b)
+    return bool(np.allclose(a @ b, b @ a, atol=atol))

@@ -1,0 +1,71 @@
+"""Magic-basis transformations.
+
+The magic (Bell) basis ``M`` conjugates the local subgroup
+SU(2) ⊗ SU(2) onto SO(4) and diagonalizes every canonical gate
+``CAN(c1, c2, c3)``.  These two facts power the Weyl-coordinate and KAK
+algorithms in :mod:`repro.quantum.weyl` and :mod:`repro.quantum.kak`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .gates import MAGIC_BASIS
+from .linalg import assert_unitary, dagger, kron_factor_4x4
+
+__all__ = [
+    "to_magic_basis",
+    "from_magic_basis",
+    "is_orthogonal",
+    "so4_to_local_pair",
+    "local_pair_to_so4",
+]
+
+
+def to_magic_basis(unitary: np.ndarray) -> np.ndarray:
+    """Conjugate a 4x4 unitary into the magic basis: ``M† U M``."""
+    unitary = assert_unitary(unitary, "unitary")
+    return dagger(MAGIC_BASIS) @ unitary @ MAGIC_BASIS
+
+
+def from_magic_basis(matrix: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`to_magic_basis`: ``M V M†``."""
+    matrix = np.asarray(matrix, dtype=complex)
+    return MAGIC_BASIS @ matrix @ dagger(MAGIC_BASIS)
+
+
+def is_orthogonal(matrix: np.ndarray, atol: float = 1e-8) -> bool:
+    """Return True when ``matrix`` is real orthogonal within ``atol``."""
+    matrix = np.asarray(matrix)
+    if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+        return False
+    if not np.allclose(matrix.imag, 0.0, atol=atol):
+        return False
+    real = matrix.real
+    return bool(np.allclose(real @ real.T, np.eye(matrix.shape[0]), atol=atol))
+
+
+def so4_to_local_pair(
+    orthogonal: np.ndarray,
+) -> tuple[complex, np.ndarray, np.ndarray]:
+    """Map an SO(4) matrix (in the magic basis) to local SU(2) factors.
+
+    Returns ``(phase, k1, k2)`` with ``M O M† = phase * kron(k1, k2)``.
+    """
+    if not is_orthogonal(orthogonal):
+        raise ValueError("input is not a real orthogonal matrix")
+    local = from_magic_basis(np.asarray(orthogonal, dtype=complex))
+    return kron_factor_4x4(local)
+
+
+def local_pair_to_so4(k1: np.ndarray, k2: np.ndarray) -> np.ndarray:
+    """Map local SU(2) factors to the corresponding SO(4) matrix.
+
+    Requires genuinely special unitary inputs; an overall -1 sign ambiguity
+    between the factors maps to the same SO(4) element.
+    """
+    product = np.kron(np.asarray(k1, dtype=complex), np.asarray(k2, dtype=complex))
+    rotated = to_magic_basis(product)
+    if not is_orthogonal(rotated):
+        raise ValueError("factors are not special unitary (det != 1)")
+    return rotated.real

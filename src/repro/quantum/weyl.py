@@ -1,0 +1,222 @@
+"""Weyl-chamber coordinates of two-qubit gates.
+
+Every two-qubit unitary is locally equivalent to a canonical gate
+``CAN(c1, c2, c3) = exp(-i/2 (c1 XX + c2 YY + c3 ZZ))``.  The equivalence
+classes form the Weyl chamber: a tetrahedron with vertices
+
+* ``I     = (0, 0, 0)`` (and its mirror ``(pi, 0, 0)``),
+* ``iSWAP = (pi/2, pi/2, 0)``,
+* ``SWAP  = (pi/2, pi/2, pi/2)``,
+
+with CNOT at the base-plane midpoint ``(pi/2, 0, 0)`` and the B gate at
+``(pi/2, pi/4, 0)``.  Points on the base plane (``c3 == 0``) obey the mirror
+identification ``(c1, c2, 0) ~ (pi - c1, c2, 0)``; we canonicalize those to
+the left half ``c1 <= pi/2``.  Off the base plane the left and right halves
+are genuinely distinct classes (a gate and its transpose-conjugate), which
+is why coverage-set hulls are built per half (paper Sec. III-B).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .linalg import to_special_unitary
+from .magic import to_magic_basis
+
+__all__ = [
+    "WEYL_POINTS",
+    "weyl_coordinates",
+    "batched_weyl_coordinates",
+    "canonicalize_coordinates",
+    "in_weyl_chamber",
+    "is_base_plane",
+    "is_left_half",
+    "mirror_coordinates",
+    "coordinates_distance",
+    "named_gate_coordinates",
+]
+
+#: Canonical Weyl coordinates (radians) of the gates used in the paper.
+WEYL_POINTS: dict[str, tuple[float, float, float]] = {
+    "I": (0.0, 0.0, 0.0),
+    "CNOT": (np.pi / 2, 0.0, 0.0),
+    "CX": (np.pi / 2, 0.0, 0.0),
+    "CZ": (np.pi / 2, 0.0, 0.0),
+    "iSWAP": (np.pi / 2, np.pi / 2, 0.0),
+    "DCNOT": (np.pi / 2, np.pi / 2, 0.0),
+    "SWAP": (np.pi / 2, np.pi / 2, np.pi / 2),
+    "B": (np.pi / 2, np.pi / 4, 0.0),
+    "sqrt_iSWAP": (np.pi / 4, np.pi / 4, 0.0),
+    "sqrt_CNOT": (np.pi / 4, 0.0, 0.0),
+    "sqrt_B": (np.pi / 4, np.pi / 8, 0.0),
+    "sqrt_SWAP": (np.pi / 4, np.pi / 4, np.pi / 4),
+}
+
+_ATOL = 1e-9
+
+
+def named_gate_coordinates(name: str) -> np.ndarray:
+    """Canonical coordinates of a named gate (see :data:`WEYL_POINTS`)."""
+    try:
+        return np.array(WEYL_POINTS[name], dtype=float)
+    except KeyError:
+        raise KeyError(
+            f"unknown gate {name!r}; known: {sorted(WEYL_POINTS)}"
+        ) from None
+
+
+def weyl_coordinates(unitary: np.ndarray) -> np.ndarray:
+    """Canonical Weyl coordinates ``(c1, c2, c3)`` of a 4x4 unitary.
+
+    The algorithm follows the standard eigenphase recipe: conjugate into
+    the magic basis where local factors are real, form ``m = V^T V`` whose
+    spectrum ``{e^{2 i theta_j}}`` is a complete local invariant, and fold
+    the sorted half-phases into the chamber.
+    """
+    special, _ = to_special_unitary(np.asarray(unitary, dtype=complex))
+    magic = to_magic_basis(special)
+    gram = magic.T @ magic
+    eigenvalues = np.linalg.eigvals(gram)
+    # Half-phases in units of pi, each defined modulo 1.  The sign matches
+    # our CAN convention exp(-i/2 sum c_k P_k); without it the recipe lands
+    # on the mirror (transpose-conjugate) class for chiral gates.
+    half = -np.angle(eigenvalues) / (2 * np.pi)
+    half = np.where(half <= -0.25, half + 1.0, half)  # branch (-1/4, 3/4]
+    half = np.sort(half)[::-1]
+    # det(gram) == 1 forces the sum to an integer; fold it back to zero by
+    # lowering the largest entries, which is a Weyl-group move.
+    total = int(round(float(np.sum(half))))
+    half[:total] -= 1.0
+    half = np.sort(half)[::-1]
+    c1 = (half[0] + half[1]) * np.pi
+    c2 = (half[0] + half[2]) * np.pi
+    c3 = (half[1] + half[2]) * np.pi
+    if c3 < 0:  # mirror into the chamber (transpose-equivalent class)
+        c1, c3 = np.pi - c1, -c3
+    coords = np.array([c1, c2, c3], dtype=float)
+    return canonicalize_coordinates(coords)
+
+
+def batched_weyl_coordinates(unitaries: np.ndarray) -> np.ndarray:
+    """Vectorized :func:`weyl_coordinates` for a stack ``(N, 4, 4)``.
+
+    Boundary-of-chamber edge cases (rear-edge mirror) follow the common
+    branch; statistically they are measure-zero and this path is used for
+    Monte-Carlo coverage sampling only.
+    """
+    from .gates import MAGIC_BASIS  # local import avoids a cycle
+
+    unitaries = np.asarray(unitaries, dtype=complex)
+    if unitaries.ndim != 3 or unitaries.shape[1:] != (4, 4):
+        raise ValueError("expected a stack of 4x4 unitaries")
+    dets = np.linalg.det(unitaries)
+    special = unitaries / (dets ** 0.25)[:, None, None]
+    magic = np.einsum(
+        "ab,nbc,cd->nad", MAGIC_BASIS.conj().T, special, MAGIC_BASIS
+    )
+    gram = np.einsum("nba,nbc->nac", magic, magic)
+    eigenvalues = np.linalg.eigvals(gram)
+    half = -np.angle(eigenvalues) / (2 * np.pi)
+    half = np.where(half <= -0.25, half + 1.0, half)
+    half = -np.sort(-half, axis=1)
+    totals = np.rint(np.sum(half, axis=1)).astype(int)
+    # Subtract 1 from the largest `totals[n]` entries of each row.
+    ranks = np.arange(4)[None, :]
+    half = half - (ranks < totals[:, None])
+    half = -np.sort(-half, axis=1)
+    c1 = (half[:, 0] + half[:, 1]) * np.pi
+    c2 = (half[:, 0] + half[:, 2]) * np.pi
+    c3 = (half[:, 1] + half[:, 2]) * np.pi
+    negative = c3 < 0
+    c1 = np.where(negative, np.pi - c1, c1)
+    c3 = np.abs(c3)
+    coords = np.stack([c1, c2, c3], axis=1)
+    # Vectorized canonicalization (three folding rounds always suffice).
+    for _ in range(3):
+        coords = np.mod(coords, np.pi)
+        coords = -np.sort(-coords, axis=1)
+        overflow = coords[:, 0] + coords[:, 1] > np.pi + _ATOL
+        coords[overflow, 0] = np.pi - coords[overflow, 0]
+        coords[overflow, 1] = np.pi - coords[overflow, 1]
+    coords = -np.sort(-coords, axis=1)
+    base_mirror = (coords[:, 2] <= _ATOL) & (coords[:, 0] > np.pi / 2 + _ATOL)
+    coords[base_mirror, 0] = np.pi - coords[base_mirror, 0]
+    coords = -np.sort(-coords, axis=1)
+    return coords
+
+
+def canonicalize_coordinates(coords: np.ndarray) -> np.ndarray:
+    """Fold arbitrary canonical parameters into the Weyl chamber.
+
+    Applies Weyl-group moves only (coordinate shifts by pi, pairwise sign
+    flips, permutations, and the base-plane mirror), so the returned point
+    is locally equivalent to the input parameters.
+    """
+    c = np.array(coords, dtype=float)
+    if c.shape != (3,):
+        raise ValueError("expected three canonical coordinates")
+    for _ in range(16):
+        c = np.mod(c, np.pi)
+        c = np.sort(c)[::-1]
+        if c[0] + c[1] > np.pi + _ATOL:
+            # Flip the signs of the two largest and shift both back by pi.
+            c[0], c[1] = np.pi - c[0], np.pi - c[1]
+            continue
+        break
+    else:  # pragma: no cover - defensive; the loop converges in <= 3 steps
+        raise RuntimeError(f"canonicalization failed for {coords!r}")
+    c = np.sort(c)[::-1]
+    # Snap tiny numerical noise to the chamber boundary.
+    c[np.abs(c) < _ATOL] = 0.0
+    c[np.abs(c - np.pi) < _ATOL] = np.pi
+    if abs(c[2]) <= _ATOL and c[0] > np.pi / 2 + _ATOL:
+        # Base-plane mirror identification.
+        c[0] = np.pi - c[0]
+        c = np.sort(c)[::-1]
+    if abs(c[0] + c[1] - np.pi) <= _ATOL and c[2] > _ATOL:
+        # The rear edge c1 + c2 == pi is also mirror-identified; pick the
+        # left representative for determinism.
+        c[0], c[1] = max(np.pi - c[0], np.pi - c[1]), min(
+            np.pi - c[0], np.pi - c[1]
+        )
+        c = np.sort(np.array([c[0], c[1], c[2]]))[::-1]
+    return c
+
+
+def in_weyl_chamber(coords: np.ndarray, atol: float = 1e-7) -> bool:
+    """Return True when ``coords`` lies in the canonical chamber.
+
+    ``atol`` loosens the geometric inequalities; the base-plane mirror
+    test keeps its own fixed epsilon (matching the canonicalizer's),
+    otherwise a loose ``atol`` would reject genuine right-half points
+    hovering just above the base plane.
+    """
+    c1, c2, c3 = np.asarray(coords, dtype=float)
+    if not (c1 + atol >= c2 >= c3 - atol and c3 >= -atol):
+        return False
+    if c1 > np.pi + atol or c1 + c2 > np.pi + atol:
+        return False
+    if c3 <= 1e-8 and c1 > np.pi / 2 + max(atol, 1e-8):
+        return False
+    return True
+
+
+def is_base_plane(coords: np.ndarray, atol: float = 1e-7) -> bool:
+    """True when the class lies on the chamber base (c3 == 0)."""
+    return bool(abs(float(np.asarray(coords)[2])) <= atol)
+
+
+def is_left_half(coords: np.ndarray) -> bool:
+    """True when ``c1 <= pi/2`` (the paper plots this half)."""
+    return bool(float(np.asarray(coords)[0]) <= np.pi / 2 + 1e-9)
+
+
+def mirror_coordinates(coords: np.ndarray) -> np.ndarray:
+    """Mirror a point across the ``c1 = pi/2`` plane (conjugate class)."""
+    c1, c2, c3 = np.asarray(coords, dtype=float)
+    return np.array([np.pi - c1, c2, c3], dtype=float)
+
+
+def coordinates_distance(a: np.ndarray, b: np.ndarray) -> float:
+    """Euclidean distance between two canonical coordinate triples."""
+    return float(np.linalg.norm(np.asarray(a, float) - np.asarray(b, float)))

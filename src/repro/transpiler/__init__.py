@@ -1,0 +1,29 @@
+"""Transpiler substrate: topology, routing, consolidation, basis, timing."""
+
+from .basis import merge_adjacent_1q_placeholders, translate_to_basis
+from .consolidate import collect_2q_blocks, merge_1q_runs
+from .coupling import CouplingMap, heavy_hex, line_topology, square_lattice
+from .fidelity import PAPER_FIDELITY_MODEL, FidelityModel
+from .layout import Layout, random_layout, trivial_layout
+from .pipeline import TranspilationResult, transpile, transpile_once
+from .routing import RoutingResult, route_circuit
+
+__all__ = [
+    "CouplingMap",
+    "FidelityModel",
+    "Layout",
+    "PAPER_FIDELITY_MODEL",
+    "RoutingResult",
+    "TranspilationResult",
+    "collect_2q_blocks",
+    "heavy_hex",
+    "line_topology",
+    "merge_1q_runs",
+    "merge_adjacent_1q_placeholders",
+    "random_layout",
+    "route_circuit",
+    "square_lattice",
+    "transpile",
+    "transpile_once",
+    "trivial_layout",
+]

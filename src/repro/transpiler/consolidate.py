@@ -1,0 +1,132 @@
+"""Gate consolidation passes.
+
+* :func:`merge_1q_runs` — collapse consecutive single-qubit gates into one
+  ``u1q`` gate per run (matrix product), the paper's "consolidate
+  consecutive 1Q gates" step.
+* :func:`collect_2q_blocks` — fuse maximal runs of gates confined to one
+  qubit pair into a single explicit-matrix ``block`` gate.  This is where
+  a CNOT followed by a SWAP on the same pair becomes a single
+  iSWAP-equivalent block (paper footnote 2).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..circuits.circuit import QuantumCircuit
+from ..circuits.gate import Gate
+
+__all__ = ["merge_1q_runs", "collect_2q_blocks"]
+
+
+def merge_1q_runs(circuit: QuantumCircuit) -> QuantumCircuit:
+    """Fuse consecutive 1Q gates per qubit into single ``u1q`` gates.
+
+    Durations are *not* summed: a merged run is one physical 1Q gate
+    (virtual-Z makes all 1Q gates equal duration, paper Sec. II-D), so
+    the result carries ``duration=None`` for the basis pass to price.
+    """
+    out = QuantumCircuit(circuit.num_qubits, circuit.name)
+    pending: dict[int, np.ndarray] = {}
+
+    def flush(qubit: int) -> None:
+        matrix = pending.pop(qubit, None)
+        if matrix is not None:
+            out.append(Gate("u1q", (qubit,), matrix=matrix))
+
+    for gate in circuit:
+        if gate.num_qubits == 1:
+            accumulated = pending.get(gate.qubits[0])
+            matrix = gate.to_matrix()
+            pending[gate.qubits[0]] = (
+                matrix if accumulated is None else matrix @ accumulated
+            )
+            continue
+        for qubit in gate.qubits:
+            flush(qubit)
+        out.append(gate)
+    for qubit in sorted(pending):
+        flush(qubit)
+    return out
+
+
+class _Block:
+    """An open 2Q block being accumulated."""
+
+    def __init__(self, pair: tuple[int, int]):
+        self.pair = pair  # (low, high) physical indices
+        self.matrix = np.eye(4, dtype=complex)
+        self.two_qubit_count = 0
+
+    def absorb(self, gate: Gate) -> None:
+        matrix = gate.to_matrix()
+        if gate.num_qubits == 1:
+            position = self.pair.index(gate.qubits[0])
+            embedded = (
+                np.kron(matrix, np.eye(2)) if position == 0
+                else np.kron(np.eye(2), matrix)
+            )
+        else:
+            if gate.qubits == self.pair:
+                embedded = matrix
+            else:  # reversed orientation: conjugate by SWAP
+                swap = np.array(
+                    [[1, 0, 0, 0], [0, 0, 1, 0], [0, 1, 0, 0], [0, 0, 0, 1]],
+                    dtype=complex,
+                )
+                embedded = swap @ matrix @ swap
+            self.two_qubit_count += 1
+        self.matrix = embedded @ self.matrix
+
+    def to_gate(self) -> Gate:
+        return Gate("block", self.pair, matrix=self.matrix)
+
+
+def collect_2q_blocks(circuit: QuantumCircuit) -> QuantumCircuit:
+    """Fuse runs of gates on a fixed qubit pair into ``block`` gates.
+
+    Single-qubit gates are absorbed into the active block of their qubit;
+    gates touching a blocked qubit from outside close the block.  Blocks
+    that never saw a 2Q gate re-emit their 1Q content unchanged.
+    """
+    out = QuantumCircuit(circuit.num_qubits, circuit.name)
+    open_blocks: dict[tuple[int, int], _Block] = {}
+    owner: dict[int, tuple[int, int]] = {}
+
+    def close(pair: tuple[int, int]) -> None:
+        block = open_blocks.pop(pair, None)
+        if block is None:
+            return
+        for qubit in pair:
+            owner.pop(qubit, None)
+        out.append(block.to_gate())
+
+    for gate in circuit:
+        if gate.num_qubits == 1:
+            pair = owner.get(gate.qubits[0])
+            if pair is not None:
+                open_blocks[pair].absorb(gate)
+            else:
+                out.append(gate)
+            continue
+        if gate.num_qubits != 2:
+            for qubit in gate.qubits:
+                if qubit in owner:
+                    close(owner[qubit])
+            out.append(gate)
+            continue
+        pair = (min(gate.qubits), max(gate.qubits))
+        if owner.get(pair[0]) == pair and owner.get(pair[1]) == pair:
+            open_blocks[pair].absorb(gate)
+            continue
+        for qubit in pair:
+            if qubit in owner:
+                close(owner[qubit])
+        block = _Block(pair)
+        block.absorb(gate)
+        open_blocks[pair] = block
+        owner[pair[0]] = pair
+        owner[pair[1]] = pair
+    for pair in list(open_blocks):
+        close(pair)
+    return out

@@ -1,0 +1,104 @@
+"""Qubit coupling topologies (paper Sec. II-B: 4x4 square lattice)."""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+
+__all__ = ["CouplingMap", "square_lattice", "line_topology", "heavy_hex"]
+
+
+class CouplingMap:
+    """Undirected physical-qubit connectivity with cached distances."""
+
+    def __init__(self, edges: list[tuple[int, int]], name: str = "coupling"):
+        if not edges:
+            raise ValueError("coupling map needs at least one edge")
+        self.name = name
+        self.graph = nx.Graph()
+        self.graph.add_edges_from(edges)
+        nodes = sorted(self.graph.nodes)
+        if nodes != list(range(len(nodes))):
+            raise ValueError("physical qubits must be 0..n-1 contiguous")
+        if not nx.is_connected(self.graph):
+            raise ValueError("coupling map must be connected")
+        self.num_qubits = len(nodes)
+        lengths = dict(nx.all_pairs_shortest_path_length(self.graph))
+        self._distance = np.zeros((self.num_qubits, self.num_qubits), int)
+        for source, targets in lengths.items():
+            for target, dist in targets.items():
+                self._distance[source, target] = dist
+
+    def distance(self, a: int, b: int) -> int:
+        """Shortest-path hop count between physical qubits."""
+        return int(self._distance[a, b])
+
+    @property
+    def distance_matrix(self) -> np.ndarray:
+        """Read-only all-pairs distance matrix."""
+        view = self._distance.view()
+        view.setflags(write=False)
+        return view
+
+    def are_adjacent(self, a: int, b: int) -> bool:
+        """True when a 2Q gate can run directly between ``a`` and ``b``."""
+        return self.graph.has_edge(a, b)
+
+    def neighbors(self, qubit: int) -> list[int]:
+        """Physical neighbours of a qubit."""
+        return sorted(self.graph.neighbors(qubit))
+
+    @property
+    def edges(self) -> list[tuple[int, int]]:
+        """Sorted edge list."""
+        return sorted(tuple(sorted(e)) for e in self.graph.edges)
+
+    def __repr__(self) -> str:
+        return (
+            f"CouplingMap({self.name!r}, qubits={self.num_qubits}, "
+            f"edges={len(self.edges)})"
+        )
+
+
+def square_lattice(rows: int, cols: int) -> CouplingMap:
+    """Rows x cols grid — the paper's 4x4 evaluation topology."""
+    if rows < 1 or cols < 1:
+        raise ValueError("lattice dimensions must be positive")
+    edges = []
+    for r in range(rows):
+        for c in range(cols):
+            node = r * cols + c
+            if c + 1 < cols:
+                edges.append((node, node + 1))
+            if r + 1 < rows:
+                edges.append((node, node + cols))
+    return CouplingMap(edges, name=f"square_{rows}x{cols}")
+
+
+def line_topology(num_qubits: int) -> CouplingMap:
+    """Linear chain."""
+    if num_qubits < 2:
+        raise ValueError("line needs at least two qubits")
+    return CouplingMap(
+        [(q, q + 1) for q in range(num_qubits - 1)], name=f"line_{num_qubits}"
+    )
+
+
+def heavy_hex(distance: int = 3) -> CouplingMap:
+    """Small heavy-hex patch (IBM-style), for topology comparisons.
+
+    Builds the standard heavy-hexagon unit tiling for code distance 3,
+    which is the smallest deployed heavy-hex device shape (27 qubits).
+    Larger distances tile additional rows.
+    """
+    if distance != 3:
+        raise ValueError("only the 27-qubit distance-3 patch is supported")
+    # IBM 27-qubit Falcon connectivity (e.g. ibmq_montreal).
+    edges = [
+        (0, 1), (1, 2), (2, 3), (3, 5), (4, 1), (4, 7), (5, 8),
+        (6, 7), (7, 10), (8, 9), (8, 11), (10, 12), (11, 14),
+        (12, 13), (12, 15), (13, 14), (14, 16), (15, 18), (16, 19),
+        (17, 18), (18, 21), (19, 20), (19, 22), (21, 23), (22, 25),
+        (23, 24), (24, 25), (25, 26),
+    ]
+    return CouplingMap(edges, name="heavy_hex_d3")

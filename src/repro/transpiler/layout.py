@@ -1,0 +1,79 @@
+"""Logical-to-physical qubit layouts."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..quantum.random import as_rng
+from .coupling import CouplingMap
+
+__all__ = ["Layout", "trivial_layout", "random_layout"]
+
+
+class Layout:
+    """Bijective map from logical circuit qubits to physical qubits."""
+
+    def __init__(self, physical_of_logical: list[int], num_physical: int):
+        if len(set(physical_of_logical)) != len(physical_of_logical):
+            raise ValueError("layout must be injective")
+        if any(not 0 <= p < num_physical for p in physical_of_logical):
+            raise ValueError("physical index out of range")
+        self._p_of_l = list(physical_of_logical)
+        self.num_physical = num_physical
+        self._l_of_p: dict[int, int] = {
+            p: l for l, p in enumerate(self._p_of_l)
+        }
+
+    @property
+    def num_logical(self) -> int:
+        """Number of mapped logical qubits."""
+        return len(self._p_of_l)
+
+    def physical(self, logical: int) -> int:
+        """Physical qubit hosting ``logical``."""
+        return self._p_of_l[logical]
+
+    def logical(self, physical: int) -> int | None:
+        """Logical qubit on ``physical`` (None when unoccupied)."""
+        return self._l_of_p.get(physical)
+
+    def swap_physical(self, phys_a: int, phys_b: int) -> None:
+        """Record a SWAP between two physical qubits."""
+        log_a = self._l_of_p.get(phys_a)
+        log_b = self._l_of_p.get(phys_b)
+        if log_a is not None:
+            self._p_of_l[log_a] = phys_b
+        if log_b is not None:
+            self._p_of_l[log_b] = phys_a
+        self._l_of_p = {p: l for l, p in enumerate(self._p_of_l)}
+
+    def copy(self) -> "Layout":
+        """Independent copy."""
+        return Layout(list(self._p_of_l), self.num_physical)
+
+    def as_dict(self) -> dict[int, int]:
+        """Logical -> physical mapping as a dict."""
+        return dict(enumerate(self._p_of_l))
+
+    def __repr__(self) -> str:
+        return f"Layout({self._p_of_l})"
+
+
+def trivial_layout(num_logical: int, coupling: CouplingMap) -> Layout:
+    """Identity layout: logical i on physical i."""
+    if num_logical > coupling.num_qubits:
+        raise ValueError("circuit does not fit on the device")
+    return Layout(list(range(num_logical)), coupling.num_qubits)
+
+
+def random_layout(
+    num_logical: int,
+    coupling: CouplingMap,
+    seed: int | np.random.Generator | None = None,
+) -> Layout:
+    """Uniformly random injective layout (used for multi-trial transpiles)."""
+    if num_logical > coupling.num_qubits:
+        raise ValueError("circuit does not fit on the device")
+    rng = as_rng(seed)
+    physical = rng.permutation(coupling.num_qubits)[:num_logical]
+    return Layout([int(p) for p in physical], coupling.num_qubits)

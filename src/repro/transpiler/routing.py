@@ -1,0 +1,152 @@
+"""SWAP-insertion routing with lookahead (SABRE-flavoured).
+
+Maps a logical circuit onto a coupling topology, inserting SWAP gates so
+every 2Q gate acts on adjacent physical qubits.  At each blocked gate the
+router considers swaps on edges incident to the gate's qubits, keeps only
+those that shorten the current gate's distance (guaranteeing progress),
+and breaks ties with a decayed lookahead over upcoming 2Q gates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..circuits.circuit import QuantumCircuit
+from ..quantum.random import as_rng
+from .coupling import CouplingMap
+from .layout import Layout
+
+__all__ = ["RoutingResult", "route_circuit"]
+
+_LOOKAHEAD_WINDOW = 20
+_LOOKAHEAD_DECAY = 0.8
+
+
+@dataclass(frozen=True)
+class RoutingResult:
+    """Routed circuit plus layout bookkeeping."""
+
+    circuit: QuantumCircuit
+    initial_layout: Layout
+    final_layout: Layout
+    swap_count: int
+
+    def final_permutation(self) -> dict[int, int]:
+        """Logical permutation implemented by the inserted SWAPs.
+
+        Maps each logical qubit to the logical wire (initial-layout
+        frame) its state ends up on, for equivalence checking.
+        """
+        out: dict[int, int] = {}
+        for logical in range(self.initial_layout.num_logical):
+            physical = self.final_layout.physical(logical)
+            home = self.initial_layout.logical(physical)
+            if home is None:  # moved onto an initially empty physical qubit
+                raise RuntimeError(
+                    "final layout escaped the initial layout's support"
+                )
+            out[logical] = home
+        return out
+
+
+def route_circuit(
+    circuit: QuantumCircuit,
+    coupling: CouplingMap,
+    initial_layout: Layout,
+    seed: int | np.random.Generator | None = 0,
+    lookahead: int = _LOOKAHEAD_WINDOW,
+    decay: float = _LOOKAHEAD_DECAY,
+) -> RoutingResult:
+    """Insert SWAPs so all 2Q gates become adjacent.
+
+    The output circuit acts on *physical* qubit indices.  Gates on more
+    than two qubits are rejected (decompose them first).
+
+    Args:
+        lookahead: how many upcoming 2Q gates score each swap candidate
+            (1 = purely greedy on the current gate).
+        decay: geometric weight decay across the lookahead window.
+    """
+    if lookahead < 1:
+        raise ValueError("lookahead must be >= 1")
+    if not 0.0 < decay <= 1.0:
+        raise ValueError("decay must be in (0, 1]")
+    rng = as_rng(seed)
+    layout = initial_layout.copy()
+    routed = QuantumCircuit(coupling.num_qubits, name=f"{circuit.name}_routed")
+    distance = coupling.distance_matrix
+
+    two_qubit_indices = [
+        idx for idx, gate in enumerate(circuit) if gate.num_qubits == 2
+    ]
+    upcoming_position = 0  # index into two_qubit_indices
+
+    def lookahead_score(candidate_layout: Layout, start: int) -> float:
+        score = 0.0
+        weight = 1.0
+        window = two_qubit_indices[start : start + lookahead]
+        for gate_index in window:
+            gate = circuit[gate_index]
+            a = candidate_layout.physical(gate.qubits[0])
+            b = candidate_layout.physical(gate.qubits[1])
+            score += weight * distance[a, b]
+            weight *= decay
+        return score
+
+    swap_count = 0
+    for index, gate in enumerate(circuit):
+        if gate.num_qubits == 1:
+            routed.append(
+                gate.remapped({gate.qubits[0]: layout.physical(gate.qubits[0])})
+            )
+            continue
+        if gate.num_qubits != 2:
+            raise ValueError(
+                f"router only handles 1Q/2Q gates, got {gate.name} on "
+                f"{gate.qubits}"
+            )
+        if two_qubit_indices[upcoming_position] != index:
+            # Keep the pointer in sync (robust to duplicate scans).
+            upcoming_position = two_qubit_indices.index(index)
+        while True:
+            phys_a = layout.physical(gate.qubits[0])
+            phys_b = layout.physical(gate.qubits[1])
+            if coupling.are_adjacent(phys_a, phys_b):
+                break
+            current = distance[phys_a, phys_b]
+            candidates: list[tuple[float, float, int, int]] = []
+            for endpoint in (phys_a, phys_b):
+                for neighbor in coupling.neighbors(endpoint):
+                    trial = layout.copy()
+                    trial.swap_physical(endpoint, neighbor)
+                    new_a = trial.physical(gate.qubits[0])
+                    new_b = trial.physical(gate.qubits[1])
+                    if distance[new_a, new_b] >= current:
+                        continue  # only strictly progressing swaps
+                    score = lookahead_score(trial, upcoming_position)
+                    candidates.append(
+                        (score, rng.random(), endpoint, neighbor)
+                    )
+            if not candidates:  # pragma: no cover - connected graphs progress
+                raise RuntimeError("router failed to make progress")
+            _, _, swap_a, swap_b = min(candidates)
+            routed.add("swap", [swap_a, swap_b])
+            layout.swap_physical(swap_a, swap_b)
+            swap_count += 1
+        routed.append(
+            gate.remapped(
+                {
+                    gate.qubits[0]: layout.physical(gate.qubits[0]),
+                    gate.qubits[1]: layout.physical(gate.qubits[1]),
+                }
+            )
+        )
+        upcoming_position += 1
+    return RoutingResult(
+        circuit=routed,
+        initial_layout=initial_layout.copy(),
+        final_layout=layout,
+        swap_count=swap_count,
+    )

@@ -1,0 +1,47 @@
+"""Shared fixtures.
+
+Coverage-set fixtures reuse the on-disk point-cloud cache
+(``~/.cache/repro-coverage`` or ``REPRO_CACHE_DIR``), so the first full
+test run pays the sampling cost once and later runs are fast.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.coverage import haar_coordinate_samples
+from repro.core.decomposition_rules import (
+    BaselineSqrtISwapRules,
+    ParallelSqrtISwapRules,
+)
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic per-test RNG."""
+    return np.random.default_rng(20230302)
+
+
+@pytest.fixture(scope="session")
+def haar_samples() -> np.ndarray:
+    """Shared Haar coordinate sample set for scoring checks."""
+    return haar_coordinate_samples(3000, seed=99)
+
+
+@pytest.fixture(scope="session")
+def baseline_rules() -> BaselineSqrtISwapRules:
+    """Baseline sqrt(iSWAP) rules with warmed coverage."""
+    rules = BaselineSqrtISwapRules()
+    _ = rules.coverage
+    return rules
+
+
+@pytest.fixture(scope="session")
+def parallel_rules() -> ParallelSqrtISwapRules:
+    """Parallel-drive rules with warmed extended coverage."""
+    rules = ParallelSqrtISwapRules()
+    _ = rules.iswap_parallel_k1
+    _ = rules.sqrt_parallel_k1
+    _ = rules.sqrt_parallel_k2
+    return rules

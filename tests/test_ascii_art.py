@@ -1,0 +1,45 @@
+"""Tests for the ASCII chamber renderer."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.ascii_art import (
+    CHAMBER_LANDMARKS,
+    render_base_plane,
+    render_projection,
+)
+
+
+class TestRenderProjection:
+    def test_raster_dimensions(self):
+        points = np.random.default_rng(1).uniform(0, 1, (100, 3))
+        text = render_projection(points, width=30, height=10)
+        lines = text.splitlines()
+        assert len(lines) == 10
+        assert all(len(line) == 32 for line in lines)  # 2-space indent
+
+    def test_dense_regions_darker(self):
+        # All mass at one cell: exactly one non-space shade plus blanks.
+        points = np.tile([0.5, 0.3, 0.0], (50, 1))
+        text = render_projection(points, width=20, height=8, landmarks={})
+        shades = {ch for ch in text if ch not in " \n"}
+        assert len(shades) == 1
+
+    def test_landmarks_stamped(self):
+        points = np.zeros((1, 3))
+        text = render_base_plane(points)
+        for label in CHAMBER_LANDMARKS:
+            assert label in text
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            render_projection(np.zeros((3, 2)))
+        with pytest.raises(ValueError):
+            render_projection(np.zeros((3, 3)), width=2)
+
+    def test_empty_region_blank(self):
+        points = np.tile([0.1, 0.05, 0.0], (5, 1))
+        text = render_projection(points, width=40, height=12, landmarks={})
+        # Mass confined near the origin corner: the far corner is blank.
+        top_line = text.splitlines()[0]
+        assert top_line.strip() == ""

@@ -1,0 +1,82 @@
+"""Tests for basis translation and placeholder merging."""
+
+import numpy as np
+import pytest
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.dag import asap_schedule
+from repro.circuits.gate import Gate
+from repro.transpiler.basis import (
+    merge_adjacent_1q_placeholders,
+    translate_to_basis,
+)
+
+
+class TestTranslate:
+    def test_cnot_template_structure(self, baseline_rules):
+        circuit = QuantumCircuit(2).cx(0, 1)
+        translated = translate_to_basis(circuit, baseline_rules)
+        counts = translated.count_ops()
+        assert counts["pulse2q"] == 2  # K=2 sqrt(iSWAP)
+        assert counts["u1q"] == 6  # 3 layers x 2 qubits
+        schedule = asap_schedule(translated)
+        assert schedule.total_duration == pytest.approx(1.75)
+
+    def test_parallel_cnot_cheaper(self, parallel_rules):
+        circuit = QuantumCircuit(2).cx(0, 1)
+        translated = translate_to_basis(circuit, parallel_rules)
+        schedule = asap_schedule(translated)
+        assert schedule.total_duration == pytest.approx(1.5)
+
+    def test_swap_durations(self, baseline_rules, parallel_rules):
+        circuit = QuantumCircuit(2).swap(0, 1)
+        base = asap_schedule(translate_to_basis(circuit, baseline_rules))
+        opt = asap_schedule(translate_to_basis(circuit, parallel_rules))
+        assert base.total_duration == pytest.approx(2.5)
+        assert opt.total_duration == pytest.approx(2.25)
+
+    def test_single_qubit_gates_priced(self, baseline_rules):
+        circuit = QuantumCircuit(1).h(0)
+        translated = translate_to_basis(circuit, baseline_rules)
+        assert translated[0].duration == pytest.approx(0.25)
+
+    def test_identity_block_collapses_to_layer(self, baseline_rules):
+        circuit = QuantumCircuit(2)
+        circuit.append(Gate("block", (0, 1), matrix=np.eye(4)))
+        translated = translate_to_basis(circuit, baseline_rules)
+        counts = translated.count_ops()
+        assert counts.get("pulse2q", 0) == 0
+        assert counts["u1q"] == 2
+
+    def test_rejects_three_qubit_gates(self, baseline_rules):
+        circuit = QuantumCircuit(3)
+        circuit.append(Gate("big", (0, 1, 2), matrix=np.eye(8)))
+        with pytest.raises(ValueError):
+            translate_to_basis(circuit, baseline_rules)
+
+
+class TestPlaceholderMerge:
+    def test_adjacent_layers_merge(self):
+        circuit = QuantumCircuit(2)
+        circuit.append(Gate("u1q", (0,), duration=0.25))
+        circuit.append(Gate("u1q", (0,), duration=0.25))
+        circuit.append(Gate("pulse2q", (0, 1), duration=0.5))
+        merged = merge_adjacent_1q_placeholders(circuit)
+        assert merged.count_ops()["u1q"] == 1
+        assert asap_schedule(merged).total_duration == pytest.approx(0.75)
+
+    def test_merge_across_templates(self, baseline_rules):
+        # Two consecutive CNOTs on the same pair share a merged 1Q layer
+        # at the junction: 2 x 1.75 - 0.25 = 3.25.
+        circuit = QuantumCircuit(2).cx(0, 1).cx(0, 1)
+        translated = translate_to_basis(circuit, baseline_rules)
+        merged = merge_adjacent_1q_placeholders(translated)
+        assert asap_schedule(merged).total_duration == pytest.approx(3.25)
+
+    def test_non_adjacent_layers_kept(self):
+        circuit = QuantumCircuit(2)
+        circuit.append(Gate("u1q", (0,), duration=0.25))
+        circuit.append(Gate("pulse2q", (0, 1), duration=0.5))
+        circuit.append(Gate("u1q", (0,), duration=0.25))
+        merged = merge_adjacent_1q_placeholders(circuit)
+        assert merged.count_ops()["u1q"] == 2

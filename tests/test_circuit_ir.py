@@ -1,0 +1,162 @@
+"""Tests for the circuit IR: gates, circuits, scheduling."""
+
+import numpy as np
+import pytest
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.dag import asap_schedule, dependency_layers
+from repro.circuits.gate import Gate, gate_matrix
+from repro.circuits.simulation import circuit_unitary
+from repro.quantum.gates import CNOT, H, I2
+from repro.quantum.linalg import allclose_up_to_global_phase
+
+
+class TestGate:
+    def test_matrix_resolution(self):
+        assert np.allclose(Gate("h", (0,)).to_matrix(), H)
+        assert np.allclose(Gate("cx", (0, 1)).to_matrix(), CNOT)
+
+    def test_explicit_matrix_wins(self):
+        gate = Gate("weird", (0,), matrix=H)
+        assert np.allclose(gate.to_matrix(), H)
+
+    def test_matrix_shape_validated(self):
+        with pytest.raises(ValueError):
+            Gate("bad", (0, 1), matrix=np.eye(2)).to_matrix()
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            Gate("frobnicate", (0,)).to_matrix()
+
+    def test_duplicate_qubits_rejected(self):
+        with pytest.raises(ValueError):
+            Gate("cx", (1, 1))
+
+    def test_inverse_parameterized(self):
+        gate = Gate("rz", (0,), params=(0.7,))
+        inverse = gate.inverse()
+        assert np.allclose(
+            gate.to_matrix() @ inverse.to_matrix(), I2, atol=1e-10
+        )
+
+    @pytest.mark.parametrize(
+        "name,qubits,params",
+        [
+            ("h", (0,), ()),
+            ("s", (0,), ()),
+            ("t", (0,), ()),
+            ("sx", (0,), ()),
+            ("rx", (0,), (0.4,)),
+            ("u3", (0,), (0.3, 0.7, -0.2)),
+            ("cp", (0, 1), (1.1,)),
+            ("iswap", (0, 1), ()),
+            ("sqrt_iswap", (0, 1), ()),
+            ("swap", (0, 1), ()),
+            ("can", (0, 1), (0.5, 0.3, 0.1)),
+        ],
+    )
+    def test_inverse_property(self, name, qubits, params):
+        gate = Gate(name, qubits, params=params)
+        product = gate.to_matrix() @ gate.inverse().to_matrix()
+        assert allclose_up_to_global_phase(
+            product, np.eye(product.shape[0]), atol=1e-9
+        )
+
+    def test_remapped(self):
+        gate = Gate("cx", (0, 1))
+        assert gate.remapped({0: 5, 1: 2}).qubits == (5, 2)
+
+
+class TestCircuit:
+    def test_append_validates_indices(self):
+        circuit = QuantumCircuit(2)
+        with pytest.raises(ValueError):
+            circuit.cx(0, 5)
+
+    def test_builder_chain(self):
+        circuit = QuantumCircuit(2).h(0).cx(0, 1)
+        assert len(circuit) == 2
+        assert circuit.depth() == 2
+
+    def test_count_ops(self):
+        circuit = QuantumCircuit(3)
+        circuit.h(0).cx(0, 1).cx(1, 2).h(2)
+        counts = circuit.count_ops()
+        assert counts["h"] == 2
+        assert counts["cx"] == 2
+
+    def test_compose_with_mapping(self):
+        inner = QuantumCircuit(2).cx(0, 1)
+        outer = QuantumCircuit(4)
+        outer.compose(inner, qubits=[3, 1])
+        assert outer[0].qubits == (3, 1)
+
+    def test_compose_size_mismatch(self):
+        with pytest.raises(ValueError):
+            QuantumCircuit(4).compose(QuantumCircuit(2), qubits=[0])
+
+    def test_inverse_cancels(self):
+        circuit = QuantumCircuit(2)
+        circuit.h(0).t(1).cx(0, 1).rz(0.3, 1).iswap(0, 1)
+        total = circuit.copy().compose(circuit.inverse())
+        assert allclose_up_to_global_phase(
+            circuit_unitary(total), np.eye(4), atol=1e-9
+        )
+
+    def test_ccx_matches_toffoli(self):
+        circuit = QuantumCircuit(3).ccx(0, 1, 2)
+        toffoli = np.eye(8, dtype=complex)
+        toffoli[6:, 6:] = np.array([[0, 1], [1, 0]])
+        assert allclose_up_to_global_phase(
+            circuit_unitary(circuit), toffoli, atol=1e-9
+        )
+
+    def test_depth_parallel_gates(self):
+        circuit = QuantumCircuit(4)
+        circuit.h(0).h(1).h(2).h(3).cx(0, 1).cx(2, 3)
+        assert circuit.depth() == 2
+
+
+class TestScheduling:
+    def test_asap_respects_dependencies(self):
+        circuit = QuantumCircuit(2)
+        circuit.append(Gate("h", (0,), duration=1.0))
+        circuit.append(Gate("cx", (0, 1), duration=2.0))
+        circuit.append(Gate("h", (1,), duration=1.0))
+        schedule = asap_schedule(circuit)
+        assert schedule.start_times == (0.0, 1.0, 3.0)
+        assert schedule.total_duration == 4.0
+
+    def test_parallel_wires_overlap(self):
+        circuit = QuantumCircuit(2)
+        circuit.append(Gate("h", (0,), duration=3.0))
+        circuit.append(Gate("h", (1,), duration=1.0))
+        schedule = asap_schedule(circuit)
+        assert schedule.total_duration == 3.0
+        assert schedule.qubit_finish_times == (3.0, 1.0)
+
+    def test_missing_durations_are_virtual(self):
+        circuit = QuantumCircuit(1).h(0).h(0)
+        assert asap_schedule(circuit).total_duration == 0.0
+
+    def test_negative_duration_rejected(self):
+        circuit = QuantumCircuit(1)
+        circuit.append(Gate("h", (0,), duration=-1.0))
+        with pytest.raises(ValueError):
+            asap_schedule(circuit)
+
+    def test_critical_path_is_connected_chain(self):
+        circuit = QuantumCircuit(3)
+        circuit.append(Gate("h", (0,), duration=1.0))
+        circuit.append(Gate("cx", (0, 1), duration=1.0))
+        circuit.append(Gate("cx", (1, 2), duration=1.0))
+        schedule = asap_schedule(circuit)
+        path = schedule.critical_path()
+        assert path == [0, 1, 2]
+
+    def test_dependency_layers(self):
+        circuit = QuantumCircuit(3)
+        circuit.h(0).h(1).cx(0, 1).h(2)
+        layers = dependency_layers(circuit)
+        assert layers[0] == [0, 1, 3]
+        assert layers[1] == [2]

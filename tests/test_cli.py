@@ -1,0 +1,35 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestList:
+    def test_lists_all_artifacts(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for artifact in ("table1", "table7", "fig3a", "fig12"):
+            assert artifact in out
+
+
+class TestRun:
+    def test_unknown_experiment_fails(self, capsys):
+        assert main(["run", "fig99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_runs_and_saves(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path))
+        assert main(["run", "fig3a"]) == 0
+        out = capsys.readouterr().out
+        assert "fig3a" in out
+        assert (tmp_path / "fig3a.txt").exists()
+        assert (tmp_path / "fig3a.json").exists()
+
+
+@pytest.mark.slow
+class TestTranspile:
+    def test_transpile_command(self, capsys):
+        assert main(["transpile", "ghz", "--trials", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "faster" in out

@@ -1,0 +1,99 @@
+"""Tests for the conversion–gain gate-family module (paper Sec. II-A)."""
+
+import numpy as np
+import pytest
+
+from repro.core.conversion_gain import (
+    B_FAMILY,
+    CNOT_FAMILY,
+    ISWAP_CONVERSION_FAMILY,
+    ISWAP_GAIN_FAMILY,
+    cg_unitary,
+    coordinates_for_drive,
+    drive_angles_for_coordinates,
+    drive_ratio,
+    family_for_coordinates,
+)
+from repro.pulse.hamiltonian import conversion_gain_hamiltonian
+from repro.pulse.evolution import propagate_piecewise
+from repro.quantum.weyl import named_gate_coordinates
+
+
+class TestUnitary:
+    def test_matches_hamiltonian_evolution(self, rng):
+        for _ in range(10):
+            theta_c, theta_g = rng.uniform(0, np.pi, 2)
+            phi_c, phi_g = rng.uniform(0, 2 * np.pi, 2)
+            ham = conversion_gain_hamiltonian(theta_c, theta_g, phi_c, phi_g)
+            evolved = propagate_piecewise([ham], [1.0])
+            closed_form = cg_unitary(theta_c, theta_g, phi_c, phi_g)
+            assert np.allclose(evolved, closed_form, atol=1e-10)
+
+    def test_paper_eq2_zero_phase(self):
+        theta_c, theta_g = 0.3, 0.7
+        unitary = cg_unitary(theta_c, theta_g)
+        assert unitary[1, 1] == pytest.approx(np.cos(theta_c))
+        assert unitary[0, 3] == pytest.approx(-1j * np.sin(theta_g))
+
+
+class TestCoordinateMaps:
+    def test_round_trip(self, rng):
+        for _ in range(30):
+            # Round trip holds inside the fundamental cell
+            # (theta_c + theta_g <= pi/2); beyond it, canonicalization
+            # folds to an equivalent shorter pulse by design.
+            theta_c = rng.uniform(0, np.pi / 2)
+            theta_g = rng.uniform(0, min(theta_c, np.pi / 2 - theta_c))
+            coords = coordinates_for_drive(theta_c, theta_g)
+            back_c, back_g = drive_angles_for_coordinates(coords)
+            assert (back_c, back_g) == pytest.approx((theta_c, theta_g))
+
+    def test_iswap_drive(self):
+        coords = coordinates_for_drive(np.pi / 2, 0.0)
+        assert np.allclose(coords, named_gate_coordinates("iSWAP"))
+
+    def test_cnot_drive_equal_ratio(self):
+        # Paper Eq. 4: theta_c = theta_g = pi/4 hits CNOT.
+        coords = coordinates_for_drive(np.pi / 4, np.pi / 4)
+        assert np.allclose(coords, named_gate_coordinates("CNOT"))
+
+    def test_b_gate_one_third_ratio(self):
+        theta_c, theta_g = drive_angles_for_coordinates(
+            named_gate_coordinates("B")
+        )
+        assert theta_g / theta_c == pytest.approx(1 / 3)
+
+    def test_off_plane_rejected(self):
+        with pytest.raises(ValueError):
+            drive_angles_for_coordinates(np.array([1.0, 0.5, 0.2]))
+
+
+class TestFamilies:
+    def test_family_fractions(self):
+        assert np.allclose(
+            CNOT_FAMILY.coordinates(1.0), named_gate_coordinates("CNOT")
+        )
+        assert np.allclose(
+            CNOT_FAMILY.coordinates(0.5), named_gate_coordinates("sqrt_CNOT")
+        )
+        assert np.allclose(
+            B_FAMILY.coordinates(1.0), named_gate_coordinates("B")
+        )
+        assert np.allclose(
+            ISWAP_CONVERSION_FAMILY.coordinates(0.5),
+            named_gate_coordinates("sqrt_iSWAP"),
+        )
+
+    def test_gain_family_mirrors_conversion(self):
+        conversion = ISWAP_CONVERSION_FAMILY.coordinates(0.7)
+        gain = ISWAP_GAIN_FAMILY.coordinates(0.7)
+        assert np.allclose(conversion, gain)  # same class, different pump
+
+    def test_family_detection(self):
+        family = family_for_coordinates(named_gate_coordinates("B"))
+        assert family.beta == pytest.approx(1 / 3)
+        family = family_for_coordinates(named_gate_coordinates("CNOT"))
+        assert family.beta == pytest.approx(1.0)
+
+    def test_drive_ratio_iswap_is_zero(self):
+        assert drive_ratio(named_gate_coordinates("iSWAP")) == 0.0

@@ -1,0 +1,92 @@
+"""Tests for the amplitude-damping validation of the fidelity model."""
+
+import numpy as np
+import pytest
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.gate import Gate
+from repro.pulse.decoherence import (
+    amplitude_damping_kraus,
+    apply_channel,
+    evolve_with_damping,
+    simulate_circuit_fidelity,
+    state_fidelity,
+)
+
+
+class TestChannel:
+    def test_kraus_completeness(self):
+        for gamma in (0.0, 0.3, 1.0):
+            k0, k1 = amplitude_damping_kraus(gamma)
+            assert np.allclose(
+                k0.conj().T @ k0 + k1.conj().T @ k1, np.eye(2)
+            )
+
+    def test_gamma_validation(self):
+        with pytest.raises(ValueError):
+            amplitude_damping_kraus(1.5)
+
+    def test_excited_state_decays(self):
+        rho = np.diag([0.0, 1.0]).astype(complex)
+        kraus = amplitude_damping_kraus(0.4)
+        damped = apply_channel(rho, kraus, 0, 1)
+        assert damped[0, 0] == pytest.approx(0.4)
+        assert damped[1, 1] == pytest.approx(0.6)
+
+    def test_ground_state_fixed_point(self):
+        rho = np.diag([1.0, 0.0]).astype(complex)
+        kraus = amplitude_damping_kraus(0.7)
+        assert np.allclose(apply_channel(rho, kraus, 0, 1), rho)
+
+    def test_trace_preserved_multi_qubit(self, rng):
+        dim = 8
+        mat = rng.normal(size=(dim, dim)) + 1j * rng.normal(size=(dim, dim))
+        rho = mat @ mat.conj().T
+        rho /= np.trace(rho)
+        kraus = amplitude_damping_kraus(0.25)
+        damped = apply_channel(rho, kraus, 1, 3)
+        assert np.trace(damped) == pytest.approx(1.0)
+
+
+class TestModelValidation:
+    def test_excited_wire_matches_exponential(self):
+        # A single excited qubit idling for duration D has exactly
+        # FQ = exp(-D/T1): the model's base case.
+        circuit = QuantumCircuit(1)
+        circuit.x(0)
+        circuit.append(Gate("id", (0,), duration=2.0))
+        rho = evolve_with_damping(circuit, t1=10.0)
+        assert rho[2 - 1, 2 - 1].real == pytest.approx(
+            np.exp(-2.0 / 10.0), abs=1e-9
+        )
+
+    def test_ghz_fidelity_tracks_model(self):
+        # GHZ states decay at about half the all-excited rate per qubit
+        # (only the |11..1> branch damps), so the Eq. 10-11 model is a
+        # lower bound of the right order.
+        circuit = QuantumCircuit(3)
+        circuit.h(0)
+        for q in range(2):
+            circuit.append(Gate("cx", (q, q + 1), duration=0.5))
+        simulated, model = simulate_circuit_fidelity(circuit, t1=20.0)
+        assert 0 < model < simulated <= 1.0
+        assert simulated - model < 0.2
+
+    def test_excited_register_matches_model_closely(self):
+        # The all-excited product state is the model's worst case and
+        # should match exp(-N D / T1) tightly.
+        circuit = QuantumCircuit(3)
+        for q in range(3):
+            circuit.append(Gate("x", (q,), duration=0.25))
+        circuit.append(Gate("id", (0,), duration=2.0))
+        simulated, model = simulate_circuit_fidelity(circuit, t1=15.0)
+        assert simulated == pytest.approx(model, rel=0.02)
+
+    def test_qubit_cap(self):
+        with pytest.raises(ValueError):
+            evolve_with_damping(QuantumCircuit(7).h(0), t1=1.0)
+
+    def test_state_fidelity_pure_match(self):
+        psi = np.array([1, 0, 0, 0], dtype=complex)
+        rho = np.outer(psi, psi.conj())
+        assert state_fidelity(rho, psi) == pytest.approx(1.0)

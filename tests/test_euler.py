@@ -1,0 +1,58 @@
+"""Tests for single-qubit Euler decompositions."""
+
+import numpy as np
+import pytest
+
+from repro.quantum import gates
+from repro.quantum.euler import u3_angles, xyx_angles, zyz_angles, zyz_matrix
+from repro.quantum.linalg import allclose_up_to_global_phase
+from repro.quantum.random import haar_unitary
+
+
+class TestZYZ:
+    def test_random_round_trip(self, rng):
+        for _ in range(50):
+            u = haar_unitary(2, rng)
+            alpha, phi, theta, lam = zyz_angles(u)
+            assert np.allclose(zyz_matrix(alpha, phi, theta, lam), u, atol=1e-9)
+
+    @pytest.mark.parametrize(
+        "matrix",
+        [gates.I2, gates.X, gates.Y, gates.Z, gates.H, gates.S, gates.T,
+         gates.SX, gates.rz(0.4), gates.ry(np.pi)],
+        ids=["I", "X", "Y", "Z", "H", "S", "T", "SX", "rz", "ry_pi"],
+    )
+    def test_degenerate_cases(self, matrix):
+        alpha, phi, theta, lam = zyz_angles(matrix)
+        assert np.allclose(
+            zyz_matrix(alpha, phi, theta, lam), matrix, atol=1e-9
+        )
+
+    def test_rejects_two_qubit(self):
+        with pytest.raises(ValueError):
+            zyz_angles(gates.CNOT)
+
+    def test_rejects_non_unitary(self):
+        with pytest.raises(ValueError):
+            zyz_angles(np.array([[1, 1], [0, 1]], dtype=complex))
+
+
+class TestXYX:
+    def test_round_trip(self, rng):
+        from repro.quantum.gates import rx, ry
+
+        for _ in range(30):
+            u = haar_unitary(2, rng)
+            alpha, phi, theta, lam = xyx_angles(u)
+            rebuilt = np.exp(1j * alpha) * rx(phi) @ ry(theta) @ rx(lam)
+            assert np.allclose(rebuilt, u, atol=1e-9)
+
+
+class TestU3:
+    def test_matches_up_to_phase(self, rng):
+        from repro.quantum.gates import u3
+
+        for _ in range(30):
+            u = haar_unitary(2, rng)
+            theta, phi, lam = u3_angles(u)
+            assert allclose_up_to_global_phase(u3(theta, phi, lam), u)

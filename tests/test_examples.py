@@ -1,0 +1,71 @@
+"""The example scripts must run end to end (they are documentation)."""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+_EXAMPLES = Path(__file__).resolve().parents[1] / "examples"
+
+
+def _run(name: str, argv: list[str] | None = None) -> None:
+    path = _EXAMPLES / name
+    old_argv = sys.argv
+    sys.argv = [str(path)] + (argv or [])
+    try:
+        runpy.run_path(str(path), run_name="__main__")
+    finally:
+        sys.argv = old_argv
+
+
+def test_examples_directory_complete():
+    names = {p.name for p in _EXAMPLES.glob("*.py")}
+    assert {
+        "quickstart.py",
+        "basis_gate_selection.py",
+        "parallel_drive_cnot.py",
+        "transpile_workload.py",
+        "snail_characterization.py",
+        "explicit_synthesis.py",
+    } <= names
+
+
+def test_quickstart_runs(capsys):
+    _run("quickstart.py")
+    out = capsys.readouterr().out
+    assert "converged: True" in out
+
+
+def test_snail_characterization_runs(capsys):
+    _run("snail_characterization.py")
+    out = capsys.readouterr().out
+    assert "fitted boundary" in out
+
+
+def test_parallel_drive_cnot_runs(capsys):
+    _run("parallel_drive_cnot.py")
+    out = capsys.readouterr().out
+    assert "converged=True" in out
+
+
+@pytest.mark.slow
+def test_explicit_synthesis_runs(capsys):
+    _run("explicit_synthesis.py")
+    out = capsys.readouterr().out
+    assert "verified=True" in out
+    assert "OPENQASM" in out
+
+
+@pytest.mark.slow
+def test_basis_gate_selection_runs(capsys):
+    _run("basis_gate_selection.py")
+    out = capsys.readouterr().out
+    assert "best W-score basis" in out
+
+
+@pytest.mark.slow
+def test_transpile_workload_runs(capsys):
+    _run("transpile_workload.py", ["ghz"])
+    out = capsys.readouterr().out
+    assert "duration improvement" in out

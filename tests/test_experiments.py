@@ -1,0 +1,86 @@
+"""Smoke and sanity tests for the experiment drivers."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    EXPERIMENTS,
+    run_experiment,
+    run_fig3a,
+    run_fig3b,
+    run_fig3c,
+    run_fig7,
+    run_fig8,
+)
+from repro.experiments.common import ExperimentResult, format_table
+
+
+class TestInfrastructure:
+    def test_registry_covers_all_paper_artifacts(self):
+        expected = {
+            "fig1", "fig3a", "fig3b", "fig3c", "fig4", "fig5", "fig6",
+            "fig7", "fig8", "fig9", "fig12",
+            "table1", "table2", "table3", "table4", "table5", "table6",
+            "table7",
+        }
+        assert set(EXPERIMENTS) == expected
+
+    def test_unknown_experiment(self):
+        with pytest.raises(KeyError):
+            run_experiment("fig99")
+
+    def test_format_table_alignment(self):
+        text = format_table(["a", "bb"], [[1, 2.345], [10, 0.5]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert all(len(line) == len(lines[0]) for line in lines)
+
+    def test_result_save_round_trip(self, tmp_path):
+        result = ExperimentResult(
+            "demo", "Demo", "x", {"value": np.float64(1.5)}
+        )
+        path = result.save(tmp_path)
+        assert path.exists()
+        assert (tmp_path / "demo.json").exists()
+
+
+class TestHamiltonianExperiments:
+    def test_fig3a_stays_on_base_plane(self):
+        result = run_fig3a(grid=13)
+        points = np.asarray(result.data["points"])
+        assert np.abs(points[:, 4]).max() < 1e-7
+        assert all(result.data["named_hits"].values())
+
+    def test_fig3b_lambda_in_band(self):
+        result = run_fig3b(workloads=("qft", "ghz", "qaoa", "hlf"))
+        # With a suite subset lambda varies; it must stay a sane mix of
+        # CNOT and SWAP targets.
+        assert 0.15 < result.data["lambda"] < 0.85
+        assert result.data["counts"]["SWAP"] > 0
+        assert result.data["counts"]["CNOT"] > 0
+
+    def test_fig3c_boundary_fit(self):
+        result = run_fig3c(seed=7)
+        boundary = np.asarray(result.data["boundary_gg"])
+        assert len(boundary) > 10
+        assert boundary[0] > boundary[-1]  # decreasing toward conversion
+
+
+class TestCoverageExperiments:
+    def test_fig7_paper_claims(self):
+        result = run_fig7(haar_count=2000)
+        assert result.data["full_dimensional"]
+        contains = result.data["contains"]
+        assert contains["CNOT"]
+        assert contains["iSWAP"]
+        assert contains["(pi/2, pi/4, pi/4)"]
+        assert not contains["SWAP"]  # resource floor keeps SWAP out
+        assert 0.5 < result.data["haar_fraction"] < 0.95
+
+
+class TestOptimizerExperiment:
+    def test_fig8_converges(self):
+        result = run_fig8(seed=1, restarts=3)
+        assert result.data["final_loss"] < 1e-8
+        losses = result.data["loss_history"]
+        assert losses[-1] <= losses[0]

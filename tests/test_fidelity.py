@@ -1,0 +1,53 @@
+"""Tests for the decoherence fidelity model (paper Eq. 10-11)."""
+
+import numpy as np
+import pytest
+
+from repro.transpiler.fidelity import PAPER_FIDELITY_MODEL, FidelityModel
+
+
+class TestModel:
+    def test_paper_quantum_volume_numbers(self):
+        """The paper's QV sanity check: 133 units -> FQ 0.875, FT 0.119."""
+        model = PAPER_FIDELITY_MODEL
+        fq = model.path_fidelity(133.0)
+        assert fq == pytest.approx(0.8756, abs=2e-3)
+        assert model.total_fidelity(133.0, 16) == pytest.approx(0.119, abs=5e-3)
+
+    def test_paper_optimized_quantum_volume(self):
+        model = PAPER_FIDELITY_MODEL
+        assert model.total_fidelity(118.4, 16) == pytest.approx(0.151, abs=5e-3)
+
+    def test_one_q_normalized_duration(self):
+        assert PAPER_FIDELITY_MODEL.one_q_duration == pytest.approx(0.25)
+
+    def test_zero_duration_perfect(self):
+        assert PAPER_FIDELITY_MODEL.path_fidelity(0.0) == 1.0
+        assert PAPER_FIDELITY_MODEL.total_fidelity(0.0, 16) == 1.0
+
+    def test_fidelity_monotone_in_duration(self):
+        model = PAPER_FIDELITY_MODEL
+        durations = np.linspace(0, 500, 20)
+        values = [model.path_fidelity(d) for d in durations]
+        assert all(a > b for a, b in zip(values, values[1:]))
+
+    def test_exponential_in_qubits(self):
+        model = PAPER_FIDELITY_MODEL
+        fq = model.path_fidelity(50.0)
+        assert model.total_fidelity(50.0, 4) == pytest.approx(fq**4)
+
+    def test_gate_infidelity_paper_cnot(self):
+        # Table VI: baseline CNOT at 1.75 units -> 1 - F = 0.0035.
+        infidelity = PAPER_FIDELITY_MODEL.gate_infidelity(1.75)
+        assert infidelity == pytest.approx(0.0035, abs=1e-4)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FidelityModel(t1_us=-1.0)
+        with pytest.raises(ValueError):
+            PAPER_FIDELITY_MODEL.path_fidelity(-2.0)
+        with pytest.raises(ValueError):
+            PAPER_FIDELITY_MODEL.total_fidelity(1.0, 0)
+
+    def test_unit_conversion(self):
+        assert PAPER_FIDELITY_MODEL.to_nanoseconds(2.5) == pytest.approx(250.0)

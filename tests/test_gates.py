@@ -1,0 +1,104 @@
+"""Tests for the gate library."""
+
+import numpy as np
+import pytest
+
+from repro.quantum import gates
+from repro.quantum.linalg import allclose_up_to_global_phase, is_unitary
+
+
+class TestConstants:
+    @pytest.mark.parametrize(
+        "matrix",
+        [
+            gates.X, gates.Y, gates.Z, gates.H, gates.S, gates.T, gates.SX,
+            gates.CNOT, gates.CZ, gates.SWAP, gates.ISWAP, gates.DCNOT,
+            gates.SQRT_ISWAP, gates.SQRT_CNOT, gates.B_GATE, gates.SQRT_B,
+            gates.MAGIC_BASIS,
+        ],
+    )
+    def test_all_unitary(self, matrix):
+        assert is_unitary(matrix)
+
+    def test_pauli_algebra(self):
+        assert np.allclose(gates.X @ gates.Y, 1j * gates.Z)
+        assert np.allclose(gates.X @ gates.X, gates.I2)
+
+    def test_sx_squares_to_x(self):
+        assert np.allclose(gates.SX @ gates.SX, gates.X)
+
+    def test_dcnot_is_two_cnots(self):
+        cnot_reversed = gates.SWAP @ gates.CNOT @ gates.SWAP
+        assert np.allclose(gates.DCNOT, cnot_reversed @ gates.CNOT)
+
+
+class TestRotations:
+    def test_rx_pi_is_x(self):
+        assert allclose_up_to_global_phase(gates.rx(np.pi), gates.X)
+
+    def test_rz_composition(self):
+        combined = gates.rz(0.3) @ gates.rz(0.4)
+        assert np.allclose(combined, gates.rz(0.7))
+
+    def test_u3_generic_matches_euler(self):
+        theta, phi, lam = 0.5, 1.1, -0.7
+        euler = gates.rz(phi) @ gates.ry(theta) @ gates.rz(lam)
+        assert allclose_up_to_global_phase(gates.u3(theta, phi, lam), euler)
+
+    def test_axis_rotation_matches_rx(self):
+        assert np.allclose(
+            gates.random_axes_rotation([1, 0, 0], 0.8), gates.rx(0.8)
+        )
+
+    def test_axis_rotation_rejects_zero_axis(self):
+        with pytest.raises(ValueError):
+            gates.random_axes_rotation([0, 0, 0], 1.0)
+
+
+class TestCanonicalGate:
+    def test_cnot_class(self):
+        can = gates.canonical_gate(np.pi / 2, 0, 0)
+        # (I - i XX)/sqrt(2) is locally equivalent to CNOT: same spectrum
+        # of the gamma invariant; checked exactly in test_weyl.
+        assert is_unitary(can)
+
+    def test_commuting_factors(self):
+        direct = gates.canonical_gate(0.3, 0.2, 0.1)
+        reordered = (
+            gates.rzz(0.1) @ gates.rxx(0.3) @ gates.ryy(0.2)
+        )
+        assert np.allclose(direct, reordered)
+
+    def test_iswap_power_composition(self):
+        half = gates.iswap_power(0.5)
+        assert np.allclose(half @ half, gates.ISWAP)
+        quarter = gates.iswap_power(0.25)
+        assert np.allclose(quarter @ quarter, half)
+
+    def test_cnot_power_composition(self):
+        assert np.allclose(gates.cnot_power(1.0), gates.CNOT)
+        assert np.allclose(
+            gates.cnot_power(0.5) @ gates.cnot_power(0.5), gates.CNOT
+        )
+
+    def test_b_gate_power(self):
+        assert np.allclose(
+            gates.b_gate_power(0.5) @ gates.b_gate_power(0.5), gates.B_GATE
+        )
+
+    def test_cphase_diagonal(self):
+        cp = gates.cphase(0.4)
+        assert np.allclose(np.diag(np.diag(cp)), cp)
+        assert cp[3, 3] == pytest.approx(np.exp(0.4j))
+
+
+class TestControlled:
+    def test_controlled_x_is_cnot(self):
+        assert np.allclose(gates.controlled(gates.X), gates.CNOT)
+
+    def test_controlled_z_is_cz(self):
+        assert np.allclose(gates.controlled(gates.Z), gates.CZ)
+
+    def test_controlled_rejects_wrong_shape(self):
+        with pytest.raises(ValueError):
+            gates.controlled(np.eye(4))

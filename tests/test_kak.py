@@ -1,0 +1,100 @@
+"""Tests for the KAK (Cartan) decomposition."""
+
+import numpy as np
+import pytest
+
+from repro.quantum import gates
+from repro.quantum.kak import kak_decompose
+from repro.quantum.linalg import allclose_up_to_global_phase
+from repro.quantum.random import haar_unitary, random_local_pair
+from repro.quantum.weyl import in_weyl_chamber, weyl_coordinates
+
+
+class TestReconstruction:
+    def test_random_unitaries(self, rng):
+        for _ in range(50):
+            u = haar_unitary(4, rng)
+            decomposition = kak_decompose(u)
+            assert allclose_up_to_global_phase(
+                decomposition.unitary(), u, atol=1e-6
+            )
+
+    @pytest.mark.parametrize(
+        "matrix",
+        [
+            np.eye(4), gates.CNOT, gates.CZ, gates.SWAP, gates.ISWAP,
+            gates.DCNOT, gates.B_GATE, gates.SQRT_ISWAP, gates.SQRT_CNOT,
+            gates.SQRT_B, gates.cphase(0.3),
+        ],
+        ids=[
+            "I", "CNOT", "CZ", "SWAP", "iSWAP", "DCNOT", "B",
+            "sqrt_iSWAP", "sqrt_CNOT", "sqrt_B", "cphase",
+        ],
+    )
+    def test_degenerate_spectra(self, matrix):
+        decomposition = kak_decompose(matrix)
+        assert allclose_up_to_global_phase(
+            decomposition.unitary(), matrix, atol=1e-6
+        )
+
+    def test_pure_local_gate(self, rng):
+        local = random_local_pair(rng)
+        decomposition = kak_decompose(local)
+        assert np.allclose(decomposition.coordinates, 0.0, atol=1e-6)
+        assert allclose_up_to_global_phase(
+            decomposition.unitary(), local, atol=1e-6
+        )
+
+
+class TestStructure:
+    def test_coordinates_canonical(self, rng):
+        for _ in range(30):
+            decomposition = kak_decompose(haar_unitary(4, rng))
+            assert in_weyl_chamber(decomposition.coordinates)
+
+    def test_coordinates_match_weyl_module(self, rng):
+        for _ in range(30):
+            u = haar_unitary(4, rng)
+            assert np.allclose(
+                kak_decompose(u).coordinates,
+                weyl_coordinates(u),
+                atol=1e-6,
+            )
+
+    def test_locals_are_special_unitary(self, rng):
+        decomposition = kak_decompose(haar_unitary(4, rng))
+        for factor in (
+            decomposition.k1l,
+            decomposition.k2l,
+            decomposition.k1r,
+            decomposition.k2r,
+        ):
+            assert factor.shape == (2, 2)
+            assert abs(np.linalg.det(factor) - 1) < 1e-6
+
+    def test_canonical_matrix_property(self):
+        decomposition = kak_decompose(gates.B_GATE)
+        can = decomposition.canonical_matrix
+        assert np.allclose(
+            weyl_coordinates(can), decomposition.coordinates, atol=1e-6
+        )
+
+
+class TestValidation:
+    def test_rejects_non_unitary(self):
+        with pytest.raises(ValueError):
+            kak_decompose(np.ones((4, 4)))
+
+    def test_rejects_wrong_size(self):
+        with pytest.raises(ValueError):
+            kak_decompose(np.eye(2))
+
+    def test_known_construction_sqrt_iswap_squared(self):
+        # Composing two sqrt(iSWAP) pulses must land on the iSWAP class.
+        product = gates.SQRT_ISWAP @ gates.SQRT_ISWAP
+        decomposition = kak_decompose(product)
+        assert np.allclose(
+            decomposition.coordinates,
+            [np.pi / 2, np.pi / 2, 0.0],
+            atol=1e-7,
+        )

@@ -1,0 +1,106 @@
+"""Tests for repro.quantum.linalg."""
+
+import numpy as np
+import pytest
+
+from repro.quantum import gates
+from repro.quantum.linalg import (
+    allclose_up_to_global_phase,
+    average_gate_fidelity,
+    closest_unitary,
+    commutes,
+    dagger,
+    global_phase_difference,
+    is_hermitian,
+    is_special_unitary,
+    is_unitary,
+    kron_factor_4x4,
+    to_special_unitary,
+    unitary_infidelity,
+)
+from repro.quantum.random import haar_unitary, random_su2
+
+
+class TestPredicates:
+    def test_unitary_accepts_cnot(self):
+        assert is_unitary(gates.CNOT)
+
+    def test_unitary_rejects_non_square(self):
+        assert not is_unitary(np.ones((2, 3)))
+
+    def test_unitary_rejects_scaled(self):
+        assert not is_unitary(2 * np.eye(3))
+
+    def test_hermitian_pauli(self):
+        assert is_hermitian(gates.X)
+        assert is_hermitian(np.kron(gates.Y, gates.Z))
+
+    def test_hermitian_rejects_s_gate(self):
+        assert not is_hermitian(gates.S)
+
+    def test_special_unitary(self):
+        assert is_special_unitary(gates.X @ gates.X)
+        assert not is_special_unitary(gates.S)  # det = i
+
+    def test_commutes(self):
+        assert commutes(gates.Z, gates.S)
+        assert not commutes(gates.X, gates.Z)
+
+
+class TestPhaseHandling:
+    def test_to_special_unitary_roundtrip(self, rng):
+        u = haar_unitary(4, rng)
+        special, phase = to_special_unitary(u)
+        assert abs(np.linalg.det(special) - 1) < 1e-9
+        assert np.allclose(phase * special, u)
+
+    def test_global_phase_difference(self, rng):
+        u = haar_unitary(3, rng)
+        phase = np.exp(0.77j)
+        recovered = global_phase_difference(phase * u, u)
+        assert abs(recovered - phase) < 1e-9
+
+    def test_allclose_up_to_global_phase(self, rng):
+        u = haar_unitary(4, rng)
+        assert allclose_up_to_global_phase(u, np.exp(1.2j) * u)
+        assert not allclose_up_to_global_phase(u, haar_unitary(4, rng))
+
+    def test_phase_insensitive_infidelity(self):
+        assert unitary_infidelity(gates.CNOT, 1j * gates.CNOT) < 1e-12
+        assert unitary_infidelity(gates.CNOT, gates.SWAP) > 0.1
+
+
+class TestFidelity:
+    def test_average_gate_fidelity_identity(self):
+        assert average_gate_fidelity(gates.CNOT, gates.CNOT) == pytest.approx(1.0)
+
+    def test_average_gate_fidelity_orthogonal(self):
+        # X vs I on one qubit: |tr(X)| = 0 -> F = d/(d^2+d) = 1/3.
+        assert average_gate_fidelity(gates.X, gates.I2) == pytest.approx(1 / 3)
+
+
+class TestKronFactor:
+    def test_recovers_factors(self, rng):
+        a, b = random_su2(rng), random_su2(rng)
+        phase, f1, f2 = kron_factor_4x4(np.exp(0.3j) * np.kron(a, b))
+        assert np.allclose(phase * np.kron(f1, f2), np.exp(0.3j) * np.kron(a, b))
+        assert abs(np.linalg.det(f1) - 1) < 1e-9
+        assert abs(np.linalg.det(f2) - 1) < 1e-9
+
+    def test_rejects_entangling_gate(self):
+        with pytest.raises(ValueError):
+            kron_factor_4x4(gates.CNOT)
+
+    def test_rejects_wrong_shape(self):
+        with pytest.raises(ValueError):
+            kron_factor_4x4(np.eye(2))
+
+
+class TestClosestUnitary:
+    def test_projects_to_unitary(self, rng):
+        noisy = haar_unitary(4, rng) + 0.05 * rng.normal(size=(4, 4))
+        projected = closest_unitary(noisy)
+        assert is_unitary(projected)
+
+    def test_identity_fixed_point(self):
+        assert np.allclose(closest_unitary(np.eye(3)), np.eye(3))

@@ -1,0 +1,65 @@
+"""Tests for the magic-basis transformations."""
+
+import numpy as np
+import pytest
+
+from repro.quantum import gates
+from repro.quantum.linalg import allclose_up_to_global_phase
+from repro.quantum.magic import (
+    from_magic_basis,
+    is_orthogonal,
+    local_pair_to_so4,
+    so4_to_local_pair,
+    to_magic_basis,
+)
+from repro.quantum.random import random_su2
+
+
+class TestTransforms:
+    def test_round_trip(self, rng):
+        from repro.quantum.random import haar_unitary
+
+        u = haar_unitary(4, rng)
+        assert np.allclose(from_magic_basis(to_magic_basis(u)), u)
+
+    def test_locals_become_orthogonal(self, rng):
+        local = np.kron(random_su2(rng), random_su2(rng))
+        assert is_orthogonal(to_magic_basis(local))
+
+    def test_canonical_gates_become_diagonal(self):
+        can = gates.canonical_gate(0.4, 0.3, 0.2)
+        magic = to_magic_basis(can)
+        assert np.allclose(magic, np.diag(np.diag(magic)))
+
+    def test_entangler_not_orthogonal(self):
+        assert not is_orthogonal(to_magic_basis(gates.SQRT_ISWAP))
+
+
+class TestSO4Conversion:
+    def test_so4_to_local_pair_roundtrip(self, rng):
+        k1, k2 = random_su2(rng), random_su2(rng)
+        ortho = local_pair_to_so4(k1, k2)
+        assert is_orthogonal(ortho)
+        phase, f1, f2 = so4_to_local_pair(ortho)
+        reconstructed = phase * np.kron(f1, f2)
+        assert allclose_up_to_global_phase(reconstructed, np.kron(k1, k2))
+
+    def test_rejects_non_orthogonal(self):
+        with pytest.raises(ValueError):
+            so4_to_local_pair(to_magic_basis(gates.CNOT))
+
+    def test_rejects_non_special_factors(self):
+        with pytest.raises(ValueError):
+            # S has det i, so kron(S, I) is not in SU(2) x SU(2).
+            local_pair_to_so4(gates.S, gates.I2)
+
+
+class TestOrthogonalPredicate:
+    def test_identity(self):
+        assert is_orthogonal(np.eye(4))
+
+    def test_rejects_complex(self):
+        assert not is_orthogonal(1j * np.eye(4))
+
+    def test_rejects_rectangular(self):
+        assert not is_orthogonal(np.ones((3, 4)))

@@ -1,0 +1,78 @@
+"""Tests for Makhlin local invariants."""
+
+import numpy as np
+import pytest
+
+from repro.quantum import gates
+from repro.quantum.makhlin import (
+    locally_equivalent,
+    makhlin_distance,
+    makhlin_from_coordinates,
+    makhlin_invariants,
+    makhlin_loss_to_target,
+)
+from repro.quantum.random import haar_unitary, random_local_pair
+from repro.quantum.weyl import weyl_coordinates
+
+#: Known invariant triples (g1, g2, g3).
+_KNOWN = {
+    "I": (1.0, 0.0, 3.0),
+    "CNOT": (0.0, 0.0, 1.0),
+    "iSWAP": (0.0, 0.0, -1.0),
+    "SWAP": (-1.0, 0.0, -3.0),
+    "B": (0.0, 0.0, 0.0),
+    "sqrt_iSWAP": (0.25, 0.0, 1.0),
+}
+
+_MATRICES = {
+    "I": np.eye(4),
+    "CNOT": gates.CNOT,
+    "iSWAP": gates.ISWAP,
+    "SWAP": gates.SWAP,
+    "B": gates.B_GATE,
+    "sqrt_iSWAP": gates.SQRT_ISWAP,
+}
+
+
+class TestKnownValues:
+    @pytest.mark.parametrize("name", sorted(_KNOWN))
+    def test_invariants(self, name):
+        got = makhlin_invariants(_MATRICES[name])
+        assert np.allclose(got, _KNOWN[name], atol=1e-9), name
+
+    def test_b_gate_at_origin(self):
+        # The B gate famously sits at the origin of invariant space.
+        assert np.linalg.norm(makhlin_invariants(gates.B_GATE)) < 1e-9
+
+
+class TestConsistency:
+    def test_matrix_vs_coordinate_formula(self, rng):
+        for _ in range(30):
+            u = haar_unitary(4, rng)
+            from_matrix = makhlin_invariants(u)
+            from_coords = makhlin_from_coordinates(weyl_coordinates(u))
+            assert np.allclose(from_matrix, from_coords, atol=1e-6)
+
+    def test_local_invariance(self, rng):
+        u = haar_unitary(4, rng)
+        dressed = random_local_pair(rng) @ u @ random_local_pair(rng)
+        assert makhlin_distance(u, dressed) < 1e-9
+
+    def test_distance_separates_classes(self):
+        assert makhlin_distance(gates.CNOT, gates.SWAP) > 1.0
+
+
+class TestEquivalence:
+    def test_cz_cnot_equivalent(self):
+        assert locally_equivalent(gates.CZ, gates.CNOT)
+
+    def test_dcnot_iswap_equivalent(self):
+        assert locally_equivalent(gates.DCNOT, gates.ISWAP)
+
+    def test_cnot_not_equivalent_to_b(self):
+        assert not locally_equivalent(gates.CNOT, gates.B_GATE)
+
+    def test_loss_factory(self):
+        loss = makhlin_loss_to_target(makhlin_invariants(gates.CNOT))
+        assert loss(gates.CZ) < 1e-9
+        assert loss(gates.SWAP) > 1.0

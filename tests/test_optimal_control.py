@@ -1,0 +1,115 @@
+"""Tests for the continuous (Fourier) drive extension."""
+
+import numpy as np
+import pytest
+
+from repro.core.optimal_control import FourierDriveTemplate, envelope_samples
+from repro.core.parallel_drive import synthesize
+from repro.quantum.linalg import is_unitary
+from repro.quantum.weyl import named_gate_coordinates
+
+
+class TestEnvelope:
+    def test_single_harmonic_shape(self):
+        samples = envelope_samples(np.array([2.0]), 64)
+        # Half-sine: positive, symmetric, peaked mid-pulse, ~0 at edges.
+        assert samples.min() > 0
+        assert np.argmax(samples) in (31, 32)
+        assert samples[0] < 0.2
+        assert np.allclose(samples, samples[::-1], atol=1e-12)
+
+    def test_harmonic_superposition(self):
+        combined = envelope_samples(np.array([1.0, 0.5]), 32)
+        first = envelope_samples(np.array([1.0]), 32)
+        second = envelope_samples(np.array([0.0, 0.5]), 32)
+        assert np.allclose(combined, first + second)
+
+
+class TestTemplate:
+    def test_parameter_counting(self):
+        template = FourierDriveTemplate(
+            gc=np.pi / 2, gg=0.0, pulse_duration=1.0, num_harmonics=3,
+            repetitions=2,
+        )
+        assert template.num_parameters == 2 * (2 + 6) + 6
+
+    def test_zero_coefficients_give_bare_pulse(self):
+        from repro.quantum.gates import canonical_gate
+        from repro.quantum.linalg import allclose_up_to_global_phase
+
+        template = FourierDriveTemplate(
+            gc=np.pi / 2, gg=0.0, pulse_duration=1.0
+        )
+        params = np.zeros(template.num_parameters)
+        assert allclose_up_to_global_phase(
+            template.unitary(params),
+            canonical_gate(np.pi / 2, np.pi / 2, 0),
+            atol=1e-9,
+        )
+
+    def test_unitarity_random_params(self, rng):
+        template = FourierDriveTemplate(
+            gc=np.pi / 2, gg=0.3, pulse_duration=1.0, repetitions=2
+        )
+        assert is_unitary(template.unitary(template.random_parameters(rng)))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FourierDriveTemplate(gc=1, gg=0, pulse_duration=0)
+        with pytest.raises(ValueError):
+            FourierDriveTemplate(gc=1, gg=0, pulse_duration=1, num_harmonics=0)
+        template = FourierDriveTemplate(gc=1, gg=0, pulse_duration=1)
+        with pytest.raises(ValueError):
+            template.unitary(np.zeros(3))
+
+
+@pytest.mark.slow
+class TestContinuousSynthesis:
+    def test_cnot_from_smooth_iswap_pulse(self):
+        # The paper's future-work extension: the smooth-envelope version
+        # of Fig. 8 converges too.
+        template = FourierDriveTemplate(
+            gc=np.pi / 2, gg=0.0, pulse_duration=1.0, num_harmonics=3,
+            repetitions=1,
+        )
+        result = synthesize(
+            template, named_gate_coordinates("CNOT"), seed=2, restarts=5,
+            max_iterations=3000,
+        )
+        assert result.converged
+
+    def test_smooth_coverage_matches_discrete(self):
+        # Sampled coordinate clouds of smooth vs 4-step drives should
+        # fill comparable fractions of the chamber (the paper's "4 steps
+        # is as good as 250" claim, continuous edition).
+        from repro.core.coverage import RegionHull, haar_coordinate_samples
+        from repro.core.parallel_drive import (
+            ParallelDriveTemplate,
+            sample_template_coordinates,
+        )
+
+        rng = np.random.default_rng(8)
+        smooth = FourierDriveTemplate(
+            gc=np.pi / 2, gg=0.0, pulse_duration=1.0, num_harmonics=3,
+            integration_steps=16,
+        )
+        cloud = np.array([
+            smooth.coordinates(smooth.random_parameters(rng))
+            for _ in range(400)
+        ])
+        discrete_template = ParallelDriveTemplate(
+            gc=np.pi / 2, gg=0.0, pulse_duration=1.0, repetitions=1
+        )
+        discrete = sample_template_coordinates(
+            discrete_template, 4000, seed=9
+        )
+        haar = haar_coordinate_samples(1500, seed=10)
+        left = haar[haar[:, 0] <= np.pi / 2 + 1e-9]
+        smooth_frac = RegionHull(
+            cloud[cloud[:, 0] <= np.pi / 2 + 1e-9]
+        ).contains(left).mean()
+        discrete_frac = RegionHull(
+            discrete[discrete[:, 0] <= np.pi / 2 + 1e-9]
+        ).contains(left).mean()
+        assert abs(smooth_frac - discrete_frac) < 0.25
+        assert smooth_frac > 0.3

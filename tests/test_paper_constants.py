@@ -1,0 +1,95 @@
+"""Internal-consistency checks on the embedded paper constants.
+
+The experiment drivers carry the paper's published table values for
+comparison.  These tests confirm the transcriptions are arithmetically
+self-consistent (e.g. every W column really is the lambda-weighted
+combination of its CNOT and SWAP columns), guarding against copy
+errors in the reference data itself.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.scoring import DEFAULT_LAMBDA
+from repro.experiments.table7 import PAPER_TABLE7
+from repro.experiments.tables import (
+    PAPER_TABLE1,
+    PAPER_TABLE2,
+    PAPER_TABLE3,
+    PAPER_TABLE4,
+    PAPER_TABLE5,
+    PAPER_TABLE6,
+)
+
+
+class TestWeightedColumns:
+    def test_table1_w_column(self):
+        for basis, (k_cnot, k_swap, _, k_w) in PAPER_TABLE1.items():
+            expected = DEFAULT_LAMBDA * k_cnot + (1 - DEFAULT_LAMBDA) * k_swap
+            assert k_w == pytest.approx(expected, abs=0.011), basis
+
+    def test_table3_w_column(self):
+        for basis, (d_cnot, d_swap, _, d_w) in PAPER_TABLE3.items():
+            expected = DEFAULT_LAMBDA * d_cnot + (1 - DEFAULT_LAMBDA) * d_swap
+            assert d_w == pytest.approx(expected, abs=0.011), basis
+
+    def test_table5_w_column(self):
+        for basis, (d_cnot, d_swap, _, d_w) in PAPER_TABLE5.items():
+            expected = DEFAULT_LAMBDA * d_cnot + (1 - DEFAULT_LAMBDA) * d_swap
+            assert d_w == pytest.approx(expected, abs=0.011), basis
+
+
+class TestEquationSevenConsistency:
+    def test_table3_rows_follow_eq7(self):
+        # D = K tmin + (K+1) D[1Q] with tmin = 0.5 for square roots,
+        # 1.0 otherwise, D[1Q] = 0.25, K from Table I.
+        for basis, (d_cnot, d_swap, _, _) in PAPER_TABLE3.items():
+            k_cnot, k_swap, _, _ = PAPER_TABLE1[basis]
+            tmin = 0.5 if basis.startswith("sqrt_") else 1.0
+            assert d_cnot == pytest.approx(
+                k_cnot * tmin + (k_cnot + 1) * 0.25, abs=0.011
+            ), basis
+            assert d_swap == pytest.approx(
+                k_swap * tmin + (k_swap + 1) * 0.25, abs=0.011
+            ), basis
+
+    def test_table2_linear_scales_table1(self):
+        for basis, row in PAPER_TABLE2["linear"].items():
+            d_basis, d_cnot, d_swap = row[0], row[1], row[2]
+            k_cnot, k_swap, _, _ = PAPER_TABLE1[basis]
+            assert d_cnot == pytest.approx(k_cnot * d_basis, abs=0.02), basis
+            assert d_swap == pytest.approx(k_swap * d_basis, abs=0.02), basis
+
+
+class TestTable6Consistency:
+    def test_infidelities_match_durations(self):
+        # 1 - F = 1 - exp(-2 * D * 100ns / 100us) ~ 0.002 * D.
+        durations = {
+            "CNOT": (1.75, 1.50),
+            "SWAP": (2.50, 2.25),
+        }
+        for target, (base_d, opt_d) in durations.items():
+            paper_base, paper_opt, _ = PAPER_TABLE6[target]
+            assert paper_base == pytest.approx(
+                1 - np.exp(-2 * base_d * 1e-3), abs=5e-5
+            ), target
+            assert paper_opt == pytest.approx(
+                1 - np.exp(-2 * opt_d * 1e-3), abs=5e-5
+            ), target
+
+
+class TestTable7Consistency:
+    def test_duration_percent_matches_columns(self):
+        for name, (base, opt, percent, _, _) in PAPER_TABLE7.items():
+            computed = 100 * (base - opt) / base
+            assert computed == pytest.approx(percent, abs=0.6), name
+
+    def test_average_improvement_is_published_value(self):
+        percents = [row[2] for row in PAPER_TABLE7.values()]
+        assert np.mean(percents) == pytest.approx(17.84, abs=0.2)
+
+    def test_fidelity_columns_follow_model(self):
+        # FQ% = 100 (exp(-opt/1000) - exp(-base/1000)) / exp(-base/1000).
+        for name, (base, opt, _, fq_percent, _) in PAPER_TABLE7.items():
+            expected = 100 * (np.exp((base - opt) / 1000.0) - 1)
+            assert fq_percent == pytest.approx(expected, rel=0.1), name

@@ -1,0 +1,169 @@
+"""Headline assertions: our numbers against the paper's published tables.
+
+Deterministic entries (named gate counts, speed-limit durations, the W
+scores, Table VI's CNOT/SWAP/W rows) are asserted to rounding precision;
+Monte-Carlo entries (Haar expectations) are asserted within tolerance
+bands around the paper's values.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.scoring import (
+    DEFAULT_LAMBDA,
+    PAPER_BASES,
+    duration_score,
+    gate_count_score,
+    parallel_duration_score,
+    parallel_gate_count_score,
+)
+from repro.core.speed_limit import (
+    LinearSpeedLimit,
+    SquaredSpeedLimit,
+    snail_speed_limit,
+)
+from repro.experiments.tables import (
+    PAPER_TABLE1,
+    PAPER_TABLE2,
+    PAPER_TABLE3,
+    PAPER_TABLE4,
+    PAPER_TABLE5,
+    PAPER_TABLE6,
+)
+from repro.transpiler.fidelity import PAPER_FIDELITY_MODEL
+
+
+def test_lambda_matches_paper_fit():
+    assert DEFAULT_LAMBDA == pytest.approx(0.47, abs=0.005)
+
+
+class TestTable1:
+    @pytest.mark.parametrize("basis", PAPER_BASES)
+    def test_row(self, basis, haar_samples):
+        score = gate_count_score(basis, haar_samples)
+        k_cnot, k_swap, e_haar, k_w = PAPER_TABLE1[basis]
+        assert score.k_cnot == k_cnot
+        assert score.k_swap == k_swap
+        assert score.k_weighted == pytest.approx(k_w, abs=0.01)
+        assert score.expected_haar == pytest.approx(e_haar, abs=0.08)
+
+
+class TestTable2:
+    @pytest.mark.parametrize(
+        "slf_name,slf_builder",
+        [
+            ("linear", LinearSpeedLimit),
+            ("squared", SquaredSpeedLimit),
+            ("snail", snail_speed_limit),
+        ],
+    )
+    def test_deterministic_columns(self, slf_name, slf_builder, haar_samples):
+        slf = slf_builder()
+        for basis in PAPER_BASES:
+            score = duration_score(basis, slf, 0.0, haar_samples)
+            d_basis, d_cnot, d_swap, _, d_w = PAPER_TABLE2[slf_name][basis]
+            # The paper prints two decimals (e.g. 0.35 for 1/(2 sqrt 2));
+            # the characterized SNAIL row additionally carries the
+            # hardware fit noise (DBasis 1.80 but D[CNOT] implies 1.78).
+            rel = 0.03 if slf_name == "snail" else 0.0
+            assert score.d_basis == pytest.approx(d_basis, rel=rel, abs=0.006)
+            assert score.d_cnot == pytest.approx(d_cnot, rel=rel, abs=0.03)
+            assert score.d_swap == pytest.approx(d_swap, rel=rel, abs=0.05)
+            assert score.d_weighted == pytest.approx(d_w, rel=rel, abs=0.05)
+
+    def test_linear_haar_column(self, haar_samples):
+        slf = LinearSpeedLimit()
+        for basis in PAPER_BASES:
+            score = duration_score(basis, slf, 0.0, haar_samples)
+            expected = PAPER_TABLE2["linear"][basis][3]
+            assert score.expected_haar == pytest.approx(expected, abs=0.06)
+
+
+class TestTable3:
+    @pytest.mark.parametrize("basis", PAPER_BASES)
+    def test_row(self, basis, haar_samples):
+        score = duration_score(
+            basis, LinearSpeedLimit(), 0.25, haar_samples
+        )
+        d_cnot, d_swap, e_haar, d_w = PAPER_TABLE3[basis]
+        assert score.d_cnot == pytest.approx(d_cnot, abs=0.01)
+        assert score.d_swap == pytest.approx(d_swap, abs=0.01)
+        assert score.d_weighted == pytest.approx(d_w, abs=0.01)
+        assert score.expected_haar == pytest.approx(e_haar, abs=0.08)
+
+
+class TestTable4:
+    @pytest.mark.parametrize("basis", PAPER_BASES)
+    def test_named_counts(self, basis, haar_samples):
+        score = parallel_gate_count_score(basis, haar_samples)
+        k_cnot, k_swap, _, _ = PAPER_TABLE4[basis]
+        assert score.k_cnot == k_cnot
+        assert score.k_swap == k_swap
+
+    @pytest.mark.parametrize("basis", PAPER_BASES)
+    def test_haar_column_band(self, basis, haar_samples):
+        score = parallel_gate_count_score(basis, haar_samples)
+        expected = PAPER_TABLE4[basis][2]
+        # Hull-based estimates vs the paper's own numerics: 0.35 band.
+        assert score.expected_haar == pytest.approx(expected, abs=0.35)
+
+    def test_parallel_improves_every_basis(self, haar_samples):
+        for basis in PAPER_BASES:
+            standard = gate_count_score(basis, haar_samples).expected_haar
+            extended = parallel_gate_count_score(
+                basis, haar_samples
+            ).expected_haar
+            assert extended <= standard + 0.05, basis
+
+
+class TestTable5:
+    @pytest.mark.parametrize("basis", PAPER_BASES)
+    def test_deterministic_columns(self, basis, haar_samples):
+        score = parallel_duration_score(basis, 0.25, haar_samples)
+        d_cnot, d_swap, _, d_w = PAPER_TABLE5[basis]
+        assert score.d_cnot == pytest.approx(d_cnot, abs=0.01)
+        assert score.d_swap == pytest.approx(d_swap, abs=0.01)
+        assert score.d_weighted == pytest.approx(d_w, abs=0.01)
+
+    def test_sqrt_iswap_remains_best_weighted(self, haar_samples):
+        # The paper's conclusion: sqrt(iSWAP) wins the W score after
+        # parallel drive.
+        scores = {
+            basis: parallel_duration_score(basis, 0.25, haar_samples)
+            for basis in PAPER_BASES
+        }
+        best = min(scores, key=lambda b: scores[b].d_weighted)
+        assert best == "sqrt_iSWAP"
+
+
+class TestTable6:
+    def test_deterministic_rows(self, haar_samples):
+        model = PAPER_FIDELITY_MODEL
+        baseline = duration_score(
+            "sqrt_iSWAP", LinearSpeedLimit(), 0.25, haar_samples
+        )
+        optimized = parallel_duration_score("sqrt_iSWAP", 0.25, haar_samples)
+        for target, base_d, opt_d in (
+            ("CNOT", baseline.d_cnot, optimized.d_cnot),
+            ("SWAP", baseline.d_swap, optimized.d_swap),
+            ("W(.47)", baseline.d_weighted, optimized.d_weighted),
+        ):
+            paper_base, paper_opt, _ = PAPER_TABLE6[target]
+            assert model.gate_infidelity(base_d) == pytest.approx(
+                paper_base, abs=1e-4
+            ), target
+            assert model.gate_infidelity(opt_d) == pytest.approx(
+                paper_opt, abs=1e-4
+            ), target
+
+    def test_haar_row_improves(self, haar_samples):
+        model = PAPER_FIDELITY_MODEL
+        baseline = duration_score(
+            "sqrt_iSWAP", LinearSpeedLimit(), 0.25, haar_samples
+        )
+        optimized = parallel_duration_score("sqrt_iSWAP", 0.25, haar_samples)
+        base_inf = model.gate_infidelity(baseline.expected_haar)
+        opt_inf = model.gate_infidelity(optimized.expected_haar)
+        improvement = 100 * (base_inf - opt_inf) / base_inf
+        # Paper: 10.5%; hull estimates put ours in a wider band.
+        assert 5.0 < improvement < 20.0

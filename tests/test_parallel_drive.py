@@ -1,0 +1,195 @@
+"""Tests for parallel-drive templates and synthesis (paper Sec. III)."""
+
+import numpy as np
+import pytest
+
+from repro.core.parallel_drive import (
+    ParallelDriveTemplate,
+    sample_template_coordinates,
+    synthesize,
+)
+from repro.quantum.linalg import allclose_up_to_global_phase, is_unitary
+from repro.quantum.weyl import named_gate_coordinates
+from repro.quantum.gates import ISWAP, SQRT_ISWAP
+
+
+class TestTemplate:
+    def test_parameter_counting(self):
+        template = ParallelDriveTemplate(
+            gc=np.pi / 2, gg=0.0, pulse_duration=1.0, steps_per_pulse=4,
+            repetitions=2, parallel=True,
+        )
+        # Per pulse: 2 phases + 2 * 4 amplitudes = 10; plus 6 interior.
+        assert template.num_parameters == 2 * 10 + 6
+
+    def test_standard_template_k1_has_no_parameters(self):
+        template = ParallelDriveTemplate(
+            gc=np.pi / 2, gg=0.0, pulse_duration=1.0, repetitions=1,
+            parallel=False,
+        )
+        assert template.num_parameters == 0
+
+    def test_undriven_template_is_basis_gate(self):
+        from repro.quantum.gates import canonical_gate
+        from repro.quantum.makhlin import locally_equivalent
+
+        template = ParallelDriveTemplate(
+            gc=np.pi / 2, gg=0.0, pulse_duration=1.0, repetitions=1,
+            parallel=False,
+        )
+        unitary = template.unitary(np.zeros(0))
+        assert allclose_up_to_global_phase(
+            unitary, canonical_gate(np.pi / 2, np.pi / 2, 0), atol=1e-9
+        )
+        assert locally_equivalent(unitary, ISWAP)
+
+    def test_half_pulse_is_sqrt_iswap_class(self):
+        from repro.quantum.makhlin import locally_equivalent
+
+        template = ParallelDriveTemplate(
+            gc=np.pi / 2, gg=0.0, pulse_duration=0.5, steps_per_pulse=2,
+            repetitions=1, parallel=False,
+        )
+        unitary = template.unitary(np.zeros(0))
+        assert locally_equivalent(unitary, SQRT_ISWAP)
+
+    def test_unitary_always_unitary(self, rng):
+        template = ParallelDriveTemplate(
+            gc=np.pi / 2, gg=0.3, pulse_duration=1.0, repetitions=2,
+        )
+        params = template.random_parameters(rng)
+        assert is_unitary(template.unitary(params))
+
+    def test_split_parameters_validation(self):
+        template = ParallelDriveTemplate(
+            gc=1.0, gg=0.0, pulse_duration=1.0, repetitions=1
+        )
+        with pytest.raises(ValueError):
+            template.split_parameters(np.zeros(3))
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            ParallelDriveTemplate(gc=1, gg=0, pulse_duration=0)
+        with pytest.raises(ValueError):
+            ParallelDriveTemplate(gc=1, gg=0, pulse_duration=1, repetitions=0)
+
+
+class TestSampling:
+    def test_sampled_coordinates_in_chamber(self):
+        from repro.quantum.weyl import in_weyl_chamber
+
+        template = ParallelDriveTemplate(
+            gc=np.pi / 2, gg=0.0, pulse_duration=1.0, repetitions=1
+        )
+        coords = sample_template_coordinates(template, 200, seed=1)
+        assert coords.shape == (200, 3)
+        assert all(in_weyl_chamber(c, atol=1e-6) for c in coords)
+
+    def test_standard_iswap_k1_is_single_point(self):
+        template = ParallelDriveTemplate(
+            gc=np.pi / 2, gg=0.0, pulse_duration=1.0, repetitions=1,
+            parallel=False,
+        )
+        coords = sample_template_coordinates(template, 50, seed=2)
+        assert np.allclose(coords, named_gate_coordinates("iSWAP"), atol=1e-7)
+
+    def test_parallel_drive_leaves_base_plane(self):
+        # The paper's key observation (Fig. 7): parallel 1Q drives lift
+        # the K=1 reachable set off the chamber base plane.
+        template = ParallelDriveTemplate(
+            gc=np.pi / 2, gg=0.0, pulse_duration=1.0, repetitions=1,
+            parallel=True,
+        )
+        coords = sample_template_coordinates(template, 500, seed=3)
+        assert (coords[:, 2] > 0.1).mean() > 0.3
+
+    def test_seeded_reproducibility(self):
+        template = ParallelDriveTemplate(
+            gc=np.pi / 2, gg=0.0, pulse_duration=1.0, repetitions=2
+        )
+        a = sample_template_coordinates(template, 64, seed=11)
+        b = sample_template_coordinates(template, 64, seed=11)
+        assert np.allclose(a, b)
+
+
+class TestSynthesis:
+    def test_cnot_from_parallel_iswap(self):
+        # Paper Fig. 8 / Fig. 10: one parallel-driven iSWAP pulse reaches
+        # the CNOT class.
+        template = ParallelDriveTemplate(
+            gc=np.pi / 2, gg=0.0, pulse_duration=1.0, repetitions=1
+        )
+        result = synthesize(
+            template, named_gate_coordinates("CNOT"), seed=1, restarts=4,
+            max_iterations=2500,
+        )
+        assert result.converged
+        assert np.allclose(
+            result.coordinates, named_gate_coordinates("CNOT"), atol=1e-4
+        )
+
+    def test_paper_constant_drive_solution(self):
+        # Fig. 10's printed solution: eps1 = 3, eps2 = 0 on all steps.
+        from repro.quantum.makhlin import makhlin_from_coordinates
+        from repro.quantum.makhlin import makhlin_invariants
+
+        template = ParallelDriveTemplate(
+            gc=np.pi / 2, gg=0.0, pulse_duration=1.0, repetitions=1
+        )
+        params = np.zeros(template.num_parameters)
+        params[2:6] = 3.0  # eps1 track
+        unitary = template.unitary(params)
+        target = makhlin_from_coordinates(named_gate_coordinates("CNOT"))
+        assert np.linalg.norm(makhlin_invariants(unitary) - target) < 5e-3
+
+    def test_swap_needs_two_parallel_iswaps(self):
+        template_k1 = ParallelDriveTemplate(
+            gc=np.pi / 2, gg=0.0, pulse_duration=1.0, repetitions=1
+        )
+        blocked = synthesize(
+            template_k1, named_gate_coordinates("SWAP"), seed=2, restarts=3,
+            max_iterations=1200,
+        )
+        assert not blocked.converged  # quantum-resource floor
+
+        template_k2 = ParallelDriveTemplate(
+            gc=np.pi / 2, gg=0.0, pulse_duration=1.0, repetitions=2
+        )
+        reached = synthesize(
+            template_k2, named_gate_coordinates("SWAP"), seed=2, restarts=4,
+            max_iterations=3000,
+        )
+        assert reached.converged
+
+    def test_unitary_target_accepted(self):
+        from repro.quantum.gates import CNOT
+
+        template = ParallelDriveTemplate(
+            gc=np.pi / 2, gg=0.0, pulse_duration=1.0, repetitions=1
+        )
+        result = synthesize(
+            template, CNOT, seed=4, restarts=3, max_iterations=2000
+        )
+        assert result.converged
+
+    def test_invalid_target_shape(self):
+        template = ParallelDriveTemplate(
+            gc=1.0, gg=0.0, pulse_duration=1.0
+        )
+        with pytest.raises(ValueError):
+            synthesize(template, np.zeros(5))
+
+    def test_history_recorded(self):
+        template = ParallelDriveTemplate(
+            gc=np.pi / 2, gg=0.0, pulse_duration=1.0, repetitions=1
+        )
+        result = synthesize(
+            template,
+            named_gate_coordinates("CNOT"),
+            seed=5,
+            restarts=1,
+            max_iterations=300,
+            record_history=True,
+        )
+        assert len(result.loss_history) == len(result.coordinate_history)
+        assert len(result.loss_history) > 100

@@ -1,0 +1,88 @@
+"""Tests for the end-to-end transpilation pipeline."""
+
+import pytest
+
+from repro.circuits.workloads import get_workload
+from repro.transpiler.coupling import square_lattice
+from repro.transpiler.layout import trivial_layout
+from repro.transpiler.pipeline import transpile, transpile_once
+from repro.transpiler.routing import route_circuit
+
+
+@pytest.fixture(scope="module")
+def lattice():
+    return square_lattice(4, 4)
+
+
+class TestTranspileOnce:
+    def test_produces_priced_circuit(self, lattice, baseline_rules):
+        circuit = get_workload("ghz", 16)
+        result = transpile_once(
+            circuit, lattice, baseline_rules,
+            trivial_layout(16, lattice), seed=1,
+        )
+        assert result.duration > 0
+        assert result.pulse_count > 0
+        for gate in result.circuit:
+            assert gate.name in ("pulse2q", "u1q")
+            assert gate.duration is not None
+
+    def test_shared_routing_isolates_decomposition(
+        self, lattice, baseline_rules, parallel_rules
+    ):
+        circuit = get_workload("qft", 16)
+        routed = route_circuit(
+            circuit, lattice, trivial_layout(16, lattice), seed=3
+        )
+        base = transpile_once(
+            circuit, lattice, baseline_rules,
+            trivial_layout(16, lattice), routed=routed,
+        )
+        opt = transpile_once(
+            circuit, lattice, parallel_rules,
+            trivial_layout(16, lattice), routed=routed,
+        )
+        assert base.swap_count == opt.swap_count
+        assert opt.duration < base.duration
+
+    def test_total_pulse_time_bounded_by_duration_times_qubits(
+        self, lattice, baseline_rules
+    ):
+        circuit = get_workload("hlf", 16)
+        result = transpile_once(
+            circuit, lattice, baseline_rules,
+            trivial_layout(16, lattice), seed=2,
+        )
+        # Each pulse occupies two qubits; the circuit-wide pulse time
+        # cannot exceed duration x qubits / 2.
+        assert result.total_pulse_time <= result.duration * 8 + 1e-9
+
+
+class TestBestOfN:
+    def test_multi_trial_no_worse_than_single(self, lattice, baseline_rules):
+        circuit = get_workload("qaoa", 16)
+        single = transpile(circuit, lattice, baseline_rules, trials=1, seed=5)
+        multi = transpile(circuit, lattice, baseline_rules, trials=5, seed=5)
+        assert multi.duration <= single.duration + 1e-9
+
+    def test_validation(self, lattice, baseline_rules):
+        circuit = get_workload("ghz", 16)
+        with pytest.raises(ValueError):
+            transpile(circuit, lattice, baseline_rules, trials=0)
+
+
+class TestPaperImprovements:
+    @pytest.mark.parametrize("workload", ["ghz", "qft", "vqe_linear", "hlf"])
+    def test_parallel_drive_improves_duration(
+        self, lattice, baseline_rules, parallel_rules, workload
+    ):
+        circuit = get_workload(workload, 16)
+        base = transpile(circuit, lattice, baseline_rules, trials=3, seed=7)
+        opt = transpile(circuit, lattice, parallel_rules, trials=3, seed=7)
+        improvement = (base.duration - opt.duration) / base.duration
+        # Paper Table VII reports 11-28%; our fractional-pulse rule is
+        # even cheaper on small controlled phases (QFT reaches ~44%), so
+        # the accepted band is wider on the high side.
+        assert 0.05 < improvement < 0.55, (
+            f"{workload}: improvement {improvement:.1%} outside band"
+        )

@@ -1,0 +1,120 @@
+"""Property-based tests for the circuit and transpiler layers."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.dag import asap_schedule
+from repro.circuits.qasm import from_qasm, to_qasm
+from repro.circuits.simulation import circuit_unitary, permutation_matrix
+from repro.quantum.linalg import allclose_up_to_global_phase
+from repro.transpiler.consolidate import collect_2q_blocks, merge_1q_runs
+from repro.transpiler.coupling import square_lattice
+from repro.transpiler.layout import trivial_layout
+from repro.transpiler.routing import route_circuit
+
+_ONE_Q = ("h", "s", "t", "x", "sdg")
+_TWO_Q = ("cx", "cz", "swap", "iswap")
+_PARAM_1Q = ("rx", "ry", "rz", "p")
+_PARAM_2Q = ("cp", "rzz")
+
+
+@st.composite
+def random_circuits(draw, num_qubits=4, max_gates=24):
+    """Random circuits over the registry vocabulary."""
+    circuit = QuantumCircuit(num_qubits)
+    count = draw(st.integers(min_value=1, max_value=max_gates))
+    for _ in range(count):
+        kind = draw(st.integers(0, 3))
+        if kind == 0:
+            name = draw(st.sampled_from(_ONE_Q))
+            circuit.add(name, [draw(st.integers(0, num_qubits - 1))])
+        elif kind == 1:
+            name = draw(st.sampled_from(_PARAM_1Q))
+            angle = draw(st.floats(-np.pi, np.pi, allow_nan=False))
+            circuit.add(name, [draw(st.integers(0, num_qubits - 1))], angle)
+        elif kind == 2:
+            name = draw(st.sampled_from(_TWO_Q))
+            a = draw(st.integers(0, num_qubits - 1))
+            b = draw(st.integers(0, num_qubits - 2))
+            if b >= a:
+                b += 1
+            circuit.add(name, [a, b])
+        else:
+            name = draw(st.sampled_from(_PARAM_2Q))
+            angle = draw(st.floats(-np.pi, np.pi, allow_nan=False))
+            a = draw(st.integers(0, num_qubits - 1))
+            b = draw(st.integers(0, num_qubits - 2))
+            if b >= a:
+                b += 1
+            circuit.add(name, [a, b], angle)
+    return circuit
+
+
+@given(circuit=random_circuits())
+@settings(max_examples=30, deadline=None)
+def test_inverse_composition_is_identity(circuit):
+    total = circuit.copy().compose(circuit.inverse())
+    assert allclose_up_to_global_phase(
+        circuit_unitary(total), np.eye(2**circuit.num_qubits), atol=1e-8
+    )
+
+
+@given(circuit=random_circuits())
+@settings(max_examples=30, deadline=None)
+def test_qasm_round_trip_preserves_unitary(circuit):
+    parsed = from_qasm(to_qasm(circuit))
+    assert allclose_up_to_global_phase(
+        circuit_unitary(parsed), circuit_unitary(circuit), atol=1e-8
+    )
+
+
+@given(circuit=random_circuits())
+@settings(max_examples=25, deadline=None)
+def test_consolidation_preserves_unitary(circuit):
+    blocked = collect_2q_blocks(merge_1q_runs(circuit))
+    assert allclose_up_to_global_phase(
+        circuit_unitary(blocked), circuit_unitary(circuit), atol=1e-8
+    )
+
+
+@given(circuit=random_circuits(), seed=st.integers(0, 2**31 - 1))
+@settings(max_examples=20, deadline=None)
+def test_routing_preserves_unitary_up_to_permutation(circuit, seed):
+    coupling = square_lattice(2, 2)
+    routed = route_circuit(
+        circuit, coupling, trivial_layout(4, coupling), seed=seed
+    )
+    for gate in routed.circuit:
+        if gate.num_qubits == 2:
+            assert coupling.are_adjacent(*gate.qubits)
+    permutation = permutation_matrix(routed.final_permutation(), 4)
+    assert allclose_up_to_global_phase(
+        permutation @ circuit_unitary(circuit),
+        circuit_unitary(routed.circuit),
+        atol=1e-8,
+    )
+
+
+@given(circuit=random_circuits())
+@settings(max_examples=25, deadline=None)
+def test_schedule_invariants(circuit):
+    priced = QuantumCircuit(circuit.num_qubits)
+    for gate in circuit:
+        from dataclasses import replace
+
+        priced.append(replace(gate, duration=0.5 * gate.num_qubits))
+    schedule = asap_schedule(priced)
+    # Start times respect per-qubit ordering and the makespan bounds.
+    assert schedule.total_duration >= max(
+        schedule.durations, default=0.0
+    )
+    busy: dict[int, float] = {q: 0.0 for q in range(circuit.num_qubits)}
+    for gate, start, duration in zip(
+        priced, schedule.start_times, schedule.durations
+    ):
+        for q in gate.qubits:
+            assert start >= busy[q] - 1e-12
+            busy[q] = start + duration
+    assert schedule.total_duration == max(busy.values())

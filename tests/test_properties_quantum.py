@@ -1,0 +1,90 @@
+"""Property-based tests (hypothesis) for the quantum substrate."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.quantum import gates
+from repro.quantum.kak import kak_decompose
+from repro.quantum.linalg import allclose_up_to_global_phase
+from repro.quantum.makhlin import makhlin_from_coordinates, makhlin_invariants
+from repro.quantum.random import haar_unitary, random_local_pair
+from repro.quantum.weyl import (
+    canonicalize_coordinates,
+    in_weyl_chamber,
+    weyl_coordinates,
+)
+
+_angles = st.floats(
+    min_value=-2 * np.pi,
+    max_value=2 * np.pi,
+    allow_nan=False,
+    allow_infinity=False,
+)
+_seeds = st.integers(min_value=0, max_value=2**31 - 1)
+
+
+@given(c1=_angles, c2=_angles, c3=_angles)
+@settings(max_examples=60, deadline=None)
+def test_canonicalization_lands_in_chamber(c1, c2, c3):
+    folded = canonicalize_coordinates(np.array([c1, c2, c3]))
+    assert in_weyl_chamber(folded)
+
+
+@given(c1=_angles, c2=_angles, c3=_angles)
+@settings(max_examples=60, deadline=None)
+def test_canonicalization_preserves_class(c1, c2, c3):
+    """Folding must not change the local-equivalence class."""
+    raw = np.array([c1, c2, c3])
+    folded = canonicalize_coordinates(raw)
+    raw_invariants = makhlin_invariants(gates.canonical_gate(*raw))
+    folded_invariants = makhlin_from_coordinates(folded)
+    assert np.allclose(raw_invariants, folded_invariants, atol=1e-7)
+
+
+@given(seed=_seeds)
+@settings(max_examples=40, deadline=None)
+def test_kak_reconstructs_haar_unitaries(seed):
+    u = haar_unitary(4, seed)
+    assert allclose_up_to_global_phase(
+        kak_decompose(u).unitary(), u, atol=1e-6
+    )
+
+
+@given(seed=_seeds)
+@settings(max_examples=40, deadline=None)
+def test_weyl_coordinates_local_invariance(seed):
+    rng = np.random.default_rng(seed)
+    u = haar_unitary(4, rng)
+    dressed = random_local_pair(rng) @ u @ random_local_pair(rng)
+    assert np.allclose(
+        weyl_coordinates(u), weyl_coordinates(dressed), atol=1e-6
+    )
+
+
+@given(seed=_seeds)
+@settings(max_examples=40, deadline=None)
+def test_invariants_consistent_with_coordinates(seed):
+    u = haar_unitary(4, seed)
+    assert np.allclose(
+        makhlin_invariants(u),
+        makhlin_from_coordinates(weyl_coordinates(u)),
+        atol=1e-6,
+    )
+
+
+@given(seed=_seeds)
+@settings(max_examples=30, deadline=None)
+def test_adjoint_lands_on_mirror_class(seed):
+    """U and U† are mirror classes: same invariants except the g2 sign.
+
+    (The transpose, by contrast, preserves the class: it is the adjoint
+    of the conjugate, and each of those mirrors once.)
+    """
+    u = haar_unitary(4, seed)
+    direct = makhlin_invariants(u)
+    adjoint = makhlin_invariants(u.conj().T)
+    transposed = makhlin_invariants(u.T)
+    assert np.allclose(direct[[0, 2]], adjoint[[0, 2]], atol=1e-7)
+    assert abs(direct[1] + adjoint[1]) < 1e-7
+    assert np.allclose(direct, transposed, atol=1e-7)

@@ -1,0 +1,184 @@
+"""Tests for the pulse substrate: operators, Hamiltonians, evolution."""
+
+import numpy as np
+import pytest
+
+from repro.pulse.evolution import (
+    batched_piecewise_propagators,
+    batched_step_propagators,
+    propagate_piecewise,
+    step_propagator,
+)
+from repro.pulse.hamiltonian import (
+    ConversionGainParameters,
+    conversion_gain_hamiltonian,
+    parallel_drive_hamiltonian,
+)
+from repro.pulse.operators import (
+    conversion_operator,
+    drive_operator,
+    gain_operator,
+    pauli_string,
+    qubit_lowering,
+)
+from repro.pulse.schedule import ParallelDriveSchedule
+from repro.quantum.gates import ISWAP, canonical_gate
+from repro.quantum.linalg import allclose_up_to_global_phase, is_hermitian, is_unitary
+
+
+class TestOperators:
+    def test_conversion_is_inner_block_xy(self):
+        op = conversion_operator(0.0)
+        assert np.allclose(op, (pauli_string("XX") + pauli_string("YY")) / 2)
+
+    def test_gain_is_outer_block(self):
+        op = gain_operator(0.0)
+        assert np.allclose(op, (pauli_string("XX") - pauli_string("YY")) / 2)
+
+    def test_operators_hermitian_for_any_phase(self):
+        for phi in (0.0, 0.7, np.pi, 4.0):
+            assert is_hermitian(conversion_operator(phi))
+            assert is_hermitian(gain_operator(phi))
+
+    def test_drive_operator_is_x(self):
+        assert np.allclose(drive_operator(0), pauli_string("XI"))
+        assert np.allclose(drive_operator(1), pauli_string("IX"))
+
+    def test_lowering_shape(self):
+        low = qubit_lowering(0, 2)
+        assert low.shape == (4, 4)
+        # a|10> = |00>
+        state = np.zeros(4)
+        state[2] = 1
+        assert np.allclose(low @ state, [1, 0, 0, 0])
+
+    def test_pauli_string_validation(self):
+        with pytest.raises(ValueError):
+            pauli_string("XQ")
+        with pytest.raises(ValueError):
+            pauli_string("")
+
+
+class TestHamiltonians:
+    def test_conversion_gain_hermitian(self):
+        ham = conversion_gain_hamiltonian(0.3, 0.7, 1.1, 0.2)
+        assert is_hermitian(ham)
+
+    def test_parallel_drive_adds_x_terms(self):
+        base = conversion_gain_hamiltonian(0.3, 0.7)
+        driven = parallel_drive_hamiltonian(0.3, 0.7, eps1=0.5, eps2=0.2)
+        delta = driven - base
+        expected = 0.5 * pauli_string("XI") + 0.2 * pauli_string("IX")
+        assert np.allclose(delta, expected)
+
+    def test_iswap_from_conversion_only(self):
+        # The conversion drive generates CAN(pi/2, pi/2, 0): the -i sign
+        # convention of the iSWAP class (locally equivalent to ISWAP).
+        ham = conversion_gain_hamiltonian(np.pi / 2, 0.0)
+        unitary = propagate_piecewise([ham], [1.0])
+        assert allclose_up_to_global_phase(
+            unitary, canonical_gate(np.pi / 2, np.pi / 2, 0), atol=1e-9
+        )
+        from repro.quantum.makhlin import locally_equivalent
+
+        assert locally_equivalent(unitary, ISWAP)
+
+    def test_cnot_class_from_equal_drives(self):
+        # Paper Eq. 4: theta_c = theta_g = pi/4 gives the CNOT class.
+        ham = conversion_gain_hamiltonian(np.pi / 4, np.pi / 4)
+        unitary = propagate_piecewise([ham], [1.0])
+        assert allclose_up_to_global_phase(
+            unitary, canonical_gate(np.pi / 2, 0, 0), atol=1e-9
+        )
+
+    def test_parameters_validation(self):
+        with pytest.raises(ValueError):
+            ConversionGainParameters(gc=1.0, gg=0.0, duration=0.0)
+        with pytest.raises(ValueError):
+            ConversionGainParameters(
+                gc=1.0, gg=0.0, duration=1.0, eps1=(1.0,), eps2=(1.0, 2.0)
+            )
+
+    def test_parameters_angles(self):
+        params = ConversionGainParameters(gc=2.0, gg=0.5, duration=0.25)
+        assert params.theta_c == pytest.approx(0.5)
+        assert params.theta_g == pytest.approx(0.125)
+
+
+class TestEvolution:
+    def test_step_propagator_matches_expm(self, rng):
+        from scipy.linalg import expm
+
+        ham = conversion_gain_hamiltonian(0.4, 0.9, 0.3, 1.7)
+        assert np.allclose(
+            step_propagator(ham, 0.37), expm(-1j * ham * 0.37), atol=1e-10
+        )
+
+    def test_piecewise_order(self):
+        # Two non-commuting steps: order must be first-step-first.
+        h1 = parallel_drive_hamiltonian(1.0, 0.0)
+        h2 = parallel_drive_hamiltonian(0.0, 0.0, eps1=1.0)
+        combined = propagate_piecewise([h1, h2], [0.5, 0.5])
+        manual = step_propagator(h2, 0.5) @ step_propagator(h1, 0.5)
+        assert np.allclose(combined, manual)
+
+    def test_piecewise_validation(self):
+        with pytest.raises(ValueError):
+            propagate_piecewise([np.eye(4)], [0.1, 0.2])
+        with pytest.raises(ValueError):
+            propagate_piecewise([], [])
+
+    def test_batched_matches_loop(self, rng):
+        hams = rng.normal(size=(8, 4, 4))
+        hams = hams + np.transpose(hams, (0, 2, 1))  # symmetrize
+        batched = batched_step_propagators(hams, 0.3)
+        for index in range(8):
+            assert np.allclose(
+                batched[index], step_propagator(hams[index], 0.3), atol=1e-10
+            )
+
+    def test_batched_piecewise_matches_loop(self, rng):
+        steps = rng.normal(size=(5, 3, 4, 4))
+        steps = steps + np.transpose(steps, (0, 1, 3, 2))
+        dts = np.array([0.2, 0.3, 0.1])
+        batched = batched_piecewise_propagators(steps, dts)
+        for index in range(5):
+            manual = propagate_piecewise(list(steps[index]), list(dts))
+            assert np.allclose(batched[index], manual, atol=1e-10)
+
+    def test_batched_piecewise_shape_validation(self):
+        with pytest.raises(ValueError):
+            batched_piecewise_propagators(np.zeros((3, 4, 4)), [0.1])
+
+
+class TestSchedule:
+    def test_full_iswap_pulse(self):
+        schedule = ParallelDriveSchedule.from_drives(
+            gc=np.pi / 2, gg=0.0, duration=1.0
+        )
+        assert allclose_up_to_global_phase(
+            schedule.unitary(), canonical_gate(np.pi / 2, np.pi / 2, 0)
+        )
+
+    def test_driven_pulse_unitary(self):
+        schedule = ParallelDriveSchedule.from_drives(
+            gc=np.pi / 2, gg=0.0, duration=1.0,
+            eps1=(3.0, 3.0, 3.0, 3.0), eps2=(0.0, 0.0, 0.0, 0.0),
+        )
+        assert is_unitary(schedule.unitary())
+
+    def test_partial_unitaries_endpoints(self):
+        schedule = ParallelDriveSchedule.from_drives(
+            gc=np.pi / 2, gg=0.0, duration=1.0, eps1=(1.0, 2.0), eps2=(0.5, 0.5)
+        )
+        partials = schedule.partial_unitaries(substeps_per_step=4)
+        assert np.allclose(partials[0], np.eye(4))
+        assert np.allclose(partials[-1], schedule.unitary(), atol=1e-9)
+        assert len(partials) == 2 * 4 + 1
+
+    def test_partial_unitaries_validation(self):
+        schedule = ParallelDriveSchedule.from_drives(
+            gc=1.0, gg=0.0, duration=1.0
+        )
+        with pytest.raises(ValueError):
+            schedule.partial_unitaries(substeps_per_step=0)

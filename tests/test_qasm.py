@@ -1,0 +1,64 @@
+"""Tests for OpenQASM 2.0 export/import."""
+
+import numpy as np
+import pytest
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.qasm import from_qasm, to_qasm
+from repro.circuits.simulation import circuit_unitary
+from repro.circuits.workloads import get_workload
+from repro.quantum.linalg import allclose_up_to_global_phase
+
+
+class TestRoundTrip:
+    def test_simple_circuit(self):
+        circuit = QuantumCircuit(3)
+        circuit.h(0).cx(0, 1).rz(0.25, 1).cp(np.pi / 8, 1, 2).swap(0, 2)
+        parsed = from_qasm(to_qasm(circuit))
+        assert parsed.num_qubits == 3
+        assert [g.name for g in parsed] == [g.name for g in circuit]
+        assert allclose_up_to_global_phase(
+            circuit_unitary(parsed), circuit_unitary(circuit), atol=1e-9
+        )
+
+    @pytest.mark.parametrize("workload", ["qft", "ghz", "qaoa", "adder"])
+    def test_workload_round_trip(self, workload):
+        circuit = get_workload(workload, 8)
+        parsed = from_qasm(to_qasm(circuit))
+        assert len(parsed) == len(circuit)
+        assert allclose_up_to_global_phase(
+            circuit_unitary(parsed), circuit_unitary(circuit), atol=1e-7
+        )
+
+    def test_parameter_precision(self):
+        circuit = QuantumCircuit(1).rz(0.123456789012345, 0)
+        parsed = from_qasm(to_qasm(circuit))
+        assert parsed[0].params[0] == pytest.approx(
+            0.123456789012345, abs=1e-15
+        )
+
+
+class TestValidation:
+    def test_matrix_gates_rejected(self):
+        circuit = QuantumCircuit(2)
+        circuit.unitary(np.eye(4), (0, 1))
+        with pytest.raises(ValueError):
+            to_qasm(circuit)
+
+    def test_malformed_line_rejected(self):
+        with pytest.raises(ValueError):
+            from_qasm("OPENQASM 2.0;\nqreg q[2];\nwat??;\n")
+
+    def test_missing_qreg_rejected(self):
+        with pytest.raises(ValueError):
+            from_qasm("OPENQASM 2.0;\nh q[0];\n")
+
+    def test_unknown_gate_rejected(self):
+        with pytest.raises(ValueError):
+            from_qasm("qreg q[1];\nfrobnicate q[0];\n")
+
+    def test_comments_ignored(self):
+        parsed = from_qasm(
+            "// header\nqreg q[1]; // register\nh q[0]; // gate\n"
+        )
+        assert len(parsed) == 1

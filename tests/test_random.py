@@ -1,0 +1,84 @@
+"""Tests for Haar-random sampling."""
+
+import numpy as np
+import pytest
+
+from repro.quantum.linalg import is_unitary
+from repro.quantum.random import (
+    as_rng,
+    haar_unitaries_batch,
+    haar_unitary,
+    random_local_pair,
+    random_local_pairs_batch,
+    random_su2,
+    random_su2_batch,
+    random_su4,
+)
+
+
+class TestBasicSamplers:
+    def test_haar_unitary_is_unitary(self, rng):
+        for dim in (2, 3, 4):
+            assert is_unitary(haar_unitary(dim, rng))
+
+    def test_rejects_bad_dim(self):
+        with pytest.raises(ValueError):
+            haar_unitary(0)
+
+    def test_seed_reproducibility(self):
+        assert np.allclose(haar_unitary(4, 5), haar_unitary(4, 5))
+
+    def test_su_normalization(self, rng):
+        assert abs(np.linalg.det(random_su2(rng)) - 1) < 1e-9
+        assert abs(np.linalg.det(random_su4(rng)) - 1) < 1e-9
+
+    def test_local_pair_shape(self, rng):
+        pair = random_local_pair(rng)
+        assert pair.shape == (4, 4)
+        assert is_unitary(pair)
+
+    def test_as_rng_passthrough(self):
+        generator = np.random.default_rng(1)
+        assert as_rng(generator) is generator
+
+
+class TestBatchedSamplers:
+    def test_batch_eigenphases_uniform(self):
+        # Haar eigenphases are uniform on (-pi, pi]: their mean vanishes
+        # and their second moment is pi^2 / 3.
+        batch = haar_unitaries_batch(4, 400, seed=11)
+        phases = np.angle(np.linalg.eigvals(batch)).ravel()
+        assert abs(phases.mean()) < 0.12
+        assert abs((phases**2).mean() - np.pi**2 / 3) < 0.3
+
+    def test_batch_unitarity(self):
+        batch = haar_unitaries_batch(4, 50, seed=3)
+        products = np.einsum("nij,nkj->nik", batch, batch.conj())
+        assert np.allclose(products, np.eye(4), atol=1e-9)
+
+    def test_su2_batch_dets(self):
+        batch = random_su2_batch(64, seed=5)
+        assert np.allclose(np.linalg.det(batch), 1.0, atol=1e-9)
+
+    def test_local_pairs_batch_structure(self):
+        from repro.quantum.linalg import kron_factor_4x4
+
+        batch = random_local_pairs_batch(10, seed=9)
+        for matrix in batch:
+            kron_factor_4x4(matrix)  # raises if not a local product
+
+    def test_batch_rejects_bad_count(self):
+        with pytest.raises(ValueError):
+            haar_unitaries_batch(4, 0)
+
+
+class TestHaarMoments:
+    def test_first_moment_vanishes(self):
+        batch = haar_unitaries_batch(4, 2000, seed=21)
+        assert np.abs(batch.mean(axis=0)).max() < 0.06
+
+    def test_entry_second_moment(self):
+        # E[|U_ij|^2] = 1/d for Haar measure.
+        batch = haar_unitaries_batch(4, 2000, seed=22)
+        second = (np.abs(batch) ** 2).mean(axis=0)
+        assert np.allclose(second, 0.25, atol=0.03)

@@ -1,0 +1,95 @@
+"""Tests for the scoring module's generic machinery."""
+
+import numpy as np
+import pytest
+
+from repro.core.scoring import (
+    DEFAULT_LAMBDA,
+    frequency_weighted_score,
+    weighted_score,
+)
+from repro.quantum.weyl import named_gate_coordinates
+
+
+class TestWeightedScore:
+    def test_paper_lambda_arithmetic(self):
+        # Table I: K[W] for iSWAP = .47*2 + .53*3 = 2.53.
+        assert weighted_score(2, 3) == pytest.approx(2.53, abs=0.01)
+
+    def test_lambda_extremes(self):
+        assert weighted_score(1.0, 9.0, lam=1.0) == 1.0
+        assert weighted_score(1.0, 9.0, lam=0.0) == 9.0
+
+    def test_lambda_validation(self):
+        with pytest.raises(ValueError):
+            weighted_score(1, 2, lam=1.5)
+
+
+class TestFrequencyWeightedScore:
+    def test_reduces_to_w_for_two_point_distribution(self, baseline_rules):
+        coords = np.array(
+            [
+                named_gate_coordinates("CNOT"),
+                named_gate_coordinates("SWAP"),
+            ]
+        )
+        frequencies = np.array([731.0, 828.0])
+        full = frequency_weighted_score(
+            coords, frequencies, baseline_rules.duration
+        )
+        two_point = weighted_score(
+            baseline_rules.duration(coords[0]),
+            baseline_rules.duration(coords[1]),
+            lam=DEFAULT_LAMBDA,
+        )
+        assert full == pytest.approx(two_point)
+
+    def test_normalization_invariance(self, baseline_rules):
+        coords = np.array(
+            [
+                named_gate_coordinates("CNOT"),
+                named_gate_coordinates("iSWAP"),
+            ]
+        )
+        once = frequency_weighted_score(
+            coords, np.array([1.0, 3.0]), baseline_rules.duration
+        )
+        scaled = frequency_weighted_score(
+            coords, np.array([10.0, 30.0]), baseline_rules.duration
+        )
+        assert once == pytest.approx(scaled)
+
+    def test_validation(self, baseline_rules):
+        coords = named_gate_coordinates("CNOT")[None, :]
+        with pytest.raises(ValueError):
+            frequency_weighted_score(
+                coords, np.array([1.0, 2.0]), baseline_rules.duration
+            )
+        with pytest.raises(ValueError):
+            frequency_weighted_score(
+                coords, np.array([-1.0]), baseline_rules.duration
+            )
+        with pytest.raises(ValueError):
+            frequency_weighted_score(
+                coords, np.array([0.0]), baseline_rules.duration
+            )
+
+    def test_parallel_rules_beat_baseline_on_fig3b_mix(
+        self, baseline_rules, parallel_rules
+    ):
+        # A CNOT/SWAP/iSWAP mix like the paper's shot chart.
+        coords = np.array(
+            [
+                named_gate_coordinates("CNOT"),
+                named_gate_coordinates("SWAP"),
+                named_gate_coordinates("iSWAP"),
+            ]
+        )
+        frequencies = np.array([731.0, 828.0, 150.0])
+        base = frequency_weighted_score(
+            coords, frequencies, baseline_rules.duration
+        )
+        optimized = frequency_weighted_score(
+            coords, frequencies, parallel_rules.duration
+        )
+        assert optimized < base

@@ -1,0 +1,110 @@
+"""Tests for the synthetic SNAIL characterization (Fig. 3c substitute)."""
+
+import numpy as np
+import pytest
+
+from repro.pulse.snail import CharacterizationSweep, SNAILModel, fit_boundary
+
+
+class TestModel:
+    def test_boundary_monotone_decreasing(self):
+        model = SNAILModel()
+        gc = np.linspace(0, model.conversion_max_mhz, 200)
+        boundary = model.breakdown_boundary(gc)
+        assert np.all(np.diff(boundary) <= 1e-9)
+
+    def test_conversion_twice_as_strong_as_gain(self):
+        # The paper's headline asymmetry: gc can be driven much harder.
+        model = SNAILModel()
+        assert model.conversion_max_mhz > 2 * model.gain_max_mhz
+
+    def test_exceeds_speed_limit(self):
+        model = SNAILModel()
+        assert model.exceeds_speed_limit(model.conversion_max_mhz + 1, 0.0)
+        assert not model.exceeds_speed_limit(1.0, 1.0)
+
+    def test_probability_transitions_at_boundary(self):
+        model = SNAILModel()
+        gc = 20.0
+        boundary = float(model.breakdown_boundary(gc))
+        at = model.ground_state_probability(np.array(gc), np.array(boundary))
+        assert at == pytest.approx(0.5, abs=1e-9)
+        inside = model.ground_state_probability(np.array(gc), np.array(0.0))
+        outside = model.ground_state_probability(
+            np.array(gc), np.array(boundary + 10)
+        )
+        assert inside > 0.99
+        assert outside < 0.01
+
+    def test_breakdown_past_conversion_intercept(self):
+        # Even with zero gain, over-driving conversion breaks the coupler
+        # (the margin keeps decreasing past the intercept).
+        model = SNAILModel()
+        at_edge = model.ground_state_probability(
+            np.array(model.conversion_max_mhz), np.array(0.0)
+        )
+        beyond = model.ground_state_probability(
+            np.array(model.conversion_max_mhz + 15.0), np.array(0.0)
+        )
+        assert at_edge == pytest.approx(0.5, abs=1e-6)
+        assert beyond < 0.05
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SNAILModel(conversion_max_mhz=-1)
+        with pytest.raises(ValueError):
+            SNAILModel(transition_width_mhz=0)
+
+
+class TestSweep:
+    def test_sweep_shape_and_range(self):
+        model = SNAILModel()
+        sweep = model.characterization_sweep(n_gc=20, n_gg=15, shots=50, seed=1)
+        assert sweep.ground_population.shape == (15, 20)
+        assert np.all(sweep.ground_population >= 0)
+        assert np.all(sweep.ground_population <= 1)
+
+    def test_sweep_seed_reproducible(self):
+        model = SNAILModel()
+        a = model.characterization_sweep(n_gc=10, n_gg=10, shots=50, seed=3)
+        b = model.characterization_sweep(n_gc=10, n_gg=10, shots=50, seed=3)
+        assert np.allclose(a.ground_population, b.ground_population)
+
+    def test_sweep_validation(self):
+        model = SNAILModel()
+        with pytest.raises(ValueError):
+            model.characterization_sweep(n_gc=1)
+        with pytest.raises(ValueError):
+            model.characterization_sweep(shots=0)
+
+
+class TestBoundaryFit:
+    def test_fit_recovers_true_boundary(self):
+        model = SNAILModel()
+        sweep = model.characterization_sweep(seed=7)
+        gc_fit, gg_fit = fit_boundary(sweep)
+        truth = model.breakdown_boundary(gc_fit)
+        # Shot noise + grid resolution: sub-MHz recovery expected.
+        assert np.max(np.abs(gg_fit - truth)) < 1.0
+
+    def test_fit_covers_both_intercepts(self):
+        model = SNAILModel()
+        gc_fit, gg_fit = fit_boundary(model.characterization_sweep(seed=7))
+        assert gc_fit[0] < 2.0  # near the gain axis
+        assert abs(gc_fit[-1] - model.conversion_max_mhz) < 3.0
+
+    def test_fit_threshold_validation(self):
+        model = SNAILModel()
+        sweep = model.characterization_sweep(n_gc=20, n_gg=15, seed=1)
+        with pytest.raises(ValueError):
+            fit_boundary(sweep, threshold=1.5)
+
+    def test_fit_rejects_unresolvable_sweep(self):
+        sweep = CharacterizationSweep(
+            gc_values=np.array([0.0, 1.0]),
+            gg_values=np.array([0.0, 1.0]),
+            ground_population=np.ones((2, 2)),
+            shots=10,
+        )
+        with pytest.raises(ValueError):
+            fit_boundary(sweep)

@@ -1,0 +1,136 @@
+"""Tests for speed-limit functions and Algorithm 1 (duration scaling)."""
+
+import numpy as np
+import pytest
+
+from repro.core.speed_limit import (
+    CharacterizedSpeedLimit,
+    LinearSpeedLimit,
+    SquaredSpeedLimit,
+    decomposition_duration,
+    snail_speed_limit,
+)
+from repro.quantum.weyl import named_gate_coordinates
+
+_HALF_PI = np.pi / 2
+
+
+class TestLinear:
+    def test_intercepts(self):
+        slf = LinearSpeedLimit()
+        assert slf.max_conversion == pytest.approx(_HALF_PI)
+        assert slf.max_gain == pytest.approx(_HALF_PI)
+
+    def test_ray_intersection(self):
+        slf = LinearSpeedLimit()
+        gc, gg = slf.max_strengths(beta=1.0)
+        assert gc == pytest.approx(_HALF_PI / 2)
+        assert gg == pytest.approx(gc)
+
+    def test_iswap_normalized_to_one(self):
+        slf = LinearSpeedLimit()
+        assert slf.min_duration(_HALF_PI, 0.0) == pytest.approx(1.0)
+
+    @pytest.mark.parametrize(
+        "gate,expected",
+        [
+            ("iSWAP", 1.0), ("sqrt_iSWAP", 0.5), ("CNOT", 1.0),
+            ("sqrt_CNOT", 0.5), ("B", 1.0), ("sqrt_B", 0.5),
+        ],
+    )
+    def test_paper_table2_linear_row(self, gate, expected):
+        slf = LinearSpeedLimit()
+        duration = slf.gate_duration(named_gate_coordinates(gate))
+        assert duration == pytest.approx(expected, abs=1e-9)
+
+    def test_feasible_region(self):
+        slf = LinearSpeedLimit()
+        assert slf.feasible(0.5, 0.5)
+        assert not slf.feasible(1.5, 0.5)
+        assert not slf.feasible(-0.1, 0.0)
+
+
+class TestSquared:
+    @pytest.mark.parametrize(
+        "gate,expected",
+        [
+            ("iSWAP", 1.0), ("sqrt_iSWAP", 0.5), ("CNOT", 0.7071),
+            ("sqrt_CNOT", 0.3536), ("B", 0.7906), ("sqrt_B", 0.3953),
+        ],
+    )
+    def test_paper_table2_squared_row(self, gate, expected):
+        slf = SquaredSpeedLimit()
+        duration = slf.gate_duration(named_gate_coordinates(gate))
+        assert duration == pytest.approx(expected, abs=1e-3)
+
+    def test_convexity_advantage(self):
+        # The squared SLF lets combined drives run faster than linear.
+        linear = LinearSpeedLimit().min_duration(np.pi / 4, np.pi / 4)
+        squared = SquaredSpeedLimit().min_duration(np.pi / 4, np.pi / 4)
+        assert squared < linear
+
+
+class TestCharacterized:
+    @pytest.fixture(scope="class")
+    def snail(self):
+        return snail_speed_limit(seed=7)
+
+    @pytest.mark.parametrize(
+        "gate,paper",
+        [
+            ("iSWAP", 1.00), ("sqrt_iSWAP", 0.50), ("CNOT", 1.80),
+            ("sqrt_CNOT", 0.90), ("B", 1.40), ("sqrt_B", 0.70),
+        ],
+    )
+    def test_paper_table2_snail_row(self, snail, gate, paper):
+        duration = snail.gate_duration(named_gate_coordinates(gate))
+        assert duration == pytest.approx(paper, rel=0.03)
+
+    def test_conversion_preferred(self, snail):
+        # "gc can be driven much harder than gg".
+        assert snail.max_conversion > 2 * snail.max_gain
+
+    def test_boundary_nonlinear(self, snail):
+        # Sampled midpoints deviate from the straight line between
+        # intercepts: the SNAIL SLF is non-linear.
+        gc = np.linspace(0, snail.max_conversion, 50)
+        chord = snail.max_gain * (1 - gc / snail.max_conversion)
+        boundary = np.array([snail.boundary(x) for x in gc])
+        assert np.max(np.abs(boundary - chord)) > 0.05 * snail.max_gain
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CharacterizedSpeedLimit(np.array([0.0, 1.0]), np.array([1.0, 0.0]))
+        with pytest.raises(ValueError):
+            CharacterizedSpeedLimit(
+                np.array([1.0, 0.5, 2.0]), np.array([1.0, 0.5, 0.0])
+            )
+
+
+class TestAlgorithm1:
+    def test_gain_only_gate(self):
+        slf = LinearSpeedLimit()
+        assert slf.min_duration(0.0, _HALF_PI) == pytest.approx(1.0)
+
+    def test_identity_gate_free(self):
+        assert LinearSpeedLimit().min_duration(0.0, 0.0) == 0.0
+
+    def test_rejects_negative_beta(self):
+        with pytest.raises(ValueError):
+            LinearSpeedLimit().max_strengths(-1.0)
+
+    def test_off_base_plane_rejected(self):
+        with pytest.raises(ValueError):
+            LinearSpeedLimit().gate_duration(np.array([1.0, 0.5, 0.3]))
+
+    def test_duration_formula(self):
+        # Eq. 7: K * tmin + (K+1) * D[1Q].
+        assert decomposition_duration(2, 0.5, 0.25) == pytest.approx(1.75)
+        assert decomposition_duration(3, 0.5, 0.25) == pytest.approx(2.5)
+        assert decomposition_duration(0, 1.0, 0.25) == pytest.approx(0.25)
+
+    def test_duration_validation(self):
+        with pytest.raises(ValueError):
+            decomposition_duration(-1, 0.5)
+        with pytest.raises(ValueError):
+            decomposition_duration(1, -0.5)

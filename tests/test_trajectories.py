@@ -1,0 +1,84 @@
+"""Tests for Cartan trajectories (paper Fig. 1 / Fig. 8d)."""
+
+import numpy as np
+import pytest
+
+from repro.core.trajectories import (
+    cnot_trajectories,
+    pulse_trajectory,
+    swap_trajectories,
+)
+from repro.pulse.schedule import ParallelDriveSchedule
+from repro.quantum.weyl import (
+    coordinates_distance,
+    in_weyl_chamber,
+    named_gate_coordinates,
+)
+
+
+class TestPulseTrajectory:
+    def test_starts_at_identity(self):
+        schedule = ParallelDriveSchedule.from_drives(
+            gc=np.pi / 2, gg=0.0, duration=1.0
+        )
+        coords, _ = pulse_trajectory(schedule, substeps=6)
+        assert np.allclose(coords[0], 0.0, atol=1e-7)
+
+    def test_undriven_pulse_walks_iswap_ray(self):
+        schedule = ParallelDriveSchedule.from_drives(
+            gc=np.pi / 2, gg=0.0, duration=1.0
+        )
+        coords, _ = pulse_trajectory(schedule, substeps=8)
+        # Straight line: c1 == c2, c3 == 0 throughout.
+        assert np.allclose(coords[:, 0], coords[:, 1], atol=1e-6)
+        assert np.allclose(coords[:, 2], 0.0, atol=1e-6)
+        assert np.allclose(
+            coords[-1], named_gate_coordinates("iSWAP"), atol=1e-6
+        )
+
+    def test_driven_pulse_bends(self):
+        schedule = ParallelDriveSchedule.from_drives(
+            gc=np.pi / 2, gg=0.0, duration=1.0,
+            eps1=(3.0,) * 4, eps2=(0.0,) * 4,
+        )
+        coords, _ = pulse_trajectory(schedule, substeps=8)
+        # The parallel drive bends the path off the iSWAP ray.
+        deviation = np.abs(coords[:, 0] - coords[:, 1]).max()
+        assert deviation > 0.3
+
+
+@pytest.mark.slow
+class TestFig1Trajectories:
+    @pytest.fixture(scope="class")
+    def cnot(self):
+        return cnot_trajectories(seed=7)
+
+    @pytest.fixture(scope="class")
+    def swap(self):
+        return swap_trajectories(seed=7)
+
+    def test_cnot_endpoints(self, cnot):
+        target = named_gate_coordinates("CNOT")
+        for style, trajectory in cnot.items():
+            assert coordinates_distance(trajectory.endpoint, target) < 1e-3
+
+    def test_swap_endpoints(self, swap):
+        target = named_gate_coordinates("SWAP")
+        for style, trajectory in swap.items():
+            assert coordinates_distance(trajectory.endpoint, target) < 1e-3
+
+    def test_parallel_removes_cnot_stop(self, cnot):
+        # Fig. 1b: CNOT without intermediate 1Q gates.
+        assert len(cnot["traditional"].markers) == 1
+        assert len(cnot["parallel"].markers) == 0
+
+    def test_parallel_removes_one_swap_stop(self, swap):
+        # Fig. 1b: one fewer interspersed 1Q layer for SWAP.
+        assert len(swap["traditional"].markers) == 2
+        assert len(swap["parallel"].markers) == 1
+
+    def test_all_points_in_chamber(self, cnot):
+        for trajectory in cnot.values():
+            for segment in trajectory.segments:
+                for coords in segment:
+                    assert in_weyl_chamber(coords, atol=1e-5)

@@ -1,0 +1,217 @@
+"""Tests for coupling maps, layouts, routing, and consolidation."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import QuantumCircuit, circuit_unitary, permutation_matrix
+from repro.circuits.workloads import get_workload
+from repro.quantum.linalg import allclose_up_to_global_phase
+from repro.transpiler.consolidate import collect_2q_blocks, merge_1q_runs
+from repro.transpiler.coupling import (
+    heavy_hex,
+    line_topology,
+    square_lattice,
+)
+from repro.transpiler.layout import Layout, random_layout, trivial_layout
+from repro.transpiler.routing import route_circuit
+
+
+class TestCoupling:
+    def test_square_lattice_structure(self):
+        lattice = square_lattice(4, 4)
+        assert lattice.num_qubits == 16
+        assert len(lattice.edges) == 24  # 2 * 4 * 3
+        assert lattice.are_adjacent(0, 1)
+        assert not lattice.are_adjacent(0, 5)
+
+    def test_lattice_distances(self):
+        lattice = square_lattice(4, 4)
+        assert lattice.distance(0, 15) == 6  # Manhattan corner-to-corner
+        assert lattice.distance(5, 5) == 0
+
+    def test_line_topology(self):
+        line = line_topology(5)
+        assert line.distance(0, 4) == 4
+
+    def test_heavy_hex_connected(self):
+        patch = heavy_hex()
+        assert patch.num_qubits == 27
+        assert patch.distance(0, 26) > 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            square_lattice(0, 4)
+        with pytest.raises(ValueError):
+            line_topology(1)
+
+
+class TestLayout:
+    def test_trivial_layout(self):
+        lattice = square_lattice(2, 2)
+        layout = trivial_layout(3, lattice)
+        assert layout.physical(2) == 2
+        assert layout.logical(3) is None
+
+    def test_swap_physical_updates_both_directions(self):
+        layout = Layout([0, 1, 2], 4)
+        layout.swap_physical(0, 3)
+        assert layout.physical(0) == 3
+        assert layout.logical(3) == 0
+        assert layout.logical(0) is None
+
+    def test_random_layout_injective(self, rng):
+        lattice = square_lattice(4, 4)
+        layout = random_layout(10, lattice, rng)
+        physicals = [layout.physical(q) for q in range(10)]
+        assert len(set(physicals)) == 10
+
+    def test_oversubscription_rejected(self):
+        with pytest.raises(ValueError):
+            trivial_layout(5, square_lattice(2, 2))
+
+    def test_non_injective_rejected(self):
+        with pytest.raises(ValueError):
+            Layout([0, 0], 4)
+
+
+class TestRouting:
+    @pytest.mark.parametrize("workload", ["qft", "qaoa", "hlf"])
+    def test_routed_gates_adjacent(self, workload):
+        lattice = square_lattice(4, 4)
+        circuit = get_workload(workload, 16)
+        routed = route_circuit(
+            circuit, lattice, trivial_layout(16, lattice), seed=1
+        )
+        for gate in routed.circuit:
+            if gate.num_qubits == 2:
+                assert lattice.are_adjacent(*gate.qubits)
+
+    def test_unitary_equivalence_small(self):
+        lattice = square_lattice(2, 3)
+        circuit = get_workload("qft", 6)
+        routed = route_circuit(
+            circuit, lattice, trivial_layout(6, lattice), seed=2
+        )
+        permutation = permutation_matrix(routed.final_permutation(), 6)
+        assert allclose_up_to_global_phase(
+            permutation @ circuit_unitary(circuit),
+            circuit_unitary(routed.circuit),
+            atol=1e-7,
+        )
+
+    def test_adjacent_circuit_needs_no_swaps(self):
+        lattice = line_topology(4)
+        circuit = QuantumCircuit(4)
+        circuit.cx(0, 1).cx(1, 2).cx(2, 3)
+        routed = route_circuit(
+            circuit, lattice, trivial_layout(4, lattice), seed=0
+        )
+        assert routed.swap_count == 0
+
+    def test_rejects_three_qubit_gates(self):
+        from repro.circuits.gate import Gate
+
+        lattice = line_topology(4)
+        circuit = QuantumCircuit(4)
+        circuit.append(Gate("big", (0, 1, 2), matrix=np.eye(8)))
+        with pytest.raises(ValueError):
+            route_circuit(circuit, lattice, trivial_layout(4, lattice))
+
+    def test_deterministic_given_seed(self):
+        lattice = square_lattice(4, 4)
+        circuit = get_workload("qaoa", 16)
+        layout = trivial_layout(16, lattice)
+        first = route_circuit(circuit, lattice, layout, seed=5)
+        second = route_circuit(circuit, lattice, layout, seed=5)
+        assert first.swap_count == second.swap_count
+        assert [g.qubits for g in first.circuit] == [
+            g.qubits for g in second.circuit
+        ]
+
+
+class TestConsolidation:
+    def test_merge_1q_runs_preserves_unitary(self, rng):
+        circuit = QuantumCircuit(2)
+        circuit.h(0).t(0).rx(0.3, 0).cx(0, 1).s(1).sdg(1).h(1)
+        merged = merge_1q_runs(circuit)
+        assert allclose_up_to_global_phase(
+            circuit_unitary(merged), circuit_unitary(circuit), atol=1e-9
+        )
+        # h-t-rx fused into one gate before the cx.
+        assert merged.count_ops()["u1q"] == 2
+
+    def test_collect_blocks_preserves_unitary(self):
+        circuit = QuantumCircuit(3)
+        circuit.h(0).cx(0, 1).rz(0.2, 1).cx(0, 1).cx(1, 2).swap(1, 2)
+        blocked = collect_2q_blocks(circuit)
+        assert allclose_up_to_global_phase(
+            circuit_unitary(blocked), circuit_unitary(circuit), atol=1e-9
+        )
+
+    def test_cnot_swap_merges_to_iswap_class(self):
+        from repro.quantum.weyl import weyl_coordinates
+
+        circuit = QuantumCircuit(2)
+        circuit.cx(0, 1).swap(0, 1)
+        blocked = collect_2q_blocks(circuit)
+        blocks = [g for g in blocked if g.name == "block"]
+        assert len(blocks) == 1
+        coords = weyl_coordinates(blocks[0].to_matrix())
+        # Paper footnote 2: CNOT followed by SWAP is an iSWAP equivalent.
+        assert np.allclose(coords, [np.pi / 2, np.pi / 2, 0], atol=1e-7)
+
+    def test_blocks_respect_interleaving_barrier(self):
+        circuit = QuantumCircuit(3)
+        circuit.cx(0, 1).cx(1, 2).cx(0, 1)
+        blocked = collect_2q_blocks(circuit)
+        blocks = [g for g in blocked if g.name == "block"]
+        # cx(1,2) interrupts the (0,1) run: three separate blocks.
+        assert len(blocks) == 3
+
+    def test_reversed_orientation_absorbed(self):
+        circuit = QuantumCircuit(2)
+        circuit.cx(0, 1).cx(1, 0)
+        blocked = collect_2q_blocks(circuit)
+        blocks = [g for g in blocked if g.name == "block"]
+        assert len(blocks) == 1
+        assert allclose_up_to_global_phase(
+            circuit_unitary(blocked), circuit_unitary(circuit), atol=1e-9
+        )
+
+
+class TestRouterParameters:
+    def test_lookahead_validation(self):
+        lattice = square_lattice(2, 2)
+        circuit = QuantumCircuit(4).cx(0, 3)
+        with pytest.raises(ValueError):
+            route_circuit(
+                circuit, lattice, trivial_layout(4, lattice), lookahead=0
+            )
+        with pytest.raises(ValueError):
+            route_circuit(
+                circuit, lattice, trivial_layout(4, lattice), decay=0.0
+            )
+
+    def test_greedy_mode_still_correct(self):
+        lattice = square_lattice(4, 4)
+        circuit = get_workload("qaoa", 16)
+        routed = route_circuit(
+            circuit, lattice, trivial_layout(16, lattice), seed=2,
+            lookahead=1,
+        )
+        for gate in routed.circuit:
+            if gate.num_qubits == 2:
+                assert lattice.are_adjacent(*gate.qubits)
+
+    def test_heavy_hex_routing(self):
+        patch = heavy_hex()
+        circuit = get_workload("ghz", 16)
+        routed = route_circuit(
+            circuit, patch, trivial_layout(16, patch), seed=4
+        )
+        for gate in routed.circuit:
+            if gate.num_qubits == 2:
+                assert patch.are_adjacent(*gate.qubits)
+        # Heavy hex is sparser than the square lattice: routing a chain
+        # over the first 16 physical qubits needs SWAPs.
+        assert routed.swap_count > 0

@@ -1,0 +1,136 @@
+"""Tests for Weyl-chamber coordinates."""
+
+import numpy as np
+import pytest
+
+from repro.quantum import gates
+from repro.quantum.random import (
+    haar_unitaries_batch,
+    random_local_pair,
+)
+from repro.quantum.weyl import (
+    WEYL_POINTS,
+    batched_weyl_coordinates,
+    canonicalize_coordinates,
+    coordinates_distance,
+    in_weyl_chamber,
+    is_base_plane,
+    is_left_half,
+    mirror_coordinates,
+    named_gate_coordinates,
+    weyl_coordinates,
+)
+
+_NAMED_MATRICES = {
+    "I": np.eye(4),
+    "CNOT": gates.CNOT,
+    "CZ": gates.CZ,
+    "iSWAP": gates.ISWAP,
+    "DCNOT": gates.DCNOT,
+    "SWAP": gates.SWAP,
+    "B": gates.B_GATE,
+    "sqrt_iSWAP": gates.SQRT_ISWAP,
+    "sqrt_CNOT": gates.SQRT_CNOT,
+    "sqrt_B": gates.SQRT_B,
+}
+
+
+class TestNamedGates:
+    @pytest.mark.parametrize("name", sorted(_NAMED_MATRICES))
+    def test_named_coordinates(self, name):
+        got = weyl_coordinates(_NAMED_MATRICES[name])
+        assert np.allclose(got, named_gate_coordinates(name), atol=1e-7)
+
+    def test_cz_equals_cnot_class(self):
+        assert np.allclose(
+            weyl_coordinates(gates.CZ), weyl_coordinates(gates.CNOT)
+        )
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            named_gate_coordinates("nope")
+
+    def test_all_named_points_in_chamber(self):
+        for point in WEYL_POINTS.values():
+            assert in_weyl_chamber(np.array(point))
+
+
+class TestInvariance:
+    def test_local_invariance(self, rng):
+        coords = np.array([0.9, 0.5, 0.2])
+        base = gates.canonical_gate(*coords)
+        for _ in range(20):
+            dressed = random_local_pair(rng) @ base @ random_local_pair(rng)
+            assert np.allclose(weyl_coordinates(dressed), coords, atol=1e-6)
+
+    def test_global_phase_invariance(self, rng):
+        u = gates.canonical_gate(1.1, 0.4, 0.3)
+        assert np.allclose(
+            weyl_coordinates(np.exp(0.7j) * u), weyl_coordinates(u)
+        )
+
+    def test_right_half_preserved(self):
+        coords = np.array([2.2, 0.5, 0.3])
+        got = weyl_coordinates(gates.canonical_gate(*coords))
+        assert np.allclose(got, coords, atol=1e-7)
+        assert not is_left_half(got)
+
+    def test_base_plane_mirror_identified(self):
+        left = weyl_coordinates(gates.canonical_gate(np.pi / 4, 0, 0))
+        right = weyl_coordinates(gates.canonical_gate(3 * np.pi / 4, 0, 0))
+        assert np.allclose(left, right, atol=1e-7)
+
+
+class TestCanonicalization:
+    def test_idempotent(self, rng):
+        for _ in range(50):
+            raw = rng.uniform(-2 * np.pi, 2 * np.pi, 3)
+            once = canonicalize_coordinates(raw)
+            twice = canonicalize_coordinates(once)
+            assert np.allclose(once, twice, atol=1e-9)
+            assert in_weyl_chamber(once)
+
+    def test_matches_matrix_route(self, rng):
+        for _ in range(50):
+            raw = rng.uniform(-np.pi, np.pi, 3)
+            via_matrix = weyl_coordinates(gates.canonical_gate(*raw))
+            via_fold = canonicalize_coordinates(raw)
+            assert np.allclose(via_matrix, via_fold, atol=1e-6)
+
+    def test_rejects_wrong_shape(self):
+        with pytest.raises(ValueError):
+            canonicalize_coordinates(np.array([1.0, 2.0]))
+
+
+class TestBatched:
+    def test_matches_scalar(self):
+        batch = haar_unitaries_batch(4, 100, seed=17)
+        vectorized = batched_weyl_coordinates(batch)
+        looped = np.array([weyl_coordinates(u) for u in batch])
+        assert np.allclose(vectorized, looped, atol=1e-9)
+
+    def test_all_in_chamber(self):
+        batch = haar_unitaries_batch(4, 500, seed=18)
+        for coords in batched_weyl_coordinates(batch):
+            assert in_weyl_chamber(coords, atol=1e-6)
+
+    def test_rejects_single_matrix(self):
+        with pytest.raises(ValueError):
+            batched_weyl_coordinates(np.eye(4))
+
+
+class TestGeometryHelpers:
+    def test_base_plane_predicate(self):
+        assert is_base_plane(named_gate_coordinates("CNOT"))
+        assert not is_base_plane(named_gate_coordinates("SWAP"))
+
+    def test_mirror(self):
+        mirrored = mirror_coordinates(np.array([0.5, 0.3, 0.1]))
+        assert mirrored[0] == pytest.approx(np.pi - 0.5)
+
+    def test_distance(self):
+        a = named_gate_coordinates("I")
+        b = named_gate_coordinates("SWAP")
+        assert coordinates_distance(a, b) == pytest.approx(
+            np.sqrt(3) * np.pi / 2
+        )

@@ -1,0 +1,150 @@
+"""Tests for the benchmark workload generators."""
+
+import numpy as np
+import pytest
+
+from repro.circuits.simulation import simulate_statevector, zero_state
+from repro.circuits.workloads import WORKLOADS, get_workload
+from repro.circuits.workloads.adder import adder_register_layout, cuccaro_adder
+from repro.circuits.workloads.multiplier import (
+    draper_multiplier,
+    multiplier_register_layout,
+)
+from repro.circuits.workloads.qft import qft
+from repro.circuits.simulation import circuit_unitary
+
+
+def _encode_bits(assignments: dict[int, int], num_qubits: int) -> np.ndarray:
+    index = 0
+    for qubit in range(num_qubits):
+        index = (index << 1) | assignments.get(qubit, 0)
+    state = np.zeros(2**num_qubits, dtype=complex)
+    state[index] = 1.0
+    return state
+
+
+def _decode_register(state: np.ndarray, qubits: list[int], n: int) -> int:
+    index = int(np.argmax(np.abs(state) ** 2))
+    bits = [(index >> (n - 1 - q)) & 1 for q in range(n)]
+    return sum(bits[q] << k for k, q in enumerate(qubits))
+
+
+class TestRegistry:
+    @pytest.mark.parametrize("name", sorted(WORKLOADS))
+    def test_buildable_at_16(self, name):
+        circuit = get_workload(name, 16)
+        assert circuit.num_qubits == 16
+        assert len(circuit) > 0
+        assert all(g.num_qubits <= 2 for g in circuit)
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            get_workload("frobnicate")
+
+    def test_seeded_workloads_reproducible(self):
+        a = get_workload("qaoa", 16, seed=11)
+        b = get_workload("qaoa", 16, seed=11)
+        assert [g.name for g in a] == [g.name for g in b]
+        assert all(ga.params == gb.params for ga, gb in zip(a, b))
+
+    def test_multiplier_size_validation(self):
+        with pytest.raises(ValueError):
+            get_workload("multiplier", 15)
+
+
+class TestQFT:
+    def test_matches_dft_matrix(self):
+        for n in (2, 3, 4):
+            dim = 2**n
+            dft = np.array(
+                [
+                    [np.exp(2j * np.pi * x * y / dim) for y in range(dim)]
+                    for x in range(dim)
+                ]
+            ) / np.sqrt(dim)
+            assert np.allclose(circuit_unitary(qft(n)), dft, atol=1e-9)
+
+    def test_no_swaps_variant(self):
+        assert "swap" not in qft(4, with_swaps=False).count_ops()
+
+
+class TestAdder:
+    @pytest.mark.parametrize("bits", [1, 2, 3])
+    def test_exhaustive_addition(self, bits):
+        circuit = cuccaro_adder(bits)
+        layout = adder_register_layout(bits)
+        n = circuit.num_qubits
+        for a in range(2**bits):
+            for b in range(2**bits):
+                assignments = {}
+                for k in range(bits):
+                    assignments[layout["a"][k]] = (a >> k) & 1
+                    assignments[layout["b"][k]] = (b >> k) & 1
+                out = simulate_statevector(
+                    circuit, _encode_bits(assignments, n)
+                )
+                result = _decode_register(
+                    out, layout["b"] + layout["cout"], n
+                )
+                assert result == a + b, (a, b)
+                # a register restored
+                assert _decode_register(out, layout["a"], n) == a
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            cuccaro_adder(0)
+
+
+class TestMultiplier:
+    def test_exhaustive_2bit_products(self):
+        bits = 2
+        circuit = draper_multiplier(bits)
+        layout = multiplier_register_layout(bits)
+        n = circuit.num_qubits
+        for a in range(4):
+            for b in range(4):
+                assignments = {}
+                for k in range(bits):
+                    assignments[layout["a"][k]] = (a >> k) & 1
+                    assignments[layout["b"][k]] = (b >> k) & 1
+                out = simulate_statevector(
+                    circuit, _encode_bits(assignments, n)
+                )
+                peak = np.max(np.abs(out) ** 2)
+                assert peak > 0.999  # computational-basis output
+                assert _decode_register(out, layout["out"], n) == a * b
+
+    def test_only_two_qubit_gates(self):
+        assert all(g.num_qubits <= 2 for g in draper_multiplier(4))
+
+
+class TestStructuralProperties:
+    def test_ghz_produces_ghz_state(self):
+        state = simulate_statevector(get_workload("ghz", 4))
+        expected = np.zeros(16, dtype=complex)
+        expected[0] = expected[15] = 1 / np.sqrt(2)
+        assert np.allclose(state, expected, atol=1e-9)
+
+    def test_hlf_is_clifford_depth(self):
+        circuit = get_workload("hlf", 16, seed=5)
+        counts = circuit.count_ops()
+        assert counts["h"] == 32  # two Hadamard walls
+        assert counts.get("cz", 0) > 10
+
+    def test_vqe_full_has_all_pairs(self):
+        circuit = get_workload("vqe_full", 8)
+        pairs = {
+            tuple(sorted(g.qubits)) for g in circuit.two_qubit_gates()
+        }
+        assert len(pairs) == 8 * 7 // 2
+
+    def test_quantum_volume_layers(self):
+        circuit = get_workload("quantum_volume", 16, seed=3)
+        assert len(circuit.two_qubit_gates()) == 16 * 8
+        assert all(g.matrix is not None for g in circuit)
+
+    def test_qaoa_regular_graph_edges(self):
+        circuit = get_workload("qaoa", 16, seed=11)
+        # 3-regular, 16 nodes: 24 edges, expanded as CX-RZ-CX per layer.
+        counts = circuit.count_ops()
+        assert counts["cx"] % 48 == 0
