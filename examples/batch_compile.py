@@ -1,0 +1,55 @@
+"""Farm a workload suite through the batch compilation service.
+
+Mirrors ``examples/transpile_workload.py`` at suite scale: queue
+best-of-N compile jobs for several benchmarks under both rule engines,
+run them across worker processes with the persistent decomposition
+cache, and print the aggregated results.  Run it twice to see the warm
+cache skip every template synthesis.
+
+Run:  python examples/batch_compile.py [suite] [workers]
+"""
+
+import sys
+
+from repro.service import (
+    BatchEngine,
+    DecompositionCache,
+    ResultStore,
+    suite_jobs,
+)
+
+
+def main(suite: str = "smoke", workers: int = 2) -> None:
+    jobs = suite_jobs(suite)
+    print(f"suite {suite!r}: {len(jobs)} jobs on {workers} workers")
+    for job in jobs:
+        print(f"  {job.label}: best-of-{job.trials}, seed {job.seed}")
+
+    def progress(done, total, result):
+        status = f"{result.duration:.2f} pulses" if result.ok else "FAILED"
+        print(f"  [{done}/{total}] {result.job.label}: {status} "
+              f"({result.wall_time:.1f}s)")
+
+    print("\ncompiling...")
+    engine = BatchEngine(workers=workers, use_cache=True, progress=progress)
+    store = ResultStore(engine.run(jobs))
+
+    print(f"\n{store.format_table()}")
+    for name in {job.workload for job in jobs}:
+        base = store.best(name, "baseline")
+        opt = store.best(name, "parallel")
+        if base and opt:
+            gain = 100 * (base.duration - opt.duration) / base.duration
+            print(f"{name}: baseline {base.duration:.2f} -> "
+                  f"parallel-drive {opt.duration:.2f} ({gain:.1f}% faster)")
+
+    cache = DecompositionCache()
+    print(f"\npersistent cache: {cache.disk_entries()} templates at "
+          f"{cache.path} (rerun this script to compile fully warm)")
+
+
+if __name__ == "__main__":
+    main(
+        sys.argv[1] if len(sys.argv) > 1 else "smoke",
+        int(sys.argv[2]) if len(sys.argv) > 2 else 2,
+    )

@@ -1,3 +1,46 @@
-from setuptools import setup
+"""Package metadata for the paper reproduction.
 
-setup()
+Installs the ``repro`` package from ``src/`` and exposes the ``repro``
+console script, so ``pip install -e .`` replaces the
+``PYTHONPATH=src python -m repro`` invocation.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro-parallel-driving",
+    version="1.0.0",
+    description=(
+        "Reproduction of 'Parallel Driving for Fast Quantum Computing "
+        "Under Speed Limits' (ISCA 2023)"
+    ),
+    long_description=(
+        "Transpilation, pulse-level synthesis, and batch compilation "
+        "service reproducing the tables and figures of McKinney et al., "
+        "ISCA 2023."
+    ),
+    long_description_content_type="text/plain",
+    license="MIT",
+    python_requires=">=3.10",
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    install_requires=[
+        "numpy>=1.22",
+        "scipy>=1.8",
+    ],
+    extras_require={
+        "test": ["pytest", "pytest-benchmark", "hypothesis"],
+    },
+    entry_points={
+        "console_scripts": [
+            "repro = repro.cli:main",
+        ],
+    },
+    classifiers=[
+        "Programming Language :: Python :: 3",
+        "Programming Language :: Python :: 3.10",
+        "Programming Language :: Python :: 3.11",
+        "Programming Language :: Python :: 3.12",
+        "Topic :: Scientific/Engineering :: Physics",
+    ],
+)

@@ -13,6 +13,8 @@ The package is organized bottom-up:
 * :mod:`repro.core`      — the paper's contribution: speed-limit
   functions, coverage sets, parallel-drive synthesis, gate scoring, and
   decomposition rules;
+* :mod:`repro.service`   — the batch compilation service: a
+  multiprocessing job farm with a persistent decomposition cache;
 * :mod:`repro.experiments` — one driver per paper table/figure.
 
 Quickstart::
@@ -29,6 +31,20 @@ Quickstart::
     )
     result = synthesize(template, weyl_coordinates(CNOT), seed=1)
     print(result.converged)  # True: one parallel-driven iSWAP pulse == CNOT
+
+Batch compilation::
+
+    from repro.service import BatchEngine, ResultStore, suite_jobs
+
+    # Farm a whole workload suite (best-of-N per circuit) across worker
+    # processes.  Repeated 2Q decompositions hit a persistent cache
+    # (~/.cache/repro-decomp, REPRO_DECOMP_CACHE_DIR to override), and
+    # results are byte-identical to sequential transpile() calls.
+    store = ResultStore(BatchEngine(workers=4).run(suite_jobs("smoke")))
+    print(store.format_table())
+
+    # Same thing from the shell:
+    #   python -m repro batch --suite table4 --workers 4
 """
 
 __version__ = "1.0.0"

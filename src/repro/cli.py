@@ -6,11 +6,14 @@ Usage::
     python -m repro run table1 table6
     python -m repro run all
     python -m repro transpile qft --trials 5
+    python -m repro batch --suite table4 --workers 4
+    python -m repro batch --workloads ghz qft --rules both --json out.json
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 
@@ -70,6 +73,95 @@ def _cmd_transpile(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_batch(args: argparse.Namespace) -> int:
+    from .service import (
+        BatchEngine,
+        CompileJob,
+        DecompositionCache,
+        ResultStore,
+        SUITES,
+        suite_jobs,
+    )
+
+    try:
+        if args.suite is not None:
+            jobs = suite_jobs(args.suite, trials=args.trials, seed=args.seed)
+        elif args.workloads:
+            rules = (
+                ("baseline", "parallel")
+                if args.rules == "both"
+                else (args.rules,)
+            )
+            if args.coupling is not None:
+                coupling = tuple(args.coupling)
+            else:
+                # Smallest near-square lattice holding the register, so
+                # --qubits works at any width (16 keeps the paper's 4x4).
+                rows = max(1, int(args.qubits**0.5))
+                coupling = (rows, -(-args.qubits // rows))
+            jobs = [
+                CompileJob(
+                    workload=workload,
+                    num_qubits=args.qubits,
+                    rules=rule,
+                    trials=args.trials if args.trials is not None else 10,
+                    seed=args.seed if args.seed is not None else 7,
+                    coupling=coupling,
+                )
+                for workload in args.workloads
+                for rule in rules
+            ]
+        else:
+            jobs = None
+    except (KeyError, ValueError) as exc:
+        message = exc.args[0] if exc.args else exc
+        print(f"batch: {message}", file=sys.stderr)
+        return 2
+    if jobs is None:
+        print(
+            f"specify --suite (one of {sorted(SUITES)}) or --workloads",
+            file=sys.stderr,
+        )
+        return 2
+
+    def progress(done: int, total: int, result) -> None:
+        status = (
+            f"{result.duration:.2f} pulses"
+            if result.ok
+            else "FAILED"
+        )
+        print(
+            f"[{done}/{total}] {result.job.label}: {status} "
+            f"({result.wall_time:.1f}s, attempt {result.attempts})"
+        )
+
+    engine = BatchEngine(
+        workers=args.workers,
+        use_cache=args.cache,
+        cache_path=args.cache_path,
+        retries=args.retries,
+        progress=progress,
+    )
+    start = time.time()
+    store = ResultStore(engine.run(jobs))
+    elapsed = time.time() - start
+    print(f"\n{store.format_table()}")
+    print(f"\n{len(store)} jobs in {elapsed:.1f}s "
+          f"({args.workers or 'auto'} workers, "
+          f"cache {'on' if args.cache else 'off'})")
+    if args.cache:
+        cache = DecompositionCache(path=args.cache_path)
+        print(f"decomposition cache: {cache.disk_entries()} templates "
+              f"at {cache.path}")
+    if args.json is not None:
+        payload = store.to_dict()
+        payload["elapsed_seconds"] = elapsed
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+        print(f"results written to {args.json}")
+    return 1 if store.failures() else 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """Entry point for ``python -m repro``."""
     parser = argparse.ArgumentParser(
@@ -96,11 +188,69 @@ def main(argv: list[str] | None = None) -> int:
     transpile_parser.add_argument("--trials", type=int, default=5)
     transpile_parser.add_argument("--seed", type=int, default=7)
 
+    batch_parser = sub.add_parser(
+        "batch",
+        help="farm a workload suite across worker processes",
+    )
+    batch_jobs = batch_parser.add_mutually_exclusive_group()
+    batch_jobs.add_argument(
+        "--suite",
+        help="named job suite (e.g. table4, table7, smoke)",
+    )
+    batch_jobs.add_argument(
+        "--workloads", nargs="+", help="explicit workload names"
+    )
+    batch_parser.add_argument(
+        "--rules",
+        choices=("baseline", "parallel", "both"),
+        default="both",
+        help="rule engines for --workloads jobs",
+    )
+    batch_parser.add_argument(
+        "--qubits", type=int, default=16,
+        help="workload width for --workloads jobs (lattice sized to fit)",
+    )
+    batch_parser.add_argument(
+        "--coupling", type=int, nargs=2, metavar=("ROWS", "COLS"),
+        default=None,
+        help="explicit square-lattice dimensions (default: fit --qubits)",
+    )
+    batch_parser.add_argument(
+        "--trials", type=int, default=None,
+        help="override per-job trial count",
+    )
+    batch_parser.add_argument(
+        "--seed", type=int, default=None, help="override per-job seed"
+    )
+    batch_parser.add_argument(
+        "--workers", type=int, default=None,
+        help="worker processes (default: cpu count; 1 = in-process)",
+    )
+    batch_parser.add_argument(
+        "--cache",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="use the persistent decomposition cache",
+    )
+    batch_parser.add_argument(
+        "--cache-path", default=None,
+        help="explicit sqlite path for the decomposition cache",
+    )
+    batch_parser.add_argument(
+        "--retries", type=int, default=1,
+        help="retry attempts for failed jobs",
+    )
+    batch_parser.add_argument(
+        "--json", default=None, metavar="PATH",
+        help="write raw results + summary as JSON",
+    )
+
     args = parser.parse_args(argv)
     handlers = {
         "list": _cmd_list,
         "run": _cmd_run,
         "transpile": _cmd_transpile,
+        "batch": _cmd_batch,
     }
     return handlers[args.command](args)
 

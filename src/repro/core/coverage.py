@@ -20,6 +20,7 @@ from __future__ import annotations
 import os
 from dataclasses import dataclass
 from pathlib import Path
+from uuid import uuid4
 
 import numpy as np
 from scipy.spatial import Delaunay, QhullError
@@ -39,6 +40,7 @@ __all__ = [
     "build_coverage_set",
     "haar_coordinate_samples",
     "expected_cost",
+    "cache_enabled",
     "default_cache_dir",
 ]
 
@@ -55,6 +57,15 @@ def default_cache_dir() -> Path:
     base = Path(override) if override else Path.home() / ".cache" / "repro-coverage"
     base.mkdir(parents=True, exist_ok=True)
     return base
+
+
+def cache_enabled() -> bool:
+    """Whether the on-disk point-cloud cache is active.
+
+    ``REPRO_COVERAGE_CACHE=0`` disables reads and writes (CI uses this
+    to force cold builds); any other value, or unset, leaves it on.
+    """
+    return os.environ.get("REPRO_COVERAGE_CACHE", "1") != "0"
 
 _HALF_PI = np.pi / 2
 #: Synthesis anchors for hull boosting: the paper's four exterior points
@@ -272,19 +283,23 @@ def build_coverage_set(
     """
     cache_path: Path | None = None
     key: str | None = None
-    if cache:
+    if cache and cache_enabled():
         seed_token = seed if isinstance(seed, int) else "rng"
-        key = (
+        file_key = (
             f"{basis_name}_gc{gc:.6f}_gg{gg:.6f}_d{pulse_duration:.4f}"
             f"_k{kmax}_n{samples_per_k}_s{steps_per_pulse}"
             f"_{'par' if parallel else 'std'}_b{int(boost_targets)}"
             f"_r{synthesis_restarts}_i{synthesis_iterations}_seed{seed_token}"
             "_v2"
         )
+        cache_path = default_cache_dir() / f"{file_key}.npz"
+        # Memoize per resolved path, not per file key: tests and workers
+        # repoint REPRO_CACHE_DIR mid-process, and entries from one
+        # directory must not answer for another.
+        key = str(cache_path)
         memoized = _ASSEMBLED_MEMO.get(key)
         if memoized is not None:
             return memoized
-        cache_path = default_cache_dir() / f"{key}.npz"
         if cache_path.exists():
             try:
                 data = np.load(cache_path)
@@ -334,14 +349,23 @@ def build_coverage_set(
                     points = np.vstack([points, target[None, :]])
         clouds.append(points)
     if cache_path is not None:
-        # Atomic publish: concurrent builders must never expose a
-        # partially written archive.
-        temporary = cache_path.with_suffix(f".tmp{os.getpid()}.npz")
-        np.savez_compressed(
-            temporary,
-            **{f"k{k}": cloud for k, cloud in enumerate(clouds, start=1)},
+        # Atomic publish: concurrent builders (batch-engine workers,
+        # parallel test runs) must never expose a partially written
+        # archive.  The temp name is unique per process *and* per call,
+        # so racing writers in one process cannot collide either.
+        temporary = cache_path.with_suffix(
+            f".tmp{os.getpid()}-{uuid4().hex[:8]}.npz"
         )
-        temporary.replace(cache_path)
+        try:
+            np.savez_compressed(
+                temporary,
+                **{f"k{k}": cloud for k, cloud in enumerate(clouds, start=1)},
+            )
+            temporary.replace(cache_path)
+        except OSError:
+            # A failed persist (full or read-only disk) must not fail
+            # the build; drop the partial temp file and carry on.
+            temporary.unlink(missing_ok=True)
     assembled = _assemble_coverage(basis_name, parallel, clouds)
     if key is not None:
         _ASSEMBLED_MEMO[key] = assembled

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from functools import lru_cache
+from uuid import uuid4
 
 import numpy as np
 
@@ -140,6 +141,18 @@ class DecompositionRules:
         """Total decomposition duration for a target class."""
         return self.template_for(coords).duration(self.one_q_duration)
 
+    @property
+    def cache_token(self) -> str:
+        """Key prefix identifying this engine *and its parameters*.
+
+        Decomposition caches must key on this, not ``name``: two
+        instances of the same class with different durations or quanta
+        produce different templates for the same coordinates.
+        Subclasses append every constructor parameter that affects
+        template selection.
+        """
+        return f"{self.name}|1q{self.one_q_duration!r}"
+
 
 @lru_cache(maxsize=32)
 def coverage_for_basis(
@@ -186,6 +199,18 @@ class BaselineSqrtISwapRules(DecompositionRules):
         super().__init__(one_q_duration)
         self.pulse_duration = float(pulse_duration)
         self._coverage = coverage
+        # Injected coverage sets have no stable identity, so instances
+        # carrying one get a unique token: they memoize per instance but
+        # never share (or poison) the persistent cross-run keyspace.
+        self._coverage_token = "std" if coverage is None else uuid4().hex
+
+    @property
+    def cache_token(self) -> str:
+        """Engine identity including the per-pulse duration."""
+        return (
+            f"{super().cache_token}|p{self.pulse_duration!r}"
+            f"|c{self._coverage_token}"
+        )
 
     @property
     def coverage(self) -> CoverageSet:
@@ -238,6 +263,20 @@ class ParallelSqrtISwapRules(DecompositionRules):
         self._iswap_k1 = iswap_parallel_k1
         self._sqrt_k1 = sqrt_parallel_k1
         self._sqrt_k2 = sqrt_parallel_k2
+        injected = (iswap_parallel_k1, sqrt_parallel_k1, sqrt_parallel_k2)
+        # As for the baseline rules: injected regions mean a private,
+        # non-persistent keyspace rather than a silently shared one.
+        self._coverage_token = (
+            "std" if all(k is None for k in injected) else uuid4().hex
+        )
+
+    @property
+    def cache_token(self) -> str:
+        """Engine identity including the calibrated pulse quantum."""
+        return (
+            f"{super().cache_token}|q{self.pulse_quantum!r}"
+            f"|c{self._coverage_token}"
+        )
 
     # -- lazily built extended coverage regions ---------------------------
 

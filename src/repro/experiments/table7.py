@@ -11,14 +11,9 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..circuits.workloads import get_workload
-from ..core.decomposition_rules import (
-    BaselineSqrtISwapRules,
-    ParallelSqrtISwapRules,
-)
-from ..transpiler.coupling import square_lattice
+from ..service.engine import BatchEngine
+from ..service.jobs import CompileJob
 from ..transpiler.fidelity import PAPER_FIDELITY_MODEL
-from ..transpiler.pipeline import transpile
 from .common import ExperimentResult, format_table
 
 __all__ = ["run_table7", "PAPER_TABLE7", "TABLE7_WORKLOADS"]
@@ -45,19 +40,44 @@ def run_table7(
     seed: int = 7,
     num_qubits: int = 16,
     workloads: tuple[str, ...] = TABLE7_WORKLOADS,
+    workers: int = 1,
+    use_cache: bool = False,
 ) -> ExperimentResult:
-    """Regenerate Table VII (best duration over ``trials`` layouts)."""
-    coupling = square_lattice(4, 4)
-    baseline_rules = BaselineSqrtISwapRules()
-    parallel_rules = ParallelSqrtISwapRules()
+    """Regenerate Table VII (best duration over ``trials`` layouts).
+
+    The transpiles run through the batch engine, so ``workers > 1``
+    farms the (workload, rules) jobs across processes and ``use_cache``
+    shares the persistent decomposition cache — both without changing
+    the numbers (per-job seeding is deterministic).
+    """
+    jobs = [
+        CompileJob(
+            workload=name,
+            num_qubits=num_qubits,
+            rules=rules,
+            trials=trials,
+            seed=seed,
+        )
+        for name in workloads
+        for rules in ("baseline", "parallel")
+    ]
+    engine = BatchEngine(workers=workers, use_cache=use_cache, retries=1)
+    outcomes = {
+        (result.job.workload, result.job.rules): result
+        for result in engine.run(jobs)
+    }
     model = PAPER_FIDELITY_MODEL
     rows = []
     data = {}
     improvements = []
     for name in workloads:
-        circuit = get_workload(name, num_qubits)
-        base = transpile(circuit, coupling, baseline_rules, trials, seed)
-        opt = transpile(circuit, coupling, parallel_rules, trials, seed)
+        base = outcomes[(name, "baseline")]
+        opt = outcomes[(name, "parallel")]
+        if not (base.ok and opt.ok):
+            raise RuntimeError(
+                f"table7 job failed for {name}: "
+                f"{base.error or opt.error}"
+            )
         duration_gain = (
             100.0 * (base.duration - opt.duration) / base.duration
         )

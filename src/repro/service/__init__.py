@@ -1,0 +1,36 @@
+"""Batch compilation service: job farm + persistent decomposition cache.
+
+The paper's workload studies (Tables IV-VII) transpile whole benchmark
+suites best-of-N per circuit.  This package turns those one-off
+``transpile()`` calls into a service:
+
+* :mod:`repro.service.jobs`   — :class:`CompileJob` / :class:`CompileResult`
+  descriptions with JSON round-trip, so suites can be queued, shipped to
+  workers, and archived;
+* :mod:`repro.service.cache`  — :class:`DecompositionCache`, an LRU-fronted
+  sqlite store of 2Q decomposition templates keyed by canonical Weyl
+  coordinates, shared by every worker and persisted across runs;
+* :mod:`repro.service.engine` — :class:`BatchEngine`, a multiprocessing
+  farm with deterministic per-job seeding, retry-on-failure, and progress
+  callbacks, plus :class:`ResultStore` aggregation and the named job
+  :data:`SUITES`.
+"""
+
+from __future__ import annotations
+
+from .cache import CacheStats, DecompositionCache, default_decomp_cache_dir
+from .engine import BatchEngine, ResultStore, SUITES, suite_jobs
+from .jobs import CompileJob, CompileResult, circuit_digest
+
+__all__ = [
+    "BatchEngine",
+    "CacheStats",
+    "CompileJob",
+    "CompileResult",
+    "DecompositionCache",
+    "ResultStore",
+    "SUITES",
+    "circuit_digest",
+    "default_decomp_cache_dir",
+    "suite_jobs",
+]

@@ -1,0 +1,298 @@
+"""Persistent decomposition cache for 2Q basis templates.
+
+Basis translation classifies every consolidated 2Q block by its
+canonical Weyl coordinates and asks a rule engine for the cheapest
+covering template.  Those lookups are pure functions of the engine's
+``cache_token`` (its name plus every template-affecting parameter) and
+the coordinates — and workload suites repeat the same coordinate
+classes thousands of times across trials, workloads, and runs.
+
+:class:`DecompositionCache` memoizes them at two levels:
+
+* an in-memory LRU front (per process, bounded, no locking needed);
+* an on-disk sqlite store shared by every worker process and persisted
+  across runs, under ``~/.cache/repro-decomp`` by default
+  (``REPRO_DECOMP_CACHE_DIR`` overrides, mirroring the coverage cache's
+  ``REPRO_CACHE_DIR``).
+
+Keys quantize coordinates on a grid two orders of magnitude finer than
+the rule engines' classification tolerance (1e-6).  Two coordinates
+share a bucket only when they differ by < 1e-8 — far inside the band
+the engines themselves treat as the same class, except in the
+measure-zero case of a coordinate sitting within half a grid step of a
+classification threshold, where physically-degenerate targets may
+alias.  Bit-exact repeats (the overwhelmingly common case: identical
+blocks across trials, workers, and reruns of deterministic workloads)
+always key identically.  A fully warm cache short-circuits
+``template_for`` entirely, which also skips the lazy construction of
+coverage-set hulls — the dominant cold cost of a fresh process.
+"""
+
+from __future__ import annotations
+
+import os
+import sqlite3
+from collections import OrderedDict
+from collections.abc import Callable
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from ..core.decomposition_rules import TemplateSpec
+
+__all__ = ["CacheStats", "DecompositionCache", "default_decomp_cache_dir"]
+
+#: Quantization grid for cache keys (finer than the 1e-6 rule tolerance).
+_KEY_DECIMALS = 8
+
+
+def default_decomp_cache_dir() -> Path:
+    """Directory holding the persistent template store.
+
+    Overridable via ``REPRO_DECOMP_CACHE_DIR``; defaults to
+    ``~/.cache/repro-decomp``.
+    """
+    override = os.environ.get("REPRO_DECOMP_CACHE_DIR")
+    base = Path(override) if override else Path.home() / ".cache" / "repro-decomp"
+    base.mkdir(parents=True, exist_ok=True)
+    return base
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters, split by which tier answered."""
+
+    memory_hits: int = 0
+    disk_hits: int = 0
+    misses: int = 0
+    puts: int = 0
+
+    @property
+    def hits(self) -> int:
+        """Total hits across both tiers."""
+        return self.memory_hits + self.disk_hits
+
+    @property
+    def lookups(self) -> int:
+        """Total lookups served."""
+        return self.hits + self.misses
+
+    def as_dict(self) -> dict[str, int]:
+        """Plain-dict form for JSON reports."""
+        return {
+            "memory_hits": self.memory_hits,
+            "disk_hits": self.disk_hits,
+            "misses": self.misses,
+            "puts": self.puts,
+        }
+
+
+class DecompositionCache:
+    """Two-tier (LRU + sqlite) store of decomposition templates.
+
+    Args:
+        path: sqlite database file; ``None`` picks
+            ``default_decomp_cache_dir() / "templates.sqlite"``.  The
+            parent directory is created on demand.
+        memory_size: LRU front capacity (entries).  Evicted entries
+            remain readable from disk.
+        persistent: set ``False`` for a memory-only cache (tests, or
+            ``--no-cache``-adjacent flows that still want per-process
+            memoization).
+    """
+
+    def __init__(
+        self,
+        path: str | Path | None = None,
+        memory_size: int = 4096,
+        persistent: bool = True,
+    ):
+        if memory_size < 1:
+            raise ValueError("memory_size must be >= 1")
+        self.persistent = bool(persistent)
+        self.path: Path | None = None
+        if self.persistent:
+            self.path = (
+                Path(path)
+                if path is not None
+                else default_decomp_cache_dir() / "templates.sqlite"
+            )
+        self.memory_size = int(memory_size)
+        self._memory: OrderedDict[str, TemplateSpec] = OrderedDict()
+        self.stats = CacheStats()
+        self._conn: sqlite3.Connection | None = None
+        self._pid = os.getpid()
+
+    # -- keys ----------------------------------------------------------------
+
+    @staticmethod
+    def key_for(rules_token: str, coords: np.ndarray) -> str:
+        """Stable text key: rules cache token + grid-quantized coordinates."""
+        c = np.round(np.asarray(coords, dtype=float), _KEY_DECIMALS)
+        # Avoid distinct "-0.0" / "0.0" buckets for the same class.
+        c = c + 0.0
+        return (
+            f"{rules_token}|{c[0]:.{_KEY_DECIMALS}f}"
+            f"|{c[1]:.{_KEY_DECIMALS}f}|{c[2]:.{_KEY_DECIMALS}f}"
+        )
+
+    # -- sqlite backend ------------------------------------------------------
+
+    def _connection(self) -> sqlite3.Connection | None:
+        """Open (or re-open after fork) the backing database."""
+        if not self.persistent:
+            return None
+        if self._conn is not None and self._pid == os.getpid():
+            return self._conn
+        # Connections must never cross a fork; drop the parent's handle.
+        self._conn = None
+        self._pid = os.getpid()
+        assert self.path is not None
+        try:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            conn = sqlite3.connect(self.path, timeout=30.0)
+            conn.execute("PRAGMA journal_mode=WAL")
+            conn.execute("PRAGMA synchronous=NORMAL")
+            conn.execute(
+                "CREATE TABLE IF NOT EXISTS templates ("
+                "  key TEXT PRIMARY KEY,"
+                "  pulses TEXT NOT NULL,"
+                "  layer_count INTEGER NOT NULL,"
+                "  description TEXT NOT NULL)"
+            )
+            conn.commit()
+        except sqlite3.Error:
+            # Unusable store (read-only fs, corrupted file, ...):
+            # degrade to memory-only rather than failing compilations.
+            self.persistent = False
+            return None
+        self._conn = conn
+        return conn
+
+    def close(self) -> None:
+        """Close the database handle (reopened lazily on next use)."""
+        if self._conn is not None and self._pid == os.getpid():
+            self._conn.close()
+        self._conn = None
+
+    # -- core operations -----------------------------------------------------
+
+    def _remember(self, key: str, spec: TemplateSpec) -> None:
+        self._memory[key] = spec
+        self._memory.move_to_end(key)
+        while len(self._memory) > self.memory_size:
+            self._memory.popitem(last=False)
+
+    def get(self, rules_token: str, coords: np.ndarray) -> TemplateSpec | None:
+        """Cached template for a coordinate class, or ``None`` on miss."""
+        key = self.key_for(rules_token, coords)
+        spec = self._memory.get(key)
+        if spec is not None:
+            self._memory.move_to_end(key)
+            self.stats.memory_hits += 1
+            return spec
+        conn = self._connection()
+        if conn is not None:
+            try:
+                row = conn.execute(
+                    "SELECT pulses, layer_count, description "
+                    "FROM templates WHERE key = ?",
+                    (key,),
+                ).fetchone()
+            except sqlite3.Error:
+                row = None
+            if row is not None:
+                pulses_text, layer_count, description = row
+                pulses = tuple(
+                    float(p) for p in pulses_text.split(",") if p
+                )
+                spec = TemplateSpec(pulses, int(layer_count), description)
+                self._remember(key, spec)
+                self.stats.disk_hits += 1
+                return spec
+        self.stats.misses += 1
+        return None
+
+    def put(
+        self, rules_token: str, coords: np.ndarray, spec: TemplateSpec
+    ) -> None:
+        """Store a template under its coordinate-class key."""
+        key = self.key_for(rules_token, coords)
+        self._remember(key, spec)
+        self.stats.puts += 1
+        conn = self._connection()
+        if conn is not None:
+            pulses_text = ",".join(repr(float(p)) for p in spec.pulses)
+            try:
+                conn.execute(
+                    "INSERT OR REPLACE INTO templates VALUES (?, ?, ?, ?)",
+                    (key, pulses_text, spec.layer_count, spec.description),
+                )
+                conn.commit()
+            except sqlite3.Error:
+                pass  # A lost write is only a future miss.
+
+    def lookup(
+        self,
+        rules_token: str,
+        coords: np.ndarray,
+        factory: Callable[[], TemplateSpec],
+    ) -> TemplateSpec:
+        """Return the cached template, computing and storing on miss.
+
+        This is the hook :func:`repro.transpiler.basis.translate_to_basis`
+        calls per 2Q block.
+        """
+        spec = self.get(rules_token, coords)
+        if spec is None:
+            spec = factory()
+            self.put(rules_token, coords, spec)
+        return spec
+
+    # -- introspection -------------------------------------------------------
+
+    def __len__(self) -> int:
+        """Entries resident in the in-memory front."""
+        return len(self._memory)
+
+    def disk_entries(self) -> int:
+        """Entries in the persistent store (0 when memory-only)."""
+        conn = self._connection()
+        if conn is None:
+            return 0
+        try:
+            (count,) = conn.execute(
+                "SELECT COUNT(*) FROM templates"
+            ).fetchone()
+        except sqlite3.Error:
+            return 0
+        return int(count)
+
+    def token_entries(self, rules_token: str) -> int:
+        """Persisted entries for one rule engine's keyspace."""
+        conn = self._connection()
+        if conn is None:
+            return 0
+        prefix = f"{rules_token}|"
+        try:
+            (count,) = conn.execute(
+                "SELECT COUNT(*) FROM templates "
+                "WHERE substr(key, 1, ?) = ?",
+                (len(prefix), prefix),
+            ).fetchone()
+        except sqlite3.Error:
+            return 0
+        return int(count)
+
+    def clear(self, disk: bool = False) -> None:
+        """Empty the memory tier (and optionally the persistent store)."""
+        self._memory.clear()
+        if disk:
+            conn = self._connection()
+            if conn is not None:
+                try:
+                    conn.execute("DELETE FROM templates")
+                    conn.commit()
+                except sqlite3.Error:
+                    pass

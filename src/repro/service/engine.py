@@ -1,0 +1,440 @@
+"""Batch compilation engine: a multiprocessing transpile farm.
+
+:class:`BatchEngine` runs :class:`~repro.service.jobs.CompileJob` lists
+through the full transpilation pipeline, either serially in-process
+(``workers <= 1``) or across a ``multiprocessing`` pool.  Guarantees:
+
+* **Determinism** — every job carries its own seed and each worker calls
+  the exact same ``transpile(...)`` the sequential path would, so a
+  parallel run is byte-identical (per the circuit digest) to a
+  sequential one regardless of worker count or cache state.
+* **Retry** — a job that raises is retried up to ``retries`` times; the
+  final failure is returned as an error result rather than poisoning
+  the batch.
+* **Progress** — an optional callback fires in the parent as each job
+  settles.
+
+Workers share the persistent :class:`DecompositionCache`, so repeated
+2Q coordinate classes are templated once per suite (and reused across
+runs).  :class:`ResultStore` aggregates per-workload statistics, and
+:data:`SUITES` names the paper's workload suites for the CLI.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+import traceback
+from collections.abc import Callable, Iterator, Sequence
+from dataclasses import replace
+from pathlib import Path
+
+from .cache import DecompositionCache, default_decomp_cache_dir
+from .jobs import CompileJob, CompileResult, circuit_digest
+
+__all__ = [
+    "BatchEngine",
+    "ResultStore",
+    "SUITES",
+    "execute_job",
+    "suite_jobs",
+]
+
+#: Paper Table VII / Fig. 3b benchmark order.
+_WORKLOAD_SUITE = (
+    "quantum_volume",
+    "vqe_linear",
+    "ghz",
+    "hlf",
+    "qft",
+    "adder",
+    "qaoa",
+    "vqe_full",
+    "multiplier",
+)
+
+
+def _suite(
+    workloads: Sequence[str],
+    rules: Sequence[str],
+    num_qubits: int,
+    coupling: tuple[int, int],
+    trials: int,
+    seed: int,
+) -> tuple[CompileJob, ...]:
+    return tuple(
+        CompileJob(
+            workload=workload,
+            num_qubits=num_qubits,
+            rules=rule,
+            trials=trials,
+            seed=seed,
+            coupling=coupling,
+        )
+        for workload in workloads
+        for rule in rules
+    )
+
+
+#: Named job suites.  "table4"/"table5" run the optimized parallel-drive
+#: flow over the full workload set (the same transpiles back both of the
+#: paper's parallel-drive tables — they differ only in analysis, so the
+#: names alias one job tuple); "table7" adds the baseline for the
+#: published side-by-side; "smoke" is a seconds-scale sanity suite.
+_PARALLEL_SUITE = _suite(_WORKLOAD_SUITE, ("parallel",), 16, (4, 4), 10, 7)
+SUITES: dict[str, tuple[CompileJob, ...]] = {
+    "smoke": _suite(
+        ("ghz", "qft"), ("baseline", "parallel"), 8, (2, 4), 2, 7
+    ),
+    "table4": _PARALLEL_SUITE,
+    "table5": _PARALLEL_SUITE,
+    "table7": _suite(
+        _WORKLOAD_SUITE, ("baseline", "parallel"), 16, (4, 4), 10, 7
+    ),
+}
+
+
+def suite_jobs(
+    name: str,
+    trials: int | None = None,
+    seed: int | None = None,
+) -> list[CompileJob]:
+    """Jobs of a named suite, optionally overriding trials/seed."""
+    try:
+        jobs = SUITES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown suite {name!r}; known: {sorted(SUITES)}"
+        ) from None
+    overrides = {
+        key: value
+        for key, value in (("trials", trials), ("seed", seed))
+        if value is not None
+    }
+    return [replace(job, **overrides) for job in jobs]
+
+
+def _build_rules(name: str):
+    from ..core.decomposition_rules import (
+        BaselineSqrtISwapRules,
+        ParallelSqrtISwapRules,
+    )
+
+    if name == "baseline":
+        return BaselineSqrtISwapRules()
+    if name == "parallel":
+        return ParallelSqrtISwapRules()
+    raise ValueError(f"unknown rules {name!r}")
+
+
+def _warm_rules(names: set[str]) -> None:
+    """Force lazy coverage-set construction before forking workers.
+
+    Children inherit (fork) or cheaply reload (spawn, via the on-disk
+    point-cloud cache) the assembled sets instead of each paying the
+    full Algorithm-2 build.
+    """
+    for name in sorted(names):
+        rules = _build_rules(name)
+        if name == "baseline":
+            _ = rules.coverage
+        else:
+            _ = rules.iswap_parallel_k1
+            _ = rules.sqrt_parallel_k1
+            _ = rules.sqrt_parallel_k2
+
+
+#: Per-process cache instances keyed by resolved store path, so every
+#: job a worker executes shares one sqlite connection and one warm
+#: memory tier (instances survive fork; the connection is re-opened
+#: lazily on first use in the child).
+_PROCESS_CACHES: dict[str, DecompositionCache] = {}
+
+
+def _cache_for(cache_path: str | Path | None) -> DecompositionCache:
+    resolved = (
+        Path(cache_path)
+        if cache_path is not None
+        else default_decomp_cache_dir() / "templates.sqlite"
+    )
+    key = str(resolved)
+    cache = _PROCESS_CACHES.get(key)
+    if cache is None:
+        cache = _PROCESS_CACHES[key] = DecompositionCache(path=resolved)
+    return cache
+
+
+def execute_job(
+    job: CompileJob,
+    use_cache: bool = True,
+    cache_path: str | Path | None = None,
+) -> CompileResult:
+    """Run one compile job to completion (also the pool worker body)."""
+    from ..circuits.workloads import get_workload
+    from ..transpiler.coupling import square_lattice
+    from ..transpiler.pipeline import transpile
+
+    start = time.perf_counter()
+    try:
+        circuit = get_workload(
+            job.workload, job.num_qubits, seed=job.workload_seed
+        )
+        coupling = square_lattice(*job.coupling)
+        rules = _build_rules(job.rules)
+        cache = _cache_for(cache_path) if use_cache else None
+        result = transpile(
+            circuit,
+            coupling,
+            rules,
+            trials=job.trials,
+            seed=job.seed,
+            cache=cache,
+        )
+    except Exception:  # noqa: BLE001 - reported to the engine for retry
+        return CompileResult.failure(
+            job,
+            error=traceback.format_exc(limit=20),
+            wall_time=time.perf_counter() - start,
+        )
+    return CompileResult(
+        job=job,
+        duration=result.duration,
+        pulse_count=result.pulse_count,
+        swap_count=result.swap_count,
+        total_pulse_time=result.total_pulse_time,
+        trial_index=result.trial_index,
+        digest=circuit_digest(result.circuit),
+        gate_counts=dict(result.circuit.count_ops()),
+        wall_time=time.perf_counter() - start,
+    )
+
+
+def _execute_payload(payload: tuple) -> tuple[int, CompileResult]:
+    """Pool entry point: unpack (index, job, cache config)."""
+    index, job, use_cache, cache_path = payload
+    return index, execute_job(job, use_cache=use_cache, cache_path=cache_path)
+
+
+class BatchEngine:
+    """Farm compile jobs over worker processes with retry and progress.
+
+    Args:
+        workers: process count; ``<= 1`` runs serially in-process.
+        use_cache: share a persistent :class:`DecompositionCache`
+            between workers (``False`` disables all caching).
+        cache_path: explicit sqlite path for the cache (defaults to the
+            ``REPRO_DECOMP_CACHE_DIR``-resolved store).
+        retries: extra attempts for a job whose worker raised.
+        progress: ``callback(done, total, result)`` fired in the parent
+            as each job settles (after its final attempt).
+        warm_coverage: pre-build coverage sets in the parent before
+            spawning a pool (ignored for serial runs, where laziness is
+            part of the cache's cold/warm story).
+    """
+
+    def __init__(
+        self,
+        workers: int | None = None,
+        use_cache: bool = True,
+        cache_path: str | Path | None = None,
+        retries: int = 1,
+        progress: Callable[[int, int, CompileResult], None] | None = None,
+        warm_coverage: bool = True,
+    ):
+        if workers is None:
+            workers = multiprocessing.cpu_count()
+        if retries < 0:
+            raise ValueError("retries must be >= 0")
+        self.workers = max(1, int(workers))
+        self.use_cache = bool(use_cache)
+        self.cache_path = cache_path
+        self.retries = int(retries)
+        self.progress = progress
+        self.warm_coverage = bool(warm_coverage)
+
+    # -- internals -----------------------------------------------------------
+
+    def _payloads(
+        self, indexed: list[tuple[int, CompileJob]]
+    ) -> list[tuple]:
+        path = (
+            str(self.cache_path) if self.cache_path is not None else None
+        )
+        return [
+            (index, job, self.use_cache, path) for index, job in indexed
+        ]
+
+    def _run_round(
+        self, indexed: list[tuple[int, CompileJob]], pool_size: int
+    ) -> Iterator[tuple[int, CompileResult]]:
+        """Yield (index, result) pairs as they settle, streaming."""
+        payloads = self._payloads(indexed)
+        if pool_size <= 1 or len(payloads) <= 1:
+            for payload in payloads:
+                yield _execute_payload(payload)
+            return
+        try:
+            context = multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover - non-POSIX platforms
+            context = multiprocessing.get_context("spawn")
+        with context.Pool(processes=pool_size) as pool:
+            yield from pool.imap_unordered(_execute_payload, payloads)
+
+    def _cache_covers(self, rules_names: set[str]) -> bool:
+        """True when the persistent store has templates for every engine.
+
+        A populated keyspace means workers will mostly hit the cache, so
+        pre-building coverage hulls in the parent would waste exactly
+        the work the cache exists to skip.  (A partially-warm store can
+        still miss; the first miss then builds lazily in that worker.)
+        """
+        if not self.use_cache:
+            return False
+        cache = _cache_for(self.cache_path)
+        return all(
+            cache.token_entries(_build_rules(name).cache_token) > 0
+            for name in rules_names
+        )
+
+    # -- API -----------------------------------------------------------------
+
+    def run(self, jobs: Sequence[CompileJob]) -> list[CompileResult]:
+        """Execute all jobs; results come back in job order."""
+        jobs = list(jobs)
+        if not jobs:
+            return []
+        pool_size = min(self.workers, len(jobs))
+        if pool_size > 1 and self.warm_coverage:
+            rules_names = {job.rules for job in jobs}
+            if not self._cache_covers(rules_names):
+                _warm_rules(rules_names)
+        settled: dict[int, CompileResult] = {}
+        pending = list(enumerate(jobs))
+        done = 0
+        for attempt in range(self.retries + 1):
+            if not pending:
+                break
+            still_failing: list[tuple[int, CompileJob]] = []
+            # _run_round streams: progress fires as each job settles,
+            # not after the whole round drains.
+            for index, result in self._run_round(pending, pool_size):
+                if not result.ok and attempt < self.retries:
+                    still_failing.append((index, jobs[index]))
+                    continue
+                result = result.with_attempts(attempt + 1)
+                settled[index] = result
+                done += 1
+                if self.progress is not None:
+                    self.progress(done, len(jobs), result)
+            pending = still_failing
+        return [settled[index] for index in range(len(jobs))]
+
+
+class ResultStore:
+    """Accumulate compile results and aggregate per-(workload, rules).
+
+    The store is what table drivers and the CLI consume: it keeps the
+    raw results (JSON-serializable) and derives suite-level statistics
+    without re-running anything.
+    """
+
+    def __init__(self, results: Sequence[CompileResult] = ()):
+        self._results: list[CompileResult] = []
+        for result in results:
+            self.add(result)
+
+    def add(self, result: CompileResult) -> None:
+        """Record one result."""
+        self._results.append(result)
+
+    @property
+    def results(self) -> tuple[CompileResult, ...]:
+        """All recorded results, in insertion order."""
+        return tuple(self._results)
+
+    def __len__(self) -> int:
+        return len(self._results)
+
+    def ok(self) -> list[CompileResult]:
+        """Successful results only."""
+        return [r for r in self._results if r.ok]
+
+    def failures(self) -> list[CompileResult]:
+        """Failed results only."""
+        return [r for r in self._results if not r.ok]
+
+    def best(
+        self, workload: str, rules: str
+    ) -> CompileResult | None:
+        """Shortest-duration success for one (workload, rules) pair."""
+        matches = [
+            r
+            for r in self.ok()
+            if r.job.workload == workload and r.job.rules == rules
+        ]
+        if not matches:
+            return None
+        return min(matches, key=lambda r: r.duration)
+
+    def summary(self) -> dict[str, dict]:
+        """Aggregate statistics keyed by the job label."""
+        grouped: dict[str, list[CompileResult]] = {}
+        for result in self._results:
+            grouped.setdefault(result.job.label, []).append(result)
+        out: dict[str, dict] = {}
+        for label, results in grouped.items():
+            successes = [r for r in results if r.ok]
+            entry: dict = {
+                "jobs": len(results),
+                "errors": len(results) - len(successes),
+            }
+            if successes:
+                durations = [r.duration for r in successes]
+                entry.update(
+                    {
+                        "best_duration": min(durations),
+                        "mean_duration": sum(durations) / len(durations),
+                        "mean_pulses": sum(
+                            r.pulse_count for r in successes
+                        )
+                        / len(successes),
+                        "mean_swaps": sum(
+                            r.swap_count for r in successes
+                        )
+                        / len(successes),
+                        "wall_time": sum(r.wall_time for r in successes),
+                    }
+                )
+            out[label] = entry
+        return out
+
+    def format_table(self) -> str:
+        """Render the summary with the experiments table formatter."""
+        from ..experiments.common import format_table
+
+        rows = []
+        for label, entry in sorted(self.summary().items()):
+            if entry.get("errors") == entry["jobs"]:
+                rows.append([label, "-", "-", "-", "-", entry["errors"]])
+                continue
+            rows.append(
+                [
+                    label,
+                    round(entry["best_duration"], 2),
+                    round(entry["mean_pulses"], 1),
+                    round(entry["mean_swaps"], 1),
+                    round(entry["wall_time"], 2),
+                    entry["errors"],
+                ]
+            )
+        return format_table(
+            ["job", "best dur", "pulses", "swaps", "wall s", "errors"],
+            rows,
+        )
+
+    def to_dict(self) -> dict:
+        """JSON-compatible dump: raw results plus the summary."""
+        return {
+            "results": [r.to_dict() for r in self._results],
+            "summary": self.summary(),
+        }

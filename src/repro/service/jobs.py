@@ -1,0 +1,172 @@
+"""Compilation job and result records.
+
+A :class:`CompileJob` is a complete, serializable description of one
+best-of-N transpilation: which workload, at what width, onto which
+lattice, under which rule engine, with which seeds.  A
+:class:`CompileResult` carries the scalar outcomes (plus a digest of the
+compiled circuit for byte-level parity checks) without shipping the
+circuit object itself across process boundaries.
+
+Both types round-trip through JSON, so suites can be queued from files
+and results archived next to the paper artifacts.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+from dataclasses import asdict, dataclass, field, replace
+
+from ..circuits.circuit import QuantumCircuit
+
+__all__ = ["CompileJob", "CompileResult", "circuit_digest"]
+
+#: Rule-engine names a job may request.
+KNOWN_RULES = ("baseline", "parallel")
+
+
+def circuit_digest(circuit: QuantumCircuit) -> str:
+    """SHA-256 over the exact gate stream of a compiled circuit.
+
+    Two circuits share a digest iff they have the same width and the
+    same ordered gates (name, qubits, bit-exact params and durations),
+    which is the equality the batch engine's parity guarantee is stated
+    in: parallel workers must reproduce sequential ``transpile()``
+    byte-for-byte given the same seeds.
+    """
+    hasher = hashlib.sha256()
+    hasher.update(f"q{circuit.num_qubits}\n".encode())
+    for gate in circuit:
+        params = ",".join(repr(float(p)) for p in gate.params)
+        duration = "" if gate.duration is None else repr(float(gate.duration))
+        hasher.update(
+            f"{gate.name}|{gate.qubits}|{params}|{duration}\n".encode()
+        )
+    return hasher.hexdigest()
+
+
+@dataclass(frozen=True)
+class CompileJob:
+    """One transpilation request, fully determined by its fields."""
+
+    workload: str
+    num_qubits: int = 16
+    rules: str = "parallel"
+    trials: int = 10
+    seed: int = 7
+    coupling: tuple[int, int] = (4, 4)
+    workload_seed: int | None = 11
+    tag: str = ""
+
+    def __post_init__(self) -> None:
+        if self.rules not in KNOWN_RULES:
+            raise ValueError(
+                f"unknown rules {self.rules!r}; known: {KNOWN_RULES}"
+            )
+        if self.trials < 1:
+            raise ValueError("trials must be >= 1")
+        if self.num_qubits < 2:
+            raise ValueError("need at least two qubits")
+        rows, cols = self.coupling
+        if rows < 1 or cols < 1:
+            raise ValueError("coupling lattice dimensions must be positive")
+        if rows * cols < self.num_qubits:
+            raise ValueError(
+                f"{rows}x{cols} lattice too small for "
+                f"{self.num_qubits} qubits"
+            )
+
+    @property
+    def label(self) -> str:
+        """Human-readable id used in progress lines and summaries."""
+        suffix = f":{self.tag}" if self.tag else ""
+        return f"{self.workload}-{self.num_qubits}q-{self.rules}{suffix}"
+
+    def to_dict(self) -> dict:
+        """Plain-python form (JSON-compatible)."""
+        payload = asdict(self)
+        payload["coupling"] = list(self.coupling)
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "CompileJob":
+        """Inverse of :meth:`to_dict`."""
+        payload = dict(payload)
+        payload["coupling"] = tuple(payload.get("coupling", (4, 4)))
+        return cls(**payload)
+
+    def to_json(self) -> str:
+        """Serialize to a JSON string."""
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "CompileJob":
+        """Parse a job from :meth:`to_json` output."""
+        return cls.from_dict(json.loads(text))
+
+
+@dataclass(frozen=True)
+class CompileResult:
+    """Outcome of one job: scalar metrics plus a circuit digest."""
+
+    job: CompileJob
+    duration: float = math.nan
+    pulse_count: int = 0
+    swap_count: int = 0
+    total_pulse_time: float = math.nan
+    trial_index: int = -1
+    digest: str = ""
+    gate_counts: dict[str, int] = field(default_factory=dict)
+    wall_time: float = 0.0
+    attempts: int = 1
+    error: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        """True when the job compiled successfully."""
+        return self.error is None
+
+    @classmethod
+    def failure(
+        cls, job: CompileJob, error: str, wall_time: float = 0.0
+    ) -> "CompileResult":
+        """Record a failed attempt (metrics left at sentinel values)."""
+        return cls(job=job, wall_time=wall_time, error=error)
+
+    def with_attempts(self, attempts: int) -> "CompileResult":
+        """Copy with the engine's final attempt count stamped in."""
+        return replace(self, attempts=attempts)
+
+    def to_dict(self) -> dict:
+        """Plain-python form (strict-JSON compatible).
+
+        NaN sentinels of failed jobs become ``null`` so the output stays
+        parseable by RFC-compliant consumers (jq, JSON.parse, ...).
+        """
+        payload = asdict(self)
+        payload["job"] = self.job.to_dict()
+        for key in ("duration", "total_pulse_time"):
+            if math.isnan(payload[key]):
+                payload[key] = None
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "CompileResult":
+        """Inverse of :meth:`to_dict`."""
+        payload = dict(payload)
+        payload["job"] = CompileJob.from_dict(payload["job"])
+        payload["gate_counts"] = dict(payload.get("gate_counts", {}))
+        for key in ("duration", "total_pulse_time"):
+            if payload.get(key) is None:
+                payload[key] = math.nan
+        return cls(**payload)
+
+    def to_json(self) -> str:
+        """Serialize to a JSON string."""
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "CompileResult":
+        """Parse a result from :meth:`to_json` output."""
+        return cls.from_dict(json.loads(text))

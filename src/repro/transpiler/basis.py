@@ -9,12 +9,15 @@ layers are emitted as ``u1q`` placeholder gates of fixed duration.
 
 from __future__ import annotations
 
-import numpy as np
+from typing import TYPE_CHECKING
 
 from ..circuits.circuit import QuantumCircuit
 from ..circuits.gate import Gate
 from ..core.decomposition_rules import DecompositionRules
 from ..quantum.weyl import weyl_coordinates
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..service.cache import DecompositionCache
 
 __all__ = ["translate_to_basis", "merge_adjacent_1q_placeholders"]
 
@@ -27,12 +30,19 @@ def _emit_layer(
 
 
 def translate_to_basis(
-    circuit: QuantumCircuit, rules: DecompositionRules
+    circuit: QuantumCircuit,
+    rules: DecompositionRules,
+    cache: "DecompositionCache | None" = None,
 ) -> QuantumCircuit:
     """Replace every 2Q gate/block with its basis template.
 
     1Q gates become fixed-duration ``u1q`` placeholders; 2Q gates are
-    classified by Weyl coordinates and templated via ``rules``.
+    classified by Weyl coordinates and templated via ``rules``.  Passing
+    a :class:`~repro.service.cache.DecompositionCache` memoizes the
+    coordinate-class -> template mapping across blocks, trials, worker
+    processes, and runs; templates are pure functions of the
+    (rules, coordinates) key, so cached runs are bit-identical to
+    uncached ones.
     """
     out = QuantumCircuit(circuit.num_qubits, f"{circuit.name}_{rules.name}")
     one_q = rules.one_q_duration
@@ -45,7 +55,12 @@ def translate_to_basis(
                 f"basis translation expects 1Q/2Q gates, got {gate.name}"
             )
         coords = weyl_coordinates(gate.to_matrix())
-        spec = rules.template_for(coords)
+        if cache is None:
+            spec = rules.template_for(coords)
+        else:
+            spec = cache.lookup(
+                rules.cache_token, coords, lambda: rules.template_for(coords)
+            )
         if spec.k == 0:
             # Identity-class block: it is purely local.
             if spec.layer_count:

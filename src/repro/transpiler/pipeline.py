@@ -9,6 +9,7 @@ shortest-duration result (the paper selects the best of 10 runs).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -21,6 +22,9 @@ from .consolidate import collect_2q_blocks, merge_1q_runs
 from .coupling import CouplingMap
 from .layout import Layout, random_layout, trivial_layout
 from .routing import RoutingResult, route_circuit
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..service.cache import DecompositionCache
 
 __all__ = ["TranspilationResult", "transpile", "transpile_once"]
 
@@ -65,17 +69,20 @@ def transpile_once(
     initial_layout: Layout,
     seed: int | np.random.Generator | None = 0,
     routed: RoutingResult | None = None,
+    cache: "DecompositionCache | None" = None,
 ) -> TranspilationResult:
     """Single-trial transpile with a fixed initial layout.
 
     Pass ``routed`` to reuse a routing result across rule engines (so a
-    baseline/optimized comparison sees the identical SWAP structure).
+    baseline/optimized comparison sees the identical SWAP structure),
+    and ``cache`` to memoize 2Q decomposition templates (see
+    :class:`repro.service.cache.DecompositionCache`).
     """
     if routed is None:
         routed = route_circuit(circuit, coupling, initial_layout, seed=seed)
     merged = merge_1q_runs(routed.circuit)
     blocked = collect_2q_blocks(merged)
-    translated = translate_to_basis(blocked, rules)
+    translated = translate_to_basis(blocked, rules, cache=cache)
     final = merge_adjacent_1q_placeholders(translated)
     schedule = asap_schedule(final)
     return TranspilationResult(
@@ -93,6 +100,7 @@ def transpile(
     rules: DecompositionRules,
     trials: int = 10,
     seed: int | np.random.Generator | None = 0,
+    cache: "DecompositionCache | None" = None,
 ) -> TranspilationResult:
     """Best-of-N transpilation (trial 0 uses the trivial layout)."""
     if trials < 1:
@@ -105,7 +113,9 @@ def transpile(
             if trial == 0
             else random_layout(circuit.num_qubits, coupling, rng)
         )
-        result = transpile_once(circuit, coupling, rules, layout, seed=rng)
+        result = transpile_once(
+            circuit, coupling, rules, layout, seed=rng, cache=cache
+        )
         result = TranspilationResult(
             circuit=result.circuit,
             schedule=result.schedule,

@@ -1,0 +1,358 @@
+"""Tests for the batch compilation service (jobs, cache, engine)."""
+
+from __future__ import annotations
+
+import json
+import math
+
+import numpy as np
+import pytest
+
+from repro.circuits.workloads import get_workload
+from repro.core.decomposition_rules import TemplateSpec
+from repro.service import (
+    BatchEngine,
+    CompileJob,
+    CompileResult,
+    DecompositionCache,
+    ResultStore,
+    SUITES,
+    circuit_digest,
+    suite_jobs,
+)
+from repro.transpiler.basis import translate_to_basis
+from repro.transpiler.coupling import square_lattice
+from repro.transpiler.pipeline import transpile
+
+
+class TestJobRoundTrip:
+    def test_json_round_trip(self):
+        job = CompileJob(
+            workload="qft",
+            num_qubits=8,
+            rules="baseline",
+            trials=3,
+            seed=42,
+            coupling=(2, 4),
+            tag="unit",
+        )
+        assert CompileJob.from_json(job.to_json()) == job
+
+    def test_result_json_round_trip(self):
+        job = CompileJob(workload="ghz", num_qubits=4, coupling=(2, 2))
+        result = CompileResult(
+            job=job,
+            duration=12.5,
+            pulse_count=7,
+            swap_count=1,
+            total_pulse_time=5.25,
+            trial_index=2,
+            digest="abc123",
+            gate_counts={"pulse2q": 7, "u1q": 11},
+            wall_time=0.5,
+            attempts=2,
+        )
+        parsed = CompileResult.from_json(result.to_json())
+        assert parsed == result
+        assert parsed.ok
+
+    def test_failure_result(self):
+        job = CompileJob(workload="ghz", num_qubits=4, coupling=(2, 2))
+        failed = CompileResult.failure(job, error="boom", wall_time=0.1)
+        assert not failed.ok
+        assert math.isnan(failed.duration)
+        parsed = CompileResult.from_json(failed.to_json())
+        assert parsed.error == "boom"
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="unknown rules"):
+            CompileJob(workload="ghz", rules="nope")
+        with pytest.raises(ValueError, match="trials"):
+            CompileJob(workload="ghz", trials=0)
+        with pytest.raises(ValueError, match="lattice too small"):
+            CompileJob(workload="ghz", num_qubits=16, coupling=(2, 2))
+
+    def test_label(self):
+        job = CompileJob(workload="qft", num_qubits=8, coupling=(2, 4))
+        assert job.label == "qft-8q-parallel"
+
+
+class TestDecompositionCache:
+    COORDS = np.array([np.pi / 2, 0.0, 0.0])
+    SPEC = TemplateSpec((0.5, 0.5), 3, "test template")
+
+    def test_miss_then_hit(self, tmp_path):
+        cache = DecompositionCache(path=tmp_path / "t.sqlite")
+        assert cache.get("rules", self.COORDS) is None
+        cache.put("rules", self.COORDS, self.SPEC)
+        assert cache.get("rules", self.COORDS) == self.SPEC
+        assert cache.stats.misses == 1
+        assert cache.stats.memory_hits == 1
+
+    def test_lookup_computes_once(self, tmp_path):
+        cache = DecompositionCache(path=tmp_path / "t.sqlite")
+        calls = []
+
+        def factory():
+            calls.append(1)
+            return self.SPEC
+
+        assert cache.lookup("rules", self.COORDS, factory) == self.SPEC
+        assert cache.lookup("rules", self.COORDS, factory) == self.SPEC
+        assert len(calls) == 1
+
+    def test_key_quantization(self):
+        cache = DecompositionCache(persistent=False)
+        wiggled = self.COORDS + 1e-12
+        assert cache.key_for("r", self.COORDS) == cache.key_for("r", wiggled)
+        other = self.COORDS + 1e-6
+        assert cache.key_for("r", self.COORDS) != cache.key_for("r", other)
+        # Rules with the same coordinates do not share entries.
+        assert cache.key_for("a", self.COORDS) != cache.key_for(
+            "b", self.COORDS
+        )
+
+    def test_persistence_across_instances(self, tmp_path):
+        path = tmp_path / "t.sqlite"
+        first = DecompositionCache(path=path)
+        first.put("rules", self.COORDS, self.SPEC)
+        first.close()
+        second = DecompositionCache(path=path)
+        assert second.get("rules", self.COORDS) == self.SPEC
+        assert second.stats.disk_hits == 1
+        assert second.disk_entries() == 1
+
+    def test_lru_eviction_falls_back_to_disk(self, tmp_path):
+        cache = DecompositionCache(path=tmp_path / "t.sqlite", memory_size=2)
+        specs = {}
+        for i in range(3):
+            coords = np.array([0.1 * (i + 1), 0.0, 0.0])
+            spec = TemplateSpec((0.25 * (i + 1),), 2, f"spec {i}")
+            cache.put("rules", coords, spec)
+            specs[i] = (coords, spec)
+        assert len(cache) == 2  # entry 0 evicted from the memory tier
+        coords0, spec0 = specs[0]
+        assert cache.get("rules", coords0) == spec0
+        assert cache.stats.disk_hits == 1
+
+    def test_lru_eviction_memory_only_misses(self):
+        cache = DecompositionCache(persistent=False, memory_size=2)
+        coords = [np.array([0.1 * (i + 1), 0.0, 0.0]) for i in range(3)]
+        for i, c in enumerate(coords):
+            cache.put("rules", c, TemplateSpec((0.25,), 2, f"spec {i}"))
+        assert cache.get("rules", coords[0]) is None
+        assert cache.get("rules", coords[2]) is not None
+
+    def test_lru_recency_order(self):
+        cache = DecompositionCache(persistent=False, memory_size=2)
+        a, b, c = (np.array([0.1 * (i + 1), 0.0, 0.0]) for i in range(3))
+        cache.put("rules", a, self.SPEC)
+        cache.put("rules", b, self.SPEC)
+        assert cache.get("rules", a) is not None  # a becomes most recent
+        cache.put("rules", c, self.SPEC)  # evicts b, not a
+        assert cache.get("rules", a) is not None
+        assert cache.get("rules", b) is None
+
+    def test_env_override_dir(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_DECOMP_CACHE_DIR", str(tmp_path / "d"))
+        cache = DecompositionCache()
+        assert cache.path is not None
+        assert cache.path.parent == tmp_path / "d"
+
+    def test_clear(self, tmp_path):
+        cache = DecompositionCache(path=tmp_path / "t.sqlite")
+        cache.put("rules", self.COORDS, self.SPEC)
+        cache.clear(disk=True)
+        assert len(cache) == 0
+        assert cache.disk_entries() == 0
+
+
+class TestCachedTranslation:
+    def test_translation_identical_with_cache(self, tmp_path, parallel_rules):
+        circuit = get_workload("qft", 6, seed=11)
+        cache = DecompositionCache(path=tmp_path / "t.sqlite")
+        plain = transpile(
+            circuit, square_lattice(2, 3), parallel_rules, trials=2, seed=3
+        )
+        cached = transpile(
+            circuit,
+            square_lattice(2, 3),
+            parallel_rules,
+            trials=2,
+            seed=3,
+            cache=cache,
+        )
+        assert circuit_digest(plain.circuit) == circuit_digest(cached.circuit)
+        assert cache.stats.hits > 0  # repeated blocks actually hit
+
+    def test_cache_token_separates_rule_parameters(self):
+        from repro.core.decomposition_rules import (
+            BaselineSqrtISwapRules,
+            ParallelSqrtISwapRules,
+        )
+
+        # Same class, different parameters -> different cache keyspace;
+        # otherwise a shared store would serve wrongly-quantized pulses.
+        assert (
+            ParallelSqrtISwapRules().cache_token
+            != ParallelSqrtISwapRules(pulse_quantum=0.5).cache_token
+        )
+        assert (
+            BaselineSqrtISwapRules().cache_token
+            != BaselineSqrtISwapRules(one_q_duration=0.5).cache_token
+        )
+
+    def test_translate_accepts_cache(self, parallel_rules):
+        circuit = get_workload("ghz", 4, seed=11)
+        cache = DecompositionCache(persistent=False)
+        out = translate_to_basis(circuit, parallel_rules, cache=cache)
+        again = translate_to_basis(circuit, parallel_rules, cache=cache)
+        assert circuit_digest(out) == circuit_digest(again)
+        assert cache.stats.puts > 0
+
+
+class TestSuites:
+    def test_known_suites(self):
+        assert set(SUITES) >= {"smoke", "table4", "table5", "table7"}
+        assert len(SUITES["table4"]) == 9
+        assert all(job.rules == "parallel" for job in SUITES["table4"])
+        assert len(SUITES["table7"]) == 18
+
+    def test_suite_overrides(self):
+        jobs = suite_jobs("table4", trials=2, seed=123)
+        assert all(job.trials == 2 and job.seed == 123 for job in jobs)
+
+    def test_unknown_suite(self):
+        with pytest.raises(KeyError, match="unknown suite"):
+            suite_jobs("nope")
+
+
+class TestBatchEngine:
+    def _sequential_digest(self, job: CompileJob, rules) -> str:
+        circuit = get_workload(
+            job.workload, job.num_qubits, seed=job.workload_seed
+        )
+        result = transpile(
+            circuit,
+            square_lattice(*job.coupling),
+            rules,
+            trials=job.trials,
+            seed=job.seed,
+        )
+        return circuit_digest(result.circuit)
+
+    def test_two_workers_match_sequential(self, tmp_path, parallel_rules):
+        jobs = [
+            CompileJob(
+                workload=name,
+                num_qubits=8,
+                rules="parallel",
+                trials=2,
+                seed=7,
+                coupling=(2, 4),
+            )
+            for name in ("ghz", "qft")
+        ]
+        engine = BatchEngine(
+            workers=2,
+            use_cache=True,
+            cache_path=tmp_path / "t.sqlite",
+            warm_coverage=False,  # conftest fixture already warmed them
+        )
+        results = engine.run(jobs)
+        assert [r.job for r in results] == jobs
+        for job, result in zip(jobs, results):
+            assert result.ok, result.error
+            assert result.digest == self._sequential_digest(
+                job, parallel_rules
+            )
+            assert result.pulse_count > 0
+            assert result.attempts == 1
+
+    def test_serial_engine_without_cache(self, parallel_rules):
+        job = CompileJob(
+            workload="ghz",
+            num_qubits=4,
+            rules="parallel",
+            trials=1,
+            seed=7,
+            coupling=(2, 2),
+        )
+        (result,) = BatchEngine(workers=1, use_cache=False).run([job])
+        assert result.ok
+        assert result.digest == self._sequential_digest(job, parallel_rules)
+
+    def test_failure_is_reported_not_raised(self):
+        job = CompileJob(
+            workload="no_such_workload",
+            num_qubits=4,
+            rules="parallel",
+            trials=1,
+            coupling=(2, 2),
+        )
+        progress_calls = []
+        engine = BatchEngine(
+            workers=1,
+            use_cache=False,
+            retries=1,
+            progress=lambda done, total, res: progress_calls.append(
+                (done, total, res.ok)
+            ),
+        )
+        (result,) = engine.run([job])
+        assert not result.ok
+        assert "no_such_workload" in result.error
+        assert result.attempts == 2  # first try + one retry
+        assert progress_calls == [(1, 1, False)]
+
+    def test_empty_job_list(self):
+        assert BatchEngine(workers=1).run([]) == []
+
+
+class TestResultStore:
+    def _result(self, workload, rules, duration, error=None):
+        job = CompileJob(
+            workload=workload,
+            num_qubits=4,
+            rules=rules,
+            trials=1,
+            coupling=(2, 2),
+        )
+        if error is not None:
+            return CompileResult.failure(job, error=error)
+        return CompileResult(
+            job=job,
+            duration=duration,
+            pulse_count=3,
+            swap_count=0,
+            total_pulse_time=duration / 2,
+            trial_index=0,
+            digest="d",
+            wall_time=0.1,
+        )
+
+    def test_summary_and_best(self):
+        store = ResultStore(
+            [
+                self._result("ghz", "parallel", 10.0),
+                self._result("ghz", "parallel", 8.0),
+                self._result("ghz", "baseline", 12.0),
+                self._result("qft", "parallel", 0.0, error="boom"),
+            ]
+        )
+        assert len(store) == 4
+        assert len(store.failures()) == 1
+        best = store.best("ghz", "parallel")
+        assert best is not None and best.duration == 8.0
+        summary = store.summary()
+        assert summary["ghz-4q-parallel"]["jobs"] == 2
+        assert summary["ghz-4q-parallel"]["best_duration"] == 8.0
+        assert summary["qft-4q-parallel"]["errors"] == 1
+        assert store.best("qft", "parallel") is None
+
+    def test_format_table_and_json(self):
+        store = ResultStore([self._result("ghz", "parallel", 10.0)])
+        table = store.format_table()
+        assert "ghz-4q-parallel" in table
+        payload = json.loads(json.dumps(store.to_dict()))
+        assert payload["summary"]["ghz-4q-parallel"]["jobs"] == 1

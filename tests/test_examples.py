@@ -24,6 +24,7 @@ def test_examples_directory_complete():
     assert {
         "quickstart.py",
         "basis_gate_selection.py",
+        "batch_compile.py",
         "parallel_drive_cnot.py",
         "transpile_workload.py",
         "snail_characterization.py",
@@ -69,3 +70,12 @@ def test_transpile_workload_runs(capsys):
     _run("transpile_workload.py", ["ghz"])
     out = capsys.readouterr().out
     assert "duration improvement" in out
+
+
+@pytest.mark.slow
+def test_batch_compile_runs(capsys, monkeypatch, tmp_path):
+    monkeypatch.setenv("REPRO_DECOMP_CACHE_DIR", str(tmp_path))
+    _run("batch_compile.py", ["smoke", "2"])
+    out = capsys.readouterr().out
+    assert "persistent cache" in out
+    assert "faster" in out
