@@ -1,0 +1,59 @@
+"""Cross-target scenario sweep over the whole hardware-target registry.
+
+Reproduces the workload table across every preset target (topologies
+plus fast/slow speed-limit variants) through the batch engine, and
+asserts the physics the target subsystem encodes:
+
+* fast variants (2Q pulses x0.5) finish in less normalized time than
+  their base target, slow variants (x2.0) in more;
+* estimated fidelities are proper probabilities, and a target's fast
+  variant never estimates worse fidelity than its slow variant;
+* denser connectivity helps: the all-to-all register never routes more
+  SWAPs than the line for the same workload.
+"""
+
+from conftest import run_once
+
+from repro.experiments.target_sweep import run_target_sweep
+from repro.targets import list_targets
+
+
+def test_target_sweep(benchmark, record_result):
+    result = run_once(
+        benchmark, run_target_sweep, num_qubits=8, trials=3, seed=7
+    )
+    record_result(result)
+    data = result.data
+    assert set(data) == set(list_targets())
+
+    for name, entry in data.items():
+        for workload, row in entry["workloads"].items():
+            assert row["duration"] > 0
+            assert 0.0 < row["estimated_fidelity"] <= 1.0, (
+                f"{name}/{workload}: FT {row['estimated_fidelity']}"
+            )
+
+    def durations(name, workload):
+        return data[name]["workloads"][workload]["duration"]
+
+    def fidelity(name, workload):
+        return data[name]["workloads"][workload]["estimated_fidelity"]
+
+    bases = [n for n in data if f"{n}_fast" in data and f"{n}_slow" in data]
+    assert bases, "registry lost its speed-limit variants"
+    for base in bases:
+        for workload in data[base]["workloads"]:
+            assert durations(f"{base}_fast", workload) < durations(
+                base, workload
+            ), f"{base}/{workload}: fast variant not faster"
+            assert durations(f"{base}_slow", workload) > durations(
+                base, workload
+            ), f"{base}/{workload}: slow variant not slower"
+            assert fidelity(f"{base}_fast", workload) >= fidelity(
+                f"{base}_slow", workload
+            ), f"{base}/{workload}: fast variant worse than slow"
+
+    for workload in data["line_16"]["workloads"]:
+        line = data["line_16"]["workloads"][workload]["swaps"]
+        dense = data["all_to_all_16"]["workloads"][workload]["swaps"]
+        assert dense <= line, f"{workload}: all-to-all routed more SWAPs"

@@ -25,6 +25,7 @@ setup(
     package_dir={"": "src"},
     packages=find_packages("src"),
     install_requires=[
+        "networkx>=2.8",
         "numpy>=1.22",
         "scipy>=1.8",
     ],

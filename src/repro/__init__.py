@@ -13,9 +13,13 @@ The package is organized bottom-up:
 * :mod:`repro.core`      — the paper's contribution: speed-limit
   functions, coverage sets, parallel-drive synthesis, gate scoring, and
   decomposition rules;
+* :mod:`repro.targets`   — named hardware-target device models
+  (topology + per-edge basis/speed-limit scaling + per-qubit T1/T2)
+  and their preset registry;
 * :mod:`repro.service`   — the batch compilation service: a
   multiprocessing job farm with a persistent decomposition cache;
-* :mod:`repro.experiments` — one driver per paper table/figure.
+* :mod:`repro.experiments` — one driver per paper table/figure, plus
+  the cross-target scenario sweep.
 
 Quickstart::
 

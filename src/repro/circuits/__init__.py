@@ -1,7 +1,13 @@
 """Circuit IR substrate: gates, circuits, scheduling, workloads."""
 
 from .circuit import QuantumCircuit
-from .dag import ScheduledCircuit, asap_schedule, dependency_layers
+from .dag import (
+    ScheduledCircuit,
+    WireActivity,
+    alap_schedule,
+    asap_schedule,
+    dependency_layers,
+)
 from .gate import Gate, gate_matrix
 from .qasm import from_qasm, to_qasm
 from .simulation import (
@@ -18,6 +24,8 @@ __all__ = [
     "QuantumCircuit",
     "ScheduledCircuit",
     "WORKLOADS",
+    "WireActivity",
+    "alap_schedule",
     "apply_gate",
     "asap_schedule",
     "circuit_unitary",

@@ -2,24 +2,60 @@
 
 The paper's fidelity model (Eq. 8, 10, 11) needs the total circuit
 duration along the critical path.  :func:`asap_schedule` assigns every
-gate its earliest start given per-gate durations and returns start times,
-per-qubit busy intervals, and the overall makespan.
+gate its earliest start given per-gate durations; :func:`alap_schedule`
+assigns the latest start that still meets the same makespan.  Both
+return start times, per-qubit busy intervals, and the overall makespan
+— the makespan is identical (critical-path-tight) between the two, but
+ALAP pushes slack gates later, which shortens each wire's exposed
+window under the idle-aware decoherence accounting of
+:class:`repro.transpiler.fidelity.HeterogeneousFidelityModel`.
 """
 
 from __future__ import annotations
 
 from collections.abc import Callable
 from dataclasses import dataclass
+from typing import NamedTuple
 
 from .circuit import QuantumCircuit
 from .gate import Gate
 
-__all__ = ["ScheduledCircuit", "asap_schedule", "dependency_layers"]
+__all__ = [
+    "ScheduledCircuit",
+    "WireActivity",
+    "alap_schedule",
+    "asap_schedule",
+    "dependency_layers",
+]
+
+
+class WireActivity(NamedTuple):
+    """Per-qubit timing summary of a schedule.
+
+    ``first_start``/``last_end`` bound the wire's own gates; ``busy`` is
+    the summed gate time on the wire and ``gates`` the gate count.  A
+    wire with no gates reports ``(0.0, 0.0, 0.0, 0)``.
+    """
+
+    first_start: float
+    last_end: float
+    busy: float
+    gates: int
+
+    @property
+    def span(self) -> float:
+        """Window between the wire's first gate start and last gate end."""
+        return self.last_end - self.first_start
+
+    @property
+    def idle_within_span(self) -> float:
+        """Idle time between the wire's own gates."""
+        return self.span - self.busy
 
 
 @dataclass(frozen=True)
 class ScheduledCircuit:
-    """ASAP schedule of a circuit."""
+    """Timed schedule of a circuit (ASAP or ALAP)."""
 
     circuit: QuantumCircuit
     start_times: tuple[float, ...]
@@ -30,6 +66,32 @@ class ScheduledCircuit:
     def total_duration(self) -> float:
         """Makespan: the critical-path duration (paper Eq. 8)."""
         return max(self.qubit_finish_times, default=0.0)
+
+    def wire_activity(self) -> tuple[WireActivity, ...]:
+        """Per-qubit (first_start, last_end, busy, gates) summaries.
+
+        This is the input to per-wire idle-window fidelity accounting:
+        a wire's decoherence-exposed window runs from its first gate
+        start to the makespan (the register is measured together), and
+        time inside that window not spent in a gate is idle.
+        """
+        first = [0.0] * self.circuit.num_qubits
+        last = [0.0] * self.circuit.num_qubits
+        busy = [0.0] * self.circuit.num_qubits
+        count = [0] * self.circuit.num_qubits
+        for gate, start, duration in zip(
+            self.circuit, self.start_times, self.durations
+        ):
+            for q in gate.qubits:
+                if count[q] == 0 or start < first[q]:
+                    first[q] = start
+                last[q] = max(last[q], start + duration)
+                busy[q] += duration
+                count[q] += 1
+        return tuple(
+            WireActivity(first[q], last[q], busy[q], count[q])
+            for q in range(self.circuit.num_qubits)
+        )
 
     def critical_path(self) -> list[int]:
         """Indices of gates on one critical path, in execution order."""
@@ -88,6 +150,53 @@ def asap_schedule(
         start_times=tuple(starts),
         durations=tuple(durations),
         qubit_finish_times=tuple(clock),
+    )
+
+
+def alap_schedule(
+    circuit: QuantumCircuit,
+    duration_of: Callable[[Gate], float] | None = None,
+) -> ScheduledCircuit:
+    """As-late-as-possible schedule with per-gate durations.
+
+    Every gate starts at the latest time that still lets all of its
+    qubit-order successors meet the ASAP makespan, so the total duration
+    equals :func:`asap_schedule`'s exactly; only slack gates move.
+    Delaying them shrinks each wire's window between first gate and
+    measurement — the noise-aware choice when qubits idle in ``|0>``
+    before their first gate.
+    """
+
+    def default_duration(gate: Gate) -> float:
+        return gate.duration if gate.duration is not None else 0.0
+
+    duration_of = duration_of or default_duration
+    # Reverse pass: for each gate, the distance from the makespan back
+    # to its start, constrained by later gates on shared qubits.
+    offsets: list[float] = [0.0] * len(circuit)
+    durations: list[float] = [0.0] * len(circuit)
+    rev_clock = [0.0] * circuit.num_qubits
+    for index in range(len(circuit) - 1, -1, -1):
+        gate = circuit[index]
+        duration = float(duration_of(gate))
+        if duration < 0:
+            raise ValueError(f"negative duration for gate {gate.name}")
+        end_offset = max(rev_clock[q] for q in gate.qubits)
+        for q in gate.qubits:
+            rev_clock[q] = end_offset + duration
+        offsets[index] = end_offset + duration
+        durations[index] = duration
+    makespan = max(rev_clock, default=0.0)
+    starts = [makespan - offset for offset in offsets]
+    finish = [0.0] * circuit.num_qubits
+    for gate, start, duration in zip(circuit, starts, durations):
+        for q in gate.qubits:
+            finish[q] = max(finish[q], start + duration)
+    return ScheduledCircuit(
+        circuit=circuit,
+        start_times=tuple(starts),
+        durations=tuple(durations),
+        qubit_finish_times=tuple(finish),
     )
 
 

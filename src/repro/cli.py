@@ -6,7 +6,10 @@ Usage::
     python -m repro run table1 table6
     python -m repro run all
     python -m repro transpile qft --trials 5
+    python -m repro targets
+    python -m repro targets show heavy_hex_16
     python -m repro batch --suite table4 --workers 4
+    python -m repro batch --suite smoke --target heavy_hex_16
     python -m repro batch --workloads ghz qft --rules both --json out.json
 """
 
@@ -73,6 +76,30 @@ def _cmd_transpile(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_targets(args: argparse.Namespace) -> int:
+    from .targets import get_target, list_targets
+
+    if args.action == "show":
+        if not args.name:
+            print("targets show: missing target name", file=sys.stderr)
+            return 2
+        try:
+            target = get_target(args.name)
+        except (KeyError, ValueError) as exc:
+            # KeyError: unknown name; ValueError: a dynamic name that
+            # parses but fails validation (line_1, square_0x2, ...).
+            print(f"targets: {exc.args[0] if exc.args else exc}",
+                  file=sys.stderr)
+            return 2
+        print(json.dumps(target.to_dict(), indent=2, sort_keys=True))
+        return 0
+    print("available hardware targets (presets; square_RxC / line_N / "
+          "all_to_all_N and _fast/_slow suffixes resolve dynamically):")
+    for name in list_targets():
+        print(f"  {name:22s} {get_target(name).summary()}")
+    return 0
+
+
 def _cmd_batch(args: argparse.Namespace) -> int:
     from .service import (
         BatchEngine,
@@ -83,22 +110,38 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         suite_jobs,
     )
 
+    target = args.target
+    if args.coupling is not None:
+        rows, cols = args.coupling
+        print(
+            "batch: --coupling is deprecated; use "
+            f"--target square_{rows}x{cols} (removal from PR 4 on)",
+            file=sys.stderr,
+        )
+        if target is not None:
+            print("batch: pass --target or --coupling, not both",
+                  file=sys.stderr)
+            return 2
+        target = f"square_{rows}x{cols}"
     try:
         if args.suite is not None:
-            jobs = suite_jobs(args.suite, trials=args.trials, seed=args.seed)
+            jobs = suite_jobs(
+                args.suite,
+                trials=args.trials,
+                seed=args.seed,
+                target=target,
+            )
         elif args.workloads:
             rules = (
                 ("baseline", "parallel")
                 if args.rules == "both"
                 else (args.rules,)
             )
-            if args.coupling is not None:
-                coupling = tuple(args.coupling)
-            else:
+            if target is None:
                 # Smallest near-square lattice holding the register, so
                 # --qubits works at any width (16 keeps the paper's 4x4).
                 rows = max(1, int(args.qubits**0.5))
-                coupling = (rows, -(-args.qubits // rows))
+                target = f"square_{rows}x{-(-args.qubits // rows)}"
             jobs = [
                 CompileJob(
                     workload=workload,
@@ -106,7 +149,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
                     rules=rule,
                     trials=args.trials if args.trials is not None else 10,
                     seed=args.seed if args.seed is not None else 7,
-                    coupling=coupling,
+                    target=target,
                 )
                 for workload in args.workloads
                 for rule in rules
@@ -125,13 +168,20 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         return 2
 
     def progress(done: int, total: int, result) -> None:
-        status = (
-            f"{result.duration:.2f} pulses"
-            if result.ok
-            else "FAILED"
-        )
+        import math
+
+        if not result.ok:
+            status = "FAILED"
+        elif math.isnan(result.estimated_fidelity):
+            status = f"{result.duration:.2f} pulses"
+        else:
+            status = (
+                f"{result.duration:.2f} pulses, "
+                f"FT {result.estimated_fidelity:.4f}"
+            )
         print(
-            f"[{done}/{total}] {result.job.label}: {status} "
+            f"[{done}/{total}] {result.job.label}"
+            f"@{result.job.target}: {status} "
             f"({result.wall_time:.1f}s, attempt {result.attempts})"
         )
 
@@ -188,6 +238,17 @@ def main(argv: list[str] | None = None) -> int:
     transpile_parser.add_argument("--trials", type=int, default=5)
     transpile_parser.add_argument("--seed", type=int, default=7)
 
+    targets_parser = sub.add_parser(
+        "targets", help="list or show hardware-target device models"
+    )
+    targets_parser.add_argument(
+        "action", nargs="?", choices=("list", "show"), default="list",
+        help="'list' (default) or 'show NAME'",
+    )
+    targets_parser.add_argument(
+        "name", nargs="?", default=None, help="target name for 'show'"
+    )
+
     batch_parser = sub.add_parser(
         "batch",
         help="farm a workload suite across worker processes",
@@ -211,9 +272,13 @@ def main(argv: list[str] | None = None) -> int:
         help="workload width for --workloads jobs (lattice sized to fit)",
     )
     batch_parser.add_argument(
+        "--target", default=None,
+        help="hardware target name for all jobs (see 'repro targets')",
+    )
+    batch_parser.add_argument(
         "--coupling", type=int, nargs=2, metavar=("ROWS", "COLS"),
         default=None,
-        help="explicit square-lattice dimensions (default: fit --qubits)",
+        help="deprecated: square-lattice dims (use --target square_RxC)",
     )
     batch_parser.add_argument(
         "--trials", type=int, default=None,
@@ -250,6 +315,7 @@ def main(argv: list[str] | None = None) -> int:
         "list": _cmd_list,
         "run": _cmd_run,
         "transpile": _cmd_transpile,
+        "targets": _cmd_targets,
         "batch": _cmd_batch,
     }
     return handlers[args.command](args)

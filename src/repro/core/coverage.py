@@ -62,10 +62,15 @@ def default_cache_dir() -> Path:
 def cache_enabled() -> bool:
     """Whether the on-disk point-cloud cache is active.
 
-    ``REPRO_COVERAGE_CACHE=0`` disables reads and writes (CI uses this
-    to force cold builds); any other value, or unset, leaves it on.
+    Setting ``REPRO_COVERAGE_CACHE`` to any of ``0`` / ``false`` /
+    ``off`` / ``no`` (case-insensitive, surrounding whitespace ignored)
+    disables reads and writes (CI uses this to force cold builds); any
+    other value, or unset, leaves it on.
     """
-    return os.environ.get("REPRO_COVERAGE_CACHE", "1") != "0"
+    value = os.environ.get("REPRO_COVERAGE_CACHE")
+    if value is None:
+        return True
+    return value.strip().lower() not in {"0", "false", "off", "no"}
 
 _HALF_PI = np.pi / 2
 #: Synthesis anchors for hull boosting: the paper's four exterior points

@@ -36,6 +36,8 @@ __all__ = [
     "BaselineSqrtISwapRules",
     "ParallelSqrtISwapRules",
     "NAMED_GATE_COUNTS",
+    "RULE_ENGINES",
+    "build_rules",
     "coverage_for_basis",
     "BASIS_DRIVE_ANGLES",
 ]
@@ -350,3 +352,22 @@ class ParallelSqrtISwapRules(DecompositionRules):
             return min(candidates, key=lambda pair: pair[0])[1]
         # Full coverage backstop: three sqrt(iSWAP) pulses span everything.
         return TemplateSpec((0.5, 0.5, 0.5), 4, "3x sqrt(iSWAP)")
+
+
+#: Rule-engine names resolvable by :func:`build_rules` (the vocabulary
+#: jobs and hardware targets share).
+RULE_ENGINES = ("baseline", "parallel")
+
+
+def build_rules(name: str, one_q_duration: float = 0.25) -> DecompositionRules:
+    """Construct a rule engine by suite name.
+
+    The single factory behind ``CompileJob.rules`` validation, the batch
+    engine's coverage warming, and hardware targets' device-specific
+    engines — one place to extend when a new engine lands.
+    """
+    if name == "baseline":
+        return BaselineSqrtISwapRules(one_q_duration=one_q_duration)
+    if name == "parallel":
+        return ParallelSqrtISwapRules(one_q_duration=one_q_duration)
+    raise ValueError(f"unknown rules {name!r}; known: {RULE_ENGINES}")

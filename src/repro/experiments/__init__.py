@@ -1,7 +1,8 @@
-"""Experiment drivers: one per paper table and figure.
+"""Experiment drivers: one per paper table and figure, plus sweeps.
 
 ``run_experiment(id)`` dispatches by artifact id ("table1" ... "table7",
-"fig1", "fig3a" ... "fig12"); ``EXPERIMENTS`` lists everything available.
+"fig1", "fig3a" ... "fig12", "target_sweep"); ``EXPERIMENTS`` lists
+everything available.
 Each driver returns an :class:`~repro.experiments.common.ExperimentResult`
 whose ``table`` is the regenerated rows/series next to the paper's
 published values.
@@ -17,6 +18,7 @@ from .fig3_hamiltonian import run_fig3a, run_fig3b, run_fig3c
 from .fig_coverage import run_fig4, run_fig7, run_fig9, run_fig12
 from .fig_search import run_fig5, run_fig6, run_fig8
 from .table7 import run_table7
+from .target_sweep import run_target_sweep
 from .tables import (
     run_table1,
     run_table2,
@@ -50,6 +52,7 @@ __all__ = [
     "run_table5",
     "run_table6",
     "run_table7",
+    "run_target_sweep",
 ]
 
 #: Registry of every reproducible artifact.
@@ -72,6 +75,7 @@ EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
     "table5": run_table5,
     "table6": run_table6,
     "table7": run_table7,
+    "target_sweep": run_target_sweep,
 }
 
 

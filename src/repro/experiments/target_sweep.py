@@ -1,0 +1,119 @@
+"""Cross-target scenario sweep: the workload table on every preset.
+
+The paper's Tables V-VII fix one device (the 4x4 SNAIL lattice at unit
+speed-limit scale).  This driver re-runs the workload comparison across
+the whole hardware-target registry — topology presets and their
+fast/slow speed-limit variants — through the batch engine, reporting
+per-target best durations and noise-aware estimated fidelities (Eq.
+10-11 with each target's heterogeneous T1/T2).  It is the "as many
+scenarios as you can imagine" axis of the roadmap: adding a preset to
+:mod:`repro.targets.registry` automatically adds a row here.
+"""
+
+from __future__ import annotations
+
+from ..service.engine import BatchEngine, ResultStore
+from ..service.jobs import CompileJob
+from ..targets import get_target, list_targets
+from .common import ExperimentResult, format_table
+
+__all__ = ["run_target_sweep", "SWEEP_WORKLOADS"]
+
+#: Default sweep workloads: one shallow and one dense benchmark keeps a
+#: full-registry sweep minutes-scale while still separating targets.
+SWEEP_WORKLOADS = ("ghz", "qft")
+
+
+def run_target_sweep(
+    targets: tuple[str, ...] | None = None,
+    workloads: tuple[str, ...] = SWEEP_WORKLOADS,
+    rules: tuple[str, ...] = ("parallel",),
+    num_qubits: int = 8,
+    trials: int = 3,
+    seed: int = 7,
+    workers: int = 1,
+    use_cache: bool = True,
+) -> ExperimentResult:
+    """Compile the workload set onto every (or the given) target.
+
+    Jobs are tagged with their target name, run through the batch
+    engine (``workers > 1`` farms them), and aggregated per target:
+    best duration in normalized pulse units, wall-clock nanoseconds on
+    that device, and the fidelity-selected trial's estimated FT.
+    """
+    names = tuple(targets) if targets is not None else tuple(list_targets())
+    if not names:
+        raise ValueError("need at least one target")
+    if not workloads:
+        raise ValueError("need at least one workload")
+    if not rules:
+        raise ValueError("need at least one rule engine")
+    jobs = [
+        CompileJob(
+            workload=workload,
+            num_qubits=num_qubits,
+            rules=rule,
+            trials=trials,
+            seed=seed,
+            target=name,
+            tag=name,
+        )
+        for name in names
+        for workload in workloads
+        for rule in rules
+    ]
+    engine = BatchEngine(workers=workers, use_cache=use_cache, retries=1)
+    store = ResultStore(engine.run(jobs))
+    failures = store.failures()
+    if failures:
+        first = failures[0]
+        raise RuntimeError(
+            f"target sweep job failed for {first.job.label}: {first.error}"
+        )
+    rows = []
+    data: dict[str, dict] = {}
+    for name in names:
+        target = get_target(name)
+        entry: dict = {
+            "num_qubits": target.num_qubits,
+            "speed_limit_scale": target.speed_limit_scale,
+            "workloads": {},
+        }
+        for workload in workloads:
+            matches = [
+                r
+                for r in store.ok()
+                if r.job.target == name and r.job.workload == workload
+            ]
+            best = min(matches, key=lambda r: r.duration)
+            entry["workloads"][workload] = {
+                "duration": best.duration,
+                "duration_ns": best.duration * target.two_q_ns,
+                "estimated_fidelity": best.estimated_fidelity,
+                "swaps": best.swap_count,
+            }
+            rows.append(
+                [
+                    name,
+                    workload,
+                    round(best.duration, 2),
+                    round(best.duration * target.two_q_ns / 1000.0, 2),
+                    round(best.estimated_fidelity, 4),
+                    best.swap_count,
+                ]
+            )
+        data[name] = entry
+    table = format_table(
+        ["target", "workload", "dur", "dur us", "est FT", "swaps"],
+        rows,
+    )
+    scope = (
+        f"{len(names)} targets x {len(workloads)} workloads, "
+        f"{num_qubits}q, best-of-{trials}"
+    )
+    return ExperimentResult(
+        "target_sweep",
+        f"Cross-target scenario sweep ({scope})",
+        table,
+        data,
+    )

@@ -187,16 +187,17 @@ def in_weyl_chamber(coords: np.ndarray, atol: float = 1e-7) -> bool:
     """Return True when ``coords`` lies in the canonical chamber.
 
     ``atol`` loosens the geometric inequalities; the base-plane mirror
-    test keeps its own fixed epsilon (matching the canonicalizer's),
-    otherwise a loose ``atol`` would reject genuine right-half points
-    hovering just above the base plane.
+    test keeps its own fixed epsilon (``_ATOL``, exactly the
+    canonicalizer's base-plane threshold — a larger value here would
+    reject genuine right-half points the canonicalizer deliberately
+    leaves unmirrored just above the base plane).
     """
     c1, c2, c3 = np.asarray(coords, dtype=float)
     if not (c1 + atol >= c2 >= c3 - atol and c3 >= -atol):
         return False
     if c1 > np.pi + atol or c1 + c2 > np.pi + atol:
         return False
-    if c3 <= 1e-8 and c1 > np.pi / 2 + max(atol, 1e-8):
+    if c3 <= _ATOL and c1 > np.pi / 2 + max(atol, _ATOL):
         return False
     return True
 

@@ -6,7 +6,10 @@ suites best-of-N per circuit.  This package turns those one-off
 
 * :mod:`repro.service.jobs`   — :class:`CompileJob` / :class:`CompileResult`
   descriptions with JSON round-trip, so suites can be queued, shipped to
-  workers, and archived;
+  workers, and archived.  Jobs name a hardware target from
+  :mod:`repro.targets` (the legacy ``coupling`` tuple deserializes via
+  a deprecation shim — see the :mod:`repro.service.jobs` docstring for
+  the migration and removal horizon);
 * :mod:`repro.service.cache`  — :class:`DecompositionCache`, an LRU-fronted
   sqlite store of 2Q decomposition templates keyed by canonical Weyl
   coordinates, shared by every worker and persisted across runs;

@@ -22,6 +22,7 @@ runs).  :class:`ResultStore` aggregates per-workload statistics, and
 
 from __future__ import annotations
 
+import math
 import multiprocessing
 import time
 import traceback
@@ -58,7 +59,7 @@ def _suite(
     workloads: Sequence[str],
     rules: Sequence[str],
     num_qubits: int,
-    coupling: tuple[int, int],
+    target: str,
     trials: int,
     seed: int,
 ) -> tuple[CompileJob, ...]:
@@ -69,7 +70,7 @@ def _suite(
             rules=rule,
             trials=trials,
             seed=seed,
-            coupling=coupling,
+            target=target,
         )
         for workload in workloads
         for rule in rules
@@ -81,15 +82,15 @@ def _suite(
 #: paper's parallel-drive tables — they differ only in analysis, so the
 #: names alias one job tuple); "table7" adds the baseline for the
 #: published side-by-side; "smoke" is a seconds-scale sanity suite.
-_PARALLEL_SUITE = _suite(_WORKLOAD_SUITE, ("parallel",), 16, (4, 4), 10, 7)
+_PARALLEL_SUITE = _suite(_WORKLOAD_SUITE, ("parallel",), 16, "snail_4x4", 10, 7)
 SUITES: dict[str, tuple[CompileJob, ...]] = {
     "smoke": _suite(
-        ("ghz", "qft"), ("baseline", "parallel"), 8, (2, 4), 2, 7
+        ("ghz", "qft"), ("baseline", "parallel"), 8, "square_2x4", 2, 7
     ),
     "table4": _PARALLEL_SUITE,
     "table5": _PARALLEL_SUITE,
     "table7": _suite(
-        _WORKLOAD_SUITE, ("baseline", "parallel"), 16, (4, 4), 10, 7
+        _WORKLOAD_SUITE, ("baseline", "parallel"), 16, "snail_4x4", 10, 7
     ),
 }
 
@@ -98,8 +99,14 @@ def suite_jobs(
     name: str,
     trials: int | None = None,
     seed: int | None = None,
+    target: str | None = None,
 ) -> list[CompileJob]:
-    """Jobs of a named suite, optionally overriding trials/seed."""
+    """Jobs of a named suite, optionally overriding trials/seed/target.
+
+    A ``target`` override retargets every job in the suite (the target
+    must be large enough for the suite's register width — job
+    validation enforces that).
+    """
     try:
         jobs = SUITES[name]
     except KeyError:
@@ -108,23 +115,14 @@ def suite_jobs(
         ) from None
     overrides = {
         key: value
-        for key, value in (("trials", trials), ("seed", seed))
+        for key, value in (
+            ("trials", trials),
+            ("seed", seed),
+            ("target", target),
+        )
         if value is not None
     }
     return [replace(job, **overrides) for job in jobs]
-
-
-def _build_rules(name: str):
-    from ..core.decomposition_rules import (
-        BaselineSqrtISwapRules,
-        ParallelSqrtISwapRules,
-    )
-
-    if name == "baseline":
-        return BaselineSqrtISwapRules()
-    if name == "parallel":
-        return ParallelSqrtISwapRules()
-    raise ValueError(f"unknown rules {name!r}")
 
 
 def _warm_rules(names: set[str]) -> None:
@@ -132,10 +130,14 @@ def _warm_rules(names: set[str]) -> None:
 
     Children inherit (fork) or cheaply reload (spawn, via the on-disk
     point-cloud cache) the assembled sets instead of each paying the
-    full Algorithm-2 build.
+    full Algorithm-2 build.  Coverage hulls are independent of a
+    target's speed-limit scale and 1Q duration, so warming the default
+    engines covers every target variant.
     """
+    from ..core.decomposition_rules import build_rules
+
     for name in sorted(names):
-        rules = _build_rules(name)
+        rules = build_rules(name)
         if name == "baseline":
             _ = rules.coverage
         else:
@@ -169,9 +171,15 @@ def execute_job(
     use_cache: bool = True,
     cache_path: str | Path | None = None,
 ) -> CompileResult:
-    """Run one compile job to completion (also the pool worker body)."""
+    """Run one compile job to completion (also the pool worker body).
+
+    The job's named target supplies every device-dependent ingredient:
+    coupling map, (speed-limit-scaled) rule engine, per-edge schedule
+    durations, and the heterogeneous fidelity model under which the
+    best trial is selected.
+    """
     from ..circuits.workloads import get_workload
-    from ..transpiler.coupling import square_lattice
+    from ..targets import get_target
     from ..transpiler.pipeline import transpile
 
     start = time.perf_counter()
@@ -179,16 +187,20 @@ def execute_job(
         circuit = get_workload(
             job.workload, job.num_qubits, seed=job.workload_seed
         )
-        coupling = square_lattice(*job.coupling)
-        rules = _build_rules(job.rules)
+        target = get_target(job.target)
+        rules = target.build_rules(job.rules)
         cache = _cache_for(cache_path) if use_cache else None
         result = transpile(
             circuit,
-            coupling,
+            target.coupling_map,
             rules,
             trials=job.trials,
             seed=job.seed,
             cache=cache,
+            fidelity_model=target.fidelity_model(),
+            selection=job.selection,
+            scheduler=job.scheduler,
+            duration_of=target.gate_duration,
         )
     except Exception:  # noqa: BLE001 - reported to the engine for retry
         return CompileResult.failure(
@@ -202,6 +214,11 @@ def execute_job(
         pulse_count=result.pulse_count,
         swap_count=result.swap_count,
         total_pulse_time=result.total_pulse_time,
+        estimated_fidelity=(
+            result.estimated_fidelity
+            if result.estimated_fidelity is not None
+            else math.nan
+        ),
         trial_index=result.trial_index,
         digest=circuit_digest(result.circuit),
         gate_counts=dict(result.circuit.count_ops()),
@@ -280,20 +297,29 @@ class BatchEngine:
         with context.Pool(processes=pool_size) as pool:
             yield from pool.imap_unordered(_execute_payload, payloads)
 
-    def _cache_covers(self, rules_names: set[str]) -> bool:
+    def _cache_covers(self, jobs: Sequence[CompileJob]) -> bool:
         """True when the persistent store has templates for every engine.
 
-        A populated keyspace means workers will mostly hit the cache, so
+        Tokens are built per (rules, target) pair, because a target's
+        speed-limit scale is part of the cache keyspace (fast/slow
+        variants cache different template durations).  A populated
+        keyspace means workers will mostly hit the cache, so
         pre-building coverage hulls in the parent would waste exactly
         the work the cache exists to skip.  (A partially-warm store can
         still miss; the first miss then builds lazily in that worker.)
         """
         if not self.use_cache:
             return False
+        from ..targets import get_target
+
         cache = _cache_for(self.cache_path)
+        pairs = {(job.rules, job.target) for job in jobs}
         return all(
-            cache.token_entries(_build_rules(name).cache_token) > 0
-            for name in rules_names
+            cache.token_entries(
+                get_target(target).build_rules(name).cache_token
+            )
+            > 0
+            for name, target in pairs
         )
 
     # -- API -----------------------------------------------------------------
@@ -305,9 +331,8 @@ class BatchEngine:
             return []
         pool_size = min(self.workers, len(jobs))
         if pool_size > 1 and self.warm_coverage:
-            rules_names = {job.rules for job in jobs}
-            if not self._cache_covers(rules_names):
-                _warm_rules(rules_names)
+            if not self._cache_covers(jobs):
+                _warm_rules({job.rules for job in jobs})
         settled: dict[int, CompileResult] = {}
         pending = list(enumerate(jobs))
         done = 0
@@ -405,6 +430,13 @@ class ResultStore:
                         "wall_time": sum(r.wall_time for r in successes),
                     }
                 )
+                fidelities = [
+                    r.estimated_fidelity
+                    for r in successes
+                    if not math.isnan(r.estimated_fidelity)
+                ]
+                if fidelities:
+                    entry["best_fidelity"] = max(fidelities)
             out[label] = entry
         return out
 
@@ -415,12 +447,16 @@ class ResultStore:
         rows = []
         for label, entry in sorted(self.summary().items()):
             if entry.get("errors") == entry["jobs"]:
-                rows.append([label, "-", "-", "-", "-", entry["errors"]])
+                rows.append(
+                    [label, "-", "-", "-", "-", "-", entry["errors"]]
+                )
                 continue
+            fidelity = entry.get("best_fidelity")
             rows.append(
                 [
                     label,
                     round(entry["best_duration"], 2),
+                    "-" if fidelity is None else round(fidelity, 4),
                     round(entry["mean_pulses"], 1),
                     round(entry["mean_swaps"], 1),
                     round(entry["wall_time"], 2),
@@ -428,7 +464,8 @@ class ResultStore:
                 ]
             )
         return format_table(
-            ["job", "best dur", "pulses", "swaps", "wall s", "errors"],
+            ["job", "best dur", "best FT", "pulses", "swaps", "wall s",
+             "errors"],
             rows,
         )
 

@@ -2,13 +2,24 @@
 
 A :class:`CompileJob` is a complete, serializable description of one
 best-of-N transpilation: which workload, at what width, onto which
-lattice, under which rule engine, with which seeds.  A
-:class:`CompileResult` carries the scalar outcomes (plus a digest of the
-compiled circuit for byte-level parity checks) without shipping the
-circuit object itself across process boundaries.
+hardware target, under which rule engine and scheduler, with which
+seeds.  A :class:`CompileResult` carries the scalar outcomes (plus a
+digest of the compiled circuit for byte-level parity checks) without
+shipping the circuit object itself across process boundaries.
 
 Both types round-trip through JSON, so suites can be queued from files
 and results archived next to the paper artifacts.
+
+**Migration note (``coupling`` -> ``target``).**  Jobs used to carry a
+``coupling: (rows, cols)`` square-lattice tuple; they now name a
+:class:`~repro.targets.model.HardwareTarget` from the target registry
+(``target="snail_4x4"`` by default — the paper's device).  A
+deprecation shim keeps old callers and archived job files working:
+``CompileJob(coupling=(R, C))`` and payloads containing a ``coupling``
+key map onto the dynamically resolved ``square_RxC`` target and emit a
+:class:`DeprecationWarning`.  The shim is scheduled for removal two PRs
+after its introduction (PR 2), i.e. any PR from PR 4 on may delete it;
+until then new code must pass ``target=`` and never both fields.
 """
 
 from __future__ import annotations
@@ -16,14 +27,26 @@ from __future__ import annotations
 import hashlib
 import json
 import math
-from dataclasses import asdict, dataclass, field, replace
+import warnings
+from dataclasses import InitVar, asdict, dataclass, field, fields, replace
 
 from ..circuits.circuit import QuantumCircuit
+from ..core.decomposition_rules import RULE_ENGINES
+from ..targets import get_target
 
 __all__ = ["CompileJob", "CompileResult", "circuit_digest"]
 
-#: Rule-engine names a job may request.
-KNOWN_RULES = ("baseline", "parallel")
+#: Rule-engine names a job may request (shared with build_rules()).
+KNOWN_RULES = RULE_ENGINES
+
+#: Scheduling strategies a job may request (see circuits.dag).
+KNOWN_SCHEDULERS = ("asap", "alap")
+
+#: Best-trial criteria a job may request (see transpiler.pipeline).
+KNOWN_SELECTIONS = ("fidelity", "duration")
+
+#: The paper's device; jobs compile onto it unless told otherwise.
+DEFAULT_TARGET = "snail_4x4"
 
 
 def circuit_digest(circuit: QuantumCircuit) -> str:
@@ -55,26 +78,59 @@ class CompileJob:
     rules: str = "parallel"
     trials: int = 10
     seed: int = 7
-    coupling: tuple[int, int] = (4, 4)
+    target: str = DEFAULT_TARGET
+    scheduler: str = "alap"
+    #: Best-trial criterion: "fidelity" (noise-aware, the default) or
+    #: "duration" (the paper's shortest-critical-path rule).
+    selection: str = "fidelity"
     workload_seed: int | None = 11
     tag: str = ""
+    #: Deprecated constructor-only alias: a (rows, cols) square lattice,
+    #: mapped onto the ``square_RxC`` dynamic target.  Remove >= PR 4.
+    coupling: InitVar[tuple[int, int] | None] = None
 
-    def __post_init__(self) -> None:
+    def __post_init__(self, coupling: tuple[int, int] | None) -> None:
+        if coupling is not None:
+            if self.target != DEFAULT_TARGET:
+                raise ValueError(
+                    "pass either target= or the deprecated coupling=, "
+                    "not both"
+                )
+            warnings.warn(
+                "CompileJob(coupling=(rows, cols)) is deprecated; pass "
+                "target='square_RxC' (or a named preset) instead.  The "
+                "shim will be removed from PR 4 on.",
+                DeprecationWarning,
+                stacklevel=3,
+            )
+            rows, cols = coupling
+            object.__setattr__(self, "target", f"square_{rows}x{cols}")
         if self.rules not in KNOWN_RULES:
             raise ValueError(
                 f"unknown rules {self.rules!r}; known: {KNOWN_RULES}"
+            )
+        if self.scheduler not in KNOWN_SCHEDULERS:
+            raise ValueError(
+                f"unknown scheduler {self.scheduler!r}; "
+                f"known: {KNOWN_SCHEDULERS}"
+            )
+        if self.selection not in KNOWN_SELECTIONS:
+            raise ValueError(
+                f"unknown selection {self.selection!r}; "
+                f"known: {KNOWN_SELECTIONS}"
             )
         if self.trials < 1:
             raise ValueError("trials must be >= 1")
         if self.num_qubits < 2:
             raise ValueError("need at least two qubits")
-        rows, cols = self.coupling
-        if rows < 1 or cols < 1:
-            raise ValueError("coupling lattice dimensions must be positive")
-        if rows * cols < self.num_qubits:
+        try:
+            target = get_target(self.target)
+        except KeyError as exc:
+            raise ValueError(str(exc)) from None
+        if target.num_qubits < self.num_qubits:
             raise ValueError(
-                f"{rows}x{cols} lattice too small for "
-                f"{self.num_qubits} qubits"
+                f"target {self.target!r} ({target.num_qubits} qubits) "
+                f"too small for {self.num_qubits} qubits"
             )
 
     @property
@@ -85,15 +141,19 @@ class CompileJob:
 
     def to_dict(self) -> dict:
         """Plain-python form (JSON-compatible)."""
-        payload = asdict(self)
-        payload["coupling"] = list(self.coupling)
-        return payload
+        return asdict(self)
 
     @classmethod
     def from_dict(cls, payload: dict) -> "CompileJob":
-        """Inverse of :meth:`to_dict`."""
+        """Inverse of :meth:`to_dict`.
+
+        Also accepts pre-target payloads carrying a ``coupling`` list;
+        those go through the deprecation shim (warning included).
+        """
         payload = dict(payload)
-        payload["coupling"] = tuple(payload.get("coupling", (4, 4)))
+        legacy = payload.pop("coupling", None)
+        if legacy is not None:
+            payload["coupling"] = tuple(legacy)
         return cls(**payload)
 
     def to_json(self) -> str:
@@ -115,12 +175,16 @@ class CompileResult:
     pulse_count: int = 0
     swap_count: int = 0
     total_pulse_time: float = math.nan
+    estimated_fidelity: float = math.nan
     trial_index: int = -1
     digest: str = ""
     gate_counts: dict[str, int] = field(default_factory=dict)
     wall_time: float = 0.0
     attempts: int = 1
     error: str | None = None
+
+    #: Float fields whose NaN sentinel serializes as ``null``.
+    _NAN_NULL_FIELDS = ("duration", "total_pulse_time", "estimated_fidelity")
 
     @property
     def ok(self) -> bool:
@@ -146,18 +210,26 @@ class CompileResult:
         """
         payload = asdict(self)
         payload["job"] = self.job.to_dict()
-        for key in ("duration", "total_pulse_time"):
+        for key in self._NAN_NULL_FIELDS:
             if math.isnan(payload[key]):
                 payload[key] = None
         return payload
 
     @classmethod
     def from_dict(cls, payload: dict) -> "CompileResult":
-        """Inverse of :meth:`to_dict`."""
-        payload = dict(payload)
+        """Inverse of :meth:`to_dict`.
+
+        Results archived before the target subsystem lack
+        ``estimated_fidelity``; it loads as NaN (unknown).
+        """
+        payload = {
+            key: value
+            for key, value in payload.items()
+            if key in {f.name for f in fields(cls)}
+        }
         payload["job"] = CompileJob.from_dict(payload["job"])
         payload["gate_counts"] = dict(payload.get("gate_counts", {}))
-        for key in ("duration", "total_pulse_time"):
+        for key in cls._NAN_NULL_FIELDS:
             if payload.get(key) is None:
                 payload[key] = math.nan
         return cls(**payload)

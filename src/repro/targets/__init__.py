@@ -1,0 +1,35 @@
+"""Hardware-target subsystem: named device models for the compiler.
+
+The paper's fidelity-under-speed-limit comparisons (Tables V-VII,
+Eq. 10-11) are statements about *device assumptions*: topology, 2Q
+basis speed, and decay times.  This package makes those assumptions a
+first-class, serializable object:
+
+* :mod:`repro.targets.model`    — :class:`HardwareTarget` (coupling +
+  per-edge 2Q basis/speed-limit scaling + per-qubit T1/T2 + gate times,
+  JSON round-trip), :class:`EdgeProperties`, and :class:`ScaledRules`,
+  the speed-limit wrapper around decomposition rule engines;
+* :mod:`repro.targets.registry` — named presets (``snail_4x4``,
+  ``line_16``, ``heavy_hex_16``, ``heavy_hex_27``, ``all_to_all_16``
+  plus ``_fast``/``_slow`` speed-limit variants of each) and dynamic
+  ``square_RxC`` / ``line_N`` / ``all_to_all_N`` names.
+
+Jobs reference targets by name (:class:`repro.service.jobs.CompileJob`
+``target`` field); the batch engine resolves them and derives the
+coupling map, scaled rule engine, decomposition-cache keyspace, and
+heterogeneous fidelity model from one place.
+"""
+
+from __future__ import annotations
+
+from .model import EdgeProperties, HardwareTarget, ScaledRules
+from .registry import get_target, list_targets, register_target
+
+__all__ = [
+    "EdgeProperties",
+    "HardwareTarget",
+    "ScaledRules",
+    "get_target",
+    "list_targets",
+    "register_target",
+]

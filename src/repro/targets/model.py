@@ -1,0 +1,320 @@
+"""Hardware-target device models.
+
+A :class:`HardwareTarget` is a complete, serializable description of one
+device scenario: coupling topology, the 2Q basis gate and its
+speed-limit scaling (device-wide plus per-edge overrides), per-qubit
+T1/T2, and 1Q/2Q gate times.  It is the unit the compilation stack is
+parameterized over — :class:`~repro.service.jobs.CompileJob` names one,
+the engine resolves it, and everything downstream (coupling map, rule
+engine, decomposition-cache keyspace, fidelity model, schedule
+durations) derives from it.
+
+Speed-limit scaling follows the quantum-speed-limit picture (Puebla,
+Deffner & Campbell, arXiv:2006.04830): a device whose drive is further
+from the speed limit runs the same entangling interaction more slowly.
+We model that as a multiplier on 2Q pulse durations in normalized units
+(1.0 = the reference full-iSWAP pulse, ``two_q_ns`` wall-clock), applied
+when templates are emitted; the scaled durations flow into schedules,
+makespans, and decoherence estimates without touching template geometry.
+Because the scale changes which template is cheapest *in time* and what
+durations a cached template carries, it is part of the decomposition
+cache key (see :class:`ScaledRules.cache_token`).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass, replace
+from functools import cached_property
+
+import numpy as np
+
+from ..circuits.gate import Gate
+from ..core.decomposition_rules import (
+    DecompositionRules,
+    TemplateSpec,
+    build_rules,
+)
+from ..transpiler.coupling import CouplingMap
+from ..transpiler.fidelity import HeterogeneousFidelityModel
+
+__all__ = ["EdgeProperties", "HardwareTarget", "ScaledRules"]
+
+
+@dataclass(frozen=True)
+class EdgeProperties:
+    """Per-edge 2Q calibration: basis gate and speed-limit scale."""
+
+    basis_gate: str = "sqrt_iswap"
+    speed_limit_scale: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.speed_limit_scale <= 0:
+            raise ValueError("speed_limit_scale must be positive")
+
+    def to_dict(self) -> dict:
+        """Plain-python form (JSON-compatible)."""
+        return {
+            "basis_gate": self.basis_gate,
+            "speed_limit_scale": self.speed_limit_scale,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "EdgeProperties":
+        """Inverse of :meth:`to_dict`."""
+        return cls(**payload)
+
+
+class ScaledRules:
+    """Decomposition rules with speed-limit-scaled 2Q pulse durations.
+
+    Wraps a base :class:`DecompositionRules` engine and stretches every
+    emitted template's pulse durations by ``scale`` (layer counts and
+    which template covers a class are untouched — the speed limit slows
+    the drive, it does not change the reachable set).  The cache token
+    appends the scale so fast/slow device variants occupy distinct
+    decomposition-cache keyspaces: a cached template carries concrete
+    durations, and those differ between variants.
+    """
+
+    def __init__(self, base: DecompositionRules, scale: float):
+        if scale <= 0:
+            raise ValueError("speed-limit scale must be positive")
+        self.base = base
+        self.scale = float(scale)
+        self.name = f"{base.name}@slf{self.scale:g}"
+        self.one_q_duration = base.one_q_duration
+
+    @property
+    def cache_token(self) -> str:
+        """Base engine token extended with the speed-limit scale."""
+        return f"{self.base.cache_token}|slf{self.scale!r}"
+
+    def template_for(self, coords: np.ndarray) -> TemplateSpec:
+        """Base template with every pulse stretched by the scale."""
+        spec = self.base.template_for(coords)
+        return TemplateSpec(
+            tuple(pulse * self.scale for pulse in spec.pulses),
+            spec.layer_count,
+            f"{spec.description} (slf x{self.scale:g})",
+        )
+
+    def duration(self, coords: np.ndarray) -> float:
+        """Total scaled decomposition duration for a target class."""
+        return self.template_for(coords).duration(self.one_q_duration)
+
+
+def _normalize_edge(edge) -> tuple[int, int]:
+    a, b = (int(q) for q in edge)
+    if a == b:
+        raise ValueError(f"self-loop edge ({a}, {b})")
+    return (min(a, b), max(a, b))
+
+
+@dataclass(frozen=True)
+class HardwareTarget:
+    """One named device scenario, JSON round-trippable.
+
+    Args:
+        name: registry/display name.
+        edges: undirected coupling edges over qubits ``0..n-1``.
+        t1_us: per-qubit amplitude-damping times (microseconds).
+        t2_us: per-qubit dephasing times; entries may be ``math.inf``.
+        one_q_ns: wall-clock 1Q gate time.
+        two_q_ns: wall-clock duration of 1.0 normalized pulse units
+            (the reference full-iSWAP pulse at speed-limit scale 1).
+        basis_gate: device-default 2Q basis gate name.
+        speed_limit_scale: device-wide multiplier on 2Q pulse durations
+            (< 1 = closer to the speed limit / faster, > 1 = slower).
+        edge_overrides: per-edge :class:`EdgeProperties` exceptions,
+            keyed by normalized ``(low, high)`` edge.
+        description: one-line human summary for ``repro targets``.
+    """
+
+    name: str
+    edges: tuple[tuple[int, int], ...]
+    t1_us: tuple[float, ...]
+    t2_us: tuple[float, ...]
+    one_q_ns: float = 25.0
+    two_q_ns: float = 100.0
+    basis_gate: str = "sqrt_iswap"
+    speed_limit_scale: float = 1.0
+    edge_overrides: tuple[tuple[tuple[int, int], EdgeProperties], ...] = ()
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        edges = tuple(sorted({_normalize_edge(e) for e in self.edges}))
+        if not edges:
+            raise ValueError("target needs at least one coupling edge")
+        object.__setattr__(self, "edges", edges)
+        qubits = {q for edge in edges for q in edge}
+        if sorted(qubits) != list(range(len(qubits))):
+            raise ValueError("target qubits must be 0..n-1 contiguous")
+        n = len(qubits)
+        t1 = tuple(float(t) for t in self.t1_us)
+        t2 = tuple(float(t) for t in self.t2_us)
+        object.__setattr__(self, "t1_us", t1)
+        object.__setattr__(self, "t2_us", t2)
+        if len(t1) != n or len(t2) != n:
+            raise ValueError(
+                f"need {n} T1/T2 entries (one per qubit), got "
+                f"{len(t1)}/{len(t2)}"
+            )
+        if min(t1) <= 0 or min(t2) <= 0:
+            raise ValueError("T1/T2 must be positive")
+        if min(self.one_q_ns, self.two_q_ns) <= 0:
+            raise ValueError("gate times must be positive")
+        if self.speed_limit_scale <= 0:
+            raise ValueError("speed_limit_scale must be positive")
+        overrides = []
+        edge_set = set(edges)
+        for edge, props in self.edge_overrides:
+            edge = _normalize_edge(edge)
+            if edge not in edge_set:
+                raise ValueError(f"override for non-edge {edge}")
+            if not isinstance(props, EdgeProperties):
+                props = EdgeProperties(**dict(props))
+            overrides.append((edge, props))
+        object.__setattr__(self, "edge_overrides", tuple(sorted(overrides)))
+
+    # -- derived structure ---------------------------------------------------
+
+    @property
+    def num_qubits(self) -> int:
+        """Physical register size."""
+        return len(self.t1_us)
+
+    @cached_property
+    def coupling_map(self) -> CouplingMap:
+        """Connectivity as the transpiler's :class:`CouplingMap`."""
+        return CouplingMap(list(self.edges), name=self.name)
+
+    @property
+    def one_q_duration(self) -> float:
+        """D[1Q] in normalized pulse units (1Q gates are not scaled)."""
+        return self.one_q_ns / self.two_q_ns
+
+    def edge_properties(self, a: int, b: int) -> EdgeProperties:
+        """Effective 2Q calibration of one edge (override or default)."""
+        edge = _normalize_edge((a, b))
+        for known, props in self.edge_overrides:
+            if known == edge:
+                return props
+        return EdgeProperties(
+            basis_gate=self.basis_gate, speed_limit_scale=1.0
+        )
+
+    # -- compilation hooks ---------------------------------------------------
+
+    def build_rules(self, rules_name: str):
+        """Rule engine for this device (scaled when off unit speed).
+
+        At ``speed_limit_scale == 1`` the unwrapped base engine is
+        returned, so the paper-default target shares the decomposition
+        cache keyspace with pre-target callers.
+        """
+        base = build_rules(rules_name, one_q_duration=self.one_q_duration)
+        if self.speed_limit_scale == 1.0:
+            return base
+        return ScaledRules(base, self.speed_limit_scale)
+
+    def gate_duration(self, gate: Gate) -> float:
+        """Schedule-time duration hook applying per-edge speed scales.
+
+        Device-wide scaling is already baked into template durations by
+        :meth:`build_rules`; this multiplies 2Q pulses on individually
+        overridden edges on top of it.
+        """
+        duration = gate.duration if gate.duration is not None else 0.0
+        if gate.num_qubits == 2 and self.edge_overrides:
+            edge = _normalize_edge(gate.qubits)
+            for known, props in self.edge_overrides:
+                if known == edge:
+                    return duration * props.speed_limit_scale
+        return duration
+
+    def fidelity_model(self) -> HeterogeneousFidelityModel:
+        """Per-qubit decay model in this device's time units."""
+        return HeterogeneousFidelityModel(
+            t1_us=self.t1_us,
+            t2_us=self.t2_us,
+            iswap_ns=self.two_q_ns,
+            one_q_ns=self.one_q_ns,
+        )
+
+    def variant(self, suffix: str, speed_limit_scale: float) -> "HardwareTarget":
+        """Copy at a different speed-limit scale, suffixing the name."""
+        return replace(
+            self,
+            name=f"{self.name}_{suffix}",
+            speed_limit_scale=speed_limit_scale,
+            description=(
+                f"{self.description} ({suffix}: 2Q pulses "
+                f"x{speed_limit_scale:g})"
+            ).strip(),
+        )
+
+    # -- serialization -------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """Plain-python form (strict-JSON compatible; inf T2 -> null)."""
+        return {
+            "name": self.name,
+            "edges": [list(edge) for edge in self.edges],
+            "t1_us": list(self.t1_us),
+            "t2_us": [
+                None if math.isinf(t) else t for t in self.t2_us
+            ],
+            "one_q_ns": self.one_q_ns,
+            "two_q_ns": self.two_q_ns,
+            "basis_gate": self.basis_gate,
+            "speed_limit_scale": self.speed_limit_scale,
+            "edge_overrides": {
+                f"{a}-{b}": props.to_dict()
+                for (a, b), props in self.edge_overrides
+            },
+            "description": self.description,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "HardwareTarget":
+        """Inverse of :meth:`to_dict`."""
+        payload = dict(payload)
+        payload["edges"] = tuple(
+            tuple(edge) for edge in payload["edges"]
+        )
+        payload["t1_us"] = tuple(payload["t1_us"])
+        payload["t2_us"] = tuple(
+            math.inf if t is None else t for t in payload["t2_us"]
+        )
+        overrides = payload.get("edge_overrides") or {}
+        payload["edge_overrides"] = tuple(
+            (
+                tuple(int(q) for q in key.split("-")),
+                EdgeProperties.from_dict(props),
+            )
+            for key, props in overrides.items()
+        )
+        return cls(**payload)
+
+    def to_json(self) -> str:
+        """Serialize to a JSON string."""
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "HardwareTarget":
+        """Parse a target from :meth:`to_json` output."""
+        return cls.from_dict(json.loads(text))
+
+    def summary(self) -> str:
+        """One status line for ``repro targets`` listings."""
+        t1_lo, t1_hi = min(self.t1_us), max(self.t1_us)
+        t1 = (
+            f"{t1_lo:g}" if t1_lo == t1_hi else f"{t1_lo:g}-{t1_hi:g}"
+        )
+        return (
+            f"{self.num_qubits:3d}q  {len(self.edges):3d} edges  "
+            f"{self.basis_gate:<11s} slf x{self.speed_limit_scale:<4g} "
+            f"T1 {t1} us"
+        )

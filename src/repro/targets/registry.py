@@ -1,0 +1,221 @@
+"""Named hardware-target presets and dynamic target names.
+
+The registry resolves the device scenarios the repo's experiments run
+over:
+
+* **Named presets** — the paper's 4x4 SNAIL square lattice
+  (``snail_4x4``), a 16-qubit line (``line_16``), a 16-qubit induced
+  patch of the IBM heavy-hex unit cell (``heavy_hex_16``), the full
+  27-qubit distance-3 patch (``heavy_hex_27``), and a fully connected
+  16-qubit register (``all_to_all_16``).  Every preset also registers
+  ``_fast`` / ``_slow`` speed-limit variants (2Q pulses x0.5 / x2.0),
+  connecting the scenario table to quantum-speed-limit scaling.
+* **Dynamic names** — ``square_{R}x{C}``, ``line_{N}`` and
+  ``all_to_all_{N}`` resolve on demand with paper-uniform noise (and
+  accept the same ``_fast`` / ``_slow`` suffixes), so the
+  ``CompileJob.coupling`` deprecation shim can map any legacy lattice
+  tuple onto a target name.
+"""
+
+from __future__ import annotations
+
+import re
+from collections.abc import Callable
+from functools import lru_cache
+
+from ..transpiler.coupling import heavy_hex, line_topology, square_lattice
+from .model import EdgeProperties, HardwareTarget
+
+__all__ = ["get_target", "list_targets", "register_target"]
+
+#: Paper Sec. IV-B constants shared by the uniform presets.
+_PAPER_T1_US = 100.0
+_PAPER_T2_US = 200.0
+_ONE_Q_NS = 25.0
+_TWO_Q_NS = 100.0
+
+#: Suffix -> device-wide 2Q speed-limit scale for auto-variants.
+SPEED_VARIANTS: dict[str, float] = {"fast": 0.5, "slow": 2.0}
+
+_FACTORIES: dict[str, Callable[[], HardwareTarget]] = {}
+
+
+def register_target(
+    name: str,
+    factory: Callable[[], HardwareTarget],
+    variants: bool = True,
+) -> None:
+    """Add a preset (and, by default, its fast/slow variants)."""
+    if name in _FACTORIES:
+        raise ValueError(f"target {name!r} already registered")
+    _FACTORIES[name] = factory
+    if variants:
+        for suffix, scale in SPEED_VARIANTS.items():
+            _FACTORIES[f"{name}_{suffix}"] = (
+                lambda factory=factory, suffix=suffix, scale=scale: (
+                    factory().variant(suffix, scale)
+                )
+            )
+
+
+def list_targets() -> list[str]:
+    """All registered preset names, sorted."""
+    return sorted(_FACTORIES)
+
+
+def _uniform(
+    name: str,
+    edges,
+    num_qubits: int,
+    description: str,
+    t1_us: float = _PAPER_T1_US,
+    t2_us: float = _PAPER_T2_US,
+) -> HardwareTarget:
+    return HardwareTarget(
+        name=name,
+        edges=tuple(edges),
+        t1_us=(t1_us,) * num_qubits,
+        t2_us=(t2_us,) * num_qubits,
+        one_q_ns=_ONE_Q_NS,
+        two_q_ns=_TWO_Q_NS,
+        description=description,
+    )
+
+
+def _snail_4x4() -> HardwareTarget:
+    lattice = square_lattice(4, 4)
+    return _uniform(
+        "snail_4x4",
+        lattice.edges,
+        lattice.num_qubits,
+        "paper 4x4 SNAIL square lattice (Sec. II-B)",
+    )
+
+
+def _line_16() -> HardwareTarget:
+    line = line_topology(16)
+    return _uniform(
+        "line_16", line.edges, line.num_qubits, "16-qubit linear chain"
+    )
+
+
+def _all_to_all(num_qubits: int) -> HardwareTarget:
+    edges = [
+        (a, b)
+        for a in range(num_qubits)
+        for b in range(a + 1, num_qubits)
+    ]
+    return _uniform(
+        f"all_to_all_{num_qubits}",
+        edges,
+        num_qubits,
+        f"fully connected {num_qubits}-qubit register",
+    )
+
+
+def _heavy_hex_edges(num_qubits: int) -> list[tuple[int, int]]:
+    """Induced subgraph of the distance-3 patch on qubits 0..n-1."""
+    return [
+        (a, b)
+        for a, b in heavy_hex(3).edges
+        if a < num_qubits and b < num_qubits
+    ]
+
+
+def _graded_t1(num_qubits: int, lo: float, hi: float) -> tuple[float, ...]:
+    """Deterministic per-qubit T1 gradient (worst at the patch edge)."""
+    if num_qubits == 1:
+        return (hi,)
+    step = (hi - lo) / (num_qubits - 1)
+    return tuple(lo + step * q for q in range(num_qubits))
+
+
+def _heavy_hex_target(num_qubits: int) -> HardwareTarget:
+    edges = _heavy_hex_edges(num_qubits)
+    t1 = _graded_t1(num_qubits, 60.0, 140.0)
+    return HardwareTarget(
+        name=f"heavy_hex_{num_qubits}",
+        edges=tuple(edges),
+        t1_us=t1,
+        t2_us=tuple(1.5 * t for t in t1),
+        one_q_ns=_ONE_Q_NS,
+        two_q_ns=_TWO_Q_NS,
+        # One detuned coupler: the 3-5 edge runs 30% off the 2Q speed
+        # limit, the heterogeneity per-edge overrides exist for.
+        edge_overrides=(
+            ((3, 5), EdgeProperties(speed_limit_scale=1.3)),
+        ),
+        description=(
+            f"{num_qubits}-qubit heavy-hex patch, graded T1 60-140 us, "
+            "one slow coupler"
+        ),
+    )
+
+
+register_target("snail_4x4", _snail_4x4)
+register_target("line_16", _line_16)
+register_target("heavy_hex_16", lambda: _heavy_hex_target(16))
+register_target("heavy_hex_27", lambda: _heavy_hex_target(27))
+register_target("all_to_all_16", lambda: _all_to_all(16))
+
+
+_DYNAMIC_PATTERNS: tuple[tuple[re.Pattern, Callable[..., HardwareTarget]], ...] = (
+    (
+        re.compile(r"^square_(\d+)x(\d+)$"),
+        lambda rows, cols: _uniform(
+            f"square_{rows}x{cols}",
+            square_lattice(int(rows), int(cols)).edges,
+            int(rows) * int(cols),
+            f"{rows}x{cols} square lattice (uniform paper noise)",
+        ),
+    ),
+    (
+        re.compile(r"^line_(\d+)$"),
+        lambda n: _uniform(
+            f"line_{n}",
+            line_topology(int(n)).edges,
+            int(n),
+            f"{n}-qubit linear chain",
+        ),
+    ),
+    (
+        re.compile(r"^all_to_all_(\d+)$"),
+        lambda n: _all_to_all(int(n)),
+    ),
+)
+
+
+def _resolve_base(name: str) -> HardwareTarget:
+    factory = _FACTORIES.get(name)
+    if factory is not None:
+        return factory()
+    for pattern, builder in _DYNAMIC_PATTERNS:
+        match = pattern.match(name)
+        if match:
+            return builder(*match.groups())
+    raise KeyError(
+        f"unknown target {name!r}; presets: {list_targets()} "
+        "(square_RxC / line_N / all_to_all_N resolve dynamically, all "
+        "accept _fast/_slow suffixes)"
+    )
+
+
+@lru_cache(maxsize=256)
+def get_target(name: str) -> HardwareTarget:
+    """Resolve a target name (preset, dynamic, or speed variant).
+
+    Instances are cached, so repeated job validation and the engine's
+    per-job resolution share one coupling map and fidelity model.
+    """
+    if not isinstance(name, str) or not name:
+        raise KeyError(f"target name must be a non-empty string, got {name!r}")
+    try:
+        return _resolve_base(name)
+    except KeyError:
+        for suffix, scale in SPEED_VARIANTS.items():
+            tail = f"_{suffix}"
+            if name.endswith(tail):
+                return _resolve_base(name[: -len(tail)]).variant(
+                    suffix, scale
+                )
+        raise

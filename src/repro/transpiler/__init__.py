@@ -3,17 +3,28 @@
 from .basis import merge_adjacent_1q_placeholders, translate_to_basis
 from .consolidate import collect_2q_blocks, merge_1q_runs
 from .coupling import CouplingMap, heavy_hex, line_topology, square_lattice
-from .fidelity import PAPER_FIDELITY_MODEL, FidelityModel
+from .fidelity import (
+    PAPER_FIDELITY_MODEL,
+    FidelityModel,
+    HeterogeneousFidelityModel,
+)
 from .layout import Layout, random_layout, trivial_layout
-from .pipeline import TranspilationResult, transpile, transpile_once
+from .pipeline import (
+    SCHEDULERS,
+    TranspilationResult,
+    transpile,
+    transpile_once,
+)
 from .routing import RoutingResult, route_circuit
 
 __all__ = [
     "CouplingMap",
     "FidelityModel",
+    "HeterogeneousFidelityModel",
     "Layout",
     "PAPER_FIDELITY_MODEL",
     "RoutingResult",
+    "SCHEDULERS",
     "TranspilationResult",
     "collect_2q_blocks",
     "heavy_hex",

@@ -1,18 +1,40 @@
-"""Decoherence-limited fidelity model (paper Eq. 10–11).
+"""Decoherence-limited fidelity models (paper Eq. 10–11).
 
 ``FQ = exp(-D[Circuit] / T1)`` per qubit wire and ``FT = prod FQ_i`` for
 the whole register.  With the paper's constants — ``D[iSWAP] = 100 ns``,
 ``D[1Q] = 25 ns``, ``T1 = 100 us`` — every 1.0 of normalized duration
 costs ``exp(-0.001)`` of path fidelity.
+
+:class:`FidelityModel` is the paper's uniform-T1 form, applied to a
+scalar critical-path duration.  :class:`HeterogeneousFidelityModel`
+generalizes it to named hardware targets: per-qubit T1/T2 with per-wire
+idle-window accounting over a :class:`~repro.circuits.dag.ScheduledCircuit`.
+Each wire's decoherence-exposed window runs from its first gate start
+(the qubit idles in ``|0>`` before that, which is T1/T2-insensitive) to
+the makespan (the register is measured together); amplitude damping at
+rate ``1/T1_q`` applies over the whole window, and idle segments inside
+it pay an extra pure-dephasing factor at rate ``1/T2_q``.  This is the
+model under which ALAP scheduling and fidelity-based trial selection
+are meaningful: two schedules with identical makespans can differ in
+per-wire exposure and idle time.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
-__all__ = ["FidelityModel", "PAPER_FIDELITY_MODEL"]
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..circuits.dag import ScheduledCircuit
+
+__all__ = [
+    "FidelityModel",
+    "HeterogeneousFidelityModel",
+    "PAPER_FIDELITY_MODEL",
+]
 
 
 @dataclass(frozen=True)
@@ -60,3 +82,121 @@ class FidelityModel:
 
 #: The constants used throughout the paper's Sec. IV-B.
 PAPER_FIDELITY_MODEL = FidelityModel(t1_us=100.0, iswap_ns=100.0, one_q_ns=25.0)
+
+
+@dataclass(frozen=True)
+class HeterogeneousFidelityModel:
+    """Per-qubit T1/T2 decay with per-wire idle-window accounting.
+
+    ``t1_us[q]`` / ``t2_us[q]`` are wire ``q``'s amplitude-damping and
+    pure-dephasing times (``t2_us`` entries may be ``math.inf`` for a
+    dephasing-free wire, which recovers Eq. 10 exactly).  ``iswap_ns``
+    converts normalized schedule units to wall clock, as in
+    :class:`FidelityModel`.
+    """
+
+    t1_us: tuple[float, ...]
+    t2_us: tuple[float, ...]
+    iswap_ns: float = 100.0
+    one_q_ns: float = 25.0
+
+    def __post_init__(self) -> None:
+        if not self.t1_us:
+            raise ValueError("need at least one qubit")
+        if len(self.t1_us) != len(self.t2_us):
+            raise ValueError("t1_us and t2_us must have the same length")
+        if min(self.t1_us) <= 0 or min(self.t2_us) <= 0:
+            raise ValueError("all decay times must be positive")
+        if min(self.iswap_ns, self.one_q_ns) <= 0:
+            raise ValueError("all gate times must be positive")
+
+    @classmethod
+    def uniform(
+        cls,
+        num_qubits: int,
+        t1_us: float = 100.0,
+        t2_us: float | None = None,
+        iswap_ns: float = 100.0,
+        one_q_ns: float = 25.0,
+    ) -> "HeterogeneousFidelityModel":
+        """Homogeneous register; ``t2_us`` defaults to ``2 * t1_us``."""
+        if num_qubits < 1:
+            raise ValueError("need at least one qubit")
+        t2 = 2.0 * t1_us if t2_us is None else t2_us
+        return cls(
+            t1_us=(float(t1_us),) * num_qubits,
+            t2_us=(float(t2),) * num_qubits,
+            iswap_ns=iswap_ns,
+            one_q_ns=one_q_ns,
+        )
+
+    @property
+    def num_qubits(self) -> int:
+        """Register size the model describes."""
+        return len(self.t1_us)
+
+    def to_microseconds(self, normalized_duration: float) -> float:
+        """Convert normalized pulse units to wall-clock microseconds."""
+        return normalized_duration * self.iswap_ns / 1000.0
+
+    def wire_fidelity(
+        self, qubit: int, exposure: float, idle: float
+    ) -> float:
+        """FQ of one wire: T1 decay over ``exposure``, T2 over ``idle``.
+
+        Both windows are in normalized pulse units; ``idle`` must not
+        exceed ``exposure``.
+        """
+        if exposure < 0 or idle < -1e-12 or idle > exposure + 1e-9:
+            raise ValueError("need 0 <= idle <= exposure")
+        decay = self.to_microseconds(exposure) / self.t1_us[qubit]
+        t2 = self.t2_us[qubit]
+        if not math.isinf(t2):
+            decay += self.to_microseconds(max(idle, 0.0)) / t2
+        return float(np.exp(-decay))
+
+    def circuit_fidelity(self, schedule: "ScheduledCircuit") -> float:
+        """FT of a scheduled circuit (Eq. 11 with heterogeneous decay).
+
+        Wires with no gates contribute 1.0 (they never leave ``|0>``);
+        every other wire is exposed from its first gate start to the
+        makespan.
+        """
+        if schedule.circuit.num_qubits > self.num_qubits:
+            raise ValueError(
+                f"schedule uses {schedule.circuit.num_qubits} qubits but "
+                f"the model describes {self.num_qubits}"
+            )
+        makespan = schedule.total_duration
+        total = 1.0
+        for qubit, wire in enumerate(schedule.wire_activity()):
+            if wire.gates == 0:
+                continue
+            exposure = makespan - wire.first_start
+            idle = exposure - wire.busy
+            total *= self.wire_fidelity(qubit, exposure, idle)
+        return total
+
+    def wire_report(self, schedule: "ScheduledCircuit") -> list[dict]:
+        """Per-wire accounting (normalized units) behind the FT product."""
+        makespan = schedule.total_duration
+        report = []
+        for qubit, wire in enumerate(schedule.wire_activity()):
+            exposure = (makespan - wire.first_start) if wire.gates else 0.0
+            idle = exposure - wire.busy
+            report.append(
+                {
+                    "qubit": qubit,
+                    "gates": wire.gates,
+                    "first_start": wire.first_start,
+                    "busy": wire.busy,
+                    "idle": idle,
+                    "exposure": exposure,
+                    "fidelity": (
+                        self.wire_fidelity(qubit, exposure, idle)
+                        if wire.gates
+                        else 1.0
+                    ),
+                }
+            )
+        return report

@@ -1,20 +1,24 @@
 """End-to-end transpilation pipeline (paper Sec. IV-B flow).
 
 ``transpile`` runs: layout -> SWAP routing -> 1Q merge -> 2Q block
-consolidation -> basis translation -> 1Q placeholder merge -> ASAP
-schedule, over multiple randomized trials, returning the
-shortest-duration result (the paper selects the best of 10 runs).
+consolidation -> basis translation -> 1Q placeholder merge -> schedule
+(ASAP or ALAP), over multiple randomized trials.  The best trial is
+selected by estimated fidelity when a fidelity model is supplied (the
+noise-aware mode hardware targets use) and by raw critical-path
+duration otherwise (the paper's original best-of-10 criterion).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from collections.abc import Callable
+from dataclasses import dataclass, replace
 from typing import TYPE_CHECKING
 
 import numpy as np
 
 from ..circuits.circuit import QuantumCircuit
-from ..circuits.dag import ScheduledCircuit, asap_schedule
+from ..circuits.dag import ScheduledCircuit, alap_schedule, asap_schedule
+from ..circuits.gate import Gate
 from ..core.decomposition_rules import DecompositionRules
 from ..quantum.random import as_rng
 from .basis import merge_adjacent_1q_placeholders, translate_to_basis
@@ -25,8 +29,12 @@ from .routing import RoutingResult, route_circuit
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from ..service.cache import DecompositionCache
+    from .fidelity import HeterogeneousFidelityModel
 
-__all__ = ["TranspilationResult", "transpile", "transpile_once"]
+__all__ = ["SCHEDULERS", "TranspilationResult", "transpile", "transpile_once"]
+
+#: Scheduling strategies accepted by the pipeline.
+SCHEDULERS = ("asap", "alap")
 
 
 @dataclass(frozen=True)
@@ -38,6 +46,7 @@ class TranspilationResult:
     routing: RoutingResult
     rules_name: str
     trial_index: int
+    estimated_fidelity: float | None = None
 
     @property
     def duration(self) -> float:
@@ -62,6 +71,20 @@ class TranspilationResult:
         )
 
 
+def _schedule(
+    circuit: QuantumCircuit,
+    scheduler: str,
+    duration_of: Callable[[Gate], float] | None,
+) -> ScheduledCircuit:
+    if scheduler == "asap":
+        return asap_schedule(circuit, duration_of)
+    if scheduler == "alap":
+        return alap_schedule(circuit, duration_of)
+    raise ValueError(
+        f"unknown scheduler {scheduler!r}; known: {SCHEDULERS}"
+    )
+
+
 def transpile_once(
     circuit: QuantumCircuit,
     coupling: CouplingMap,
@@ -70,13 +93,17 @@ def transpile_once(
     seed: int | np.random.Generator | None = 0,
     routed: RoutingResult | None = None,
     cache: "DecompositionCache | None" = None,
+    scheduler: str = "asap",
+    duration_of: Callable[[Gate], float] | None = None,
 ) -> TranspilationResult:
     """Single-trial transpile with a fixed initial layout.
 
     Pass ``routed`` to reuse a routing result across rule engines (so a
     baseline/optimized comparison sees the identical SWAP structure),
-    and ``cache`` to memoize 2Q decomposition templates (see
-    :class:`repro.service.cache.DecompositionCache`).
+    ``cache`` to memoize 2Q decomposition templates (see
+    :class:`repro.service.cache.DecompositionCache`), and
+    ``duration_of`` to override schedule-time gate durations (hardware
+    targets use it for per-edge speed-limit scaling).
     """
     if routed is None:
         routed = route_circuit(circuit, coupling, initial_layout, seed=seed)
@@ -84,7 +111,7 @@ def transpile_once(
     blocked = collect_2q_blocks(merged)
     translated = translate_to_basis(blocked, rules, cache=cache)
     final = merge_adjacent_1q_placeholders(translated)
-    schedule = asap_schedule(final)
+    schedule = _schedule(final, scheduler, duration_of)
     return TranspilationResult(
         circuit=final,
         schedule=schedule,
@@ -101,10 +128,31 @@ def transpile(
     trials: int = 10,
     seed: int | np.random.Generator | None = 0,
     cache: "DecompositionCache | None" = None,
+    fidelity_model: "HeterogeneousFidelityModel | None" = None,
+    selection: str | None = None,
+    scheduler: str = "asap",
+    duration_of: Callable[[Gate], float] | None = None,
 ) -> TranspilationResult:
-    """Best-of-N transpilation (trial 0 uses the trivial layout)."""
+    """Best-of-N transpilation (trial 0 uses the trivial layout).
+
+    ``selection`` picks the best-trial criterion: ``"fidelity"``
+    maximizes ``fidelity_model.circuit_fidelity`` over each trial's
+    schedule (ties broken by shorter duration), ``"duration"`` keeps the
+    paper's shortest-critical-path rule.  It defaults to ``"fidelity"``
+    exactly when a ``fidelity_model`` is supplied.  Every trial's
+    estimated fidelity is stamped on its result either way when a model
+    is available.
+    """
     if trials < 1:
         raise ValueError("need at least one trial")
+    if selection is None:
+        selection = "fidelity" if fidelity_model is not None else "duration"
+    if selection not in ("fidelity", "duration"):
+        raise ValueError(
+            f"unknown selection {selection!r}; known: fidelity, duration"
+        )
+    if selection == "fidelity" and fidelity_model is None:
+        raise ValueError("fidelity selection needs a fidelity_model")
     rng = as_rng(seed)
     best: TranspilationResult | None = None
     for trial in range(trials):
@@ -114,16 +162,37 @@ def transpile(
             else random_layout(circuit.num_qubits, coupling, rng)
         )
         result = transpile_once(
-            circuit, coupling, rules, layout, seed=rng, cache=cache
+            circuit,
+            coupling,
+            rules,
+            layout,
+            seed=rng,
+            cache=cache,
+            scheduler=scheduler,
+            duration_of=duration_of,
         )
-        result = TranspilationResult(
-            circuit=result.circuit,
-            schedule=result.schedule,
-            routing=result.routing,
-            rules_name=result.rules_name,
-            trial_index=trial,
+        estimated = (
+            fidelity_model.circuit_fidelity(result.schedule)
+            if fidelity_model is not None
+            else None
         )
-        if best is None or result.duration < best.duration:
+        result = replace(
+            result, trial_index=trial, estimated_fidelity=estimated
+        )
+        if best is None or _better(result, best, selection):
             best = result
     assert best is not None
     return best
+
+
+def _better(
+    candidate: TranspilationResult,
+    incumbent: TranspilationResult,
+    selection: str,
+) -> bool:
+    if selection == "fidelity":
+        assert candidate.estimated_fidelity is not None
+        assert incumbent.estimated_fidelity is not None
+        if candidate.estimated_fidelity != incumbent.estimated_fidelity:
+            return candidate.estimated_fidelity > incumbent.estimated_fidelity
+    return candidate.duration < incumbent.duration

@@ -10,6 +10,7 @@ import pytest
 
 from repro.circuits.workloads import get_workload
 from repro.core.decomposition_rules import TemplateSpec
+from repro.targets import get_target
 from repro.service import (
     BatchEngine,
     CompileJob,
@@ -33,19 +34,20 @@ class TestJobRoundTrip:
             rules="baseline",
             trials=3,
             seed=42,
-            coupling=(2, 4),
+            target="square_2x4",
             tag="unit",
         )
         assert CompileJob.from_json(job.to_json()) == job
 
     def test_result_json_round_trip(self):
-        job = CompileJob(workload="ghz", num_qubits=4, coupling=(2, 2))
+        job = CompileJob(workload="ghz", num_qubits=4, target="square_2x2")
         result = CompileResult(
             job=job,
             duration=12.5,
             pulse_count=7,
             swap_count=1,
             total_pulse_time=5.25,
+            estimated_fidelity=0.97,
             trial_index=2,
             digest="abc123",
             gate_counts={"pulse2q": 7, "u1q": 11},
@@ -57,24 +59,103 @@ class TestJobRoundTrip:
         assert parsed.ok
 
     def test_failure_result(self):
-        job = CompileJob(workload="ghz", num_qubits=4, coupling=(2, 2))
+        job = CompileJob(workload="ghz", num_qubits=4, target="square_2x2")
         failed = CompileResult.failure(job, error="boom", wall_time=0.1)
         assert not failed.ok
         assert math.isnan(failed.duration)
+        assert math.isnan(failed.estimated_fidelity)
         parsed = CompileResult.from_json(failed.to_json())
         assert parsed.error == "boom"
 
     def test_validation(self):
         with pytest.raises(ValueError, match="unknown rules"):
             CompileJob(workload="ghz", rules="nope")
+        with pytest.raises(ValueError, match="unknown scheduler"):
+            CompileJob(workload="ghz", scheduler="greedy")
+        with pytest.raises(ValueError, match="unknown selection"):
+            CompileJob(workload="ghz", selection="random")
         with pytest.raises(ValueError, match="trials"):
             CompileJob(workload="ghz", trials=0)
-        with pytest.raises(ValueError, match="lattice too small"):
-            CompileJob(workload="ghz", num_qubits=16, coupling=(2, 2))
+        with pytest.raises(ValueError, match="too small"):
+            CompileJob(workload="ghz", num_qubits=16, target="square_2x2")
+        with pytest.raises(ValueError, match="unknown target"):
+            CompileJob(workload="ghz", target="not_a_device")
 
     def test_label(self):
-        job = CompileJob(workload="qft", num_qubits=8, coupling=(2, 4))
+        job = CompileJob(workload="qft", num_qubits=8, target="square_2x4")
         assert job.label == "qft-8q-parallel"
+
+
+class TestCouplingShim:
+    """coupling=(rows, cols) -> target='square_RxC' until >= PR 4."""
+
+    def test_constructor_shim_warns_and_maps(self):
+        with pytest.warns(DeprecationWarning, match="coupling"):
+            job = CompileJob(workload="ghz", num_qubits=8, coupling=(2, 4))
+        assert job.target == "square_2x4"
+        assert job == CompileJob(
+            workload="ghz", num_qubits=8, target="square_2x4"
+        )
+        assert "coupling" not in job.to_dict()
+
+    def test_legacy_payload_deserializes_with_warning(self):
+        legacy = {
+            "workload": "qft",
+            "num_qubits": 8,
+            "rules": "baseline",
+            "trials": 3,
+            "seed": 42,
+            "coupling": [2, 4],
+            "workload_seed": 11,
+            "tag": "unit",
+        }
+        with pytest.warns(DeprecationWarning, match="coupling"):
+            job = CompileJob.from_dict(legacy)
+        assert job.target == "square_2x4"
+        assert job.scheduler == "alap"  # new field takes its default
+        assert CompileJob.from_json(job.to_json()) == job
+
+    def test_both_fields_rejected(self):
+        with pytest.raises(ValueError, match="not both"):
+            CompileJob(
+                workload="ghz",
+                num_qubits=8,
+                target="line_16",
+                coupling=(2, 4),
+            )
+
+    def test_legacy_lattice_too_small(self):
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(ValueError, match="too small"):
+                CompileJob(workload="ghz", num_qubits=16, coupling=(2, 2))
+
+    def test_pre_target_result_payload_loads(self):
+        legacy = {
+            "job": {
+                "workload": "ghz",
+                "num_qubits": 4,
+                "rules": "parallel",
+                "trials": 1,
+                "seed": 7,
+                "coupling": [2, 2],
+                "workload_seed": 11,
+                "tag": "",
+            },
+            "duration": 10.0,
+            "pulse_count": 3,
+            "swap_count": 0,
+            "total_pulse_time": 5.0,
+            "trial_index": 0,
+            "digest": "d",
+            "gate_counts": {},
+            "wall_time": 0.1,
+            "attempts": 1,
+            "error": None,
+        }
+        with pytest.warns(DeprecationWarning):
+            result = CompileResult.from_dict(legacy)
+        assert result.job.target == "square_2x2"
+        assert math.isnan(result.estimated_fidelity)
 
 
 class TestDecompositionCache:
@@ -228,16 +309,21 @@ class TestSuites:
 
 
 class TestBatchEngine:
-    def _sequential_digest(self, job: CompileJob, rules) -> str:
+    def _sequential_digest(self, job: CompileJob) -> str:
+        """Mirror execute_job's target-aware transpile in-process."""
         circuit = get_workload(
             job.workload, job.num_qubits, seed=job.workload_seed
         )
+        target = get_target(job.target)
         result = transpile(
             circuit,
-            square_lattice(*job.coupling),
-            rules,
+            target.coupling_map,
+            target.build_rules(job.rules),
             trials=job.trials,
             seed=job.seed,
+            fidelity_model=target.fidelity_model(),
+            scheduler=job.scheduler,
+            duration_of=target.gate_duration,
         )
         return circuit_digest(result.circuit)
 
@@ -249,7 +335,7 @@ class TestBatchEngine:
                 rules="parallel",
                 trials=2,
                 seed=7,
-                coupling=(2, 4),
+                target="square_2x4",
             )
             for name in ("ghz", "qft")
         ]
@@ -263,10 +349,9 @@ class TestBatchEngine:
         assert [r.job for r in results] == jobs
         for job, result in zip(jobs, results):
             assert result.ok, result.error
-            assert result.digest == self._sequential_digest(
-                job, parallel_rules
-            )
+            assert result.digest == self._sequential_digest(job)
             assert result.pulse_count > 0
+            assert 0.0 < result.estimated_fidelity <= 1.0
             assert result.attempts == 1
 
     def test_serial_engine_without_cache(self, parallel_rules):
@@ -276,11 +361,77 @@ class TestBatchEngine:
             rules="parallel",
             trials=1,
             seed=7,
-            coupling=(2, 2),
+            target="square_2x2",
         )
         (result,) = BatchEngine(workers=1, use_cache=False).run([job])
         assert result.ok
-        assert result.digest == self._sequential_digest(job, parallel_rules)
+        assert result.digest == self._sequential_digest(job)
+
+    def test_duration_selection_reproduces_paper_pipeline(
+        self, parallel_rules
+    ):
+        """selection='duration' on the unit-scale default target is
+        byte-identical to the pre-target transpile() call."""
+        job = CompileJob(
+            workload="ghz",
+            num_qubits=6,
+            rules="parallel",
+            trials=2,
+            seed=7,
+            target="square_2x3",
+            selection="duration",
+            scheduler="asap",
+        )
+        (result,) = BatchEngine(workers=1, use_cache=False).run([job])
+        assert result.ok, result.error
+        circuit = get_workload(
+            job.workload, job.num_qubits, seed=job.workload_seed
+        )
+        legacy = transpile(
+            circuit,
+            square_lattice(2, 3),
+            parallel_rules,
+            trials=job.trials,
+            seed=job.seed,
+        )
+        assert result.digest == circuit_digest(legacy.circuit)
+        assert result.duration == pytest.approx(legacy.duration)
+
+    def test_engine_on_scaled_target_variant(self, parallel_rules, tmp_path):
+        """Fast/slow variants flow through the engine end-to-end and
+        land in their own decomposition-cache keyspace."""
+        base_job = CompileJob(
+            workload="ghz",
+            num_qubits=4,
+            rules="parallel",
+            trials=1,
+            seed=7,
+            target="square_2x2",
+        )
+        fast_job = CompileJob(
+            workload="ghz",
+            num_qubits=4,
+            rules="parallel",
+            trials=1,
+            seed=7,
+            target="square_2x2_fast",
+        )
+        engine = BatchEngine(
+            workers=1, use_cache=True, cache_path=tmp_path / "t.sqlite"
+        )
+        base, fast = engine.run([base_job, fast_job])
+        assert base.ok and fast.ok
+        assert fast.duration < base.duration
+        assert fast.estimated_fidelity > base.estimated_fidelity
+        cache = DecompositionCache(path=tmp_path / "t.sqlite")
+        fast_token = get_target("square_2x2_fast").build_rules(
+            "parallel"
+        ).cache_token
+        base_token = get_target("square_2x2").build_rules(
+            "parallel"
+        ).cache_token
+        assert cache.token_entries(fast_token) > 0
+        assert cache.token_entries(base_token) > 0
 
     def test_failure_is_reported_not_raised(self):
         job = CompileJob(
@@ -288,7 +439,7 @@ class TestBatchEngine:
             num_qubits=4,
             rules="parallel",
             trials=1,
-            coupling=(2, 2),
+            target="square_2x2",
         )
         progress_calls = []
         engine = BatchEngine(
@@ -316,7 +467,7 @@ class TestResultStore:
             num_qubits=4,
             rules=rules,
             trials=1,
-            coupling=(2, 2),
+            target="square_2x2",
         )
         if error is not None:
             return CompileResult.failure(job, error=error)
@@ -326,6 +477,7 @@ class TestResultStore:
             pulse_count=3,
             swap_count=0,
             total_pulse_time=duration / 2,
+            estimated_fidelity=0.9,
             trial_index=0,
             digest="d",
             wall_time=0.1,

@@ -27,6 +27,78 @@ class TestRun:
         assert (tmp_path / "fig3a.json").exists()
 
 
+class TestTargets:
+    def test_lists_presets(self, capsys):
+        assert main(["targets"]) == 0
+        out = capsys.readouterr().out
+        for name in ("snail_4x4", "heavy_hex_16", "line_16_fast"):
+            assert name in out
+
+    def test_show_dumps_json(self, capsys):
+        import json
+
+        assert main(["targets", "show", "heavy_hex_16"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["name"] == "heavy_hex_16"
+        assert len(payload["t1_us"]) == 16
+
+    def test_show_requires_name(self, capsys):
+        assert main(["targets", "show"]) == 2
+        assert "missing target name" in capsys.readouterr().err
+
+    def test_show_unknown_target(self, capsys):
+        assert main(["targets", "show", "nope"]) == 2
+        assert "unknown target" in capsys.readouterr().err
+
+    def test_show_invalid_dynamic_target(self, capsys):
+        # Parses as a dynamic name but fails validation: friendly
+        # message + exit 2, not a traceback.
+        assert main(["targets", "show", "line_1"]) == 2
+        assert "targets:" in capsys.readouterr().err
+
+
+class TestBatchTarget:
+    def test_batch_on_named_target(self, tmp_path, capsys):
+        # The acceptance flow: the smoke suite retargeted end-to-end
+        # (1 trial keeps it seconds-scale in-process).
+        out_json = tmp_path / "out.json"
+        assert main([
+            "batch", "--suite", "smoke", "--target", "heavy_hex_16",
+            "--trials", "1", "--workers", "1",
+            "--cache-path", str(tmp_path / "cache.sqlite"),
+            "--json", str(out_json),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "heavy_hex_16" in out
+        import json
+
+        payload = json.loads(out_json.read_text())
+        assert all(
+            result["job"]["target"] == "heavy_hex_16"
+            for result in payload["results"]
+        )
+        assert all(
+            0.0 < result["estimated_fidelity"] <= 1.0
+            for result in payload["results"]
+        )
+
+    def test_batch_target_too_small(self, capsys):
+        assert main([
+            "batch", "--suite", "table4", "--target", "square_2x2",
+        ]) == 2
+        assert "too small" in capsys.readouterr().err
+
+    def test_deprecated_coupling_flag_maps_to_target(self, capsys):
+        assert main([
+            "batch", "--workloads", "ghz", "--rules", "parallel",
+            "--qubits", "4", "--coupling", "2", "2", "--trials", "1",
+            "--workers", "1", "--no-cache",
+        ]) == 0
+        captured = capsys.readouterr()
+        assert "--coupling is deprecated" in captured.err
+        assert "square_2x2" in captured.out
+
+
 @pytest.mark.slow
 class TestTranspile:
     def test_transpile_command(self, capsys):

@@ -7,6 +7,7 @@ from repro.core.coverage import (
     KCoverage,
     RegionHull,
     build_coverage_set,
+    cache_enabled,
     expected_cost,
     haar_coordinate_samples,
 )
@@ -116,6 +117,23 @@ class TestCaching:
         assert np.array_equal(
             first.min_k(haar), second.min_k(haar)
         )
+
+    @pytest.mark.parametrize(
+        "value",
+        ["0", "false", "off", "no", "FALSE", "Off", "NO", " 0 ", "\tOff\n"],
+    )
+    def test_cache_disabled_spellings(self, monkeypatch, value):
+        monkeypatch.setenv("REPRO_COVERAGE_CACHE", value)
+        assert not cache_enabled()
+
+    @pytest.mark.parametrize("value", ["1", "true", "on", "yes", "", "anything"])
+    def test_cache_enabled_spellings(self, monkeypatch, value):
+        monkeypatch.setenv("REPRO_COVERAGE_CACHE", value)
+        assert cache_enabled()
+
+    def test_cache_enabled_by_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_COVERAGE_CACHE", raising=False)
+        assert cache_enabled()
 
 
 class TestExpectedCost:

@@ -21,7 +21,7 @@ class TestInfrastructure:
             "fig1", "fig3a", "fig3b", "fig3c", "fig4", "fig5", "fig6",
             "fig7", "fig8", "fig9", "fig12",
             "table1", "table2", "table3", "table4", "table5", "table6",
-            "table7",
+            "table7", "target_sweep",
         }
         assert set(EXPERIMENTS) == expected
 
@@ -84,3 +84,36 @@ class TestOptimizerExperiment:
         assert result.data["final_loss"] < 1e-8
         losses = result.data["loss_history"]
         assert losses[-1] <= losses[0]
+
+
+class TestTargetSweep:
+    def test_sweep_over_speed_variants(self):
+        from repro.experiments import run_target_sweep
+
+        result = run_target_sweep(
+            targets=("square_2x2", "square_2x2_fast", "square_2x2_slow"),
+            workloads=("ghz",),
+            num_qubits=4,
+            trials=1,
+            use_cache=False,
+        )
+        data = result.data
+        assert set(data) == {
+            "square_2x2", "square_2x2_fast", "square_2x2_slow"
+        }
+        base = data["square_2x2"]["workloads"]["ghz"]
+        fast = data["square_2x2_fast"]["workloads"]["ghz"]
+        slow = data["square_2x2_slow"]["workloads"]["ghz"]
+        assert fast["duration"] < base["duration"] < slow["duration"]
+        assert fast["estimated_fidelity"] > slow["estimated_fidelity"]
+        assert "square_2x2_fast" in result.table
+
+    def test_sweep_validation(self):
+        from repro.experiments import run_target_sweep
+
+        with pytest.raises(ValueError, match="at least one target"):
+            run_target_sweep(targets=())
+        with pytest.raises(ValueError, match="at least one workload"):
+            run_target_sweep(targets=("square_2x2",), workloads=())
+        with pytest.raises(ValueError, match="at least one rule"):
+            run_target_sweep(targets=("square_2x2",), rules=())

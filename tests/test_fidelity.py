@@ -1,9 +1,18 @@
-"""Tests for the decoherence fidelity model (paper Eq. 10-11)."""
+"""Tests for the decoherence fidelity models (paper Eq. 10-11)."""
+
+import math
 
 import numpy as np
 import pytest
 
-from repro.transpiler.fidelity import PAPER_FIDELITY_MODEL, FidelityModel
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.dag import asap_schedule
+from repro.circuits.gate import Gate
+from repro.transpiler.fidelity import (
+    PAPER_FIDELITY_MODEL,
+    FidelityModel,
+    HeterogeneousFidelityModel,
+)
 
 
 class TestModel:
@@ -51,3 +60,93 @@ class TestModel:
 
     def test_unit_conversion(self):
         assert PAPER_FIDELITY_MODEL.to_nanoseconds(2.5) == pytest.approx(250.0)
+
+
+def _busy_schedule(num_qubits: int, duration: float):
+    """Every wire busy for the whole makespan (no idle anywhere)."""
+    circuit = QuantumCircuit(num_qubits, "busy")
+    for q in range(num_qubits):
+        circuit.append(Gate("u1q", (q,), duration=duration))
+    return asap_schedule(circuit)
+
+
+class TestHeterogeneousModel:
+    def test_matches_uniform_model_without_idle(self):
+        """With every wire busy for the whole makespan and no T2 term,
+        the heterogeneous model reduces to Eq. 10-11 exactly."""
+        model = HeterogeneousFidelityModel.uniform(
+            4, t1_us=100.0, t2_us=math.inf
+        )
+        schedule = _busy_schedule(4, 133.0)
+        assert model.circuit_fidelity(schedule) == pytest.approx(
+            PAPER_FIDELITY_MODEL.total_fidelity(133.0, 4)
+        )
+
+    def test_uniform_constructor_defaults_t2(self):
+        model = HeterogeneousFidelityModel.uniform(3, t1_us=80.0)
+        assert model.t1_us == (80.0,) * 3
+        assert model.t2_us == (160.0,) * 3
+
+    def test_idle_costs_extra_through_t2(self):
+        lazy = HeterogeneousFidelityModel.uniform(1, t1_us=100.0, t2_us=200.0)
+        assert lazy.wire_fidelity(0, 10.0, 5.0) < lazy.wire_fidelity(
+            0, 10.0, 0.0
+        )
+        free = HeterogeneousFidelityModel.uniform(
+            1, t1_us=100.0, t2_us=math.inf
+        )
+        assert free.wire_fidelity(0, 10.0, 5.0) == free.wire_fidelity(
+            0, 10.0, 0.0
+        )
+
+    def test_weak_qubit_dominates(self):
+        strong = HeterogeneousFidelityModel(
+            t1_us=(100.0, 100.0), t2_us=(200.0, 200.0)
+        )
+        weak = HeterogeneousFidelityModel(
+            t1_us=(100.0, 10.0), t2_us=(200.0, 20.0)
+        )
+        schedule = _busy_schedule(2, 50.0)
+        assert weak.circuit_fidelity(schedule) < strong.circuit_fidelity(
+            schedule
+        )
+
+    def test_gateless_wires_are_free(self):
+        model = HeterogeneousFidelityModel.uniform(3, t1_us=100.0)
+        circuit = QuantumCircuit(3, "partial")
+        circuit.append(Gate("u1q", (0,), duration=50.0))
+        schedule = asap_schedule(circuit)
+        lone = HeterogeneousFidelityModel.uniform(1, t1_us=100.0)
+        assert model.circuit_fidelity(schedule) == pytest.approx(
+            lone.circuit_fidelity(_busy_schedule(1, 50.0))
+        )
+
+    def test_wire_report(self):
+        model = HeterogeneousFidelityModel.uniform(2, t1_us=100.0)
+        circuit = QuantumCircuit(2, "r")
+        circuit.append(Gate("u1q", (0,), duration=2.0))
+        report = model.wire_report(asap_schedule(circuit))
+        assert report[0]["busy"] == pytest.approx(2.0)
+        assert report[0]["idle"] == pytest.approx(0.0)
+        assert report[1]["gates"] == 0
+        assert report[1]["fidelity"] == 1.0
+        product = report[0]["fidelity"] * report[1]["fidelity"]
+        assert model.circuit_fidelity(
+            asap_schedule(circuit)
+        ) == pytest.approx(product)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HeterogeneousFidelityModel(t1_us=(), t2_us=())
+        with pytest.raises(ValueError):
+            HeterogeneousFidelityModel(t1_us=(1.0,), t2_us=(1.0, 1.0))
+        with pytest.raises(ValueError):
+            HeterogeneousFidelityModel(t1_us=(-1.0,), t2_us=(1.0,))
+        with pytest.raises(ValueError):
+            HeterogeneousFidelityModel.uniform(0)
+        model = HeterogeneousFidelityModel.uniform(1)
+        with pytest.raises(ValueError):
+            model.wire_fidelity(0, 1.0, 2.0)  # idle > exposure
+        small = _busy_schedule(2, 1.0)
+        with pytest.raises(ValueError, match="model describes"):
+            HeterogeneousFidelityModel.uniform(1).circuit_fidelity(small)

@@ -1,0 +1,147 @@
+"""Tests for ASAP/ALAP scheduling and per-wire idle accounting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.dag import alap_schedule, asap_schedule
+from repro.circuits.gate import Gate
+from repro.circuits.workloads import get_workload
+from repro.transpiler.fidelity import HeterogeneousFidelityModel
+
+
+def _timed(num_qubits: int, gates: list[tuple[str, tuple[int, ...], float]]):
+    circuit = QuantumCircuit(num_qubits, "timed")
+    for name, qubits, duration in gates:
+        circuit.append(Gate(name, qubits, duration=duration))
+    return circuit
+
+
+def _unit_duration(_gate: Gate) -> float:
+    return 1.0
+
+
+class TestAlapAgainstAsap:
+    @pytest.mark.parametrize("workload", ["ghz", "qft", "qaoa"])
+    def test_same_makespan_on_workloads(self, workload):
+        circuit = get_workload(workload, 6, seed=5)
+        asap = asap_schedule(circuit, _unit_duration)
+        alap = alap_schedule(circuit, _unit_duration)
+        assert alap.total_duration == pytest.approx(asap.total_duration)
+
+    def test_alap_never_starts_earlier(self):
+        circuit = get_workload("qft", 6, seed=5)
+        asap = asap_schedule(circuit, _unit_duration)
+        alap = alap_schedule(circuit, _unit_duration)
+        for early, late in zip(asap.start_times, alap.start_times):
+            assert late >= early - 1e-12
+
+    def test_rigid_chain_schedules_identically(self):
+        # A pure dependency chain has zero slack: ALAP == ASAP.
+        circuit = _timed(
+            4,
+            [
+                ("cx", (0, 1), 1.0),
+                ("cx", (1, 2), 1.0),
+                ("cx", (2, 3), 1.0),
+            ],
+        )
+        asap = asap_schedule(circuit)
+        alap = alap_schedule(circuit)
+        assert alap.start_times == asap.start_times
+
+    def test_validation(self):
+        circuit = _timed(2, [("cx", (0, 1), 1.0)])
+        with pytest.raises(ValueError, match="negative duration"):
+            alap_schedule(circuit, lambda g: -1.0)
+
+
+class TestStaircaseIdleReduction:
+    """The ISSUE's staircase: an early 1Q gate on the last wire of a CX
+    staircase has maximal slack, so ALAP pushes it from t=0 to just
+    before its consumer, collapsing the wire's idle window."""
+
+    @staticmethod
+    def _staircase() -> QuantumCircuit:
+        return _timed(
+            4,
+            [
+                ("u1q", (3,), 0.25),
+                ("cx", (0, 1), 1.0),
+                ("cx", (1, 2), 1.0),
+                ("cx", (2, 3), 1.0),
+            ],
+        )
+
+    def test_hand_computed_schedules(self):
+        circuit = self._staircase()
+        asap = asap_schedule(circuit)
+        alap = alap_schedule(circuit)
+        assert asap.start_times == (0.0, 0.0, 1.0, 2.0)
+        assert alap.start_times == (1.75, 0.0, 1.0, 2.0)
+        assert asap.total_duration == alap.total_duration == 3.0
+
+    def test_idle_window_shrinks(self):
+        circuit = self._staircase()
+        asap_wire3 = asap_schedule(circuit).wire_activity()[3]
+        alap_wire3 = alap_schedule(circuit).wire_activity()[3]
+        # Exposure window = makespan - first gate start.
+        assert 3.0 - asap_wire3.first_start == pytest.approx(3.0)
+        assert 3.0 - alap_wire3.first_start == pytest.approx(1.25)
+        assert asap_wire3.busy == alap_wire3.busy == pytest.approx(1.25)
+
+    def test_alap_estimates_higher_fidelity(self):
+        circuit = self._staircase()
+        model = HeterogeneousFidelityModel.uniform(4, t1_us=100.0)
+        asap_ft = model.circuit_fidelity(asap_schedule(circuit))
+        alap_ft = model.circuit_fidelity(alap_schedule(circuit))
+        assert alap_ft > asap_ft
+
+
+class TestWireActivity:
+    def test_hand_computed_accounting(self):
+        # q0: gates at [0, 1) and [2, 3) -> busy 2, span 3, idle 1.
+        # q1: one gate at [0, 1)         -> busy 1, span 1, idle 0.
+        # q2: gates at [0, 2) and [2, 3) -> busy 3, span 3, idle 0.
+        # q3: no gates.
+        circuit = _timed(
+            4,
+            [
+                ("cx", (0, 1), 1.0),
+                ("u1q", (2,), 2.0),
+                ("cx", (0, 2), 1.0),
+            ],
+        )
+        schedule = asap_schedule(circuit)
+        w0, w1, w2, w3 = schedule.wire_activity()
+        assert (w0.first_start, w0.last_end, w0.busy, w0.gates) == (
+            0.0, 3.0, 2.0, 2
+        )
+        assert w0.idle_within_span == pytest.approx(1.0)
+        assert (w1.first_start, w1.last_end, w1.busy, w1.gates) == (
+            0.0, 1.0, 1.0, 1
+        )
+        assert (w2.first_start, w2.last_end, w2.busy, w2.gates) == (
+            0.0, 3.0, 3.0, 2
+        )
+        assert w3.gates == 0 and w3.busy == 0.0
+
+    def test_model_matches_hand_computed_product(self):
+        import numpy as np
+
+        circuit = _timed(
+            2, [("cx", (0, 1), 1.0), ("u1q", (0,), 1.0)]
+        )
+        schedule = asap_schedule(circuit)
+        model = HeterogeneousFidelityModel(
+            t1_us=(100.0, 50.0), t2_us=(200.0, 100.0), iswap_ns=100.0
+        )
+        # Makespan 2.  q0: exposure 2, idle 0.  q1: exposure 2, idle 1.
+        # Units: 1 normalized unit = 100 ns = 0.1 us.
+        expected = (
+            np.exp(-0.2 / 100.0)
+            * np.exp(-0.2 / 50.0)
+            * np.exp(-0.1 / 100.0)
+        )
+        assert model.circuit_fidelity(schedule) == pytest.approx(expected)

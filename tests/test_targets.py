@@ -1,0 +1,218 @@
+"""Tests for the hardware-target subsystem (model, registry, wiring)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.circuits.gate import Gate
+from repro.circuits.workloads import get_workload
+from repro.targets import (
+    EdgeProperties,
+    HardwareTarget,
+    ScaledRules,
+    get_target,
+    list_targets,
+)
+from repro.transpiler.pipeline import transpile
+
+
+def _toy_target(**overrides) -> HardwareTarget:
+    kwargs = dict(
+        name="toy",
+        edges=((0, 1), (1, 2)),
+        t1_us=(100.0, 80.0, 120.0),
+        t2_us=(200.0, 160.0, 240.0),
+    )
+    kwargs.update(overrides)
+    return HardwareTarget(**kwargs)
+
+
+class TestModel:
+    def test_derived_structure(self):
+        target = _toy_target()
+        assert target.num_qubits == 3
+        assert target.coupling_map.num_qubits == 3
+        assert target.coupling_map.are_adjacent(0, 1)
+        assert not target.coupling_map.are_adjacent(0, 2)
+        assert target.one_q_duration == pytest.approx(0.25)
+
+    def test_edges_normalized_and_deduped(self):
+        target = _toy_target(edges=((1, 0), (2, 1), (0, 1)))
+        assert target.edges == ((0, 1), (1, 2))
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="at least one"):
+            _toy_target(edges=())
+        with pytest.raises(ValueError, match="contiguous"):
+            _toy_target(edges=((0, 2),), t1_us=(1.0, 1.0), t2_us=(1.0, 1.0))
+        with pytest.raises(ValueError, match="T1/T2"):
+            _toy_target(t1_us=(100.0,))
+        with pytest.raises(ValueError, match="positive"):
+            _toy_target(t1_us=(100.0, -1.0, 100.0))
+        with pytest.raises(ValueError, match="speed_limit_scale"):
+            _toy_target(speed_limit_scale=0.0)
+        with pytest.raises(ValueError, match="self-loop"):
+            _toy_target(edges=((0, 0), (0, 1)))
+        with pytest.raises(ValueError, match="non-edge"):
+            _toy_target(
+                edge_overrides=(((0, 2), EdgeProperties()),)
+            )
+
+    def test_json_round_trip(self):
+        target = _toy_target(
+            speed_limit_scale=1.5,
+            edge_overrides=(
+                ((1, 0), EdgeProperties("iswap", 2.0)),
+            ),
+            t2_us=(200.0, math.inf, 240.0),
+        )
+        parsed = HardwareTarget.from_json(target.to_json())
+        assert parsed == target
+        assert math.isinf(parsed.t2_us[1])
+        assert parsed.edge_properties(0, 1) == EdgeProperties("iswap", 2.0)
+
+    def test_edge_properties_default_and_override(self):
+        target = _toy_target(
+            basis_gate="sqrt_iswap",
+            edge_overrides=(((1, 2), EdgeProperties(speed_limit_scale=1.3)),),
+        )
+        assert target.edge_properties(0, 1).speed_limit_scale == 1.0
+        assert target.edge_properties(2, 1).speed_limit_scale == 1.3
+
+    def test_gate_duration_applies_edge_override(self):
+        target = _toy_target(
+            edge_overrides=(((1, 2), EdgeProperties(speed_limit_scale=1.5)),)
+        )
+        plain = Gate("pulse2q", (0, 1), duration=0.5)
+        slowed = Gate("pulse2q", (2, 1), duration=0.5)
+        one_q = Gate("u1q", (2,), duration=0.25)
+        assert target.gate_duration(plain) == pytest.approx(0.5)
+        assert target.gate_duration(slowed) == pytest.approx(0.75)
+        assert target.gate_duration(one_q) == pytest.approx(0.25)
+
+    def test_fidelity_model_mirrors_noise(self):
+        model = _toy_target().fidelity_model()
+        assert model.t1_us == (100.0, 80.0, 120.0)
+        assert model.num_qubits == 3
+
+    def test_variant(self):
+        fast = _toy_target().variant("fast", 0.5)
+        assert fast.name == "toy_fast"
+        assert fast.speed_limit_scale == 0.5
+        assert fast.edges == _toy_target().edges
+
+
+class TestScaledRules:
+    def test_scales_pulses_not_layers(self, parallel_rules):
+        scaled = ScaledRules(parallel_rules, 2.0)
+        coords = np.array([np.pi / 2, np.pi / 2, 0.0])  # iSWAP class
+        base_spec = parallel_rules.template_for(coords)
+        spec = scaled.template_for(coords)
+        assert spec.layer_count == base_spec.layer_count
+        assert spec.pulses == tuple(2.0 * p for p in base_spec.pulses)
+
+    def test_cache_token_includes_scale(self, parallel_rules):
+        fast = ScaledRules(parallel_rules, 0.5)
+        slow = ScaledRules(parallel_rules, 2.0)
+        assert fast.cache_token != slow.cache_token
+        assert parallel_rules.cache_token not in (
+            fast.cache_token,
+            slow.cache_token,
+        )
+        assert fast.cache_token.startswith(parallel_rules.cache_token)
+
+    def test_unit_scale_target_returns_base_rules(self):
+        target = get_target("snail_4x4")
+        rules = target.build_rules("parallel")
+        assert not isinstance(rules, ScaledRules)
+        scaled = get_target("snail_4x4_slow").build_rules("parallel")
+        assert isinstance(scaled, ScaledRules)
+        assert scaled.scale == 2.0
+
+    def test_validation(self, parallel_rules):
+        with pytest.raises(ValueError):
+            ScaledRules(parallel_rules, 0.0)
+
+
+class TestRegistry:
+    def test_presets_and_variants_listed(self):
+        names = list_targets()
+        for base in (
+            "snail_4x4", "line_16", "heavy_hex_16", "heavy_hex_27",
+            "all_to_all_16",
+        ):
+            assert base in names
+            assert f"{base}_fast" in names
+            assert f"{base}_slow" in names
+
+    def test_snail_matches_paper_lattice(self):
+        from repro.transpiler.coupling import square_lattice
+
+        target = get_target("snail_4x4")
+        assert target.num_qubits == 16
+        assert target.edges == tuple(square_lattice(4, 4).edges)
+        assert set(target.t1_us) == {100.0}
+
+    def test_heavy_hex_16_is_connected_induced_patch(self):
+        target = get_target("heavy_hex_16")
+        assert target.num_qubits == 16
+        assert target.coupling_map.num_qubits == 16  # implies connected
+        assert min(target.t1_us) < max(target.t1_us)  # graded noise
+        assert target.edge_properties(3, 5).speed_limit_scale != 1.0
+
+    def test_dynamic_names(self):
+        square = get_target("square_2x4")
+        assert square.num_qubits == 8
+        line = get_target("line_5")
+        assert line.num_qubits == 5
+        dense = get_target("all_to_all_4")
+        assert len(dense.edges) == 6
+        fast = get_target("square_2x4_fast")
+        assert fast.speed_limit_scale == 0.5
+
+    def test_instances_cached(self):
+        assert get_target("snail_4x4") is get_target("snail_4x4")
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError, match="unknown target"):
+            get_target("not_a_device")
+        with pytest.raises(KeyError, match="unknown target"):
+            get_target("not_a_device_fast")
+
+
+class TestNoiseAwareSelection:
+    """Acceptance: on every preset, fidelity selection is never worse
+    (in estimated fidelity) than the paper's duration selection."""
+
+    @pytest.mark.parametrize("name", sorted(list_targets()))
+    def test_fidelity_selection_beats_duration_selection(
+        self, name, parallel_rules
+    ):
+        target = get_target(name)
+        model = target.fidelity_model()
+        circuit = get_workload("ghz", 6, seed=11)
+        kwargs = dict(
+            trials=3,
+            seed=7,
+            fidelity_model=model,
+            scheduler="alap",
+            duration_of=target.gate_duration,
+        )
+        rules = target.build_rules("parallel")
+        by_fidelity = transpile(
+            circuit, target.coupling_map, rules,
+            selection="fidelity", **kwargs,
+        )
+        by_duration = transpile(
+            circuit, target.coupling_map, rules,
+            selection="duration", **kwargs,
+        )
+        assert by_fidelity.estimated_fidelity is not None
+        assert by_duration.estimated_fidelity is not None
+        assert (
+            by_fidelity.estimated_fidelity
+            >= by_duration.estimated_fidelity - 1e-12
+        )
