@@ -1,0 +1,85 @@
+"""Per-pass timing profile of the compilation pipeline.
+
+Runs a small two-job suite (ghz + qft under the parallel-drive rules)
+through the batch engine with per-pass profiling enabled, asserts the
+profile invariants (every stage recorded, non-negative wall times,
+translation dominating the cost), and writes the aggregated per-pass
+timing JSON next to the other artifacts so CI uploads it with the
+``BENCH_*.json`` perf trajectory.
+
+The emitted ``pass_profile.json`` is the stage-level perf baseline:
+regressions in a single pass (routing blow-up, translation cache miss
+storms) show up here before they move end-to-end suite timings.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.experiments.common import results_dir
+from repro.service import BatchEngine, CompileJob, ResultStore
+from repro.transpiler.passes import PassProfile
+
+from conftest import run_once
+
+#: Two-job smoke suite: one shallow and one dense workload.
+JOBS = [
+    CompileJob(
+        workload=workload,
+        num_qubits=8,
+        rules="parallel",
+        trials=2,
+        seed=7,
+        target="square_2x4",
+        pipeline="paper",
+    )
+    for workload in ("ghz", "qft")
+]
+
+#: Stage names the paper pipeline must record for every trial.
+EXPECTED_PASSES = (
+    "Route",
+    "Merge1QRuns",
+    "Collect2QBlocks",
+    "TranslateToBasis",
+    "MergePlaceholders",
+    "Schedule[asap]",
+)
+
+
+def test_pass_profile_timings(benchmark, capsys):
+    engine = BatchEngine(workers=1, use_cache=False, profile=True)
+    results = run_once(benchmark, engine.run, JOBS)
+    store = ResultStore(results)
+    assert not store.failures(), [r.error for r in store.failures()]
+
+    profile = store.pass_profile()
+    by_pass = profile.by_pass()
+    for name in EXPECTED_PASSES:
+        assert name in by_pass, f"missing pass {name}"
+        # 2 jobs x 2 trials each.
+        assert by_pass[name]["calls"] == 4
+    assert all(r.wall_time_s >= 0.0 for r in profile.records)
+
+    # Basis translation is the dominant stage by construction (template
+    # synthesis); everything else is bookkeeping around it.
+    translate = by_pass["TranslateToBasis"]["wall_time_s"]
+    assert translate == max(
+        entry["wall_time_s"] for entry in by_pass.values()
+    )
+
+    # Round-trip sanity for the emitted artifact.
+    payload = {
+        "suite": [job.label for job in JOBS],
+        "profile": profile.to_dict(),
+    }
+    assert PassProfile.from_dict(payload["profile"]).to_dict() == (
+        profile.to_dict()
+    )
+    out = results_dir() / "pass_profile.json"
+    out.write_text(json.dumps(payload, indent=2, sort_keys=True))
+
+    with capsys.disabled():
+        print("\nper-pass timing profile (2 jobs x 2 trials):")
+        print(profile.format_table())
+        print(f"written to {out}")

@@ -36,6 +36,20 @@ Quickstart::
     result = synthesize(template, weyl_coordinates(CNOT), seed=1)
     print(result.converged)  # True: one parallel-driven iSWAP pulse == CNOT
 
+Compiling a circuit (the pass-manager compiler API)::
+
+    import repro
+    from repro.circuits import get_workload
+
+    # One facade call: named pipeline + rule engine + hardware target.
+    result = repro.compile(get_workload("qft", 8), target="square_2x4")
+    print(result.duration, result.estimated_fidelity)
+
+    # Configs are frozen, JSON-round-trippable deltas against a named
+    # pipeline ("paper", "noise_aware", "fast", or user-registered).
+    config = repro.CompilerConfig(pipeline="fast", rules="baseline")
+    result = repro.compile(get_workload("ghz", 8), "line_16", config)
+
 Batch compilation::
 
     from repro.service import BatchEngine, ResultStore, suite_jobs
@@ -51,6 +65,26 @@ Batch compilation::
     #   python -m repro batch --suite table4 --workers 4
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
-__all__ = ["__version__"]
+__all__ = ["CompilerConfig", "PassManager", "__version__", "compile"]
+
+#: Top-level facade names resolved lazily so ``import repro`` stays
+#: cheap (the compiler stack pulls in numpy/scipy).
+_LAZY_EXPORTS = {
+    "compile": ("repro.transpiler.compiler", "compile"),
+    "CompilerConfig": ("repro.transpiler.compiler", "CompilerConfig"),
+    "PassManager": ("repro.transpiler.passes", "PassManager"),
+}
+
+
+def __getattr__(name: str):
+    try:
+        module_name, attribute = _LAZY_EXPORTS[name]
+    except KeyError:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}"
+        ) from None
+    import importlib
+
+    return getattr(importlib.import_module(module_name), attribute)

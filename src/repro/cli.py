@@ -11,6 +11,7 @@ Usage::
     python -m repro batch --suite table4 --workers 4
     python -m repro batch --suite smoke --target heavy_hex_16
     python -m repro batch --workloads ghz qft --rules both --json out.json
+    python -m repro batch --suite smoke --pipeline paper --profile
 """
 
 from __future__ import annotations
@@ -130,6 +131,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
                 trials=args.trials,
                 seed=args.seed,
                 target=target,
+                pipeline=args.pipeline,
             )
         elif args.workloads:
             rules = (
@@ -147,9 +149,12 @@ def _cmd_batch(args: argparse.Namespace) -> int:
                     workload=workload,
                     num_qubits=args.qubits,
                     rules=rule,
-                    trials=args.trials if args.trials is not None else 10,
+                    # None lets the named pipeline's trial default win
+                    # (e.g. --pipeline fast compiles a single trial).
+                    trials=args.trials,
                     seed=args.seed if args.seed is not None else 7,
                     target=target,
+                    pipeline=args.pipeline,
                 )
                 for workload in args.workloads
                 for rule in rules
@@ -191,11 +196,15 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         cache_path=args.cache_path,
         retries=args.retries,
         progress=progress,
+        profile=args.profile,
     )
     start = time.time()
     store = ResultStore(engine.run(jobs))
     elapsed = time.time() - start
     print(f"\n{store.format_table()}")
+    if args.profile:
+        print("\nper-pass profile (all jobs, all trials):")
+        print(store.format_pass_profile())
     print(f"\n{len(store)} jobs in {elapsed:.1f}s "
           f"({args.workers or 'auto'} workers, "
           f"cache {'on' if args.cache else 'off'})")
@@ -274,6 +283,16 @@ def main(argv: list[str] | None = None) -> int:
     batch_parser.add_argument(
         "--target", default=None,
         help="hardware target name for all jobs (see 'repro targets')",
+    )
+    batch_parser.add_argument(
+        "--pipeline", default=None,
+        help="named pass pipeline for all jobs (paper, noise_aware, "
+             "fast, or user-registered)",
+    )
+    batch_parser.add_argument(
+        "--profile", action="store_true",
+        help="record per-pass wall time / gate deltas and print the "
+             "aggregated timing table",
     )
     batch_parser.add_argument(
         "--coupling", type=int, nargs=2, metavar=("ROWS", "COLS"),

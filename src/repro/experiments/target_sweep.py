@@ -57,6 +57,9 @@ def run_target_sweep(
             seed=seed,
             target=name,
             tag=name,
+            # The sweep compares devices under noise-aware compilation:
+            # ALAP schedules, best trial by each target's decay model.
+            pipeline="noise_aware",
         )
         for name in names
         for workload in workloads

@@ -4,10 +4,11 @@
 through the full transpilation pipeline, either serially in-process
 (``workers <= 1``) or across a ``multiprocessing`` pool.  Guarantees:
 
-* **Determinism** — every job carries its own seed and each worker calls
-  the exact same ``transpile(...)`` the sequential path would, so a
-  parallel run is byte-identical (per the circuit digest) to a
-  sequential one regardless of worker count or cache state.
+* **Determinism** — every job carries its own seed, per-trial RNG
+  streams are spawned from it, and each worker calls the exact same
+  ``repro.compile(...)`` the sequential path would, so a parallel run
+  is byte-identical (per the circuit digest) to a sequential one
+  regardless of worker count or cache state.
 * **Retry** — a job that raises is retried up to ``retries`` times; the
   final failure is returned as an error result rather than poisoning
   the batch.
@@ -27,7 +28,6 @@ import multiprocessing
 import time
 import traceback
 from collections.abc import Callable, Iterator, Sequence
-from dataclasses import replace
 from pathlib import Path
 
 from .cache import DecompositionCache, default_decomp_cache_dir
@@ -100,12 +100,14 @@ def suite_jobs(
     trials: int | None = None,
     seed: int | None = None,
     target: str | None = None,
+    pipeline: str | None = None,
 ) -> list[CompileJob]:
-    """Jobs of a named suite, optionally overriding trials/seed/target.
+    """Jobs of a named suite, optionally overriding knobs suite-wide.
 
     A ``target`` override retargets every job in the suite (the target
     must be large enough for the suite's register width — job
-    validation enforces that).
+    validation enforces that); a ``pipeline`` override swaps every
+    job's pass pipeline (e.g. ``"fast"`` for a latency smoke run).
     """
     try:
         jobs = SUITES[name]
@@ -113,16 +115,10 @@ def suite_jobs(
         raise KeyError(
             f"unknown suite {name!r}; known: {sorted(SUITES)}"
         ) from None
-    overrides = {
-        key: value
-        for key, value in (
-            ("trials", trials),
-            ("seed", seed),
-            ("target", target),
-        )
-        if value is not None
-    }
-    return [replace(job, **overrides) for job in jobs]
+    return [
+        job.updated(trials=trials, seed=seed, target=target, pipeline=pipeline)
+        for job in jobs
+    ]
 
 
 def _warm_rules(names: set[str]) -> None:
@@ -170,37 +166,35 @@ def execute_job(
     job: CompileJob,
     use_cache: bool = True,
     cache_path: str | Path | None = None,
+    profile: bool = False,
 ) -> CompileResult:
     """Run one compile job to completion (also the pool worker body).
 
-    The job's named target supplies every device-dependent ingredient:
-    coupling map, (speed-limit-scaled) rule engine, per-edge schedule
-    durations, and the heterogeneous fidelity model under which the
-    best trial is selected.
+    Rides the :func:`repro.compile` facade: the job's embedded
+    :class:`~repro.transpiler.compiler.CompilerConfig` names the
+    pipeline, rule engine, and hardware target, and the target supplies
+    every device-dependent ingredient (coupling map, speed-limit-scaled
+    rules, per-edge schedule durations, fidelity model).  With
+    ``profile=True`` the per-pass timing records come back on
+    ``CompileResult.pass_profile``.
     """
     from ..circuits.workloads import get_workload
-    from ..targets import get_target
-    from ..transpiler.pipeline import transpile
+    from ..transpiler.compiler import compile as compile_circuit
+    from ..transpiler.passes import PassProfile
 
     start = time.perf_counter()
+    pass_profile = PassProfile() if profile else None
     try:
         circuit = get_workload(
             job.workload, job.num_qubits, seed=job.workload_seed
         )
-        target = get_target(job.target)
-        rules = target.build_rules(job.rules)
         cache = _cache_for(cache_path) if use_cache else None
-        result = transpile(
+        result = compile_circuit(
             circuit,
-            target.coupling_map,
-            rules,
-            trials=job.trials,
+            config=job.config,
             seed=job.seed,
             cache=cache,
-            fidelity_model=target.fidelity_model(),
-            selection=job.selection,
-            scheduler=job.scheduler,
-            duration_of=target.gate_duration,
+            profile=pass_profile,
         )
     except Exception:  # noqa: BLE001 - reported to the engine for retry
         return CompileResult.failure(
@@ -223,13 +217,18 @@ def execute_job(
         digest=circuit_digest(result.circuit),
         gate_counts=dict(result.circuit.count_ops()),
         wall_time=time.perf_counter() - start,
+        pass_profile=(
+            pass_profile.to_dict() if pass_profile is not None else None
+        ),
     )
 
 
 def _execute_payload(payload: tuple) -> tuple[int, CompileResult]:
-    """Pool entry point: unpack (index, job, cache config)."""
-    index, job, use_cache, cache_path = payload
-    return index, execute_job(job, use_cache=use_cache, cache_path=cache_path)
+    """Pool entry point: unpack (index, job, cache + profile config)."""
+    index, job, use_cache, cache_path, profile = payload
+    return index, execute_job(
+        job, use_cache=use_cache, cache_path=cache_path, profile=profile
+    )
 
 
 class BatchEngine:
@@ -247,6 +246,9 @@ class BatchEngine:
         warm_coverage: pre-build coverage sets in the parent before
             spawning a pool (ignored for serial runs, where laziness is
             part of the cache's cold/warm story).
+        profile: collect per-pass timing/gate-count records for every
+            job (returned on ``CompileResult.pass_profile``; aggregate
+            with ``ResultStore.format_pass_profile``).
     """
 
     def __init__(
@@ -257,6 +259,7 @@ class BatchEngine:
         retries: int = 1,
         progress: Callable[[int, int, CompileResult], None] | None = None,
         warm_coverage: bool = True,
+        profile: bool = False,
     ):
         if workers is None:
             workers = multiprocessing.cpu_count()
@@ -268,6 +271,7 @@ class BatchEngine:
         self.retries = int(retries)
         self.progress = progress
         self.warm_coverage = bool(warm_coverage)
+        self.profile = bool(profile)
 
     # -- internals -----------------------------------------------------------
 
@@ -278,7 +282,8 @@ class BatchEngine:
             str(self.cache_path) if self.cache_path is not None else None
         )
         return [
-            (index, job, self.use_cache, path) for index, job in indexed
+            (index, job, self.use_cache, path, self.profile)
+            for index, job in indexed
         ]
 
     def _run_round(
@@ -468,6 +473,29 @@ class ResultStore:
              "errors"],
             rows,
         )
+
+    def pass_profile(self):
+        """Merge every result's per-pass records into one profile.
+
+        Returns a :class:`~repro.transpiler.passes.PassProfile` (empty
+        when no job ran with profiling enabled).
+        """
+        from ..transpiler.passes import PassProfile
+
+        merged = PassProfile()
+        for result in self._results:
+            if result.pass_profile:
+                merged.records.extend(
+                    PassProfile.from_dict(result.pass_profile).records
+                )
+        return merged
+
+    def format_pass_profile(self) -> str:
+        """Render the suite-wide per-pass timing table."""
+        profile = self.pass_profile()
+        if not len(profile):
+            return "no pass-profile records (run with profiling enabled)"
+        return profile.format_table()
 
     def to_dict(self) -> dict:
         """JSON-compatible dump: raw results plus the summary."""

@@ -1,14 +1,25 @@
 """Compilation job and result records.
 
 A :class:`CompileJob` is a complete, serializable description of one
-best-of-N transpilation: which workload, at what width, onto which
-hardware target, under which rule engine and scheduler, with which
-seeds.  A :class:`CompileResult` carries the scalar outcomes (plus a
-digest of the compiled circuit for byte-level parity checks) without
-shipping the circuit object itself across process boundaries.
+compilation: which workload, at what width, with which seeds, under
+which :class:`~repro.transpiler.compiler.CompilerConfig` (pipeline,
+rule engine, hardware target, trial-loop knobs).  A
+:class:`CompileResult` carries the scalar outcomes (plus a digest of
+the compiled circuit for byte-level parity checks, and optionally the
+per-pass timing profile) without shipping the circuit object itself
+across process boundaries.
 
 Both types round-trip through JSON, so suites can be queued from files
-and results archived next to the paper artifacts.
+and results archived next to the paper artifacts.  Jobs embed their
+config as a nested ``"config"`` object; flat pre-config payloads
+(``rules``/``trials``/``scheduler``/``selection``/``target`` at the
+top level) still load — those keys double as constructor conveniences.
+
+Stage vocabulary (scheduler and selection names) is owned by the
+transpiler layer: :data:`KNOWN_SCHEDULERS` and
+:data:`KNOWN_SELECTIONS` re-export
+:data:`repro.transpiler.passes.SCHEDULERS` and the live selection
+registry instead of re-declaring tuples that could drift.
 
 **Migration note (``coupling`` -> ``target``).**  Jobs used to carry a
 ``coupling: (rows, cols)`` square-lattice tuple; they now name a
@@ -16,7 +27,8 @@ and results archived next to the paper artifacts.
 (``target="snail_4x4"`` by default — the paper's device).  A
 deprecation shim keeps old callers and archived job files working:
 ``CompileJob(coupling=(R, C))`` and payloads containing a ``coupling``
-key map onto the dynamically resolved ``square_RxC`` target and emit a
+key map onto the dynamically resolved ``square_RxC`` target (now via
+the embedded :class:`CompilerConfig`) and emit a
 :class:`DeprecationWarning`.  The shim is scheduled for removal two PRs
 after its introduction (PR 2), i.e. any PR from PR 4 on may delete it;
 until then new code must pass ``target=`` and never both fields.
@@ -33,20 +45,27 @@ from dataclasses import InitVar, asdict, dataclass, field, fields, replace
 from ..circuits.circuit import QuantumCircuit
 from ..core.decomposition_rules import RULE_ENGINES
 from ..targets import get_target
+from ..transpiler.compiler import DEFAULT_TARGET, CompilerConfig
+from ..transpiler.passes import SCHEDULERS, known_selections
 
 __all__ = ["CompileJob", "CompileResult", "circuit_digest"]
 
 #: Rule-engine names a job may request (shared with build_rules()).
 KNOWN_RULES = RULE_ENGINES
 
-#: Scheduling strategies a job may request (see circuits.dag).
-KNOWN_SCHEDULERS = ("asap", "alap")
+#: Scheduling strategies a job may request — the transpiler layer's
+#: tuple, not a local copy.
+KNOWN_SCHEDULERS = SCHEDULERS
 
-#: Best-trial criteria a job may request (see transpiler.pipeline).
-KNOWN_SELECTIONS = ("fidelity", "duration")
+#: Best-trial criteria a job may request — a snapshot of the pluggable
+#: selection registry at import time (validation always consults the
+#: live registry via CompilerConfig).
+KNOWN_SELECTIONS = known_selections()
 
-#: The paper's device; jobs compile onto it unless told otherwise.
-DEFAULT_TARGET = "snail_4x4"
+#: Config-level keys accepted as constructor conveniences / overrides.
+_CONFIG_KEYS = (
+    "pipeline", "rules", "target", "trials", "scheduler", "selection",
+)
 
 
 def circuit_digest(circuit: QuantumCircuit) -> str:
@@ -71,27 +90,49 @@ def circuit_digest(circuit: QuantumCircuit) -> str:
 
 @dataclass(frozen=True)
 class CompileJob:
-    """One transpilation request, fully determined by its fields."""
+    """One compilation request, fully determined by its fields.
+
+    The compilation setup lives in the embedded ``config``; the job
+    adds workload identity and seeds.  ``rules``/``trials``/
+    ``scheduler``/``selection``/``target``/``pipeline`` are accepted as
+    constructor conveniences that override the config (and remain
+    readable as properties delegating to it), so pre-config call sites
+    keep working unchanged.
+    """
 
     workload: str
     num_qubits: int = 16
-    rules: str = "parallel"
-    trials: int = 10
+    config: CompilerConfig = None  # type: ignore[assignment] — see post_init
     seed: int = 7
-    target: str = DEFAULT_TARGET
-    scheduler: str = "alap"
-    #: Best-trial criterion: "fidelity" (noise-aware, the default) or
-    #: "duration" (the paper's shortest-critical-path rule).
-    selection: str = "fidelity"
     workload_seed: int | None = 11
     tag: str = ""
+    #: Constructor-only config overrides (stored inside ``config``).
+    rules: InitVar[str | None] = None
+    trials: InitVar[int | None] = None
+    scheduler: InitVar[str | None] = None
+    selection: InitVar[str | None] = None
+    target: InitVar[str | None] = None
+    pipeline: InitVar[str | None] = None
     #: Deprecated constructor-only alias: a (rows, cols) square lattice,
     #: mapped onto the ``square_RxC`` dynamic target.  Remove >= PR 4.
     coupling: InitVar[tuple[int, int] | None] = None
 
-    def __post_init__(self, coupling: tuple[int, int] | None) -> None:
+    def __post_init__(
+        self,
+        rules: str | None,
+        trials: int | None,
+        scheduler: str | None,
+        selection: str | None,
+        target: str | None,
+        pipeline: str | None,
+        coupling: tuple[int, int] | None,
+    ) -> None:
         if coupling is not None:
-            if self.target != DEFAULT_TARGET:
+            explicit_target = target is not None or (
+                self.config is not None
+                and self.config.target != DEFAULT_TARGET
+            )
+            if explicit_target:
                 raise ValueError(
                     "pass either target= or the deprecated coupling=, "
                     "not both"
@@ -104,32 +145,35 @@ class CompileJob:
                 stacklevel=3,
             )
             rows, cols = coupling
-            object.__setattr__(self, "target", f"square_{rows}x{cols}")
-        if self.rules not in KNOWN_RULES:
-            raise ValueError(
-                f"unknown rules {self.rules!r}; known: {KNOWN_RULES}"
+            target = f"square_{rows}x{cols}"
+        if self.config is None:
+            config = CompilerConfig(
+                pipeline=pipeline if pipeline is not None else "noise_aware",
+                rules=rules if rules is not None else "parallel",
+                target=target if target is not None else DEFAULT_TARGET,
+                trials=trials,
+                scheduler=scheduler,
+                selection=selection,
             )
-        if self.scheduler not in KNOWN_SCHEDULERS:
-            raise ValueError(
-                f"unknown scheduler {self.scheduler!r}; "
-                f"known: {KNOWN_SCHEDULERS}"
+        else:
+            config = self.config.with_overrides(
+                pipeline=pipeline,
+                rules=rules,
+                target=target,
+                trials=trials,
+                scheduler=scheduler,
+                selection=selection,
             )
-        if self.selection not in KNOWN_SELECTIONS:
-            raise ValueError(
-                f"unknown selection {self.selection!r}; "
-                f"known: {KNOWN_SELECTIONS}"
-            )
-        if self.trials < 1:
-            raise ValueError("trials must be >= 1")
+        object.__setattr__(self, "config", config)
         if self.num_qubits < 2:
             raise ValueError("need at least two qubits")
         try:
-            target = get_target(self.target)
+            resolved = get_target(config.target)
         except KeyError as exc:
             raise ValueError(str(exc)) from None
-        if target.num_qubits < self.num_qubits:
+        if resolved.num_qubits < self.num_qubits:
             raise ValueError(
-                f"target {self.target!r} ({target.num_qubits} qubits) "
+                f"target {config.target!r} ({resolved.num_qubits} qubits) "
                 f"too small for {self.num_qubits} qubits"
             )
 
@@ -137,23 +181,58 @@ class CompileJob:
     def label(self) -> str:
         """Human-readable id used in progress lines and summaries."""
         suffix = f":{self.tag}" if self.tag else ""
-        return f"{self.workload}-{self.num_qubits}q-{self.rules}{suffix}"
+        return f"{self.workload}-{self.num_qubits}q-{self.config.rules}{suffix}"
+
+    def updated(self, **overrides) -> "CompileJob":
+        """Copy with job-level and/or config-level fields replaced.
+
+        Accepts any dataclass field (``seed``, ``tag``, ...) plus the
+        config-level keys (``trials``, ``target``, ``pipeline``, ...);
+        ``None`` values are ignored, mirroring suite overrides.  Prefer
+        this over ``dataclasses.replace`` — ``replace`` re-feeds the
+        convenience properties as constructor overrides, which stomps a
+        directly-replaced ``config``.
+        """
+        config = self.config.with_overrides(
+            **{
+                key: value
+                for key, value in overrides.items()
+                if key in _CONFIG_KEYS
+            }
+        )
+        job_level = {
+            key: value
+            for key, value in overrides.items()
+            if key not in _CONFIG_KEYS and value is not None
+        }
+        merged = {
+            f.name: getattr(self, f.name)
+            for f in fields(self)
+            if f.name != "config"
+        }
+        merged.update(job_level)
+        return CompileJob(config=config, **merged)
 
     def to_dict(self) -> dict:
-        """Plain-python form (JSON-compatible)."""
+        """Plain-python form (JSON-compatible; config nested)."""
         return asdict(self)
 
     @classmethod
     def from_dict(cls, payload: dict) -> "CompileJob":
         """Inverse of :meth:`to_dict`.
 
-        Also accepts pre-target payloads carrying a ``coupling`` list;
-        those go through the deprecation shim (warning included).
+        Also accepts flat pre-config payloads (top-level ``rules``/
+        ``trials``/``scheduler``/``selection``/``target`` keys) and
+        pre-target payloads carrying a ``coupling`` list; the latter go
+        through the deprecation shim (warning included).
         """
         payload = dict(payload)
         legacy = payload.pop("coupling", None)
         if legacy is not None:
             payload["coupling"] = tuple(legacy)
+        config = payload.pop("config", None)
+        if config is not None:
+            payload["config"] = CompilerConfig.from_dict(config)
         return cls(**payload)
 
     def to_json(self) -> str:
@@ -164,6 +243,34 @@ class CompileJob:
     def from_json(cls, text: str) -> "CompileJob":
         """Parse a job from :meth:`to_json` output."""
         return cls.from_dict(json.loads(text))
+
+
+def _config_property(name: str, doc: str) -> property:
+    """Read-only delegation CompileJob.<name> -> CompileJob.config."""
+
+    def getter(self: CompileJob):
+        return getattr(self.config, name)
+
+    getter.__doc__ = doc
+    return property(getter)
+
+
+# The convenience kwargs stay readable as attributes: call sites and
+# archived analysis code use job.rules / job.trials / job.target etc.
+# (InitVar defaults would otherwise shadow these class attributes, so
+# they are attached after the dataclass decorator has bound __init__.)
+CompileJob.rules = _config_property("rules", "Rule-engine name.")
+CompileJob.target = _config_property("target", "Hardware-target name.")
+CompileJob.pipeline = _config_property("pipeline", "Pipeline name.")
+CompileJob.trials = _config_property(
+    "resolved_trials", "Trial count (pipeline default resolved)."
+)
+CompileJob.scheduler = _config_property(
+    "resolved_scheduler", "Scheduler name (pipeline default resolved)."
+)
+CompileJob.selection = _config_property(
+    "resolved_selection", "Selection strategy (pipeline default resolved)."
+)
 
 
 @dataclass(frozen=True)
@@ -182,6 +289,9 @@ class CompileResult:
     wall_time: float = 0.0
     attempts: int = 1
     error: str | None = None
+    #: Per-pass timing/gate-count records (PassProfile.to_dict() form)
+    #: when the engine ran with profiling enabled.
+    pass_profile: dict | None = None
 
     #: Float fields whose NaN sentinel serializes as ``null``.
     _NAN_NULL_FIELDS = ("duration", "total_pulse_time", "estimated_fidelity")
@@ -220,7 +330,10 @@ class CompileResult:
         """Inverse of :meth:`to_dict`.
 
         Results archived before the target subsystem lack
-        ``estimated_fidelity``; it loads as NaN (unknown).
+        ``estimated_fidelity``; it loads as NaN (unknown).  Results
+        archived before the pass-manager redesign lack ``pass_profile``
+        (loads as None) and carry flat job payloads (handled by
+        :meth:`CompileJob.from_dict`).
         """
         payload = {
             key: value

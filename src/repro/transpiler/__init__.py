@@ -1,6 +1,17 @@
-"""Transpiler substrate: topology, routing, consolidation, basis, timing."""
+"""Transpiler substrate: topology, routing, consolidation, basis, timing.
+
+Compilation itself is organized as composable passes (see
+:mod:`repro.transpiler.passes`): stage classes over a shared property
+set, named pipeline and selection-strategy registries, and a
+:class:`PassManager` trial loop.  :class:`CompilerConfig` plus the
+top-level :func:`repro.compile` facade drive it by name; the legacy
+``transpile``/``transpile_once`` wrappers remain for paper-flow
+callers.
+"""
 
 from .basis import merge_adjacent_1q_placeholders, translate_to_basis
+from .compiler import DEFAULT_TARGET, CompilerConfig
+from .compiler import compile as compile_circuit
 from .consolidate import collect_2q_blocks, merge_1q_runs
 from .coupling import CouplingMap, heavy_hex, line_topology, square_lattice
 from .fidelity import (
@@ -9,29 +20,51 @@ from .fidelity import (
     HeterogeneousFidelityModel,
 )
 from .layout import Layout, random_layout, trivial_layout
-from .pipeline import (
+from .passes import (
     SCHEDULERS,
+    Pass,
+    PassContext,
+    PassManager,
+    PassProfile,
     TranspilationResult,
-    transpile,
-    transpile_once,
+    get_pipeline,
+    get_selection,
+    known_pipelines,
+    known_selections,
+    register_pipeline,
+    register_selection,
 )
+from .pipeline import transpile, transpile_once
 from .routing import RoutingResult, route_circuit
 
 __all__ = [
+    "CompilerConfig",
     "CouplingMap",
+    "DEFAULT_TARGET",
     "FidelityModel",
     "HeterogeneousFidelityModel",
     "Layout",
     "PAPER_FIDELITY_MODEL",
+    "Pass",
+    "PassContext",
+    "PassManager",
+    "PassProfile",
     "RoutingResult",
     "SCHEDULERS",
     "TranspilationResult",
     "collect_2q_blocks",
+    "compile_circuit",
+    "get_pipeline",
+    "get_selection",
     "heavy_hex",
+    "known_pipelines",
+    "known_selections",
     "line_topology",
     "merge_1q_runs",
     "merge_adjacent_1q_placeholders",
     "random_layout",
+    "register_pipeline",
+    "register_selection",
     "route_circuit",
     "square_lattice",
     "transpile",

@@ -1,0 +1,215 @@
+"""Top-level compiler facade: ``repro.compile`` + ``CompilerConfig``.
+
+One frozen, JSON-round-trippable :class:`CompilerConfig` names
+everything that determines a compilation — pipeline, rule engine,
+hardware target, and the trial-loop knobs (trials, scheduler,
+selection) — instead of the keyword list that used to grow on
+``transpile()`` with every feature.  :func:`compile` resolves the
+config against the target registry and drives a
+:class:`~repro.transpiler.passes.PassManager`:
+
+    import repro
+
+    result = repro.compile(circuit, target="heavy_hex_16")
+    result = repro.compile(
+        circuit, config=repro.CompilerConfig(pipeline="fast")
+    )
+
+``None`` trial-loop fields inherit the named pipeline's defaults, so a
+config stays a *delta* against its pipeline: ``CompilerConfig()`` is
+exactly the paper flow, ``CompilerConfig(pipeline="noise_aware")``
+exactly the hardware-target flow.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from ..circuits.circuit import QuantumCircuit
+from ..core.decomposition_rules import RULE_ENGINES
+from .passes import (
+    SCHEDULERS,
+    PassManager,
+    PassProfile,
+    TranspilationResult,
+    get_pipeline,
+    get_selection,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..service.cache import DecompositionCache
+    from ..targets.model import HardwareTarget
+
+__all__ = ["CompilerConfig", "DEFAULT_TARGET", "compile"]
+
+#: The paper's device; compilations land on it unless told otherwise.
+DEFAULT_TARGET = "snail_4x4"
+
+
+@dataclass(frozen=True)
+class CompilerConfig:
+    """Complete, serializable description of one compilation setup.
+
+    ``trials``/``scheduler``/``selection`` left at ``None`` resolve to
+    the named pipeline's defaults (see the ``resolved_*`` properties),
+    so serialized configs record only deliberate deviations.
+    """
+
+    pipeline: str = "paper"
+    rules: str = "parallel"
+    target: str = DEFAULT_TARGET
+    trials: int | None = None
+    scheduler: str | None = None
+    selection: str | None = None
+
+    def __post_init__(self) -> None:
+        get_pipeline(self.pipeline)  # raises ValueError on unknown name
+        if self.rules not in RULE_ENGINES:
+            raise ValueError(
+                f"unknown rules {self.rules!r}; known: {RULE_ENGINES}"
+            )
+        if self.scheduler is not None and self.scheduler not in SCHEDULERS:
+            raise ValueError(
+                f"unknown scheduler {self.scheduler!r}; "
+                f"known: {SCHEDULERS}"
+            )
+        if self.selection is not None:
+            get_selection(self.selection)  # raises ValueError on unknown
+        if self.trials is not None and self.trials < 1:
+            raise ValueError("trials must be >= 1")
+
+    # -- pipeline-default resolution -----------------------------------------
+
+    @property
+    def resolved_trials(self) -> int:
+        """Trial count after pipeline-default resolution."""
+        return (
+            self.trials
+            if self.trials is not None
+            else get_pipeline(self.pipeline).trials
+        )
+
+    @property
+    def resolved_scheduler(self) -> str:
+        """Scheduler name after pipeline-default resolution."""
+        return (
+            self.scheduler
+            if self.scheduler is not None
+            else get_pipeline(self.pipeline).scheduler
+        )
+
+    @property
+    def resolved_selection(self) -> str:
+        """Selection strategy after pipeline-default resolution."""
+        return (
+            self.selection
+            if self.selection is not None
+            else get_pipeline(self.pipeline).selection
+        )
+
+    def with_overrides(self, **overrides) -> "CompilerConfig":
+        """Copy with non-None overrides applied (Nones are ignored)."""
+        effective = {
+            key: value for key, value in overrides.items() if value is not None
+        }
+        return replace(self, **effective) if effective else self
+
+    def build_manager(self) -> PassManager:
+        """The :class:`PassManager` this config describes."""
+        return PassManager(
+            self.pipeline,
+            scheduler=self.scheduler,
+            trials=self.trials,
+            selection=self.selection,
+        )
+
+    # -- serialization -------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """Plain-python form (JSON-compatible)."""
+        return {
+            "pipeline": self.pipeline,
+            "rules": self.rules,
+            "target": self.target,
+            "trials": self.trials,
+            "scheduler": self.scheduler,
+            "selection": self.selection,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "CompilerConfig":
+        """Inverse of :meth:`to_dict` (unknown keys rejected)."""
+        return cls(**payload)
+
+    def to_json(self) -> str:
+        """Serialize to a JSON string."""
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "CompilerConfig":
+        """Parse a config from :meth:`to_json` output."""
+        return cls.from_dict(json.loads(text))
+
+
+def compile(  # noqa: A001 - deliberate facade name, repro.compile(...)
+    circuit: QuantumCircuit,
+    target: "str | HardwareTarget | None" = None,
+    config: CompilerConfig | None = None,
+    *,
+    seed: int | np.random.Generator | None = 0,
+    cache: "DecompositionCache | None" = None,
+    profile: PassProfile | None = None,
+) -> TranspilationResult:
+    """Compile a circuit onto a hardware target under a config.
+
+    Args:
+        circuit: logical circuit to compile.
+        target: target name from the registry or an explicit
+            :class:`~repro.targets.model.HardwareTarget`; overrides
+            ``config.target`` when given.
+        config: full compilation description (defaults to
+            ``CompilerConfig()`` — the paper pipeline on the paper's
+            device).
+        seed: best-of-N trial seed; per-trial streams are spawned from
+            it, so each trial is independently reproducible.
+        cache: optional shared decomposition cache.
+        profile: pass a :class:`PassProfile` to collect per-pass wall
+            time and gate-count deltas across all trials.
+
+    Returns:
+        The winning trial's :class:`TranspilationResult` (its
+        ``estimated_fidelity`` is stamped from the target's model).
+    """
+    from ..targets import get_target
+    from ..targets.model import HardwareTarget
+
+    config = config if config is not None else CompilerConfig()
+    if isinstance(target, HardwareTarget):
+        # Explicit device objects need not live in the registry; the
+        # config records the name for bookkeeping only.
+        hardware = target
+        config = replace(config, target=hardware.name)
+    else:
+        if target is not None:
+            config = replace(config, target=str(target))
+        try:
+            hardware = get_target(config.target)
+        except KeyError as exc:
+            # Uniform contract: bad config values raise ValueError.
+            raise ValueError(str(exc)) from None
+    rules = hardware.build_rules(config.rules)
+    manager = config.build_manager()
+    return manager.run(
+        circuit,
+        hardware.coupling_map,
+        rules,
+        seed=seed,
+        cache=cache,
+        fidelity_model=hardware.fidelity_model(),
+        duration_of=hardware.gate_duration,
+        profile=profile,
+    )

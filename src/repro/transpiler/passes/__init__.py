@@ -1,0 +1,83 @@
+"""Composable compilation passes (the pass-manager compiler API).
+
+The paper's Sec. IV-B flow as first-class, swappable stages:
+
+* :mod:`base`      — ``Pass`` protocol, ``PassContext`` property set,
+  per-pass ``PassProfile`` timing/gate-count records;
+* :mod:`stages`    — one pass per existing stage (layout, routing,
+  consolidation, basis translation, placeholder merge, scheduling);
+* :mod:`selection` — pluggable best-trial strategies (``duration``,
+  ``fidelity``, user-registered);
+* :mod:`pipelines` — named pipeline registry (``paper``,
+  ``noise_aware``, ``fast``, user-registered);
+* :mod:`manager`   — ``PassManager``: trial loop with per-trial RNG
+  streams spawned from the job seed.
+"""
+
+from .base import (
+    Pass,
+    PassContext,
+    PassProfile,
+    PassRecord,
+    TranspilationResult,
+    spawn_trial_rngs,
+)
+from .manager import PassManager
+from .pipelines import (
+    PipelineSpec,
+    get_pipeline,
+    known_pipelines,
+    register_pipeline,
+)
+from .selection import (
+    DurationSelection,
+    FidelitySelection,
+    SelectionStrategy,
+    get_selection,
+    known_selections,
+    register_selection,
+)
+from .stages import (
+    SCHEDULERS,
+    Collect2QBlocks,
+    LayoutPass,
+    Merge1QRuns,
+    MergePlaceholders,
+    RandomLayout,
+    Route,
+    Schedule,
+    SetLayout,
+    TranslateToBasis,
+    TrivialLayout,
+)
+
+__all__ = [
+    "Collect2QBlocks",
+    "DurationSelection",
+    "FidelitySelection",
+    "LayoutPass",
+    "Merge1QRuns",
+    "MergePlaceholders",
+    "Pass",
+    "PassContext",
+    "PassManager",
+    "PassProfile",
+    "PassRecord",
+    "PipelineSpec",
+    "RandomLayout",
+    "Route",
+    "SCHEDULERS",
+    "Schedule",
+    "SelectionStrategy",
+    "SetLayout",
+    "TranslateToBasis",
+    "TranspilationResult",
+    "TrivialLayout",
+    "get_pipeline",
+    "get_selection",
+    "known_pipelines",
+    "known_selections",
+    "register_pipeline",
+    "register_selection",
+    "spawn_trial_rngs",
+]

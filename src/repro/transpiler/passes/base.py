@@ -1,0 +1,325 @@
+"""Pass-manager substrate: context, protocol, and profiling records.
+
+The compilation flow of paper Sec. IV-B is expressed as a linear
+sequence of *passes*, each a small object with a ``run(context)``
+method.  State flows through a :class:`PassContext` — a property set
+holding the evolving circuit plus everything passes may read or write
+(layout, routing result, schedule, RNG stream, decomposition cache) and
+a free-form ``properties`` dict for user-defined passes.  Every pass
+execution is timed and its gate-count delta recorded into a
+:class:`PassProfile`, so stage cost is observable without ad-hoc
+instrumentation (``repro batch --profile`` renders these records).
+"""
+
+from __future__ import annotations
+
+import time
+from abc import ABC, abstractmethod
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+import numpy as np
+
+from ...circuits.circuit import QuantumCircuit
+from ...circuits.dag import ScheduledCircuit
+from ...circuits.gate import Gate
+from ...quantum.random import as_rng
+from ..coupling import CouplingMap
+from ..layout import Layout
+from ..routing import RoutingResult
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guards
+    from ...core.decomposition_rules import DecompositionRules
+    from ...service.cache import DecompositionCache
+
+__all__ = [
+    "Pass",
+    "PassContext",
+    "PassProfile",
+    "PassRecord",
+    "TranspilationResult",
+    "spawn_trial_rngs",
+]
+
+
+def spawn_trial_rngs(
+    seed: int | np.random.Generator | None, trials: int
+) -> list[np.random.Generator]:
+    """Independent per-trial RNG streams derived from one seed.
+
+    Uses ``numpy.random.SeedSequence.spawn`` so trial *i* sees the same
+    stream whether trials run in one loop, are re-run individually, or
+    are farmed out in parallel — each trial is independently
+    reproducible from ``(seed, trial_index)`` alone.
+    """
+    if trials < 1:
+        raise ValueError("need at least one trial")
+    if isinstance(seed, np.random.Generator):
+        try:
+            return list(seed.spawn(trials))
+        except AttributeError:  # pragma: no cover - numpy < 1.25
+            children = seed.bit_generator.seed_seq.spawn(trials)
+            return [np.random.default_rng(child) for child in children]
+    sequence = np.random.SeedSequence(seed)
+    return [np.random.default_rng(child) for child in sequence.spawn(trials)]
+
+
+@dataclass
+class PassContext:
+    """Mutable property set threaded through a pass pipeline.
+
+    One context corresponds to one trial: passes read the fields they
+    need and write the ones they produce (`circuit` is the evolving
+    artifact; `layout`, `routing`, `schedule` are stage outputs).
+    User-defined passes may stash anything under ``properties``.
+    """
+
+    circuit: QuantumCircuit
+    coupling: CouplingMap
+    rules: "DecompositionRules"
+    rng: np.random.Generator
+    layout: Layout | None = None
+    routing: RoutingResult | None = None
+    schedule: ScheduledCircuit | None = None
+    cache: "DecompositionCache | None" = None
+    duration_of: Callable[[Gate], float] | None = None
+    trial_index: int = 0
+    properties: dict[str, Any] = field(default_factory=dict)
+
+    def require(self, name: str) -> Any:
+        """Fetch a non-None context field, naming the missing producer.
+
+        Passes use this to state their preconditions: e.g. ``Route``
+        requires a ``layout``, ``Schedule`` produces the ``schedule``
+        the selection stage requires.
+        """
+        value = getattr(self, name)
+        if value is None:
+            raise ValueError(
+                f"pass context has no {name!r} yet; run the pass that "
+                "produces it first"
+            )
+        return value
+
+
+class Pass(ABC):
+    """One pipeline stage: reads/writes a :class:`PassContext` in place.
+
+    Subclasses set ``name`` (defaults to the class name) and implement
+    :meth:`run`.  Passes must be deterministic given the context (all
+    randomness comes from ``context.rng``), which is what makes trials
+    and parallel workers byte-reproducible.
+    """
+
+    @property
+    def name(self) -> str:
+        """Display/registry name (class name unless overridden)."""
+        return type(self).__name__
+
+    @abstractmethod
+    def run(self, context: PassContext) -> None:
+        """Execute the stage, mutating ``context``."""
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+@dataclass(frozen=True)
+class PassRecord:
+    """One timed pass execution: wall time plus gate-count delta."""
+
+    pass_name: str
+    trial_index: int
+    wall_time_s: float
+    gates_before: int
+    gates_after: int
+
+    @property
+    def gate_delta(self) -> int:
+        """Gates added (positive) or removed (negative) by the pass."""
+        return self.gates_after - self.gates_before
+
+    def to_dict(self) -> dict:
+        """Plain-python form (JSON-compatible)."""
+        return {
+            "pass": self.pass_name,
+            "trial": self.trial_index,
+            "wall_time_s": self.wall_time_s,
+            "gates_before": self.gates_before,
+            "gates_after": self.gates_after,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "PassRecord":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            pass_name=payload["pass"],
+            trial_index=payload["trial"],
+            wall_time_s=payload["wall_time_s"],
+            gates_before=payload["gates_before"],
+            gates_after=payload["gates_after"],
+        )
+
+
+class PassProfile:
+    """Accumulated per-pass timing and gate-count records.
+
+    A profile may span several trials (and, aggregated by the service
+    layer, several jobs); :meth:`by_pass` groups records by pass name
+    in first-seen order, which is pipeline order for linear pipelines.
+    """
+
+    def __init__(self, records: Sequence[PassRecord] = ()):
+        self.records: list[PassRecord] = list(records)
+
+    def observe(
+        self,
+        pass_name: str,
+        trial_index: int,
+        wall_time_s: float,
+        gates_before: int,
+        gates_after: int,
+    ) -> None:
+        """Append one execution record."""
+        self.records.append(
+            PassRecord(
+                pass_name=pass_name,
+                trial_index=trial_index,
+                wall_time_s=wall_time_s,
+                gates_before=gates_before,
+                gates_after=gates_after,
+            )
+        )
+
+    def time_pass(self, pass_name: str, trial_index: int, circuit_of):
+        """Context manager timing one pass execution (internal)."""
+        return _PassTimer(self, pass_name, trial_index, circuit_of)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    @property
+    def total_wall_time(self) -> float:
+        """Summed wall time over every recorded pass execution."""
+        return sum(record.wall_time_s for record in self.records)
+
+    def by_pass(self) -> dict[str, dict]:
+        """Aggregate records per pass name, in first-seen order."""
+        out: dict[str, dict] = {}
+        for record in self.records:
+            entry = out.setdefault(
+                record.pass_name,
+                {
+                    "calls": 0,
+                    "wall_time_s": 0.0,
+                    "gates_in": 0,
+                    "gates_out": 0,
+                },
+            )
+            entry["calls"] += 1
+            entry["wall_time_s"] += record.wall_time_s
+            entry["gates_in"] += record.gates_before
+            entry["gates_out"] += record.gates_after
+        return out
+
+    def format_table(self) -> str:
+        """Render the per-pass aggregate as an aligned text table."""
+        from ...experiments.common import format_table
+
+        rows = []
+        for name, entry in self.by_pass().items():
+            mean_ms = 1000.0 * entry["wall_time_s"] / entry["calls"]
+            rows.append(
+                [
+                    name,
+                    entry["calls"],
+                    round(1000.0 * entry["wall_time_s"], 2),
+                    round(mean_ms, 2),
+                    entry["gates_out"] - entry["gates_in"],
+                ]
+            )
+        rows.append(
+            ["TOTAL", len(self.records),
+             round(1000.0 * self.total_wall_time, 2), "", ""]
+        )
+        return format_table(
+            ["pass", "calls", "total ms", "mean ms", "gate delta"], rows
+        )
+
+    def to_dict(self) -> dict:
+        """JSON-compatible dump: raw records plus the aggregate."""
+        return {
+            "records": [record.to_dict() for record in self.records],
+            "by_pass": self.by_pass(),
+            "total_wall_time_s": self.total_wall_time,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "PassProfile":
+        """Rebuild a profile from :meth:`to_dict` output."""
+        return cls(
+            PassRecord.from_dict(record)
+            for record in payload.get("records", ())
+        )
+
+
+class _PassTimer:
+    """Times one pass and records its gate-count delta on exit."""
+
+    def __init__(self, profile, pass_name, trial_index, circuit_of):
+        self._profile = profile
+        self._name = pass_name
+        self._trial = trial_index
+        self._circuit_of = circuit_of
+
+    def __enter__(self) -> "_PassTimer":
+        self._before = len(self._circuit_of())
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is not None:
+            return
+        self._profile.observe(
+            self._name,
+            self._trial,
+            time.perf_counter() - self._start,
+            self._before,
+            len(self._circuit_of()),
+        )
+
+
+@dataclass(frozen=True)
+class TranspilationResult:
+    """Outcome of one (or the best of several) transpilation runs."""
+
+    circuit: QuantumCircuit
+    schedule: ScheduledCircuit
+    routing: RoutingResult
+    rules_name: str
+    trial_index: int
+    estimated_fidelity: float | None = None
+    profile: PassProfile | None = None
+
+    @property
+    def duration(self) -> float:
+        """Critical-path duration in normalized pulse units (Eq. 8)."""
+        return self.schedule.total_duration
+
+    @property
+    def swap_count(self) -> int:
+        """SWAPs inserted by routing."""
+        return self.routing.swap_count
+
+    @property
+    def pulse_count(self) -> int:
+        """Total 2Q pulses emitted."""
+        return sum(1 for g in self.circuit if g.name == "pulse2q")
+
+    @property
+    def total_pulse_time(self) -> float:
+        """Summed 2Q pulse durations (not the critical path)."""
+        return sum(
+            g.duration or 0.0 for g in self.circuit if g.name == "pulse2q"
+        )

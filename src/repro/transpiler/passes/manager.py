@@ -1,0 +1,243 @@
+"""PassManager: execute pass pipelines, best-of-N with selection.
+
+``PassManager("paper")`` reproduces the legacy ``transpile()`` flow
+gate-for-gate; ``PassManager([MyPass(), ...])`` runs a custom sequence.
+The manager owns the trial loop: per-trial RNG streams are spawned from
+the job seed via ``numpy.random.SeedSequence`` (each trial independently
+reproducible, ready to be farmed out in parallel), trial 0 gets the
+trivial layout, later trials random layouts, and the winning trial is
+chosen by a named :mod:`selection <repro.transpiler.passes.selection>`
+strategy.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from ...circuits.circuit import QuantumCircuit
+from ...circuits.gate import Gate
+from ...quantum.random import as_rng
+from ..coupling import CouplingMap
+from ..layout import Layout
+from ..routing import RoutingResult
+from .base import (
+    Pass,
+    PassContext,
+    PassProfile,
+    TranspilationResult,
+    spawn_trial_rngs,
+)
+from .pipelines import get_pipeline
+from .selection import get_selection
+from .stages import LayoutPass, RandomLayout, TrivialLayout
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guards
+    from ...core.decomposition_rules import DecompositionRules
+    from ...service.cache import DecompositionCache
+    from ..fidelity import HeterogeneousFidelityModel
+
+__all__ = ["PassManager"]
+
+
+class PassManager:
+    """Run a pass pipeline over one circuit, best-of-N trials.
+
+    Args:
+        passes: a named pipeline from the registry (``"paper"``,
+            ``"noise_aware"``, ``"fast"``, or anything registered via
+            :func:`~repro.transpiler.passes.pipelines.register_pipeline`)
+            or an explicit pass sequence.
+        scheduler: override the named pipeline's scheduling strategy
+            (ignored for explicit pass sequences — include your own
+            ``Schedule`` pass there).
+        trials: override the trial count (named pipelines default to
+            their spec; explicit sequences default to 1).
+        selection: override the best-trial strategy name.
+        name: display name (defaults to the pipeline name / "custom").
+    """
+
+    def __init__(
+        self,
+        passes: str | Sequence[Pass] = "paper",
+        *,
+        scheduler: str | None = None,
+        trials: int | None = None,
+        selection: str | None = None,
+        name: str | None = None,
+    ):
+        if isinstance(passes, str):
+            spec = get_pipeline(passes)
+            self.passes: tuple[Pass, ...] = spec.build_passes(
+                scheduler=scheduler
+            )
+            self.trials = spec.trials if trials is None else trials
+            self.selection = (
+                spec.selection if selection is None else selection
+            )
+            self.randomize_layout = spec.randomize_layout
+            self.name = name or spec.name
+        else:
+            self.passes = tuple(passes)
+            if scheduler is not None:
+                raise ValueError(
+                    "scheduler= only applies to named pipelines; add a "
+                    "Schedule pass to an explicit sequence instead"
+                )
+            self.trials = 1 if trials is None else trials
+            self.selection = "duration" if selection is None else selection
+            self.randomize_layout = True
+            self.name = name or "custom"
+        if self.trials < 1:
+            raise ValueError("need at least one trial")
+        # Validate eagerly so a bad name fails at construction.
+        get_selection(self.selection)
+        self._has_layout_pass = any(
+            isinstance(p, LayoutPass) for p in self.passes
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"PassManager({self.name!r}, passes={len(self.passes)}, "
+            f"trials={self.trials}, selection={self.selection!r})"
+        )
+
+    # -- internals -----------------------------------------------------------
+
+    @staticmethod
+    def _run_passes(
+        context: PassContext,
+        passes: Sequence[Pass],
+        profile: PassProfile | None,
+    ) -> None:
+        """Execute a pass sequence over one context, timing each stage."""
+        for stage in passes:
+            if profile is None:
+                stage.run(context)
+            else:
+                with profile.time_pass(
+                    stage.name, context.trial_index, lambda: context.circuit
+                ):
+                    stage.run(context)
+
+    # -- single trial --------------------------------------------------------
+
+    def run_once(
+        self,
+        circuit: QuantumCircuit,
+        coupling: CouplingMap,
+        rules: "DecompositionRules",
+        *,
+        layout: Layout | None = None,
+        seed: int | np.random.Generator | None = 0,
+        routed: RoutingResult | None = None,
+        cache: "DecompositionCache | None" = None,
+        duration_of: Callable[[Gate], float] | None = None,
+        trial_index: int = 0,
+        profile: PassProfile | None = None,
+    ) -> PassContext:
+        """Execute the pass sequence once; returns the final context.
+
+        A ``layout`` (or preset ``routed`` result) short-circuits the
+        layout stage; otherwise a layout pass must be in the sequence
+        or the trivial layout is injected.
+        """
+        context = PassContext(
+            circuit=circuit,
+            coupling=coupling,
+            rules=rules,
+            rng=as_rng(seed),
+            layout=layout,
+            routing=routed,
+            cache=cache,
+            duration_of=duration_of,
+            trial_index=trial_index,
+        )
+        passes = self.passes
+        if (
+            layout is None
+            and routed is None
+            and not self._has_layout_pass
+        ):
+            passes = (TrivialLayout(), *passes)
+        self._run_passes(context, passes, profile)
+        return context
+
+    # -- best-of-N -----------------------------------------------------------
+
+    def _trial_layout_pass(self, trial: int) -> Pass | None:
+        """Layout stage for one trial, or None when the pipeline has one."""
+        if self._has_layout_pass:
+            return None
+        if trial == 0 or not self.randomize_layout:
+            return TrivialLayout()
+        return RandomLayout()
+
+    def run(
+        self,
+        circuit: QuantumCircuit,
+        coupling: CouplingMap,
+        rules: "DecompositionRules",
+        *,
+        trials: int | None = None,
+        seed: int | np.random.Generator | None = 0,
+        cache: "DecompositionCache | None" = None,
+        fidelity_model: "HeterogeneousFidelityModel | None" = None,
+        selection: str | None = None,
+        duration_of: Callable[[Gate], float] | None = None,
+        profile: PassProfile | None = None,
+    ) -> TranspilationResult:
+        """Best-of-N trials under the configured selection strategy.
+
+        Each trial runs on its own RNG stream spawned from ``seed``.
+        When a ``fidelity_model`` is supplied every trial's estimated
+        fidelity is stamped on its result, whether or not the selection
+        strategy reads it.
+        """
+        trials = self.trials if trials is None else trials
+        if trials < 1:
+            raise ValueError("need at least one trial")
+        strategy = get_selection(
+            self.selection if selection is None else selection
+        )
+        if strategy.requires_fidelity and fidelity_model is None:
+            raise ValueError(
+                f"{strategy.name} selection needs a fidelity_model"
+            )
+        best: TranspilationResult | None = None
+        for trial, rng in enumerate(spawn_trial_rngs(seed, trials)):
+            layout_pass = self._trial_layout_pass(trial)
+            trial_passes = (
+                (layout_pass, *self.passes)
+                if layout_pass is not None
+                else self.passes
+            )
+            context = PassContext(
+                circuit=circuit,
+                coupling=coupling,
+                rules=rules,
+                rng=rng,
+                cache=cache,
+                duration_of=duration_of,
+                trial_index=trial,
+            )
+            self._run_passes(context, trial_passes, profile)
+            result = TranspilationResult(
+                circuit=context.circuit,
+                schedule=context.require("schedule"),
+                routing=context.require("routing"),
+                rules_name=rules.name,
+                trial_index=trial,
+                estimated_fidelity=(
+                    fidelity_model.circuit_fidelity(context.schedule)
+                    if fidelity_model is not None
+                    else None
+                ),
+                profile=profile,
+            )
+            if best is None or strategy.better(result, best):
+                best = result
+        assert best is not None
+        return best

@@ -1,0 +1,153 @@
+"""Named pass pipelines.
+
+A :class:`PipelineSpec` bundles a pass sequence with the trial-loop
+defaults (trial count, scheduler, selection strategy, layout policy)
+that give the sequence its meaning.  Three presets ship:
+
+* ``paper``       — the published Sec. IV-B flow: best-of-10 over
+  randomized layouts (trial 0 trivial), full consolidation, ASAP
+  schedules, shortest-critical-path selection;
+* ``noise_aware`` — the hardware-target default: same passes, ALAP
+  schedules, best trial by estimated fidelity;
+* ``fast``        — a latency-oriented single trial on the trivial
+  layout that skips 1Q/2Q consolidation entirely (every gate is
+  templated directly), for interactive or smoke use.
+
+``register_pipeline`` accepts user-defined specs, so an ablation (drop
+a stage, change a scheduler) is one registry entry instead of a new
+code path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .base import Pass
+from .stages import (
+    SCHEDULERS,
+    Collect2QBlocks,
+    Merge1QRuns,
+    MergePlaceholders,
+    Route,
+    Schedule,
+    TranslateToBasis,
+)
+
+__all__ = [
+    "PipelineSpec",
+    "get_pipeline",
+    "known_pipelines",
+    "register_pipeline",
+]
+
+
+@dataclass(frozen=True)
+class PipelineSpec:
+    """One named pipeline: pass structure plus trial-loop defaults."""
+
+    name: str
+    description: str
+    scheduler: str = "asap"
+    selection: str = "duration"
+    trials: int = 10
+    #: Include the Merge1QRuns + Collect2QBlocks consolidation stages.
+    consolidate: bool = True
+    #: Trial 0 uses the trivial layout, later trials random layouts;
+    #: False pins every trial to the trivial layout (single-trial specs).
+    randomize_layout: bool = True
+
+    def __post_init__(self) -> None:
+        if self.scheduler not in SCHEDULERS:
+            raise ValueError(
+                f"unknown scheduler {self.scheduler!r}; known: {SCHEDULERS}"
+            )
+        if self.trials < 1:
+            raise ValueError("trials must be >= 1")
+
+    def build_passes(self, scheduler: str | None = None) -> tuple[Pass, ...]:
+        """Instantiate the pass sequence (layout is the trial runner's).
+
+        ``scheduler`` overrides the spec's default scheduling strategy
+        without re-registering the pipeline.
+        """
+        passes: list[Pass] = [Route()]
+        if self.consolidate:
+            passes += [Merge1QRuns(), Collect2QBlocks()]
+        passes += [
+            TranslateToBasis(),
+            MergePlaceholders(),
+            Schedule(scheduler or self.scheduler),
+        ]
+        return tuple(passes)
+
+
+_REGISTRY: dict[str, PipelineSpec] = {}
+
+
+def register_pipeline(
+    spec: PipelineSpec, replace: bool = False
+) -> PipelineSpec:
+    """Add a pipeline to the registry (``replace=True`` to override)."""
+    if spec.name in _REGISTRY and not replace:
+        raise ValueError(
+            f"pipeline {spec.name!r} already registered "
+            "(pass replace=True to override)"
+        )
+    _REGISTRY[spec.name] = spec
+    return spec
+
+
+def get_pipeline(name: str) -> PipelineSpec:
+    """Look up a pipeline spec by name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown pipeline {name!r}; known: "
+            f"{', '.join(known_pipelines())}"
+        ) from None
+
+
+def known_pipelines() -> tuple[str, ...]:
+    """Registered pipeline names, in registration order."""
+    return tuple(_REGISTRY)
+
+
+register_pipeline(
+    PipelineSpec(
+        name="paper",
+        description=(
+            "Sec. IV-B flow: best-of-10 randomized layouts, full "
+            "consolidation, ASAP schedule, shortest-duration selection"
+        ),
+        scheduler="asap",
+        selection="duration",
+        trials=10,
+    )
+)
+register_pipeline(
+    PipelineSpec(
+        name="noise_aware",
+        description=(
+            "hardware-target default: ALAP schedule, best trial by "
+            "estimated fidelity under the target's decay model"
+        ),
+        scheduler="alap",
+        selection="fidelity",
+        trials=10,
+    )
+)
+register_pipeline(
+    PipelineSpec(
+        name="fast",
+        description=(
+            "single trivial-layout trial, no consolidation: lowest "
+            "compile latency for interactive and smoke use"
+        ),
+        scheduler="asap",
+        selection="duration",
+        trials=1,
+        consolidate=False,
+        randomize_layout=False,
+    )
+)

@@ -1,0 +1,112 @@
+"""Pluggable best-trial selection strategies.
+
+The best-of-N trial loop used to hard-code an ``if selection == ...``
+ladder; strategies are now first-class objects in a registry, so the
+paper's shortest-critical-path rule, the noise-aware fidelity rule, and
+any user-defined criterion are interchangeable by name (the paper
+itself ablates exactly this knob when comparing trial-selection
+policies).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from .base import TranspilationResult
+
+__all__ = [
+    "DurationSelection",
+    "FidelitySelection",
+    "SelectionStrategy",
+    "get_selection",
+    "known_selections",
+    "register_selection",
+]
+
+
+class SelectionStrategy(ABC):
+    """Decides whether a candidate trial beats the incumbent best."""
+
+    #: Registry name (subclasses must override).
+    name: str = ""
+
+    #: True when the strategy reads ``estimated_fidelity`` and the trial
+    #: runner must therefore be given a fidelity model.
+    requires_fidelity: bool = False
+
+    @abstractmethod
+    def better(
+        self,
+        candidate: TranspilationResult,
+        incumbent: TranspilationResult,
+    ) -> bool:
+        """True when ``candidate`` should replace ``incumbent``."""
+
+
+class DurationSelection(SelectionStrategy):
+    """The paper's rule: keep the shortest critical-path duration."""
+
+    name = "duration"
+
+    def better(
+        self,
+        candidate: TranspilationResult,
+        incumbent: TranspilationResult,
+    ) -> bool:
+        return candidate.duration < incumbent.duration
+
+
+class FidelitySelection(SelectionStrategy):
+    """Noise-aware rule: maximize estimated fidelity, ties by duration."""
+
+    name = "fidelity"
+    requires_fidelity = True
+
+    def better(
+        self,
+        candidate: TranspilationResult,
+        incumbent: TranspilationResult,
+    ) -> bool:
+        assert candidate.estimated_fidelity is not None
+        assert incumbent.estimated_fidelity is not None
+        if candidate.estimated_fidelity != incumbent.estimated_fidelity:
+            return candidate.estimated_fidelity > incumbent.estimated_fidelity
+        return candidate.duration < incumbent.duration
+
+
+_REGISTRY: dict[str, SelectionStrategy] = {}
+
+
+def register_selection(
+    strategy: SelectionStrategy, replace: bool = False
+) -> SelectionStrategy:
+    """Add a strategy to the registry (``replace=True`` to override)."""
+    if not strategy.name:
+        raise ValueError("selection strategy needs a non-empty name")
+    if strategy.name in _REGISTRY and not replace:
+        raise ValueError(
+            f"selection {strategy.name!r} already registered "
+            "(pass replace=True to override)"
+        )
+    _REGISTRY[strategy.name] = strategy
+    return strategy
+
+
+def get_selection(name: str) -> SelectionStrategy:
+    """Look up a strategy by name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown selection {name!r}; known: "
+            f"{', '.join(known_selections())}"
+        ) from None
+
+
+def known_selections() -> tuple[str, ...]:
+    """Registered strategy names, in registration order."""
+    return tuple(_REGISTRY)
+
+
+register_selection(FidelitySelection())
+register_selection(DurationSelection())

@@ -1,0 +1,150 @@
+"""Concrete pipeline stages wrapping the transpiler's stage functions.
+
+Each stage of the paper's Sec. IV-B flow — layout, SWAP routing, 1Q
+merge, 2Q block consolidation, basis translation, placeholder merge,
+scheduling — is one small :class:`~repro.transpiler.passes.base.Pass`
+over the shared :class:`PassContext`, independently constructible and
+testable.  The underlying algorithms live unchanged in
+:mod:`repro.transpiler.layout` / ``routing`` / ``consolidate`` /
+``basis`` and :mod:`repro.circuits.dag`; these classes only adapt them
+to the property-set protocol.
+"""
+
+from __future__ import annotations
+
+from ...circuits.dag import alap_schedule, asap_schedule
+from ..basis import merge_adjacent_1q_placeholders, translate_to_basis
+from ..consolidate import collect_2q_blocks, merge_1q_runs
+from ..layout import Layout, random_layout, trivial_layout
+from ..routing import route_circuit
+from .base import Pass, PassContext
+
+__all__ = [
+    "SCHEDULERS",
+    "Collect2QBlocks",
+    "LayoutPass",
+    "Merge1QRuns",
+    "MergePlaceholders",
+    "RandomLayout",
+    "Route",
+    "Schedule",
+    "SetLayout",
+    "TranslateToBasis",
+    "TrivialLayout",
+]
+
+#: Scheduling strategies the Schedule pass accepts — the single source
+#: of truth for every layer that validates a scheduler name.
+SCHEDULERS = ("asap", "alap")
+
+
+class LayoutPass(Pass):
+    """Base class for passes that produce ``context.layout``.
+
+    The trial runner checks for this base to decide whether it must
+    inject a layout stage of its own (see ``PassManager.run``).
+    """
+
+
+class SetLayout(LayoutPass):
+    """Install a fixed, precomputed layout."""
+
+    def __init__(self, layout: Layout):
+        self.layout = layout
+
+    def run(self, context: PassContext) -> None:
+        context.layout = self.layout.copy()
+
+
+class TrivialLayout(LayoutPass):
+    """Identity layout: logical *i* on physical *i* (trial 0's choice)."""
+
+    def run(self, context: PassContext) -> None:
+        context.layout = trivial_layout(
+            context.circuit.num_qubits, context.coupling
+        )
+
+
+class RandomLayout(LayoutPass):
+    """Uniformly random injective layout drawn from the trial's RNG."""
+
+    def run(self, context: PassContext) -> None:
+        context.layout = random_layout(
+            context.circuit.num_qubits, context.coupling, context.rng
+        )
+
+
+class Route(Pass):
+    """SABRE-flavoured SWAP insertion onto the coupling topology.
+
+    A context arriving with ``routing`` already set (a shared routing
+    result reused across rule engines) is passed through untouched —
+    the pass only adopts the routed circuit.
+    """
+
+    def __init__(self, lookahead: int = 20, decay: float = 0.8):
+        self.lookahead = lookahead
+        self.decay = decay
+
+    def run(self, context: PassContext) -> None:
+        if context.routing is None:
+            context.routing = route_circuit(
+                context.circuit,
+                context.coupling,
+                context.require("layout"),
+                seed=context.rng,
+                lookahead=self.lookahead,
+                decay=self.decay,
+            )
+        context.circuit = context.routing.circuit
+
+
+class Merge1QRuns(Pass):
+    """Fuse consecutive 1Q gates per qubit into single ``u1q`` gates."""
+
+    def run(self, context: PassContext) -> None:
+        context.circuit = merge_1q_runs(context.circuit)
+
+
+class Collect2QBlocks(Pass):
+    """Fuse maximal same-pair gate runs into explicit-matrix blocks."""
+
+    def run(self, context: PassContext) -> None:
+        context.circuit = collect_2q_blocks(context.circuit)
+
+
+class TranslateToBasis(Pass):
+    """Replace 2Q blocks with priced pulse templates via the rules."""
+
+    def run(self, context: PassContext) -> None:
+        context.circuit = translate_to_basis(
+            context.circuit, context.rules, cache=context.cache
+        )
+
+
+class MergePlaceholders(Pass):
+    """Collapse adjacent ``u1q`` placeholders into one per qubit."""
+
+    def run(self, context: PassContext) -> None:
+        context.circuit = merge_adjacent_1q_placeholders(context.circuit)
+
+
+class Schedule(Pass):
+    """Assign start times: ASAP or ALAP over the priced circuit."""
+
+    def __init__(self, scheduler: str = "asap"):
+        if scheduler not in SCHEDULERS:
+            raise ValueError(
+                f"unknown scheduler {scheduler!r}; known: {SCHEDULERS}"
+            )
+        self.scheduler = scheduler
+
+    @property
+    def name(self) -> str:
+        return f"Schedule[{self.scheduler}]"
+
+    def run(self, context: PassContext) -> None:
+        schedule_fn = (
+            asap_schedule if self.scheduler == "asap" else alap_schedule
+        )
+        context.schedule = schedule_fn(context.circuit, context.duration_of)

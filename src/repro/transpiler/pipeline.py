@@ -1,88 +1,36 @@
-"""End-to-end transpilation pipeline (paper Sec. IV-B flow).
+"""Legacy pipeline entry points, now thin wrappers over the pass API.
 
-``transpile`` runs: layout -> SWAP routing -> 1Q merge -> 2Q block
-consolidation -> basis translation -> 1Q placeholder merge -> schedule
-(ASAP or ALAP), over multiple randomized trials.  The best trial is
-selected by estimated fidelity when a fidelity model is supplied (the
-noise-aware mode hardware targets use) and by raw critical-path
-duration otherwise (the paper's original best-of-10 criterion).
+``transpile``/``transpile_once`` keep their original signatures but
+delegate to :class:`~repro.transpiler.passes.PassManager` running the
+``"paper"`` pipeline (layout -> SWAP routing -> 1Q merge -> 2Q block
+consolidation -> basis translation -> 1Q placeholder merge -> ASAP/ALAP
+schedule).  Output is byte-identical to ``PassManager("paper")`` for a
+fixed seed — the digest-parity regression tests pin that equivalence.
+
+New code should prefer the config-driven facade::
+
+    import repro
+
+    result = repro.compile(circuit, target="snail_4x4")
+
+or build a :class:`PassManager` directly for custom pipelines.
 """
 
 from __future__ import annotations
 
 from collections.abc import Callable
-from dataclasses import dataclass, replace
-from typing import TYPE_CHECKING
 
 import numpy as np
 
 from ..circuits.circuit import QuantumCircuit
-from ..circuits.dag import ScheduledCircuit, alap_schedule, asap_schedule
 from ..circuits.gate import Gate
 from ..core.decomposition_rules import DecompositionRules
-from ..quantum.random import as_rng
-from .basis import merge_adjacent_1q_placeholders, translate_to_basis
-from .consolidate import collect_2q_blocks, merge_1q_runs
 from .coupling import CouplingMap
-from .layout import Layout, random_layout, trivial_layout
-from .routing import RoutingResult, route_circuit
-
-if TYPE_CHECKING:  # pragma: no cover - import cycle guard
-    from ..service.cache import DecompositionCache
-    from .fidelity import HeterogeneousFidelityModel
+from .layout import Layout
+from .passes import SCHEDULERS, PassManager, TranspilationResult
+from .routing import RoutingResult
 
 __all__ = ["SCHEDULERS", "TranspilationResult", "transpile", "transpile_once"]
-
-#: Scheduling strategies accepted by the pipeline.
-SCHEDULERS = ("asap", "alap")
-
-
-@dataclass(frozen=True)
-class TranspilationResult:
-    """Outcome of one (or the best of several) transpilation runs."""
-
-    circuit: QuantumCircuit
-    schedule: ScheduledCircuit
-    routing: RoutingResult
-    rules_name: str
-    trial_index: int
-    estimated_fidelity: float | None = None
-
-    @property
-    def duration(self) -> float:
-        """Critical-path duration in normalized pulse units (Eq. 8)."""
-        return self.schedule.total_duration
-
-    @property
-    def swap_count(self) -> int:
-        """SWAPs inserted by routing."""
-        return self.routing.swap_count
-
-    @property
-    def pulse_count(self) -> int:
-        """Total 2Q pulses emitted."""
-        return sum(1 for g in self.circuit if g.name == "pulse2q")
-
-    @property
-    def total_pulse_time(self) -> float:
-        """Summed 2Q pulse durations (not the critical path)."""
-        return sum(
-            g.duration or 0.0 for g in self.circuit if g.name == "pulse2q"
-        )
-
-
-def _schedule(
-    circuit: QuantumCircuit,
-    scheduler: str,
-    duration_of: Callable[[Gate], float] | None,
-) -> ScheduledCircuit:
-    if scheduler == "asap":
-        return asap_schedule(circuit, duration_of)
-    if scheduler == "alap":
-        return alap_schedule(circuit, duration_of)
-    raise ValueError(
-        f"unknown scheduler {scheduler!r}; known: {SCHEDULERS}"
-    )
 
 
 def transpile_once(
@@ -92,7 +40,7 @@ def transpile_once(
     initial_layout: Layout,
     seed: int | np.random.Generator | None = 0,
     routed: RoutingResult | None = None,
-    cache: "DecompositionCache | None" = None,
+    cache=None,
     scheduler: str = "asap",
     duration_of: Callable[[Gate], float] | None = None,
 ) -> TranspilationResult:
@@ -105,17 +53,21 @@ def transpile_once(
     ``duration_of`` to override schedule-time gate durations (hardware
     targets use it for per-edge speed-limit scaling).
     """
-    if routed is None:
-        routed = route_circuit(circuit, coupling, initial_layout, seed=seed)
-    merged = merge_1q_runs(routed.circuit)
-    blocked = collect_2q_blocks(merged)
-    translated = translate_to_basis(blocked, rules, cache=cache)
-    final = merge_adjacent_1q_placeholders(translated)
-    schedule = _schedule(final, scheduler, duration_of)
+    manager = PassManager("paper", scheduler=scheduler)
+    context = manager.run_once(
+        circuit,
+        coupling,
+        rules,
+        layout=initial_layout,
+        seed=seed,
+        routed=routed,
+        cache=cache,
+        duration_of=duration_of,
+    )
     return TranspilationResult(
-        circuit=final,
-        schedule=schedule,
-        routing=routed,
+        circuit=context.circuit,
+        schedule=context.require("schedule"),
+        routing=context.require("routing"),
         rules_name=rules.name,
         trial_index=0,
     )
@@ -127,72 +79,35 @@ def transpile(
     rules: DecompositionRules,
     trials: int = 10,
     seed: int | np.random.Generator | None = 0,
-    cache: "DecompositionCache | None" = None,
-    fidelity_model: "HeterogeneousFidelityModel | None" = None,
+    cache=None,
+    fidelity_model=None,
     selection: str | None = None,
     scheduler: str = "asap",
     duration_of: Callable[[Gate], float] | None = None,
 ) -> TranspilationResult:
     """Best-of-N transpilation (trial 0 uses the trivial layout).
 
-    ``selection`` picks the best-trial criterion: ``"fidelity"``
-    maximizes ``fidelity_model.circuit_fidelity`` over each trial's
-    schedule (ties broken by shorter duration), ``"duration"`` keeps the
-    paper's shortest-critical-path rule.  It defaults to ``"fidelity"``
-    exactly when a ``fidelity_model`` is supplied.  Every trial's
-    estimated fidelity is stamped on its result either way when a model
-    is available.
+    ``selection`` names a registered trial-selection strategy:
+    ``"fidelity"`` maximizes ``fidelity_model.circuit_fidelity`` over
+    each trial's schedule (ties broken by shorter duration),
+    ``"duration"`` keeps the paper's shortest-critical-path rule.  It
+    defaults to ``"fidelity"`` exactly when a ``fidelity_model`` is
+    supplied.  Every trial's estimated fidelity is stamped on its
+    result either way when a model is available.
     """
     if trials < 1:
         raise ValueError("need at least one trial")
     if selection is None:
         selection = "fidelity" if fidelity_model is not None else "duration"
-    if selection not in ("fidelity", "duration"):
-        raise ValueError(
-            f"unknown selection {selection!r}; known: fidelity, duration"
-        )
-    if selection == "fidelity" and fidelity_model is None:
-        raise ValueError("fidelity selection needs a fidelity_model")
-    rng = as_rng(seed)
-    best: TranspilationResult | None = None
-    for trial in range(trials):
-        layout = (
-            trivial_layout(circuit.num_qubits, coupling)
-            if trial == 0
-            else random_layout(circuit.num_qubits, coupling, rng)
-        )
-        result = transpile_once(
-            circuit,
-            coupling,
-            rules,
-            layout,
-            seed=rng,
-            cache=cache,
-            scheduler=scheduler,
-            duration_of=duration_of,
-        )
-        estimated = (
-            fidelity_model.circuit_fidelity(result.schedule)
-            if fidelity_model is not None
-            else None
-        )
-        result = replace(
-            result, trial_index=trial, estimated_fidelity=estimated
-        )
-        if best is None or _better(result, best, selection):
-            best = result
-    assert best is not None
-    return best
-
-
-def _better(
-    candidate: TranspilationResult,
-    incumbent: TranspilationResult,
-    selection: str,
-) -> bool:
-    if selection == "fidelity":
-        assert candidate.estimated_fidelity is not None
-        assert incumbent.estimated_fidelity is not None
-        if candidate.estimated_fidelity != incumbent.estimated_fidelity:
-            return candidate.estimated_fidelity > incumbent.estimated_fidelity
-    return candidate.duration < incumbent.duration
+    manager = PassManager(
+        "paper", scheduler=scheduler, trials=trials, selection=selection
+    )
+    return manager.run(
+        circuit,
+        coupling,
+        rules,
+        seed=seed,
+        cache=cache,
+        fidelity_model=fidelity_model,
+        duration_of=duration_of,
+    )

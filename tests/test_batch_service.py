@@ -39,6 +39,77 @@ class TestJobRoundTrip:
         )
         assert CompileJob.from_json(job.to_json()) == job
 
+    def test_job_embeds_compiler_config(self):
+        from repro.transpiler.compiler import CompilerConfig
+
+        job = CompileJob(
+            workload="qft", num_qubits=8, rules="baseline", trials=3,
+            target="square_2x4",
+        )
+        assert isinstance(job.config, CompilerConfig)
+        assert job.config.pipeline == "noise_aware"  # job default
+        # Convenience kwargs and an explicit config are the same job.
+        assert job == CompileJob(
+            workload="qft",
+            num_qubits=8,
+            config=CompilerConfig(
+                pipeline="noise_aware", rules="baseline",
+                target="square_2x4", trials=3,
+            ),
+        )
+        # Serialized form nests the config.
+        payload = job.to_dict()
+        assert payload["config"]["target"] == "square_2x4"
+        assert payload["config"]["rules"] == "baseline"
+        assert "rules" not in payload  # flat keys no longer emitted
+
+    def test_flat_pre_config_payload_loads(self):
+        """Jobs archived before the pass-manager redesign still parse."""
+        flat = {
+            "workload": "qft",
+            "num_qubits": 8,
+            "rules": "baseline",
+            "trials": 3,
+            "seed": 42,
+            "target": "square_2x4",
+            "scheduler": "alap",
+            "selection": "fidelity",
+            "workload_seed": 11,
+            "tag": "unit",
+        }
+        job = CompileJob.from_dict(flat)
+        assert job.rules == "baseline"
+        assert job.target == "square_2x4"
+        assert job.scheduler == "alap"
+        assert CompileJob.from_json(job.to_json()) == job
+
+    def test_pipeline_kwarg_selects_pipeline(self):
+        job = CompileJob(
+            workload="ghz", num_qubits=4, target="square_2x2",
+            pipeline="fast",
+        )
+        assert job.pipeline == "fast"
+        assert job.trials == 1  # fast pipeline default
+        assert job.scheduler == "asap"
+        assert job.selection == "duration"
+
+    def test_unknown_pipeline_rejected(self):
+        with pytest.raises(ValueError, match="unknown pipeline"):
+            CompileJob(workload="ghz", pipeline="warp_speed")
+
+    def test_updated_overrides_config_and_job_fields(self):
+        job = CompileJob(workload="ghz", num_qubits=8, target="square_2x4")
+        twiddled = job.updated(
+            trials=2, seed=123, pipeline="paper", tag="swept"
+        )
+        assert twiddled.trials == 2
+        assert twiddled.seed == 123
+        assert twiddled.pipeline == "paper"
+        assert twiddled.tag == "swept"
+        assert twiddled.workload == job.workload
+        # None overrides are ignored (suite-override semantics).
+        assert job.updated(trials=None, target=None) == job
+
     def test_result_json_round_trip(self):
         job = CompileJob(workload="ghz", num_qubits=4, target="square_2x2")
         result = CompileResult(
@@ -97,6 +168,28 @@ class TestCouplingShim:
             workload="ghz", num_qubits=8, target="square_2x4"
         )
         assert "coupling" not in job.to_dict()
+
+    def test_shim_maps_through_compiler_config(self):
+        """The legacy tuple lands on the embedded CompilerConfig: the
+        shim survives the pass-manager redesign unchanged (removal
+        window still opens at PR 4)."""
+        from repro.targets import get_target
+        from repro.transpiler.compiler import CompilerConfig
+
+        with pytest.warns(DeprecationWarning, match="coupling"):
+            job = CompileJob(workload="ghz", num_qubits=8, coupling=(2, 4))
+        assert isinstance(job.config, CompilerConfig)
+        assert job.config.target == "square_2x4"
+        assert job.to_dict()["config"]["target"] == "square_2x4"
+        assert get_target(job.config.target).num_qubits == 8
+        # An explicit config with a non-default target still conflicts.
+        with pytest.raises(ValueError, match="not both"):
+            CompileJob(
+                workload="ghz",
+                num_qubits=8,
+                config=CompilerConfig(target="line_16"),
+                coupling=(2, 4),
+            )
 
     def test_legacy_payload_deserializes_with_warning(self):
         legacy = {
@@ -432,6 +525,48 @@ class TestBatchEngine:
         ).cache_token
         assert cache.token_entries(fast_token) > 0
         assert cache.token_entries(base_token) > 0
+
+    def test_engine_collects_pass_profile(self, parallel_rules):
+        from repro.transpiler.passes import PassProfile
+
+        job = CompileJob(
+            workload="ghz",
+            num_qubits=4,
+            rules="parallel",
+            trials=2,
+            seed=7,
+            target="square_2x2",
+        )
+        plain, profiled = (
+            BatchEngine(workers=1, use_cache=False, profile=flag).run([job])[0]
+            for flag in (False, True)
+        )
+        assert plain.pass_profile is None
+        assert profiled.pass_profile is not None
+        # Profiling must not perturb the compilation itself.
+        assert profiled.digest == plain.digest
+        profile = PassProfile.from_dict(profiled.pass_profile)
+        assert {"Route", "TranslateToBasis", "Schedule[alap]"} <= {
+            record.pass_name for record in profile.records
+        }
+        # The result (and its profile) still round-trips through JSON.
+        parsed = CompileResult.from_json(profiled.to_json())
+        assert parsed.pass_profile == profiled.pass_profile
+        store = ResultStore([profiled])
+        assert "TranslateToBasis" in store.format_pass_profile()
+
+    def test_engine_runs_fast_pipeline(self, parallel_rules):
+        job = CompileJob(
+            workload="ghz",
+            num_qubits=4,
+            rules="parallel",
+            seed=7,
+            target="square_2x2",
+            pipeline="fast",
+        )
+        (result,) = BatchEngine(workers=1, use_cache=False).run([job])
+        assert result.ok, result.error
+        assert result.trial_index == 0
 
     def test_failure_is_reported_not_raised(self):
         job = CompileJob(

@@ -74,7 +74,7 @@ class TestBatchTarget:
 
         payload = json.loads(out_json.read_text())
         assert all(
-            result["job"]["target"] == "heavy_hex_16"
+            result["job"]["config"]["target"] == "heavy_hex_16"
             for result in payload["results"]
         )
         assert all(
@@ -87,6 +87,52 @@ class TestBatchTarget:
             "batch", "--suite", "table4", "--target", "square_2x2",
         ]) == 2
         assert "too small" in capsys.readouterr().err
+
+    def test_batch_pipeline_and_profile(self, tmp_path, capsys):
+        # The acceptance flow for the pass API: a named pipeline plus
+        # the per-pass timing table backed by PassProfile records.
+        out_json = tmp_path / "out.json"
+        assert main([
+            "batch", "--workloads", "ghz", "--rules", "parallel",
+            "--qubits", "4", "--trials", "2", "--workers", "1",
+            "--pipeline", "paper", "--profile", "--no-cache",
+            "--json", str(out_json),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "per-pass profile" in out
+        for pass_name in ("Route", "TranslateToBasis", "Schedule[asap]"):
+            assert pass_name in out
+        import json
+
+        payload = json.loads(out_json.read_text())
+        (result,) = payload["results"]
+        assert result["job"]["config"]["pipeline"] == "paper"
+        assert result["pass_profile"]["records"]
+
+    def test_batch_fast_pipeline_keeps_single_trial_default(
+        self, tmp_path, capsys
+    ):
+        # Without --trials, the named pipeline's trial default wins:
+        # "fast" compiles exactly one trivial-layout trial per job.
+        out_json = tmp_path / "out.json"
+        assert main([
+            "batch", "--workloads", "ghz", "--rules", "parallel",
+            "--qubits", "4", "--workers", "1", "--pipeline", "fast",
+            "--profile", "--no-cache", "--json", str(out_json),
+        ]) == 0
+        import json
+
+        (result,) = json.loads(out_json.read_text())["results"]
+        assert result["job"]["config"]["trials"] is None  # pipeline default
+        records = result["pass_profile"]["records"]
+        assert {r["trial"] for r in records} == {0}
+        assert "Collect2QBlocks" not in {r["pass"] for r in records}
+
+    def test_batch_unknown_pipeline(self, capsys):
+        assert main([
+            "batch", "--suite", "smoke", "--pipeline", "warp_speed",
+        ]) == 2
+        assert "unknown pipeline" in capsys.readouterr().err
 
     def test_deprecated_coupling_flag_maps_to_target(self, capsys):
         assert main([

@@ -25,6 +25,7 @@ def test_examples_directory_complete():
         "quickstart.py",
         "basis_gate_selection.py",
         "batch_compile.py",
+        "custom_pipeline.py",
         "parallel_drive_cnot.py",
         "transpile_workload.py",
         "snail_characterization.py",
@@ -70,6 +71,15 @@ def test_transpile_workload_runs(capsys):
     _run("transpile_workload.py", ["ghz"])
     out = capsys.readouterr().out
     assert "duration improvement" in out
+
+
+@pytest.mark.slow
+def test_custom_pipeline_runs(capsys):
+    _run("custom_pipeline.py", ["ghz"])
+    out = capsys.readouterr().out
+    assert "per-pass profile" in out
+    assert "PulseHistogram" in out
+    assert "pulse histogram of the winning trial" in out
 
 
 @pytest.mark.slow
