@@ -1,0 +1,213 @@
+"""Scalar-vs-batched timing of the compilation numerics kernels.
+
+Times the three hot-path kernels the compiler batches per circuit —
+Weyl-coordinate extraction (``repro.kernels.weyl_coordinates_many``),
+coverage membership (``CoverageSet.min_k``), and decomposition-cache
+traffic (``DecompositionCache.lookup_many``, cold / disk-hit / warm) —
+against the equivalent scalar per-gate loops they replaced, verifies the
+results are identical, and writes the speedup table to
+``results/kernels_bench.json`` so the CI bench job accumulates it with
+the rest of the ``BENCH_*.json`` perf trajectory.
+
+``test_perf_smoke_weyl_batch`` is the cheap CI guard: it only requires
+the batched Weyl kernel to be at least as fast as the scalar loop at
+N=256 (a coarse 1.0x bound — the observed margin is ~19x, so the guard
+trips on wired-through-the-scalar-path regressions, not on machine
+noise).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from collections.abc import Callable
+
+import numpy as np
+
+from repro.core.coverage import CoverageSet, build_coverage_set
+from repro.core.decomposition_rules import BASIS_DRIVE_ANGLES, TemplateSpec
+from repro.experiments.common import results_dir
+from repro.kernels import weyl_coordinates_many
+from repro.quantum.random import haar_unitaries_batch
+from repro.quantum.weyl import weyl_coordinates
+from repro.service.cache import DecompositionCache
+
+from conftest import run_once
+
+#: Stack sizes for the Weyl kernel (256 is the acceptance/guard size).
+WEYL_SIZES = (256, 1024)
+#: Query points for coverage membership.
+MEMBERSHIP_POINTS = 1024
+#: Coordinate rows per cache-traffic round.
+CACHE_POINTS = 512
+
+
+def _best_of(fn: Callable[[], object], repeats: int = 3) -> float:
+    """Minimum wall time of ``repeats`` runs (first run included: the
+    kernels under test have no JIT warm-up, only allocator noise)."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _entry(kernel: str, n: int, scalar_s: float, batched_s: float) -> dict:
+    return {
+        "kernel": kernel,
+        "n": n,
+        "scalar_s": scalar_s,
+        "batched_s": batched_s,
+        "speedup": scalar_s / batched_s,
+    }
+
+
+def _bench_coverage_set() -> CoverageSet:
+    """A small self-contained sqrt(iSWAP) coverage set (no disk cache)."""
+    theta_c, theta_g = BASIS_DRIVE_ANGLES["sqrt_iSWAP"]
+    duration = (theta_c + theta_g) / (np.pi / 2)
+    return build_coverage_set(
+        gc=theta_c / duration,
+        gg=theta_g / duration,
+        pulse_duration=duration,
+        kmax=3,
+        basis_name="sqrt_iSWAP",
+        samples_per_k=800,
+        seed=5,
+        cache=False,
+    )
+
+
+def _bench_weyl() -> list[dict]:
+    entries = []
+    for n in WEYL_SIZES:
+        stack = haar_unitaries_batch(4, n, seed=3)
+        scalar_coords = np.stack([weyl_coordinates(u) for u in stack])
+        batched_coords = weyl_coordinates_many(stack)
+        assert np.array_equal(scalar_coords, batched_coords), (
+            "batched Weyl kernel diverged from the scalar path"
+        )
+        scalar_s = _best_of(lambda: [weyl_coordinates(u) for u in stack])
+        batched_s = _best_of(lambda: weyl_coordinates_many(stack))
+        entries.append(_entry("weyl_coordinates", n, scalar_s, batched_s))
+    return entries
+
+
+def _bench_membership(coverage: CoverageSet) -> dict:
+    rng = np.random.default_rng(7)
+    points = rng.uniform(0.0, np.pi / 2, size=(MEMBERSHIP_POINTS, 3))
+    per_point = np.array([coverage.min_k(p)[0] for p in points])
+    batched = coverage.min_k(points)
+    assert np.array_equal(per_point, batched), (
+        "batched min_k diverged from per-point membership"
+    )
+    scalar_s = _best_of(
+        lambda: np.array([coverage.min_k(p)[0] for p in points])
+    )
+    batched_s = _best_of(lambda: coverage.min_k(points))
+    return _entry("coverage_min_k", MEMBERSHIP_POINTS, scalar_s, batched_s)
+
+
+def _bench_cache(tmp_dir) -> list[dict]:
+    rng = np.random.default_rng(11)
+    coords = rng.uniform(0.0, np.pi / 2, size=(CACHE_POINTS, 3))
+    spec = TemplateSpec((0.5, 0.25, 0.5), 3, "bench template")
+
+    def factory_many(rows: np.ndarray) -> list[TemplateSpec]:
+        return [spec] * len(rows)
+
+    def scalar_sweep(cache: DecompositionCache) -> list[TemplateSpec]:
+        return [cache.lookup("bench", c, lambda: spec) for c in coords]
+
+    def batched_sweep(cache: DecompositionCache) -> list[TemplateSpec]:
+        return cache.lookup_many("bench", coords, factory_many)
+
+    entries = []
+    scalar_store = tmp_dir / "scalar.sqlite"
+    batched_store = tmp_dir / "batched.sqlite"
+
+    # Cold: empty stores, every key is a miss + write (single run; a
+    # repeat would be a warm run).
+    scalar_cold = DecompositionCache(path=scalar_store)
+    batched_cold = DecompositionCache(path=batched_store)
+    scalar_s = _best_of(lambda: scalar_sweep(scalar_cold), repeats=1)
+    batched_s = _best_of(lambda: batched_sweep(batched_cold), repeats=1)
+    entries.append(_entry("cache_cold", CACHE_POINTS, scalar_s, batched_s))
+
+    # Warm: every key answered by the in-memory LRU front.
+    assert scalar_sweep(scalar_cold) == batched_sweep(batched_cold)
+    scalar_s = _best_of(lambda: scalar_sweep(scalar_cold))
+    batched_s = _best_of(lambda: batched_sweep(batched_cold))
+    entries.append(_entry("cache_warm", CACHE_POINTS, scalar_s, batched_s))
+
+    # Disk hit: fresh processes (empty memory tier) over the warm stores.
+    scalar_disk = DecompositionCache(path=scalar_store)
+    batched_disk = DecompositionCache(path=batched_store)
+    scalar_s = _best_of(lambda: scalar_sweep(scalar_disk), repeats=1)
+    batched_s = _best_of(lambda: batched_sweep(batched_disk), repeats=1)
+    assert scalar_disk.stats.disk_hits == CACHE_POINTS
+    assert batched_disk.stats.disk_hits > 0 and batched_disk.stats.misses == 0
+    entries.append(_entry("cache_disk_hit", CACHE_POINTS, scalar_s, batched_s))
+    return entries
+
+
+def _format_table(entries: list[dict]) -> str:
+    header = f"{'kernel':<18} {'N':>5} {'scalar':>10} {'batched':>10} {'speedup':>8}"
+    lines = [header, "-" * len(header)]
+    for e in entries:
+        lines.append(
+            f"{e['kernel']:<18} {e['n']:>5} {e['scalar_s'] * 1e3:>8.2f}ms "
+            f"{e['batched_s'] * 1e3:>8.2f}ms {e['speedup']:>7.1f}x"
+        )
+    return "\n".join(lines)
+
+
+def test_kernel_microbench(benchmark, capsys, tmp_path):
+    """Full scalar-vs-batched sweep; emits results/kernels_bench.json."""
+    coverage = _bench_coverage_set()
+
+    def sweep() -> list[dict]:
+        entries = _bench_weyl()
+        entries.append(_bench_membership(coverage))
+        entries.extend(_bench_cache(tmp_path))
+        return entries
+
+    entries = run_once(benchmark, sweep)
+
+    by_kernel = {(e["kernel"], e["n"]): e for e in entries}
+    # The batched Weyl kernel is the headline: >= 3x at N >= 256 is the
+    # PR's acceptance bar (observed ~19x; 3x leaves ample CI headroom).
+    for n in WEYL_SIZES:
+        assert by_kernel["weyl_coordinates", n]["speedup"] >= 3.0
+    # Coarse >= 1x guards on the rest: batching must never lose.
+    assert by_kernel["coverage_min_k", MEMBERSHIP_POINTS]["speedup"] >= 1.0
+    assert by_kernel["cache_cold", CACHE_POINTS]["speedup"] >= 1.0
+    assert by_kernel["cache_warm", CACHE_POINTS]["speedup"] >= 1.0
+
+    out = results_dir() / "kernels_bench.json"
+    out.write_text(json.dumps({"benchmarks": entries}, indent=2, sort_keys=True))
+    with capsys.disabled():
+        print("\nscalar vs batched kernels (best-of-3 wall time):")
+        print(_format_table(entries))
+        print(f"written to {out}")
+
+
+def test_perf_smoke_weyl_batch():
+    """CI perf smoke: batched Weyl >= scalar loop at N=256 (coarse 1.0x).
+
+    Runs in seconds and carries a ~19x margin, so a failure means the
+    batched kernel genuinely degenerated to (or below) per-gate work —
+    e.g. the fallback scalar path firing for every row — not that the
+    runner was busy.
+    """
+    stack = haar_unitaries_batch(4, 256, seed=3)
+    scalar_coords = np.stack([weyl_coordinates(u) for u in stack])
+    batched_coords = weyl_coordinates_many(stack)
+    assert np.array_equal(scalar_coords, batched_coords)
+    scalar_s = _best_of(lambda: [weyl_coordinates(u) for u in stack])
+    batched_s = _best_of(lambda: weyl_coordinates_many(stack))
+    assert batched_s <= scalar_s, (
+        f"batched Weyl extraction ({batched_s * 1e3:.1f} ms) slower than "
+        f"the scalar loop ({scalar_s * 1e3:.1f} ms) at N=256"
+    )

@@ -112,18 +112,6 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     )
 
     target = args.target
-    if args.coupling is not None:
-        rows, cols = args.coupling
-        print(
-            "batch: --coupling is deprecated; use "
-            f"--target square_{rows}x{cols} (removal from PR 4 on)",
-            file=sys.stderr,
-        )
-        if target is not None:
-            print("batch: pass --target or --coupling, not both",
-                  file=sys.stderr)
-            return 2
-        target = f"square_{rows}x{cols}"
     try:
         if args.suite is not None:
             jobs = suite_jobs(
@@ -293,11 +281,6 @@ def main(argv: list[str] | None = None) -> int:
         "--profile", action="store_true",
         help="record per-pass wall time / gate deltas and print the "
              "aggregated timing table",
-    )
-    batch_parser.add_argument(
-        "--coupling", type=int, nargs=2, metavar=("ROWS", "COLS"),
-        default=None,
-        help="deprecated: square-lattice dims (use --target square_RxC)",
     )
     batch_parser.add_argument(
         "--trials", type=int, default=None,

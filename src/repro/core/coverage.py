@@ -23,8 +23,9 @@ from pathlib import Path
 from uuid import uuid4
 
 import numpy as np
-from scipy.spatial import Delaunay, QhullError
+from scipy.spatial import ConvexHull, Delaunay, QhullError
 
+from ..kernels.membership import first_covering_k
 from ..quantum.random import as_rng, haar_unitaries_batch
 from ..quantum.weyl import batched_weyl_coordinates
 from .parallel_drive import (
@@ -110,6 +111,8 @@ class RegionHull:
         self.basis = vt[: self.rank] if self.rank else np.zeros((0, 3))
         self._delaunay: Delaunay | None = None
         self._interval: tuple[float, float] | None = None
+        self._facets: np.ndarray | None = None
+        triangulated: np.ndarray | None = None
         if self.rank >= 1:
             projected = centered @ self.basis.T
             if self.rank == 1:
@@ -117,6 +120,7 @@ class RegionHull:
                 self._interval = (float(line.min()), float(line.max()))
             else:
                 self._delaunay = self._triangulate(projected)
+                triangulated = projected
                 if self._delaunay is None:
                     # Nearly degenerate cloud: retreat one dimension.
                     self.rank -= 1
@@ -125,9 +129,16 @@ class RegionHull:
                         line = centered @ self.basis[0]
                         self._interval = (float(line.min()), float(line.max()))
                     else:
-                        self._delaunay = self._triangulate(
-                            centered @ self.basis.T
-                        )
+                        triangulated = centered @ self.basis.T
+                        self._delaunay = self._triangulate(triangulated)
+        if self._delaunay is not None and triangulated is not None:
+            # Outward facet equations of the same point cloud: a cheap
+            # vectorized signed-distance bound used to spot queries in
+            # the ambiguity band of find_simplex (see contains()).
+            try:
+                self._facets = ConvexHull(triangulated).equations
+            except QhullError:  # pragma: no cover - joggled-input clouds
+                self._facets = None
 
     @staticmethod
     def _triangulate(projected: np.ndarray) -> Delaunay | None:
@@ -140,8 +151,55 @@ class RegionHull:
             except QhullError:
                 return None
 
+    #: Half-width of the decision band inside which a batched query is
+    #: replayed as a solo call (see contains()).  Orders of magnitude
+    #: above float noise, orders below the hull tolerance.
+    _AMBIGUITY_BAND = 1e-6
+
+    def _ambiguous_rows(
+        self, projected: np.ndarray, residual_norm: np.ndarray | None
+    ) -> np.ndarray:
+        """Rows close enough to a membership threshold to need a solo query.
+
+        Batched evaluation is not automatically bitwise-equivalent to
+        per-point evaluation: the (N, 3) projection matmul rounds
+        differently than the (1, 3) one (GEMM vs GEMV summation order),
+        and ``Delaunay.find_simplex`` resolves queries within its
+        numerical tolerance of a simplex boundary differently depending
+        on where its directed walk starts — i.e. on the *other* points
+        in the batch.  Chamber landmarks (the CX ray, CNOT, sqrt(CNOT))
+        sit exactly on coverage-hull facets, so batched membership would
+        otherwise disagree with the scalar path on precisely the gates
+        real circuits are made of.  Facet signed distances (and, for
+        degenerate regions, the distance to the off-subspace tolerance
+        threshold) bound the band; everything outside it is
+        batch-invariant.
+        """
+        if self._delaunay is not None:
+            if self._facets is None:  # pragma: no cover - joggled clouds
+                ambiguous = np.ones(len(projected), dtype=bool)
+            else:
+                margins = (
+                    projected @ self._facets[:, :-1].T + self._facets[:, -1]
+                )
+                ambiguous = np.abs(margins.max(axis=1)) <= self._AMBIGUITY_BAND
+        else:
+            ambiguous = np.zeros(len(projected), dtype=bool)
+        if residual_norm is not None:
+            ambiguous |= (
+                np.abs(residual_norm - self.tol) <= self._AMBIGUITY_BAND
+            )
+        return ambiguous
+
     def contains(self, coords: np.ndarray) -> np.ndarray:
-        """Vectorized membership test; accepts shape (3,) or (N, 3)."""
+        """Vectorized membership test; accepts shape (3,) or (N, 3).
+
+        Batched queries are bitwise-equivalent to per-point calls:
+        points inside the numerical decision band are replayed as fresh
+        single-point queries (see :meth:`_ambiguous_rows`), so
+        membership of a point never depends on what else is in its
+        batch.
+        """
         coords = np.atleast_2d(np.asarray(coords, dtype=float))
         centered = coords - self.centroid
         if self.rank == 0:
@@ -158,13 +216,20 @@ class RegionHull:
             else:  # pragma: no cover - exhausted fallbacks
                 inside = np.zeros(len(coords), dtype=bool)
         # Off-subspace displacement must vanish for membership.
+        residual_norm: np.ndarray | None = None
         if self.rank < 3:
             residual = centered - (
                 (centered @ self.basis.T) @ self.basis
                 if self.rank
                 else np.zeros_like(centered)
             )
-            inside &= np.linalg.norm(residual, axis=1) <= self.tol
+            residual_norm = np.linalg.norm(residual, axis=1)
+            inside &= residual_norm <= self.tol
+        if len(coords) > 1 and self.rank >= 1:
+            for row in np.flatnonzero(
+                self._ambiguous_rows(projected, residual_norm)
+            ):
+                inside[row] = self.contains(coords[row])[0]
         return inside
 
     @property
@@ -215,18 +280,14 @@ class CoverageSet:
         return self.coverages[k - 1]
 
     def min_k(self, coords: np.ndarray) -> np.ndarray:
-        """Smallest covering K per coordinate row (``kmax + 1`` if none)."""
-        coords = np.atleast_2d(np.asarray(coords, dtype=float))
-        result = np.full(len(coords), self.kmax + 1, dtype=int)
-        unresolved = np.ones(len(coords), dtype=bool)
-        for coverage in self.coverages:
-            if not unresolved.any():
-                break
-            hit = np.zeros(len(coords), dtype=bool)
-            hit[unresolved] = coverage.contains(coords[unresolved])
-            result[hit] = coverage.k
-            unresolved &= ~hit
-        return result
+        """Smallest covering K per coordinate row (``kmax + 1`` if none).
+
+        One narrowing membership sweep over the K-polytopes: every point
+        is tested against each region at most once, in a single
+        vectorized ``contains`` call per region (see
+        :func:`repro.kernels.first_covering_k`).
+        """
+        return first_covering_k(self.coverages, coords)
 
     def expected_haar_k(
         self, samples: np.ndarray
@@ -239,9 +300,8 @@ class CoverageSet:
         silently clipping.
         """
         ks = self.min_k(samples)
-        fractions = np.array(
-            [np.mean(ks == k) for k in range(1, self.kmax + 2)]
-        )
+        counts = np.bincount(ks, minlength=self.kmax + 2)
+        fractions = counts[1 : self.kmax + 2] / len(ks)
         return float(ks.mean()), fractions
 
 

@@ -26,6 +26,7 @@ from uuid import uuid4
 
 import numpy as np
 
+from ..kernels.membership import membership_matrix
 from ..quantum.weyl import named_gate_coordinates
 from .conversion_gain import drive_angles_for_coordinates
 from .coverage import CoverageSet, KCoverage, build_coverage_set
@@ -139,9 +140,29 @@ class DecompositionRules:
         """Cheapest known template reaching the coordinate class."""
         raise NotImplementedError
 
+    def templates_for_many(self, coords: np.ndarray) -> list[TemplateSpec]:
+        """Templates for a stacked ``(N, 3)`` coordinate array.
+
+        Row ``i`` of the result equals ``template_for(coords[i])``
+        exactly; engines override this with a vectorized classification
+        so a circuit's 2Q blocks are templated in one batched kernel
+        call.  The base implementation is the scalar loop.
+        """
+        coords = np.atleast_2d(np.asarray(coords, dtype=float))
+        return [self.template_for(row) for row in coords]
+
     def duration(self, coords: np.ndarray) -> float:
         """Total decomposition duration for a target class."""
         return self.template_for(coords).duration(self.one_q_duration)
+
+    def durations_many(self, coords: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`duration` over stacked coordinate rows."""
+        return np.array(
+            [
+                spec.duration(self.one_q_duration)
+                for spec in self.templates_for_many(coords)
+            ]
+        )
 
     @property
     def cache_token(self) -> str:
@@ -237,6 +258,38 @@ class BaselineSqrtISwapRules(DecompositionRules):
         return TemplateSpec(
             (self.pulse_duration,) * k, k + 1, f"{k}x sqrt(iSWAP)"
         )
+
+    def templates_for_many(self, coords: np.ndarray) -> list[TemplateSpec]:
+        """Batched :meth:`template_for`: one K=2 membership query for all
+        generic rows instead of one per gate."""
+        coords = np.atleast_2d(np.asarray(coords, dtype=float))
+        count = len(coords)
+        if count == 0:
+            return []
+        identity = np.all(np.abs(coords) < _TOL, axis=1)
+        sqrt_point = named_gate_coordinates("sqrt_iSWAP")
+        single = (
+            np.isclose(coords, sqrt_point, atol=_TOL).all(axis=1)
+            & ~identity
+        )
+        generic = ~identity & ~single
+        in_k2 = np.zeros(count, dtype=bool)
+        if generic.any():
+            in_k2[generic] = self.coverage.coverage_for(2).contains(
+                coords[generic]
+            )
+        specs: list[TemplateSpec] = []
+        for index in range(count):
+            if identity[index]:
+                specs.append(TemplateSpec((), 1, "local gate"))
+                continue
+            k = 1 if single[index] else (2 if in_k2[index] else 3)
+            specs.append(
+                TemplateSpec(
+                    (self.pulse_duration,) * k, k + 1, f"{k}x sqrt(iSWAP)"
+                )
+            )
+        return specs
 
 
 class ParallelSqrtISwapRules(DecompositionRules):
@@ -352,6 +405,100 @@ class ParallelSqrtISwapRules(DecompositionRules):
             return min(candidates, key=lambda pair: pair[0])[1]
         # Full coverage backstop: three sqrt(iSWAP) pulses span everything.
         return TemplateSpec((0.5, 0.5, 0.5), 4, "3x sqrt(iSWAP)")
+
+    def templates_for_many(self, coords: np.ndarray) -> list[TemplateSpec]:
+        """Batched :meth:`template_for` over stacked coordinate rows.
+
+        Family shortcuts are classified with vectorized masks (applied
+        in the scalar method's priority order), and the three extended
+        coverage regions each see one membership query for all generic
+        rows.  Candidate selection replicates the scalar stable-min:
+        regions are priced in the same order, and the first cheapest
+        covering template wins.
+        """
+        coords = np.atleast_2d(np.asarray(coords, dtype=float))
+        count = len(coords)
+        if count == 0:
+            return []
+        c1, c2, c3 = coords[:, 0], coords[:, 1], coords[:, 2]
+        identity = np.all(np.abs(coords) < _TOL, axis=1)
+        swap = np.all(np.abs(coords - _HALF_PI) < _TOL, axis=1) & ~identity
+        iswap_family = (
+            (c1 > _TOL)
+            & (np.abs(c1 - c2) < _TOL)
+            & (np.abs(c3) < _TOL)
+            & ~identity
+            & ~swap
+        )
+        cx_family = (
+            (c1 > _TOL)
+            & (np.abs(c2) < _TOL)
+            & (np.abs(c3) < _TOL)
+            & ~identity
+            & ~swap
+            & ~iswap_family
+        )
+        generic = ~(identity | swap | iswap_family | cx_family)
+
+        # Fractional-family pulse totals, quantized like _quantize.
+        steps = np.maximum(
+            1, np.ceil(c1 / _HALF_PI / self.pulse_quantum - 1e-9).astype(int)
+        )
+        totals = steps * self.pulse_quantum
+
+        # Generic rows: one batched membership query per extended region,
+        # in the scalar candidate order (sqrt K=1, iSWAP K=1, sqrt K=2).
+        region_specs = (
+            TemplateSpec((0.5,), 2, "1x parallel sqrt(iSWAP)"),
+            TemplateSpec((1.0,), 2, "1x parallel iSWAP"),
+            TemplateSpec((0.5, 0.5), 3, "2x parallel sqrt(iSWAP)"),
+        )
+        choice = np.full(count, -1, dtype=int)
+        if generic.any():
+            regions = (
+                self.sqrt_parallel_k1,
+                self.iswap_parallel_k1,
+                self.sqrt_parallel_k2,
+            )
+            member = membership_matrix(regions, coords[generic])
+            prices = np.array(
+                [spec.duration(self.one_q_duration) for spec in region_specs]
+            )
+            priced = np.where(member.T, prices[None, :], np.inf)
+            picks = np.argmin(priced, axis=1)  # first-cheapest, like min()
+            picks[~member.any(axis=0)] = -1
+            choice[generic] = picks
+
+        backstop = TemplateSpec((0.5, 0.5, 0.5), 4, "3x sqrt(iSWAP)")
+        specs: list[TemplateSpec] = []
+        for index in range(count):
+            if identity[index]:
+                specs.append(TemplateSpec((), 1, "local gate"))
+            elif swap[index]:
+                specs.append(
+                    TemplateSpec(
+                        (1.0, 0.5), 3, "iSWAP + sqrt(iSWAP) joint"
+                    )
+                )
+            elif iswap_family[index]:
+                total = float(totals[index])
+                specs.append(
+                    TemplateSpec(
+                        (total,), 2, f"{total:.2f} direct partial iSWAP"
+                    )
+                )
+            elif cx_family[index]:
+                total = float(totals[index])
+                specs.append(
+                    TemplateSpec(
+                        (total,), 2, f"{total:.2f} parallel-driven CX-family"
+                    )
+                )
+            elif choice[index] >= 0:
+                specs.append(region_specs[choice[index]])
+            else:
+                specs.append(backstop)
+        return specs
 
 
 #: Rule-engine names resolvable by :func:`build_rules` (the vocabulary

@@ -358,7 +358,9 @@ def frequency_weighted_score(
             2Q target gates.
         frequencies: length-N non-negative weights (need not sum to 1).
         duration_of: callable mapping a coordinate triple to the basis's
-            decomposition duration (e.g. ``rules.duration``).
+            decomposition duration (e.g. ``rules.duration``), or a rule
+            engine itself — engines are priced through their batched
+            ``durations_many`` kernel in one call instead of per class.
     """
     target_coordinates = np.atleast_2d(
         np.asarray(target_coordinates, dtype=float)
@@ -371,7 +373,11 @@ def frequency_weighted_score(
     total = frequencies.sum()
     if total <= 0:
         raise ValueError("at least one positive frequency required")
-    costs = np.array(
-        [duration_of(coords) for coords in target_coordinates]
-    )
+    batched = getattr(duration_of, "durations_many", None)
+    if callable(batched):
+        costs = np.asarray(batched(target_coordinates), dtype=float)
+    else:
+        costs = np.array(
+            [duration_of(coords) for coords in target_coordinates]
+        )
     return float(np.dot(frequencies, costs) / total)

@@ -20,9 +20,6 @@ from __future__ import annotations
 
 import numpy as np
 
-from .linalg import to_special_unitary
-from .magic import to_magic_basis
-
 __all__ = [
     "WEYL_POINTS",
     "weyl_coordinates",
@@ -72,29 +69,17 @@ def weyl_coordinates(unitary: np.ndarray) -> np.ndarray:
     the magic basis where local factors are real, form ``m = V^T V`` whose
     spectrum ``{e^{2 i theta_j}}`` is a complete local invariant, and fold
     the sorted half-phases into the chamber.
+
+    This is a batch-size-1 wrapper over the vectorized kernel
+    :func:`repro.kernels.weyl_coordinates_many`; hot paths that classify
+    many unitaries should stack them and call the kernel directly.
     """
-    special, _ = to_special_unitary(np.asarray(unitary, dtype=complex))
-    magic = to_magic_basis(special)
-    gram = magic.T @ magic
-    eigenvalues = np.linalg.eigvals(gram)
-    # Half-phases in units of pi, each defined modulo 1.  The sign matches
-    # our CAN convention exp(-i/2 sum c_k P_k); without it the recipe lands
-    # on the mirror (transpose-conjugate) class for chiral gates.
-    half = -np.angle(eigenvalues) / (2 * np.pi)
-    half = np.where(half <= -0.25, half + 1.0, half)  # branch (-1/4, 3/4]
-    half = np.sort(half)[::-1]
-    # det(gram) == 1 forces the sum to an integer; fold it back to zero by
-    # lowering the largest entries, which is a Weyl-group move.
-    total = int(round(float(np.sum(half))))
-    half[:total] -= 1.0
-    half = np.sort(half)[::-1]
-    c1 = (half[0] + half[1]) * np.pi
-    c2 = (half[0] + half[2]) * np.pi
-    c3 = (half[1] + half[2]) * np.pi
-    if c3 < 0:  # mirror into the chamber (transpose-equivalent class)
-        c1, c3 = np.pi - c1, -c3
-    coords = np.array([c1, c2, c3], dtype=float)
-    return canonicalize_coordinates(coords)
+    from ..kernels.weyl_batch import weyl_coordinates_many
+
+    unitary = np.asarray(unitary, dtype=complex)
+    if unitary.shape != (4, 4):
+        raise ValueError(f"expected a 4x4 unitary, got shape {unitary.shape}")
+    return weyl_coordinates_many(unitary[None])[0]
 
 
 def batched_weyl_coordinates(unitaries: np.ndarray) -> np.ndarray:
@@ -102,7 +87,12 @@ def batched_weyl_coordinates(unitaries: np.ndarray) -> np.ndarray:
 
     Boundary-of-chamber edge cases (rear-edge mirror) follow the common
     branch; statistically they are measure-zero and this path is used for
-    Monte-Carlo coverage sampling only.
+    Monte-Carlo coverage sampling only.  Keeping this sampler's folding
+    exactly as-is also keeps the persisted coverage point clouds (and
+    therefore every hull and pinned digest downstream) stable.  For
+    classifying circuit gates — where CNOT/SWAP/iSWAP sit exactly on the
+    boundaries this sampler is loose about — use the parity-exact kernel
+    :func:`repro.kernels.weyl_coordinates_many` instead.
     """
     from .gates import MAGIC_BASIS  # local import avoids a cycle
 

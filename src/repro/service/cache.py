@@ -15,6 +15,15 @@ classes thousands of times across trials, workloads, and runs.
   (``REPRO_DECOMP_CACHE_DIR`` overrides, mirroring the coverage cache's
   ``REPRO_CACHE_DIR``).
 
+Basis translation batches its traffic per circuit through
+:meth:`DecompositionCache.lookup_many`: keys are quantized up front for
+the whole coordinate stack, memory hits answer immediately, the
+remaining keys go to disk in one ``IN (...)`` query, and freshly
+computed templates land in a single write transaction — instead of one
+round-trip and one transaction per gate.  Pulse durations persist as
+``float.hex()`` text, an exact, locale-independent round-trip format
+(legacy ``repr``-formatted rows still parse).
+
 Keys quantize coordinates on a grid two orders of magnitude finer than
 the rule engines' classification tolerance (1e-6).  Two coordinates
 share a bucket only when they differ by < 1e-8 — far inside the band
@@ -33,7 +42,7 @@ from __future__ import annotations
 import os
 import sqlite3
 from collections import OrderedDict
-from collections.abc import Callable
+from collections.abc import Callable, Sequence
 from dataclasses import dataclass
 from pathlib import Path
 
@@ -45,6 +54,31 @@ __all__ = ["CacheStats", "DecompositionCache", "default_decomp_cache_dir"]
 
 #: Quantization grid for cache keys (finer than the 1e-6 rule tolerance).
 _KEY_DECIMALS = 8
+
+#: Keys per ``IN (...)`` clause; sqlite's default variable limit is 999.
+_SQL_CHUNK = 400
+
+
+def _serialize_pulses(pulses: tuple[float, ...]) -> str:
+    """Exact, stable text form of a pulse tuple (``float.hex`` joined)."""
+    return ",".join(float(p).hex() for p in pulses)
+
+
+def _parse_pulses(text: str) -> tuple[float, ...]:
+    """Inverse of :func:`_serialize_pulses`; accepts legacy ``repr`` rows.
+
+    ``float.hex`` output always carries an ``x`` (pulses are finite);
+    decimal-formatted rows written by older stores never do, so the two
+    formats are unambiguous.
+    """
+    values = []
+    for token in text.split(","):
+        if not token:
+            continue
+        values.append(
+            float.fromhex(token) if "x" in token else float(token)
+        )
+    return tuple(values)
 
 
 def default_decomp_cache_dir() -> Path:
@@ -137,6 +171,18 @@ class DecompositionCache:
             f"|{c[1]:.{_KEY_DECIMALS}f}|{c[2]:.{_KEY_DECIMALS}f}"
         )
 
+    @staticmethod
+    def keys_for(rules_token: str, coords: np.ndarray) -> list[str]:
+        """Batched :meth:`key_for`: quantize a whole stack up front."""
+        c = np.round(np.atleast_2d(np.asarray(coords, dtype=float)),
+                     _KEY_DECIMALS)
+        c = c + 0.0
+        return [
+            f"{rules_token}|{row[0]:.{_KEY_DECIMALS}f}"
+            f"|{row[1]:.{_KEY_DECIMALS}f}|{row[2]:.{_KEY_DECIMALS}f}"
+            for row in c
+        ]
+
     # -- sqlite backend ------------------------------------------------------
 
     def _connection(self) -> sqlite3.Connection | None:
@@ -204,10 +250,9 @@ class DecompositionCache:
                 row = None
             if row is not None:
                 pulses_text, layer_count, description = row
-                pulses = tuple(
-                    float(p) for p in pulses_text.split(",") if p
+                spec = TemplateSpec(
+                    _parse_pulses(pulses_text), int(layer_count), description
                 )
-                spec = TemplateSpec(pulses, int(layer_count), description)
                 self._remember(key, spec)
                 self.stats.disk_hits += 1
                 return spec
@@ -218,20 +263,69 @@ class DecompositionCache:
         self, rules_token: str, coords: np.ndarray, spec: TemplateSpec
     ) -> None:
         """Store a template under its coordinate-class key."""
-        key = self.key_for(rules_token, coords)
-        self._remember(key, spec)
-        self.stats.puts += 1
+        self._put_rows([(self.key_for(rules_token, coords), spec)])
+
+    def put_many(
+        self,
+        rules_token: str,
+        coords: np.ndarray,
+        specs: Sequence[TemplateSpec],
+    ) -> None:
+        """Store one template per coordinate row in a single transaction."""
+        coords = np.atleast_2d(np.asarray(coords, dtype=float))
+        if len(coords) != len(specs):
+            raise ValueError("one spec per coordinate row required")
+        keys = self.keys_for(rules_token, coords)
+        self._put_rows(list(zip(keys, specs)))
+
+    def _put_rows(self, rows: list[tuple[str, TemplateSpec]]) -> None:
+        """Remember and persist (key, spec) pairs; one write transaction."""
+        if not rows:
+            return
+        for key, spec in rows:
+            self._remember(key, spec)
+            self.stats.puts += 1
         conn = self._connection()
         if conn is not None:
-            pulses_text = ",".join(repr(float(p)) for p in spec.pulses)
             try:
-                conn.execute(
+                conn.executemany(
                     "INSERT OR REPLACE INTO templates VALUES (?, ?, ?, ?)",
-                    (key, pulses_text, spec.layer_count, spec.description),
+                    [
+                        (
+                            key,
+                            _serialize_pulses(spec.pulses),
+                            spec.layer_count,
+                            spec.description,
+                        )
+                        for key, spec in rows
+                    ],
                 )
                 conn.commit()
             except sqlite3.Error:
                 pass  # A lost write is only a future miss.
+
+    def _select_rows(self, keys: list[str]) -> dict[str, TemplateSpec]:
+        """One chunked ``IN (...)`` query over the persistent store."""
+        conn = self._connection()
+        if conn is None or not keys:
+            return {}
+        found: dict[str, TemplateSpec] = {}
+        for start in range(0, len(keys), _SQL_CHUNK):
+            chunk = keys[start : start + _SQL_CHUNK]
+            placeholders = ",".join("?" * len(chunk))
+            try:
+                rows = conn.execute(
+                    "SELECT key, pulses, layer_count, description "
+                    f"FROM templates WHERE key IN ({placeholders})",
+                    chunk,
+                ).fetchall()
+            except sqlite3.Error:
+                return found
+            for key, pulses_text, layer_count, description in rows:
+                found[key] = TemplateSpec(
+                    _parse_pulses(pulses_text), int(layer_count), description
+                )
+        return found
 
     def lookup(
         self,
@@ -239,16 +333,79 @@ class DecompositionCache:
         coords: np.ndarray,
         factory: Callable[[], TemplateSpec],
     ) -> TemplateSpec:
-        """Return the cached template, computing and storing on miss.
-
-        This is the hook :func:`repro.transpiler.basis.translate_to_basis`
-        calls per 2Q block.
-        """
+        """Return the cached template, computing and storing on miss."""
         spec = self.get(rules_token, coords)
         if spec is None:
             spec = factory()
             self.put(rules_token, coords, spec)
         return spec
+
+    def lookup_many(
+        self,
+        rules_token: str,
+        coords: np.ndarray,
+        factory_many: Callable[[np.ndarray], Sequence[TemplateSpec]],
+    ) -> list[TemplateSpec]:
+        """Batched :meth:`lookup` over stacked coordinate rows.
+
+        This is the hook :func:`repro.transpiler.basis.translate_to_basis`
+        calls once per circuit.  All keys are quantized up front; memory
+        hits answer vectorized, the remaining unique keys go to disk in
+        one ``IN (...)`` query, and only the still-missing unique
+        coordinate classes reach ``factory_many`` — whose results are
+        persisted in a single write transaction.  Hit/miss accounting
+        matches the equivalent scalar :meth:`lookup` sequence — repeated
+        keys within one batch count as memory hits after their first
+        occurrence — provided the batch's unique keys fit the memory
+        tier (they always do in practice: circuits carry far fewer
+        coordinate classes than the default 4096-entry front).  A batch
+        overflowing it still returns correct specs, but duplicates are
+        credited as memory hits even though the scalar sequence would
+        have evicted and re-fetched them.
+        """
+        coords = np.atleast_2d(np.asarray(coords, dtype=float))
+        keys = self.keys_for(rules_token, coords)
+        results: list[TemplateSpec | None] = [None] * len(keys)
+        pending: dict[str, list[int]] = {}
+        for index, key in enumerate(keys):
+            spec = self._memory.get(key)
+            if spec is not None and key not in pending:
+                self._memory.move_to_end(key)
+                self.stats.memory_hits += 1
+                results[index] = spec
+                continue
+            pending.setdefault(key, []).append(index)
+        if not pending:
+            return results  # type: ignore[return-value]
+        disk = self._select_rows(list(pending))
+        missing_keys = []
+        for key, indices in pending.items():
+            spec = disk.get(key)
+            if spec is None:
+                missing_keys.append(key)
+                continue
+            self._remember(key, spec)
+            self.stats.disk_hits += 1
+            self.stats.memory_hits += len(indices) - 1
+            for index in indices:
+                results[index] = spec
+        if missing_keys:
+            rows = np.stack(
+                [coords[pending[key][0]] for key in missing_keys]
+            )
+            computed = factory_many(rows)
+            if len(computed) != len(missing_keys):
+                raise ValueError(
+                    "factory returned a wrong-length template sequence"
+                )
+            self.stats.misses += len(missing_keys)
+            self._put_rows(list(zip(missing_keys, computed)))
+            for key, spec in zip(missing_keys, computed):
+                indices = pending[key]
+                self.stats.memory_hits += len(indices) - 1
+                for index in indices:
+                    results[index] = spec
+        return results  # type: ignore[return-value]
 
     # -- introspection -------------------------------------------------------
 

@@ -24,14 +24,14 @@ registry instead of re-declaring tuples that could drift.
 **Migration note (``coupling`` -> ``target``).**  Jobs used to carry a
 ``coupling: (rows, cols)`` square-lattice tuple; they now name a
 :class:`~repro.targets.model.HardwareTarget` from the target registry
-(``target="snail_4x4"`` by default — the paper's device).  A
-deprecation shim keeps old callers and archived job files working:
-``CompileJob(coupling=(R, C))`` and payloads containing a ``coupling``
-key map onto the dynamically resolved ``square_RxC`` target (now via
-the embedded :class:`CompilerConfig`) and emit a
-:class:`DeprecationWarning`.  The shim is scheduled for removal two PRs
-after its introduction (PR 2), i.e. any PR from PR 4 on may delete it;
-until then new code must pass ``target=`` and never both fields.
+(``target="snail_4x4"`` by default — the paper's device).  The
+deprecation shim that mapped ``coupling=(R, C)`` onto the dynamically
+resolved ``square_RxC`` target was removed at the end of its announced
+window (introduced PR 2, removal scheduled >= PR 4): the constructor no
+longer accepts ``coupling``, and :meth:`CompileJob.from_dict` raises a
+:class:`ValueError` naming the replacement when an archived payload
+still carries the key.  Re-archive such payloads with
+``target="square_RxC"``.
 """
 
 from __future__ import annotations
@@ -39,7 +39,6 @@ from __future__ import annotations
 import hashlib
 import json
 import math
-import warnings
 from dataclasses import InitVar, asdict, dataclass, field, fields, replace
 
 from ..circuits.circuit import QuantumCircuit
@@ -113,9 +112,6 @@ class CompileJob:
     selection: InitVar[str | None] = None
     target: InitVar[str | None] = None
     pipeline: InitVar[str | None] = None
-    #: Deprecated constructor-only alias: a (rows, cols) square lattice,
-    #: mapped onto the ``square_RxC`` dynamic target.  Remove >= PR 4.
-    coupling: InitVar[tuple[int, int] | None] = None
 
     def __post_init__(
         self,
@@ -125,27 +121,7 @@ class CompileJob:
         selection: str | None,
         target: str | None,
         pipeline: str | None,
-        coupling: tuple[int, int] | None,
     ) -> None:
-        if coupling is not None:
-            explicit_target = target is not None or (
-                self.config is not None
-                and self.config.target != DEFAULT_TARGET
-            )
-            if explicit_target:
-                raise ValueError(
-                    "pass either target= or the deprecated coupling=, "
-                    "not both"
-                )
-            warnings.warn(
-                "CompileJob(coupling=(rows, cols)) is deprecated; pass "
-                "target='square_RxC' (or a named preset) instead.  The "
-                "shim will be removed from PR 4 on.",
-                DeprecationWarning,
-                stacklevel=3,
-            )
-            rows, cols = coupling
-            target = f"square_{rows}x{cols}"
         if self.config is None:
             config = CompilerConfig(
                 pipeline=pipeline if pipeline is not None else "noise_aware",
@@ -222,14 +198,25 @@ class CompileJob:
         """Inverse of :meth:`to_dict`.
 
         Also accepts flat pre-config payloads (top-level ``rules``/
-        ``trials``/``scheduler``/``selection``/``target`` keys) and
-        pre-target payloads carrying a ``coupling`` list; the latter go
-        through the deprecation shim (warning included).
+        ``trials``/``scheduler``/``selection``/``target`` keys).
+        Pre-target payloads carrying a ``coupling`` list are no longer
+        shimmed (removal window >= PR 4, see the module docstring);
+        they raise a :class:`ValueError` naming the replacement.
         """
         payload = dict(payload)
-        legacy = payload.pop("coupling", None)
-        if legacy is not None:
-            payload["coupling"] = tuple(legacy)
+        if "coupling" in payload:
+            rows_cols = payload["coupling"]
+            hint = (
+                f"'square_{rows_cols[0]}x{rows_cols[1]}'"
+                if isinstance(rows_cols, (list, tuple))
+                and len(rows_cols) == 2
+                else "'square_RxC'"
+            )
+            raise ValueError(
+                "CompileJob payloads no longer support 'coupling' "
+                f"(shim removed; was deprecated since PR 2): pass "
+                f"target={hint} instead"
+            )
         config = payload.pop("config", None)
         if config is not None:
             payload["config"] = CompilerConfig.from_dict(config)

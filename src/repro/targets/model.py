@@ -91,18 +91,36 @@ class ScaledRules:
         """Base engine token extended with the speed-limit scale."""
         return f"{self.base.cache_token}|slf{self.scale!r}"
 
-    def template_for(self, coords: np.ndarray) -> TemplateSpec:
-        """Base template with every pulse stretched by the scale."""
-        spec = self.base.template_for(coords)
+    def _scaled(self, spec: TemplateSpec) -> TemplateSpec:
         return TemplateSpec(
             tuple(pulse * self.scale for pulse in spec.pulses),
             spec.layer_count,
             f"{spec.description} (slf x{self.scale:g})",
         )
 
+    def template_for(self, coords: np.ndarray) -> TemplateSpec:
+        """Base template with every pulse stretched by the scale."""
+        return self._scaled(self.base.template_for(coords))
+
+    def templates_for_many(self, coords: np.ndarray) -> list[TemplateSpec]:
+        """Batched :meth:`template_for` riding the base engine's kernel."""
+        return [
+            self._scaled(spec)
+            for spec in self.base.templates_for_many(coords)
+        ]
+
     def duration(self, coords: np.ndarray) -> float:
         """Total scaled decomposition duration for a target class."""
         return self.template_for(coords).duration(self.one_q_duration)
+
+    def durations_many(self, coords: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`duration` over stacked coordinate rows."""
+        return np.array(
+            [
+                spec.duration(self.one_q_duration)
+                for spec in self.templates_for_many(coords)
+            ]
+        )
 
 
 def _normalize_edge(edge) -> tuple[int, int]:

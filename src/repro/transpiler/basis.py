@@ -11,10 +11,12 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
+import numpy as np
+
 from ..circuits.circuit import QuantumCircuit
 from ..circuits.gate import Gate
-from ..core.decomposition_rules import DecompositionRules
-from ..quantum.weyl import weyl_coordinates
+from ..core.decomposition_rules import DecompositionRules, TemplateSpec
+from ..kernels.weyl_batch import weyl_coordinates_many
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from ..service.cache import DecompositionCache
@@ -43,24 +45,44 @@ def translate_to_basis(
     processes, and runs; templates are pure functions of the
     (rules, coordinates) key, so cached runs are bit-identical to
     uncached ones.
+
+    The hot path is batched per circuit, not per gate: all 2Q block
+    matrices are stacked and classified with one
+    :func:`repro.kernels.weyl_coordinates_many` call, templated with one
+    :meth:`~repro.core.decomposition_rules.DecompositionRules.templates_for_many`
+    (or, with a cache, one
+    :meth:`~repro.service.cache.DecompositionCache.lookup_many` — a
+    single disk round-trip and one write transaction per circuit).
+    Both kernels are bit-identical to their scalar counterparts, so the
+    emitted circuit matches the historical gate-at-a-time path exactly.
     """
     out = QuantumCircuit(circuit.num_qubits, f"{circuit.name}_{rules.name}")
     one_q = rules.one_q_duration
-    for gate in circuit:
+    gates = list(circuit)
+    matrices = []
+    for gate in gates:
         if gate.num_qubits == 1:
-            out.append(Gate("u1q", gate.qubits, duration=one_q))
             continue
         if gate.num_qubits != 2:
             raise ValueError(
                 f"basis translation expects 1Q/2Q gates, got {gate.name}"
             )
-        coords = weyl_coordinates(gate.to_matrix())
+        matrices.append(np.asarray(gate.to_matrix(), dtype=complex))
+    specs: list[TemplateSpec] = []
+    if matrices:
+        coords = weyl_coordinates_many(np.stack(matrices))
         if cache is None:
-            spec = rules.template_for(coords)
+            specs = rules.templates_for_many(coords)
         else:
-            spec = cache.lookup(
-                rules.cache_token, coords, lambda: rules.template_for(coords)
+            specs = cache.lookup_many(
+                rules.cache_token, coords, rules.templates_for_many
             )
+    next_spec = iter(specs)
+    for gate in gates:
+        if gate.num_qubits == 1:
+            out.append(Gate("u1q", gate.qubits, duration=one_q))
+            continue
+        spec = next(next_spec)
         if spec.k == 0:
             # Identity-class block: it is purely local.
             if spec.layer_count:

@@ -50,6 +50,18 @@ def merge_1q_runs(circuit: QuantumCircuit) -> QuantumCircuit:
     return out
 
 
+#: Constants hoisted off the consolidation hot path (absorb() runs once
+#: per gate of every trial circuit).  The embeddings keep using np.kron
+#: itself: its zero entries carry data-dependent signed zeros
+#: (``m[i][j] * 0.0``), and downstream eigensolver branches may be
+#: sensitive to them, so a hand-rolled assembly would not be bit-safe.
+_SWAP = np.array(
+    [[1, 0, 0, 0], [0, 0, 1, 0], [0, 1, 0, 0], [0, 0, 0, 1]],
+    dtype=complex,
+)
+_I2 = np.eye(2)
+
+
 class _Block:
     """An open 2Q block being accumulated."""
 
@@ -63,18 +75,14 @@ class _Block:
         if gate.num_qubits == 1:
             position = self.pair.index(gate.qubits[0])
             embedded = (
-                np.kron(matrix, np.eye(2)) if position == 0
-                else np.kron(np.eye(2), matrix)
+                np.kron(matrix, _I2) if position == 0
+                else np.kron(_I2, matrix)
             )
         else:
             if gate.qubits == self.pair:
                 embedded = matrix
             else:  # reversed orientation: conjugate by SWAP
-                swap = np.array(
-                    [[1, 0, 0, 0], [0, 0, 1, 0], [0, 1, 0, 0], [0, 0, 0, 1]],
-                    dtype=complex,
-                )
-                embedded = swap @ matrix @ swap
+                embedded = _SWAP @ matrix @ _SWAP
             self.two_qubit_count += 1
         self.matrix = embedded @ self.matrix
 

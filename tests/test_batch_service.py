@@ -157,41 +157,14 @@ class TestJobRoundTrip:
         assert job.label == "qft-8q-parallel"
 
 
-class TestCouplingShim:
-    """coupling=(rows, cols) -> target='square_RxC' until >= PR 4."""
+class TestCouplingShimRemoved:
+    """The coupling=(rows, cols) shim is gone (removal window >= PR 4)."""
 
-    def test_constructor_shim_warns_and_maps(self):
-        with pytest.warns(DeprecationWarning, match="coupling"):
-            job = CompileJob(workload="ghz", num_qubits=8, coupling=(2, 4))
-        assert job.target == "square_2x4"
-        assert job == CompileJob(
-            workload="ghz", num_qubits=8, target="square_2x4"
-        )
-        assert "coupling" not in job.to_dict()
+    def test_constructor_rejects_coupling(self):
+        with pytest.raises(TypeError, match="coupling"):
+            CompileJob(workload="ghz", num_qubits=8, coupling=(2, 4))
 
-    def test_shim_maps_through_compiler_config(self):
-        """The legacy tuple lands on the embedded CompilerConfig: the
-        shim survives the pass-manager redesign unchanged (removal
-        window still opens at PR 4)."""
-        from repro.targets import get_target
-        from repro.transpiler.compiler import CompilerConfig
-
-        with pytest.warns(DeprecationWarning, match="coupling"):
-            job = CompileJob(workload="ghz", num_qubits=8, coupling=(2, 4))
-        assert isinstance(job.config, CompilerConfig)
-        assert job.config.target == "square_2x4"
-        assert job.to_dict()["config"]["target"] == "square_2x4"
-        assert get_target(job.config.target).num_qubits == 8
-        # An explicit config with a non-default target still conflicts.
-        with pytest.raises(ValueError, match="not both"):
-            CompileJob(
-                workload="ghz",
-                num_qubits=8,
-                config=CompilerConfig(target="line_16"),
-                coupling=(2, 4),
-            )
-
-    def test_legacy_payload_deserializes_with_warning(self):
+    def test_legacy_payload_raises_with_migration_hint(self):
         legacy = {
             "workload": "qft",
             "num_qubits": 8,
@@ -202,27 +175,22 @@ class TestCouplingShim:
             "workload_seed": 11,
             "tag": "unit",
         }
-        with pytest.warns(DeprecationWarning, match="coupling"):
-            job = CompileJob.from_dict(legacy)
+        with pytest.raises(ValueError, match="square_2x4"):
+            CompileJob.from_dict(legacy)
+        # The replacement payload loads and resolves the same lattice.
+        legacy.pop("coupling")
+        legacy["target"] = "square_2x4"
+        job = CompileJob.from_dict(legacy)
         assert job.target == "square_2x4"
-        assert job.scheduler == "alap"  # new field takes its default
-        assert CompileJob.from_json(job.to_json()) == job
+        assert get_target(job.target).num_qubits == 8
 
-    def test_both_fields_rejected(self):
-        with pytest.raises(ValueError, match="not both"):
-            CompileJob(
-                workload="ghz",
-                num_qubits=8,
-                target="line_16",
-                coupling=(2, 4),
+    def test_malformed_coupling_payload_still_names_replacement(self):
+        with pytest.raises(ValueError, match="square_RxC"):
+            CompileJob.from_dict(
+                {"workload": "ghz", "coupling": "not-a-pair"}
             )
 
-    def test_legacy_lattice_too_small(self):
-        with pytest.warns(DeprecationWarning):
-            with pytest.raises(ValueError, match="too small"):
-                CompileJob(workload="ghz", num_qubits=16, coupling=(2, 2))
-
-    def test_pre_target_result_payload_loads(self):
+    def test_pre_target_result_payload_raises(self):
         legacy = {
             "job": {
                 "workload": "ghz",
@@ -245,10 +213,8 @@ class TestCouplingShim:
             "attempts": 1,
             "error": None,
         }
-        with pytest.warns(DeprecationWarning):
-            result = CompileResult.from_dict(legacy)
-        assert result.job.target == "square_2x2"
-        assert math.isnan(result.estimated_fidelity)
+        with pytest.raises(ValueError, match="coupling"):
+            CompileResult.from_dict(legacy)
 
 
 class TestDecompositionCache:

@@ -134,15 +134,16 @@ class TestBatchTarget:
         ]) == 2
         assert "unknown pipeline" in capsys.readouterr().err
 
-    def test_deprecated_coupling_flag_maps_to_target(self, capsys):
-        assert main([
-            "batch", "--workloads", "ghz", "--rules", "parallel",
-            "--qubits", "4", "--coupling", "2", "2", "--trials", "1",
-            "--workers", "1", "--no-cache",
-        ]) == 0
-        captured = capsys.readouterr()
-        assert "--coupling is deprecated" in captured.err
-        assert "square_2x2" in captured.out
+    def test_coupling_flag_removed(self, capsys):
+        """The deprecated --coupling shim is gone; argparse rejects it."""
+        with pytest.raises(SystemExit) as excinfo:
+            main([
+                "batch", "--workloads", "ghz", "--rules", "parallel",
+                "--qubits", "4", "--coupling", "2", "2", "--trials", "1",
+                "--workers", "1", "--no-cache",
+            ])
+        assert excinfo.value.code == 2
+        assert "--coupling" in capsys.readouterr().err
 
 
 @pytest.mark.slow

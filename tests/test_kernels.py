@@ -1,0 +1,526 @@
+"""Tests for the batched numerics kernels (repro.kernels + cache batch ops).
+
+The contract under test everywhere: batched evaluation is *exactly*
+equivalent to the scalar loop it replaces — bit-identical coordinates,
+identical template objects, identical membership verdicts — including on
+the degenerate/boundary cases (CNOT, SWAP, iSWAP, the base-plane epsilon
+band) where vectorized shortcuts usually diverge.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.coverage import (
+    CoverageSet,
+    KCoverage,
+    RegionHull,
+    build_coverage_set,
+)
+from repro.core.decomposition_rules import (
+    BASIS_DRIVE_ANGLES,
+    BaselineSqrtISwapRules,
+    ParallelSqrtISwapRules,
+    TemplateSpec,
+)
+from repro.kernels import (
+    canonicalize_coordinates_many,
+    first_covering_k,
+    membership_matrix,
+    weyl_coordinates_many,
+)
+from repro.quantum import gates
+from repro.quantum.random import haar_unitaries_batch, random_local_pair
+from repro.quantum.weyl import canonicalize_coordinates, weyl_coordinates
+from repro.service.cache import DecompositionCache
+
+_HALF_PI = np.pi / 2
+
+_NAMED = (
+    np.eye(4, dtype=complex),
+    gates.CNOT,
+    gates.CZ,
+    gates.SWAP,
+    gates.ISWAP,
+    gates.DCNOT,
+    gates.SQRT_ISWAP,
+    gates.SQRT_CNOT,
+    gates.B_GATE,
+    gates.SQRT_B,
+)
+
+
+def _mixed_unitaries(count: int = 200, seed: int = 11) -> np.ndarray:
+    """Haar samples plus named/degenerate gates, raw and locally dressed."""
+    rng = np.random.default_rng(seed)
+    dressed = [
+        random_local_pair(rng) @ np.asarray(g, complex) @ random_local_pair(rng)
+        for g in _NAMED
+    ]
+    return np.concatenate(
+        [
+            haar_unitaries_batch(4, count, seed=rng),
+            np.stack([np.asarray(g, complex) for g in _NAMED]),
+            np.stack(dressed),
+        ]
+    )
+
+
+class TestWeylKernel:
+    def test_bitwise_parity_with_scalar(self):
+        batch = _mixed_unitaries()
+        batched = weyl_coordinates_many(batch)
+        scalar = np.array([weyl_coordinates(u) for u in batch])
+        assert np.array_equal(batched, scalar)
+
+    def test_degenerate_named_gates_exact(self):
+        """CNOT/SWAP/iSWAP sit on classification boundaries; the batched
+        fold must land on the exact canonical points."""
+        batch = np.stack(
+            [np.asarray(g, complex) for g in (gates.CNOT, gates.SWAP,
+                                              gates.ISWAP, gates.SQRT_ISWAP)]
+        )
+        coords = weyl_coordinates_many(batch)
+        expected = np.array(
+            [
+                [_HALF_PI, 0.0, 0.0],
+                [_HALF_PI, _HALF_PI, _HALF_PI],
+                [_HALF_PI, _HALF_PI, 0.0],
+                [np.pi / 4, np.pi / 4, 0.0],
+            ]
+        )
+        assert np.allclose(coords, expected, atol=1e-7)
+
+    def test_scalar_is_batch_of_one(self):
+        batch = _mixed_unitaries(count=16, seed=3)
+        for unitary in batch:
+            assert np.array_equal(
+                weyl_coordinates(unitary), weyl_coordinates_many(
+                    unitary[None]
+                )[0],
+            )
+
+    def test_batch_invariance_under_permutation(self):
+        batch = _mixed_unitaries(count=64, seed=8)
+        coords = weyl_coordinates_many(batch)
+        perm = np.random.default_rng(0).permutation(len(batch))
+        assert np.array_equal(coords[perm], weyl_coordinates_many(batch[perm]))
+
+    def test_empty_stack(self):
+        assert weyl_coordinates_many(np.zeros((0, 4, 4))).shape == (0, 3)
+
+    def test_rejects_bad_shape_and_nonunitary(self):
+        with pytest.raises(ValueError, match="stack"):
+            weyl_coordinates_many(np.eye(4))
+        bad = np.stack([np.eye(4, dtype=complex), np.ones((4, 4), complex)])
+        with pytest.raises(ValueError, match="not unitary"):
+            weyl_coordinates_many(bad)
+
+    def test_canonicalize_many_matches_scalar(self, rng):
+        raw = rng.uniform(-3 * np.pi, 3 * np.pi, size=(500, 3))
+        boundary = np.array(
+            [
+                [_HALF_PI, _HALF_PI, _HALF_PI],
+                [np.pi, 0.0, 0.0],
+                [3 * np.pi / 4, np.pi / 4, np.pi / 4],
+                [_HALF_PI + 1e-10, 1e-10, -1e-10],
+                [_HALF_PI + 5e-9, 1e-9, 1e-9],
+            ]
+        )
+        raw = np.vstack([raw, boundary])
+        batched = canonicalize_coordinates_many(raw)
+        scalar = np.array([canonicalize_coordinates(r) for r in raw])
+        assert np.array_equal(batched, scalar)
+
+    def test_canonicalize_rejects_bad_shape(self):
+        with pytest.raises(ValueError):
+            canonicalize_coordinates_many(np.zeros((4, 2)))
+
+
+class TestMembershipKernels:
+    def test_membership_matrix_matches_per_region(self, rng):
+        regions = [
+            RegionHull(rng.uniform(0, 1, size=(60, 3))) for _ in range(3)
+        ]
+        queries = rng.uniform(-0.2, 1.2, size=(40, 3))
+        matrix = membership_matrix(regions, queries)
+        assert matrix.shape == (3, 40)
+        for row, region in zip(matrix, regions):
+            assert np.array_equal(row, region.contains(queries))
+
+    def test_membership_matrix_empty_regions(self):
+        assert membership_matrix([], np.zeros((5, 3))).shape == (0, 5)
+
+    def test_first_covering_k_matches_min_k(self, baseline_rules):
+        coverage = baseline_rules.coverage
+        pts = np.vstack(
+            [
+                np.random.default_rng(4).uniform(0, _HALF_PI, size=(50, 3)),
+                [[np.pi / 4, 0.0, 0.0], [_HALF_PI, 0.0, 0.0]],
+            ]
+        )
+        ks = first_covering_k(coverage.coverages, pts)
+        assert np.array_equal(ks, coverage.min_k(pts))
+        singles = np.array([coverage.min_k(p)[0] for p in pts])
+        assert np.array_equal(ks, singles)
+
+    def test_batched_contains_equals_solo_on_hull_boundary(
+        self, baseline_rules
+    ):
+        """Landmarks on coverage-hull facets must classify identically
+        whether queried alone or inside a larger batch."""
+        region = baseline_rules.coverage.coverage_for(2)
+        landmarks = np.array(
+            [
+                [np.pi / 4, 0.0, 0.0],  # sqrt(CNOT), on the CX-ray facet
+                [_HALF_PI, 0.0, 0.0],  # CNOT
+                [1.5e-6, 0.4e-6, 0.0],  # identity-corner facet
+            ]
+        )
+        filler = np.random.default_rng(9).uniform(0, 1.2, size=(30, 3))
+        batch = np.vstack([filler, landmarks, filler[::-1]])
+        batched = region.contains(batch)
+        for offset, point in enumerate(landmarks):
+            solo = region.contains(point)[0]
+            assert batched[len(filler) + offset] == solo
+
+
+class TestISwapK2BasePlaneBand:
+    """Batched membership on the degenerate iSWAP K=2 base-plane region.
+
+    The region is planar (rank 2), so membership combines in-plane hull
+    tests with an off-subspace displacement tolerance.  PR 2 fixed the
+    1e-8/1e-9 epsilon mismatch between ``canonicalize`` and
+    ``in_weyl_chamber`` on exactly this band; these tests pin that the
+    vectorized path resolves the band identically to per-point calls.
+    """
+
+    @pytest.fixture(scope="class")
+    def iswap_k2(self) -> CoverageSet:
+        theta_c, theta_g = BASIS_DRIVE_ANGLES["iSWAP"]
+        duration = (theta_c + theta_g) / _HALF_PI
+        return build_coverage_set(
+            gc=theta_c / duration,
+            gg=theta_g / duration,
+            pulse_duration=duration,
+            kmax=2,
+            basis_name="iSWAP",
+            samples_per_k=250,
+            boost_targets=False,
+            seed=5,
+            cache=False,
+        )
+
+    def test_k2_region_is_degenerate_plane(self, iswap_k2):
+        region = iswap_k2.coverage_for(2)
+        assert region.left.rank == 2
+        assert not region.left.is_full_dimensional
+
+    def test_band_membership_batched_equals_per_point(self, iswap_k2):
+        region = iswap_k2.coverage_for(2)
+        base = np.array(
+            [
+                [np.pi / 4, np.pi / 8, 0.0],
+                [np.pi / 3, np.pi / 6, 0.0],
+                [_HALF_PI, np.pi / 4, 0.0],
+            ]
+        )
+        # Displace off the base plane by the PR 2 epsilon band (1e-9,
+        # 1e-8), well inside the hull's off-subspace tolerance, and by
+        # 1e-3, well outside it.
+        probes = [base]
+        for epsilon in (1e-9, 1e-8, 1e-3):
+            shifted = np.array(base)
+            shifted[:, 2] = epsilon
+            probes.append(shifted)
+        probes = np.vstack(probes)
+        batched = region.contains(probes)
+        singles = np.array([region.contains(p)[0] for p in probes])
+        assert np.array_equal(batched, singles)
+        # The band displacements are members iff the on-plane point is;
+        # the 1e-3 displacement never is.
+        on_plane = batched[:3]
+        assert np.array_equal(batched[3:6], on_plane)
+        assert np.array_equal(batched[6:9], on_plane)
+        assert not batched[9:].any()
+
+    def test_min_k_with_band_points_matches_per_point(self, iswap_k2):
+        rng = np.random.default_rng(12)
+        pts = np.vstack(
+            [
+                rng.uniform(0, _HALF_PI, size=(40, 3)),
+                [[np.pi / 3, np.pi / 6, 1e-9], [np.pi / 3, np.pi / 6, 1e-8]],
+            ]
+        )
+        batched = iswap_k2.min_k(pts)
+        singles = np.array([iswap_k2.min_k(p)[0] for p in pts])
+        assert np.array_equal(batched, singles)
+
+    def test_epsilon_band_coordinates_extract_identically(self):
+        """Unitaries whose coordinates sit in the base-plane epsilon
+        band fold identically through the batched and scalar paths."""
+        band = np.array(
+            [
+                [_HALF_PI - 1e-9, np.pi / 4, 1e-9],
+                [_HALF_PI - 1e-8, np.pi / 4, 1e-8],
+                [_HALF_PI + 2e-9, np.pi / 8, 0.0],
+                [_HALF_PI + 2e-8, np.pi / 8, 0.0],
+            ]
+        )
+        batch = np.stack([gates.canonical_gate(*c) for c in band])
+        batched = weyl_coordinates_many(batch)
+        scalar = np.array([weyl_coordinates(u) for u in batch])
+        assert np.array_equal(batched, scalar)
+
+
+class TestBatchedTemplates:
+    def _probe_points(self) -> np.ndarray:
+        rng = np.random.default_rng(21)
+        named = np.array(
+            [
+                [0.0, 0.0, 0.0],
+                [_HALF_PI, 0.0, 0.0],
+                [_HALF_PI, _HALF_PI, 0.0],
+                [_HALF_PI, _HALF_PI, _HALF_PI],
+                [np.pi / 4, np.pi / 4, 0.0],
+                [np.pi / 4, 0.0, 0.0],
+                [np.pi / 8, 0.0, 0.0],
+                [_HALF_PI, np.pi / 4, 0.0],
+                [np.pi / 3, np.pi / 3, 0.0],
+                [1.2e-6, 0.9e-6, 0.0],  # iSWAP-vs-CX family ambiguity
+                [1.5e-6, 0.4e-6, 0.0],
+            ]
+        )
+        return np.vstack([rng.uniform(0, _HALF_PI, size=(80, 3)), named])
+
+    @pytest.mark.parametrize("engine", ["baseline", "parallel"])
+    def test_templates_for_many_matches_scalar(
+        self, engine, baseline_rules, parallel_rules
+    ):
+        rules = baseline_rules if engine == "baseline" else parallel_rules
+        pts = self._probe_points()
+        batched = rules.templates_for_many(pts)
+        scalar = [rules.template_for(c) for c in pts]
+        assert batched == scalar
+
+    def test_templates_for_many_empty(self, parallel_rules):
+        assert parallel_rules.templates_for_many(np.zeros((0, 3))) == []
+
+    def test_durations_many_matches_scalar(self, parallel_rules):
+        pts = self._probe_points()
+        batched = parallel_rules.durations_many(pts)
+        scalar = np.array([parallel_rules.duration(c) for c in pts])
+        assert np.array_equal(batched, scalar)
+
+    def test_scaled_rules_batch_parity(self, parallel_rules):
+        from repro.targets.model import ScaledRules
+
+        scaled = ScaledRules(parallel_rules, 0.75)
+        pts = self._probe_points()
+        assert scaled.templates_for_many(pts) == [
+            scaled.template_for(c) for c in pts
+        ]
+        assert np.array_equal(
+            scaled.durations_many(pts),
+            np.array([scaled.duration(c) for c in pts]),
+        )
+
+
+class TestCacheBatchOps:
+    COORDS = np.array(
+        [
+            [_HALF_PI, 0.0, 0.0],
+            [np.pi / 4, np.pi / 4, 0.0],
+            [_HALF_PI, 0.0, 0.0],  # duplicate of row 0
+            [0.3, 0.2, 0.1],
+        ]
+    )
+
+    @staticmethod
+    def _factory(coords: np.ndarray) -> list[TemplateSpec]:
+        return [
+            TemplateSpec((float(row[0]) + 0.5,), 2, f"spec {i}")
+            for i, row in enumerate(np.atleast_2d(coords))
+        ]
+
+    def test_keys_for_matches_key_for(self):
+        keys = DecompositionCache.keys_for("tok", self.COORDS)
+        assert keys == [
+            DecompositionCache.key_for("tok", row) for row in self.COORDS
+        ]
+
+    def test_lookup_many_computes_unique_misses_once(self, tmp_path):
+        cache = DecompositionCache(path=tmp_path / "t.sqlite")
+        calls = []
+
+        def factory(rows):
+            calls.append(len(rows))
+            return self._factory(rows)
+
+        specs = cache.lookup_many("tok", self.COORDS, factory)
+        assert len(specs) == 4
+        assert specs[0] == specs[2]  # duplicate rows share one template
+        assert calls == [3]  # three unique classes, one factory call
+        # Stats mirror the scalar sequence: 3 misses + 1 repeat hit.
+        assert cache.stats.misses == 3
+        assert cache.stats.memory_hits == 1
+        assert cache.stats.puts == 3
+        # Fully warm second pass: all memory hits, no factory calls.
+        again = cache.lookup_many("tok", self.COORDS, factory)
+        assert again == specs
+        assert calls == [3]
+        assert cache.stats.memory_hits == 5
+
+    def test_lookup_many_disk_hits_in_one_query(self, tmp_path):
+        path = tmp_path / "t.sqlite"
+        writer = DecompositionCache(path=path)
+        writer.lookup_many("tok", self.COORDS, self._factory)
+        writer.close()
+        reader = DecompositionCache(path=path)
+        specs = reader.lookup_many(
+            "tok", self.COORDS, lambda rows: pytest.fail("unexpected miss")
+        )
+        assert specs[0] == specs[2]
+        assert reader.stats.disk_hits == 3
+        assert reader.stats.memory_hits == 1
+        assert reader.stats.misses == 0
+
+    def test_lookup_many_matches_scalar_lookup_results(self, tmp_path):
+        batched = DecompositionCache(path=tmp_path / "a.sqlite")
+        scalar = DecompositionCache(path=tmp_path / "b.sqlite")
+        many = batched.lookup_many("tok", self.COORDS, self._factory)
+        ones = [
+            scalar.lookup(
+                "tok",
+                row,
+                lambda row=row: self._factory(row[None])[0],
+            )
+            for row in self.COORDS
+        ]
+        assert [spec.pulses for spec in many] == [
+            spec.pulses for spec in ones
+        ]
+        assert batched.stats.as_dict() == scalar.stats.as_dict()
+
+    def test_put_many_single_transaction_round_trips(self, tmp_path):
+        path = tmp_path / "t.sqlite"
+        cache = DecompositionCache(path=path)
+        coords = self.COORDS[[0, 1, 3]]
+        specs = self._factory(coords)
+        cache.put_many("tok", coords, specs)
+        assert cache.disk_entries() == 3
+        cache.close()
+        fresh = DecompositionCache(path=path)
+        for row, spec in zip(coords, specs):
+            assert fresh.get("tok", row) == spec
+
+    def test_put_many_length_mismatch(self):
+        cache = DecompositionCache(persistent=False)
+        with pytest.raises(ValueError, match="one spec per"):
+            cache.put_many("tok", self.COORDS[:2], self._factory(self.COORDS))
+
+    def test_wrong_length_factory_rejected(self, tmp_path):
+        cache = DecompositionCache(path=tmp_path / "t.sqlite")
+        with pytest.raises(ValueError, match="wrong-length"):
+            cache.lookup_many("tok", self.COORDS, lambda rows: [])
+
+    def test_disk_round_trip_preserves_pulses_exactly(self, tmp_path):
+        """Awkward floats survive the store bit-for-bit (hex format)."""
+        path = tmp_path / "t.sqlite"
+        cache = DecompositionCache(path=path)
+        pulses = (
+            0.1 + 0.2,  # classic non-representable sum
+            1.0 / 3.0,
+            np.nextafter(0.5, 1.0),
+            5e-324,  # smallest subnormal
+            0.25,
+        )
+        spec = TemplateSpec(pulses, 2, "exactness probe")
+        coords = np.array([0.123456789, 0.5, 0.25])
+        cache.put("tok", coords, spec)
+        cache.close()
+        fresh = DecompositionCache(path=path)
+        loaded = fresh.get("tok", coords)
+        assert loaded is not None
+        assert loaded.pulses == pulses
+        assert all(
+            a.hex() == float(b).hex() for a, b in zip(loaded.pulses, pulses)
+        )
+
+    def test_legacy_repr_rows_still_parse(self, tmp_path):
+        """Stores written before the hex format keep answering."""
+        path = tmp_path / "t.sqlite"
+        cache = DecompositionCache(path=path)
+        coords = np.array([0.5, 0.25, 0.0])
+        key = cache.key_for("tok", coords)
+        conn = cache._connection()
+        legacy_pulses = (0.5, 0.30000000000000004)
+        conn.execute(
+            "INSERT OR REPLACE INTO templates VALUES (?, ?, ?, ?)",
+            (key, ",".join(repr(p) for p in legacy_pulses), 3, "legacy row"),
+        )
+        conn.commit()
+        assert cache.get("tok", coords) == TemplateSpec(
+            legacy_pulses, 3, "legacy row"
+        )
+        specs = cache.lookup_many(
+            "tok",
+            coords[None],
+            lambda rows: pytest.fail("legacy row should hit"),
+        )
+        assert specs[0].pulses == legacy_pulses
+
+
+class TestTranslationBatchParity:
+    def test_translate_matches_gate_at_a_time(self, parallel_rules):
+        """The batched translate path emits byte-identical circuits to a
+        scalar reimplementation of the historical per-gate loop."""
+        from repro.circuits.workloads import get_workload
+        from repro.service.jobs import circuit_digest
+        from repro.transpiler.basis import translate_to_basis
+        from repro.transpiler.consolidate import collect_2q_blocks
+
+        circuit = collect_2q_blocks(get_workload("qft", 6, seed=11))
+        batched = translate_to_basis(circuit, parallel_rules)
+
+        # Scalar reference: per-gate classification and templating.
+        from repro.circuits.circuit import QuantumCircuit
+        from repro.circuits.gate import Gate
+
+        out = QuantumCircuit(
+            circuit.num_qubits, f"{circuit.name}_{parallel_rules.name}"
+        )
+        one_q = parallel_rules.one_q_duration
+        for gate in circuit:
+            if gate.num_qubits == 1:
+                out.append(Gate("u1q", gate.qubits, duration=one_q))
+                continue
+            coords = weyl_coordinates(gate.to_matrix())
+            spec = parallel_rules.template_for(coords)
+            if spec.k == 0:
+                if spec.layer_count:
+                    for qubit in gate.qubits:
+                        out.append(Gate("u1q", (qubit,), duration=one_q))
+                continue
+            interior = max(spec.layer_count - 2, 0)
+            if spec.layer_count >= 1:
+                for qubit in gate.qubits:
+                    out.append(Gate("u1q", (qubit,), duration=one_q))
+            for index, pulse in enumerate(spec.pulses):
+                out.append(
+                    Gate(
+                        "pulse2q",
+                        gate.qubits,
+                        params=(float(pulse),),
+                        duration=float(pulse),
+                    )
+                )
+                if index < len(spec.pulses) - 1 and interior > 0:
+                    for qubit in gate.qubits:
+                        out.append(Gate("u1q", (qubit,), duration=one_q))
+                    interior -= 1
+            if spec.layer_count >= 2:
+                for qubit in gate.qubits:
+                    out.append(Gate("u1q", (qubit,), duration=one_q))
+        assert circuit_digest(batched) == circuit_digest(out)

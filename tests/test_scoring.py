@@ -74,6 +74,25 @@ class TestFrequencyWeightedScore:
                 coords, np.array([0.0]), baseline_rules.duration
             )
 
+    def test_engine_prices_through_batched_durations(self, parallel_rules):
+        # Passing the engine itself takes the durations_many fast path;
+        # it must price identically to the scalar bound method.
+        coords = np.array(
+            [
+                named_gate_coordinates("CNOT"),
+                named_gate_coordinates("SWAP"),
+                named_gate_coordinates("iSWAP"),
+            ]
+        )
+        frequencies = np.array([731.0, 828.0, 150.0])
+        batched = frequency_weighted_score(
+            coords, frequencies, parallel_rules
+        )
+        scalar = frequency_weighted_score(
+            coords, frequencies, parallel_rules.duration
+        )
+        assert batched == scalar
+
     def test_parallel_rules_beat_baseline_on_fig3b_mix(
         self, baseline_rules, parallel_rules
     ):
