@@ -11,13 +11,18 @@ The package is organized bottom-up:
 * :mod:`repro.transpiler`— routing, consolidation, basis translation,
   and the decoherence fidelity model;
 * :mod:`repro.core`      — the paper's contribution: speed-limit
-  functions, coverage sets, parallel-drive synthesis, gate scoring, and
+  functions, coverage sets, parallel-drive templates, gate scoring, and
   decomposition rules;
+* :mod:`repro.synthesis` — the pluggable synthesis subsystem: the
+  :class:`~repro.synthesis.SynthesisBackend` protocol + registry and
+  the :class:`~repro.synthesis.SynthesisEngine` (sequential
+  digest-stable training plus batched multi-start);
 * :mod:`repro.targets`   — named hardware-target device models
   (topology + per-edge basis/speed-limit scaling + per-qubit T1/T2)
   and their preset registry;
 * :mod:`repro.service`   — the batch compilation service: a
-  multiprocessing job farm with a persistent decomposition cache;
+  multiprocessing job farm with persistent decomposition and
+  coverage stores;
 * :mod:`repro.experiments` — one driver per paper table/figure, plus
   the cross-target scenario sweep.
 

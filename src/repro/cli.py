@@ -12,6 +12,10 @@ Usage::
     python -m repro batch --suite smoke --target heavy_hex_16
     python -m repro batch --workloads ghz qft --rules both --json out.json
     python -m repro batch --suite smoke --pipeline paper --profile
+    python -m repro synth --list-backends
+    python -m repro synth CNOT --basis iSWAP --starts 16 --refine 2
+    python -m repro synth SWAP --backend fourier --repetitions 2
+    python -m repro synth --basis sqrt_iSWAP --coverage 2
 """
 
 from __future__ import annotations
@@ -209,6 +213,174 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     return 1 if store.failures() else 0
 
 
+def _parse_synth_target(tokens: list[str]):
+    """Resolve a CLI target: a named gate or three Weyl coordinates."""
+    import numpy as np
+
+    from .quantum.weyl import named_gate_coordinates
+
+    if len(tokens) == 1:
+        return named_gate_coordinates(tokens[0])
+    if len(tokens) == 3:
+        return np.array([float(token) for token in tokens])
+    raise ValueError(
+        "target must be one named gate (e.g. CNOT) or three Weyl "
+        "coordinates (e.g. 1.5708 0 0)"
+    )
+
+
+def _cmd_synth(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from .core.decomposition_rules import (
+        BASIS_DRIVE_ANGLES,
+        canonical_basis_name,
+    )
+    from .synthesis import (
+        SynthesisEngine,
+        backend_description,
+        list_backends,
+    )
+
+    if args.list_backends:
+        print("registered synthesis backends:")
+        for name in list_backends():
+            print(f"  {name:12s} {backend_description(name)}")
+        return 0
+
+    try:
+        if args.gc is not None or args.gg is not None:
+            theta_c = args.gc or 0.0
+            theta_g = args.gg or 0.0
+            basis_label = f"gc{theta_c:g}_gg{theta_g:g}"
+        else:
+            basis_name = canonical_basis_name(args.basis)
+            theta_c, theta_g = BASIS_DRIVE_ANGLES[basis_name]
+            basis_label = basis_name
+        if theta_c + theta_g <= 0:
+            raise ValueError("basis drive angles must not both be zero")
+        pulse_duration = (
+            args.pulse_duration
+            if args.pulse_duration is not None
+            else (theta_c + theta_g) / (np.pi / 2)
+        )
+        engine = SynthesisEngine(args.backend, workers=args.workers)
+        template = engine.template(
+            gc=theta_c / pulse_duration,
+            gg=theta_g / pulse_duration,
+            pulse_duration=pulse_duration,
+            repetitions=args.repetitions,
+            parallel=args.parallel,
+        )
+    except (KeyError, ValueError) as exc:
+        print(f"synth: {exc.args[0] if exc.args else exc}", file=sys.stderr)
+        return 2
+
+    if args.coverage is not None:
+        from .core.coverage import haar_coordinate_samples
+
+        start = time.time()
+        coverage = engine.coverage_set(
+            gc=theta_c / pulse_duration,
+            gg=theta_g / pulse_duration,
+            pulse_duration=pulse_duration,
+            kmax=args.coverage,
+            basis_name=basis_label,
+            parallel=args.parallel,
+            samples_per_k=args.samples,
+            seed=args.seed,
+        )
+        haar = haar_coordinate_samples(2000, seed=99)
+        elapsed = time.time() - start
+        print(
+            f"coverage of {basis_label} ({args.backend}, "
+            f"{'parallel' if args.parallel else 'standard'}) "
+            f"in {elapsed:.1f}s:"
+        )
+        for k in range(1, coverage.kmax + 1):
+            fraction = float(coverage.coverage_for(k).contains(haar).mean())
+            print(f"  K={k}: Haar fraction {fraction:.3f}")
+        from .core.coverage import cache_enabled
+
+        if cache_enabled():
+            from .service.coverage_store import default_coverage_store
+
+            store = default_coverage_store()
+            print(
+                f"coverage store: {store.stats.as_dict()} "
+                f"({store.disk_entries()} clouds at {store.path})"
+            )
+        else:
+            # Touching the default store here would create the sqlite
+            # file the kill-switch promises not to write.
+            print("coverage store: disabled (REPRO_COVERAGE_CACHE)")
+        return 0
+
+    if not args.target:
+        print(
+            "synth: give a target (named gate or 3 coordinates), "
+            "--coverage K, or --list-backends",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        target = _parse_synth_target(args.target)
+    except (KeyError, ValueError) as exc:
+        print(f"synth: {exc.args[0] if exc.args else exc}", file=sys.stderr)
+        return 2
+
+    start = time.time()
+    outcome = engine.synthesize_multistart(
+        template,
+        target,
+        starts=args.starts,
+        refine=args.refine,
+        seed=args.seed,
+        max_iterations=args.max_iterations,
+        tolerance=args.tolerance,
+    )
+    elapsed = time.time() - start
+    best = outcome.best
+    print(
+        f"{args.backend} template ({basis_label}, K={args.repetitions}, "
+        f"{template.num_parameters} parameters) -> "
+        f"target {np.round(np.asarray(target).flatten()[:3], 4).tolist()}"
+    )
+    print(
+        f"  starts: {args.starts} (initial loss "
+        f"{outcome.start_losses.min():.3g} .. "
+        f"{outcome.start_losses.max():.3g}), refined: "
+        f"{list(outcome.refined_indices)}"
+    )
+    print(
+        f"  best loss {best.loss:.3e}  converged={best.converged}  "
+        f"({elapsed:.1f}s, {args.workers} worker(s))"
+    )
+    if best.parameters.size:
+        print(
+            f"  coordinates {np.round(best.coordinates, 6).tolist()}"
+        )
+    if args.json is not None:
+        payload = {
+            "backend": args.backend,
+            "basis": basis_label,
+            "repetitions": args.repetitions,
+            "target": np.asarray(target).tolist(),
+            "start_losses": outcome.start_losses.tolist(),
+            "refined_losses": {
+                str(k): v for k, v in outcome.refined_losses.items()
+            },
+            "best_loss": best.loss,
+            "converged": bool(best.converged),
+            "parameters": best.parameters.tolist(),
+            "elapsed_seconds": elapsed,
+        }
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+        print(f"results written to {args.json}")
+    return 0 if best.converged else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     """Entry point for ``python -m repro``."""
     parser = argparse.ArgumentParser(
@@ -312,6 +484,85 @@ def main(argv: list[str] | None = None) -> int:
         help="write raw results + summary as JSON",
     )
 
+    synth_parser = sub.add_parser(
+        "synth",
+        help="train a synthesis-backend template toward a 2Q target",
+    )
+    synth_parser.add_argument(
+        "target", nargs="*",
+        help="named gate (CNOT, iSWAP, B, SWAP, ...) or 3 Weyl coordinates",
+    )
+    synth_parser.add_argument(
+        "--backend", default="piecewise",
+        help="registered synthesis backend (see --list-backends)",
+    )
+    synth_parser.add_argument(
+        "--list-backends", action="store_true",
+        help="list registered backends and exit",
+    )
+    synth_parser.add_argument(
+        "--basis", default="iSWAP",
+        help="named basis gate supplying the drive angles",
+    )
+    synth_parser.add_argument(
+        "--gc", type=float, default=None,
+        help="explicit conversion angle theta_c (overrides --basis)",
+    )
+    synth_parser.add_argument(
+        "--gg", type=float, default=None,
+        help="explicit gain angle theta_g (overrides --basis)",
+    )
+    synth_parser.add_argument(
+        "--pulse-duration", type=float, default=None,
+        help="per-application duration (default: linear-SLF normalized)",
+    )
+    synth_parser.add_argument(
+        "--repetitions", type=int, default=1,
+        help="K, the number of basis applications",
+    )
+    synth_parser.add_argument(
+        "--parallel",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="include the Eq. 9 parallel 1Q drives",
+    )
+    synth_parser.add_argument(
+        "--starts", type=int, default=16,
+        help="multi-start batch size (SeedSequence streams)",
+    )
+    synth_parser.add_argument(
+        "--refine", type=int, default=2,
+        help="most-promising starts refined by Nelder-Mead",
+    )
+    synth_parser.add_argument(
+        "--seed", type=int, default=7, help="multi-start seed"
+    )
+    synth_parser.add_argument(
+        "--max-iterations", type=int, default=2000,
+        help="Nelder-Mead iteration cap per refined start",
+    )
+    synth_parser.add_argument(
+        "--tolerance", type=float, default=1e-8,
+        help="Makhlin-loss convergence threshold",
+    )
+    synth_parser.add_argument(
+        "--workers", type=int, default=1,
+        help="process count for fanning refinements",
+    )
+    synth_parser.add_argument(
+        "--coverage", type=int, default=None, metavar="KMAX",
+        help="build the basis coverage set through the store instead "
+             "of synthesizing a single target",
+    )
+    synth_parser.add_argument(
+        "--samples", type=int, default=1500,
+        help="coverage samples per K (with --coverage)",
+    )
+    synth_parser.add_argument(
+        "--json", default=None, metavar="PATH",
+        help="write the synthesis outcome as JSON",
+    )
+
     args = parser.parse_args(argv)
     handlers = {
         "list": _cmd_list,
@@ -319,6 +570,7 @@ def main(argv: list[str] | None = None) -> int:
         "transpile": _cmd_transpile,
         "targets": _cmd_targets,
         "batch": _cmd_batch,
+        "synth": _cmd_synth,
     }
     return handlers[args.command](args)
 

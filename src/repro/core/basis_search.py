@@ -13,9 +13,18 @@ from dataclasses import dataclass
 import numpy as np
 
 from .conversion_gain import GateFamily, coordinates_for_drive
-from .coverage import build_coverage_set, haar_coordinate_samples
+from .coverage import haar_coordinate_samples
 from .scoring import DEFAULT_LAMBDA, weighted_score
 from .speed_limit import SpeedLimitFunction
+
+
+def _engine(engine):
+    """Resolve the synthesis engine a search rides (default: piecewise)."""
+    if engine is not None:
+        return engine
+    from ..synthesis.engine import default_engine
+
+    return default_engine()
 
 __all__ = [
     "CandidateBasis",
@@ -145,8 +154,13 @@ def score_candidate(
     lam: float = DEFAULT_LAMBDA,
     samples_per_k: int = 1500,
     seed: int = 20230302,
+    engine=None,
 ) -> CandidateScores:
-    """Duration-based metric costs of one candidate basis."""
+    """Duration-based metric costs of one candidate basis.
+
+    Coverage sets ride the synthesis engine (``engine=None`` = the
+    process-default piecewise engine, the digest-stable paper path).
+    """
     if haar_samples is None:
         haar_samples = haar_coordinate_samples(2000, seed=99)
     theta_c, theta_g = candidate.drive_angles
@@ -156,7 +170,7 @@ def score_candidate(
         slf.min_duration(theta_c, theta_g), slf.min_duration(theta_g, theta_c)
     )
     kmax = _candidate_kmax(candidate)
-    coverage = build_coverage_set(
+    coverage = _engine(engine).coverage_set(
         gc=theta_c / candidate.fraction,
         gg=theta_g / candidate.fraction,
         pulse_duration=candidate.fraction,
@@ -199,6 +213,7 @@ def best_basis_search(
     haar_samples: np.ndarray | None = None,
     lam: float = DEFAULT_LAMBDA,
     samples_per_k: int = 1500,
+    engine=None,
 ) -> dict[str, CandidateScores]:
     """Best candidate per metric (Fig. 5's dots for one SLF / D[1Q]).
 
@@ -208,9 +223,11 @@ def best_basis_search(
     candidates = candidates or default_candidates()
     if haar_samples is None:
         haar_samples = haar_coordinate_samples(2000, seed=99)
+    engine = _engine(engine)
     scored = [
         score_candidate(
-            c, slf, one_q_duration, haar_samples, lam, samples_per_k
+            c, slf, one_q_duration, haar_samples, lam, samples_per_k,
+            engine=engine,
         )
         for c in candidates
     ]
@@ -225,6 +242,7 @@ def fractional_iswap_curve(
     fractions: tuple[float, ...] = (0.25, 0.375, 0.5, 0.75, 1.0),
     haar_samples: np.ndarray | None = None,
     samples_per_k: int = 1500,
+    engine=None,
 ) -> dict[float, list[tuple[float, float]]]:
     """Fig. 6: expected Haar duration vs fractional iSWAP basis.
 
@@ -234,13 +252,14 @@ def fractional_iswap_curve(
     """
     if haar_samples is None:
         haar_samples = haar_coordinate_samples(2000, seed=99)
+    engine = _engine(engine)
     curves: dict[float, list[tuple[float, float]]] = {
         d1q: [] for d1q in one_q_durations
     }
     for fraction in fractions:
         theta_c = fraction * _HALF_PI
         kmax = int(np.ceil(3.0 / fraction)) + 1
-        coverage = build_coverage_set(
+        coverage = engine.coverage_set(
             gc=theta_c / fraction,
             gg=0.0,
             pulse_duration=fraction,

@@ -20,7 +20,6 @@ from __future__ import annotations
 import os
 from dataclasses import dataclass
 from pathlib import Path
-from uuid import uuid4
 
 import numpy as np
 from scipy.spatial import ConvexHull, Delaunay, QhullError
@@ -28,17 +27,13 @@ from scipy.spatial import ConvexHull, Delaunay, QhullError
 from ..kernels.membership import first_covering_k
 from ..quantum.random import as_rng, haar_unitaries_batch
 from ..quantum.weyl import batched_weyl_coordinates
-from .parallel_drive import (
-    ParallelDriveTemplate,
-    sample_template_coordinates,
-    synthesize,
-)
 
 __all__ = [
     "RegionHull",
     "KCoverage",
     "CoverageSet",
     "build_coverage_set",
+    "coverage_cache_key",
     "haar_coordinate_samples",
     "expected_cost",
     "cache_enabled",
@@ -50,9 +45,11 @@ def default_cache_dir() -> Path:
     """Directory for persisted coverage point clouds.
 
     Overridable via ``REPRO_CACHE_DIR``; defaults to
-    ``~/.cache/repro-coverage``.  Hull construction from cached points
-    takes milliseconds, so persisting the raw clouds makes repeated test
-    and benchmark runs cheap.
+    ``~/.cache/repro-coverage``.  The sqlite-backed
+    :class:`~repro.service.coverage_store.CoverageStore` lives here (as
+    did the legacy per-key ``.npz`` archives it migrates from).  Hull
+    construction from cached points takes milliseconds, so persisting
+    the raw clouds makes repeated test and benchmark runs cheap.
     """
     override = os.environ.get("REPRO_CACHE_DIR")
     base = Path(override) if override else Path.home() / ".cache" / "repro-coverage"
@@ -320,6 +317,53 @@ def _split_halves(points: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
     return points[on_left], points[on_right]
 
 
+def coverage_cache_key(
+    gc: float,
+    gg: float,
+    pulse_duration: float,
+    kmax: int,
+    basis_name: str,
+    parallel: bool,
+    samples_per_k: int,
+    steps_per_pulse: int,
+    seed: int | np.random.Generator | None,
+    boost_targets: bool,
+    synthesis_restarts: int,
+    synthesis_iterations: int,
+    backend: str = "piecewise",
+    backend_options: dict | None = None,
+) -> str:
+    """Stable text key of one coverage build (the store's keyspace).
+
+    Encodes the backend family, its factory options, every
+    geometry-affecting parameter, and the sampling seed — the same
+    discipline as the decomposition cache's ``cache_token``.  The
+    default-configuration piecewise key matches the legacy ``.npz``
+    file stem exactly, so
+    :class:`~repro.service.coverage_store.CoverageStore` migration maps
+    one-to-one.  ``steps_per_pulse`` only keys for families that take
+    it (``0`` otherwise), so backends that ignore the knob do not split
+    identical clouds across rows.
+    """
+    seed_token = seed if isinstance(seed, int) else "rng"
+    key = (
+        f"{basis_name}_gc{gc:.6f}_gg{gg:.6f}_d{pulse_duration:.4f}"
+        f"_k{kmax}_n{samples_per_k}_s{steps_per_pulse}"
+        f"_{'par' if parallel else 'std'}_b{int(boost_targets)}"
+        f"_r{synthesis_restarts}_i{synthesis_iterations}_seed{seed_token}"
+        "_v2"
+    )
+    if backend != "piecewise":
+        key += f"_be-{backend}"
+    if backend_options:
+        options = "_".join(
+            f"{name}-{backend_options[name]!r}"
+            for name in sorted(backend_options)
+        )
+        key += f"_bo-{options}"
+    return key
+
+
 def build_coverage_set(
     gc: float,
     gg: float,
@@ -334,6 +378,8 @@ def build_coverage_set(
     synthesis_restarts: int = 3,
     synthesis_iterations: int = 1200,
     cache: bool = True,
+    engine=None,
+    store=None,
 ) -> CoverageSet:
     """Estimate coverage regions for a conversion–gain basis (Alg. 2).
 
@@ -344,51 +390,70 @@ def build_coverage_set(
         boost_targets: run the synthesizer toward the chamber's exterior
             points and fold its training path into the point cloud —
             random sampling alone under-fills hull corners.
-        cache: persist/reuse the sampled point clouds on disk.
+        cache: persist/reuse the sampled point clouds through the
+            coverage store.
+        engine: the :class:`~repro.synthesis.SynthesisEngine` supplying
+            the template family and training path (``None`` = the
+            process-default piecewise engine — the digest-stable paper
+            configuration).
+        store: explicit :class:`~repro.service.coverage_store.
+            CoverageStore`; ``None`` uses the engine's store, falling
+            back to the process default for the current cache dir.
+            The ``REPRO_COVERAGE_CACHE`` kill-switch governs only that
+            default resolution — a store passed explicitly (here or on
+            the engine) is a deliberate opt-in and is used regardless.
     """
-    cache_path: Path | None = None
+    from ..synthesis.engine import default_engine
+
+    from ..synthesis.backends import backend_accepts
+
+    if engine is None:
+        engine = default_engine()
+    if store is None:
+        store = getattr(engine, "store", None)
+    # The per-pulse step count only shapes families whose factory takes
+    # it; others must neither receive the knob nor key on it.
+    takes_steps = backend_accepts(engine.backend, "steps_per_pulse")
+    use_cache = cache and (store is not None or cache_enabled())
     key: str | None = None
-    if cache and cache_enabled():
-        seed_token = seed if isinstance(seed, int) else "rng"
-        file_key = (
-            f"{basis_name}_gc{gc:.6f}_gg{gg:.6f}_d{pulse_duration:.4f}"
-            f"_k{kmax}_n{samples_per_k}_s{steps_per_pulse}"
-            f"_{'par' if parallel else 'std'}_b{int(boost_targets)}"
-            f"_r{synthesis_restarts}_i{synthesis_iterations}_seed{seed_token}"
-            "_v2"
+    if use_cache:
+        if store is None:
+            from ..service.coverage_store import default_coverage_store
+
+            store = default_coverage_store()
+        key = coverage_cache_key(
+            gc, gg, pulse_duration, kmax, basis_name, parallel,
+            samples_per_k, steps_per_pulse if takes_steps else 0, seed,
+            boost_targets, synthesis_restarts, synthesis_iterations,
+            backend=engine.backend,
+            backend_options=getattr(engine, "backend_options", None),
         )
-        cache_path = default_cache_dir() / f"{file_key}.npz"
-        # Memoize per resolved path, not per file key: tests and workers
-        # repoint REPRO_CACHE_DIR mid-process, and entries from one
-        # directory must not answer for another.
-        key = str(cache_path)
-        memoized = _ASSEMBLED_MEMO.get(key)
-        if memoized is not None:
-            return memoized
-        if cache_path.exists():
-            try:
-                data = np.load(cache_path)
-                clouds = [data[f"k{k}"] for k in range(1, kmax + 1)]
-                assembled = _assemble_coverage(basis_name, parallel, clouds)
-                _ASSEMBLED_MEMO[key] = assembled
-                return assembled
-            except (OSError, KeyError, ValueError):
-                # Corrupted or partial cache (e.g. interrupted writer):
-                # fall through and rebuild.
-                cache_path.unlink(missing_ok=True)
+        assembled = store.get_set(key)
+        if assembled is not None:
+            return assembled
+        cached_clouds = store.get_clouds(key, kmax)
+        if cached_clouds is not None:
+            assembled = _assemble_coverage(
+                basis_name, parallel, cached_clouds
+            )
+            store.remember_set(key, assembled)
+            return assembled
 
     rng = as_rng(seed)
     clouds: list[np.ndarray] = []
+    template_overrides = (
+        {"steps_per_pulse": steps_per_pulse} if takes_steps else {}
+    )
     for k in range(1, kmax + 1):
-        template = ParallelDriveTemplate(
+        template = engine.template(
             gc=gc,
             gg=gg,
             pulse_duration=pulse_duration,
-            steps_per_pulse=steps_per_pulse,
             repetitions=k,
             parallel=parallel,
+            **template_overrides,
         )
-        points = sample_template_coordinates(template, samples_per_k, rng)
+        points = engine.sample_coordinates(template, samples_per_k, rng)
         # Anchor exactly-known reachable points: the undriven template
         # with identity interiors realizes the k-fold basis power, whose
         # coordinates random local sampling only approaches (e.g. the
@@ -400,7 +465,7 @@ def build_coverage_set(
         if boost_targets:
             for _, target_coords in _EXTERIOR_TARGETS:
                 target = np.asarray(target_coords, dtype=float)
-                result = synthesize(
+                result = engine.synthesize(
                     template,
                     target,
                     seed=rng,
@@ -413,34 +478,11 @@ def build_coverage_set(
                 if result.converged:
                     points = np.vstack([points, target[None, :]])
         clouds.append(points)
-    if cache_path is not None:
-        # Atomic publish: concurrent builders (batch-engine workers,
-        # parallel test runs) must never expose a partially written
-        # archive.  The temp name is unique per process *and* per call,
-        # so racing writers in one process cannot collide either.
-        temporary = cache_path.with_suffix(
-            f".tmp{os.getpid()}-{uuid4().hex[:8]}.npz"
-        )
-        try:
-            np.savez_compressed(
-                temporary,
-                **{f"k{k}": cloud for k, cloud in enumerate(clouds, start=1)},
-            )
-            temporary.replace(cache_path)
-        except OSError:
-            # A failed persist (full or read-only disk) must not fail
-            # the build; drop the partial temp file and carry on.
-            temporary.unlink(missing_ok=True)
     assembled = _assemble_coverage(basis_name, parallel, clouds)
-    if key is not None:
-        _ASSEMBLED_MEMO[key] = assembled
+    if key is not None and store is not None:
+        store.put_clouds(key, clouds)
+        store.remember_set(key, assembled)
     return assembled
-
-
-#: In-process memo of assembled coverage sets (hull construction from a
-#: cached cloud costs seconds at scale; repeated scoring sweeps like
-#: Fig. 5's SLF grid reuse the same sets dozens of times).
-_ASSEMBLED_MEMO: dict[str, CoverageSet] = {}
 
 
 def _assemble_coverage(

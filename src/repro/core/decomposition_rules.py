@@ -29,7 +29,7 @@ import numpy as np
 from ..kernels.membership import membership_matrix
 from ..quantum.weyl import named_gate_coordinates
 from .conversion_gain import drive_angles_for_coordinates
-from .coverage import CoverageSet, KCoverage, build_coverage_set
+from .coverage import CoverageSet, KCoverage
 
 __all__ = [
     "TemplateSpec",
@@ -39,6 +39,7 @@ __all__ = [
     "NAMED_GATE_COUNTS",
     "RULE_ENGINES",
     "build_rules",
+    "canonical_basis_name",
     "coverage_for_basis",
     "BASIS_DRIVE_ANGLES",
 ]
@@ -177,6 +178,31 @@ class DecompositionRules:
         return f"{self.name}|1q{self.one_q_duration!r}"
 
 
+#: Lowercase/underscore spellings hardware targets use for basis gates,
+#: mapped onto the canonical table names above.
+_BASIS_ALIASES: dict[str, str] = {
+    name.lower(): name for name in NAMED_GATE_COUNTS
+} | {"sqrt_iswap": "sqrt_iSWAP", "iswap": "iSWAP", "b": "B", "sqrt_b": "sqrt_B"}
+
+
+def canonical_basis_name(name: str) -> str:
+    """Resolve a basis-gate spelling (e.g. a target's ``sqrt_iswap``).
+
+    Hardware targets store lowercase gate names; the coverage and
+    drive-angle tables use the paper's spelling.  Raises ``KeyError``
+    with the known vocabulary on an unknown gate.
+    """
+    if name in BASIS_DRIVE_ANGLES:
+        return name
+    try:
+        return _BASIS_ALIASES[name.lower()]
+    except KeyError:
+        raise KeyError(
+            f"unknown 2Q basis gate {name!r}; known: "
+            f"{sorted(BASIS_DRIVE_ANGLES)}"
+        ) from None
+
+
 @lru_cache(maxsize=32)
 def coverage_for_basis(
     basis_name: str,
@@ -186,16 +212,22 @@ def coverage_for_basis(
     seed: int = 20230302,
     steps_per_pulse: int = 4,
     pulse_duration: float | None = None,
+    backend: str = "piecewise",
 ) -> CoverageSet:
     """Build (and memoize) the coverage set of a named basis gate.
 
     The per-pulse duration defaults to the linear-SLF normalized value:
-    full-rotation gates take 1.0, square roots 0.5.
+    full-rotation gates take 1.0, square roots 0.5.  ``backend`` selects
+    the synthesis-engine template family (a string so the memo stays
+    hashable); the default rides the digest-stable piecewise engine.
     """
+    from ..synthesis.engine import default_engine
+
+    basis_name = canonical_basis_name(basis_name)
     theta_c, theta_g = BASIS_DRIVE_ANGLES[basis_name]
     if pulse_duration is None:
         pulse_duration = (theta_c + theta_g) / _HALF_PI
-    return build_coverage_set(
+    return default_engine(backend).coverage_set(
         gc=theta_c / pulse_duration,
         gg=theta_g / pulse_duration,
         pulse_duration=pulse_duration,

@@ -13,8 +13,9 @@ to zero at the pulse edges (hardware-friendly ramps) and a few
 harmonics already match the 4-step discrete coverage, numerically
 confirming the paper's claim that 4 steps suffice.
 
-Fourier templates duck-type :class:`~repro.core.parallel_drive.
-ParallelDriveTemplate` for :func:`~repro.core.parallel_drive.synthesize`.
+Fourier templates satisfy the
+:class:`~repro.synthesis.SynthesisBackend` protocol and are registered
+as the ``"fourier"`` backend of the synthesis engine.
 """
 
 from __future__ import annotations
@@ -24,9 +25,10 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..pulse.evolution import batched_piecewise_propagators
+from ..pulse.hamiltonian import batched_hamiltonians
 from ..quantum.gates import u3
-from ..quantum.weyl import weyl_coordinates
-from .parallel_drive import _batched_hamiltonians
+from ..quantum.weyl import batched_weyl_coordinates, weyl_coordinates
+from .parallel_drive import _batched_local_pairs
 
 __all__ = ["FourierDriveTemplate", "envelope_samples"]
 
@@ -107,7 +109,7 @@ class FourierDriveTemplate:
         eps2 = envelope_samples(
             drive_params[2 + n : 2 + 2 * n], self.integration_steps
         )
-        hams = _batched_hamiltonians(
+        hams = batched_hamiltonians(
             self.gc,
             self.gg,
             np.array(phi_c),
@@ -145,6 +147,58 @@ class FourierDriveTemplate:
                 total = np.kron(u3(*angles[:3]), u3(*angles[3:])) @ total
         return total
 
+    def batched_unitaries(self, params: np.ndarray) -> np.ndarray:
+        """Template unitaries for a ``(N, P)`` parameter stack.
+
+        Vectorizes envelope evaluation, Hamiltonian assembly, and the
+        piecewise integration over all rows — one stacked
+        eigendecomposition per integration step instead of one per
+        start.  Row ``i`` equals ``unitary(params[i])`` up to float
+        noise.
+        """
+        params = np.atleast_2d(np.asarray(params, dtype=float))
+        if params.shape[1:] != (self.num_parameters,):
+            raise ValueError(
+                f"expected (N, {self.num_parameters}) parameters, got "
+                f"{params.shape}"
+            )
+        count = len(params)
+        per = self.drive_parameters_per_pulse
+        n = self.num_harmonics
+        steps = self.integration_steps
+        midpoints = (np.arange(steps) + 0.5) / steps
+        harmonics = np.arange(1, n + 1)
+        sine_basis = np.sin(np.pi * np.outer(midpoints, harmonics))
+        dts = np.full(steps, self.pulse_duration / steps)
+        total = np.broadcast_to(
+            np.eye(4, dtype=complex), (count, 4, 4)
+        ).copy()
+        locals_start = self.repetitions * per
+        cursor = 0
+        for rep in range(self.repetitions):
+            block = params[:, cursor : cursor + per]
+            cursor += per
+            phi_c, phi_g = block[:, 0], block[:, 1]
+            eps1 = block[:, 2 : 2 + n] @ sine_basis.T
+            eps2 = block[:, 2 + n : 2 + 2 * n] @ sine_basis.T
+            hams = batched_hamiltonians(
+                self.gc, self.gg, phi_c, phi_g, eps1, eps2
+            )
+            pulses = batched_piecewise_propagators(hams, dts)
+            total = np.einsum("nij,njk->nik", pulses, total)
+            if rep < self.repetitions - 1:
+                angles = params[
+                    :, locals_start + 6 * rep : locals_start + 6 * (rep + 1)
+                ]
+                total = np.einsum(
+                    "nij,njk->nik", _batched_local_pairs(angles), total
+                )
+        return total
+
     def coordinates(self, params: np.ndarray) -> np.ndarray:
         """Weyl coordinates of the template unitary."""
         return weyl_coordinates(self.unitary(params))
+
+    def batched_coordinates(self, params: np.ndarray) -> np.ndarray:
+        """Weyl coordinates for a parameter stack (one batched sweep)."""
+        return batched_weyl_coordinates(self.batched_unitaries(params))

@@ -7,23 +7,26 @@ Implements the paper's Sec. III machinery:
   gates (the decomposition template of Fig. 8a);
 * fast batched random sampling of template unitaries / Weyl coordinates
   (the "Randomly Generate Coverage Points" phase of Alg. 2);
-* :func:`synthesize` — Nelder–Mead optimization of the template's free
-  parameters against a Makhlin-invariant loss (the "Train for Exterior
-  Coordinates" phase, and Fig. 8b–c's convergence experiment).
+* :func:`synthesize` — re-exported from
+  :mod:`repro.synthesis.engine`, where the Nelder–Mead training core
+  now lives behind the pluggable :class:`~repro.synthesis.SynthesisEngine`
+  (the "Train for Exterior Coordinates" phase, and Fig. 8b–c's
+  convergence experiment).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import warnings
+from dataclasses import dataclass
 
 import numpy as np
-from scipy.optimize import minimize
 
 from ..pulse.evolution import batched_piecewise_propagators
+from ..pulse.hamiltonian import batched_hamiltonians
 from ..quantum.gates import u3
-from ..quantum.makhlin import makhlin_from_coordinates, makhlin_invariants
 from ..quantum.random import as_rng, random_local_pairs_batch
 from ..quantum.weyl import batched_weyl_coordinates, weyl_coordinates
+from ..synthesis.engine import SynthesisResult, synthesize
 
 __all__ = [
     "ParallelDriveTemplate",
@@ -32,42 +35,42 @@ __all__ = [
     "sample_template_coordinates",
 ]
 
-# Matrix-element index patterns for vectorized Hamiltonian assembly.
-_XI_INDICES = ((0, 2), (2, 0), (1, 3), (3, 1))  # X on qubit 0
-_IX_INDICES = ((0, 1), (1, 0), (2, 3), (3, 2))  # X on qubit 1
 
+def _batched_hamiltonians(*args, **kwargs) -> np.ndarray:
+    """Deprecated alias of :func:`repro.pulse.hamiltonian.batched_hamiltonians`.
 
-def _batched_hamiltonians(
-    gc: float,
-    gg: float,
-    phi_c: np.ndarray,
-    phi_g: np.ndarray,
-    eps1: np.ndarray,
-    eps2: np.ndarray,
-) -> np.ndarray:
-    """Assemble Eq. 9 Hamiltonians for stacked parameters.
-
-    ``phi_c``/``phi_g`` broadcast against the leading axes of
-    ``eps1``/``eps2`` (shape ``(..., steps)``); returns
-    ``(..., steps, 4, 4)``.
+    The assembly kernel was promoted to the public pulse layer (it was
+    imported cross-module as a private helper); this shim keeps old
+    imports working for one PR and will be removed afterwards.
     """
-    eps1 = np.asarray(eps1, dtype=float)
-    eps2 = np.asarray(eps2, dtype=float)
-    phi_c = np.broadcast_to(np.asarray(phi_c, float)[..., None], eps1.shape)
-    phi_g = np.broadcast_to(np.asarray(phi_g, float)[..., None], eps1.shape)
-    shape = eps1.shape + (4, 4)
-    ham = np.zeros(shape, dtype=complex)
-    # Conversion block {|01>, |10>}.
-    ham[..., 2, 1] = gc * np.exp(1j * phi_c)
-    ham[..., 1, 2] = gc * np.exp(-1j * phi_c)
-    # Gain block {|00>, |11>}.
-    ham[..., 0, 3] = gg * np.exp(1j * phi_g)
-    ham[..., 3, 0] = gg * np.exp(-1j * phi_g)
-    for row, col in _XI_INDICES:
-        ham[..., row, col] += eps1
-    for row, col in _IX_INDICES:
-        ham[..., row, col] += eps2
-    return ham
+    warnings.warn(
+        "repro.core.parallel_drive._batched_hamiltonians moved to "
+        "repro.pulse.hamiltonian.batched_hamiltonians; update imports "
+        "(this alias will be removed next release)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return batched_hamiltonians(*args, **kwargs)
+
+
+def _batched_u3(
+    theta: np.ndarray, phi: np.ndarray, lam: np.ndarray
+) -> np.ndarray:
+    """Stacked U3 matrices for angle vectors of shape ``(N,)``."""
+    c, s = np.cos(theta / 2), np.sin(theta / 2)
+    out = np.empty(theta.shape + (2, 2), dtype=complex)
+    out[..., 0, 0] = c
+    out[..., 0, 1] = -np.exp(1j * lam) * s
+    out[..., 1, 0] = np.exp(1j * phi) * s
+    out[..., 1, 1] = np.exp(1j * (phi + lam)) * c
+    return out
+
+
+def _batched_local_pairs(angles: np.ndarray) -> np.ndarray:
+    """``kron(u3, u3)`` stacks from ``(N, 6)`` interior-layer angles."""
+    left = _batched_u3(angles[:, 0], angles[:, 1], angles[:, 2])
+    right = _batched_u3(angles[:, 3], angles[:, 4], angles[:, 5])
+    return np.einsum("nab,ncd->nacbd", left, right).reshape(-1, 4, 4)
 
 
 @dataclass(frozen=True)
@@ -165,7 +168,7 @@ class ParallelDriveTemplate:
 
     def pulse_unitary(self, drive: dict) -> np.ndarray:
         """Propagator of a single parallel-driven application."""
-        hams = _batched_hamiltonians(
+        hams = batched_hamiltonians(
             self.gc,
             self.gg,
             np.array(drive["phi_c"]),
@@ -186,6 +189,52 @@ class ParallelDriveTemplate:
                 angles = locals_params[index]
                 local = np.kron(u3(*angles[:3]), u3(*angles[3:]))
                 total = local @ total
+        return total
+
+    def batched_unitaries(self, params: np.ndarray) -> np.ndarray:
+        """Template unitaries for a ``(N, P)`` parameter stack.
+
+        Vectorizes the whole evaluation — Hamiltonian assembly, batched
+        piecewise propagation, interior local layers — so a multi-start
+        training sweep prices every start in one pass (the engine's
+        :meth:`~repro.synthesis.SynthesisEngine.synthesize_multistart`).
+        Row ``i`` equals ``unitary(params[i])`` up to float noise.
+        """
+        params = np.atleast_2d(np.asarray(params, dtype=float))
+        if params.shape[1:] != (self.num_parameters,):
+            raise ValueError(
+                f"expected (N, {self.num_parameters}) parameters, got "
+                f"{params.shape}"
+            )
+        count = len(params)
+        steps = self.steps_per_pulse
+        dts = np.full(steps, self.step_duration)
+        total = np.broadcast_to(
+            np.eye(4, dtype=complex), (count, 4, 4)
+        ).copy()
+        cursor = 0
+        locals_start = self.repetitions * self.drive_parameters_per_pulse
+        for rep in range(self.repetitions):
+            if self.parallel:
+                phi_c = params[:, cursor]
+                phi_g = params[:, cursor + 1]
+                eps1 = params[:, cursor + 2 : cursor + 2 + steps]
+                eps2 = params[:, cursor + 2 + steps : cursor + 2 + 2 * steps]
+                cursor += self.drive_parameters_per_pulse
+            else:
+                phi_c = phi_g = np.zeros(count)
+                eps1 = eps2 = np.zeros((count, steps))
+            hams = batched_hamiltonians(
+                self.gc, self.gg, phi_c, phi_g, eps1, eps2
+            )
+            pulses = batched_piecewise_propagators(hams, dts)
+            total = np.einsum("nij,njk->nik", pulses, total)
+            if rep < self.repetitions - 1:
+                angles = params[
+                    :, locals_start + 6 * rep : locals_start + 6 * (rep + 1)
+                ]
+                locals_batch = _batched_local_pairs(angles)
+                total = np.einsum("nij,njk->nik", locals_batch, total)
         return total
 
     def coordinates(self, params: np.ndarray) -> np.ndarray:
@@ -238,7 +287,7 @@ def sample_template_coordinates(
         else:
             phi_c = phi_g = np.zeros(count)
             eps1 = eps2 = np.zeros((count, steps))
-        hams = _batched_hamiltonians(
+        hams = batched_hamiltonians(
             template.gc, template.gg, phi_c, phi_g, eps1, eps2
         )
         pulses = batched_piecewise_propagators(hams, dts)
@@ -247,111 +296,3 @@ def sample_template_coordinates(
             locals_batch = random_local_pairs_batch(count, rng)
             total = np.einsum("nij,njk->nik", locals_batch, total)
     return batched_weyl_coordinates(total)
-
-
-@dataclass
-class SynthesisResult:
-    """Outcome of a Nelder–Mead template synthesis run."""
-
-    template: ParallelDriveTemplate
-    target_invariants: np.ndarray
-    parameters: np.ndarray
-    loss: float
-    converged: bool
-    loss_history: list[float] = field(default_factory=list)
-    coordinate_history: list[np.ndarray] = field(default_factory=list)
-
-    @property
-    def unitary(self) -> np.ndarray:
-        """The synthesized template unitary."""
-        return self.template.unitary(self.parameters)
-
-    @property
-    def coordinates(self) -> np.ndarray:
-        """Weyl coordinates of the synthesized unitary."""
-        return weyl_coordinates(self.unitary)
-
-
-def synthesize(
-    template: ParallelDriveTemplate,
-    target: np.ndarray,
-    seed: int | np.random.Generator | None = None,
-    restarts: int = 4,
-    max_iterations: int = 2000,
-    tolerance: float = 1e-8,
-    record_history: bool = True,
-) -> SynthesisResult:
-    """Optimize template parameters toward a target's equivalence class.
-
-    Args:
-        target: either a 4x4 unitary or a coordinate triple ``(c1,c2,c3)``.
-        restarts: independent Nelder–Mead starts (best result returned).
-        record_history: keep the loss / coordinate training path
-            (paper Fig. 8b–c; also feeds Alg. 2's hull boosting).
-    """
-    target = np.asarray(target)
-    if target.shape == (4, 4):
-        target_invariants = makhlin_invariants(target)
-    elif target.shape == (3,):
-        target_invariants = makhlin_from_coordinates(target)
-    else:
-        raise ValueError("target must be a 4x4 unitary or 3 coordinates")
-    rng = as_rng(seed)
-
-    history_loss: list[float] = []
-    history_coords: list[np.ndarray] = []
-
-    def loss_fn(params: np.ndarray) -> float:
-        unitary = template.unitary(params)
-        value = float(
-            np.linalg.norm(makhlin_invariants(unitary) - target_invariants)
-        )
-        if record_history:
-            history_loss.append(value)
-            history_coords.append(weyl_coordinates(unitary))
-        return value
-
-    if template.num_parameters == 0:
-        # Fully constrained template (K=1, no parallel drive): nothing to
-        # optimize, just evaluate the fixed pulse.
-        params = np.zeros(0)
-        value = loss_fn(params)
-        return SynthesisResult(
-            template=template,
-            target_invariants=target_invariants,
-            parameters=params,
-            loss=value,
-            converged=value < tolerance,
-            loss_history=history_loss,
-            coordinate_history=history_coords,
-        )
-
-    best_params: np.ndarray | None = None
-    best_loss = np.inf
-    for _ in range(max(restarts, 1)):
-        start = template.random_parameters(rng)
-        result = minimize(
-            loss_fn,
-            start,
-            method="Nelder-Mead",
-            options={
-                "maxiter": max_iterations,
-                "fatol": tolerance * 1e-2,
-                "xatol": 1e-10,
-            },
-        )
-        if result.fun < best_loss:
-            best_loss = float(result.fun)
-            best_params = np.asarray(result.x)
-        if best_loss < tolerance:
-            break
-    assert best_params is not None
-    return SynthesisResult(
-        template=template,
-        target_invariants=target_invariants,
-        parameters=best_params,
-        loss=best_loss,
-        converged=best_loss < tolerance,
-        loss_history=history_loss,
-        coordinate_history=history_coords,
-    )

@@ -129,6 +129,7 @@ def gate_count_score(
     haar_samples: np.ndarray | None = None,
     lam: float = DEFAULT_LAMBDA,
     samples_per_k: int = 3000,
+    backend: str = "piecewise",
 ) -> GateCountScore:
     """Table I row: decomposition gate counts for one basis."""
     counts = NAMED_GATE_COUNTS[basis_name]
@@ -139,6 +140,7 @@ def gate_count_score(
         kmax=basis_kmax(basis_name),
         parallel=False,
         samples_per_k=samples_per_k,
+        backend=backend,
     )
     return GateCountScore(
         basis=basis_name,
@@ -156,6 +158,7 @@ def duration_score(
     haar_samples: np.ndarray | None = None,
     lam: float = DEFAULT_LAMBDA,
     samples_per_k: int = 3000,
+    backend: str = "piecewise",
 ) -> DurationScore:
     """Table II / III row: speed-limit-scaled durations (Alg. 1 + Eq. 7)."""
     counts = NAMED_GATE_COUNTS[basis_name]
@@ -167,6 +170,7 @@ def duration_score(
         kmax=basis_kmax(basis_name),
         parallel=False,
         samples_per_k=samples_per_k,
+        backend=backend,
     )
     ks = coverage.min_k(haar_samples)
     if np.mean(ks > coverage.kmax) > 0.02:
@@ -194,12 +198,13 @@ def parallel_gate_count_score(
     haar_samples: np.ndarray | None = None,
     lam: float = DEFAULT_LAMBDA,
     samples_per_k: int = 3000,
+    backend: str = "piecewise",
 ) -> GateCountScore:
     """Table IV row: gate counts with parallel-drive extended coverage."""
     counts = PARALLEL_NAMED_COUNTS[basis_name]
     if haar_samples is None:
         haar_samples = haar_coordinate_samples(4000, seed=99)
-    ks = _parallel_min_k(basis_name, haar_samples, samples_per_k)
+    ks = _parallel_min_k(basis_name, haar_samples, samples_per_k, backend)
     kmax = basis_kmax(basis_name)
     uncovered = float(np.mean(ks > kmax))
     if uncovered > 0.02:
@@ -216,7 +221,10 @@ def parallel_gate_count_score(
 
 
 def _parallel_min_k(
-    basis_name: str, haar_samples: np.ndarray, samples_per_k: int
+    basis_name: str,
+    haar_samples: np.ndarray,
+    samples_per_k: int,
+    backend: str = "piecewise",
 ) -> np.ndarray:
     """Per-sample minimal K under parallel drive.
 
@@ -227,10 +235,12 @@ def _parallel_min_k(
     """
     kmax = basis_kmax(basis_name)
     extended = coverage_for_basis(
-        basis_name, kmax=kmax, parallel=True, samples_per_k=samples_per_k
+        basis_name, kmax=kmax, parallel=True, samples_per_k=samples_per_k,
+        backend=backend,
     )
     standard = coverage_for_basis(
-        basis_name, kmax=kmax, parallel=False, samples_per_k=samples_per_k
+        basis_name, kmax=kmax, parallel=False, samples_per_k=samples_per_k,
+        backend=backend,
     )
     return np.minimum(
         extended.min_k(haar_samples), standard.min_k(haar_samples)
@@ -248,6 +258,7 @@ def parallel_duration_score(
     haar_samples: np.ndarray | None = None,
     lam: float = DEFAULT_LAMBDA,
     samples_per_k: int = 3000,
+    backend: str = "piecewise",
 ) -> DurationScore:
     """Table V row: durations with parallel drive and joint templates.
 
@@ -300,6 +311,7 @@ def parallel_duration_score(
             kmax=frac_kmax,
             parallel=parallel,
             samples_per_k=samples_per_k,
+            backend=backend,
         )
         for k in range(1, frac_cov.kmax + 1):
             cost = k * quantum + (k + 1) * one_q_duration
@@ -312,13 +324,14 @@ def parallel_duration_score(
                 kmax=basis_kmax(full_name),
                 parallel=parallel,
                 samples_per_k=samples_per_k,
+                backend=backend,
             )
             for k in range(1, full_cov.kmax + 1):
                 cost = k * 1.0 + (k + 1) * one_q_duration
                 candidates.append((full_cov.coverage_for(k), cost))
     frac_cov = coverage_for_basis(
         basis_name, kmax=frac_kmax, parallel=True,
-        samples_per_k=samples_per_k,
+        samples_per_k=samples_per_k, backend=backend,
     )
     expected = expected_cost(
         candidates,

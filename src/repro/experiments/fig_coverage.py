@@ -12,8 +12,9 @@ import numpy as np
 
 from ..core.coverage import haar_coordinate_samples
 from ..core.decomposition_rules import coverage_for_basis
-from ..core.parallel_drive import ParallelDriveTemplate, synthesize
+from ..core.parallel_drive import ParallelDriveTemplate
 from ..core.scoring import PAPER_BASES, basis_kmax
+from ..synthesis import default_engine
 from .common import ExperimentResult, format_table
 
 __all__ = ["run_fig4", "run_fig7", "run_fig9", "run_fig12"]
@@ -126,7 +127,7 @@ def run_fig7(
             # Hull membership is flaky exactly on the region boundary
             # (e.g. the B gate); fall back to direct synthesis, the
             # paper's own reachability criterion.
-            result = synthesize(
+            result = default_engine().synthesize(
                 synthesis_template,
                 np.array(point),
                 seed=seed,
@@ -193,11 +194,12 @@ def run_fig12(seed: int = 3) -> ExperimentResult:
         else:
             over_label = f"CNOT^(4/{n})"
             too_big = np.array([4 * fraction * np.pi / 2, 0.0, 0.0])
-        hit = synthesize(
+        engine = default_engine()
+        hit = engine.synthesize(
             template, reachable, seed=seed, restarts=6,
             max_iterations=4000, tolerance=tolerance,
         )
-        miss = synthesize(
+        miss = engine.synthesize(
             template, too_big, seed=seed, restarts=3,
             max_iterations=1500, tolerance=tolerance,
         )

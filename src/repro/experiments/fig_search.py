@@ -11,13 +11,14 @@ from __future__ import annotations
 import numpy as np
 
 from ..core.basis_search import best_basis_search, fractional_iswap_curve
-from ..core.parallel_drive import ParallelDriveTemplate, synthesize
+from ..core.parallel_drive import ParallelDriveTemplate
 from ..core.speed_limit import (
     LinearSpeedLimit,
     SquaredSpeedLimit,
     snail_speed_limit,
 )
 from ..quantum.weyl import named_gate_coordinates
+from ..synthesis import default_engine
 from .common import ExperimentResult, format_table
 
 __all__ = ["run_fig5", "run_fig6", "run_fig8"]
@@ -101,7 +102,7 @@ def run_fig8(seed: int = 1, restarts: int = 4) -> ExperimentResult:
         gc=np.pi / 2, gg=0.0, pulse_duration=1.0, repetitions=1,
         parallel=True,
     )
-    result = synthesize(
+    result = default_engine().synthesize(
         template,
         named_gate_coordinates("CNOT"),
         seed=seed,

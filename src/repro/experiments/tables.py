@@ -2,6 +2,9 @@
 
 Each ``run_table*`` function regenerates one table's rows from the
 library and formats them alongside the paper's published values.
+Coverage-backed tables (I–V) accept a ``backend`` name so the whole
+scoring stack can run under any registered synthesis backend (the
+default is the digest-stable piecewise engine).
 """
 
 from __future__ import annotations
@@ -128,14 +131,17 @@ def _haar(samples: int, seed: int) -> np.ndarray:
 
 
 def run_table1(
-    haar_count: int = 4000, seed: int = 99, samples_per_k: int = 3000
+    haar_count: int = 4000, seed: int = 99, samples_per_k: int = 3000,
+    backend: str = "piecewise",
 ) -> ExperimentResult:
     """Table I: decomposition gate counts."""
     haar = _haar(haar_count, seed)
     rows = []
     data = {}
     for basis in PAPER_BASES:
-        score = gate_count_score(basis, haar, samples_per_k=samples_per_k)
+        score = gate_count_score(
+            basis, haar, samples_per_k=samples_per_k, backend=backend
+        )
         paper = PAPER_TABLE1[basis]
         rows.append(
             [
@@ -173,6 +179,7 @@ def _duration_table(
     haar_count: int,
     seed: int,
     samples_per_k: int,
+    backend: str = "piecewise",
 ) -> ExperimentResult:
     haar = _haar(haar_count, seed)
     slf = _SLF_BUILDERS[slf_name]()
@@ -180,7 +187,8 @@ def _duration_table(
     data = {}
     for basis in PAPER_BASES:
         score = duration_score(
-            basis, slf, one_q, haar, samples_per_k=samples_per_k
+            basis, slf, one_q, haar, samples_per_k=samples_per_k,
+            backend=backend,
         )
         rows.append(
             [
@@ -212,7 +220,8 @@ def _duration_table(
 
 
 def run_table2(
-    haar_count: int = 4000, seed: int = 99, samples_per_k: int = 3000
+    haar_count: int = 4000, seed: int = 99, samples_per_k: int = 3000,
+    backend: str = "piecewise",
 ) -> ExperimentResult:
     """Table II: speed-limit scaled durations (D[1Q] = 0), all three SLFs."""
     sections = []
@@ -227,6 +236,7 @@ def run_table2(
             haar_count,
             seed,
             samples_per_k,
+            backend,
         )
         sections.append(f"-- {slf_name} speed limit --\n{result.table}")
         data[slf_name] = result.data
@@ -239,7 +249,8 @@ def run_table2(
 
 
 def run_table3(
-    haar_count: int = 4000, seed: int = 99, samples_per_k: int = 3000
+    haar_count: int = 4000, seed: int = 99, samples_per_k: int = 3000,
+    backend: str = "piecewise",
 ) -> ExperimentResult:
     """Table III: durations with D[1Q] = 0.25 under the linear SLF."""
     result = _duration_table(
@@ -254,12 +265,14 @@ def run_table3(
         haar_count,
         seed,
         samples_per_k,
+        backend,
     )
     return ExperimentResult("table3", result.title, result.table, result.data)
 
 
 def run_table4(
-    haar_count: int = 4000, seed: int = 99, samples_per_k: int = 3000
+    haar_count: int = 4000, seed: int = 99, samples_per_k: int = 3000,
+    backend: str = "piecewise",
 ) -> ExperimentResult:
     """Table IV: gate counts with parallel-drive extended coverage."""
     haar = _haar(haar_count, seed)
@@ -267,7 +280,7 @@ def run_table4(
     data = {}
     for basis in PAPER_BASES:
         score = parallel_gate_count_score(
-            basis, haar, samples_per_k=samples_per_k
+            basis, haar, samples_per_k=samples_per_k, backend=backend
         )
         paper = PAPER_TABLE4[basis]
         rows.append(
@@ -300,7 +313,8 @@ def run_table4(
 
 
 def run_table5(
-    haar_count: int = 4000, seed: int = 99, samples_per_k: int = 3000
+    haar_count: int = 4000, seed: int = 99, samples_per_k: int = 3000,
+    backend: str = "piecewise",
 ) -> ExperimentResult:
     """Table V: parallel-drive durations (linear SLF, D[1Q]=0.25)."""
     haar = _haar(haar_count, seed)
@@ -308,7 +322,8 @@ def run_table5(
     data = {}
     for basis in PAPER_BASES:
         score = parallel_duration_score(
-            basis, 0.25, haar, samples_per_k=samples_per_k
+            basis, 0.25, haar, samples_per_k=samples_per_k,
+            backend=backend,
         )
         paper = PAPER_TABLE5[basis]
         rows.append(

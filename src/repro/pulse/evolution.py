@@ -32,15 +32,24 @@ def propagate_piecewise(
     """Total propagator of a piecewise-constant schedule (first step first).
 
     Returns ``U = U_n ... U_2 U_1`` where ``U_k = exp(-i H_k dt_k)``.
+    All step propagators come from one stacked eigendecomposition
+    (:func:`batched_step_propagators`) instead of a scalar
+    :func:`step_propagator` call per step; only the ordered product
+    remains sequential.
     """
     if len(hamiltonians) != len(dts):
         raise ValueError("need one dt per Hamiltonian step")
     if not hamiltonians:
         raise ValueError("schedule must contain at least one step")
-    dim = np.asarray(hamiltonians[0]).shape[0]
-    unitary = np.eye(dim, dtype=complex)
-    for hamiltonian, dt in zip(hamiltonians, dts):
-        unitary = step_propagator(hamiltonian, float(dt)) @ unitary
+    stacked = np.stack(
+        [np.asarray(h, dtype=complex) for h in hamiltonians]
+    )
+    propagators = batched_step_propagators(
+        stacked, np.asarray(dts, dtype=float)
+    )
+    unitary = np.eye(stacked.shape[-1], dtype=complex)
+    for propagator in propagators:
+        unitary = propagator @ unitary
     return unitary
 
 

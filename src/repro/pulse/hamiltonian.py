@@ -19,8 +19,13 @@ from .operators import conversion_operator, drive_operator, gain_operator
 __all__ = [
     "conversion_gain_hamiltonian",
     "parallel_drive_hamiltonian",
+    "batched_hamiltonians",
     "ConversionGainParameters",
 ]
+
+# Matrix-element index patterns for vectorized Hamiltonian assembly.
+_XI_INDICES = ((0, 2), (2, 0), (1, 3), (3, 1))  # X on qubit 0
+_IX_INDICES = ((0, 1), (1, 0), (2, 3), (3, 2))  # X on qubit 1
 
 
 def conversion_gain_hamiltonian(
@@ -45,6 +50,42 @@ def parallel_drive_hamiltonian(
     if eps2:
         hamiltonian = hamiltonian + eps2 * drive_operator(1)
     return hamiltonian
+
+
+def batched_hamiltonians(
+    gc: float,
+    gg: float,
+    phi_c: np.ndarray,
+    phi_g: np.ndarray,
+    eps1: np.ndarray,
+    eps2: np.ndarray,
+) -> np.ndarray:
+    """Assemble Eq. 9 Hamiltonians for stacked parameters.
+
+    The batched counterpart of :func:`parallel_drive_hamiltonian`:
+    ``phi_c``/``phi_g`` broadcast against the leading axes of
+    ``eps1``/``eps2`` (shape ``(..., steps)``); returns
+    ``(..., steps, 4, 4)``.  This is the assembly kernel every synthesis
+    backend shares (templates stack ``(starts, steps)`` parameter grids
+    through it before one batched propagation).
+    """
+    eps1 = np.asarray(eps1, dtype=float)
+    eps2 = np.asarray(eps2, dtype=float)
+    phi_c = np.broadcast_to(np.asarray(phi_c, float)[..., None], eps1.shape)
+    phi_g = np.broadcast_to(np.asarray(phi_g, float)[..., None], eps1.shape)
+    shape = eps1.shape + (4, 4)
+    ham = np.zeros(shape, dtype=complex)
+    # Conversion block {|01>, |10>}.
+    ham[..., 2, 1] = gc * np.exp(1j * phi_c)
+    ham[..., 1, 2] = gc * np.exp(-1j * phi_c)
+    # Gain block {|00>, |11>}.
+    ham[..., 0, 3] = gg * np.exp(1j * phi_g)
+    ham[..., 3, 0] = gg * np.exp(-1j * phi_g)
+    for row, col in _XI_INDICES:
+        ham[..., row, col] += eps1
+    for row, col in _IX_INDICES:
+        ham[..., row, col] += eps2
+    return ham
 
 
 @dataclass(frozen=True)

@@ -16,12 +16,20 @@ suites best-of-N per circuit.  This package turns those one-off
 * :mod:`repro.service.engine` — :class:`BatchEngine`, a multiprocessing
   farm with deterministic per-job seeding, retry-on-failure, and progress
   callbacks, plus :class:`ResultStore` aggregation and the named job
-  :data:`SUITES`.
+  :data:`SUITES`;
+* :mod:`repro.service.coverage_store` — :class:`CoverageStore`, the
+  LRU-fronted sqlite store of coverage-set point clouds the synthesis
+  engine rides (replacing the legacy per-directory ``.npz`` memo).
 """
 
 from __future__ import annotations
 
 from .cache import CacheStats, DecompositionCache, default_decomp_cache_dir
+from .coverage_store import (
+    CoverageStore,
+    CoverageStoreStats,
+    default_coverage_store,
+)
 from .engine import BatchEngine, ResultStore, SUITES, suite_jobs
 from .jobs import CompileJob, CompileResult, circuit_digest
 
@@ -30,10 +38,13 @@ __all__ = [
     "CacheStats",
     "CompileJob",
     "CompileResult",
+    "CoverageStore",
+    "CoverageStoreStats",
     "DecompositionCache",
     "ResultStore",
     "SUITES",
     "circuit_digest",
+    "default_coverage_store",
     "default_decomp_cache_dir",
     "suite_jobs",
 ]

@@ -208,9 +208,10 @@ class DecompositionCache:
                 "  description TEXT NOT NULL)"
             )
             conn.commit()
-        except sqlite3.Error:
-            # Unusable store (read-only fs, corrupted file, ...):
-            # degrade to memory-only rather than failing compilations.
+        except (OSError, sqlite3.Error):
+            # Unusable store (read-only fs blocking the mkdir,
+            # corrupted file, ...): degrade to memory-only rather than
+            # failing compilations.
             self.persistent = False
             return None
         self._conn = conn

@@ -1,0 +1,312 @@
+"""Persistent store for coverage-set point clouds.
+
+Coverage sets (paper Alg. 2) are pure functions of the template
+parameters and the sampling seed, and they are *expensive*: thousands of
+template propagations plus eight Nelder–Mead boosting runs per K.  The
+historical cache was a per-directory pile of ``.npz`` files with an
+in-process dict memo bolted on the side — invisible to the service
+layer, unqueryable, and racy to clean up.
+
+:class:`CoverageStore` promotes it to the same two-tier shape as
+:class:`~repro.service.cache.DecompositionCache`:
+
+* an in-memory LRU front of *assembled* :class:`CoverageSet` objects
+  (hull construction from a cached cloud costs seconds at scale;
+  repeated scoring sweeps like Fig. 5's SLF grid reuse the same sets
+  dozens of times);
+* an on-disk sqlite store of the raw per-K point clouds, shared by
+  every worker process and persisted across runs, living at
+  ``<REPRO_CACHE_DIR>/coverage.sqlite`` next to the legacy ``.npz``
+  files it replaces.
+
+Keyspace discipline matches the decomposition cache: the key string
+encodes the template family (backend), every geometry-affecting
+parameter, and the sampling seed — two builds share a row only when
+they are the same computation.  Payloads are the exact float64 bytes of
+the sampled clouds, so a warm load is bit-identical to the cold build
+(coverage digests are part of the paper pipeline's contract).
+
+Migration: on a disk miss the store looks for the legacy
+``<key>.npz`` file in its directory and, when found, absorbs it into
+sqlite (reads keep working through one release cycle; the npz *write*
+path is gone).  The legacy read path is scheduled for removal in the
+next PR once the parity window closes.
+"""
+
+from __future__ import annotations
+
+import io
+import os
+import sqlite3
+from collections import OrderedDict
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+__all__ = [
+    "CoverageStoreStats",
+    "CoverageStore",
+    "default_coverage_store",
+]
+
+
+@dataclass
+class CoverageStoreStats:
+    """Hit/miss counters, split by which tier answered."""
+
+    memory_hits: int = 0
+    disk_hits: int = 0
+    legacy_hits: int = 0
+    misses: int = 0
+    puts: int = 0
+
+    @property
+    def hits(self) -> int:
+        """Total hits across all tiers."""
+        return self.memory_hits + self.disk_hits + self.legacy_hits
+
+    def as_dict(self) -> dict[str, int]:
+        """Plain-dict form for JSON reports."""
+        return {
+            "memory_hits": self.memory_hits,
+            "disk_hits": self.disk_hits,
+            "legacy_hits": self.legacy_hits,
+            "misses": self.misses,
+            "puts": self.puts,
+        }
+
+
+def _encode_clouds(clouds: list[np.ndarray]) -> bytes:
+    """Exact npz-format bytes of a per-K cloud list."""
+    buffer = io.BytesIO()
+    np.savez_compressed(
+        buffer,
+        **{f"k{k}": np.asarray(cloud, dtype=float)
+           for k, cloud in enumerate(clouds, start=1)},
+    )
+    return buffer.getvalue()
+
+
+def _decode_clouds(payload: bytes, kmax: int) -> list[np.ndarray]:
+    """Inverse of :func:`_encode_clouds`."""
+    with np.load(io.BytesIO(payload)) as data:
+        return [data[f"k{k}"] for k in range(1, kmax + 1)]
+
+
+class CoverageStore:
+    """Two-tier (LRU + sqlite) store of coverage point clouds.
+
+    Args:
+        path: sqlite database file; ``None`` picks
+            ``<coverage cache dir>/coverage.sqlite`` (the directory the
+            legacy ``.npz`` memo used, so migration finds its files).
+        memory_size: LRU capacity for assembled coverage sets.
+        persistent: ``False`` keeps only the in-memory tier (tests, or
+            explicit no-disk flows).
+    """
+
+    def __init__(
+        self,
+        path: str | Path | None = None,
+        memory_size: int = 64,
+        persistent: bool = True,
+    ):
+        if memory_size < 1:
+            raise ValueError("memory_size must be >= 1")
+        self.persistent = bool(persistent)
+        self.path: Path | None = None
+        if self.persistent:
+            if path is None:
+                from ..core.coverage import default_cache_dir
+
+                path = default_cache_dir() / "coverage.sqlite"
+            self.path = Path(path)
+        self.memory_size = int(memory_size)
+        self._memory: OrderedDict[str, object] = OrderedDict()
+        self.stats = CoverageStoreStats()
+        self._conn: sqlite3.Connection | None = None
+        self._pid = os.getpid()
+
+    # -- sqlite backend ------------------------------------------------------
+
+    def _connection(self) -> sqlite3.Connection | None:
+        """Open (or re-open after fork) the backing database."""
+        if not self.persistent:
+            return None
+        if self._conn is not None and self._pid == os.getpid():
+            return self._conn
+        # Connections must never cross a fork; drop the parent's handle.
+        self._conn = None
+        self._pid = os.getpid()
+        assert self.path is not None
+        try:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            conn = sqlite3.connect(self.path, timeout=30.0)
+            conn.execute("PRAGMA journal_mode=WAL")
+            conn.execute("PRAGMA synchronous=NORMAL")
+            conn.execute(
+                "CREATE TABLE IF NOT EXISTS clouds ("
+                "  key TEXT PRIMARY KEY,"
+                "  kmax INTEGER NOT NULL,"
+                "  payload BLOB NOT NULL)"
+            )
+            conn.commit()
+        except (OSError, sqlite3.Error):
+            # Unusable store (read-only fs blocking the mkdir,
+            # corrupted file, ...): degrade to memory-only rather than
+            # failing builds.
+            self.persistent = False
+            return None
+        self._conn = conn
+        return conn
+
+    def close(self) -> None:
+        """Close the database handle (reopened lazily on next use)."""
+        if self._conn is not None and self._pid == os.getpid():
+            self._conn.close()
+        self._conn = None
+
+    # -- assembled-set tier --------------------------------------------------
+
+    def get_set(self, key: str):
+        """Memoized assembled coverage set, or ``None``."""
+        assembled = self._memory.get(key)
+        if assembled is not None:
+            self._memory.move_to_end(key)
+            self.stats.memory_hits += 1
+        return assembled
+
+    def remember_set(self, key: str, coverage) -> None:
+        """Keep an assembled coverage set in the LRU front."""
+        self._memory[key] = coverage
+        self._memory.move_to_end(key)
+        while len(self._memory) > self.memory_size:
+            self._memory.popitem(last=False)
+
+    # -- cloud tier ----------------------------------------------------------
+
+    def _legacy_npz_path(self, key: str) -> Path | None:
+        if self.path is None:
+            return None
+        return self.path.parent / f"{key}.npz"
+
+    def get_clouds(self, key: str, kmax: int) -> list[np.ndarray] | None:
+        """Per-K point clouds from disk (sqlite, then legacy npz)."""
+        conn = self._connection()
+        if conn is not None:
+            try:
+                row = conn.execute(
+                    "SELECT kmax, payload FROM clouds WHERE key = ?",
+                    (key,),
+                ).fetchone()
+            except sqlite3.Error:
+                row = None
+            if row is not None:
+                stored_kmax, payload = row
+                if int(stored_kmax) >= kmax:
+                    try:
+                        clouds = _decode_clouds(payload, kmax)
+                    except (OSError, KeyError, ValueError):
+                        clouds = None
+                    if clouds is not None:
+                        self.stats.disk_hits += 1
+                        return clouds
+                # Corrupted or under-sized row: drop and rebuild.
+                try:
+                    conn.execute(
+                        "DELETE FROM clouds WHERE key = ?", (key,)
+                    )
+                    conn.commit()
+                except sqlite3.Error:
+                    pass
+        clouds = self._migrate_legacy(key, kmax)
+        if clouds is not None:
+            self.stats.legacy_hits += 1
+            return clouds
+        self.stats.misses += 1
+        return None
+
+    def _migrate_legacy(
+        self, key: str, kmax: int
+    ) -> list[np.ndarray] | None:
+        """Absorb a legacy per-dir ``.npz`` archive into sqlite.
+
+        Kept for one release as the npz -> sqlite parity window; the
+        legacy files themselves are left in place for older checkouts.
+        """
+        legacy = self._legacy_npz_path(key)
+        if legacy is None or not legacy.exists():
+            return None
+        try:
+            data = np.load(legacy)
+            clouds = [data[f"k{k}"] for k in range(1, kmax + 1)]
+        except (OSError, KeyError, ValueError):
+            return None
+        self.put_clouds(key, clouds)
+        return clouds
+
+    def put_clouds(self, key: str, clouds: list[np.ndarray]) -> None:
+        """Persist per-K clouds for a key (one write transaction)."""
+        conn = self._connection()
+        if conn is None:
+            return
+        self.stats.puts += 1
+        try:
+            conn.execute(
+                "INSERT OR REPLACE INTO clouds VALUES (?, ?, ?)",
+                (key, len(clouds), _encode_clouds(clouds)),
+            )
+            conn.commit()
+        except sqlite3.Error:
+            pass  # A lost write is only a future rebuild.
+
+    # -- introspection -------------------------------------------------------
+
+    def __len__(self) -> int:
+        """Assembled sets resident in the memory front."""
+        return len(self._memory)
+
+    def disk_entries(self) -> int:
+        """Cloud rows in the persistent store (0 when memory-only)."""
+        conn = self._connection()
+        if conn is None:
+            return 0
+        try:
+            (count,) = conn.execute(
+                "SELECT COUNT(*) FROM clouds"
+            ).fetchone()
+        except sqlite3.Error:
+            return 0
+        return int(count)
+
+    def clear(self, disk: bool = False) -> None:
+        """Empty the memory tier (and optionally the persistent store)."""
+        self._memory.clear()
+        if disk:
+            conn = self._connection()
+            if conn is not None:
+                try:
+                    conn.execute("DELETE FROM clouds")
+                    conn.commit()
+                except sqlite3.Error:
+                    pass
+
+
+#: Per-process stores keyed by resolved sqlite path: tests and workers
+#: repoint ``REPRO_CACHE_DIR`` mid-process, and entries from one
+#: directory must not answer for another (same discipline as the
+#: decomposition cache's per-path registry).
+_PROCESS_STORES: dict[str, CoverageStore] = {}
+
+
+def default_coverage_store() -> CoverageStore:
+    """The shared per-process store for the current cache directory."""
+    from ..core.coverage import default_cache_dir
+
+    path = default_cache_dir() / "coverage.sqlite"
+    key = str(path)
+    store = _PROCESS_STORES.get(key)
+    if store is None:
+        store = _PROCESS_STORES[key] = CoverageStore(path=path)
+    return store

@@ -38,8 +38,34 @@ __all__ = [
     "ResultStore",
     "SUITES",
     "execute_job",
+    "fan_out",
     "suite_jobs",
 ]
+
+
+def fan_out(function, payloads: Sequence, workers: int) -> Iterator:
+    """Stream ``function(payload)`` results over a worker pool.
+
+    The service layer's one fan-out primitive: ``workers <= 1`` (or a
+    single payload) runs serially in-process, otherwise a fork pool
+    (spawn on non-POSIX platforms) streams results as they settle via
+    ``imap_unordered``.  Both :class:`BatchEngine` compile rounds and
+    the synthesis engine's multi-start refinements ride it, so pooling
+    discipline (fork safety, streaming, worker-count invariance of the
+    result set) lives in exactly one place.  ``function`` must be a
+    module-level callable and payloads picklable.
+    """
+    payloads = list(payloads)
+    if workers <= 1 or len(payloads) <= 1:
+        for payload in payloads:
+            yield function(payload)
+        return
+    try:
+        context = multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        context = multiprocessing.get_context("spawn")
+    with context.Pool(processes=min(workers, len(payloads))) as pool:
+        yield from pool.imap_unordered(function, payloads)
 
 #: Paper Table VII / Fig. 3b benchmark order.
 _WORKLOAD_SUITE = (
@@ -290,17 +316,9 @@ class BatchEngine:
         self, indexed: list[tuple[int, CompileJob]], pool_size: int
     ) -> Iterator[tuple[int, CompileResult]]:
         """Yield (index, result) pairs as they settle, streaming."""
-        payloads = self._payloads(indexed)
-        if pool_size <= 1 or len(payloads) <= 1:
-            for payload in payloads:
-                yield _execute_payload(payload)
-            return
-        try:
-            context = multiprocessing.get_context("fork")
-        except ValueError:  # pragma: no cover - non-POSIX platforms
-            context = multiprocessing.get_context("spawn")
-        with context.Pool(processes=pool_size) as pool:
-            yield from pool.imap_unordered(_execute_payload, payloads)
+        yield from fan_out(
+            _execute_payload, self._payloads(indexed), pool_size
+        )
 
     def _cache_covers(self, jobs: Sequence[CompileJob]) -> bool:
         """True when the persistent store has templates for every engine.

@@ -1,0 +1,51 @@
+"""Pluggable synthesis subsystem (paper Sec. III as a service).
+
+Unifies template synthesis, coverage building, and basis search behind
+two seams:
+
+* a **backend registry** (:mod:`repro.synthesis.backends`) — the
+  template family is a named, swappable component satisfying the
+  :class:`SynthesisBackend` protocol;
+* a **synthesis engine** (:mod:`repro.synthesis.engine`) — sequential
+  digest-stable training for the paper pipeline, batched multi-start
+  training for throughput, and coverage building wired to the
+  service-layer :class:`~repro.service.coverage_store.CoverageStore`.
+"""
+
+from .backends import (
+    SynthesisBackend,
+    backend_accepts,
+    backend_description,
+    build_template,
+    get_backend,
+    list_backends,
+    register_backend,
+)
+from .engine import (
+    MultiStartResult,
+    SynthesisEngine,
+    SynthesisResult,
+    batched_template_unitaries,
+    default_engine,
+    spawn_start_rngs,
+    synthesize,
+    target_invariants,
+)
+
+__all__ = [
+    "MultiStartResult",
+    "SynthesisBackend",
+    "SynthesisEngine",
+    "SynthesisResult",
+    "backend_accepts",
+    "backend_description",
+    "batched_template_unitaries",
+    "build_template",
+    "default_engine",
+    "get_backend",
+    "list_backends",
+    "register_backend",
+    "spawn_start_rngs",
+    "synthesize",
+    "target_invariants",
+]

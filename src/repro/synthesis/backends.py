@@ -1,0 +1,216 @@
+"""Pluggable synthesis backends: the template protocol and registry.
+
+A *backend* is a parameterized pulse-template family the synthesis
+engine can train: the discrete piecewise-constant template of the
+paper's Eq. 9 (:class:`~repro.core.parallel_drive.ParallelDriveTemplate`),
+the smooth Fourier-envelope extension of Sec. V
+(:class:`~repro.core.optimal_control.FourierDriveTemplate`), or any
+user-defined family registered via :func:`register_backend` (see
+``examples/custom_backend.py``).
+
+Before this module, the two built-in templates duck-typed each other and
+every consumer hard-imported one of them.  :class:`SynthesisBackend`
+formalizes the shared surface as a runtime-checkable protocol, and the
+registry makes the family a constructor argument — the engine, the
+coverage builder, and the ``repro synth`` CLI all resolve backends by
+name.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from typing import Protocol, runtime_checkable
+
+import numpy as np
+
+__all__ = [
+    "SynthesisBackend",
+    "backend_accepts",
+    "backend_description",
+    "build_template",
+    "get_backend",
+    "list_backends",
+    "register_backend",
+]
+
+
+@runtime_checkable
+class SynthesisBackend(Protocol):
+    """The template surface the synthesis engine trains against.
+
+    Both built-in templates satisfy this protocol structurally; custom
+    backends only need these five members.  ``batched_unitaries`` is an
+    optional sixth (the engine falls back to a scalar loop when a
+    backend does not vectorize over parameter stacks).
+    """
+
+    @property
+    def num_parameters(self) -> int:
+        """Length of the flat parameter vector."""
+        ...
+
+    def unitary(self, params: np.ndarray) -> np.ndarray:
+        """Total 4x4 template propagator for a flat parameter vector."""
+        ...
+
+    def coordinates(self, params: np.ndarray) -> np.ndarray:
+        """Weyl coordinates of the template unitary."""
+        ...
+
+    def random_parameters(self, rng: np.random.Generator) -> np.ndarray:
+        """A random starting parameter vector for one training start."""
+        ...
+
+
+#: Factory signature: keyword pulse parameters -> a template instance.
+BackendFactory = Callable[..., SynthesisBackend]
+
+_REGISTRY: dict[str, tuple[BackendFactory, str]] = {}
+
+
+def register_backend(
+    name: str,
+    factory: BackendFactory,
+    description: str = "",
+    overwrite: bool = False,
+) -> None:
+    """Register a template family under a CLI-addressable name.
+
+    Args:
+        factory: callable taking the engine's pulse keywords
+            (``gc, gg, pulse_duration, repetitions, parallel`` plus any
+            backend-specific extras) and returning a template satisfying
+            :class:`SynthesisBackend`.
+        overwrite: allow replacing an existing registration (tests and
+            notebooks re-running registration cells).
+    """
+    if not name:
+        raise ValueError("backend name must be non-empty")
+    if name in _REGISTRY and not overwrite:
+        raise ValueError(
+            f"backend {name!r} already registered "
+            "(pass overwrite=True to replace)"
+        )
+    _REGISTRY[name] = (factory, description)
+
+
+def get_backend(name: str) -> BackendFactory:
+    """Look up a registered backend factory by name."""
+    try:
+        return _REGISTRY[name][0]
+    except KeyError:
+        raise KeyError(
+            f"unknown synthesis backend {name!r}; "
+            f"registered: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def backend_description(name: str) -> str:
+    """One-line summary of a registered backend."""
+    get_backend(name)  # raise uniformly on unknown names
+    return _REGISTRY[name][1]
+
+
+def backend_accepts(name: str, keyword: str) -> bool:
+    """Whether a backend's factory takes a given keyword parameter.
+
+    Lets shared infrastructure (e.g. the coverage builder's
+    ``steps_per_pulse`` knob) forward family-specific options only to
+    families that understand them — and key caches accordingly —
+    instead of special-casing backend names.
+    """
+    import inspect
+
+    parameters = inspect.signature(get_backend(name)).parameters
+    if keyword in parameters:
+        return True
+    return any(
+        parameter.kind is parameter.VAR_KEYWORD
+        for parameter in parameters.values()
+    )
+
+
+def list_backends() -> list[str]:
+    """All registered backend names, sorted."""
+    return sorted(_REGISTRY)
+
+
+def build_template(name: str, **params) -> SynthesisBackend:
+    """Construct a template of the named family.
+
+    The factory receives ``params`` verbatim; unknown keywords raise
+    from the factory itself so the error names the actual backend.
+    """
+    template = get_backend(name)(**params)
+    if not isinstance(template, SynthesisBackend):
+        raise TypeError(
+            f"backend {name!r} factory returned {type(template).__name__}, "
+            "which does not satisfy SynthesisBackend"
+        )
+    return template
+
+
+# -- built-in families -------------------------------------------------------
+#
+# Factories import lazily: repro.core.parallel_drive re-exports the
+# engine's synthesize() for backward compatibility, so importing the
+# template modules at registry-import time would be circular.
+
+
+def _piecewise_factory(
+    gc: float,
+    gg: float,
+    pulse_duration: float,
+    repetitions: int = 1,
+    parallel: bool = True,
+    steps_per_pulse: int = 4,
+) -> SynthesisBackend:
+    from ..core.parallel_drive import ParallelDriveTemplate
+
+    return ParallelDriveTemplate(
+        gc=gc,
+        gg=gg,
+        pulse_duration=pulse_duration,
+        steps_per_pulse=steps_per_pulse,
+        repetitions=repetitions,
+        parallel=parallel,
+    )
+
+
+def _fourier_factory(
+    gc: float,
+    gg: float,
+    pulse_duration: float,
+    repetitions: int = 1,
+    parallel: bool = True,
+    num_harmonics: int = 3,
+    integration_steps: int = 32,
+) -> SynthesisBackend:
+    if not parallel:
+        raise ValueError(
+            "the fourier backend is inherently parallel-driven; "
+            "use backend='piecewise' with parallel=False for the "
+            "traditional interleaved template"
+        )
+    from ..core.optimal_control import FourierDriveTemplate
+
+    return FourierDriveTemplate(
+        gc=gc,
+        gg=gg,
+        pulse_duration=pulse_duration,
+        num_harmonics=num_harmonics,
+        integration_steps=integration_steps,
+        repetitions=repetitions,
+    )
+
+
+register_backend(
+    "piecewise",
+    _piecewise_factory,
+    "piecewise-constant 1Q drives (paper Eq. 9; the default)",
+)
+register_backend(
+    "fourier",
+    _fourier_factory,
+    "smooth truncated-Fourier 1Q envelopes (paper Sec. V future work)",
+)

@@ -1,0 +1,478 @@
+"""The synthesis engine: template training against Makhlin targets.
+
+Home of the numerical core that used to live inside
+``repro.core.parallel_drive`` — :func:`synthesize`, the Nelder–Mead
+optimization of a template's free parameters toward a target local
+equivalence class — plus the service-grade layers on top of it:
+
+* :class:`SynthesisEngine` — binds a registered backend (see
+  :mod:`repro.synthesis.backends`), an optional
+  :class:`~repro.service.coverage_store.CoverageStore`, and a worker
+  count into one object every consumer rides (coverage building, basis
+  search, experiments, the ``repro synth`` CLI);
+* :meth:`SynthesisEngine.synthesize_multistart` — batched multi-start
+  training: all starting points are drawn from independent
+  ``numpy.random.SeedSequence`` streams, their initial losses are
+  evaluated in *one* vectorized pass through the batched piecewise
+  propagators, and only the most promising starts pay for Nelder–Mead
+  refinement (optionally fanned across a process pool with the same
+  fork/retry discipline as :class:`~repro.service.engine.BatchEngine`).
+
+The scalar :func:`synthesize` path is bit-identical to the historical
+implementation — coverage-set digests on pinned seeds are part of the
+paper pipeline's contract and are pinned by regression tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+from scipy.optimize import minimize
+
+from ..quantum.makhlin import makhlin_from_coordinates, makhlin_invariants
+from ..quantum.random import as_rng
+from ..quantum.weyl import batched_weyl_coordinates, weyl_coordinates
+from .backends import SynthesisBackend, build_template, get_backend
+
+__all__ = [
+    "MultiStartResult",
+    "SynthesisEngine",
+    "SynthesisResult",
+    "batched_template_unitaries",
+    "default_engine",
+    "spawn_start_rngs",
+    "synthesize",
+    "target_invariants",
+]
+
+
+def spawn_start_rngs(
+    seed: int | np.random.Generator | None, starts: int
+) -> list[np.random.Generator]:
+    """Independent per-start RNG streams derived from one seed.
+
+    Mirrors the pass manager's per-trial spawning: start *i* sees the
+    same stream whether starts are drawn in one loop, re-run
+    individually, or refined across a worker pool — each start is
+    independently reproducible from ``(seed, start_index)`` alone.
+    """
+    if starts < 1:
+        raise ValueError("need at least one start")
+    if isinstance(seed, np.random.Generator):
+        try:
+            return list(seed.spawn(starts))
+        except AttributeError:  # pragma: no cover - numpy < 1.25
+            children = seed.bit_generator.seed_seq.spawn(starts)
+            return [np.random.default_rng(child) for child in children]
+    sequence = np.random.SeedSequence(seed)
+    return [np.random.default_rng(child) for child in sequence.spawn(starts)]
+
+
+def target_invariants(target: np.ndarray) -> np.ndarray:
+    """Makhlin triple of a target given as a unitary or coordinates."""
+    target = np.asarray(target)
+    if target.shape == (4, 4):
+        return makhlin_invariants(target)
+    if target.shape == (3,):
+        return makhlin_from_coordinates(target)
+    raise ValueError("target must be a 4x4 unitary or 3 coordinates")
+
+
+def batched_template_unitaries(
+    template: SynthesisBackend, params: np.ndarray
+) -> np.ndarray:
+    """Template unitaries for a ``(starts, P)`` parameter stack.
+
+    Rides the backend's vectorized ``batched_unitaries`` when it has
+    one (both built-in templates do — one stacked eigendecomposition
+    per pulse step instead of one per start); otherwise falls back to a
+    scalar loop so minimal custom backends still work.
+    """
+    params = np.atleast_2d(np.asarray(params, dtype=float))
+    batched = getattr(template, "batched_unitaries", None)
+    if batched is not None:
+        return batched(params)
+    return np.stack([template.unitary(row) for row in params])
+
+
+@dataclass
+class SynthesisResult:
+    """Outcome of a Nelder–Mead template synthesis run."""
+
+    template: SynthesisBackend
+    target_invariants: np.ndarray
+    parameters: np.ndarray
+    loss: float
+    converged: bool
+    loss_history: list[float] = field(default_factory=list)
+    coordinate_history: list[np.ndarray] = field(default_factory=list)
+
+    @property
+    def unitary(self) -> np.ndarray:
+        """The synthesized template unitary."""
+        return self.template.unitary(self.parameters)
+
+    @property
+    def coordinates(self) -> np.ndarray:
+        """Weyl coordinates of the synthesized unitary."""
+        return weyl_coordinates(self.unitary)
+
+
+def synthesize(
+    template: SynthesisBackend,
+    target: np.ndarray,
+    seed: int | np.random.Generator | None = None,
+    restarts: int = 4,
+    max_iterations: int = 2000,
+    tolerance: float = 1e-8,
+    record_history: bool = True,
+) -> SynthesisResult:
+    """Optimize template parameters toward a target's equivalence class.
+
+    This is the paper-pipeline path ("Train for Exterior Coordinates"):
+    restarts are drawn sequentially from one RNG and refined one at a
+    time, exactly as the original implementation did — coverage-set
+    digests depend on this RNG consumption order.  For the vectorized
+    many-starts flow use
+    :meth:`SynthesisEngine.synthesize_multistart`.
+
+    Args:
+        target: either a 4x4 unitary or a coordinate triple ``(c1,c2,c3)``.
+        restarts: independent Nelder–Mead starts (best result returned).
+        record_history: keep the loss / coordinate training path
+            (paper Fig. 8b–c; also feeds Alg. 2's hull boosting).
+    """
+    invariants = target_invariants(target)
+    rng = as_rng(seed)
+
+    history_loss: list[float] = []
+    history_coords: list[np.ndarray] = []
+
+    def loss_fn(params: np.ndarray) -> float:
+        unitary = template.unitary(params)
+        value = float(
+            np.linalg.norm(makhlin_invariants(unitary) - invariants)
+        )
+        if record_history:
+            history_loss.append(value)
+            history_coords.append(weyl_coordinates(unitary))
+        return value
+
+    if template.num_parameters == 0:
+        # Fully constrained template (K=1, no parallel drive): nothing to
+        # optimize, just evaluate the fixed pulse.
+        params = np.zeros(0)
+        value = loss_fn(params)
+        return SynthesisResult(
+            template=template,
+            target_invariants=invariants,
+            parameters=params,
+            loss=value,
+            converged=value < tolerance,
+            loss_history=history_loss,
+            coordinate_history=history_coords,
+        )
+
+    best_params: np.ndarray | None = None
+    best_loss = np.inf
+    for _ in range(max(restarts, 1)):
+        start = template.random_parameters(rng)
+        result = minimize(
+            loss_fn,
+            start,
+            method="Nelder-Mead",
+            options={
+                "maxiter": max_iterations,
+                "fatol": tolerance * 1e-2,
+                "xatol": 1e-10,
+            },
+        )
+        if result.fun < best_loss:
+            best_loss = float(result.fun)
+            best_params = np.asarray(result.x)
+        if best_loss < tolerance:
+            break
+    assert best_params is not None
+    return SynthesisResult(
+        template=template,
+        target_invariants=invariants,
+        parameters=best_params,
+        loss=best_loss,
+        converged=best_loss < tolerance,
+        loss_history=history_loss,
+        coordinate_history=history_coords,
+    )
+
+
+@dataclass
+class MultiStartResult:
+    """Outcome of a batched multi-start training run."""
+
+    best: SynthesisResult
+    start_losses: np.ndarray  # initial loss of every start, start order
+    refined_indices: tuple[int, ...]  # which starts paid for refinement
+    refined_losses: dict[int, float]  # start index -> refined loss
+
+    @property
+    def converged(self) -> bool:
+        """Whether the best refined start reached the target class."""
+        return self.best.converged
+
+
+def _refine_payload(payload: tuple) -> tuple[int, np.ndarray, float]:
+    """Pool worker body: Nelder–Mead from one prepared start."""
+    index, template, invariants, start, max_iterations, tolerance = payload
+
+    def loss_fn(params: np.ndarray) -> float:
+        return float(
+            np.linalg.norm(
+                makhlin_invariants(template.unitary(params)) - invariants
+            )
+        )
+
+    result = minimize(
+        loss_fn,
+        start,
+        method="Nelder-Mead",
+        options={
+            "maxiter": max_iterations,
+            "fatol": tolerance * 1e-2,
+            "xatol": 1e-10,
+        },
+    )
+    return index, np.asarray(result.x), float(result.fun)
+
+
+class SynthesisEngine:
+    """Backend + store + workers: the one object consumers ride.
+
+    Args:
+        backend: registered backend name (see
+            :func:`repro.synthesis.backends.list_backends`).
+        store: a :class:`~repro.service.coverage_store.CoverageStore`
+            for coverage point clouds; ``None`` uses the process
+            default resolved from ``REPRO_CACHE_DIR``.
+        workers: process count for fanning multi-start refinements;
+            ``<= 1`` refines in-process (results are identical either
+            way — each start's optimization is independent).
+        backend_options: extra keywords forwarded to the backend
+            factory on every :meth:`template` call (e.g.
+            ``num_harmonics=5`` for the fourier backend).
+    """
+
+    def __init__(
+        self,
+        backend: str = "piecewise",
+        store=None,
+        workers: int = 1,
+        **backend_options,
+    ):
+        get_backend(backend)  # fail fast on unknown names
+        self.backend = backend
+        self.store = store
+        self.workers = max(1, int(workers))
+        self.backend_options = dict(backend_options)
+
+    def __repr__(self) -> str:
+        return (
+            f"SynthesisEngine(backend={self.backend!r}, "
+            f"workers={self.workers})"
+        )
+
+    # -- construction --------------------------------------------------------
+
+    def template(
+        self,
+        gc: float,
+        gg: float,
+        pulse_duration: float,
+        repetitions: int = 1,
+        parallel: bool = True,
+        **overrides,
+    ) -> SynthesisBackend:
+        """Build a template of this engine's backend family."""
+        params = {**self.backend_options, **overrides}
+        return build_template(
+            self.backend,
+            gc=gc,
+            gg=gg,
+            pulse_duration=pulse_duration,
+            repetitions=repetitions,
+            parallel=parallel,
+            **params,
+        )
+
+    # -- training ------------------------------------------------------------
+
+    def synthesize(
+        self,
+        template: SynthesisBackend,
+        target: np.ndarray,
+        seed: int | np.random.Generator | None = None,
+        restarts: int = 4,
+        max_iterations: int = 2000,
+        tolerance: float = 1e-8,
+        record_history: bool = True,
+    ) -> SynthesisResult:
+        """Sequential-restart training (the digest-stable paper path)."""
+        return synthesize(
+            template,
+            target,
+            seed=seed,
+            restarts=restarts,
+            max_iterations=max_iterations,
+            tolerance=tolerance,
+            record_history=record_history,
+        )
+
+    def synthesize_multistart(
+        self,
+        template: SynthesisBackend,
+        target: np.ndarray,
+        starts: int = 16,
+        refine: int = 2,
+        seed: int | np.random.Generator | None = None,
+        max_iterations: int = 2000,
+        tolerance: float = 1e-8,
+    ) -> MultiStartResult:
+        """Batched multi-start training.
+
+        All ``starts`` parameter vectors are drawn from per-start
+        ``SeedSequence`` streams, their initial losses are evaluated in
+        one vectorized pass (stacked Hamiltonian assembly + batched
+        piecewise propagators), and the ``refine`` most promising
+        starts run Nelder–Mead — in-process or across a fork pool when
+        ``workers > 1``.  Results are independent of the worker count.
+        """
+        if starts < 1:
+            raise ValueError("starts must be >= 1")
+        if not 1 <= refine <= starts:
+            raise ValueError("refine must be in 1..starts")
+        invariants = target_invariants(target)
+        if template.num_parameters == 0:
+            result = synthesize(
+                template, target, seed=seed, tolerance=tolerance
+            )
+            return MultiStartResult(
+                best=result,
+                start_losses=np.array([result.loss]),
+                refined_indices=(0,),
+                refined_losses={0: result.loss},
+            )
+        rngs = spawn_start_rngs(seed, starts)
+        start_params = np.stack(
+            [template.random_parameters(rng) for rng in rngs]
+        )
+        unitaries = batched_template_unitaries(template, start_params)
+        start_losses = np.array(
+            [
+                float(np.linalg.norm(makhlin_invariants(u) - invariants))
+                for u in unitaries
+            ]
+        )
+        order = np.argsort(start_losses, kind="stable")
+        chosen = tuple(int(i) for i in order[:refine])
+        payloads = [
+            (
+                index,
+                template,
+                invariants,
+                start_params[index],
+                max_iterations,
+                tolerance,
+            )
+            for index in chosen
+        ]
+        # Wide refinement rides the batch-service fan-out primitive —
+        # the same fork/streaming discipline compile rounds use.
+        from ..service.engine import fan_out
+
+        refined: dict[int, tuple[np.ndarray, float]] = {}
+        for index, params, loss in fan_out(
+            _refine_payload, payloads, self.workers
+        ):
+            refined[index] = (params, loss)
+        # Deterministic winner: iterate in chosen (quality) order so a
+        # loss tie resolves to the better-ranked start, not pool timing.
+        best_index = chosen[0]
+        for index in chosen:
+            if refined[index][1] < refined[best_index][1]:
+                best_index = index
+        best_params, best_loss = refined[best_index]
+        best = SynthesisResult(
+            template=template,
+            target_invariants=invariants,
+            parameters=best_params,
+            loss=best_loss,
+            converged=best_loss < tolerance,
+        )
+        return MultiStartResult(
+            best=best,
+            start_losses=start_losses,
+            refined_indices=chosen,
+            refined_losses={
+                index: loss for index, (_, loss) in refined.items()
+            },
+        )
+
+    # -- sampling ------------------------------------------------------------
+
+    def sample_coordinates(
+        self,
+        template: SynthesisBackend,
+        count: int,
+        seed: int | np.random.Generator | None = None,
+    ) -> np.ndarray:
+        """Batched random template coordinates (Alg. 2's sampling phase).
+
+        The piecewise backend keeps its specialized sampler (Haar
+        interior locals, exactly the paper's distribution — and exactly
+        the historical RNG stream); other backends sample their own
+        ``random_parameters`` distribution and evaluate the stack
+        through the batched propagators.
+        """
+        from ..core.parallel_drive import (
+            ParallelDriveTemplate,
+            sample_template_coordinates,
+        )
+
+        if isinstance(template, ParallelDriveTemplate):
+            return sample_template_coordinates(template, count, seed)
+        if count < 1:
+            raise ValueError("count must be positive")
+        rng = as_rng(seed)
+        params = np.stack(
+            [template.random_parameters(rng) for _ in range(count)]
+        )
+        return batched_weyl_coordinates(
+            batched_template_unitaries(template, params)
+        )
+
+    # -- coverage ------------------------------------------------------------
+
+    def coverage_set(self, *args, **kwargs):
+        """Build (or load) a coverage set through this engine.
+
+        Thin delegation to
+        :func:`repro.core.coverage.build_coverage_set` with this
+        engine's backend, store, and training path wired in; accepts
+        the same arguments.
+        """
+        from ..core.coverage import build_coverage_set
+
+        kwargs.setdefault("engine", self)
+        return build_coverage_set(*args, **kwargs)
+
+
+#: Process-default engines, one per backend name (the piecewise default
+#: is what the legacy module-level entry points ride).
+_DEFAULT_ENGINES: dict[str, SynthesisEngine] = {}
+
+
+def default_engine(backend: str = "piecewise") -> SynthesisEngine:
+    """The shared per-process engine for a backend name."""
+    engine = _DEFAULT_ENGINES.get(backend)
+    if engine is None:
+        engine = _DEFAULT_ENGINES[backend] = SynthesisEngine(backend)
+    return engine

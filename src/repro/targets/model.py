@@ -237,6 +237,46 @@ class HardwareTarget:
             return base
         return ScaledRules(base, self.speed_limit_scale)
 
+    def coverage_set(
+        self,
+        kmax: int,
+        parallel: bool = False,
+        edge: tuple[int, int] | None = None,
+        backend: str = "piecewise",
+        **kwargs,
+    ):
+        """Coverage set of this device's 2Q basis via the synthesis engine.
+
+        Resolves the target's ``basis_gate`` (or an individual edge's
+        override — heterogeneous devices may calibrate different gates
+        per coupler) through the synthesis engine's coverage builder,
+        so targets whose basis is *not* one of the preset sqrt(iSWAP)
+        rule engines still get reachability regions: scheduling
+        studies, scenario sweeps, and custom rule engines price their
+        templates against the same store-backed regions the compiler
+        uses.  The speed-limit scale is deliberately absent from the
+        key: it slows the drive but does not change the reachable set
+        (see :class:`ScaledRules`), so fast/slow variants share one
+        cloud.
+        """
+        from ..core.decomposition_rules import (
+            canonical_basis_name,
+            coverage_for_basis,
+        )
+
+        gate = (
+            self.edge_properties(*edge).basis_gate
+            if edge is not None
+            else self.basis_gate
+        )
+        return coverage_for_basis(
+            canonical_basis_name(gate),
+            kmax=kmax,
+            parallel=parallel,
+            backend=backend,
+            **kwargs,
+        )
+
     def gate_duration(self, gate: Gate) -> float:
         """Schedule-time duration hook applying per-edge speed scales.
 

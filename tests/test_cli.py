@@ -57,6 +57,76 @@ class TestTargets:
         assert "targets:" in capsys.readouterr().err
 
 
+class TestSynth:
+    def test_list_backends(self, capsys):
+        assert main(["synth", "--list-backends"]) == 0
+        out = capsys.readouterr().out
+        assert "piecewise" in out and "fourier" in out
+
+    def test_synthesize_named_target(self, capsys):
+        code = main(
+            ["synth", "CNOT", "--basis", "iSWAP", "--starts", "8",
+             "--refine", "1", "--seed", "7"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "converged=True" in out
+        assert "starts: 8" in out
+
+    def test_coordinate_target_and_json(self, tmp_path, capsys):
+        import json
+
+        out_path = tmp_path / "synth.json"
+        code = main(
+            ["synth", "1.5707963", "0", "0", "--starts", "6",
+             "--refine", "1", "--seed", "7", "--json", str(out_path)]
+        )
+        assert code == 0
+        payload = json.loads(out_path.read_text())
+        assert payload["converged"] is True
+        assert len(payload["start_losses"]) == 6
+
+    def test_unknown_backend_fails(self, capsys):
+        assert main(["synth", "CNOT", "--backend", "nope"]) == 2
+        assert "backend" in capsys.readouterr().err
+
+    def test_unknown_basis_fails(self, capsys):
+        assert main(["synth", "CNOT", "--basis", "nope"]) == 2
+        assert "basis" in capsys.readouterr().err
+
+    def test_missing_target_fails(self, capsys):
+        assert main(["synth"]) == 2
+        assert "target" in capsys.readouterr().err
+
+    def test_coverage_flow(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        monkeypatch.delenv("REPRO_COVERAGE_CACHE", raising=False)
+        code = main(
+            ["synth", "--basis", "sqrt_iSWAP", "--coverage", "1",
+             "--samples", "150", "--no-parallel", "--seed", "3"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "K=1: Haar fraction" in out
+        assert "coverage store" in out
+        assert (tmp_path / "coverage.sqlite").exists()
+
+    def test_coverage_flow_respects_kill_switch(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        monkeypatch.setenv("REPRO_COVERAGE_CACHE", "off")
+        code = main(
+            ["synth", "--basis", "sqrt_iSWAP", "--coverage", "1",
+             "--samples", "150", "--no-parallel", "--seed", "3"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "disabled (REPRO_COVERAGE_CACHE)" in out
+        # The kill-switch promises no writes: not even an empty db.
+        assert not (tmp_path / "coverage.sqlite").exists()
+
+
 class TestBatchTarget:
     def test_batch_on_named_target(self, tmp_path, capsys):
         # The acceptance flow: the smoke suite retargeted end-to-end

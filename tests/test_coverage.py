@@ -105,18 +105,32 @@ class TestCoverageSets:
 class TestCaching:
     def test_cache_round_trip(self, tmp_path, monkeypatch):
         monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        monkeypatch.delenv("REPRO_COVERAGE_CACHE", raising=False)
         kwargs = dict(
             gc=np.pi / 2, gg=0.0, pulse_duration=1.0, kmax=1,
             basis_name="cache_test", parallel=False, samples_per_k=200,
             seed=3, boost_targets=False,
         )
         first = build_coverage_set(**kwargs)
-        assert len(list(tmp_path.glob("*.npz"))) == 1
+        # Clouds persist in the sqlite-backed CoverageStore (the legacy
+        # per-key .npz layout is read-only migration now).
+        assert (tmp_path / "coverage.sqlite").exists()
+        assert len(list(tmp_path.glob("*.npz"))) == 0
         second = build_coverage_set(**kwargs)
         haar = haar_coordinate_samples(300, seed=4)
         assert np.array_equal(
             first.min_k(haar), second.min_k(haar)
         )
+
+    def test_cache_disabled_writes_nothing(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        monkeypatch.setenv("REPRO_COVERAGE_CACHE", "off")
+        build_coverage_set(
+            gc=np.pi / 2, gg=0.0, pulse_duration=1.0, kmax=1,
+            basis_name="cache_off_test", parallel=False,
+            samples_per_k=150, seed=3, boost_targets=False,
+        )
+        assert not (tmp_path / "coverage.sqlite").exists()
 
     @pytest.mark.parametrize(
         "value",

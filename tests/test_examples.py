@@ -25,6 +25,7 @@ def test_examples_directory_complete():
         "quickstart.py",
         "basis_gate_selection.py",
         "batch_compile.py",
+        "custom_backend.py",
         "custom_pipeline.py",
         "parallel_drive_cnot.py",
         "transpile_workload.py",
@@ -49,6 +50,14 @@ def test_parallel_drive_cnot_runs(capsys):
     _run("parallel_drive_cnot.py")
     out = capsys.readouterr().out
     assert "converged=True" in out
+
+
+def test_custom_backend_runs(capsys):
+    _run("custom_backend.py")
+    out = capsys.readouterr().out
+    assert "'ramp'" in out
+    assert "converged=True" in out
+    assert "repro synth exit code: 0" in out
 
 
 @pytest.mark.slow

@@ -24,6 +24,39 @@ class TestEnvelope:
         second = envelope_samples(np.array([0.0, 0.5]), 32)
         assert np.allclose(combined, first + second)
 
+    def test_zero_coefficients_give_zero_envelope(self):
+        assert np.array_equal(
+            envelope_samples(np.zeros(4), 16), np.zeros(16)
+        )
+
+    def test_single_harmonic_is_exact_half_sine(self):
+        steps = 16
+        samples = envelope_samples(np.array([1.5]), steps)
+        midpoints = (np.arange(steps) + 0.5) / steps
+        assert np.allclose(samples, 1.5 * np.sin(np.pi * midpoints))
+
+    def test_edge_pinned_ramps(self, rng):
+        # The sine basis vanishes at t = 0 and t = T, so the first/last
+        # midpoint samples are bounded by the series' slope times half a
+        # step — the ramps stay hardware-friendly for any coefficients.
+        steps = 64
+        for _ in range(5):
+            coefficients = rng.normal(0, 2.0, size=4)
+            samples = envelope_samples(coefficients, steps)
+            harmonics = np.arange(1, 5)
+            slope_bound = float(
+                np.sum(np.abs(coefficients) * harmonics) * np.pi
+            )
+            edge_bound = slope_bound * (0.5 / steps)
+            assert abs(samples[0]) <= edge_bound + 1e-12
+            assert abs(samples[-1]) <= edge_bound + 1e-12
+            # And the exact series is zero at the pulse edges.
+            for t in (0.0, 1.0):
+                value = float(
+                    np.sum(coefficients * np.sin(np.pi * harmonics * t))
+                )
+                assert abs(value) < 1e-12
+
 
 class TestTemplate:
     def test_parameter_counting(self):
@@ -61,6 +94,47 @@ class TestTemplate:
         template = FourierDriveTemplate(gc=1, gg=0, pulse_duration=1)
         with pytest.raises(ValueError):
             template.unitary(np.zeros(3))
+
+    def test_pinned_seed_synthesis_parity_with_piecewise(self):
+        # Both template families, trained toward the same CX-family
+        # target from the same pinned seed, must land in the same local
+        # equivalence class — the backends are interchangeable.
+        from repro.core.parallel_drive import ParallelDriveTemplate
+
+        target = np.array([np.pi / 4, 0.0, 0.0])  # sqrt(CNOT) class
+        smooth = FourierDriveTemplate(
+            gc=np.pi / 2, gg=0.0, pulse_duration=1.0, num_harmonics=2,
+            integration_steps=12,
+        )
+        discrete = ParallelDriveTemplate(
+            gc=np.pi / 2, gg=0.0, pulse_duration=1.0, repetitions=1
+        )
+        smooth_result = synthesize(
+            smooth, target, seed=13, restarts=4, max_iterations=2500,
+            tolerance=1e-6, record_history=False,
+        )
+        discrete_result = synthesize(
+            discrete, target, seed=13, restarts=4, max_iterations=2500,
+            tolerance=1e-6, record_history=False,
+        )
+        assert smooth_result.converged
+        assert discrete_result.converged
+        # Parity in invariant space (the optimizer's own metric): the
+        # Weyl chamber's CX ray has a Makhlin-degenerate mirror at
+        # pi - c1, so raw coordinates may land on either image.
+        from repro.quantum.makhlin import (
+            makhlin_from_coordinates,
+            makhlin_invariants,
+        )
+
+        target_triple = makhlin_from_coordinates(target)
+        for result in (smooth_result, discrete_result):
+            achieved = makhlin_invariants(result.unitary)
+            assert np.linalg.norm(achieved - target_triple) < 1e-6
+            c1 = result.coordinates[0]
+            assert min(abs(c1 - np.pi / 4), abs(c1 - 3 * np.pi / 4)) < 5e-3
+            assert abs(result.coordinates[1]) < 5e-3
+            assert abs(result.coordinates[2]) < 5e-3
 
 
 @pytest.mark.slow

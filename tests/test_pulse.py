@@ -128,6 +128,22 @@ class TestEvolution:
         with pytest.raises(ValueError):
             propagate_piecewise([], [])
 
+    def test_piecewise_parity_with_scalar_loop(self, rng):
+        # propagate_piecewise now rides one stacked eigendecomposition
+        # (batched_step_propagators); it must match the historical
+        # scalar step_propagator loop on every schedule shape.
+        for num_steps in (1, 3, 7):
+            hams = rng.normal(size=(num_steps, 4, 4)) + 1j * rng.normal(
+                size=(num_steps, 4, 4)
+            )
+            hams = hams + np.conj(np.transpose(hams, (0, 2, 1)))
+            dts = rng.uniform(0.05, 0.4, size=num_steps)
+            old_loop = np.eye(4, dtype=complex)
+            for ham, dt in zip(hams, dts):
+                old_loop = step_propagator(ham, float(dt)) @ old_loop
+            batched = propagate_piecewise(list(hams), list(dts))
+            assert np.allclose(batched, old_loop, atol=1e-13)
+
     def test_batched_matches_loop(self, rng):
         hams = rng.normal(size=(8, 4, 4))
         hams = hams + np.transpose(hams, (0, 2, 1))  # symmetrize

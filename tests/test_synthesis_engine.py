@@ -1,0 +1,504 @@
+"""Tests for the pluggable synthesis subsystem (backends, engine, store)."""
+
+import numpy as np
+import pytest
+
+from repro.core.coverage import (
+    build_coverage_set,
+    coverage_cache_key,
+    haar_coordinate_samples,
+)
+from repro.core.decomposition_rules import canonical_basis_name
+from repro.core.optimal_control import FourierDriveTemplate
+from repro.core.parallel_drive import ParallelDriveTemplate, synthesize
+from repro.quantum.weyl import named_gate_coordinates
+from repro.service.coverage_store import CoverageStore
+from repro.synthesis import (
+    SynthesisBackend,
+    SynthesisEngine,
+    backend_accepts,
+    batched_template_unitaries,
+    build_template,
+    default_engine,
+    get_backend,
+    list_backends,
+    register_backend,
+    spawn_start_rngs,
+    target_invariants,
+)
+
+
+class TestBackendRegistry:
+    def test_builtin_backends_registered(self):
+        assert {"piecewise", "fourier"} <= set(list_backends())
+
+    def test_builtin_templates_satisfy_protocol(self):
+        piecewise = build_template(
+            "piecewise", gc=np.pi / 2, gg=0.0, pulse_duration=1.0
+        )
+        fourier = build_template(
+            "fourier", gc=np.pi / 2, gg=0.0, pulse_duration=1.0
+        )
+        assert isinstance(piecewise, ParallelDriveTemplate)
+        assert isinstance(fourier, FourierDriveTemplate)
+        assert isinstance(piecewise, SynthesisBackend)
+        assert isinstance(fourier, SynthesisBackend)
+
+    def test_unknown_backend_raises(self):
+        with pytest.raises(KeyError, match="registered"):
+            get_backend("nope")
+        with pytest.raises(KeyError):
+            SynthesisEngine("nope")
+
+    def test_duplicate_registration_guard(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_backend("piecewise", lambda **kw: None)
+
+    def test_register_and_overwrite(self):
+        def factory(**params):
+            return ParallelDriveTemplate(
+                gc=params["gc"], gg=params["gg"],
+                pulse_duration=params["pulse_duration"],
+            )
+
+        register_backend("test_dummy", factory, overwrite=True)
+        register_backend("test_dummy", factory, overwrite=True)
+        assert "test_dummy" in list_backends()
+        template = build_template(
+            "test_dummy", gc=1.0, gg=0.0, pulse_duration=1.0
+        )
+        assert isinstance(template, SynthesisBackend)
+
+    def test_fourier_rejects_non_parallel(self):
+        with pytest.raises(ValueError, match="parallel"):
+            build_template(
+                "fourier", gc=1.0, gg=0.0, pulse_duration=1.0,
+                parallel=False,
+            )
+
+
+class TestEngineScalarPath:
+    def test_engine_matches_module_synthesize_bitwise(self):
+        # The engine's sequential path must consume the RNG exactly as
+        # the legacy function: coverage digests depend on it.
+        template = ParallelDriveTemplate(
+            gc=np.pi / 2, gg=0.0, pulse_duration=1.0, repetitions=1
+        )
+        target = named_gate_coordinates("CNOT")
+        via_engine = default_engine().synthesize(
+            template, target, seed=3, restarts=2, max_iterations=500
+        )
+        via_module = synthesize(
+            template, target, seed=3, restarts=2, max_iterations=500
+        )
+        assert np.array_equal(via_engine.parameters, via_module.parameters)
+        assert via_engine.loss == via_module.loss
+        assert via_engine.loss_history == via_module.loss_history
+
+    def test_target_invariants_shapes(self):
+        from repro.quantum.gates import CNOT
+
+        by_coords = target_invariants(named_gate_coordinates("CNOT"))
+        by_unitary = target_invariants(CNOT)
+        assert np.allclose(by_coords, by_unitary, atol=1e-12)
+        with pytest.raises(ValueError):
+            target_invariants(np.zeros(5))
+
+
+class TestBatchedUnitaries:
+    @pytest.mark.parametrize("parallel", [True, False])
+    def test_piecewise_matches_scalar(self, rng, parallel):
+        template = ParallelDriveTemplate(
+            gc=np.pi / 2, gg=0.3, pulse_duration=1.0, repetitions=2,
+            parallel=parallel,
+        )
+        params = np.stack(
+            [template.random_parameters(rng) for _ in range(6)]
+        )
+        batched = template.batched_unitaries(params)
+        scalar = np.stack([template.unitary(row) for row in params])
+        assert np.allclose(batched, scalar, atol=1e-12)
+
+    def test_fourier_matches_scalar(self, rng):
+        template = FourierDriveTemplate(
+            gc=np.pi / 2, gg=0.2, pulse_duration=1.0, repetitions=2,
+            integration_steps=16,
+        )
+        params = np.stack(
+            [template.random_parameters(rng) for _ in range(5)]
+        )
+        batched = template.batched_unitaries(params)
+        scalar = np.stack([template.unitary(row) for row in params])
+        assert np.allclose(batched, scalar, atol=1e-12)
+
+    def test_fallback_for_minimal_backends(self):
+        class Minimal:
+            num_parameters = 0
+
+            def unitary(self, params):
+                return np.eye(4, dtype=complex)
+
+            def coordinates(self, params):
+                return np.zeros(3)
+
+            def random_parameters(self, rng):
+                return np.zeros(0)
+
+        stack = batched_template_unitaries(Minimal(), np.zeros((3, 0)))
+        assert stack.shape == (3, 4, 4)
+
+    def test_shape_validation(self):
+        template = ParallelDriveTemplate(
+            gc=1.0, gg=0.0, pulse_duration=1.0
+        )
+        with pytest.raises(ValueError):
+            template.batched_unitaries(np.zeros((2, 3)))
+
+
+class TestMultiStart:
+    @pytest.fixture(scope="class")
+    def template(self):
+        return ParallelDriveTemplate(
+            gc=np.pi / 2, gg=0.0, pulse_duration=1.0, repetitions=1
+        )
+
+    def test_converges_to_cnot(self, template):
+        outcome = default_engine().synthesize_multistart(
+            template,
+            named_gate_coordinates("CNOT"),
+            starts=12,
+            refine=2,
+            seed=7,
+        )
+        assert outcome.converged
+        assert np.allclose(
+            outcome.best.coordinates,
+            named_gate_coordinates("CNOT"),
+            atol=1e-4,
+        )
+        assert outcome.start_losses.shape == (12,)
+        assert len(outcome.refined_indices) == 2
+
+    def test_start_losses_match_scalar_evaluation(self, template):
+        target = named_gate_coordinates("CNOT")
+        invariants = target_invariants(target)
+        outcome = default_engine().synthesize_multistart(
+            template, target, starts=6, refine=1, seed=11,
+            max_iterations=50,
+        )
+        from repro.quantum.makhlin import makhlin_invariants
+
+        rngs = spawn_start_rngs(11, 6)
+        expected = []
+        for rng in rngs:
+            start = template.random_parameters(rng)
+            expected.append(
+                float(
+                    np.linalg.norm(
+                        makhlin_invariants(template.unitary(start))
+                        - invariants
+                    )
+                )
+            )
+        assert np.allclose(outcome.start_losses, expected, atol=1e-12)
+
+    def test_seeded_reproducibility(self, template):
+        target = named_gate_coordinates("CNOT")
+        engine = default_engine()
+        first = engine.synthesize_multistart(
+            template, target, starts=8, refine=2, seed=5,
+            max_iterations=300,
+        )
+        second = engine.synthesize_multistart(
+            template, target, starts=8, refine=2, seed=5,
+            max_iterations=300,
+        )
+        assert np.array_equal(first.start_losses, second.start_losses)
+        assert np.array_equal(
+            first.best.parameters, second.best.parameters
+        )
+
+    def test_worker_count_invariance(self, template):
+        # Fanning refinements over a pool must not change the result.
+        target = named_gate_coordinates("CNOT")
+        serial = SynthesisEngine("piecewise", workers=1)
+        pooled = SynthesisEngine("piecewise", workers=2)
+        a = serial.synthesize_multistart(
+            template, target, starts=6, refine=2, seed=5,
+            max_iterations=300,
+        )
+        b = pooled.synthesize_multistart(
+            template, target, starts=6, refine=2, seed=5,
+            max_iterations=300,
+        )
+        assert np.array_equal(a.best.parameters, b.best.parameters)
+        assert a.refined_losses == b.refined_losses
+
+    def test_validation(self, template):
+        engine = default_engine()
+        with pytest.raises(ValueError):
+            engine.synthesize_multistart(
+                template, np.zeros(3), starts=0
+            )
+        with pytest.raises(ValueError):
+            engine.synthesize_multistart(
+                template, np.zeros(3), starts=4, refine=5
+            )
+
+    def test_constrained_template_shortcut(self):
+        template = ParallelDriveTemplate(
+            gc=np.pi / 2, gg=0.0, pulse_duration=1.0, repetitions=1,
+            parallel=False,
+        )
+        outcome = default_engine().synthesize_multistart(
+            template, named_gate_coordinates("iSWAP"), starts=4
+        )
+        assert outcome.converged
+        assert outcome.best.parameters.size == 0
+
+
+class TestCoverageStore:
+    def _clouds(self, rng):
+        return [
+            rng.uniform(0, 1, size=(40, 3)),
+            rng.uniform(0, 1, size=(50, 3)),
+        ]
+
+    def test_round_trip_bit_exact(self, tmp_path, rng):
+        store = CoverageStore(path=tmp_path / "cov.sqlite")
+        clouds = self._clouds(rng)
+        store.put_clouds("key-a", clouds)
+        loaded = store.get_clouds("key-a", 2)
+        assert loaded is not None
+        for original, restored in zip(clouds, loaded):
+            assert np.array_equal(original, restored)
+        assert store.disk_entries() == 1
+        assert store.stats.disk_hits == 1
+
+    def test_miss_and_stats(self, tmp_path):
+        store = CoverageStore(path=tmp_path / "cov.sqlite")
+        assert store.get_clouds("missing", 1) is None
+        assert store.stats.misses == 1
+        assert store.stats.hits == 0
+
+    def test_assembled_memo_lru(self, tmp_path):
+        store = CoverageStore(path=tmp_path / "cov.sqlite", memory_size=2)
+        for index in range(3):
+            store.remember_set(f"k{index}", object())
+        assert len(store) == 2
+        assert store.get_set("k0") is None  # evicted
+        assert store.get_set("k2") is not None
+        assert store.stats.memory_hits == 1
+
+    def test_legacy_npz_migration(self, tmp_path, rng):
+        clouds = self._clouds(rng)
+        key = "legacy_basis_gc1.000000_seed3_v2"
+        np.savez_compressed(
+            tmp_path / f"{key}.npz",
+            **{f"k{k}": c for k, c in enumerate(clouds, start=1)},
+        )
+        store = CoverageStore(path=tmp_path / "coverage.sqlite")
+        migrated = store.get_clouds(key, 2)
+        assert migrated is not None
+        assert store.stats.legacy_hits == 1
+        for original, restored in zip(clouds, migrated):
+            assert np.array_equal(original, restored)
+        # The migration persisted into sqlite: a fresh store answers
+        # from disk even with the npz gone.
+        (tmp_path / f"{key}.npz").unlink()
+        fresh = CoverageStore(path=tmp_path / "coverage.sqlite")
+        again = fresh.get_clouds(key, 2)
+        assert again is not None
+        assert fresh.stats.disk_hits == 1
+
+    def test_memory_only_store(self, rng):
+        store = CoverageStore(persistent=False)
+        store.put_clouds("k", self._clouds(rng))
+        assert store.disk_entries() == 0
+        assert store.get_clouds("k", 2) is None  # no disk tier
+
+    def test_clear(self, tmp_path, rng):
+        store = CoverageStore(path=tmp_path / "cov.sqlite")
+        store.put_clouds("k", self._clouds(rng))
+        store.remember_set("k", object())
+        store.clear(disk=True)
+        assert len(store) == 0
+        assert store.disk_entries() == 0
+
+
+class TestCoverageBuildParity:
+    _KWARGS = dict(
+        gc=np.pi / 2, gg=0.0, pulse_duration=1.0, kmax=1,
+        basis_name="parity_test", parallel=False, samples_per_k=150,
+        seed=3, boost_targets=False,
+    )
+
+    def test_store_reload_is_bit_identical(self, tmp_path):
+        store = CoverageStore(path=tmp_path / "cov.sqlite")
+        cold = build_coverage_set(store=store, **self._KWARGS)
+        # Disk-tier reload (fresh instance), and a cache-free rebuild.
+        reload_store = CoverageStore(path=tmp_path / "cov.sqlite")
+        warm = build_coverage_set(store=reload_store, **self._KWARGS)
+        rebuilt = build_coverage_set(cache=False, **self._KWARGS)
+        haar = haar_coordinate_samples(400, seed=4)
+        assert np.array_equal(cold.min_k(haar), warm.min_k(haar))
+        assert np.array_equal(cold.min_k(haar), rebuilt.min_k(haar))
+        # The stored clouds are the exact bytes the rebuild produces.
+        key = coverage_cache_key(
+            gc=np.pi / 2, gg=0.0, pulse_duration=1.0, kmax=1,
+            basis_name="parity_test", parallel=False, samples_per_k=150,
+            steps_per_pulse=4, seed=3, boost_targets=False,
+            synthesis_restarts=3, synthesis_iterations=1200,
+        )
+        first = reload_store.get_clouds(key, 1)
+        second_store = CoverageStore(path=tmp_path / "cov2.sqlite")
+        build_coverage_set(store=second_store, **self._KWARGS)
+        second = second_store.get_clouds(key, 1)
+        assert first is not None and second is not None
+        assert np.array_equal(first[0], second[0])
+
+    def test_default_key_matches_legacy_npz_stem(self):
+        key = coverage_cache_key(
+            gc=np.pi / 2, gg=0.0, pulse_duration=0.5, kmax=3,
+            basis_name="sqrt_iSWAP", parallel=False, samples_per_k=3000,
+            steps_per_pulse=2, seed=20230302, boost_targets=True,
+            synthesis_restarts=3, synthesis_iterations=1200,
+        )
+        assert key == (
+            "sqrt_iSWAP_gc1.570796_gg0.000000_d0.5000_k3_n3000_s2"
+            "_std_b1_r3_i1200_seed20230302_v2"
+        )
+        tagged = coverage_cache_key(
+            gc=np.pi / 2, gg=0.0, pulse_duration=0.5, kmax=3,
+            basis_name="sqrt_iSWAP", parallel=False, samples_per_k=3000,
+            steps_per_pulse=2, seed=20230302, boost_targets=True,
+            synthesis_restarts=3, synthesis_iterations=1200,
+            backend="fourier",
+        )
+        assert tagged.endswith("_be-fourier")
+
+    def test_backend_options_split_the_keyspace(self):
+        base = dict(
+            gc=np.pi / 2, gg=0.0, pulse_duration=1.0, kmax=1,
+            basis_name="t", parallel=True, samples_per_k=100,
+            steps_per_pulse=0, seed=1, boost_targets=False,
+            synthesis_restarts=1, synthesis_iterations=100,
+            backend="fourier",
+        )
+        three = coverage_cache_key(
+            backend_options={"num_harmonics": 3}, **base
+        )
+        five = coverage_cache_key(
+            backend_options={"num_harmonics": 5}, **base
+        )
+        plain = coverage_cache_key(**base)
+        assert len({three, five, plain}) == 3
+
+    def test_steps_knob_only_keys_for_backends_that_take_it(
+        self, tmp_path
+    ):
+        from repro.synthesis import backend_accepts
+
+        assert backend_accepts("piecewise", "steps_per_pulse")
+        assert not backend_accepts("fourier", "steps_per_pulse")
+        # Two fourier builds differing only in the (ignored)
+        # steps_per_pulse knob share one store row.
+        store = CoverageStore(path=tmp_path / "c.sqlite")
+        engine = SynthesisEngine("fourier", integration_steps=8)
+        kwargs = dict(
+            gc=np.pi / 2, gg=0.0, pulse_duration=1.0, kmax=1,
+            basis_name="steps_test", parallel=True, samples_per_k=60,
+            seed=2, boost_targets=False, engine=engine, store=store,
+        )
+        build_coverage_set(steps_per_pulse=4, **kwargs)
+        build_coverage_set(steps_per_pulse=8, **kwargs)
+        assert store.disk_entries() == 1
+        assert store.stats.puts == 1
+
+    def test_unwritable_store_degrades_to_memory_only(self, tmp_path):
+        # A plain file where the cache directory should be: the mkdir
+        # inside _connection raises OSError (works even as root, where
+        # permission bits would not block the write).
+        blocked = tmp_path / "blocked"
+        blocked.write_text("not a directory")
+        store = CoverageStore(path=blocked / "sub" / "cov.sqlite")
+        assert store.get_clouds("k", 1) is None
+        store.put_clouds("k", [np.zeros((4, 3))])
+        assert not store.persistent
+
+    def test_legacy_npz_serves_build(self, tmp_path, monkeypatch):
+        # A cloud persisted under the legacy per-dir npz layout must
+        # keep serving builds through the store (the parity window).
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        cold = build_coverage_set(cache=False, **self._KWARGS)
+        key = coverage_cache_key(
+            gc=np.pi / 2, gg=0.0, pulse_duration=1.0, kmax=1,
+            basis_name="parity_test", parallel=False, samples_per_k=150,
+            steps_per_pulse=4, seed=3, boost_targets=False,
+            synthesis_restarts=3, synthesis_iterations=1200,
+        )
+        # Recreate the legacy archive from a cache-free rebuild's points
+        # via the store encoding (the formats are identical npz).
+        probe_store = CoverageStore(path=tmp_path / "probe.sqlite")
+        build_coverage_set(store=probe_store, **self._KWARGS)
+        clouds = probe_store.get_clouds(key, 1)
+        np.savez_compressed(
+            tmp_path / f"{key}.npz",
+            **{f"k{k}": c for k, c in enumerate(clouds, start=1)},
+        )
+        (tmp_path / "probe.sqlite").unlink()
+        served_store = CoverageStore(path=tmp_path / "coverage.sqlite")
+        served = build_coverage_set(store=served_store, **self._KWARGS)
+        assert served_store.stats.legacy_hits == 1
+        haar = haar_coordinate_samples(400, seed=4)
+        assert np.array_equal(cold.min_k(haar), served.min_k(haar))
+
+
+class TestEngineCoverage:
+    def test_engine_coverage_set_delegates(self, tmp_path):
+        engine = SynthesisEngine(
+            "piecewise", store=CoverageStore(path=tmp_path / "c.sqlite")
+        )
+        coverage = engine.coverage_set(
+            gc=np.pi / 2, gg=0.0, pulse_duration=1.0, kmax=1,
+            basis_name="engine_test", parallel=False, samples_per_k=150,
+            seed=3, boost_targets=False,
+        )
+        assert coverage.kmax == 1
+        assert engine.store.disk_entries() == 1
+
+    def test_generic_backend_sampling(self):
+        engine = SynthesisEngine("fourier", integration_steps=8)
+        template = engine.template(
+            gc=np.pi / 2, gg=0.0, pulse_duration=1.0
+        )
+        coords = engine.sample_coordinates(template, 32, seed=5)
+        assert coords.shape == (32, 3)
+        from repro.quantum.weyl import in_weyl_chamber
+
+        assert all(in_weyl_chamber(c, atol=1e-6) for c in coords)
+
+
+class TestBasisNameResolution:
+    def test_canonical_spellings(self):
+        assert canonical_basis_name("sqrt_iswap") == "sqrt_iSWAP"
+        assert canonical_basis_name("sqrt_iSWAP") == "sqrt_iSWAP"
+        assert canonical_basis_name("iswap") == "iSWAP"
+        assert canonical_basis_name("b") == "B"
+        with pytest.raises(KeyError, match="known"):
+            canonical_basis_name("xy")
+
+    def test_target_coverage_set_rides_engine(self):
+        from repro.targets import get_target
+
+        target = get_target("snail_4x4")
+        coverage = target.coverage_set(
+            kmax=1, parallel=False, samples_per_k=200, seed=6
+        )
+        assert coverage.basis_name == "sqrt_iSWAP"
+        # Speed variants share the cloud: the reachable set is
+        # scale-independent, so the memoized object is the same.
+        fast = get_target("snail_4x4_fast").coverage_set(
+            kmax=1, parallel=False, samples_per_k=200, seed=6
+        )
+        assert fast is coverage
