@@ -16,6 +16,8 @@ Usage::
     python -m repro synth CNOT --basis iSWAP --starts 16 --refine 2
     python -m repro synth SWAP --backend fourier --repetitions 2
     python -m repro synth --basis sqrt_iSWAP --coverage 2
+    python -m repro trace batch --suite smoke --workers 4
+    python -m repro metrics
 """
 
 from __future__ import annotations
@@ -381,6 +383,84 @@ def _cmd_synth(args: argparse.Namespace) -> int:
     return 0 if best.converged else 1
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from .obs import (
+        TRACER,
+        REGISTRY,
+        default_metrics_path,
+        enable_tracing,
+        format_span_summary,
+        write_chrome_trace,
+        write_jsonl,
+        write_metrics_snapshot,
+    )
+
+    rest = list(args.rest)
+    if rest and rest[0] == "--":
+        rest = rest[1:]
+    if not rest:
+        print(
+            "trace: give a command to trace, e.g. "
+            "'repro trace batch --suite smoke'",
+            file=sys.stderr,
+        )
+        return 2
+    if rest[0] in ("trace", "metrics"):
+        print(f"trace: cannot wrap {rest[0]!r}", file=sys.stderr)
+        return 2
+    import os
+
+    TRACER.clear()
+    enable_tracing()
+    code = main(rest)
+    spans = TRACER.spans
+    out = args.out or str(results_dir() / "trace.json")
+    write_chrome_trace(spans, out, main_pid=os.getpid())
+    if args.jsonl is not None:
+        write_jsonl(spans, args.jsonl)
+        print(f"span JSON-lines written to {args.jsonl}")
+    metrics_path = write_metrics_snapshot(
+        REGISTRY.snapshot(),
+        args.metrics_out or default_metrics_path(),
+    )
+    pids = {span.pid for span in spans}
+    print(
+        f"\ntrace: {len(spans)} spans from {len(pids)} process(es), "
+        f"trace id {TRACER.trace_id}"
+    )
+    print(format_span_summary(spans))
+    print(f"\nChrome trace written to {out} "
+          "(load in chrome://tracing or https://ui.perfetto.dev)")
+    print(f"metrics snapshot written to {metrics_path} "
+          "(render with 'repro metrics')")
+    return code
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    from .obs import (
+        default_metrics_path,
+        format_metrics_table,
+        load_metrics_snapshot,
+    )
+
+    path = args.path or default_metrics_path()
+    try:
+        snapshot = load_metrics_snapshot(path)
+    except FileNotFoundError:
+        print(
+            f"metrics: no snapshot at {path}; run 'repro trace <cmd>' "
+            "first (or pass --path)",
+            file=sys.stderr,
+        )
+        return 2
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"metrics: cannot read {path}: {exc}", file=sys.stderr)
+        return 2
+    print(f"metrics snapshot: {path}")
+    print(format_metrics_table(snapshot))
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """Entry point for ``python -m repro``."""
     parser = argparse.ArgumentParser(
@@ -563,6 +643,40 @@ def main(argv: list[str] | None = None) -> int:
         help="write the synthesis outcome as JSON",
     )
 
+    trace_parser = sub.add_parser(
+        "trace",
+        help="run another repro command with span tracing on and "
+             "export the trace",
+    )
+    trace_parser.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="Chrome trace-event JSON output "
+             "(default: <results>/trace.json; Perfetto-loadable)",
+    )
+    trace_parser.add_argument(
+        "--jsonl", default=None, metavar="PATH",
+        help="also write raw spans as JSON lines",
+    )
+    trace_parser.add_argument(
+        "--metrics-out", default=None, metavar="PATH",
+        help="metrics snapshot output "
+             "(default: <results>/metrics.json; read by 'repro metrics')",
+    )
+    trace_parser.add_argument(
+        "rest", nargs=argparse.REMAINDER,
+        help="the repro command to trace, e.g. 'batch --suite smoke'",
+    )
+
+    metrics_parser = sub.add_parser(
+        "metrics",
+        help="print the unified metrics table of the last traced run",
+    )
+    metrics_parser.add_argument(
+        "--path", default=None, metavar="PATH",
+        help="metrics snapshot to render "
+             "(default: <results>/metrics.json)",
+    )
+
     args = parser.parse_args(argv)
     handlers = {
         "list": _cmd_list,
@@ -571,6 +685,8 @@ def main(argv: list[str] | None = None) -> int:
         "targets": _cmd_targets,
         "batch": _cmd_batch,
         "synth": _cmd_synth,
+        "trace": _cmd_trace,
+        "metrics": _cmd_metrics,
     }
     return handlers[args.command](args)
 

@@ -439,11 +439,47 @@ def build_coverage_set(
             store.remember_set(key, assembled)
             return assembled
 
+    from ..obs import metrics as obs_metrics
+    from ..obs import trace as obs_trace
+
+    obs_metrics.counter("repro.coverage.builds").inc()
     rng = as_rng(seed)
     clouds: list[np.ndarray] = []
     template_overrides = (
         {"steps_per_pulse": steps_per_pulse} if takes_steps else {}
     )
+    with obs_trace.span(
+        "coverage.build", basis=basis_name, kmax=kmax, parallel=parallel
+    ):
+        built = _build_clouds(
+            engine, gc, gg, pulse_duration, kmax, parallel,
+            template_overrides, samples_per_k, rng, boost_targets,
+            synthesis_restarts, synthesis_iterations,
+        )
+    clouds.extend(built)
+    assembled = _assemble_coverage(basis_name, parallel, clouds)
+    if key is not None and store is not None:
+        store.put_clouds(key, clouds)
+        store.remember_set(key, assembled)
+    return assembled
+
+
+def _build_clouds(
+    engine,
+    gc: float,
+    gg: float,
+    pulse_duration: float,
+    kmax: int,
+    parallel: bool,
+    template_overrides: dict,
+    samples_per_k: int,
+    rng,
+    boost_targets: bool,
+    synthesis_restarts: int,
+    synthesis_iterations: int,
+) -> list[np.ndarray]:
+    """Sample/boost the per-K point clouds (Alg. 2's expensive loop)."""
+    clouds: list[np.ndarray] = []
     for k in range(1, kmax + 1):
         template = engine.template(
             gc=gc,
@@ -478,11 +514,7 @@ def build_coverage_set(
                 if result.converged:
                     points = np.vstack([points, target[None, :]])
         clouds.append(points)
-    assembled = _assemble_coverage(basis_name, parallel, clouds)
-    if key is not None and store is not None:
-        store.put_clouds(key, clouds)
-        store.remember_set(key, assembled)
-    return assembled
+    return clouds
 
 
 def _assemble_coverage(

@@ -16,7 +16,6 @@ Implements the paper's Sec. III machinery:
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass
 
 import numpy as np
@@ -34,23 +33,6 @@ __all__ = [
     "synthesize",
     "sample_template_coordinates",
 ]
-
-
-def _batched_hamiltonians(*args, **kwargs) -> np.ndarray:
-    """Deprecated alias of :func:`repro.pulse.hamiltonian.batched_hamiltonians`.
-
-    The assembly kernel was promoted to the public pulse layer (it was
-    imported cross-module as a private helper); this shim keeps old
-    imports working for one PR and will be removed afterwards.
-    """
-    warnings.warn(
-        "repro.core.parallel_drive._batched_hamiltonians moved to "
-        "repro.pulse.hamiltonian.batched_hamiltonians; update imports "
-        "(this alias will be removed next release)",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    return batched_hamiltonians(*args, **kwargs)
 
 
 def _batched_u3(

@@ -22,6 +22,8 @@ from collections.abc import Sequence
 
 import numpy as np
 
+from ..obs import metrics
+
 __all__ = ["first_covering_k", "membership_matrix"]
 
 
@@ -38,6 +40,9 @@ def membership_matrix(regions: Sequence, coords: np.ndarray) -> np.ndarray:
         ``contains`` evaluation of region ``r``.
     """
     coords = np.atleast_2d(np.asarray(coords, dtype=float))
+    metrics.histogram(
+        "repro.kernels.membership_batch", metrics.BATCH_SIZE_BUCKETS
+    ).observe(len(coords))
     if len(regions) == 0:
         return np.zeros((0, len(coords)), dtype=bool)
     return np.stack([region.contains(coords) for region in regions])

@@ -133,6 +133,11 @@ def weyl_coordinates_many(unitaries: np.ndarray) -> np.ndarray:
         )
     if len(unitaries) == 0:
         return np.zeros((0, 3))
+    from ..obs import metrics
+
+    metrics.histogram(
+        "repro.kernels.weyl_batch", metrics.BATCH_SIZE_BUCKETS
+    ).observe(len(unitaries))
     bad = _nonunitary_rows(unitaries)
     if len(bad):
         raise ValueError(

@@ -1,0 +1,79 @@
+"""Unified observability: tracing, metrics, exporters.
+
+The three pieces live in sibling modules and share nothing but the
+span/snapshot data shapes:
+
+* :mod:`repro.obs.trace` — span-based tracer whose context crosses
+  the ``BatchEngine``/``fan_out`` process boundary inside
+  :class:`~repro.service.jobs.CompileJob`;
+* :mod:`repro.obs.metrics` — process-wide counter/gauge/histogram
+  registry every subsystem reports through
+  (``repro.<subsystem>.<name>``);
+* :mod:`repro.obs.export` — JSON-lines, Chrome trace-event
+  (Perfetto-loadable), and human-table exporters plus metrics
+  snapshot persistence.
+"""
+
+from .export import (
+    default_metrics_path,
+    format_metrics_table,
+    format_span_summary,
+    load_metrics_snapshot,
+    to_chrome_trace,
+    to_jsonl,
+    write_chrome_trace,
+    write_jsonl,
+    write_metrics_snapshot,
+)
+from .metrics import (
+    BATCH_SIZE_BUCKETS,
+    REGISTRY,
+    TIME_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    counter,
+    gauge,
+    histogram,
+)
+from .trace import (
+    TRACER,
+    Span,
+    TraceContext,
+    Tracer,
+    disable_tracing,
+    enable_tracing,
+    span,
+    tracing_enabled,
+)
+
+__all__ = [
+    "BATCH_SIZE_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "REGISTRY",
+    "Span",
+    "TIME_BUCKETS",
+    "TRACER",
+    "TraceContext",
+    "Tracer",
+    "counter",
+    "default_metrics_path",
+    "disable_tracing",
+    "enable_tracing",
+    "format_metrics_table",
+    "format_span_summary",
+    "gauge",
+    "histogram",
+    "load_metrics_snapshot",
+    "span",
+    "to_chrome_trace",
+    "to_jsonl",
+    "tracing_enabled",
+    "write_chrome_trace",
+    "write_jsonl",
+    "write_metrics_snapshot",
+]

@@ -1,0 +1,214 @@
+"""Exporters: JSON-lines, Chrome trace-event, and summary tables.
+
+Three consumers of one span/metrics model:
+
+* :func:`write_jsonl` — one JSON object per line, the archival form
+  (greppable, streamable, trivially diffable);
+* :func:`to_chrome_trace` / :func:`write_chrome_trace` — the Chrome
+  trace-event format (``chrome://tracing`` / `Perfetto
+  <https://ui.perfetto.dev>`_ both load it): one ``X`` complete event
+  per span, one *row per worker pid* via process-name metadata events,
+  timestamps rebased to the earliest span;
+* :func:`format_span_summary` / :func:`format_metrics_table` — human
+  tables for terminals (what ``repro metrics`` prints).
+
+Metrics snapshots persist as plain JSON next to the other paper
+artifacts (``results_dir()/metrics.json`` by default) so ``repro
+metrics`` can render counters from the *previous* traced run — the
+registry itself dies with its process.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from .trace import Span
+
+__all__ = [
+    "default_metrics_path",
+    "format_metrics_table",
+    "format_span_summary",
+    "load_metrics_snapshot",
+    "to_chrome_trace",
+    "to_jsonl",
+    "write_chrome_trace",
+    "write_jsonl",
+    "write_metrics_snapshot",
+]
+
+
+def _span_dicts(spans) -> list[dict]:
+    """Normalize a span sequence to plain dicts."""
+    return [s.to_dict() if isinstance(s, Span) else dict(s) for s in spans]
+
+
+# -- JSON lines --------------------------------------------------------------
+
+
+def to_jsonl(spans) -> str:
+    """One JSON object per line, span order preserved."""
+    return "\n".join(
+        json.dumps(item, sort_keys=True) for item in _span_dicts(spans)
+    )
+
+
+def write_jsonl(spans, path: str | Path) -> Path:
+    """Write :func:`to_jsonl` output to ``path``."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    text = to_jsonl(spans)
+    path.write_text(text + "\n" if text else "", encoding="utf-8")
+    return path
+
+
+# -- Chrome trace-event format -----------------------------------------------
+
+
+def to_chrome_trace(spans, main_pid: int | None = None) -> dict:
+    """Chrome trace-event JSON (Perfetto-loadable) for a span list.
+
+    Every span becomes an ``X`` (complete) event on its process's row;
+    ``ts`` is microseconds rebased to the earliest span so traces start
+    at zero.  ``M`` metadata events name each row (``repro main`` for
+    ``main_pid``, ``worker <pid>`` otherwise) so multi-process runs read
+    as one aligned timeline, one row per worker pid.
+    """
+    items = _span_dicts(spans)
+    events: list[dict] = []
+    if not items:
+        return {"traceEvents": events, "displayTimeUnit": "ms"}
+    origin = min(item["start"] for item in items)
+    pids = []
+    for item in items:
+        if item["pid"] not in pids:
+            pids.append(item["pid"])
+        args = dict(item["attrs"])
+        if item.get("parent_id"):
+            args["parent_id"] = item["parent_id"]
+        args["span_id"] = item["span_id"]
+        events.append(
+            {
+                "name": item["name"],
+                "ph": "X",
+                "ts": (item["start"] - origin) * 1e6,
+                "dur": item["duration"] * 1e6,
+                "pid": item["pid"],
+                "tid": item["pid"],
+                "args": args,
+            }
+        )
+    for pid in pids:
+        label = "repro main" if pid == main_pid else f"worker {pid}"
+        events.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": pid,
+                "args": {"name": label},
+            }
+        )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(
+    spans, path: str | Path, main_pid: int | None = None
+) -> Path:
+    """Write :func:`to_chrome_trace` output to ``path``."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(
+        json.dumps(to_chrome_trace(spans, main_pid=main_pid)),
+        encoding="utf-8",
+    )
+    return path
+
+
+# -- human tables ------------------------------------------------------------
+
+
+def format_span_summary(spans) -> str:
+    """Per-name aggregate table: calls, total/mean ms, processes."""
+    from ..experiments.common import format_table
+
+    items = _span_dicts(spans)
+    if not items:
+        return "no spans recorded (tracing off?)"
+    grouped: dict[str, list[dict]] = {}
+    for item in items:
+        grouped.setdefault(item["name"], []).append(item)
+    rows = []
+    for name, group in grouped.items():
+        total = sum(item["duration"] for item in group)
+        rows.append(
+            [
+                name,
+                len(group),
+                round(1000.0 * total, 2),
+                round(1000.0 * total / len(group), 2),
+                len({item["pid"] for item in group}),
+            ]
+        )
+    rows.sort(key=lambda row: -row[2])
+    return format_table(
+        ["span", "count", "total ms", "mean ms", "pids"], rows
+    )
+
+
+def format_metrics_table(snapshot: dict) -> str:
+    """Counters/gauges/histograms of one snapshot as aligned tables."""
+    from ..experiments.common import format_table
+
+    sections: list[str] = []
+    counters = snapshot.get("counters", {})
+    if counters:
+        rows = [[name, counters[name]] for name in sorted(counters)]
+        sections.append(format_table(["counter", "value"], rows))
+    gauges = snapshot.get("gauges", {})
+    if gauges:
+        rows = [[name, gauges[name]] for name in sorted(gauges)]
+        sections.append(format_table(["gauge", "value"], rows))
+    histograms = snapshot.get("histograms", {})
+    if histograms:
+        rows = []
+        for name in sorted(histograms):
+            payload = histograms[name]
+            count = payload["count"]
+            mean = payload["total"] / count if count else 0.0
+            rows.append([name, count, round(payload["total"], 4),
+                         round(mean, 6)])
+        sections.append(
+            format_table(["histogram", "count", "total", "mean"], rows)
+        )
+    if not sections:
+        return "no metrics recorded"
+    return "\n\n".join(sections)
+
+
+# -- metrics persistence -----------------------------------------------------
+
+
+def default_metrics_path() -> Path:
+    """Where traced runs drop their registry snapshot."""
+    from ..experiments.common import results_dir
+
+    return results_dir() / "metrics.json"
+
+
+def write_metrics_snapshot(
+    snapshot: dict, path: str | Path | None = None
+) -> Path:
+    """Persist a registry snapshot as JSON; returns the path written."""
+    path = Path(path) if path is not None else default_metrics_path()
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(
+        json.dumps(snapshot, indent=2, sort_keys=True), encoding="utf-8"
+    )
+    return path
+
+
+def load_metrics_snapshot(path: str | Path | None = None) -> dict:
+    """Read a snapshot written by :func:`write_metrics_snapshot`."""
+    path = Path(path) if path is not None else default_metrics_path()
+    return json.loads(path.read_text(encoding="utf-8"))

@@ -1,0 +1,273 @@
+"""Process-wide metrics registry: counters, gauges, histograms.
+
+One registry per process unifies every subsystem's accounting —
+decomposition-cache and coverage-store tier hits, per-pass wall times,
+synthesis start pricing, batch-engine job lifecycle, kernel batch sizes
+— behind a single ``repro.obs.metrics`` API instead of the per-class
+stat dataclasses that used to be invisible to each other.
+
+Naming convention: ``repro.<subsystem>.<name>`` (dots only, no spaces),
+e.g. ``repro.cache.decomp.memory_hits``, ``repro.pass.seconds.Route``,
+``repro.service.job_retries``.  The registry is the *pipe*, not the
+policy: instruments are created on demand by the first caller and
+shared by name afterwards.
+
+Hot-path discipline: incrementing a :class:`Counter` is a plain python
+int add; :class:`Histogram` observation is one ``bisect`` plus three
+adds.  There is no locking — the repo's parallelism is process-based
+(fork pools), and per-process registries are merged explicitly across
+the boundary via :meth:`MetricsRegistry.snapshot` /
+:meth:`MetricsRegistry.merge_snapshot` (the batch engine ships each
+worker job's *delta* back with its result, so fork-inherited counts are
+never double-counted).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from collections.abc import Sequence
+
+__all__ = [
+    "BATCH_SIZE_BUCKETS",
+    "BYTE_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "REGISTRY",
+    "TIME_BUCKETS",
+    "counter",
+    "gauge",
+    "histogram",
+]
+
+#: Fixed bucket boundaries for wall-time histograms (seconds).  Fixed
+#: boundaries keep cross-process merging a pure element-wise add.
+TIME_BUCKETS: tuple[float, ...] = (
+    1e-5, 3.2e-5, 1e-4, 3.2e-4, 1e-3, 3.2e-3, 1e-2, 3.2e-2,
+    0.1, 0.32, 1.0, 3.2, 10.0, 32.0,
+)
+
+#: Fixed bucket boundaries for batch-size histograms (elements).
+BATCH_SIZE_BUCKETS: tuple[float, ...] = (
+    1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 4096,
+)
+
+#: Fixed bucket boundaries for payload-size histograms (bytes).
+BYTE_BUCKETS: tuple[float, ...] = (
+    256, 1024, 4096, 16384, 65536, 262144, 1048576, 4194304,
+    16777216, 67108864,
+)
+
+
+class Counter:
+    """Monotonic event count.  ``inc`` is a plain int add."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        """Add ``amount`` (must be >= 0) to the count."""
+        self.value += amount
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name!r}, value={self.value})"
+
+
+class Gauge:
+    """Last-written value (queue depths, worker counts, sizes)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        """Record the current level."""
+        self.value = value
+
+    def __repr__(self) -> str:
+        return f"Gauge({self.name!r}, value={self.value})"
+
+
+class Histogram:
+    """Fixed-boundary distribution: bucket counts plus sum/count.
+
+    Bucket ``i`` counts observations ``<= bounds[i]``; one overflow
+    bucket catches the rest.  Boundaries are fixed at creation so two
+    processes observing into same-named histograms merge element-wise.
+    """
+
+    __slots__ = ("name", "bounds", "counts", "total", "count")
+
+    def __init__(self, name: str, bounds: Sequence[float]):
+        if not bounds or list(bounds) != sorted(bounds):
+            raise ValueError("histogram bounds must be sorted and non-empty")
+        self.name = name
+        self.bounds = tuple(float(b) for b in bounds)
+        self.counts = [0] * (len(self.bounds) + 1)
+        self.total = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        self.counts[bisect_left(self.bounds, value)] += 1
+        self.total += value
+        self.count += 1
+
+    @property
+    def mean(self) -> float:
+        """Mean observed value (0.0 when empty)."""
+        return self.total / self.count if self.count else 0.0
+
+    def __repr__(self) -> str:
+        return f"Histogram({self.name!r}, count={self.count})"
+
+
+class MetricsRegistry:
+    """Name-keyed instrument registry with snapshot/merge support."""
+
+    def __init__(self):
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    # -- instrument access ---------------------------------------------------
+
+    def counter(self, name: str) -> Counter:
+        """The counter registered under ``name`` (created on demand)."""
+        instrument = self._counters.get(name)
+        if instrument is None:
+            instrument = self._counters[name] = Counter(name)
+        return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        """The gauge registered under ``name`` (created on demand)."""
+        instrument = self._gauges.get(name)
+        if instrument is None:
+            instrument = self._gauges[name] = Gauge(name)
+        return instrument
+
+    def histogram(
+        self, name: str, bounds: Sequence[float] = TIME_BUCKETS
+    ) -> Histogram:
+        """The histogram under ``name`` (created with ``bounds`` once).
+
+        ``bounds`` only applies on first creation; later callers share
+        the existing instrument whatever boundaries they pass.
+        """
+        instrument = self._histograms.get(name)
+        if instrument is None:
+            instrument = self._histograms[name] = Histogram(name, bounds)
+        return instrument
+
+    # -- snapshot / merge ----------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """JSON-compatible dump of every instrument's current state."""
+        return {
+            "counters": {
+                name: c.value for name, c in self._counters.items()
+            },
+            "gauges": {name: g.value for name, g in self._gauges.items()},
+            "histograms": {
+                name: {
+                    "bounds": list(h.bounds),
+                    "counts": list(h.counts),
+                    "total": h.total,
+                    "count": h.count,
+                }
+                for name, h in self._histograms.items()
+            },
+        }
+
+    @staticmethod
+    def delta(before: dict, after: dict) -> dict:
+        """The monotonic difference between two snapshots.
+
+        This is what crosses a process boundary: a fork-pool worker
+        inherits the parent's counts, so shipping its absolute snapshot
+        back would double-count everything up to the fork.  Counters
+        and histogram counts subtract; gauges take the ``after`` level.
+        """
+        counters = {
+            name: value - before.get("counters", {}).get(name, 0)
+            for name, value in after.get("counters", {}).items()
+        }
+        histograms = {}
+        for name, h in after.get("histograms", {}).items():
+            prior = before.get("histograms", {}).get(name)
+            if prior is None or prior["bounds"] != h["bounds"]:
+                histograms[name] = h
+                continue
+            histograms[name] = {
+                "bounds": h["bounds"],
+                "counts": [
+                    a - b for a, b in zip(h["counts"], prior["counts"])
+                ],
+                "total": h["total"] - prior["total"],
+                "count": h["count"] - prior["count"],
+            }
+        return {
+            "counters": {k: v for k, v in counters.items() if v},
+            "gauges": dict(after.get("gauges", {})),
+            "histograms": {
+                k: v for k, v in histograms.items() if v["count"]
+            },
+        }
+
+    def merge_snapshot(self, snapshot: dict) -> None:
+        """Fold a snapshot (usually a delta) into this registry."""
+        for name, value in snapshot.get("counters", {}).items():
+            self.counter(name).inc(value)
+        for name, value in snapshot.get("gauges", {}).items():
+            self.gauge(name).set(value)
+        for name, payload in snapshot.get("histograms", {}).items():
+            instrument = self.histogram(name, payload["bounds"])
+            if list(instrument.bounds) != list(payload["bounds"]):
+                raise ValueError(
+                    f"histogram {name!r} bounds mismatch on merge"
+                )
+            for index, count in enumerate(payload["counts"]):
+                instrument.counts[index] += count
+            instrument.total += payload["total"]
+            instrument.count += payload["count"]
+
+    def reset(self) -> None:
+        """Drop every instrument (tests and fresh CLI runs)."""
+        self._counters.clear()
+        self._gauges.clear()
+        self._histograms.clear()
+
+    # -- rendering -----------------------------------------------------------
+
+    def format_table(self) -> str:
+        """Aligned text rendering of the current state."""
+        from .export import format_metrics_table
+
+        return format_metrics_table(self.snapshot())
+
+
+#: The process-wide registry every subsystem reports through.
+REGISTRY = MetricsRegistry()
+
+
+def counter(name: str) -> Counter:
+    """Process-wide counter (see :meth:`MetricsRegistry.counter`)."""
+    return REGISTRY.counter(name)
+
+
+def gauge(name: str) -> Gauge:
+    """Process-wide gauge (see :meth:`MetricsRegistry.gauge`)."""
+    return REGISTRY.gauge(name)
+
+
+def histogram(
+    name: str, bounds: Sequence[float] = TIME_BUCKETS
+) -> Histogram:
+    """Process-wide histogram (see :meth:`MetricsRegistry.histogram`)."""
+    return REGISTRY.histogram(name, bounds)

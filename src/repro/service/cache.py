@@ -49,6 +49,7 @@ from pathlib import Path
 import numpy as np
 
 from ..core.decomposition_rules import TemplateSpec
+from ..obs import metrics
 
 __all__ = ["CacheStats", "DecompositionCache", "default_decomp_cache_dir"]
 
@@ -95,12 +96,29 @@ def default_decomp_cache_dir() -> Path:
 
 @dataclass
 class CacheStats:
-    """Hit/miss counters, split by which tier answered."""
+    """Hit/miss counters, split by which tier answered.
+
+    Per-instance fields keep their historical semantics (tests assert
+    on them per cache object); every increment is additionally mirrored
+    into the process-wide registry under ``repro.cache.decomp.<field>``
+    so cross-subsystem reports see one unified pipe.
+    """
 
     memory_hits: int = 0
     disk_hits: int = 0
     misses: int = 0
     puts: int = 0
+
+    _METRIC_PREFIX = "repro.cache.decomp"
+
+    def __setattr__(self, name: str, value) -> None:
+        # ``stats.misses += 1`` call sites stay untouched; the positive
+        # delta rides into the registry here.
+        if name in ("memory_hits", "disk_hits", "misses", "puts"):
+            delta = value - getattr(self, name, 0)
+            if delta > 0:
+                metrics.counter(f"{self._METRIC_PREFIX}.{name}").inc(delta)
+        object.__setattr__(self, name, value)
 
     @property
     def hits(self) -> int:
@@ -230,6 +248,7 @@ class DecompositionCache:
         self._memory.move_to_end(key)
         while len(self._memory) > self.memory_size:
             self._memory.popitem(last=False)
+            metrics.counter("repro.cache.decomp.evictions").inc()
 
     def get(self, rules_token: str, coords: np.ndarray) -> TemplateSpec | None:
         """Cached template for a coordinate class, or ``None`` on miss."""
@@ -283,6 +302,9 @@ class DecompositionCache:
         """Remember and persist (key, spec) pairs; one write transaction."""
         if not rows:
             return
+        metrics.histogram(
+            "repro.cache.decomp.write_rows", metrics.BATCH_SIZE_BUCKETS
+        ).observe(len(rows))
         for key, spec in rows:
             self._remember(key, spec)
             self.stats.puts += 1

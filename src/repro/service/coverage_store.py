@@ -26,11 +26,10 @@ they are the same computation.  Payloads are the exact float64 bytes of
 the sampled clouds, so a warm load is bit-identical to the cold build
 (coverage digests are part of the paper pipeline's contract).
 
-Migration: on a disk miss the store looks for the legacy
-``<key>.npz`` file in its directory and, when found, absorbs it into
-sqlite (reads keep working through one release cycle; the npz *write*
-path is gone).  The legacy read path is scheduled for removal in the
-next PR once the parity window closes.
+The legacy per-directory ``.npz`` read path (and its one-release
+absorption shim) is gone: a stale ``<key>.npz`` next to the store now
+raises with a pointer at ``repro synth --coverage``, which rebuilds the
+row straight into sqlite.
 """
 
 from __future__ import annotations
@@ -44,6 +43,8 @@ from pathlib import Path
 
 import numpy as np
 
+from ..obs import metrics
+
 __all__ = [
     "CoverageStoreStats",
     "CoverageStore",
@@ -53,25 +54,37 @@ __all__ = [
 
 @dataclass
 class CoverageStoreStats:
-    """Hit/miss counters, split by which tier answered."""
+    """Hit/miss counters, split by which tier answered.
+
+    Per-instance fields keep their historical semantics; every
+    increment is additionally mirrored into the process-wide registry
+    under ``repro.cache.coverage.<field>``.
+    """
 
     memory_hits: int = 0
     disk_hits: int = 0
-    legacy_hits: int = 0
     misses: int = 0
     puts: int = 0
+
+    _METRIC_PREFIX = "repro.cache.coverage"
+
+    def __setattr__(self, name: str, value) -> None:
+        if name in ("memory_hits", "disk_hits", "misses", "puts"):
+            delta = value - getattr(self, name, 0)
+            if delta > 0:
+                metrics.counter(f"{self._METRIC_PREFIX}.{name}").inc(delta)
+        object.__setattr__(self, name, value)
 
     @property
     def hits(self) -> int:
         """Total hits across all tiers."""
-        return self.memory_hits + self.disk_hits + self.legacy_hits
+        return self.memory_hits + self.disk_hits
 
     def as_dict(self) -> dict[str, int]:
         """Plain-dict form for JSON reports."""
         return {
             "memory_hits": self.memory_hits,
             "disk_hits": self.disk_hits,
-            "legacy_hits": self.legacy_hits,
             "misses": self.misses,
             "puts": self.puts,
         }
@@ -100,7 +113,7 @@ class CoverageStore:
     Args:
         path: sqlite database file; ``None`` picks
             ``<coverage cache dir>/coverage.sqlite`` (the directory the
-            legacy ``.npz`` memo used, so migration finds its files).
+            legacy ``.npz`` memo used, so stale archives are caught).
         memory_size: LRU capacity for assembled coverage sets.
         persistent: ``False`` keeps only the in-memory tier (tests, or
             explicit no-disk flows).
@@ -183,6 +196,7 @@ class CoverageStore:
         self._memory.move_to_end(key)
         while len(self._memory) > self.memory_size:
             self._memory.popitem(last=False)
+            metrics.counter("repro.cache.coverage.evictions").inc()
 
     # -- cloud tier ----------------------------------------------------------
 
@@ -192,7 +206,14 @@ class CoverageStore:
         return self.path.parent / f"{key}.npz"
 
     def get_clouds(self, key: str, kmax: int) -> list[np.ndarray] | None:
-        """Per-K point clouds from disk (sqlite, then legacy npz)."""
+        """Per-K point clouds from the sqlite store, or ``None``.
+
+        Raises:
+            RuntimeError: when the row is absent but a legacy
+                ``<key>.npz`` archive sits next to the store — the npz
+                read path is gone; rebuild via ``repro synth
+                --coverage``.
+        """
         conn = self._connection()
         if conn is not None:
             try:
@@ -220,31 +241,20 @@ class CoverageStore:
                     conn.commit()
                 except sqlite3.Error:
                     pass
-        clouds = self._migrate_legacy(key, kmax)
-        if clouds is not None:
-            self.stats.legacy_hits += 1
-            return clouds
+        legacy = self._legacy_npz_path(key)
+        if legacy is not None and legacy.exists():
+            # The npz read/absorption shim lived for exactly one
+            # release; it answered its last lookup in the previous one.
+            raise RuntimeError(
+                f"legacy coverage archive {legacy} is no longer "
+                "readable: the npz tier was removed after its "
+                "one-release migration window. Rebuild the row with "
+                "'repro synth --basis <name> --coverage <K>' (the "
+                "result persists in coverage.sqlite), then delete the "
+                ".npz file."
+            )
         self.stats.misses += 1
         return None
-
-    def _migrate_legacy(
-        self, key: str, kmax: int
-    ) -> list[np.ndarray] | None:
-        """Absorb a legacy per-dir ``.npz`` archive into sqlite.
-
-        Kept for one release as the npz -> sqlite parity window; the
-        legacy files themselves are left in place for older checkouts.
-        """
-        legacy = self._legacy_npz_path(key)
-        if legacy is None or not legacy.exists():
-            return None
-        try:
-            data = np.load(legacy)
-            clouds = [data[f"k{k}"] for k in range(1, kmax + 1)]
-        except (OSError, KeyError, ValueError):
-            return None
-        self.put_clouds(key, clouds)
-        return clouds
 
     def put_clouds(self, key: str, clouds: list[np.ndarray]) -> None:
         """Persist per-K clouds for a key (one write transaction)."""
@@ -252,10 +262,14 @@ class CoverageStore:
         if conn is None:
             return
         self.stats.puts += 1
+        payload = _encode_clouds(clouds)
+        metrics.histogram(
+            "repro.cache.coverage.write_bytes", metrics.BYTE_BUCKETS
+        ).observe(len(payload))
         try:
             conn.execute(
                 "INSERT OR REPLACE INTO clouds VALUES (?, ?, ?)",
-                (key, len(clouds), _encode_clouds(clouds)),
+                (key, len(clouds), payload),
             )
             conn.commit()
         except sqlite3.Error:

@@ -25,11 +25,13 @@ from __future__ import annotations
 
 import math
 import multiprocessing
+import os
 import time
 import traceback
 from collections.abc import Callable, Iterator, Sequence
 from pathlib import Path
 
+from ..obs import metrics, trace
 from .cache import DecompositionCache, default_decomp_cache_dir
 from .jobs import CompileJob, CompileResult, circuit_digest
 
@@ -158,14 +160,15 @@ def _warm_rules(names: set[str]) -> None:
     """
     from ..core.decomposition_rules import build_rules
 
-    for name in sorted(names):
-        rules = build_rules(name)
-        if name == "baseline":
-            _ = rules.coverage
-        else:
-            _ = rules.iswap_parallel_k1
-            _ = rules.sqrt_parallel_k1
-            _ = rules.sqrt_parallel_k2
+    with trace.span("batch.warm_rules", engines=len(names)):
+        for name in sorted(names):
+            rules = build_rules(name)
+            if name == "baseline":
+                _ = rules.coverage
+            else:
+                _ = rules.iswap_parallel_k1
+                _ = rules.sqrt_parallel_k1
+                _ = rules.sqrt_parallel_k2
 
 
 #: Per-process cache instances keyed by resolved store path, so every
@@ -208,26 +211,39 @@ def execute_job(
     from ..transpiler.compiler import compile as compile_circuit
     from ..transpiler.passes import PassProfile
 
+    # Adopt the submitter's trace context: a no-op under fork (the
+    # worker inherited the live tracer), the anchor under spawn or when
+    # a job file carries a context from another process.
+    trace.TRACER.activate(job.trace)
     start = time.perf_counter()
     pass_profile = PassProfile() if profile else None
-    try:
-        circuit = get_workload(
-            job.workload, job.num_qubits, seed=job.workload_seed
-        )
-        cache = _cache_for(cache_path) if use_cache else None
-        result = compile_circuit(
-            circuit,
-            config=job.config,
-            seed=job.seed,
-            cache=cache,
-            profile=pass_profile,
-        )
-    except Exception:  # noqa: BLE001 - reported to the engine for retry
-        return CompileResult.failure(
-            job,
-            error=traceback.format_exc(limit=20),
-            wall_time=time.perf_counter() - start,
-        )
+    metrics.counter("repro.service.jobs").inc()
+    with trace.span("job.run", job=job.label, seed=job.seed) as job_span:
+        try:
+            circuit = get_workload(
+                job.workload, job.num_qubits, seed=job.workload_seed
+            )
+            cache = _cache_for(cache_path) if use_cache else None
+            result = compile_circuit(
+                circuit,
+                config=job.config,
+                seed=job.seed,
+                cache=cache,
+                profile=pass_profile,
+            )
+        except Exception:  # noqa: BLE001 - reported to the engine for retry
+            wall_time = time.perf_counter() - start
+            metrics.counter("repro.service.job_errors").inc()
+            metrics.histogram("repro.service.job_seconds").observe(wall_time)
+            job_span.set(outcome="error")
+            return CompileResult.failure(
+                job,
+                error=traceback.format_exc(limit=20),
+                wall_time=wall_time,
+            )
+        wall_time = time.perf_counter() - start
+        metrics.histogram("repro.service.job_seconds").observe(wall_time)
+        job_span.set(outcome="ok")
     return CompileResult(
         job=job,
         duration=result.duration,
@@ -242,19 +258,37 @@ def execute_job(
         trial_index=result.trial_index,
         digest=circuit_digest(result.circuit),
         gate_counts=dict(result.circuit.count_ops()),
-        wall_time=time.perf_counter() - start,
+        wall_time=wall_time,
         pass_profile=(
             pass_profile.to_dict() if pass_profile is not None else None
         ),
     )
 
 
-def _execute_payload(payload: tuple) -> tuple[int, CompileResult]:
-    """Pool entry point: unpack (index, job, cache + profile config)."""
+def _execute_payload(payload: tuple) -> tuple[int, CompileResult, dict]:
+    """Pool entry point: unpack (index, job, cache + profile config).
+
+    The third element is the observability freight: the spans and the
+    metrics *delta* this job produced in this process.  Deltas (not
+    absolute snapshots) cross the boundary because fork-pool workers
+    inherit the parent's counts — shipping absolutes would double-count
+    everything recorded before the fork.  The parent ignores freight
+    stamped with its own pid (serial in-process rounds).
+    """
     index, job, use_cache, cache_path, profile = payload
-    return index, execute_job(
+    marker = trace.TRACER.mark()
+    before = metrics.REGISTRY.snapshot()
+    result = execute_job(
         job, use_cache=use_cache, cache_path=cache_path, profile=profile
     )
+    freight = {
+        "pid": os.getpid(),
+        "spans": trace.TRACER.drain_since(marker),
+        "metrics": metrics.MetricsRegistry.delta(
+            before, metrics.REGISTRY.snapshot()
+        ),
+    }
+    return index, result, freight
 
 
 class BatchEngine:
@@ -307,6 +341,15 @@ class BatchEngine:
         path = (
             str(self.cache_path) if self.cache_path is not None else None
         )
+        context = trace.TRACER.current_context()
+        if context is not None:
+            # Stamp the submitting span into each job so worker spans
+            # parent under it even across a spawn boundary.
+            payload_trace = context.to_dict()
+            indexed = [
+                (index, job.updated(trace=payload_trace))
+                for index, job in indexed
+            ]
         return [
             (index, job, self.use_cache, path, self.profile)
             for index, job in indexed
@@ -315,10 +358,22 @@ class BatchEngine:
     def _run_round(
         self, indexed: list[tuple[int, CompileJob]], pool_size: int
     ) -> Iterator[tuple[int, CompileResult]]:
-        """Yield (index, result) pairs as they settle, streaming."""
-        yield from fan_out(
+        """Yield (index, result) pairs as they settle, streaming.
+
+        Worker observability freight is merged into the parent tracer
+        and registry here, as each job settles — so spans from a pool
+        round land in the same buffer the serial path fills directly.
+        """
+        pid = os.getpid()
+        for index, result, freight in fan_out(
             _execute_payload, self._payloads(indexed), pool_size
-        )
+        ):
+            if freight.get("pid") != pid:
+                trace.TRACER.absorb(freight.get("spans", ()))
+                delta = freight.get("metrics")
+                if delta:
+                    metrics.REGISTRY.merge_snapshot(delta)
+            yield index, result
 
     def _cache_covers(self, jobs: Sequence[CompileJob]) -> bool:
         """True when the persistent store has templates for every engine.
@@ -353,28 +408,41 @@ class BatchEngine:
         if not jobs:
             return []
         pool_size = min(self.workers, len(jobs))
-        if pool_size > 1 and self.warm_coverage:
-            if not self._cache_covers(jobs):
-                _warm_rules({job.rules for job in jobs})
-        settled: dict[int, CompileResult] = {}
-        pending = list(enumerate(jobs))
-        done = 0
-        for attempt in range(self.retries + 1):
-            if not pending:
-                break
-            still_failing: list[tuple[int, CompileJob]] = []
-            # _run_round streams: progress fires as each job settles,
-            # not after the whole round drains.
-            for index, result in self._run_round(pending, pool_size):
-                if not result.ok and attempt < self.retries:
-                    still_failing.append((index, jobs[index]))
-                    continue
-                result = result.with_attempts(attempt + 1)
-                settled[index] = result
-                done += 1
-                if self.progress is not None:
-                    self.progress(done, len(jobs), result)
-            pending = still_failing
+        metrics.counter("repro.service.jobs_queued").inc(len(jobs))
+        with trace.span(
+            "batch.run", jobs=len(jobs), workers=pool_size
+        ):
+            if pool_size > 1 and self.warm_coverage:
+                if not self._cache_covers(jobs):
+                    _warm_rules({job.rules for job in jobs})
+            settled: dict[int, CompileResult] = {}
+            pending = list(enumerate(jobs))
+            done = 0
+            for attempt in range(self.retries + 1):
+                if not pending:
+                    break
+                still_failing: list[tuple[int, CompileJob]] = []
+                # _run_round streams: progress fires as each job
+                # settles, not after the whole round drains.
+                for index, result in self._run_round(pending, pool_size):
+                    if not result.ok and attempt < self.retries:
+                        still_failing.append((index, jobs[index]))
+                        metrics.counter("repro.service.job_retries").inc()
+                        continue
+                    result = result.with_attempts(attempt + 1)
+                    metrics.histogram(
+                        "repro.service.job_attempts",
+                        metrics.BATCH_SIZE_BUCKETS,
+                    ).observe(result.attempts)
+                    if not result.ok:
+                        metrics.counter(
+                            "repro.service.jobs_failed"
+                        ).inc()
+                    settled[index] = result
+                    done += 1
+                    if self.progress is not None:
+                        self.progress(done, len(jobs), result)
+                pending = still_failing
         return [settled[index] for index in range(len(jobs))]
 
 

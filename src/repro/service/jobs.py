@@ -105,6 +105,12 @@ class CompileJob:
     seed: int = 7
     workload_seed: int | None = 11
     tag: str = ""
+    #: Serialized tracing context (``TraceContext.to_dict()`` form)
+    #: carried across the worker process boundary so spans emitted in
+    #: workers parent under the submitting span.  Not part of job
+    #: identity: excluded from equality and dropped from ``to_dict``
+    #: when unset.
+    trace: dict | None = field(default=None, repr=False, compare=False)
     #: Constructor-only config overrides (stored inside ``config``).
     rules: InitVar[str | None] = None
     trials: InitVar[int | None] = None
@@ -191,7 +197,10 @@ class CompileJob:
 
     def to_dict(self) -> dict:
         """Plain-python form (JSON-compatible; config nested)."""
-        return asdict(self)
+        payload = asdict(self)
+        if payload.get("trace") is None:
+            payload.pop("trace", None)
+        return payload
 
     @classmethod
     def from_dict(cls, payload: dict) -> "CompileJob":

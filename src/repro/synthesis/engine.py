@@ -26,10 +26,12 @@ paper pipeline's contract and are pinned by regression tests.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from time import perf_counter
 
 import numpy as np
 from scipy.optimize import minimize
 
+from ..obs import metrics, trace
 from ..quantum.makhlin import makhlin_from_coordinates, makhlin_invariants
 from ..quantum.random import as_rng
 from ..quantum.weyl import batched_weyl_coordinates, weyl_coordinates
@@ -360,39 +362,60 @@ class SynthesisEngine:
                 refined_indices=(0,),
                 refined_losses={0: result.loss},
             )
-        rngs = spawn_start_rngs(seed, starts)
-        start_params = np.stack(
-            [template.random_parameters(rng) for rng in rngs]
-        )
-        unitaries = batched_template_unitaries(template, start_params)
-        start_losses = np.array(
-            [
-                float(np.linalg.norm(makhlin_invariants(u) - invariants))
-                for u in unitaries
-            ]
-        )
-        order = np.argsort(start_losses, kind="stable")
-        chosen = tuple(int(i) for i in order[:refine])
-        payloads = [
-            (
-                index,
-                template,
-                invariants,
-                start_params[index],
-                max_iterations,
-                tolerance,
-            )
-            for index in chosen
-        ]
-        # Wide refinement rides the batch-service fan-out primitive —
-        # the same fork/streaming discipline compile rounds use.
-        from ..service.engine import fan_out
-
-        refined: dict[int, tuple[np.ndarray, float]] = {}
-        for index, params, loss in fan_out(
-            _refine_payload, payloads, self.workers
+        metrics.counter("repro.synth.starts").inc(starts)
+        metrics.counter("repro.synth.refined").inc(refine)
+        with trace.span(
+            "synth.multistart", starts=starts, refine=refine
         ):
-            refined[index] = (params, loss)
+            rngs = spawn_start_rngs(seed, starts)
+            priced_at = perf_counter()
+            with trace.span("synth.price_starts", starts=starts):
+                start_params = np.stack(
+                    [template.random_parameters(rng) for rng in rngs]
+                )
+                unitaries = batched_template_unitaries(
+                    template, start_params
+                )
+                start_losses = np.array(
+                    [
+                        float(
+                            np.linalg.norm(
+                                makhlin_invariants(u) - invariants
+                            )
+                        )
+                        for u in unitaries
+                    ]
+                )
+            metrics.histogram("repro.synth.price_seconds").observe(
+                perf_counter() - priced_at
+            )
+            order = np.argsort(start_losses, kind="stable")
+            chosen = tuple(int(i) for i in order[:refine])
+            payloads = [
+                (
+                    index,
+                    template,
+                    invariants,
+                    start_params[index],
+                    max_iterations,
+                    tolerance,
+                )
+                for index in chosen
+            ]
+            # Wide refinement rides the batch-service fan-out primitive
+            # — the same fork/streaming discipline compile rounds use.
+            from ..service.engine import fan_out
+
+            refined: dict[int, tuple[np.ndarray, float]] = {}
+            refine_at = perf_counter()
+            with trace.span("synth.refine", rounds=len(payloads)):
+                for index, params, loss in fan_out(
+                    _refine_payload, payloads, self.workers
+                ):
+                    refined[index] = (params, loss)
+            metrics.histogram("repro.synth.refine_seconds").observe(
+                perf_counter() - refine_at
+            )
         # Deterministic winner: iterate in chosen (quality) order so a
         # loss tie resolves to the better-ranked start, not pool timing.
         best_index = chosen[0]

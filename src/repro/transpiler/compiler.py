@@ -31,6 +31,7 @@ import numpy as np
 
 from ..circuits.circuit import QuantumCircuit
 from ..core.decomposition_rules import RULE_ENGINES
+from ..obs import trace as obs_trace
 from .passes import (
     SCHEDULERS,
     PassManager,
@@ -65,6 +66,10 @@ class CompilerConfig:
     trials: int | None = None
     scheduler: str | None = None
     selection: str | None = None
+    #: Turn on span collection for compilations under this config (the
+    #: ``REPRO_TRACE`` env var and ``repro trace`` reach the same
+    #: switch process-wide; this reaches it per config).
+    trace: bool = False
 
     def __post_init__(self) -> None:
         get_pipeline(self.pipeline)  # raises ValueError on unknown name
@@ -138,6 +143,7 @@ class CompilerConfig:
             "trials": self.trials,
             "scheduler": self.scheduler,
             "selection": self.selection,
+            "trace": self.trace,
         }
 
     @classmethod
@@ -201,15 +207,24 @@ def compile(  # noqa: A001 - deliberate facade name, repro.compile(...)
         except KeyError as exc:
             # Uniform contract: bad config values raise ValueError.
             raise ValueError(str(exc)) from None
+    if config.trace and not obs_trace.tracing_enabled():
+        obs_trace.enable_tracing()
     rules = hardware.build_rules(config.rules)
     manager = config.build_manager()
-    return manager.run(
-        circuit,
-        hardware.coupling_map,
-        rules,
-        seed=seed,
-        cache=cache,
-        fidelity_model=hardware.fidelity_model(),
-        duration_of=hardware.gate_duration,
-        profile=profile,
-    )
+    with obs_trace.span(
+        "compile",
+        pipeline=config.pipeline,
+        rules=config.rules,
+        target=config.target,
+        gates=len(circuit),
+    ):
+        return manager.run(
+            circuit,
+            hardware.coupling_map,
+            rules,
+            seed=seed,
+            cache=cache,
+            fidelity_model=hardware.fidelity_model(),
+            duration_of=hardware.gate_duration,
+            profile=profile,
+        )

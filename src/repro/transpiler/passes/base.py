@@ -24,6 +24,7 @@ import numpy as np
 from ...circuits.circuit import QuantumCircuit
 from ...circuits.dag import ScheduledCircuit
 from ...circuits.gate import Gate
+from ...obs import metrics, trace
 from ...quantum.random import as_rng
 from ..coupling import CouplingMap
 from ..layout import Layout
@@ -39,6 +40,7 @@ __all__ = [
     "PassProfile",
     "PassRecord",
     "TranspilationResult",
+    "observe_pass",
     "spawn_trial_rngs",
 ]
 
@@ -288,6 +290,66 @@ class _PassTimer:
             self._before,
             len(self._circuit_of()),
         )
+
+
+class _PassObserver:
+    """Times one pass into the registry/tracer, back-filling a profile.
+
+    This is the unified replacement for :class:`_PassTimer`: every
+    pass execution lands in the ``repro.pass.*`` metrics and (when
+    tracing is on) a ``pass.<name>`` span, while a supplied
+    :class:`PassProfile` still receives the exact record the legacy
+    API produced.
+    """
+
+    __slots__ = (
+        "_profile", "_name", "_trial", "_circuit_of", "_span",
+        "_before", "_start",
+    )
+
+    def __init__(self, profile, pass_name, trial_index, circuit_of):
+        self._profile = profile
+        self._name = pass_name
+        self._trial = trial_index
+        self._circuit_of = circuit_of
+
+    def __enter__(self) -> "_PassObserver":
+        self._span = trace.span(
+            f"pass.{self._name}", trial=self._trial
+        ).__enter__()
+        self._before = len(self._circuit_of())
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        elapsed = time.perf_counter() - self._start
+        self._span.__exit__(exc_type, exc, tb)
+        if exc_type is not None:
+            return
+        gates_after = len(self._circuit_of())
+        metrics.counter("repro.pass.runs").inc()
+        metrics.histogram(f"repro.pass.seconds.{self._name}").observe(
+            elapsed
+        )
+        if self._profile is not None:
+            self._profile.observe(
+                self._name, self._trial, elapsed, self._before, gates_after
+            )
+
+
+def observe_pass(
+    profile: PassProfile | None,
+    pass_name: str,
+    trial_index: int,
+    circuit_of,
+):
+    """Context manager instrumenting one pass execution.
+
+    Records a ``pass.<name>`` span plus ``repro.pass.*`` metrics, and
+    appends the legacy :class:`PassRecord` to ``profile`` when given —
+    so profiled and unprofiled runs share one code path.
+    """
+    return _PassObserver(profile, pass_name, trial_index, circuit_of)
 
 
 @dataclass(frozen=True)

@@ -28,6 +28,7 @@ from .base import (
     PassContext,
     PassProfile,
     TranspilationResult,
+    observe_pass,
     spawn_trial_rngs,
 )
 from .pipelines import get_pipeline
@@ -114,13 +115,11 @@ class PassManager:
     ) -> None:
         """Execute a pass sequence over one context, timing each stage."""
         for stage in passes:
-            if profile is None:
+            with observe_pass(
+                profile, stage.name, context.trial_index,
+                lambda: context.circuit,
+            ):
                 stage.run(context)
-            else:
-                with profile.time_pass(
-                    stage.name, context.trial_index, lambda: context.circuit
-                ):
-                    stage.run(context)
 
     # -- single trial --------------------------------------------------------
 

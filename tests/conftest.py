@@ -1,9 +1,9 @@
 """Shared fixtures.
 
 Coverage-set fixtures reuse the sqlite-backed coverage store
-(``~/.cache/repro-coverage/coverage.sqlite`` or ``REPRO_CACHE_DIR``;
-legacy ``.npz`` archives are migrated in on first touch), so the first
-full test run pays the sampling cost once and later runs are fast.
+(``~/.cache/repro-coverage/coverage.sqlite`` or ``REPRO_CACHE_DIR``),
+so the first full test run pays the sampling cost once and later runs
+are fast.
 """
 
 from __future__ import annotations

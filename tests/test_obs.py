@@ -1,0 +1,409 @@
+"""Observability subsystem: tracer, metrics registry, exporters.
+
+Covers the cross-process contracts the batch engine relies on —
+context propagation into workers, span freight absorbed back into the
+parent with correct parent ids and pids, metric deltas that survive a
+fork without double-counting — plus the no-op guarantees (tracing off
+returns the cached null span) and the exporter formats.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+import pytest
+
+from repro.obs import (
+    REGISTRY,
+    TRACER,
+    MetricsRegistry,
+    Span,
+    TraceContext,
+    Tracer,
+    enable_tracing,
+    format_metrics_table,
+    format_span_summary,
+    load_metrics_snapshot,
+    metrics,
+    span,
+    to_chrome_trace,
+    to_jsonl,
+    trace,
+    write_chrome_trace,
+    write_metrics_snapshot,
+)
+from repro.obs.trace import _NULL_SPAN
+from repro.service.engine import BatchEngine, fan_out
+from repro.service.jobs import CompileJob
+
+
+@pytest.fixture(autouse=True)
+def _clean_tracer():
+    """Leave the process tracer off and empty around every test."""
+    TRACER.disable()
+    TRACER.clear()
+    yield
+    TRACER.disable()
+    TRACER.clear()
+
+
+class TestMetrics:
+    def test_counter_gauge_histogram(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc()
+        registry.counter("c").inc(4)
+        registry.gauge("g").set(2.5)
+        hist = registry.histogram("h", (1.0, 10.0))
+        for value in (0.5, 5.0, 50.0):
+            hist.observe(value)
+        snap = registry.snapshot()
+        assert snap["counters"]["c"] == 5
+        assert snap["gauges"]["g"] == 2.5
+        assert snap["histograms"]["h"]["counts"] == [1, 1, 1]
+        assert snap["histograms"]["h"]["count"] == 3
+        assert hist.mean == pytest.approx(55.5 / 3)
+
+    def test_same_name_shares_instrument(self):
+        registry = MetricsRegistry()
+        assert registry.counter("x") is registry.counter("x")
+        assert registry.histogram("h") is registry.histogram("h", (1, 2))
+
+    def test_histogram_rejects_unsorted_bounds(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().histogram("bad", (3.0, 1.0))
+
+    def test_delta_is_monotonic_difference(self):
+        registry = MetricsRegistry()
+        registry.counter("a").inc(2)
+        registry.histogram("h", (1.0,)).observe(0.5)
+        before = registry.snapshot()
+        registry.counter("a").inc(3)
+        registry.counter("new").inc()
+        registry.histogram("h", (1.0,)).observe(2.0)
+        delta = MetricsRegistry.delta(before, registry.snapshot())
+        assert delta["counters"] == {"a": 3, "new": 1}
+        assert delta["histograms"]["h"]["counts"] == [0, 1]
+        assert delta["histograms"]["h"]["count"] == 1
+
+    def test_merge_snapshot_folds_counts(self):
+        source = MetricsRegistry()
+        source.counter("jobs").inc(2)
+        source.histogram("t", (1.0, 2.0)).observe(1.5)
+        sink = MetricsRegistry()
+        sink.counter("jobs").inc(1)
+        sink.merge_snapshot(source.snapshot())
+        snap = sink.snapshot()
+        assert snap["counters"]["jobs"] == 3
+        assert snap["histograms"]["t"]["count"] == 1
+
+    def test_merge_rejects_bounds_mismatch(self):
+        source = MetricsRegistry()
+        source.histogram("t", (1.0,)).observe(0.5)
+        sink = MetricsRegistry()
+        sink.histogram("t", (2.0,))
+        with pytest.raises(ValueError, match="bounds mismatch"):
+            sink.merge_snapshot(source.snapshot())
+
+    def test_cache_stats_mirror_into_registry(self):
+        from repro.service.cache import CacheStats
+
+        before = REGISTRY.snapshot()["counters"]
+        stats = CacheStats()
+        stats.memory_hits += 3
+        stats.misses += 1
+        after = REGISTRY.snapshot()["counters"]
+        key = "repro.cache.decomp.memory_hits"
+        assert after[key] - before.get(key, 0) == 3
+        assert stats.memory_hits == 3  # per-instance view intact
+        assert stats.hits == 3
+
+    def test_coverage_stats_mirror_into_registry(self):
+        from repro.service.coverage_store import CoverageStoreStats
+
+        before = REGISTRY.snapshot()["counters"]
+        stats = CoverageStoreStats()
+        stats.disk_hits += 2
+        after = REGISTRY.snapshot()["counters"]
+        key = "repro.cache.coverage.disk_hits"
+        assert after[key] - before.get(key, 0) == 2
+        assert "legacy_hits" not in stats.as_dict()
+
+
+class TestTracer:
+    def test_disabled_span_is_cached_null(self):
+        assert span("anything", n=1) is _NULL_SPAN
+        assert TRACER.span("x") is _NULL_SPAN
+        with span("nothing") as inert:
+            inert.set(a=1)  # no-op, no error
+        assert TRACER.spans == []
+
+    def test_span_nesting_parents(self):
+        enable_tracing()
+        with span("outer") as outer:
+            with span("inner", n=2):
+                pass
+            outer.set(done=True)
+        inner, outer = TRACER.spans
+        assert inner.name == "inner"
+        assert inner.parent_id == outer.span_id
+        assert outer.parent_id is None
+        assert inner.attrs == {"n": 2}
+        assert outer.attrs == {"done": True}
+        assert inner.pid == os.getpid()
+        assert inner.trace_id == outer.trace_id == TRACER.trace_id
+
+    def test_exception_recorded_and_stack_unwound(self):
+        enable_tracing()
+        with pytest.raises(RuntimeError):
+            with span("boom"):
+                raise RuntimeError("nope")
+        (recorded,) = TRACER.spans
+        assert recorded.attrs["error"] == "RuntimeError"
+        assert TRACER._stack == []
+
+    def test_span_round_trip(self):
+        enable_tracing()
+        with span("s", k=1):
+            pass
+        (recorded,) = TRACER.spans
+        clone = Span.from_dict(
+            json.loads(json.dumps(recorded.to_dict()))
+        )
+        assert clone == recorded
+
+    def test_activate_adopts_context(self):
+        fresh = Tracer(enabled=False)
+        context = TraceContext(trace_id="feed", parent_id="dead-1")
+        fresh.activate(context.to_dict())
+        assert fresh.enabled and fresh.trace_id == "feed"
+        with fresh.span("child"):
+            pass
+        (child,) = fresh.spans
+        assert child.parent_id == "dead-1"
+        assert child.trace_id == "feed"
+        # Re-activation of the same trace changes nothing (fork path).
+        fresh.activate(TraceContext(trace_id="feed", parent_id="other"))
+        with fresh.span("second"):
+            pass
+        assert fresh.spans[1].parent_id == "dead-1"
+
+    def test_absorb_skips_own_pid(self):
+        enable_tracing()
+        with span("local"):
+            pass
+        shipped = TRACER.drain_since(0)
+        foreign = dict(shipped[0])
+        foreign.update(pid=os.getpid() + 1, span_id="f-1")
+        kept = TRACER.absorb([shipped[0], foreign])
+        assert kept == 1
+        assert len(TRACER.spans) == 2
+
+    def test_current_context_none_when_off(self):
+        assert TRACER.current_context() is None
+        enable_tracing()
+        with span("active"):
+            context = TRACER.current_context()
+            assert context.trace_id == TRACER.trace_id
+            assert context.parent_id == TRACER._stack[-1]
+
+
+class TestExporters:
+    def _spans(self):
+        enable_tracing(trace_id := "deadbeef")
+        with span("a", n=1):
+            with span("b"):
+                pass
+        return TRACER.spans, trace_id
+
+    def test_jsonl(self):
+        spans, _ = self._spans()
+        lines = to_jsonl(spans).splitlines()
+        assert len(lines) == 2
+        assert json.loads(lines[0])["name"] == "b"
+
+    def test_chrome_trace_events(self, tmp_path):
+        spans, _ = self._spans()
+        path = write_chrome_trace(
+            spans, tmp_path / "trace.json", main_pid=os.getpid()
+        )
+        data = json.loads(path.read_text())
+        complete = [e for e in data["traceEvents"] if e["ph"] == "X"]
+        meta = [e for e in data["traceEvents"] if e["ph"] == "M"]
+        assert len(complete) == 2 and len(meta) == 1
+        assert meta[0]["args"]["name"] == "repro main"
+        starts = [e["ts"] for e in complete]
+        assert min(starts) == 0.0  # rebased to the earliest span
+        by_name = {e["name"]: e for e in complete}
+        assert (
+            by_name["b"]["args"]["parent_id"]
+            == by_name["a"]["args"]["span_id"]
+        )
+
+    def test_chrome_trace_empty(self):
+        assert to_chrome_trace([]) == {
+            "traceEvents": [],
+            "displayTimeUnit": "ms",
+        }
+
+    def test_span_summary_table(self):
+        spans, _ = self._spans()
+        text = format_span_summary(spans)
+        assert "a" in text and "b" in text and "pids" in text
+        assert "no spans" in format_span_summary([])
+
+    def test_metrics_snapshot_round_trip(self, tmp_path):
+        registry = MetricsRegistry()
+        registry.counter("repro.test.events").inc(7)
+        registry.histogram("repro.test.seconds", (1.0,)).observe(0.5)
+        path = write_metrics_snapshot(
+            registry.snapshot(), tmp_path / "metrics.json"
+        )
+        loaded = load_metrics_snapshot(path)
+        assert loaded["counters"]["repro.test.events"] == 7
+        table = format_metrics_table(loaded)
+        assert "repro.test.events" in table
+        assert "repro.test.seconds" in table
+        assert format_metrics_table({}) == "no metrics recorded"
+
+
+def _traced_sleeper(payload: tuple) -> tuple[int, list[dict]]:
+    """Pool worker: adopt a context, emit one span, ship it back."""
+    context, delay = payload
+    TRACER.activate(context)
+    marker = TRACER.mark()
+    with trace.span("worker.sleep", delay=delay):
+        time.sleep(delay)
+    return os.getpid(), TRACER.drain_since(marker)
+
+
+class TestCrossProcess:
+    def test_fan_out_spans_from_two_pids_parent_correctly(self):
+        enable_tracing()
+        with span("submit") as submitting:
+            context = TRACER.current_context()
+            parent_id = context.parent_id
+            results = list(
+                fan_out(_traced_sleeper, [(context, 0.3)] * 2, workers=2)
+            )
+            for _, shipped in results:
+                TRACER.absorb(shipped)
+        pids = {pid for pid, _ in results}
+        assert len(pids) == 2  # both pool workers really ran
+        assert os.getpid() not in pids
+        worker_spans = [
+            s for s in TRACER.spans if s.name == "worker.sleep"
+        ]
+        assert len(worker_spans) == 2
+        for recorded in worker_spans:
+            assert recorded.pid in pids
+            assert recorded.parent_id == parent_id
+            assert recorded.trace_id == TRACER.trace_id
+        # The submitting span closed after the workers were absorbed.
+        assert TRACER.spans[-1].name == "submit"
+        assert TRACER.spans[-1].span_id == parent_id
+        del submitting
+
+    def test_batch_engine_merges_worker_spans_and_metrics(self):
+        enable_tracing()
+        jobs = [
+            CompileJob(
+                workload=workload, num_qubits=4, target="square_2x2",
+                trials=1, pipeline="fast",
+            )
+            for workload in ("ghz", "qft")
+        ]
+        before = REGISTRY.snapshot()
+        engine = BatchEngine(
+            workers=2, use_cache=False, warm_coverage=False, retries=0
+        )
+        results = engine.run(jobs)
+        assert all(result.ok for result in results)
+        job_spans = [s for s in TRACER.spans if s.name == "job.run"]
+        batch_spans = [s for s in TRACER.spans if s.name == "batch.run"]
+        assert len(job_spans) == 2 and len(batch_spans) == 1
+        for recorded in job_spans:
+            assert recorded.pid != os.getpid()
+            assert recorded.parent_id == batch_spans[0].span_id
+        # Pass spans crossed the boundary too, nested under their job.
+        pass_spans = [
+            s for s in TRACER.spans if s.name.startswith("pass.")
+        ]
+        assert pass_spans
+        job_ids = {s.span_id for s in job_spans}
+        compile_ids = {
+            s.span_id for s in TRACER.spans if s.name == "compile"
+        }
+        assert all(
+            s.parent_id in compile_ids | job_ids for s in pass_spans
+        )
+        # Worker metric deltas merged: pass runs counted in the parent.
+        delta = MetricsRegistry.delta(before, REGISTRY.snapshot())
+        assert delta["counters"]["repro.service.jobs"] == 2
+        assert delta["counters"]["repro.pass.runs"] > 0
+
+    def test_serial_round_records_spans_once(self):
+        enable_tracing()
+        job = CompileJob(
+            workload="ghz", num_qubits=4, target="square_2x2",
+            trials=1, pipeline="fast",
+        )
+        engine = BatchEngine(
+            workers=1, use_cache=False, warm_coverage=False, retries=0
+        )
+        (result,) = engine.run([job])
+        assert result.ok
+        assert len(
+            [s for s in TRACER.spans if s.name == "job.run"]
+        ) == 1
+
+    def test_retried_job_records_retry_metrics(self):
+        before = REGISTRY.snapshot()
+        job = CompileJob(
+            workload="no_such_workload", num_qubits=4,
+            target="square_2x2", trials=1,
+        )
+        engine = BatchEngine(
+            workers=1, use_cache=False, warm_coverage=False, retries=2
+        )
+        (result,) = engine.run([job])
+        assert not result.ok
+        assert result.attempts == 3
+        delta = MetricsRegistry.delta(before, REGISTRY.snapshot())
+        assert delta["counters"]["repro.service.job_retries"] == 2
+        assert delta["counters"]["repro.service.jobs_failed"] == 1
+        assert delta["counters"]["repro.service.job_errors"] == 3
+        attempts = delta["histograms"]["repro.service.job_attempts"]
+        assert attempts["count"] == 1 and attempts["total"] == 3.0
+
+
+class TestConfigSwitch:
+    def test_compiler_config_trace_field_round_trips(self):
+        from repro.transpiler.compiler import CompilerConfig
+
+        config = CompilerConfig(trace=True)
+        assert CompilerConfig.from_json(config.to_json()) == config
+        assert CompilerConfig().trace is False
+
+    def test_config_trace_enables_tracing(self):
+        import repro
+        from repro.circuits.workloads import get_workload
+
+        assert not TRACER.enabled
+        circuit = get_workload("ghz", 4)
+        repro.compile(
+            circuit,
+            target="square_2x2",
+            config=repro.CompilerConfig(pipeline="fast", trace=True),
+        )
+        assert TRACER.enabled
+        assert any(s.name == "compile" for s in TRACER.spans)
+
+    def test_env_switch(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE", "1")
+        assert Tracer().enabled
+        monkeypatch.setenv("REPRO_TRACE", "off")
+        assert not Tracer().enabled
+        monkeypatch.delenv("REPRO_TRACE")
+        assert not Tracer().enabled

@@ -290,7 +290,10 @@ class TestCoverageStore:
         assert store.get_set("k2") is not None
         assert store.stats.memory_hits == 1
 
-    def test_legacy_npz_migration(self, tmp_path, rng):
+    def test_legacy_npz_raises_with_migration_hint(self, tmp_path, rng):
+        # The npz absorption shim is gone (its one-release window
+        # closed): a stale archive next to the store is an error that
+        # names the rebuild command, not a silent miss.
         clouds = self._clouds(rng)
         key = "legacy_basis_gc1.000000_seed3_v2"
         np.savez_compressed(
@@ -298,18 +301,13 @@ class TestCoverageStore:
             **{f"k{k}": c for k, c in enumerate(clouds, start=1)},
         )
         store = CoverageStore(path=tmp_path / "coverage.sqlite")
-        migrated = store.get_clouds(key, 2)
-        assert migrated is not None
-        assert store.stats.legacy_hits == 1
-        for original, restored in zip(clouds, migrated):
-            assert np.array_equal(original, restored)
-        # The migration persisted into sqlite: a fresh store answers
-        # from disk even with the npz gone.
+        with pytest.raises(RuntimeError, match="repro synth"):
+            store.get_clouds(key, 2)
+        # With the archive gone the same lookup is an ordinary miss.
         (tmp_path / f"{key}.npz").unlink()
         fresh = CoverageStore(path=tmp_path / "coverage.sqlite")
-        again = fresh.get_clouds(key, 2)
-        assert again is not None
-        assert fresh.stats.disk_hits == 1
+        assert fresh.get_clouds(key, 2) is None
+        assert fresh.stats.misses == 1
 
     def test_memory_only_store(self, rng):
         store = CoverageStore(persistent=False)
@@ -426,32 +424,22 @@ class TestCoverageBuildParity:
         store.put_clouds("k", [np.zeros((4, 3))])
         assert not store.persistent
 
-    def test_legacy_npz_serves_build(self, tmp_path, monkeypatch):
-        # A cloud persisted under the legacy per-dir npz layout must
-        # keep serving builds through the store (the parity window).
-        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
-        cold = build_coverage_set(cache=False, **self._KWARGS)
+    def test_legacy_npz_fails_build_with_hint(self, tmp_path, rng):
+        # A stale legacy archive surfaces through build_coverage_set as
+        # the migration error, not as a silent cache-free rebuild.
         key = coverage_cache_key(
             gc=np.pi / 2, gg=0.0, pulse_duration=1.0, kmax=1,
             basis_name="parity_test", parallel=False, samples_per_k=150,
             steps_per_pulse=4, seed=3, boost_targets=False,
             synthesis_restarts=3, synthesis_iterations=1200,
         )
-        # Recreate the legacy archive from a cache-free rebuild's points
-        # via the store encoding (the formats are identical npz).
-        probe_store = CoverageStore(path=tmp_path / "probe.sqlite")
-        build_coverage_set(store=probe_store, **self._KWARGS)
-        clouds = probe_store.get_clouds(key, 1)
         np.savez_compressed(
             tmp_path / f"{key}.npz",
-            **{f"k{k}": c for k, c in enumerate(clouds, start=1)},
+            **{"k1": rng.uniform(0, 1, size=(40, 3))},
         )
-        (tmp_path / "probe.sqlite").unlink()
-        served_store = CoverageStore(path=tmp_path / "coverage.sqlite")
-        served = build_coverage_set(store=served_store, **self._KWARGS)
-        assert served_store.stats.legacy_hits == 1
-        haar = haar_coordinate_samples(400, seed=4)
-        assert np.array_equal(cold.min_k(haar), served.min_k(haar))
+        store = CoverageStore(path=tmp_path / "coverage.sqlite")
+        with pytest.raises(RuntimeError, match="repro synth"):
+            build_coverage_set(store=store, **self._KWARGS)
 
 
 class TestEngineCoverage:
