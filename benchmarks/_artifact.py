@@ -1,0 +1,52 @@
+"""One emission path for every ``results/*_bench.json`` artifact.
+
+Each benchmark used to hand-write its JSON with whatever shape it
+grew; the perf ledger needs every artifact to carry the same
+provenance.  :func:`write_bench_artifact` stamps the schema version,
+the artifact kind, and a full :class:`~repro.obs.ledger.RunStamp`
+(git sha, branch, timestamp, host, python/numpy versions) into the
+document, and carries an explicit ``metrics`` block — flat
+``name -> number`` — which is exactly what
+``repro perf record`` ingests (names keep the repo's suffix
+conventions: ``*_s`` lower-is-better, ``*speedup`` higher-is-better).
+
+The benchmark-specific payload (tables, per-entry breakdowns) rides
+alongside untouched, so human consumers of the artifacts lose nothing.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.experiments.common import results_dir
+from repro.obs.ledger import RunStamp
+
+#: Version of the artifact envelope (kind/schema/stamp/metrics keys).
+BENCH_ARTIFACT_SCHEMA = 1
+
+
+def write_bench_artifact(
+    kind: str,
+    payload: dict,
+    metrics: dict[str, float],
+    filename: str | None = None,
+) -> Path:
+    """Write one stamped, ledger-ingestible bench artifact.
+
+    ``kind`` prefixes every ledger metric name; ``filename`` defaults
+    to ``<kind>_bench.json`` under the results directory.
+    """
+    document = {
+        "kind": kind,
+        "schema": BENCH_ARTIFACT_SCHEMA,
+        "stamp": RunStamp.collect(source="bench").as_dict(),
+        "metrics": dict(metrics),
+        **payload,
+    }
+    out = results_dir() / (filename or f"{kind}_bench.json")
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(
+        json.dumps(document, indent=2, sort_keys=True), encoding="utf-8"
+    )
+    return out

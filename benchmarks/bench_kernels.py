@@ -18,7 +18,6 @@ noise).
 
 from __future__ import annotations
 
-import json
 import time
 from collections.abc import Callable
 
@@ -26,12 +25,12 @@ import numpy as np
 
 from repro.core.coverage import CoverageSet, build_coverage_set
 from repro.core.decomposition_rules import BASIS_DRIVE_ANGLES, TemplateSpec
-from repro.experiments.common import results_dir
 from repro.kernels import weyl_coordinates_many
 from repro.quantum.random import haar_unitaries_batch
 from repro.quantum.weyl import weyl_coordinates
 from repro.service.cache import DecompositionCache
 
+from _artifact import write_bench_artifact
 from conftest import run_once
 
 #: Stack sizes for the Weyl kernel (256 is the acceptance/guard size).
@@ -185,8 +184,15 @@ def test_kernel_microbench(benchmark, capsys, tmp_path):
     assert by_kernel["cache_cold", CACHE_POINTS]["speedup"] >= 1.0
     assert by_kernel["cache_warm", CACHE_POINTS]["speedup"] >= 1.0
 
-    out = results_dir() / "kernels_bench.json"
-    out.write_text(json.dumps({"benchmarks": entries}, indent=2, sort_keys=True))
+    ledger_metrics: dict[str, float] = {}
+    for e in entries:
+        label = f"{e['kernel']}.n{e['n']}"
+        ledger_metrics[f"{label}.scalar_s"] = e["scalar_s"]
+        ledger_metrics[f"{label}.batched_s"] = e["batched_s"]
+        ledger_metrics[f"{label}.speedup"] = e["speedup"]
+    out = write_bench_artifact(
+        "kernels", {"benchmarks": entries}, metrics=ledger_metrics
+    )
     with capsys.disabled():
         print("\nscalar vs batched kernels (best-of-3 wall time):")
         print(_format_table(entries))

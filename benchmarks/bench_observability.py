@@ -19,7 +19,6 @@ from __future__ import annotations
 import json
 from time import perf_counter
 
-from repro.experiments.common import results_dir
 from repro.obs import (
     REGISTRY,
     TRACER,
@@ -30,6 +29,7 @@ from repro.obs import (
 )
 from repro.service import BatchEngine, CompileJob, ResultStore
 
+from _artifact import write_bench_artifact
 from conftest import run_once
 
 #: Same shape as the ``bench_pass_profile`` suite: one shallow and one
@@ -109,8 +109,18 @@ def test_observability_bench(benchmark, capsys):
         "counter_inc_cost_s": _counter_cost(),
     }
     assert payload["span_count"] > 0
-    out = results_dir() / "observability_bench.json"
-    out.write_text(json.dumps(payload, indent=2, sort_keys=True))
+    out = write_bench_artifact(
+        "observability",
+        payload,
+        metrics={
+            key: payload[key]
+            for key in (
+                "untraced_s", "traced_s", "traced_over_untraced",
+                "span_count", "chrome_trace_bytes", "null_span_cost_s",
+                "counter_inc_cost_s",
+            )
+        },
+    )
 
     with capsys.disabled():
         print("\nobservability bench (2 jobs x 2 trials):")

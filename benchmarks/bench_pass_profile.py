@@ -7,19 +7,18 @@ translation dominating the cost), and writes the aggregated per-pass
 timing JSON next to the other artifacts so CI uploads it with the
 ``BENCH_*.json`` perf trajectory.
 
-The emitted ``pass_profile.json`` is the stage-level perf baseline:
-regressions in a single pass (routing blow-up, translation cache miss
-storms) show up here before they move end-to-end suite timings.
+The emitted ``pass_profile_bench.json`` is the stage-level perf
+baseline: regressions in a single pass (routing blow-up, translation
+cache miss storms) show up here — and in the perf ledger's per-pass
+metrics — before they move end-to-end suite timings.
 """
 
 from __future__ import annotations
 
-import json
-
-from repro.experiments.common import results_dir
 from repro.service import BatchEngine, CompileJob, ResultStore
 from repro.transpiler.passes import PassProfile
 
+from _artifact import write_bench_artifact
 from conftest import run_once
 
 #: Two-job smoke suite: one shallow and one dense workload.
@@ -76,8 +75,14 @@ def test_pass_profile_timings(benchmark, capsys):
     assert PassProfile.from_dict(payload["profile"]).to_dict() == (
         profile.to_dict()
     )
-    out = results_dir() / "pass_profile.json"
-    out.write_text(json.dumps(payload, indent=2, sort_keys=True))
+    out = write_bench_artifact(
+        "pass_profile",
+        payload,
+        metrics={
+            f"{name}.wall_time_s": entry["wall_time_s"]
+            for name, entry in by_pass.items()
+        },
+    )
 
     with capsys.disabled():
         print("\nper-pass timing profile (2 jobs x 2 trials):")

@@ -20,7 +20,6 @@ not on runner noise).
 
 from __future__ import annotations
 
-import json
 import time
 
 import numpy as np
@@ -33,8 +32,8 @@ from repro.core.coverage import (
 from repro.quantum.weyl import named_gate_coordinates
 from repro.service.coverage_store import CoverageStore
 from repro.synthesis import SynthesisEngine, synthesize
-from repro.experiments.common import results_dir
 
+from _artifact import write_bench_artifact
 from conftest import run_once
 
 #: Small coverage preset shared by the bench and the CI smoke guard.
@@ -134,9 +133,18 @@ def test_synthesis_bench(benchmark, capsys, tmp_path):
         f"warm CoverageStore only {store['speedup']:.1f}x over cold"
     )
 
-    out = results_dir() / "synthesis_bench.json"
-    out.write_text(
-        json.dumps({"benchmarks": entries}, indent=2, sort_keys=True)
+    out = write_bench_artifact(
+        "synthesis",
+        {"benchmarks": entries},
+        metrics={
+            "multistart.sequential_s": multi["sequential_s"],
+            "multistart.multistart_s": multi["multistart_s"],
+            "multistart.speedup": multi["speedup"],
+            "multistart.throughput_per_s": multi["throughput_per_s"],
+            "coverage_store.cold_s": store["cold_s"],
+            "coverage_store.warm_s": store["warm_s"],
+            "coverage_store.speedup": store["speedup"],
+        },
     )
     with capsys.disabled():
         print("\nsynthesis engine timings:")

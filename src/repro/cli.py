@@ -17,7 +17,11 @@ Usage::
     python -m repro synth SWAP --backend fourier --repetitions 2
     python -m repro synth --basis sqrt_iSWAP --coverage 2
     python -m repro trace batch --suite smoke --workers 4
+    python -m repro trace --profile batch --suite smoke --workers 2
     python -m repro metrics
+    python -m repro metrics --spans
+    python -m repro perf record
+    python -m repro perf check --warn-only
 """
 
 from __future__ import annotations
@@ -385,12 +389,17 @@ def _cmd_synth(args: argparse.Namespace) -> int:
 
 def _cmd_trace(args: argparse.Namespace) -> int:
     from .obs import (
+        PROFILER,
         TRACER,
         REGISTRY,
         default_metrics_path,
+        disable_profiling,
+        enable_profiling,
         enable_tracing,
+        format_self_time_table,
         format_span_summary,
         write_chrome_trace,
+        write_collapsed,
         write_jsonl,
         write_metrics_snapshot,
     )
@@ -405,14 +414,19 @@ def _cmd_trace(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
-    if rest[0] in ("trace", "metrics"):
+    if rest[0] in ("trace", "metrics", "perf"):
         print(f"trace: cannot wrap {rest[0]!r}", file=sys.stderr)
         return 2
     import os
 
     TRACER.clear()
     enable_tracing()
+    if args.profile:
+        PROFILER.clear()
+        enable_profiling()
     code = main(rest)
+    if args.profile:
+        disable_profiling()
     spans = TRACER.spans
     out = args.out or str(results_dir() / "trace.json")
     write_chrome_trace(spans, out, main_pid=os.getpid())
@@ -433,16 +447,49 @@ def _cmd_trace(args: argparse.Namespace) -> int:
           "(load in chrome://tracing or https://ui.perfetto.dev)")
     print(f"metrics snapshot written to {metrics_path} "
           "(render with 'repro metrics')")
+    if args.profile:
+        profile_out = args.profile_out or str(
+            results_dir() / "profile_collapsed.txt"
+        )
+        write_collapsed(profile_out)
+        total = sum(PROFILER.samples.values())
+        print(
+            f"\nprofile: {total} stack samples "
+            f"@ {PROFILER.interval * 1000:g} ms"
+        )
+        print(format_self_time_table())
+        print(f"collapsed stacks written to {profile_out} "
+              "(feed to flamegraph.pl / speedscope / inferno)")
     return code
 
 
 def _cmd_metrics(args: argparse.Namespace) -> int:
     from .obs import (
+        SchemaError,
         default_metrics_path,
+        format_chrome_trace_summary,
         format_metrics_table,
+        load_chrome_trace,
         load_metrics_snapshot,
     )
 
+    if args.spans:
+        trace_path = args.trace_path or str(results_dir() / "trace.json")
+        try:
+            payload = load_chrome_trace(trace_path)
+        except FileNotFoundError:
+            print(
+                f"metrics: no trace at {trace_path}; run "
+                "'repro trace <cmd>' first (or pass --trace-path)",
+                file=sys.stderr,
+            )
+            return 2
+        except (OSError, SchemaError) as exc:
+            print(f"metrics: {exc}", file=sys.stderr)
+            return 2
+        print(f"trace: {trace_path}")
+        print(format_chrome_trace_summary(payload))
+        return 0
     path = args.path or default_metrics_path()
     try:
         snapshot = load_metrics_snapshot(path)
@@ -453,12 +500,199 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
-    except (OSError, json.JSONDecodeError) as exc:
-        print(f"metrics: cannot read {path}: {exc}", file=sys.stderr)
+    except (OSError, SchemaError) as exc:
+        print(f"metrics: {exc}", file=sys.stderr)
         return 2
     print(f"metrics snapshot: {path}")
     print(format_metrics_table(snapshot))
     return 0
+
+
+def _default_perf_artifacts() -> list:
+    """Artifacts ``perf record`` ingests when given no paths.
+
+    Every ``results/*_bench.json`` experiment artifact, every
+    ``BENCH_*.json`` pytest-benchmark file in the working directory,
+    and the metrics snapshot of the last traced run (when present) —
+    exactly what a CI bench job leaves behind.
+    """
+    from pathlib import Path
+
+    from .obs import default_metrics_path
+
+    paths = sorted(results_dir().glob("*_bench.json"))
+    paths += sorted(Path.cwd().glob("BENCH_*.json"))
+    metrics_path = default_metrics_path()
+    if metrics_path.exists():
+        paths.append(metrics_path)
+    return paths
+
+
+def _gate_config(args: argparse.Namespace):
+    """Build the GateConfig the compare/check actions share."""
+    from .obs import GateConfig
+
+    if args.gate_config is not None:
+        config = GateConfig.from_file(args.gate_config)
+    else:
+        config = GateConfig()
+    overrides = {}
+    if args.window is not None:
+        overrides["window"] = args.window
+    if args.tolerance is not None:
+        overrides["default_tolerance"] = args.tolerance
+    if overrides:
+        from dataclasses import replace
+
+        config = replace(config, **overrides)
+    return config
+
+
+def _format_comparisons(comparisons) -> str:
+    """Render sentinel verdicts as an aligned table."""
+    from .experiments.common import format_table
+
+    rows = []
+    for item in comparisons:
+        rows.append(
+            [
+                item.metric,
+                f"{item.current:.6g}",
+                "-" if item.baseline is None else f"{item.baseline:.6g}",
+                "-" if item.ratio is None else f"{item.ratio:.3f}",
+                item.window_used,
+                item.direction or "-",
+                item.status,
+            ]
+        )
+    return format_table(
+        ["metric", "current", "baseline", "ratio", "n", "dir", "status"],
+        rows,
+    )
+
+
+def _cmd_perf(args: argparse.Namespace) -> int:
+    from .obs import LedgerError, PerfLedger, RunStamp, ingest_file
+
+    ledger = PerfLedger(path=args.ledger)
+    try:
+        if args.action == "record":
+            paths = args.paths or _default_perf_artifacts()
+            if not paths:
+                print(
+                    "perf record: no artifacts found; run the benchmarks "
+                    f"first (looked for {results_dir()}/*_bench.json and "
+                    "./BENCH_*.json) or pass explicit paths",
+                    file=sys.stderr,
+                )
+                return 2
+            samples: dict[str, float] = {}
+            for path in paths:
+                ingested = ingest_file(path)
+                samples.update(ingested)
+                print(f"  {path}: {len(ingested)} metrics")
+            stamp = RunStamp.collect(
+                source=args.source, note=args.note or ""
+            )
+            run_id = ledger.record(samples, stamp=stamp)
+            print(
+                f"recorded run {run_id}: {len(samples)} metrics "
+                f"@ {stamp.git_sha[:12]} ({stamp.branch}) -> {ledger.path}"
+            )
+            return 0
+
+        if args.action == "list":
+            runs = ledger.runs(limit=args.limit)
+            if not runs:
+                print(f"perf ledger {ledger.path} holds no runs yet")
+                return 0
+            from .experiments.common import format_table
+
+            rows = [
+                [
+                    run["id"],
+                    time.strftime(
+                        "%Y-%m-%d %H:%M", time.localtime(run["recorded_at"])
+                    ),
+                    run["git_sha"][:12],
+                    run["branch"],
+                    run["source"],
+                    run["samples"],
+                    run["note"],
+                ]
+                for run in runs
+            ]
+            print(f"perf ledger: {ledger.path}")
+            print(format_table(
+                ["run", "recorded", "sha", "branch", "source", "metrics",
+                 "note"],
+                rows,
+            ))
+            return 0
+
+        if args.action in ("compare", "check"):
+            comparisons = ledger.compare_latest(config=_gate_config(args))
+            regressed = [item for item in comparisons if item.regressed]
+            if args.action == "compare":
+                print(_format_comparisons(comparisons))
+                return 0
+            # check: quiet on success, loud and nonzero on regression.
+            if regressed:
+                print(_format_comparisons(regressed))
+                print(
+                    f"\nperf check: {len(regressed)} metric(s) regressed "
+                    f"vs the last-{_gate_config(args).window} baseline",
+                    file=sys.stderr,
+                )
+                if args.warn_only:
+                    print(
+                        "perf check: --warn-only set, not failing",
+                        file=sys.stderr,
+                    )
+                    return 0
+                return 1
+            gated = [
+                item for item in comparisons if item.direction is not None
+            ]
+            fresh = [item for item in gated if item.baseline is None]
+            print(
+                f"perf check: ok — {len(gated)} gated metric(s), "
+                f"{len(fresh)} without history yet"
+            )
+            return 0
+
+        if args.action == "report":
+            metrics = ledger.metrics(contains=args.metric)
+            if not metrics:
+                hint = f" matching {args.metric!r}" if args.metric else ""
+                print(f"perf ledger {ledger.path}: no metrics{hint}")
+                return 0
+            from .experiments.common import format_table
+
+            rows = []
+            for name in metrics:
+                history = ledger.metric_history(name, limit=args.limit)
+                values = [value for _, value in history]
+                rows.append(
+                    [
+                        name,
+                        len(values),
+                        f"{values[0]:.6g}",
+                        f"{min(values):.6g}",
+                        f"{max(values):.6g}",
+                    ]
+                )
+            print(f"perf ledger: {ledger.path}")
+            print(format_table(
+                ["metric", "runs", "latest", "min", "max"], rows
+            ))
+            return 0
+    except LedgerError as exc:
+        print(f"perf {args.action}: {exc}", file=sys.stderr)
+        return 2
+    finally:
+        ledger.close()
+    raise AssertionError(f"unhandled perf action {args.action!r}")
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -663,6 +897,16 @@ def main(argv: list[str] | None = None) -> int:
              "(default: <results>/metrics.json; read by 'repro metrics')",
     )
     trace_parser.add_argument(
+        "--profile", action="store_true",
+        help="also run the sampling stack profiler and export "
+             "collapsed stacks (span-attributed, flamegraph-ready)",
+    )
+    trace_parser.add_argument(
+        "--profile-out", default=None, metavar="PATH",
+        help="collapsed-stack output with --profile "
+             "(default: <results>/profile_collapsed.txt)",
+    )
+    trace_parser.add_argument(
         "rest", nargs=argparse.REMAINDER,
         help="the repro command to trace, e.g. 'batch --suite smoke'",
     )
@@ -676,6 +920,72 @@ def main(argv: list[str] | None = None) -> int:
         help="metrics snapshot to render "
              "(default: <results>/metrics.json)",
     )
+    metrics_parser.add_argument(
+        "--spans", action="store_true",
+        help="render the span summary of the last exported trace "
+             "instead of the metrics snapshot",
+    )
+    metrics_parser.add_argument(
+        "--trace-path", default=None, metavar="PATH",
+        help="Chrome trace to summarize with --spans "
+             "(default: <results>/trace.json)",
+    )
+
+    perf_parser = sub.add_parser(
+        "perf",
+        help="record bench artifacts into the perf ledger and gate "
+             "on regressions",
+    )
+    perf_parser.add_argument(
+        "action",
+        choices=("record", "list", "compare", "check", "report"),
+        help="record artifacts / list runs / compare vs baseline / "
+             "gate (nonzero exit on regression) / per-metric history",
+    )
+    perf_parser.add_argument(
+        "paths", nargs="*",
+        help="artifact files for 'record' (default: results/*_bench.json"
+             " + ./BENCH_*.json + results/metrics.json)",
+    )
+    perf_parser.add_argument(
+        "--ledger", default=None, metavar="PATH",
+        help="sqlite ledger path (default: <results>/perf.sqlite, or "
+             "REPRO_PERF_LEDGER)",
+    )
+    perf_parser.add_argument(
+        "--source", default="manual",
+        help="provenance label stamped on recorded runs (e.g. ci)",
+    )
+    perf_parser.add_argument(
+        "--note", default=None, help="free-form note for 'record'"
+    )
+    perf_parser.add_argument(
+        "--window", type=int, default=None,
+        help="baseline window: median of the last N prior runs "
+             "(default 5)",
+    )
+    perf_parser.add_argument(
+        "--tolerance", type=float, default=None,
+        help="default relative tolerance before a metric regresses "
+             "(default 0.2)",
+    )
+    perf_parser.add_argument(
+        "--gate-config", default=None, metavar="PATH",
+        help="JSON gate policy with per-metric-prefix tolerance "
+             "overrides",
+    )
+    perf_parser.add_argument(
+        "--warn-only", action="store_true",
+        help="report regressions but exit 0 (PR builds)",
+    )
+    perf_parser.add_argument(
+        "--metric", default=None,
+        help="substring filter for 'report'",
+    )
+    perf_parser.add_argument(
+        "--limit", type=int, default=None,
+        help="row cap for 'list'/'report'",
+    )
 
     args = parser.parse_args(argv)
     handlers = {
@@ -687,6 +997,7 @@ def main(argv: list[str] | None = None) -> int:
         "synth": _cmd_synth,
         "trace": _cmd_trace,
         "metrics": _cmd_metrics,
+        "perf": _cmd_perf,
     }
     return handlers[args.command](args)
 

@@ -1,6 +1,6 @@
-"""Unified observability: tracing, metrics, exporters.
+"""Unified observability: tracing, metrics, profiling, exporters, ledger.
 
-The three pieces live in sibling modules and share nothing but the
+The pieces live in sibling modules and share nothing but the
 span/snapshot data shapes:
 
 * :mod:`repro.obs.trace` — span-based tracer whose context crosses
@@ -9,21 +9,47 @@ span/snapshot data shapes:
 * :mod:`repro.obs.metrics` — process-wide counter/gauge/histogram
   registry every subsystem reports through
   (``repro.<subsystem>.<name>``);
+* :mod:`repro.obs.profile` — background-thread stack sampler whose
+  samples attribute to the active span and ship across the worker
+  boundary like metric deltas (collapsed-stack / flamegraph export);
 * :mod:`repro.obs.export` — JSON-lines, Chrome trace-event
-  (Perfetto-loadable), and human-table exporters plus metrics
-  snapshot persistence.
+  (Perfetto-loadable), and human-table exporters plus schema-versioned
+  metrics/trace persistence;
+* :mod:`repro.obs.ledger` — the historical tier: a schema-versioned
+  sqlite time-series of bench/metrics samples per git sha, with the
+  noise-aware regression sentinel ``repro perf check`` gates on.
 """
 
 from .export import (
+    METRICS_SCHEMA_VERSION,
+    TRACE_SCHEMA_VERSION,
+    SchemaError,
     default_metrics_path,
+    format_chrome_trace_summary,
     format_metrics_table,
     format_span_summary,
+    load_chrome_trace,
     load_metrics_snapshot,
     to_chrome_trace,
     to_jsonl,
+    validate_metrics_snapshot,
     write_chrome_trace,
     write_jsonl,
     write_metrics_snapshot,
+)
+from .ledger import (
+    LEDGER_SCHEMA_VERSION,
+    GateConfig,
+    LedgerError,
+    MetricComparison,
+    PerfLedger,
+    RunStamp,
+    default_ledger_path,
+    direction_for,
+    ingest_file,
+    samples_from_bench_artifact,
+    samples_from_metrics_snapshot,
+    samples_from_pytest_benchmark,
 )
 from .metrics import (
     BATCH_SIZE_BUCKETS,
@@ -36,6 +62,17 @@ from .metrics import (
     counter,
     gauge,
     histogram,
+)
+from .profile import (
+    DEFAULT_INTERVAL_S,
+    PROFILER,
+    SamplingProfiler,
+    disable_profiling,
+    enable_profiling,
+    format_self_time_table,
+    profiling_enabled,
+    to_collapsed,
+    write_collapsed,
 )
 from .trace import (
     TRACER,
@@ -51,29 +88,56 @@ from .trace import (
 __all__ = [
     "BATCH_SIZE_BUCKETS",
     "Counter",
+    "DEFAULT_INTERVAL_S",
     "Gauge",
+    "GateConfig",
     "Histogram",
+    "LEDGER_SCHEMA_VERSION",
+    "LedgerError",
+    "METRICS_SCHEMA_VERSION",
+    "MetricComparison",
     "MetricsRegistry",
+    "PROFILER",
+    "PerfLedger",
     "REGISTRY",
+    "RunStamp",
+    "SamplingProfiler",
+    "SchemaError",
     "Span",
     "TIME_BUCKETS",
     "TRACER",
+    "TRACE_SCHEMA_VERSION",
     "TraceContext",
     "Tracer",
     "counter",
+    "default_ledger_path",
     "default_metrics_path",
+    "direction_for",
+    "disable_profiling",
     "disable_tracing",
+    "enable_profiling",
     "enable_tracing",
+    "format_chrome_trace_summary",
     "format_metrics_table",
+    "format_self_time_table",
     "format_span_summary",
     "gauge",
     "histogram",
+    "ingest_file",
+    "load_chrome_trace",
     "load_metrics_snapshot",
+    "profiling_enabled",
+    "samples_from_bench_artifact",
+    "samples_from_metrics_snapshot",
+    "samples_from_pytest_benchmark",
     "span",
     "to_chrome_trace",
+    "to_collapsed",
     "to_jsonl",
     "tracing_enabled",
+    "validate_metrics_snapshot",
     "write_chrome_trace",
+    "write_collapsed",
     "write_jsonl",
     "write_metrics_snapshot",
 ]

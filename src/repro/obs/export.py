@@ -16,6 +16,12 @@ Metrics snapshots persist as plain JSON next to the other paper
 artifacts (``results_dir()/metrics.json`` by default) so ``repro
 metrics`` can render counters from the *previous* traced run — the
 registry itself dies with its process.
+
+Both persisted forms are schema-versioned (``"schema"`` key, see
+:data:`METRICS_SCHEMA_VERSION` / :data:`TRACE_SCHEMA_VERSION`): the
+loaders refuse unrecognizable or future-versioned files with a
+:class:`SchemaError` carrying an actionable message instead of letting
+a ``KeyError`` surface three frames deep in a formatter.
 """
 
 from __future__ import annotations
@@ -26,16 +32,36 @@ from pathlib import Path
 from .trace import Span
 
 __all__ = [
+    "METRICS_SCHEMA_VERSION",
+    "SchemaError",
+    "TRACE_SCHEMA_VERSION",
     "default_metrics_path",
+    "format_chrome_trace_summary",
     "format_metrics_table",
     "format_span_summary",
+    "load_chrome_trace",
     "load_metrics_snapshot",
     "to_chrome_trace",
     "to_jsonl",
+    "validate_metrics_snapshot",
     "write_chrome_trace",
     "write_jsonl",
     "write_metrics_snapshot",
 ]
+
+#: Version stamped into persisted metrics snapshots (metrics.json).
+METRICS_SCHEMA_VERSION = 1
+
+#: Version stamped into exported Chrome traces (trace.json).
+TRACE_SCHEMA_VERSION = 1
+
+
+class SchemaError(ValueError):
+    """A persisted artifact this build cannot read.
+
+    ``args[0]`` is a user-facing, actionable message — CLI consumers
+    print it verbatim (exit 2) instead of a traceback.
+    """
 
 
 def _span_dicts(spans) -> list[dict]:
@@ -77,7 +103,11 @@ def to_chrome_trace(spans, main_pid: int | None = None) -> dict:
     items = _span_dicts(spans)
     events: list[dict] = []
     if not items:
-        return {"traceEvents": events, "displayTimeUnit": "ms"}
+        return {
+            "traceEvents": events,
+            "displayTimeUnit": "ms",
+            "schema": TRACE_SCHEMA_VERSION,
+        }
     origin = min(item["start"] for item in items)
     pids = []
     for item in items:
@@ -109,7 +139,11 @@ def to_chrome_trace(spans, main_pid: int | None = None) -> dict:
                 "args": {"name": label},
             }
         )
-    return {"traceEvents": events, "displayTimeUnit": "ms"}
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "schema": TRACE_SCHEMA_VERSION,
+    }
 
 
 def write_chrome_trace(
@@ -199,16 +233,131 @@ def default_metrics_path() -> Path:
 def write_metrics_snapshot(
     snapshot: dict, path: str | Path | None = None
 ) -> Path:
-    """Persist a registry snapshot as JSON; returns the path written."""
+    """Persist a registry snapshot as JSON; returns the path written.
+
+    The snapshot is stamped with :data:`METRICS_SCHEMA_VERSION` so
+    later builds can refuse it pointedly instead of misreading it.
+    """
     path = Path(path) if path is not None else default_metrics_path()
     path.parent.mkdir(parents=True, exist_ok=True)
+    payload = {"schema": METRICS_SCHEMA_VERSION, **snapshot}
     path.write_text(
-        json.dumps(snapshot, indent=2, sort_keys=True), encoding="utf-8"
+        json.dumps(payload, indent=2, sort_keys=True), encoding="utf-8"
     )
     return path
 
 
+def validate_metrics_snapshot(payload, source: str = "snapshot") -> dict:
+    """Check a loaded snapshot's shape and schema version.
+
+    Accepts unstamped (pre-versioning) snapshots for compatibility;
+    rejects non-objects, unknown-versioned, and shapeless payloads
+    with a :class:`SchemaError` naming ``source``.
+    """
+    if not isinstance(payload, dict):
+        raise SchemaError(
+            f"{source} is not a JSON object; expected a metrics "
+            "snapshot written by 'repro trace'"
+        )
+    schema = payload.get("schema")
+    if schema is not None and schema != METRICS_SCHEMA_VERSION:
+        raise SchemaError(
+            f"{source} has metrics schema v{schema}, but this build "
+            f"reads v{METRICS_SCHEMA_VERSION}; re-run 'repro trace' "
+            "with this build to regenerate it"
+        )
+    if not any(
+        key in payload for key in ("counters", "gauges", "histograms")
+    ):
+        raise SchemaError(
+            f"{source} has no counters/gauges/histograms sections; "
+            "it does not look like a metrics snapshot — regenerate it "
+            "with 'repro trace <command>'"
+        )
+    return payload
+
+
 def load_metrics_snapshot(path: str | Path | None = None) -> dict:
-    """Read a snapshot written by :func:`write_metrics_snapshot`."""
+    """Read and validate a :func:`write_metrics_snapshot` snapshot.
+
+    Raises :class:`FileNotFoundError` when the file is absent and
+    :class:`SchemaError` when it is unreadable or unrecognizable.
+    """
     path = Path(path) if path is not None else default_metrics_path()
-    return json.loads(path.read_text(encoding="utf-8"))
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise SchemaError(
+            f"{path} is not valid JSON ({exc}); delete it and re-run "
+            "'repro trace <command>' to regenerate the snapshot"
+        ) from None
+    return validate_metrics_snapshot(payload, source=str(path))
+
+
+def load_chrome_trace(path: str | Path) -> dict:
+    """Read and validate a :func:`write_chrome_trace` export.
+
+    Raises :class:`FileNotFoundError` when the file is absent and
+    :class:`SchemaError` when it is unreadable, not a trace-event
+    document, or stamped with a schema this build does not know.
+    """
+    path = Path(path)
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise SchemaError(
+            f"{path} is not valid JSON ({exc}); re-run "
+            "'repro trace <command>' to regenerate the trace"
+        ) from None
+    if not isinstance(payload, dict) or not isinstance(
+        payload.get("traceEvents"), list
+    ):
+        raise SchemaError(
+            f"{path} has no traceEvents list; it does not look like a "
+            "Chrome trace export — regenerate it with "
+            "'repro trace <command>'"
+        )
+    schema = payload.get("schema")
+    if schema is not None and schema != TRACE_SCHEMA_VERSION:
+        raise SchemaError(
+            f"{path} has trace schema v{schema}, but this build reads "
+            f"v{TRACE_SCHEMA_VERSION}; re-run 'repro trace' with this "
+            "build to regenerate it"
+        )
+    return payload
+
+
+def format_chrome_trace_summary(payload: dict) -> str:
+    """Per-name aggregate table for a loaded Chrome trace export.
+
+    The offline twin of :func:`format_span_summary`: same columns,
+    sourced from a ``trace.json`` on disk instead of the live tracer.
+    """
+    from ..experiments.common import format_table
+
+    events = [
+        event
+        for event in payload.get("traceEvents", [])
+        if event.get("ph") == "X"
+    ]
+    if not events:
+        return "no spans in trace (empty run, or tracing was off?)"
+    grouped: dict[str, list[dict]] = {}
+    for event in events:
+        grouped.setdefault(event.get("name", "?"), []).append(event)
+    rows = []
+    for name, group in grouped.items():
+        total_us = sum(event.get("dur", 0.0) for event in group)
+        rows.append(
+            [
+                name,
+                len(group),
+                round(total_us / 1e3, 2),
+                round(total_us / 1e3 / len(group), 2),
+                len({event.get("pid") for event in group}),
+            ]
+        )
+    rows.sort(key=lambda row: -row[2])
+    return format_table(
+        ["span", "count", "total ms", "mean ms", "pids"], rows
+    )

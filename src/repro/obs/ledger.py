@@ -1,0 +1,676 @@
+"""Persistent performance ledger: bench/metrics history + regression gate.
+
+Every PR emits one-shot perf evidence — pytest-benchmark JSON,
+``results/*_bench.json`` experiment artifacts, ``repro trace`` metrics
+snapshots — and until now CI uploaded those artifacts and forgot them.
+The :class:`PerfLedger` is the historical tier of the observability
+subsystem: a schema-versioned sqlite time-series store where every
+ingested run is stamped with its git sha, branch, timestamp, host, and
+python/numpy versions, so speedup claims become trajectories instead of
+screenshots.
+
+Keyspace/atomic-write discipline matches the repo's other sqlite
+stores (:class:`~repro.service.cache.DecompositionCache`,
+:class:`~repro.service.coverage_store.CoverageStore`): WAL journal,
+fork-safe lazy reconnect, one write transaction per logical operation.
+Unlike the caches, the ledger is *loud* on an unusable store — a cache
+that degrades to memory loses nothing but speed, while a ledger that
+silently drops history defeats its purpose — so schema mismatches
+raise :class:`LedgerError` with a pointed message instead of degrading.
+(The shared schema-versioned ``meta`` table is the concrete first step
+toward the ROADMAP "store unification" item: all three stores now
+carry an explicit, checkable schema version in sqlite.)
+
+The regression sentinel rides on top: :meth:`PerfLedger.compare_latest`
+compares the newest run against the median of the previous *N* runs
+per metric, with a noise floor (median absolute deviation) and
+per-metric tolerances (:class:`GateConfig`).  ``repro perf check``
+turns its verdicts into an exit code, which is what CI gates on.
+
+Metric direction is inferred from the name: ``*_s``/``*_seconds``/
+``*_ms``/``*_bytes``/``*_ratio`` are lower-is-better, ``*speedup``/
+``*_per_s`` higher-is-better, anything else informational (recorded,
+listed, never gated).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import platform
+import sqlite3
+import subprocess
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+__all__ = [
+    "GateConfig",
+    "LEDGER_SCHEMA_VERSION",
+    "LedgerError",
+    "MetricComparison",
+    "PerfLedger",
+    "RunStamp",
+    "default_ledger_path",
+    "direction_for",
+    "ingest_file",
+    "samples_from_bench_artifact",
+    "samples_from_metrics_snapshot",
+    "samples_from_pytest_benchmark",
+]
+
+#: Version of the sqlite layout below; bump on incompatible changes.
+LEDGER_SCHEMA_VERSION = 1
+
+#: Name suffixes that imply a gate direction.  Checked in order; the
+#: first match wins.  Everything else is informational (never gated).
+_LOWER_SUFFIXES = ("_s", "_seconds", "_ms", "_ns", "_bytes", "_ratio")
+_HIGHER_SUFFIXES = ("speedup", "_per_s", "_per_sec", "_qps")
+
+
+class LedgerError(RuntimeError):
+    """An unusable ledger (unknown schema, unreadable file, bad input).
+
+    Carries a user-facing, actionable message — CLI paths print
+    ``exc.args[0]`` verbatim instead of a traceback.
+    """
+
+
+def default_ledger_path() -> Path:
+    """Where the perf ledger lives unless told otherwise.
+
+    ``REPRO_PERF_LEDGER`` overrides; the default sits next to the other
+    paper artifacts at ``results_dir()/perf.sqlite``.
+    """
+    override = os.environ.get("REPRO_PERF_LEDGER")
+    if override:
+        return Path(override)
+    from ..experiments.common import results_dir
+
+    return results_dir() / "perf.sqlite"
+
+
+def direction_for(metric: str) -> str | None:
+    """Gate direction a metric name implies (``lower``/``higher``/None).
+
+    Higher-better suffixes win ties: ``throughput_per_s`` must read as
+    a rate, not as a ``_s`` duration.
+    """
+    for suffix in _HIGHER_SUFFIXES:
+        if metric.endswith(suffix):
+            return "higher"
+    for suffix in _LOWER_SUFFIXES:
+        if metric.endswith(suffix):
+            return "lower"
+    return None
+
+
+def _git(*args: str) -> str | None:
+    """One git plumbing call, or ``None`` outside a repo / without git."""
+    try:
+        out = subprocess.run(
+            ["git", *args],
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    if out.returncode != 0:
+        return None
+    return out.stdout.strip() or None
+
+
+@dataclass(frozen=True)
+class RunStamp:
+    """Provenance of one recorded run.
+
+    ``collect()`` fills every field from the environment: git first,
+    then the CI variables GitHub Actions exports (detached-HEAD
+    checkouts report ``HEAD`` for the branch, so ``GITHUB_REF_NAME``
+    wins when present), then ``unknown``.
+    """
+
+    recorded_at: float
+    git_sha: str
+    branch: str
+    host: str
+    python_version: str
+    numpy_version: str
+    source: str = "manual"
+    note: str = ""
+
+    @classmethod
+    def collect(cls, source: str = "manual", note: str = "") -> "RunStamp":
+        """Stamp the current process/checkout."""
+        import numpy as np
+
+        sha = os.environ.get("GITHUB_SHA") or _git("rev-parse", "HEAD")
+        branch = os.environ.get("GITHUB_REF_NAME") or _git(
+            "rev-parse", "--abbrev-ref", "HEAD"
+        )
+        return cls(
+            recorded_at=time.time(),
+            git_sha=(sha or "unknown")[:40],
+            branch=branch or "unknown",
+            host=platform.node() or "unknown",
+            python_version=platform.python_version(),
+            numpy_version=np.__version__,
+            source=source,
+            note=note,
+        )
+
+    def as_dict(self) -> dict:
+        """Plain-dict form (JSON-compatible)."""
+        return {
+            "recorded_at": self.recorded_at,
+            "git_sha": self.git_sha,
+            "branch": self.branch,
+            "host": self.host,
+            "python_version": self.python_version,
+            "numpy_version": self.numpy_version,
+            "source": self.source,
+            "note": self.note,
+        }
+
+
+# -- ingestion ---------------------------------------------------------------
+
+
+def _is_number(value) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool) \
+        and math.isfinite(value)
+
+
+def samples_from_pytest_benchmark(payload: dict) -> dict[str, float]:
+    """Metrics from a pytest-benchmark JSON document.
+
+    One ``<name>.mean_s`` / ``<name>.min_s`` pair per benchmark entry
+    (both lower-is-better by suffix).
+    """
+    samples: dict[str, float] = {}
+    for entry in payload.get("benchmarks", ()):
+        name = entry.get("name") or entry.get("fullname")
+        stats = entry.get("stats")
+        if not name or not isinstance(stats, dict):
+            continue
+        name = name.replace(";", "_")
+        for stat_key, suffix in (("mean", "mean_s"), ("min", "min_s")):
+            value = stats.get(stat_key)
+            if _is_number(value):
+                samples[f"pytest.{name}.{suffix}"] = float(value)
+    return samples
+
+
+def samples_from_bench_artifact(payload: dict, kind: str) -> dict[str, float]:
+    """Metrics from a ``results/*_bench.json`` experiment artifact.
+
+    Artifacts written through ``benchmarks/_artifact.py`` carry an
+    explicit ``"metrics"`` block — that is ingested verbatim (prefixed
+    with the artifact kind).  Legacy artifacts fall back to a shallow
+    numeric flatten: entries of a ``"benchmarks"`` list keyed by their
+    ``kernel``/``name`` field, plus numeric top-level values.
+    """
+    samples: dict[str, float] = {}
+    explicit = payload.get("metrics")
+    if isinstance(explicit, dict):
+        for name, value in explicit.items():
+            if _is_number(value):
+                samples[f"{kind}.{name}"] = float(value)
+        return samples
+    for index, entry in enumerate(payload.get("benchmarks", ())):
+        if not isinstance(entry, dict):
+            continue
+        label = entry.get("kernel") or entry.get("name") or str(index)
+        if _is_number(entry.get("n")):
+            label = f"{label}.n{int(entry['n'])}"
+        for key, value in entry.items():
+            if key == "n" or not _is_number(value):
+                continue
+            samples[f"{kind}.{label}.{key}"] = float(value)
+    for key, value in payload.items():
+        if key != "schema" and _is_number(value):
+            samples[f"{kind}.{key}"] = float(value)
+    return samples
+
+
+def samples_from_metrics_snapshot(payload: dict) -> dict[str, float]:
+    """Metrics from an ``obs`` registry snapshot (``metrics.json``).
+
+    Counters and gauges record verbatim; histograms record their mean
+    and count.  All informational (counter levels depend on workload
+    size, so they are history, not gates).
+    """
+    samples: dict[str, float] = {}
+    for name, value in payload.get("counters", {}).items():
+        if _is_number(value):
+            samples[f"{name}.count"] = float(value)
+    for name, value in payload.get("gauges", {}).items():
+        if _is_number(value):
+            samples[f"{name}.gauge"] = float(value)
+    for name, hist in payload.get("histograms", {}).items():
+        count = hist.get("count", 0)
+        if _is_number(count) and count:
+            samples[f"{name}.hist_count"] = float(count)
+            total = hist.get("total", 0.0)
+            if _is_number(total):
+                samples[f"{name}.hist_mean"] = float(total) / float(count)
+    return samples
+
+
+def ingest_file(path: str | Path) -> dict[str, float]:
+    """Metrics from one artifact file, dispatched on its shape.
+
+    Recognizes pytest-benchmark JSON (``machine_info`` + per-entry
+    ``stats``), ``obs`` metrics snapshots (``counters``/``histograms``),
+    and bench artifacts (stamped or legacy).  Raises
+    :class:`LedgerError` with an actionable message on unreadable or
+    unrecognizable input.
+    """
+    path = Path(path)
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except FileNotFoundError:
+        raise LedgerError(
+            f"no artifact at {path}; run the benchmarks first "
+            "(e.g. 'pytest benchmarks/bench_kernels.py') or pass an "
+            "existing BENCH_*.json / results/*_bench.json path"
+        ) from None
+    except (OSError, json.JSONDecodeError) as exc:
+        raise LedgerError(
+            f"cannot parse {path} as JSON ({exc}); perf ledger ingestion "
+            "expects pytest-benchmark JSON, a *_bench.json artifact, or "
+            "a metrics.json snapshot"
+        ) from None
+    if not isinstance(payload, dict):
+        raise LedgerError(
+            f"{path} is not a JSON object; nothing to ingest"
+        )
+    if "benchmarks" in payload and "machine_info" in payload:
+        return samples_from_pytest_benchmark(payload)
+    if "counters" in payload or "histograms" in payload:
+        from .export import SchemaError, validate_metrics_snapshot
+
+        try:
+            validate_metrics_snapshot(payload, source=str(path))
+        except SchemaError as exc:
+            raise LedgerError(str(exc)) from None
+        return samples_from_metrics_snapshot(payload)
+    kind = payload.get("kind") or path.stem.removesuffix("_bench")
+    if kind.startswith("BENCH_"):
+        kind = kind[len("BENCH_"):]
+    return samples_from_bench_artifact(payload, str(kind))
+
+
+# -- the store ---------------------------------------------------------------
+
+
+class PerfLedger:
+    """Schema-versioned sqlite time-series store of perf samples.
+
+    Layout (``LEDGER_SCHEMA_VERSION`` in a ``meta`` table):
+
+    * ``runs`` — one row per recorded run, stamped with the
+      :class:`RunStamp` fields;
+    * ``samples`` — ``(run_id, metric) -> value`` with the inferred
+      gate direction denormalized per row (so history stays readable
+      even if the inference rules evolve).
+    """
+
+    def __init__(self, path: str | Path | None = None):
+        self.path = Path(path) if path is not None else default_ledger_path()
+        self._conn: sqlite3.Connection | None = None
+        self._pid = os.getpid()
+
+    # -- connection ----------------------------------------------------------
+
+    def _connection(self) -> sqlite3.Connection:
+        """Open (or re-open after fork) the backing database."""
+        if self._conn is not None and self._pid == os.getpid():
+            return self._conn
+        self._conn = None
+        self._pid = os.getpid()
+        try:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            conn = sqlite3.connect(self.path, timeout=30.0)
+            conn.execute("PRAGMA journal_mode=WAL")
+            conn.execute("PRAGMA synchronous=NORMAL")
+            conn.execute(
+                "CREATE TABLE IF NOT EXISTS meta ("
+                "  key TEXT PRIMARY KEY, value TEXT NOT NULL)"
+            )
+            row = conn.execute(
+                "SELECT value FROM meta WHERE key = 'schema_version'"
+            ).fetchone()
+            if row is None:
+                conn.execute(
+                    "INSERT INTO meta VALUES ('schema_version', ?)",
+                    (str(LEDGER_SCHEMA_VERSION),),
+                )
+            elif int(row[0]) != LEDGER_SCHEMA_VERSION:
+                conn.close()
+                raise LedgerError(
+                    f"perf ledger {self.path} has schema v{row[0]}, but "
+                    f"this build reads v{LEDGER_SCHEMA_VERSION}; point "
+                    "--ledger (or REPRO_PERF_LEDGER) at a fresh path, or "
+                    "re-record history with a matching build"
+                )
+            conn.execute(
+                "CREATE TABLE IF NOT EXISTS runs ("
+                "  id INTEGER PRIMARY KEY AUTOINCREMENT,"
+                "  recorded_at REAL NOT NULL,"
+                "  git_sha TEXT NOT NULL,"
+                "  branch TEXT NOT NULL,"
+                "  host TEXT NOT NULL,"
+                "  python_version TEXT NOT NULL,"
+                "  numpy_version TEXT NOT NULL,"
+                "  source TEXT NOT NULL,"
+                "  note TEXT NOT NULL)"
+            )
+            conn.execute(
+                "CREATE TABLE IF NOT EXISTS samples ("
+                "  run_id INTEGER NOT NULL REFERENCES runs(id),"
+                "  metric TEXT NOT NULL,"
+                "  value REAL NOT NULL,"
+                "  direction TEXT,"
+                "  PRIMARY KEY (run_id, metric))"
+            )
+            conn.execute(
+                "CREATE INDEX IF NOT EXISTS samples_by_metric "
+                "ON samples (metric, run_id)"
+            )
+            conn.commit()
+        except sqlite3.Error as exc:
+            raise LedgerError(
+                f"cannot open perf ledger at {self.path}: {exc}; pass "
+                "--ledger PATH (or set REPRO_PERF_LEDGER) to a writable "
+                "location"
+            ) from None
+        self._conn = conn
+        return conn
+
+    def close(self) -> None:
+        """Close the database handle (reopened lazily on next use)."""
+        if self._conn is not None and self._pid == os.getpid():
+            self._conn.close()
+        self._conn = None
+
+    # -- writing -------------------------------------------------------------
+
+    def record(
+        self, samples: dict[str, float], stamp: RunStamp | None = None
+    ) -> int:
+        """Record one run (all samples in a single transaction).
+
+        Returns the new run id.  An empty sample dict is refused — a
+        run with no samples would silently become the "current run"
+        every later ``check`` compares against.
+        """
+        if not samples:
+            raise LedgerError(
+                "refusing to record a run with no samples; check that the "
+                "ingested artifacts contain numeric metrics"
+            )
+        stamp = stamp if stamp is not None else RunStamp.collect()
+        conn = self._connection()
+        cursor = conn.execute(
+            "INSERT INTO runs (recorded_at, git_sha, branch, host,"
+            " python_version, numpy_version, source, note)"
+            " VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
+            (
+                stamp.recorded_at,
+                stamp.git_sha,
+                stamp.branch,
+                stamp.host,
+                stamp.python_version,
+                stamp.numpy_version,
+                stamp.source,
+                stamp.note,
+            ),
+        )
+        run_id = int(cursor.lastrowid)
+        conn.executemany(
+            "INSERT OR REPLACE INTO samples VALUES (?, ?, ?, ?)",
+            [
+                (run_id, metric, float(value), direction_for(metric))
+                for metric, value in sorted(samples.items())
+            ],
+        )
+        conn.commit()
+        return run_id
+
+    # -- reading -------------------------------------------------------------
+
+    def runs(self, limit: int | None = None) -> list[dict]:
+        """Recorded runs, newest first, with their sample counts."""
+        conn = self._connection()
+        query = (
+            "SELECT r.id, r.recorded_at, r.git_sha, r.branch, r.host,"
+            " r.python_version, r.numpy_version, r.source, r.note,"
+            " COUNT(s.metric)"
+            " FROM runs r LEFT JOIN samples s ON s.run_id = r.id"
+            " GROUP BY r.id ORDER BY r.id DESC"
+        )
+        if limit is not None:
+            query += f" LIMIT {int(limit)}"
+        rows = conn.execute(query).fetchall()
+        keys = (
+            "id", "recorded_at", "git_sha", "branch", "host",
+            "python_version", "numpy_version", "source", "note", "samples",
+        )
+        return [dict(zip(keys, row)) for row in rows]
+
+    def latest_run_id(self) -> int | None:
+        """Id of the newest recorded run (None on an empty ledger)."""
+        row = self._connection().execute(
+            "SELECT MAX(id) FROM runs"
+        ).fetchone()
+        return int(row[0]) if row and row[0] is not None else None
+
+    def samples_for_run(self, run_id: int) -> dict[str, float]:
+        """All samples of one run."""
+        rows = self._connection().execute(
+            "SELECT metric, value FROM samples WHERE run_id = ?",
+            (run_id,),
+        ).fetchall()
+        return {metric: value for metric, value in rows}
+
+    def metric_history(
+        self, metric: str, limit: int | None = None
+    ) -> list[tuple[int, float]]:
+        """``(run_id, value)`` pairs for one metric, newest first."""
+        query = (
+            "SELECT run_id, value FROM samples WHERE metric = ?"
+            " ORDER BY run_id DESC"
+        )
+        if limit is not None:
+            query += f" LIMIT {int(limit)}"
+        return [
+            (int(run_id), float(value))
+            for run_id, value in
+            self._connection().execute(query, (metric,)).fetchall()
+        ]
+
+    def metrics(self, contains: str | None = None) -> list[str]:
+        """Distinct metric names (optionally substring-filtered)."""
+        rows = self._connection().execute(
+            "SELECT DISTINCT metric FROM samples ORDER BY metric"
+        ).fetchall()
+        names = [row[0] for row in rows]
+        if contains:
+            names = [name for name in names if contains in name]
+        return names
+
+    # -- the sentinel --------------------------------------------------------
+
+    def compare_latest(
+        self, config: "GateConfig | None" = None
+    ) -> list["MetricComparison"]:
+        """Latest run vs. the median of the previous ``window`` runs.
+
+        Metrics without any prior history are reported with a ``None``
+        baseline (new metrics never fail a gate).  Raises
+        :class:`LedgerError` when the ledger holds no runs at all.
+        """
+        config = config if config is not None else GateConfig()
+        latest = self.latest_run_id()
+        if latest is None:
+            raise LedgerError(
+                f"perf ledger {self.path} holds no runs; run "
+                "'repro perf record' first"
+            )
+        current = self.samples_for_run(latest)
+        comparisons = []
+        for metric in sorted(current):
+            history = [
+                value
+                for run_id, value in self.metric_history(metric)
+                if run_id != latest
+            ][: config.window]
+            comparisons.append(
+                MetricComparison.build(
+                    metric=metric,
+                    current=current[metric],
+                    history=history,
+                    direction=direction_for(metric),
+                    tolerance=config.tolerance_for(metric),
+                )
+            )
+        return comparisons
+
+
+@dataclass(frozen=True)
+class GateConfig:
+    """Regression-gate knobs: baseline window + per-metric tolerances.
+
+    ``overrides`` maps metric-name *prefixes* to tolerances; the
+    longest matching prefix wins, else ``default_tolerance``.  Loadable
+    from JSON (``{"default_tolerance": 0.25, "window": 5,
+    "overrides": {"kernels.": 0.5}}``) so a repo can check in its gate
+    policy next to the benchmarks.
+    """
+
+    default_tolerance: float = 0.2
+    window: int = 5
+    noise_factor: float = 3.0
+    overrides: dict[str, float] = field(default_factory=dict)
+
+    def tolerance_for(self, metric: str) -> float:
+        """The tolerance governing one metric (longest prefix wins)."""
+        best = None
+        for prefix in self.overrides:
+            if metric.startswith(prefix):
+                if best is None or len(prefix) > len(best):
+                    best = prefix
+        return self.overrides[best] if best else self.default_tolerance
+
+    @classmethod
+    def from_file(cls, path: str | Path) -> "GateConfig":
+        """Load a gate policy from a JSON file (pointed errors)."""
+        path = Path(path)
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except FileNotFoundError:
+            raise LedgerError(
+                f"no gate config at {path}; expected JSON like "
+                '{"default_tolerance": 0.2, "window": 5, '
+                '"overrides": {"kernels.": 0.5}}'
+            ) from None
+        except (OSError, json.JSONDecodeError) as exc:
+            raise LedgerError(
+                f"cannot parse gate config {path}: {exc}"
+            ) from None
+        known = {"default_tolerance", "window", "noise_factor", "overrides"}
+        unknown = set(payload) - known
+        if unknown:
+            raise LedgerError(
+                f"gate config {path} has unknown keys {sorted(unknown)}; "
+                f"known: {sorted(known)}"
+            )
+        return cls(**payload)
+
+
+def _median(values: list[float]) -> float:
+    ordered = sorted(values)
+    n = len(ordered)
+    mid = n // 2
+    if n % 2:
+        return ordered[mid]
+    return 0.5 * (ordered[mid - 1] + ordered[mid])
+
+
+@dataclass(frozen=True)
+class MetricComparison:
+    """One metric's verdict: current vs. noise-aware baseline.
+
+    The gate trips when the current value lands beyond the tolerance
+    band *and* beyond the noise floor: for lower-is-better metrics,
+    ``current > baseline * (1 + tolerance) + noise_factor * MAD``
+    (mirrored for higher-is-better).  The MAD term keeps single-run
+    jitter on genuinely noisy metrics from tripping a tight tolerance;
+    the multiplicative band keeps real slowdowns from hiding inside
+    wide noise on stable metrics.
+    """
+
+    metric: str
+    current: float
+    baseline: float | None
+    mad: float
+    window_used: int
+    direction: str | None
+    tolerance: float
+    regressed: bool
+    improved: bool
+
+    @classmethod
+    def build(
+        cls,
+        metric: str,
+        current: float,
+        history: list[float],
+        direction: str | None,
+        tolerance: float,
+        noise_factor: float = 3.0,
+    ) -> "MetricComparison":
+        """Judge one metric against its history."""
+        if not history:
+            return cls(
+                metric=metric, current=current, baseline=None, mad=0.0,
+                window_used=0, direction=direction, tolerance=tolerance,
+                regressed=False, improved=False,
+            )
+        baseline = _median(history)
+        mad = _median([abs(value - baseline) for value in history])
+        regressed = improved = False
+        if direction == "lower":
+            regressed = current > baseline * (1 + tolerance) + noise_factor * mad
+            improved = current < baseline * (1 - tolerance) - noise_factor * mad
+        elif direction == "higher":
+            regressed = current < baseline * (1 - tolerance) - noise_factor * mad
+            improved = current > baseline * (1 + tolerance) + noise_factor * mad
+        return cls(
+            metric=metric, current=current, baseline=baseline, mad=mad,
+            window_used=len(history), direction=direction,
+            tolerance=tolerance, regressed=regressed, improved=improved,
+        )
+
+    @property
+    def ratio(self) -> float | None:
+        """current / baseline (None without a baseline)."""
+        if self.baseline is None or self.baseline == 0:
+            return None
+        return self.current / self.baseline
+
+    @property
+    def status(self) -> str:
+        """One-word verdict for tables: new/ok/faster/REGRESSED/info."""
+        if self.baseline is None:
+            return "new"
+        if self.direction is None:
+            return "info"
+        if self.regressed:
+            return "REGRESSED"
+        if self.improved:
+            return "improved"
+        return "ok"

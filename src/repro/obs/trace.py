@@ -158,6 +158,7 @@ class _ActiveSpan:
         tracer = self._tracer
         self._span_id = f"{os.getpid():x}-{next(tracer._ids):x}"
         tracer._stack.append(self._span_id)
+        tracer._names.append(self._name)
         self._start = perf_counter()
         return self
 
@@ -169,6 +170,8 @@ class _ActiveSpan:
         # exactly the parenting the child's spans should see.
         if tracer._stack and tracer._stack[-1] == self._span_id:
             tracer._stack.pop()
+            if tracer._names:
+                tracer._names.pop()
         parent = (
             tracer._stack[-1] if tracer._stack else tracer._root_parent
         )
@@ -198,6 +201,7 @@ class Tracer:
         self.trace_id: str | None = None
         self.spans: list[Span] = []
         self._stack: list[str] = []
+        self._names: list[str] = []
         self._root_parent: str | None = None
         self._ids = itertools.count(1)
 
@@ -219,6 +223,7 @@ class Tracer:
         """Drop buffered spans and context (fresh run)."""
         self.spans.clear()
         self._stack.clear()
+        self._names.clear()
         self._root_parent = None
         self.trace_id = None
 
@@ -231,6 +236,19 @@ class Tracer:
         if self.trace_id is None:
             self.trace_id = uuid.uuid4().hex[:16]
         return _ActiveSpan(self, name, attrs)
+
+    def active_span_name(self) -> str | None:
+        """Name of the innermost open span (None outside any span).
+
+        Safe to call from another thread while spans open and close:
+        the sampling profiler reads it between list mutations, so a
+        momentary race is answered with ``None`` rather than an
+        exception.
+        """
+        try:
+            return self._names[-1]
+        except IndexError:
+            return None
 
     # -- propagation ---------------------------------------------------------
 

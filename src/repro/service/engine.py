@@ -32,6 +32,7 @@ from collections.abc import Callable, Iterator, Sequence
 from pathlib import Path
 
 from ..obs import metrics, trace
+from ..obs import profile as obs_profile
 from .cache import DecompositionCache, default_decomp_cache_dir
 from .jobs import CompileJob, CompileResult, circuit_digest
 
@@ -268,16 +269,27 @@ def execute_job(
 def _execute_payload(payload: tuple) -> tuple[int, CompileResult, dict]:
     """Pool entry point: unpack (index, job, cache + profile config).
 
-    The third element is the observability freight: the spans and the
-    metrics *delta* this job produced in this process.  Deltas (not
-    absolute snapshots) cross the boundary because fork-pool workers
-    inherit the parent's counts — shipping absolutes would double-count
-    everything recorded before the fork.  The parent ignores freight
-    stamped with its own pid (serial in-process rounds).
+    The third element is the observability freight: the spans, the
+    metrics *delta*, and (when the parent runs the sampling profiler)
+    the stack-sample delta this job produced in this process.  Deltas
+    (not absolute snapshots) cross the boundary because fork-pool
+    workers inherit the parent's counts — shipping absolutes would
+    double-count everything recorded before the fork.  The parent
+    ignores freight stamped with its own pid (serial in-process
+    rounds).
+
+    ``fork()`` never carries threads into the child, so a worker whose
+    parent had the sampler running arrives threadless:
+    ``profile_interval`` in the payload tells it to restart the sampler
+    before the job body runs (and to start it fresh under ``spawn``).
     """
-    index, job, use_cache, cache_path, profile = payload
+    index, job, use_cache, cache_path, profile, profile_interval = payload
     marker = trace.TRACER.mark()
     before = metrics.REGISTRY.snapshot()
+    samples_before = None
+    if profile_interval is not None:
+        obs_profile.enable_profiling(interval=profile_interval)
+        samples_before = obs_profile.PROFILER.snapshot()
     result = execute_job(
         job, use_cache=use_cache, cache_path=cache_path, profile=profile
     )
@@ -288,6 +300,10 @@ def _execute_payload(payload: tuple) -> tuple[int, CompileResult, dict]:
             before, metrics.REGISTRY.snapshot()
         ),
     }
+    if samples_before is not None:
+        freight["profile"] = obs_profile.SamplingProfiler.delta(
+            samples_before, obs_profile.PROFILER.snapshot()
+        )
     return index, result, freight
 
 
@@ -350,8 +366,14 @@ class BatchEngine:
                 (index, job.updated(trace=payload_trace))
                 for index, job in indexed
             ]
+        profile_interval = (
+            obs_profile.PROFILER.interval
+            if obs_profile.profiling_enabled()
+            else None
+        )
         return [
-            (index, job, self.use_cache, path, self.profile)
+            (index, job, self.use_cache, path, self.profile,
+             profile_interval)
             for index, job in indexed
         ]
 
@@ -373,6 +395,9 @@ class BatchEngine:
                 delta = freight.get("metrics")
                 if delta:
                     metrics.REGISTRY.merge_snapshot(delta)
+                samples = freight.get("profile")
+                if samples:
+                    obs_profile.PROFILER.absorb(samples)
             yield index, result
 
     def _cache_covers(self, jobs: Sequence[CompileJob]) -> bool:

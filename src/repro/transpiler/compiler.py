@@ -70,6 +70,13 @@ class CompilerConfig:
     #: ``REPRO_TRACE`` env var and ``repro trace`` reach the same
     #: switch process-wide; this reaches it per config).
     trace: bool = False
+    #: Turn on the sampling stack profiler for compilations under this
+    #: config (the ``REPRO_PROFILE`` env var and ``repro trace
+    #: --profile`` reach the same switch process-wide).  Distinct from
+    #: the ``profile=`` *argument* of :func:`compile`, which collects
+    #: per-pass wall-time records — this one samples call stacks and
+    #: attributes them to the active span.
+    profile: bool = False
 
     def __post_init__(self) -> None:
         get_pipeline(self.pipeline)  # raises ValueError on unknown name
@@ -144,6 +151,7 @@ class CompilerConfig:
             "scheduler": self.scheduler,
             "selection": self.selection,
             "trace": self.trace,
+            "profile": self.profile,
         }
 
     @classmethod
@@ -209,6 +217,10 @@ def compile(  # noqa: A001 - deliberate facade name, repro.compile(...)
             raise ValueError(str(exc)) from None
     if config.trace and not obs_trace.tracing_enabled():
         obs_trace.enable_tracing()
+    if config.profile:
+        from ..obs import profile as obs_profile
+
+        obs_profile.enable_profiling()
     rules = hardware.build_rules(config.rules)
     manager = config.build_manager()
     with obs_trace.span(

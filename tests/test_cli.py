@@ -216,6 +216,80 @@ class TestBatchTarget:
         assert "--coupling" in capsys.readouterr().err
 
 
+class TestObsConsumers:
+    """Pointed failures for the trace/metrics artifact consumers."""
+
+    def test_metrics_missing_snapshot(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path))
+        assert main(["metrics"]) == 2
+        err = capsys.readouterr().err
+        assert "no snapshot" in err and "repro trace" in err
+
+    def test_metrics_unknown_schema(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "metrics.json"
+        path.write_text(json.dumps({"schema": 99, "counters": {}}))
+        assert main(["metrics", "--path", str(path)]) == 2
+        err = capsys.readouterr().err
+        assert "schema v99" in err and "Traceback" not in err
+
+    def test_metrics_unrecognizable_snapshot(self, tmp_path, capsys):
+        path = tmp_path / "metrics.json"
+        path.write_text("{not json")
+        assert main(["metrics", "--path", str(path)]) == 2
+        assert "not valid JSON" in capsys.readouterr().err
+
+    def test_metrics_spans_missing_trace(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path))
+        assert main(["metrics", "--spans"]) == 2
+        assert "no trace" in capsys.readouterr().err
+
+    def test_metrics_spans_unknown_schema(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "trace.json"
+        path.write_text(json.dumps({"traceEvents": [], "schema": 99}))
+        assert main(
+            ["metrics", "--spans", "--trace-path", str(path)]
+        ) == 2
+        assert "schema v99" in capsys.readouterr().err
+
+    def test_metrics_spans_summarizes_trace(self, tmp_path, capsys):
+        from repro.obs import Span, write_chrome_trace
+
+        span = Span(
+            name="compile", trace_id="t", span_id="1", parent_id=None,
+            start=0.0, duration=0.5, pid=123,
+        )
+        path = write_chrome_trace([span], tmp_path / "trace.json")
+        assert main(
+            ["metrics", "--spans", "--trace-path", str(path)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "compile" in out and "total ms" in out
+
+    def test_trace_profile_exports_collapsed_stacks(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        from repro.obs import PROFILER, TRACER
+
+        monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path))
+        try:
+            assert main(["trace", "--profile", "targets"]) == 0
+        finally:
+            PROFILER.stop()
+            PROFILER.clear()
+            TRACER.disable()
+            TRACER.clear()
+        out = capsys.readouterr().out
+        assert "collapsed stacks written to" in out
+        assert (tmp_path / "profile_collapsed.txt").exists()
+        assert (tmp_path / "trace.json").exists()
+
+
 @pytest.mark.slow
 class TestTranspile:
     def test_transpile_command(self, capsys):

@@ -106,6 +106,31 @@ class TestMetrics:
         with pytest.raises(ValueError, match="bounds mismatch"):
             sink.merge_snapshot(source.snapshot())
 
+    def test_merge_bounds_mismatch_leaves_other_sections_applied(self):
+        # The counter section merges before the offending histogram is
+        # reached; the error still surfaces so callers notice.
+        source = MetricsRegistry()
+        source.counter("jobs").inc(2)
+        source.histogram("t", (1.0,)).observe(0.5)
+        sink = MetricsRegistry()
+        sink.histogram("t", (2.0,))
+        with pytest.raises(ValueError, match="bounds mismatch"):
+            sink.merge_snapshot(source.snapshot())
+        assert sink.snapshot()["counters"]["jobs"] == 2
+
+    def test_delta_drops_disappeared_metric(self):
+        # delta() iterates the *after* snapshot: a metric present only
+        # in `before` (a registry reset between snapshots) contributes
+        # nothing rather than a negative count.
+        registry = MetricsRegistry()
+        registry.counter("gone").inc(5)
+        before = registry.snapshot()
+        after_registry = MetricsRegistry()
+        after_registry.counter("kept").inc(1)
+        delta = MetricsRegistry.delta(before, after_registry.snapshot())
+        assert "gone" not in delta["counters"]
+        assert delta["counters"]["kept"] == 1
+
     def test_cache_stats_mirror_into_registry(self):
         from repro.service.cache import CacheStats
 
@@ -242,10 +267,32 @@ class TestExporters:
         )
 
     def test_chrome_trace_empty(self):
+        from repro.obs import TRACE_SCHEMA_VERSION
+
         assert to_chrome_trace([]) == {
             "traceEvents": [],
             "displayTimeUnit": "ms",
+            "schema": TRACE_SCHEMA_VERSION,
         }
+
+    def test_chrome_trace_empty_round_trips_through_loader(self, tmp_path):
+        from repro.obs import format_chrome_trace_summary, load_chrome_trace
+
+        path = write_chrome_trace([], tmp_path / "trace.json")
+        loaded = load_chrome_trace(path)
+        assert loaded["traceEvents"] == []
+        assert "no spans" in format_chrome_trace_summary(loaded)
+
+    def test_chrome_trace_loader_rejects_unknown_schema(self, tmp_path):
+        from repro.obs import SchemaError, load_chrome_trace
+
+        path = tmp_path / "trace.json"
+        path.write_text(json.dumps({"traceEvents": [], "schema": 99}))
+        with pytest.raises(SchemaError, match="schema v99"):
+            load_chrome_trace(path)
+        path.write_text(json.dumps({"something": "else"}))
+        with pytest.raises(SchemaError, match="traceEvents"):
+            load_chrome_trace(path)
 
     def test_span_summary_table(self):
         spans, _ = self._spans()
