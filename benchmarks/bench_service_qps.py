@@ -1,0 +1,147 @@
+"""Compile-service load bench: cold vs. warm throughput over HTTP.
+
+Drives a live :class:`~repro.service.server.CompileServer` (in-process
+thread, real sockets, real forked workers) with a distinct-job load,
+then replays the identical load so every submission answers from the
+result store's dedup tier.  Records jobs/sec for both passes, the
+dedup hit rate, and p50/p99 per-job latencies into
+``results/service_bench.json`` (CI names the pytest-benchmark JSON
+``BENCH_service.json``), all ledger-ingestible.
+
+The perf smoke pins the service's reason to exist: a warm dedup hit
+skips compilation entirely, so warm throughput must beat cold
+throughput by at least 5x (observed margin is orders of magnitude —
+the assert catches dedup accidentally falling out of the admission
+path, not runner noise).
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+
+from repro.obs import REGISTRY, MetricsRegistry
+from repro.service import CompileJob, ServerThread, ServiceClient
+
+from _artifact import write_bench_artifact
+from conftest import run_once
+
+#: Distinct seconds-scale jobs (the cold pass compiles each once).
+JOBS = [
+    CompileJob(
+        workload=workload,
+        num_qubits=4,
+        rules=rules,
+        trials=1,
+        seed=7,
+        target="square_2x2",
+        pipeline="fast",
+        tag=f"qps{index}",
+    )
+    for index, (workload, rules) in enumerate(
+        (w, r)
+        for w in ("ghz", "qft")
+        for r in ("baseline", "parallel")
+    )
+]
+
+#: Replays of the identical load against the warm result store.
+WARM_ROUNDS = 3
+
+
+def _percentile(samples: list[float], q: float) -> float:
+    ordered = sorted(samples)
+    return ordered[min(len(ordered) - 1, int(q * (len(ordered) - 1) + 0.5))]
+
+
+def _submit_load(client: ServiceClient, jobs) -> tuple[float, list[float]]:
+    """One full-load submission: (wall seconds, per-job latencies).
+
+    Latency is submission-start to result-event arrival — what a
+    streaming caller actually waits, dedup answers included.
+    """
+    start = perf_counter()
+    latencies = []
+    for event in client.submit_stream(jobs):
+        if event.get("event") == "result":
+            latencies.append(perf_counter() - start)
+    assert len(latencies) == len(jobs)
+    return perf_counter() - start, latencies
+
+
+def _run_load(jobs, workers: int = 2) -> dict:
+    """Cold pass then warm replays against one server lifetime."""
+    before = REGISTRY.snapshot()
+    with ServerThread(workers=workers, use_cache=False) as server:
+        client = ServiceClient(server.url, timeout=300)
+        cold_s, cold_latencies = _submit_load(client, jobs)
+        warm_s = 0.0
+        warm_latencies: list[float] = []
+        for _ in range(WARM_ROUNDS):
+            wall, latencies = _submit_load(client, jobs)
+            warm_s += wall
+            warm_latencies += latencies
+    delta = MetricsRegistry.delta(before, REGISTRY.snapshot())
+    counters = delta.get("counters", {})
+    warm_submissions = len(jobs) * WARM_ROUNDS
+    return {
+        "jobs": len(jobs),
+        "workers": workers,
+        "warm_rounds": WARM_ROUNDS,
+        "cold_s": cold_s,
+        "warm_s": warm_s,
+        "cold_qps": len(jobs) / cold_s,
+        "warm_qps": warm_submissions / warm_s,
+        "warm_over_cold_speedup": (
+            (warm_submissions / warm_s) / (len(jobs) / cold_s)
+        ),
+        "dedup_hit_rate": (
+            counters.get("repro.service.dedup_hits", 0) / warm_submissions
+        ),
+        "cold_p50_s": _percentile(cold_latencies, 0.50),
+        "cold_p99_s": _percentile(cold_latencies, 0.99),
+        "warm_p50_s": _percentile(warm_latencies, 0.50),
+        "warm_p99_s": _percentile(warm_latencies, 0.99),
+    }
+
+
+def test_service_qps_bench(benchmark, capsys):
+    payload = run_once(benchmark, _run_load, JOBS)
+    assert payload["dedup_hit_rate"] == 1.0
+    out = write_bench_artifact(
+        "service",
+        payload,
+        metrics={
+            key: payload[key]
+            for key in (
+                "cold_qps", "warm_qps", "warm_over_cold_speedup",
+                "dedup_hit_rate", "cold_p50_s", "cold_p99_s",
+                "warm_p50_s", "warm_p99_s",
+            )
+        },
+    )
+    with capsys.disabled():
+        print(
+            f"\nservice qps bench ({payload['jobs']} jobs, "
+            f"{payload['workers']} workers, "
+            f"{payload['warm_rounds']} warm rounds):"
+        )
+        for key in (
+            "cold_qps", "warm_qps", "warm_over_cold_speedup",
+            "dedup_hit_rate", "cold_p50_s", "cold_p99_s",
+            "warm_p50_s", "warm_p99_s",
+        ):
+            print(f"  {key:>24}: {payload[key]:.4g}")
+        print(f"written to {out}")
+
+
+def test_perf_smoke_service_warm_dedup():
+    """Warm dedup throughput >= 5x cold (acceptance criterion).
+
+    A dedup hit answers from the result store without scheduling a
+    worker, so the only way this fails is dedup falling out of the
+    admission path (every warm submission recompiling) — a correctness
+    regression dressed as a perf one.
+    """
+    payload = _run_load(JOBS[:3])
+    assert payload["dedup_hit_rate"] == 1.0
+    assert payload["warm_over_cold_speedup"] >= 5.0, payload

@@ -12,6 +12,10 @@ Usage::
     python -m repro batch --suite smoke --target heavy_hex_16
     python -m repro batch --workloads ghz qft --rules both --json out.json
     python -m repro batch --suite smoke --pipeline paper --profile
+    python -m repro serve --port 8234 --workers 4 --queue jobs.sqlite
+    python -m repro serve --ping http://127.0.0.1:8234
+    python -m repro batch --suite smoke --submit http://127.0.0.1:8234
+    python -m repro serve --stop http://127.0.0.1:8234
     python -m repro synth --list-backends
     python -m repro synth CNOT --basis iSWAP --starts 16 --refine 2
     python -m repro synth SWAP --backend fourier --repetitions 2
@@ -115,8 +119,11 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     from .service import (
         BatchEngine,
         CompileJob,
+        CompileResult,
         DecompositionCache,
         ResultStore,
+        ServiceError,
+        ServiceClient,
         SUITES,
         suite_jobs,
     )
@@ -188,28 +195,67 @@ def _cmd_batch(args: argparse.Namespace) -> int:
             f"({result.wall_time:.1f}s, attempt {result.attempts})"
         )
 
-    engine = BatchEngine(
-        workers=args.workers,
-        use_cache=args.cache,
-        cache_path=args.cache_path,
-        retries=args.retries,
-        progress=progress,
-        profile=args.profile,
-    )
     start = time.time()
-    store = ResultStore(engine.run(jobs))
+    if args.submit is not None:
+        # Route through a running compile service instead of compiling
+        # in-process — same jobs, same result shape, digest parity
+        # guaranteed by the server's use of the same execute_job body.
+        client = ServiceClient(args.submit)
+        settled: dict[int, CompileResult] = {}
+        done = 0
+        try:
+            for event in client.submit_stream(jobs):
+                kind = event.get("event")
+                if kind == "requeued":
+                    print(
+                        f"  requeued {event['key'][:12]} "
+                        f"(attempt {event['attempt']}, "
+                        f"{event['reason']})"
+                    )
+                elif kind == "result":
+                    result = CompileResult.from_dict(event["result"])
+                    settled[event["index"]] = result
+                    done += 1
+                    progress(done, len(jobs), result)
+        except ServiceError as exc:
+            print(f"batch: {exc}", file=sys.stderr)
+            return 2
+        missing = [i for i in range(len(jobs)) if i not in settled]
+        if missing:
+            print(
+                f"batch: server settled only {len(settled)} of "
+                f"{len(jobs)} job(s)",
+                file=sys.stderr,
+            )
+            return 2
+        results = [settled[index] for index in range(len(jobs))]
+    else:
+        engine = BatchEngine(
+            workers=args.workers,
+            use_cache=args.cache,
+            cache_path=args.cache_path,
+            retries=args.retries,
+            progress=progress,
+            profile=args.profile,
+        )
+        results = engine.run(jobs)
+    store = ResultStore(results)
     elapsed = time.time() - start
     print(f"\n{store.format_table()}")
     if args.profile:
         print("\nper-pass profile (all jobs, all trials):")
         print(store.format_pass_profile())
-    print(f"\n{len(store)} jobs in {elapsed:.1f}s "
-          f"({args.workers or 'auto'} workers, "
-          f"cache {'on' if args.cache else 'off'})")
-    if args.cache:
-        cache = DecompositionCache(path=args.cache_path)
-        print(f"decomposition cache: {cache.disk_entries()} templates "
-              f"at {cache.path}")
+    if args.submit is not None:
+        print(f"\n{len(store)} jobs in {elapsed:.1f}s "
+              f"via compile service at {args.submit}")
+    else:
+        print(f"\n{len(store)} jobs in {elapsed:.1f}s "
+              f"({args.workers or 'auto'} workers, "
+              f"cache {'on' if args.cache else 'off'})")
+        if args.cache:
+            cache = DecompositionCache(path=args.cache_path)
+            print(f"decomposition cache: {cache.disk_entries()} templates "
+                  f"at {cache.path}")
     if args.json is not None:
         payload = store.to_dict()
         payload["elapsed_seconds"] = elapsed
@@ -217,6 +263,46 @@ def _cmd_batch(args: argparse.Namespace) -> int:
             json.dump(payload, handle, indent=2, sort_keys=True)
         print(f"results written to {args.json}")
     return 1 if store.failures() else 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .service import (
+        ServiceClient,
+        ServiceError,
+        serve,
+        wait_until_ready,
+    )
+
+    if args.ping is not None:
+        try:
+            health = wait_until_ready(args.ping, timeout=args.timeout)
+        except ServiceError as exc:
+            print(f"serve: {exc}", file=sys.stderr)
+            return 1
+        print(json.dumps(health, indent=2, sort_keys=True))
+        return 0
+    if args.stop is not None:
+        client = ServiceClient(args.stop, timeout=args.timeout)
+        try:
+            client.shutdown(drain=args.drain)
+        except ServiceError as exc:
+            print(f"serve: {exc}", file=sys.stderr)
+            return 1
+        print(
+            f"compile service at {args.stop} asked to stop "
+            f"({'drain' if args.drain else 'immediate'})"
+        )
+        return 0
+    return serve(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        use_cache=args.cache,
+        cache_path=args.cache_path,
+        retries=args.retries,
+        queue_path=args.queue,
+        results_path=args.results_db,
+    )
 
 
 def _parse_synth_target(tokens: list[str]):
@@ -797,6 +883,72 @@ def main(argv: list[str] | None = None) -> int:
         "--json", default=None, metavar="PATH",
         help="write raw results + summary as JSON",
     )
+    batch_parser.add_argument(
+        "--submit", default=None, metavar="URL",
+        help="submit the jobs to a running compile service (see "
+             "'repro serve') instead of compiling in-process",
+    )
+
+    serve_parser = sub.add_parser(
+        "serve",
+        help="run the compile service (async job server with digest "
+             "dedup, streaming results, and crash-safe requeue)",
+    )
+    serve_parser.add_argument(
+        "--host", default="127.0.0.1", help="bind address"
+    )
+    serve_parser.add_argument(
+        "--port", type=int, default=8234,
+        help="bind port (0 = OS-assigned)",
+    )
+    serve_parser.add_argument(
+        "--workers", type=int, default=2,
+        help="max concurrently running job processes",
+    )
+    serve_parser.add_argument(
+        "--retries", type=int, default=2,
+        help="extra executions granted per job after a failure or "
+             "worker death",
+    )
+    serve_parser.add_argument(
+        "--queue", default=None, metavar="PATH",
+        help="sqlite path for the crash-safe job queue "
+             "(default: memory-only)",
+    )
+    serve_parser.add_argument(
+        "--results-db", default=None, metavar="PATH",
+        help="sqlite path for the persistent result store backing "
+             "warm dedup across restarts (default: memory-only)",
+    )
+    serve_parser.add_argument(
+        "--cache",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="workers share the persistent decomposition cache",
+    )
+    serve_parser.add_argument(
+        "--cache-path", default=None,
+        help="explicit sqlite path for the decomposition cache",
+    )
+    serve_parser.add_argument(
+        "--ping", default=None, metavar="URL",
+        help="wait for a server to answer health checks, print its "
+             "health, and exit",
+    )
+    serve_parser.add_argument(
+        "--stop", default=None, metavar="URL",
+        help="ask a running server to shut down and exit",
+    )
+    serve_parser.add_argument(
+        "--drain",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="with --stop: finish queued work before stopping",
+    )
+    serve_parser.add_argument(
+        "--timeout", type=float, default=30.0,
+        help="client timeout for --ping/--stop, seconds",
+    )
 
     synth_parser = sub.add_parser(
         "synth",
@@ -994,6 +1146,7 @@ def main(argv: list[str] | None = None) -> int:
         "transpile": _cmd_transpile,
         "targets": _cmd_targets,
         "batch": _cmd_batch,
+        "serve": _cmd_serve,
         "synth": _cmd_synth,
         "trace": _cmd_trace,
         "metrics": _cmd_metrics,

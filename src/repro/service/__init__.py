@@ -19,32 +19,72 @@ suites best-of-N per circuit.  This package turns those one-off
   :data:`SUITES`;
 * :mod:`repro.service.coverage_store` — :class:`CoverageStore`, the
   LRU-fronted sqlite store of coverage-set point clouds the synthesis
-  engine rides (replacing the legacy per-directory ``.npz`` memo).
+  engine rides (replacing the legacy per-directory ``.npz`` memo);
+* :mod:`repro.service.server` / :mod:`repro.service.client` — the
+  network tier: :class:`CompileServer`, an asyncio job server with
+  digest dedup, a crash-safe :class:`PersistentJobQueue`, streaming
+  ndjson results, and bounded worker requeue; :class:`ServiceClient`,
+  the blocking submit/stream client behind ``repro batch --submit``.
 """
 
 from __future__ import annotations
 
 from .cache import CacheStats, DecompositionCache, default_decomp_cache_dir
+from .client import (
+    ServiceClient,
+    ServiceError,
+    ServiceTimeout,
+    ServiceUnavailable,
+    wait_until_ready,
+)
 from .coverage_store import (
     CoverageStore,
     CoverageStoreStats,
     default_coverage_store,
 )
-from .engine import BatchEngine, ResultStore, SUITES, suite_jobs
+from .engine import (
+    BatchEngine,
+    ResultMergeError,
+    ResultStore,
+    ResultStoreError,
+    SUITES,
+    record_job_retry,
+    record_job_settled,
+    run_with_freight,
+    suite_jobs,
+)
 from .jobs import CompileJob, CompileResult, circuit_digest
+from .queue import PersistentJobQueue, QueuedJob, QueueError
+from .server import CompileServer, ServerThread, serve
 
 __all__ = [
     "BatchEngine",
     "CacheStats",
     "CompileJob",
     "CompileResult",
+    "CompileServer",
     "CoverageStore",
     "CoverageStoreStats",
     "DecompositionCache",
+    "PersistentJobQueue",
+    "QueueError",
+    "QueuedJob",
+    "ResultMergeError",
     "ResultStore",
+    "ResultStoreError",
     "SUITES",
+    "ServerThread",
+    "ServiceClient",
+    "ServiceError",
+    "ServiceTimeout",
+    "ServiceUnavailable",
     "circuit_digest",
     "default_coverage_store",
     "default_decomp_cache_dir",
+    "record_job_retry",
+    "record_job_settled",
+    "run_with_freight",
+    "serve",
     "suite_jobs",
+    "wait_until_ready",
 ]

@@ -1,0 +1,313 @@
+"""Client for the compile service (`repro.service.server`).
+
+:class:`ServiceClient` speaks the server's ndjson streaming protocol
+over plain :mod:`http.client` — stdlib only, one connection per
+request, ``Connection: close`` — and restores the in-process calling
+convention on top of it: :meth:`ServiceClient.submit` takes
+:class:`~repro.service.jobs.CompileJob` lists and returns
+:class:`~repro.service.jobs.CompileResult` lists in submission order,
+exactly like :meth:`~repro.service.engine.BatchEngine.run`, so
+``repro batch --submit URL`` is a transport swap, not a code path.
+
+Observability rides along in both directions:
+
+* Outbound, the client stamps its tracer's current context into every
+  job (``CompileJob.trace``), so server- and worker-side spans parent
+  under the submitting span — one Perfetto timeline spans
+  client → server → worker.
+* Inbound, ``result`` events carry freight (worker spans + metric
+  deltas).  The client absorbs it only when the server lives in a
+  *different* process: an in-process :class:`ServerThread` shares this
+  process's tracer and registry, and absorbing its freight would
+  double-count every span and metric.
+
+Failure taxonomy: :class:`ServiceUnavailable` when the server cannot
+be reached (after bounded connect retries with exponential backoff),
+:class:`ServiceTimeout` when a connected request stops producing bytes
+for longer than ``timeout``, :class:`ServiceError` for protocol-level
+failures (non-200 responses, malformed streams).
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import os
+import socket
+import time
+from collections.abc import Iterator, Sequence
+from urllib.parse import urlsplit
+
+from ..obs import metrics, trace
+from .jobs import CompileJob, CompileResult
+
+__all__ = [
+    "ServiceClient",
+    "ServiceError",
+    "ServiceTimeout",
+    "ServiceUnavailable",
+    "wait_until_ready",
+]
+
+
+class ServiceError(RuntimeError):
+    """The compile service misbehaved at the protocol level."""
+
+
+class ServiceUnavailable(ServiceError):
+    """The compile service could not be reached (connect failed)."""
+
+
+class ServiceTimeout(ServiceError):
+    """A connected request produced no bytes within the timeout."""
+
+
+def _parse_url(url: str) -> tuple[str, int]:
+    parts = urlsplit(url if "//" in url else f"//{url}")
+    if parts.scheme not in ("", "http"):
+        raise ServiceError(
+            f"compile service URLs are plain http, got {url!r}"
+        )
+    host = parts.hostname or "127.0.0.1"
+    port = parts.port or 8234
+    return host, port
+
+
+class ServiceClient:
+    """One compile-service endpoint, with retrying connect semantics.
+
+    Args:
+        url: ``http://host:port`` (scheme optional).
+        timeout: per-read socket timeout in seconds — the longest the
+            client will wait for the *next* stream event, not for the
+            whole batch.
+        connect_retries: extra connection attempts after a refused or
+            unreachable connect, backed off exponentially.
+        backoff_base/backoff_cap: the connect backoff schedule in
+            seconds (``base * 2**attempt``, capped).
+    """
+
+    def __init__(
+        self,
+        url: str,
+        timeout: float = 120.0,
+        connect_retries: int = 4,
+        backoff_base: float = 0.1,
+        backoff_cap: float = 2.0,
+    ):
+        self.host, self.port = _parse_url(url)
+        self.timeout = float(timeout)
+        self.connect_retries = int(connect_retries)
+        self.backoff_base = float(backoff_base)
+        self.backoff_cap = float(backoff_cap)
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    # -- transport -----------------------------------------------------------
+
+    def _connect(self) -> http.client.HTTPConnection:
+        """Open a connection, retrying refused connects with backoff."""
+        last: Exception | None = None
+        for attempt in range(self.connect_retries + 1):
+            conn = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout
+            )
+            try:
+                conn.connect()
+                return conn
+            except (ConnectionError, socket.timeout, OSError) as exc:
+                conn.close()
+                last = exc
+                if attempt < self.connect_retries:
+                    time.sleep(
+                        min(
+                            self.backoff_cap,
+                            self.backoff_base * 2**attempt,
+                        )
+                    )
+        raise ServiceUnavailable(
+            f"compile service at {self.url} unreachable after "
+            f"{self.connect_retries + 1} attempts: {last}"
+        ) from last
+
+    def _request(
+        self, method: str, path: str, payload: dict | None = None
+    ) -> dict:
+        """One non-streaming request; returns the decoded JSON body."""
+        conn = self._connect()
+        try:
+            body = json.dumps(payload).encode() if payload is not None else None
+            conn.request(
+                method,
+                path,
+                body=body,
+                headers={"Content-Type": "application/json"}
+                if body
+                else {},
+            )
+            response = conn.getresponse()
+            text = response.read().decode()
+            decoded = json.loads(text) if text else {}
+            if response.status != 200:
+                raise ServiceError(
+                    f"{method} {path} -> {response.status}: "
+                    f"{decoded.get('error', text)}"
+                )
+            return decoded
+        except socket.timeout as exc:
+            raise ServiceTimeout(
+                f"{method} {path} timed out after {self.timeout}s"
+            ) from exc
+        finally:
+            conn.close()
+
+    # -- control plane -------------------------------------------------------
+
+    def health(self) -> dict:
+        """The server's health summary (``GET /v1/health``)."""
+        return self._request("GET", "/v1/health")
+
+    def server_metrics(self) -> dict:
+        """The server's metrics-registry snapshot."""
+        return self._request("GET", "/v1/metrics")
+
+    def shutdown(self, drain: bool = True) -> dict:
+        """Ask the server to stop (draining queued work by default)."""
+        return self._request("POST", "/v1/shutdown", {"drain": drain})
+
+    # -- submission ----------------------------------------------------------
+
+    def submit_stream(
+        self, jobs: Sequence[CompileJob], priority: int = 0
+    ) -> Iterator[dict]:
+        """Submit jobs and yield protocol events as they arrive.
+
+        Events are the server's raw dicts (``hello`` / ``accepted`` /
+        ``running`` / ``requeued`` / ``result`` / ``done``) — the
+        granular form the SIGKILL tests and progress UIs want.  Result
+        freight is absorbed into this process's tracer/registry here
+        (cross-process servers only), so callers consuming the stream
+        get stitched telemetry for free.
+        """
+        jobs = list(jobs)
+        context = trace.TRACER.current_context()
+        if context is not None:
+            payload_trace = context.to_dict()
+            jobs = [
+                job if job.trace is not None
+                else job.updated(trace=payload_trace)
+                for job in jobs
+            ]
+        body = json.dumps(
+            {"jobs": [job.to_dict() for job in jobs],
+             "priority": int(priority)}
+        ).encode()
+        conn = self._connect()
+        server_pid: int | None = None
+        try:
+            conn.request(
+                "POST",
+                "/v1/submit",
+                body=body,
+                headers={"Content-Type": "application/json"},
+            )
+            response = conn.getresponse()
+            if response.status != 200:
+                text = response.read().decode()
+                try:
+                    detail = json.loads(text).get("error", text)
+                except ValueError:
+                    detail = text
+                raise ServiceError(
+                    f"submit -> {response.status}: {detail}"
+                )
+            while True:
+                line = response.readline()
+                if not line:
+                    break
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    event = json.loads(line)
+                except ValueError as exc:
+                    raise ServiceError(
+                        f"malformed stream line: {line[:120]!r}"
+                    ) from exc
+                if event.get("event") == "hello":
+                    server_pid = event.get("server_pid")
+                if event.get("event") == "result":
+                    self._absorb_freight(event, server_pid)
+                yield event
+                if event.get("event") == "done":
+                    return
+        except socket.timeout as exc:
+            raise ServiceTimeout(
+                f"submit stream stalled for {self.timeout}s "
+                f"(server {self.url})"
+            ) from exc
+        finally:
+            conn.close()
+
+    def _absorb_freight(
+        self, event: dict, server_pid: int | None
+    ) -> None:
+        """Stitch a result's telemetry into this process — once.
+
+        An in-process server (``server_pid == os.getpid()``) already
+        shares this process's tracer and metrics registry; absorbing
+        its forwarded freight would double-count, so only freight from
+        a genuinely remote server is merged.
+        """
+        freight = event.get("freight")
+        if not freight or server_pid == os.getpid():
+            return
+        trace.TRACER.absorb(freight.get("spans", ()))
+        delta = freight.get("metrics")
+        if delta:
+            metrics.REGISTRY.merge_snapshot(delta)
+
+    def submit(
+        self, jobs: Sequence[CompileJob], priority: int = 0
+    ) -> list[CompileResult]:
+        """Submit jobs, block, return results in submission order.
+
+        The drop-in replacement for
+        :meth:`~repro.service.engine.BatchEngine.run` — the digest
+        parity guarantee is stated against exactly this method.
+        """
+        jobs = list(jobs)
+        settled: dict[int, CompileResult] = {}
+        for event in self.submit_stream(jobs, priority=priority):
+            if event.get("event") != "result":
+                continue
+            settled[event["index"]] = CompileResult.from_dict(
+                event["result"]
+            )
+        missing = [i for i in range(len(jobs)) if i not in settled]
+        if missing:
+            raise ServiceError(
+                f"stream ended with {len(missing)} unsettled job(s) "
+                f"(indices {missing[:8]})"
+            )
+        return [settled[index] for index in range(len(jobs))]
+
+
+def wait_until_ready(
+    url: str, timeout: float = 30.0, interval: float = 0.1
+) -> dict:
+    """Poll a server's health endpoint until it answers (or time out)."""
+    client = ServiceClient(url, timeout=5.0, connect_retries=0)
+    deadline = time.monotonic() + timeout
+    last: Exception | None = None
+    while time.monotonic() < deadline:
+        try:
+            return client.health()
+        except ServiceError as exc:
+            last = exc
+            time.sleep(interval)
+    raise ServiceUnavailable(
+        f"compile service at {url} not ready after {timeout}s: {last}"
+    ) from last

@@ -23,9 +23,11 @@ runs).  :class:`ResultStore` aggregates per-workload statistics, and
 
 from __future__ import annotations
 
+import json
 import math
 import multiprocessing
 import os
+import sqlite3
 import time
 import traceback
 from collections.abc import Callable, Iterator, Sequence
@@ -38,10 +40,15 @@ from .jobs import CompileJob, CompileResult, circuit_digest
 
 __all__ = [
     "BatchEngine",
+    "ResultMergeError",
     "ResultStore",
+    "ResultStoreError",
     "SUITES",
     "execute_job",
     "fan_out",
+    "record_job_retry",
+    "record_job_settled",
+    "run_with_freight",
     "suite_jobs",
 ]
 
@@ -266,33 +273,39 @@ def execute_job(
     )
 
 
-def _execute_payload(payload: tuple) -> tuple[int, CompileResult, dict]:
-    """Pool entry point: unpack (index, job, cache + profile config).
+def run_with_freight(
+    function: Callable,
+    *args,
+    profile_interval: float | None = None,
+    **kwargs,
+):
+    """Run ``function`` and capture its observability freight.
 
-    The third element is the observability freight: the spans, the
-    metrics *delta*, and (when the parent runs the sampling profiler)
-    the stack-sample delta this job produced in this process.  Deltas
-    (not absolute snapshots) cross the boundary because fork-pool
-    workers inherit the parent's counts — shipping absolutes would
-    double-count everything recorded before the fork.  The parent
-    ignores freight stamped with its own pid (serial in-process
-    rounds).
+    The freight is what crosses a process boundary next to a result:
+    the spans the call recorded, the metrics *delta*, and (when the
+    parent runs the sampling profiler) the stack-sample delta.  Deltas
+    — not absolute snapshots — because fork-pool workers inherit the
+    parent's counts; shipping absolutes would double-count everything
+    recorded before the fork.  Consumers ignore freight stamped with
+    their own pid (serial in-process rounds).
+
+    This is the one freight-capture path: both the
+    :class:`BatchEngine` pool worker body and the compile service's
+    per-job workers (``repro.service.server``) ride it, so the
+    no-double-count discipline lives in exactly one place.
 
     ``fork()`` never carries threads into the child, so a worker whose
     parent had the sampler running arrives threadless:
-    ``profile_interval`` in the payload tells it to restart the sampler
-    before the job body runs (and to start it fresh under ``spawn``).
+    ``profile_interval`` tells it to restart the sampler before the
+    body runs (and to start it fresh under ``spawn``).
     """
-    index, job, use_cache, cache_path, profile, profile_interval = payload
     marker = trace.TRACER.mark()
     before = metrics.REGISTRY.snapshot()
     samples_before = None
     if profile_interval is not None:
         obs_profile.enable_profiling(interval=profile_interval)
         samples_before = obs_profile.PROFILER.snapshot()
-    result = execute_job(
-        job, use_cache=use_cache, cache_path=cache_path, profile=profile
-    )
+    result = function(*args, **kwargs)
     freight = {
         "pid": os.getpid(),
         "spans": trace.TRACER.drain_since(marker),
@@ -304,6 +317,54 @@ def _execute_payload(payload: tuple) -> tuple[int, CompileResult, dict]:
         freight["profile"] = obs_profile.SamplingProfiler.delta(
             samples_before, obs_profile.PROFILER.snapshot()
         )
+    return result, freight
+
+
+def record_job_retry(count: int = 1) -> None:
+    """Count a retry decision (one per re-attempted execution).
+
+    Called exactly once, by whichever layer *decides* the retry — the
+    :class:`BatchEngine` round loop for in-batch retries, the compile
+    service for error-result requeues — never by the worker body, so
+    the count survives freight merges without double-counting.
+    """
+    metrics.counter("repro.service.job_retries").inc(count)
+
+
+def record_job_settled(result: CompileResult) -> None:
+    """Record a job's final settlement (once per job, not per attempt).
+
+    Observes ``repro.service.job_attempts`` with the *cumulative*
+    attempt count and bumps ``repro.service.jobs_failed`` for final
+    failures.  Settlement accounting must run in the settling process
+    only (engine parent or service scheduler): a job whose worker died
+    mid-run re-executes through ``execute_job`` — which counts
+    per-execution metrics that ride the freight — but settles exactly
+    once, so ``job_attempts.count`` equals the number of jobs even
+    when executions outnumber them.
+    """
+    metrics.histogram(
+        "repro.service.job_attempts", metrics.BATCH_SIZE_BUCKETS
+    ).observe(result.attempts)
+    if not result.ok:
+        metrics.counter("repro.service.jobs_failed").inc()
+
+
+def _execute_payload(payload: tuple) -> tuple[int, CompileResult, dict]:
+    """Pool entry point: unpack (index, job, cache + profile config).
+
+    The third element is the observability freight captured by
+    :func:`run_with_freight` around the job body.
+    """
+    index, job, use_cache, cache_path, profile, profile_interval = payload
+    result, freight = run_with_freight(
+        execute_job,
+        job,
+        use_cache=use_cache,
+        cache_path=cache_path,
+        profile=profile,
+        profile_interval=profile_interval,
+    )
     return index, result, freight
 
 
@@ -452,17 +513,10 @@ class BatchEngine:
                 for index, result in self._run_round(pending, pool_size):
                     if not result.ok and attempt < self.retries:
                         still_failing.append((index, jobs[index]))
-                        metrics.counter("repro.service.job_retries").inc()
+                        record_job_retry()
                         continue
                     result = result.with_attempts(attempt + 1)
-                    metrics.histogram(
-                        "repro.service.job_attempts",
-                        metrics.BATCH_SIZE_BUCKETS,
-                    ).observe(result.attempts)
-                    if not result.ok:
-                        metrics.counter(
-                            "repro.service.jobs_failed"
-                        ).inc()
+                    record_job_settled(result)
                     settled[index] = result
                     done += 1
                     if self.progress is not None:
@@ -471,22 +525,196 @@ class BatchEngine:
         return [settled[index] for index in range(len(jobs))]
 
 
+class ResultStoreError(RuntimeError):
+    """A persistent result store could not be opened or merged."""
+
+
+class ResultMergeError(ResultStoreError):
+    """Merging two stores found the same job with different digests.
+
+    Carries ``conflicts``: a list of ``(job_key, ours, theirs)`` digest
+    triples.  A conflict means two shards claim to have compiled the
+    same fully-specified job to different circuits — a determinism
+    violation that must be investigated, never silently resolved.
+    """
+
+    def __init__(self, conflicts: list[tuple[str, str, str]]):
+        self.conflicts = conflicts
+        preview = ", ".join(key[:12] for key, _, _ in conflicts[:4])
+        super().__init__(
+            f"{len(conflicts)} job(s) have conflicting result digests "
+            f"across stores (keys {preview}{'…' if len(conflicts) > 4 else ''}); "
+            "identical jobs must compile identically — refusing to merge"
+        )
+
+
+#: Result-store schema version (bumped on incompatible layout changes).
+_RESULT_SCHEMA = 1
+
+
 class ResultStore:
     """Accumulate compile results and aggregate per-(workload, rules).
 
     The store is what table drivers and the CLI consume: it keeps the
     raw results (JSON-serializable) and derives suite-level statistics
     without re-running anything.
+
+    With ``path`` set, successful results are additionally persisted to
+    a sqlite table keyed by :meth:`CompileJob.identity_digest` — the
+    compile service's warm dedup tier (a restarted server answers
+    previously-compiled jobs without scheduling work) and the shard
+    unit :meth:`merge` folds together.  Failed results stay in memory
+    only: an error is not a reusable artifact, and persisting it would
+    let a transient crash permanently shadow a job's real result.
     """
 
-    def __init__(self, results: Sequence[CompileResult] = ()):
+    def __init__(
+        self,
+        results: Sequence[CompileResult] = (),
+        path: str | Path | None = None,
+    ):
         self._results: list[CompileResult] = []
+        self._by_key: dict[str, CompileResult] = {}
+        self.path = Path(path) if path is not None else None
+        self._conn: sqlite3.Connection | None = None
+        self._pid = os.getpid()
+        if self.path is not None:
+            for result in self._load_persisted(self.path):
+                self._results.append(result)
+                self._by_key[result.job.identity_digest()] = result
         for result in results:
             self.add(result)
 
+    # -- persistence ---------------------------------------------------------
+
+    def _connection(self) -> sqlite3.Connection | None:
+        """Open (or re-open after fork) the backing database."""
+        if self.path is None:
+            return None
+        if self._conn is not None and self._pid == os.getpid():
+            return self._conn
+        self._conn = None
+        self._pid = os.getpid()
+        try:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            # check_same_thread off: the compile server opens the store
+            # on its constructing thread and serves it from the event
+            # loop's thread; each instance stays single-writer.
+            conn = sqlite3.connect(
+                self.path, timeout=30.0, check_same_thread=False
+            )
+            conn.execute("PRAGMA journal_mode=WAL")
+            conn.execute("PRAGMA synchronous=NORMAL")
+            conn.execute(
+                "CREATE TABLE IF NOT EXISTS meta ("
+                "  key TEXT PRIMARY KEY, value TEXT NOT NULL)"
+            )
+            conn.execute(
+                "CREATE TABLE IF NOT EXISTS results ("
+                "  job_key TEXT PRIMARY KEY,"
+                "  digest TEXT NOT NULL,"
+                "  payload TEXT NOT NULL,"
+                "  recorded_at REAL NOT NULL)"
+            )
+            row = conn.execute(
+                "SELECT value FROM meta WHERE key = 'schema'"
+            ).fetchone()
+            if row is None:
+                conn.execute(
+                    "INSERT INTO meta VALUES ('schema', ?)",
+                    (str(_RESULT_SCHEMA),),
+                )
+            elif int(row[0]) != _RESULT_SCHEMA:
+                conn.close()
+                raise ResultStoreError(
+                    f"result store {self.path} has schema v{row[0]}, "
+                    f"this build writes v{_RESULT_SCHEMA}; migrate or "
+                    "point the server at a fresh --results-db path"
+                )
+            conn.commit()
+        except (OSError, sqlite3.Error) as exc:
+            raise ResultStoreError(
+                f"cannot open result store at {self.path}: {exc}"
+            ) from exc
+        self._conn = conn
+        return conn
+
+    def _load_persisted(self, path: Path) -> list[CompileResult]:
+        """All persisted results of the store at ``path`` (may be new)."""
+        if not path.exists():
+            # First open: create the schema eagerly so a crash before
+            # the first result still leaves a well-formed store.
+            self._connection()
+            return []
+        rows = self._connection().execute(
+            "SELECT payload FROM results ORDER BY recorded_at, job_key"
+        ).fetchall()
+        return [CompileResult.from_dict(json.loads(p)) for (p,) in rows]
+
+    def close(self) -> None:
+        """Close the database handle (reopened lazily on next use)."""
+        if self._conn is not None and self._pid == os.getpid():
+            self._conn.close()
+        self._conn = None
+
     def add(self, result: CompileResult) -> None:
-        """Record one result."""
+        """Record one result (persisted when backed and successful)."""
         self._results.append(result)
+        if not result.ok or not result.digest:
+            return
+        key = result.job.identity_digest()
+        self._by_key[key] = result
+        conn = self._connection()
+        if conn is not None:
+            try:
+                conn.execute(
+                    "INSERT OR REPLACE INTO results VALUES (?, ?, ?, ?)",
+                    (key, result.digest, result.to_json(), time.time()),
+                )
+                conn.commit()
+            except sqlite3.Error as exc:
+                raise ResultStoreError(
+                    f"cannot persist result to {self.path}: {exc}"
+                ) from exc
+
+    def get(self, job_key: str) -> CompileResult | None:
+        """Successful result for a job identity digest, or ``None``."""
+        return self._by_key.get(job_key)
+
+    def __contains__(self, job_key: str) -> bool:
+        return job_key in self._by_key
+
+    def merge(self, other_path: str | Path) -> int:
+        """Fold another store's persisted results into this one.
+
+        This is the shard-merge primitive: N service nodes each write
+        their own result db, then one node folds them together.
+        Returns the number of results actually absorbed; same-key
+        same-digest rows are idempotently skipped.  Same-key
+        *different*-digest rows raise :class:`ResultMergeError` before
+        anything is written — every conflict is collected first, so
+        the exception names the full damage and the store is left
+        untouched.
+        """
+        other = ResultStore(path=other_path)
+        try:
+            fresh: list[CompileResult] = []
+            conflicts: list[tuple[str, str, str]] = []
+            for result in other.ok():
+                key = result.job.identity_digest()
+                mine = self._by_key.get(key)
+                if mine is None:
+                    fresh.append(result)
+                elif mine.digest != result.digest:
+                    conflicts.append((key, mine.digest, result.digest))
+            if conflicts:
+                raise ResultMergeError(conflicts)
+            for result in fresh:
+                self.add(result)
+        finally:
+            other.close()
+        metrics.counter("repro.service.store_merged").inc(len(fresh))
+        return len(fresh)
 
     @property
     def results(self) -> tuple[CompileResult, ...]:

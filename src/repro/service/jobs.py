@@ -202,6 +202,22 @@ class CompileJob:
             payload.pop("trace", None)
         return payload
 
+    def identity_digest(self) -> str:
+        """SHA-256 over the job's canonical identity payload.
+
+        This is the dedup key the compile service schedules by: two
+        jobs share a digest iff they request the same compilation —
+        same workload identity, seeds, and embedded config.  The
+        ``trace`` field is excluded (propagation context, not
+        identity; it is already ``compare=False`` for equality), so a
+        resubmission carrying a different trace context still dedups
+        against the in-flight or completed original.
+        """
+        payload = self.to_dict()
+        payload.pop("trace", None)
+        canonical = json.dumps(payload, sort_keys=True)
+        return hashlib.sha256(canonical.encode()).hexdigest()
+
     @classmethod
     def from_dict(cls, payload: dict) -> "CompileJob":
         """Inverse of :meth:`to_dict`.

@@ -1,0 +1,246 @@
+"""Crash-safe priority queue backing the compile service.
+
+The server schedules from an in-memory heap; this module is the
+*durability* layer under it.  Every accepted job is written to a
+sqlite table before it becomes schedulable, moves through
+``pending -> running -> done`` status transitions as the scheduler
+handles it, and — the point of the exercise — any row still
+``pending`` or ``running`` when a server process starts is handed
+back by :meth:`PersistentJobQueue.recover`: a server that crashed
+mid-job resumes exactly the work it lost, attempts preserved.
+
+Follows the repo's sqlite store discipline (WAL journal, fork-safe
+lazy connections, schema-versioned ``meta`` table with a loud refusal
+on mismatch — the :class:`~repro.obs.ledger.PerfLedger` pattern).
+``path=None`` degrades to a memory-only queue with the same
+interface, for tests and throwaway servers where durability is not
+wanted.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sqlite3
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+from .jobs import CompileJob
+
+__all__ = ["PersistentJobQueue", "QueueError", "QueuedJob"]
+
+#: Queue schema version (bumped on incompatible layout changes).
+_QUEUE_SCHEMA = 1
+
+
+class QueueError(RuntimeError):
+    """The persistent queue could not be opened or written."""
+
+
+@dataclass
+class QueuedJob:
+    """One durable queue entry (the scheduler's unit of work)."""
+
+    key: str
+    job: CompileJob
+    priority: int
+    attempts: int
+    submitted_at: float
+
+
+class PersistentJobQueue:
+    """Sqlite-backed job ledger with pending/running/done lifecycle.
+
+    Not itself a scheduler: ordering lives in the server's heap.  This
+    class guarantees that whatever the heap held is reconstructible
+    after a crash, and that completed work is never re-run.
+    """
+
+    def __init__(self, path: str | Path | None = None):
+        self.path = Path(path) if path is not None else None
+        self._conn: sqlite3.Connection | None = None
+        self._pid = os.getpid()
+        #: Memory-only fallback rows, keyed like the sqlite table.
+        self._rows: dict[str, dict] = {}
+        if self.path is not None:
+            self._connection()  # fail loudly at construction time
+
+    # -- backend -------------------------------------------------------------
+
+    def _connection(self) -> sqlite3.Connection | None:
+        if self.path is None:
+            return None
+        if self._conn is not None and self._pid == os.getpid():
+            return self._conn
+        self._conn = None
+        self._pid = os.getpid()
+        try:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            # check_same_thread off: constructed on the caller's thread,
+            # served from the event loop's (single-writer per instance).
+            conn = sqlite3.connect(
+                self.path, timeout=30.0, check_same_thread=False
+            )
+            conn.execute("PRAGMA journal_mode=WAL")
+            conn.execute("PRAGMA synchronous=NORMAL")
+            conn.execute(
+                "CREATE TABLE IF NOT EXISTS meta ("
+                "  key TEXT PRIMARY KEY, value TEXT NOT NULL)"
+            )
+            conn.execute(
+                "CREATE TABLE IF NOT EXISTS queue ("
+                "  key TEXT PRIMARY KEY,"
+                "  payload TEXT NOT NULL,"
+                "  priority INTEGER NOT NULL,"
+                "  status TEXT NOT NULL,"
+                "  attempts INTEGER NOT NULL,"
+                "  submitted_at REAL NOT NULL)"
+            )
+            row = conn.execute(
+                "SELECT value FROM meta WHERE key = 'schema'"
+            ).fetchone()
+            if row is None:
+                conn.execute(
+                    "INSERT INTO meta VALUES ('schema', ?)",
+                    (str(_QUEUE_SCHEMA),),
+                )
+            elif int(row[0]) != _QUEUE_SCHEMA:
+                conn.close()
+                raise QueueError(
+                    f"job queue {self.path} has schema v{row[0]}, this "
+                    f"build writes v{_QUEUE_SCHEMA}; point the server at "
+                    "a fresh --queue path or migrate the old one"
+                )
+            conn.commit()
+        except (OSError, sqlite3.Error) as exc:
+            raise QueueError(
+                f"cannot open job queue at {self.path}: {exc}"
+            ) from exc
+        self._conn = conn
+        return conn
+
+    def _execute(self, sql: str, params: tuple) -> None:
+        conn = self._connection()
+        if conn is None:
+            return
+        try:
+            conn.execute(sql, params)
+            conn.commit()
+        except sqlite3.Error as exc:
+            raise QueueError(
+                f"cannot write job queue at {self.path}: {exc}"
+            ) from exc
+
+    def close(self) -> None:
+        """Close the database handle (reopened lazily on next use)."""
+        if self._conn is not None and self._pid == os.getpid():
+            self._conn.close()
+        self._conn = None
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def put(self, key: str, job: CompileJob, priority: int = 0) -> QueuedJob:
+        """Durably record a new pending job (before it is schedulable)."""
+        now = time.time()
+        entry = QueuedJob(
+            key=key, job=job, priority=priority, attempts=0,
+            submitted_at=now,
+        )
+        payload = job.to_json()
+        if self.path is None:
+            self._rows[key] = {
+                "payload": payload, "priority": priority,
+                "status": "pending", "attempts": 0, "submitted_at": now,
+            }
+        else:
+            self._execute(
+                "INSERT OR REPLACE INTO queue VALUES (?, ?, ?, ?, ?, ?)",
+                (key, payload, priority, "pending", 0, now),
+            )
+        return entry
+
+    def mark_running(self, key: str, attempts: int) -> None:
+        """Transition a job to running with its current attempt count."""
+        if self.path is None:
+            row = self._rows.get(key)
+            if row is not None:
+                row["status"] = "running"
+                row["attempts"] = attempts
+            return
+        self._execute(
+            "UPDATE queue SET status = 'running', attempts = ? "
+            "WHERE key = ?",
+            (attempts, key),
+        )
+
+    def requeue(self, key: str, attempts: int) -> None:
+        """Transition a job back to pending after a lost execution."""
+        if self.path is None:
+            row = self._rows.get(key)
+            if row is not None:
+                row["status"] = "pending"
+                row["attempts"] = attempts
+            return
+        self._execute(
+            "UPDATE queue SET status = 'pending', attempts = ? "
+            "WHERE key = ?",
+            (attempts, key),
+        )
+
+    def mark_done(self, key: str) -> None:
+        """Drop a settled job from the durable queue."""
+        if self.path is None:
+            self._rows.pop(key, None)
+            return
+        self._execute("DELETE FROM queue WHERE key = ?", (key,))
+
+    # -- recovery / introspection --------------------------------------------
+
+    def recover(self) -> list[QueuedJob]:
+        """Jobs a previous process left unfinished, oldest first.
+
+        Both ``pending`` rows (accepted but never started) and
+        ``running`` rows (started, then the server died) come back —
+        a ``running`` row with no live server *is* a crashed job.
+        Attempt counts are preserved so the bounded-requeue budget
+        spans crashes.
+        """
+        if self.path is None:
+            rows = [
+                (key, row["payload"], row["priority"], row["attempts"],
+                 row["submitted_at"])
+                for key, row in self._rows.items()
+                if row["status"] in ("pending", "running")
+            ]
+        else:
+            conn = self._connection()
+            rows = conn.execute(
+                "SELECT key, payload, priority, attempts, submitted_at "
+                "FROM queue WHERE status IN ('pending', 'running') "
+                "ORDER BY submitted_at, key"
+            ).fetchall()
+        return [
+            QueuedJob(
+                key=key,
+                job=CompileJob.from_dict(json.loads(payload)),
+                priority=int(priority),
+                attempts=int(attempts),
+                submitted_at=float(submitted_at),
+            )
+            for key, payload, priority, attempts, submitted_at in rows
+        ]
+
+    def depth(self) -> int:
+        """Unsettled entries (pending + running)."""
+        if self.path is None:
+            return sum(
+                1 for row in self._rows.values()
+                if row["status"] in ("pending", "running")
+            )
+        conn = self._connection()
+        (count,) = conn.execute(
+            "SELECT COUNT(*) FROM queue "
+            "WHERE status IN ('pending', 'running')"
+        ).fetchone()
+        return int(count)

@@ -609,3 +609,101 @@ class TestResultStore:
         assert "ghz-4q-parallel" in table
         payload = json.loads(json.dumps(store.to_dict()))
         assert payload["summary"]["ghz-4q-parallel"]["jobs"] == 1
+
+
+class TestResultStorePersistence:
+    """Sqlite-backed ResultStore: round-trip, merge, conflict refusal."""
+
+    def _result(self, tag: str, digest: str, error=None) -> CompileResult:
+        job = CompileJob(
+            workload="ghz",
+            num_qubits=4,
+            rules="baseline",
+            trials=1,
+            target="square_2x2",
+            tag=tag,
+        )
+        if error is not None:
+            return CompileResult.failure(job, error=error)
+        return CompileResult(
+            job=job,
+            duration=10.0,
+            pulse_count=3,
+            swap_count=0,
+            total_pulse_time=5.0,
+            estimated_fidelity=0.9,
+            trial_index=0,
+            digest=digest,
+            wall_time=0.1,
+        )
+
+    def test_round_trip_persists_successes_only(self, tmp_path):
+        path = tmp_path / "results.sqlite"
+        store = ResultStore(path=path)
+        good = self._result("a", "digest-a")
+        store.add(good)
+        store.add(self._result("b", "", error="boom"))
+        store.close()
+        reopened = ResultStore(path=path)
+        assert len(reopened) == 1
+        (loaded,) = reopened.results
+        assert loaded == good
+        assert reopened.get(good.job.identity_digest()) == good
+        # The failure was memory-only: a transient crash must never
+        # permanently shadow a job's real result.
+        assert not reopened.failures()
+        reopened.close()
+
+    def test_merge_folds_fresh_and_skips_identical(self, tmp_path):
+        ours = ResultStore(path=tmp_path / "ours.sqlite")
+        theirs = ResultStore(path=tmp_path / "theirs.sqlite")
+        shared = self._result("shared", "digest-s")
+        ours.add(shared)
+        ours.add(self._result("mine", "digest-m"))
+        theirs.add(shared)
+        theirs.add(self._result("yours", "digest-y"))
+        theirs.close()
+        absorbed = ours.merge(tmp_path / "theirs.sqlite")
+        assert absorbed == 1
+        assert len(ours.ok()) == 3
+        assert "digest-y" in {r.digest for r in ours.ok()}
+        # Idempotent: merging the same shard again absorbs nothing.
+        assert ours.merge(tmp_path / "theirs.sqlite") == 0
+        ours.close()
+
+    def test_merge_conflict_refuses_and_leaves_store_untouched(
+        self, tmp_path
+    ):
+        from repro.service import ResultMergeError
+
+        ours = ResultStore(path=tmp_path / "ours.sqlite")
+        theirs = ResultStore(path=tmp_path / "theirs.sqlite")
+        ours.add(self._result("clash", "digest-ours"))
+        theirs.add(self._result("clash", "digest-theirs"))
+        theirs.add(self._result("fresh", "digest-fresh"))
+        theirs.close()
+        with pytest.raises(ResultMergeError, match="refusing to merge"):
+            ours.merge(tmp_path / "theirs.sqlite")
+        try:
+            ours.merge(tmp_path / "theirs.sqlite")
+        except ResultMergeError as exc:
+            (conflict,) = exc.conflicts
+            key, mine, other = conflict
+            assert (mine, other) == ("digest-ours", "digest-theirs")
+        # Nothing — not even the conflict-free row — was absorbed.
+        assert len(ours.ok()) == 1
+        assert "digest-fresh" not in {r.digest for r in ours.ok()}
+        ours.close()
+
+    def test_schema_mismatch_refuses_loudly(self, tmp_path):
+        from repro.service import ResultStoreError
+
+        path = tmp_path / "results.sqlite"
+        store = ResultStore(path=path)
+        store._connection().execute(
+            "UPDATE meta SET value = '99' WHERE key = 'schema'"
+        )
+        store._connection().commit()
+        store.close()
+        with pytest.raises(ResultStoreError, match="schema v99"):
+            ResultStore(path=path)
