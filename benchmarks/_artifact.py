@@ -20,10 +20,9 @@ import json
 from pathlib import Path
 
 from repro.experiments.common import results_dir
-from repro.obs.ledger import RunStamp
+from repro.obs.ledger import BENCH_ARTIFACT_SCHEMA, RunStamp
 
-#: Version of the artifact envelope (kind/schema/stamp/metrics keys).
-BENCH_ARTIFACT_SCHEMA = 1
+__all__ = ["BENCH_ARTIFACT_SCHEMA", "write_bench_artifact"]
 
 
 def write_bench_artifact(

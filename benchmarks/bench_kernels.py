@@ -25,7 +25,12 @@ import numpy as np
 
 from repro.core.coverage import CoverageSet, build_coverage_set
 from repro.core.decomposition_rules import BASIS_DRIVE_ANGLES, TemplateSpec
-from repro.kernels import weyl_coordinates_many
+from repro.kernels import (
+    available_backends,
+    use_array_backend,
+    weyl_coordinates_many,
+)
+from repro.pulse.evolution import batched_piecewise_propagators
 from repro.quantum.random import haar_unitaries_batch
 from repro.quantum.weyl import weyl_coordinates
 from repro.service.cache import DecompositionCache
@@ -196,6 +201,66 @@ def test_kernel_microbench(benchmark, capsys, tmp_path):
     with capsys.disabled():
         print("\nscalar vs batched kernels (best-of-3 wall time):")
         print(_format_table(entries))
+        print(f"written to {out}")
+
+
+def test_kernel_backend_sweep(benchmark, capsys):
+    """Per-array-backend timing of the ported kernels.
+
+    Sweeps every backend whose library imports on this host (numpy
+    always; torch/cupy on the CI adapter legs and GPU boxes), checks
+    adapters stay ``allclose`` to the numpy reference, and emits a
+    per-backend metrics block to
+    ``results/kernel_backends_bench.json``.
+    """
+    stack = haar_unitaries_batch(4, 512, seed=3)
+    rng = np.random.default_rng(9)
+    raw = rng.normal(size=(64, 6, 4, 4)) + 1j * rng.normal(size=(64, 6, 4, 4))
+    hams = (raw + np.swapaxes(raw, -1, -2).conj()) / 2
+    dts = np.linspace(0.05, 0.3, 6)
+
+    def sweep() -> list[dict]:
+        reference_coords = weyl_coordinates_many(stack)
+        reference_props = batched_piecewise_propagators(hams, dts)
+        entries = []
+        for name in available_backends():
+            with use_array_backend(name):
+                coords = weyl_coordinates_many(stack)
+                props = batched_piecewise_propagators(hams, dts)
+                np.testing.assert_allclose(
+                    coords, reference_coords, atol=1e-9
+                )
+                np.testing.assert_allclose(
+                    props, reference_props, atol=1e-10
+                )
+                weyl_s = _best_of(lambda: weyl_coordinates_many(stack))
+                propagate_s = _best_of(
+                    lambda: batched_piecewise_propagators(hams, dts)
+                )
+            entries.append({
+                "name": f"backend_{name}",
+                "weyl_n512_s": weyl_s,
+                "propagate_n64_s": propagate_s,
+            })
+        return entries
+
+    entries = run_once(benchmark, sweep)
+    assert any(e["name"] == "backend_numpy" for e in entries)
+
+    ledger_metrics: dict[str, float] = {}
+    for e in entries:
+        ledger_metrics[f"{e['name']}.weyl_n512_s"] = e["weyl_n512_s"]
+        ledger_metrics[f"{e['name']}.propagate_n64_s"] = e["propagate_n64_s"]
+    out = write_bench_artifact(
+        "kernel_backends", {"benchmarks": entries}, metrics=ledger_metrics
+    )
+    with capsys.disabled():
+        print("\nper-array-backend kernel timings (best-of-3 wall time):")
+        for e in entries:
+            print(
+                f"  {e['name']:<16} weyl(512) {e['weyl_n512_s'] * 1e3:>8.2f}ms"
+                f"  propagate(64x6) {e['propagate_n64_s'] * 1e3:>8.2f}ms"
+            )
         print(f"written to {out}")
 
 

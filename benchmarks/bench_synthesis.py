@@ -87,6 +87,47 @@ def _multistart_entry() -> dict:
     }
 
 
+def _race_entry(seeds=(3, 7, 11, 19, 23)) -> dict:
+    """Race-vs-sequential refinement latency across seeds (p50/p99).
+
+    One worker and ``race_threshold == tolerance`` make the race an
+    early-stopped prefix of exactly the sequential strategy's work, so
+    its latency distribution is stochastically dominated by the
+    sequential one — the p99 comparison below is a structural
+    guarantee, not a lucky draw.
+    """
+    engine = SynthesisEngine("piecewise")
+    template = engine.template(
+        gc=np.pi / 2, gg=0.0, pulse_duration=1.0, repetitions=1
+    )
+    target = named_gate_coordinates("CNOT")
+    budget = dict(starts=8, refine=4, max_iterations=2000, tolerance=1e-8)
+
+    sequential_times, race_times, cancelled = [], [], 0
+    for seed in seeds:
+        start = time.perf_counter()
+        engine.synthesize_multistart(template, target, seed=seed, **budget)
+        sequential_times.append(time.perf_counter() - start)
+
+        start = time.perf_counter()
+        outcome = engine.synthesize_multistart(
+            template, target, seed=seed, strategy="race", **budget
+        )
+        race_times.append(time.perf_counter() - start)
+        cancelled += outcome.race.cancelled
+
+    return {
+        "kernel": "race_vs_sequential",
+        "target": "CNOT",
+        "seeds": len(seeds),
+        "sequential_p50_s": float(np.percentile(sequential_times, 50)),
+        "sequential_p99_s": float(np.percentile(sequential_times, 99)),
+        "race_p50_s": float(np.percentile(race_times, 50)),
+        "race_p99_s": float(np.percentile(race_times, 99)),
+        "race_cancelled_total": cancelled,
+    }
+
+
 def _store_entry(tmp_path) -> dict:
     """Cold Alg. 2 build vs warm sqlite reload (disk tier)."""
     store_path = tmp_path / "coverage.sqlite"
@@ -123,12 +164,15 @@ def test_synthesis_bench(benchmark, capsys, tmp_path):
     """Full synthesis sweep; emits results/synthesis_bench.json."""
 
     def sweep() -> list[dict]:
-        return [_multistart_entry(), _store_entry(tmp_path)]
+        return [_multistart_entry(), _race_entry(), _store_entry(tmp_path)]
 
     entries = run_once(benchmark, sweep)
-    multi, store = entries
+    multi, race, store = entries
 
     assert multi["multistart_converged"], "multi-start failed to converge"
+    assert race["race_p99_s"] <= race["sequential_p99_s"], (
+        "racing made the refinement tail worse"
+    )
     assert store["speedup"] >= 2.0, (
         f"warm CoverageStore only {store['speedup']:.1f}x over cold"
     )
@@ -141,6 +185,10 @@ def test_synthesis_bench(benchmark, capsys, tmp_path):
             "multistart.multistart_s": multi["multistart_s"],
             "multistart.speedup": multi["speedup"],
             "multistart.throughput_per_s": multi["throughput_per_s"],
+            "race.sequential_p50_s": race["sequential_p50_s"],
+            "race.sequential_p99_s": race["sequential_p99_s"],
+            "race.p50_s": race["race_p50_s"],
+            "race.p99_s": race["race_p99_s"],
             "coverage_store.cold_s": store["cold_s"],
             "coverage_store.warm_s": store["warm_s"],
             "coverage_store.speedup": store["speedup"],
@@ -159,10 +207,36 @@ def test_synthesis_bench(benchmark, capsys, tmp_path):
             f"({multi['speedup']:.1f}x)"
         )
         print(
+            f"  race vs sequential (p50/p99 over {race['seeds']} seeds): "
+            f"{race['race_p50_s']:.2f}s/{race['race_p99_s']:.2f}s vs "
+            f"{race['sequential_p50_s']:.2f}s/"
+            f"{race['sequential_p99_s']:.2f}s, "
+            f"{race['race_cancelled_total']} refinements cancelled"
+        )
+        print(
             f"  coverage store: cold {store['cold_s']:.2f}s, warm "
             f"{store['warm_s']:.3f}s ({store['speedup']:.1f}x)"
         )
         print(f"written to {out}")
+
+
+def test_perf_smoke_race():
+    """CI perf smoke: race p99 must not exceed the sequential p99.
+
+    With one worker and the race threshold equal to the tolerance, the
+    race executes a strict prefix of the sequential strategy's
+    refinement schedule (same seeds, same order, early stop), so this
+    bound holds structurally — a failure means racing stopped cutting
+    work, not that the runner was busy.
+    """
+    entry = _race_entry(seeds=(3, 7, 11))
+    assert entry["race_cancelled_total"] > 0, (
+        "race never cancelled a refinement; early acceptance is broken"
+    )
+    assert entry["race_p99_s"] <= entry["sequential_p99_s"], (
+        f"race p99 ({entry['race_p99_s']:.2f}s) exceeded sequential p99 "
+        f"({entry['sequential_p99_s']:.2f}s)"
+    )
 
 
 def test_perf_smoke_coverage_store(tmp_path):

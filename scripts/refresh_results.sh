@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Regenerate the regenerable results/ artifacts and record them in the
+# perf ledger.  results/ is gitignored — nothing under it should ever
+# be committed; when an ingested artifact fails the bench-artifact
+# schema check ('repro perf record' refuses stale schemas loudly),
+# rerun this script instead of hand-editing the JSON.
+#
+# Usage: scripts/refresh_results.sh [extra pytest args...]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+# The kernel + synthesis benches emit the stamped *_bench.json
+# artifacts (per-array-backend metrics blocks included).
+python -m pytest benchmarks/bench_kernels.py benchmarks/bench_synthesis.py \
+    -q -p no:cacheprovider "$@"
+
+# Ingest whatever landed in results/ into the perf ledger, stamped
+# with the active array backend (REPRO_ARRAY_BACKEND).
+python -m repro perf record --source local
+python -m repro perf compare || true

@@ -430,6 +430,8 @@ def _cmd_synth(args: argparse.Namespace) -> int:
         seed=args.seed,
         max_iterations=args.max_iterations,
         tolerance=args.tolerance,
+        strategy="race" if args.race else "rank",
+        race_threshold=args.race_threshold,
     )
     elapsed = time.time() - start
     best = outcome.best
@@ -444,6 +446,18 @@ def _cmd_synth(args: argparse.Namespace) -> int:
         f"{outcome.start_losses.max():.3g}), refined: "
         f"{list(outcome.refined_indices)}"
     )
+    if outcome.race is not None:
+        race = outcome.race
+        verdict = (
+            f"winner start {race.winner}"
+            if race.accepted
+            else "no winner (fell back to best completed)"
+        )
+        print(
+            f"  race: {verdict}, {race.cancelled} cancelled, "
+            f"~{race.tail_latency_saved_seconds:.1f}s tail saved "
+            f"(threshold {race.threshold:.3g})"
+        )
     print(
         f"  best loss {best.loss:.3e}  converged={best.converged}  "
         f"({elapsed:.1f}s, {args.workers} worker(s))"
@@ -467,6 +481,16 @@ def _cmd_synth(args: argparse.Namespace) -> int:
             "parameters": best.parameters.tolist(),
             "elapsed_seconds": elapsed,
         }
+        if outcome.race is not None:
+            payload["race"] = {
+                "winner": outcome.race.winner,
+                "threshold": outcome.race.threshold,
+                "completed": list(outcome.race.completed),
+                "cancelled": outcome.race.cancelled,
+                "elapsed_seconds": outcome.race.elapsed_seconds,
+                "tail_latency_saved_seconds":
+                    outcome.race.tail_latency_saved_seconds,
+            }
         with open(args.json, "w", encoding="utf-8") as handle:
             json.dump(payload, handle, indent=2, sort_keys=True)
         print(f"results written to {args.json}")
@@ -1014,6 +1038,15 @@ def main(argv: list[str] | None = None) -> int:
     synth_parser.add_argument(
         "--workers", type=int, default=1,
         help="process count for fanning refinements",
+    )
+    synth_parser.add_argument(
+        "--race", action="store_true",
+        help="race the refinements: accept the first result under the "
+             "race threshold and cancel the rest",
+    )
+    synth_parser.add_argument(
+        "--race-threshold", type=float, default=None, metavar="LOSS",
+        help="accepting loss for --race (default: --tolerance)",
     )
     synth_parser.add_argument(
         "--coverage", type=int, default=None, metavar="KMAX",

@@ -24,7 +24,11 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..pulse.evolution import batched_piecewise_propagators
+from ..kernels.backend import active_backend
+from ..pulse.evolution import (
+    _batched_piecewise_propagators,
+    batched_piecewise_propagators,
+)
 from ..pulse.hamiltonian import batched_hamiltonians
 from ..quantum.gates import u3
 from ..quantum.weyl import batched_weyl_coordinates, weyl_coordinates
@@ -162,6 +166,7 @@ class FourierDriveTemplate:
                 f"expected (N, {self.num_parameters}) parameters, got "
                 f"{params.shape}"
             )
+        backend = active_backend()
         count = len(params)
         per = self.drive_parameters_per_pulse
         n = self.num_harmonics
@@ -169,10 +174,14 @@ class FourierDriveTemplate:
         midpoints = (np.arange(steps) + 0.5) / steps
         harmonics = np.arange(1, n + 1)
         sine_basis = np.sin(np.pi * np.outer(midpoints, harmonics))
-        dts = np.full(steps, self.pulse_duration / steps)
-        total = np.broadcast_to(
-            np.eye(4, dtype=complex), (count, 4, 4)
-        ).copy()
+        dts = backend.asarray(
+            np.full(steps, self.pulse_duration / steps), "float"
+        )
+        total = backend.copy(
+            backend.xp.broadcast_to(
+                backend.eye(4, "complex"), (count, 4, 4)
+            )
+        )
         locals_start = self.repetitions * per
         cursor = 0
         for rep in range(self.repetitions):
@@ -181,19 +190,24 @@ class FourierDriveTemplate:
             phi_c, phi_g = block[:, 0], block[:, 1]
             eps1 = block[:, 2 : 2 + n] @ sine_basis.T
             eps2 = block[:, 2 + n : 2 + 2 * n] @ sine_basis.T
-            hams = batched_hamiltonians(
-                self.gc, self.gg, phi_c, phi_g, eps1, eps2
+            hams = backend.asarray(
+                batched_hamiltonians(
+                    self.gc, self.gg, phi_c, phi_g, eps1, eps2
+                ),
+                "complex",
             )
-            pulses = batched_piecewise_propagators(hams, dts)
-            total = np.einsum("nij,njk->nik", pulses, total)
+            pulses = _batched_piecewise_propagators(backend, hams, dts)
+            total = backend.einsum("nij,njk->nik", pulses, total)
             if rep < self.repetitions - 1:
                 angles = params[
                     :, locals_start + 6 * rep : locals_start + 6 * (rep + 1)
                 ]
-                total = np.einsum(
-                    "nij,njk->nik", _batched_local_pairs(angles), total
+                total = backend.einsum(
+                    "nij,njk->nik",
+                    backend.asarray(_batched_local_pairs(angles), "complex"),
+                    total,
                 )
-        return total
+        return backend.to_numpy(total, "complex")
 
     def coordinates(self, params: np.ndarray) -> np.ndarray:
         """Weyl coordinates of the template unitary."""

@@ -20,7 +20,11 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..pulse.evolution import batched_piecewise_propagators
+from ..kernels.backend import active_backend
+from ..pulse.evolution import (
+    _batched_piecewise_propagators,
+    batched_piecewise_propagators,
+)
 from ..pulse.hamiltonian import batched_hamiltonians
 from ..quantum.gates import u3
 from ..quantum.random import as_rng, random_local_pairs_batch
@@ -181,6 +185,10 @@ class ParallelDriveTemplate:
         training sweep prices every start in one pass (the engine's
         :meth:`~repro.synthesis.SynthesisEngine.synthesize_multistart`).
         Row ``i`` equals ``unitary(params[i])`` up to float noise.
+
+        Hamiltonian assembly stays on the host (cheap index writes);
+        the propagation and accumulation contractions run on the active
+        array backend, transferring once per repetition at this edge.
         """
         params = np.atleast_2d(np.asarray(params, dtype=float))
         if params.shape[1:] != (self.num_parameters,):
@@ -188,12 +196,17 @@ class ParallelDriveTemplate:
                 f"expected (N, {self.num_parameters}) parameters, got "
                 f"{params.shape}"
             )
+        backend = active_backend()
         count = len(params)
         steps = self.steps_per_pulse
-        dts = np.full(steps, self.step_duration)
-        total = np.broadcast_to(
-            np.eye(4, dtype=complex), (count, 4, 4)
-        ).copy()
+        dts = backend.asarray(
+            np.full(steps, self.step_duration), "float"
+        )
+        total = backend.copy(
+            backend.xp.broadcast_to(
+                backend.eye(4, "complex"), (count, 4, 4)
+            )
+        )
         cursor = 0
         locals_start = self.repetitions * self.drive_parameters_per_pulse
         for rep in range(self.repetitions):
@@ -206,18 +219,23 @@ class ParallelDriveTemplate:
             else:
                 phi_c = phi_g = np.zeros(count)
                 eps1 = eps2 = np.zeros((count, steps))
-            hams = batched_hamiltonians(
-                self.gc, self.gg, phi_c, phi_g, eps1, eps2
+            hams = backend.asarray(
+                batched_hamiltonians(
+                    self.gc, self.gg, phi_c, phi_g, eps1, eps2
+                ),
+                "complex",
             )
-            pulses = batched_piecewise_propagators(hams, dts)
-            total = np.einsum("nij,njk->nik", pulses, total)
+            pulses = _batched_piecewise_propagators(backend, hams, dts)
+            total = backend.einsum("nij,njk->nik", pulses, total)
             if rep < self.repetitions - 1:
                 angles = params[
                     :, locals_start + 6 * rep : locals_start + 6 * (rep + 1)
                 ]
-                locals_batch = _batched_local_pairs(angles)
-                total = np.einsum("nij,njk->nik", locals_batch, total)
-        return total
+                locals_batch = backend.asarray(
+                    _batched_local_pairs(angles), "complex"
+                )
+                total = backend.einsum("nij,njk->nik", locals_batch, total)
+        return backend.to_numpy(total, "complex")
 
     def coordinates(self, params: np.ndarray) -> np.ndarray:
         """Weyl coordinates of the template unitary."""

@@ -22,6 +22,14 @@ call per circuit instead of one scalar call per gate:
   call per region (the kernel behind ``CoverageSet.min_k`` and the rule
   engines' batched template selection).
 
+All kernels are written against :mod:`repro.kernels.backend` — an
+:class:`~repro.kernels.backend.ArrayBackend` registry resolving numpy
+(the tested, bit-parity default), torch, or cupy namespaces via
+``REPRO_ARRAY_BACKEND``, ``CompilerConfig(array_backend=...)``, or
+:func:`~repro.kernels.backend.use_array_backend`.  Results round-trip
+back to numpy at every public edge, so digests stay bit-stable on the
+numpy path and adapter paths promise ``allclose`` agreement.
+
 The batched cache kernel lives with its store:
 :meth:`repro.service.cache.DecompositionCache.lookup_many`.
 
@@ -34,12 +42,32 @@ exactly on those boundaries).  The kernels here are the parity-exact
 compilation path.
 """
 
+from .backend import (
+    ArrayBackend,
+    ArrayBackendError,
+    active_backend,
+    available_backends,
+    get_namespace,
+    register_backend,
+    registered_backends,
+    resolve_backend,
+    use_array_backend,
+)
 from .membership import first_covering_k, membership_matrix
 from .weyl_batch import canonicalize_coordinates_many, weyl_coordinates_many
 
 __all__ = [
+    "ArrayBackend",
+    "ArrayBackendError",
+    "active_backend",
+    "available_backends",
     "canonicalize_coordinates_many",
     "first_covering_k",
+    "get_namespace",
     "membership_matrix",
+    "register_backend",
+    "registered_backends",
+    "resolve_backend",
+    "use_array_backend",
     "weyl_coordinates_many",
 ]

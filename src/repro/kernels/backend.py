@@ -1,0 +1,450 @@
+"""Array-namespace backends for the kernel tier.
+
+The batched kernels (stacked Weyl extraction, coverage membership,
+piecewise propagators, template pricing) are written against a small
+:class:`ArrayBackend` surface instead of raw ``numpy``:
+
+* ``backend.xp`` is the array namespace (``numpy``, ``torch``,
+  ``cupy``) for the standard operations every library agrees on;
+* the backend's methods paper over the non-standard corners — dtype
+  promotion (torch defaults to float32), ``sort``'s return type,
+  matrix transposes, ``eigh``/``eigvals`` batching quirks (cupy has no
+  general ``eigvals`` and falls back to the host), and device transfer
+  at the API boundary.
+
+The numpy backend is the tested default and a *literal pass-through*:
+every method executes exactly the numpy expression the kernels used
+before the port, and :meth:`ArrayBackend.asarray` /
+:meth:`ArrayBackend.to_numpy` are ``np.asarray`` — identity on arrays
+already in the target dtype.  The numpy path is therefore bit-identical
+to the pre-backend kernels, which keeps pinned digests and
+decomposition-cache keys stable.  Adapter paths (torch/cupy) promise
+``allclose``-level agreement, not bit equality — see the README's
+array-backend matrix.
+
+Selection, in precedence order:
+
+1. an explicit name passed to :func:`resolve_backend`;
+2. the innermost :func:`use_array_backend` context (what
+   ``CompilerConfig(array_backend=...)`` activates);
+3. the ``REPRO_ARRAY_BACKEND`` environment variable;
+4. the default, ``numpy``.
+
+The special name ``"auto"`` picks the first importable of cupy, torch,
+numpy.  ``REPRO_ARRAY_DEVICE`` selects the torch device (default
+``cpu``).
+"""
+
+from __future__ import annotations
+
+import os
+from collections.abc import Callable, Iterator, Sequence
+from contextlib import contextmanager
+from typing import Any
+
+import numpy as np
+
+__all__ = [
+    "ArrayBackend",
+    "ArrayBackendError",
+    "active_backend",
+    "available_backends",
+    "get_namespace",
+    "register_backend",
+    "registered_backends",
+    "resolve_backend",
+    "use_array_backend",
+]
+
+_ENV_BACKEND = "REPRO_ARRAY_BACKEND"
+_ENV_DEVICE = "REPRO_ARRAY_DEVICE"
+#: Preference order of the ``"auto"`` selector (GPU-capable first).
+_AUTO_ORDER = ("cupy", "torch", "numpy")
+
+
+class ArrayBackendError(RuntimeError):
+    """An array backend name is unknown or its library is unavailable."""
+
+
+class ArrayBackend:
+    """The numpy reference backend; adapters override the quirky corners.
+
+    Canonical dtype *kinds* — ``"float"`` (float64), ``"complex"``
+    (complex128), ``"int"`` (int64), ``"bool"`` — are passed as strings
+    so each adapter maps them to its own dtype objects; torch in
+    particular must never fall back to its float32 defaults.
+    """
+
+    name = "numpy"
+    #: Device arrays live on; ``None`` means host memory.
+    device: Any = None
+
+    _DTYPE_KINDS = {"float": float, "complex": complex, "int": int, "bool": bool}
+
+    @property
+    def xp(self):
+        """The array namespace for standard operations."""
+        return np
+
+    def dtype(self, kind: str | None):
+        """Backend dtype object for a canonical kind (None passes through)."""
+        if kind is None:
+            return None
+        try:
+            return self._DTYPE_KINDS[kind]
+        except KeyError:
+            raise ValueError(f"unknown dtype kind {kind!r}") from None
+
+    # -- boundary transfer ---------------------------------------------------
+
+    def asarray(self, values, kind: str | None = None):
+        """Convert host/backend data to this backend's array type."""
+        return np.asarray(values, dtype=self.dtype(kind))
+
+    def to_numpy(self, values, kind: str | None = None) -> np.ndarray:
+        """Round-trip back to numpy at a public API edge.
+
+        Identity (no copy) on the numpy backend when the array already
+        has the target dtype — the digest-stability contract.
+        """
+        dtype = None if kind is None else self._DTYPE_KINDS[kind]
+        return np.asarray(values, dtype=dtype)
+
+    # -- construction --------------------------------------------------------
+
+    def stack(self, arrays: Sequence, axis: int = 0):
+        return self.xp.stack(arrays, axis)
+
+    def arange(self, count: int):
+        return self.xp.arange(count)
+
+    def eye(self, dim: int, kind: str = "float"):
+        return self.xp.eye(dim, dtype=self.dtype(kind))
+
+    def full(self, shape, value, kind: str = "float"):
+        return self.xp.full(shape, value, dtype=self.dtype(kind))
+
+    def copy(self, values):
+        return values.copy()
+
+    def astype(self, values, kind: str):
+        return values.astype(self.dtype(kind))
+
+    # -- non-standard corners ------------------------------------------------
+
+    def mod(self, values, divisor):
+        return self.xp.mod(values, divisor)
+
+    def minimum(self, values, other):
+        return self.xp.minimum(values, other)
+
+    def maximum(self, values, other):
+        return self.xp.maximum(values, other)
+
+    def rint(self, values):
+        return self.xp.rint(values)
+
+    def sort_rows_descending(self, values):
+        """Row-wise descending sort, same op sequence as ``np.sort(x)[::-1]``."""
+        return self.xp.sort(values, axis=1)[:, ::-1]
+
+    def flatnonzero(self, values):
+        return self.xp.flatnonzero(values)
+
+    def matrix_transpose(self, values):
+        """Transpose the trailing two axes (a view where possible)."""
+        return self.xp.swapaxes(values, -1, -2)
+
+    # -- linear algebra ------------------------------------------------------
+
+    def eigh(self, matrices):
+        """Hermitian eigendecomposition, batched over leading axes."""
+        return self.xp.linalg.eigh(matrices)
+
+    def eigvals(self, matrices):
+        """General (non-Hermitian) eigenvalues, batched over leading axes."""
+        return self.xp.linalg.eigvals(matrices)
+
+    def det(self, matrices):
+        return self.xp.linalg.det(matrices)
+
+    def einsum(self, subscripts: str, *operands):
+        return self.xp.einsum(subscripts, *operands)
+
+
+class TorchBackend(ArrayBackend):
+    """PyTorch adapter (CPU by default; ``REPRO_ARRAY_DEVICE`` for GPU).
+
+    Shims: explicit float64/complex128 dtypes everywhere (torch defaults
+    to float32), ``torch.sort``'s (values, indices) tuple, ``remainder``
+    for ``np.mod``, ``.mT`` for stacked transposes, and host transfer in
+    :meth:`to_numpy`.
+    """
+
+    name = "torch"
+
+    def __init__(self, device: str | None = None):
+        import torch
+
+        self._torch = torch
+        self.device = torch.device(
+            device or os.environ.get(_ENV_DEVICE, "").strip() or "cpu"
+        )
+        self._dtypes = {
+            "float": torch.float64,
+            "complex": torch.complex128,
+            "int": torch.int64,
+            "bool": torch.bool,
+        }
+
+    @property
+    def xp(self):
+        return self._torch
+
+    def dtype(self, kind: str | None):
+        if kind is None:
+            return None
+        try:
+            return self._dtypes[kind]
+        except KeyError:
+            raise ValueError(f"unknown dtype kind {kind!r}") from None
+
+    def asarray(self, values, kind: str | None = None):
+        torch = self._torch
+        dtype = self.dtype(kind)
+        if isinstance(values, torch.Tensor):
+            return values.to(device=self.device, dtype=dtype or values.dtype)
+        return torch.as_tensor(
+            np.asarray(values), dtype=dtype, device=self.device
+        )
+
+    def to_numpy(self, values, kind: str | None = None) -> np.ndarray:
+        if isinstance(values, self._torch.Tensor):
+            values = values.detach().cpu().numpy()
+        return super().to_numpy(values, kind)
+
+    def stack(self, arrays: Sequence, axis: int = 0):
+        return self._torch.stack(list(arrays), axis)
+
+    def arange(self, count: int):
+        return self._torch.arange(count, device=self.device)
+
+    def eye(self, dim: int, kind: str = "float"):
+        return self._torch.eye(dim, dtype=self.dtype(kind), device=self.device)
+
+    def full(self, shape, value, kind: str = "float"):
+        if isinstance(shape, int):
+            shape = (shape,)
+        return self._torch.full(
+            shape, value, dtype=self.dtype(kind), device=self.device
+        )
+
+    def copy(self, values):
+        return values.clone()
+
+    def astype(self, values, kind: str):
+        return values.to(self.dtype(kind))
+
+    def _scalar_like(self, other, reference):
+        if isinstance(other, self._torch.Tensor):
+            return other
+        return self._torch.as_tensor(
+            other, dtype=reference.dtype, device=reference.device
+        )
+
+    def mod(self, values, divisor):
+        return self._torch.remainder(values, divisor)
+
+    def minimum(self, values, other):
+        return self._torch.minimum(values, self._scalar_like(other, values))
+
+    def maximum(self, values, other):
+        return self._torch.maximum(values, self._scalar_like(other, values))
+
+    def rint(self, values):
+        # torch.round is round-half-to-even, exactly np.rint's rule.
+        return self._torch.round(values)
+
+    def sort_rows_descending(self, values):
+        return self._torch.sort(values, dim=1, descending=True).values
+
+    def flatnonzero(self, values):
+        return self._torch.nonzero(values.reshape(-1), as_tuple=False).reshape(-1)
+
+    def matrix_transpose(self, values):
+        return values.mT
+
+    def eigh(self, matrices):
+        result = self._torch.linalg.eigh(matrices)
+        return result.eigenvalues, result.eigenvectors
+
+    def eigvals(self, matrices):
+        return self._torch.linalg.eigvals(matrices)
+
+    def det(self, matrices):
+        return self._torch.linalg.det(matrices)
+
+    def einsum(self, subscripts: str, *operands):
+        return self._torch.einsum(subscripts, *operands)
+
+
+class CupyBackend(ArrayBackend):
+    """CuPy adapter: numpy-compatible namespace, device transfer at edges.
+
+    Quirks papered over: no general ``eigvals`` on device (the gram
+    spectrum falls back to the host), and ``eigh`` builds that may not
+    accept stacked inputs degrade to a per-slice loop.
+    """
+
+    name = "cupy"
+
+    def __init__(self):
+        import cupy
+
+        self._cupy = cupy
+        self.device = cupy.cuda.Device()
+
+    @property
+    def xp(self):
+        return self._cupy
+
+    def asarray(self, values, kind: str | None = None):
+        return self._cupy.asarray(values, dtype=self.dtype(kind))
+
+    def to_numpy(self, values, kind: str | None = None) -> np.ndarray:
+        if isinstance(values, self._cupy.ndarray):
+            values = self._cupy.asnumpy(values)
+        return super().to_numpy(values, kind)
+
+    def eigh(self, matrices):
+        try:
+            return self._cupy.linalg.eigh(matrices)
+        except (ValueError, NotImplementedError):
+            if matrices.ndim == 2:
+                raise
+            values, vectors = zip(
+                *(self._cupy.linalg.eigh(m) for m in matrices)
+            )
+            return self._cupy.stack(values), self._cupy.stack(vectors)
+
+    def eigvals(self, matrices):
+        # cusolver has no general (non-Hermitian) eigensolver exposed
+        # through cupy.linalg; round-trip through the host LAPACK.
+        values = np.linalg.eigvals(self._cupy.asnumpy(matrices))
+        return self._cupy.asarray(values)
+
+
+# -- registry and selection --------------------------------------------------
+
+_FACTORIES: dict[str, Callable[[], ArrayBackend]] = {}
+_INSTANCES: dict[str, ArrayBackend] = {}
+#: Innermost-wins stack of `use_array_backend` overrides.
+_OVERRIDES: list[str] = []
+
+
+def register_backend(
+    name: str, factory: Callable[[], ArrayBackend], *, replace: bool = False
+) -> None:
+    """Register an :class:`ArrayBackend` factory under a name."""
+    if not replace and name in _FACTORIES:
+        raise ValueError(f"array backend {name!r} is already registered")
+    _FACTORIES[name] = factory
+    _INSTANCES.pop(name, None)
+
+
+def registered_backends() -> tuple[str, ...]:
+    """Every registered backend name (importable or not), sorted."""
+    return tuple(sorted(_FACTORIES))
+
+
+def available_backends() -> tuple[str, ...]:
+    """Registered backends whose library imports on this host, sorted."""
+    names = []
+    for name in sorted(_FACTORIES):
+        try:
+            _instantiate(name)
+        except ArrayBackendError:
+            continue
+        names.append(name)
+    return tuple(names)
+
+
+def _instantiate(name: str) -> ArrayBackend:
+    try:
+        factory = _FACTORIES[name]
+    except KeyError:
+        known = ", ".join(sorted(_FACTORIES))
+        raise ArrayBackendError(
+            f"unknown array backend {name!r} (registered: {known})"
+        ) from None
+    instance = _INSTANCES.get(name)
+    if instance is None:
+        try:
+            instance = factory()
+        except ImportError as exc:
+            raise ArrayBackendError(
+                f"array backend {name!r} is registered but its library is "
+                f"not importable here: {exc}"
+            ) from exc
+        _INSTANCES[name] = instance
+    return instance
+
+
+def resolve_backend(name: str | ArrayBackend | None = None) -> ArrayBackend:
+    """Resolve a backend by explicit name, context, env, or default."""
+    if isinstance(name, ArrayBackend):
+        return name
+    if name is None:
+        if _OVERRIDES:
+            name = _OVERRIDES[-1]
+        else:
+            name = os.environ.get(_ENV_BACKEND, "").strip() or "numpy"
+    if name == "auto":
+        for candidate in _AUTO_ORDER:
+            try:
+                return _instantiate(candidate)
+            except ArrayBackendError:
+                continue
+        raise ArrayBackendError(  # pragma: no cover - numpy always imports
+            "no array backend is available"
+        )
+    return _instantiate(name)
+
+
+def active_backend() -> ArrayBackend:
+    """The backend the kernels use right now (context > env > numpy)."""
+    return resolve_backend(None)
+
+
+@contextmanager
+def use_array_backend(name: str) -> Iterator[ArrayBackend]:
+    """Scoped backend override — what ``CompilerConfig`` activates.
+
+    Resolves eagerly so an unknown or unimportable name fails loudly at
+    activation, not at the first kernel call.
+    """
+    backend = resolve_backend(name)
+    _OVERRIDES.append(backend.name if name == "auto" else name)
+    try:
+        yield backend
+    finally:
+        _OVERRIDES.pop()
+
+
+def get_namespace(*arrays) -> Any:
+    """The array namespace for the given arrays (active backend if host).
+
+    Torch tensors and cupy arrays resolve to their own namespaces; plain
+    numpy arrays (and no arguments at all) resolve to the active
+    backend's namespace.
+    """
+    for array in arrays:
+        module = type(array).__module__.partition(".")[0]
+        if module in ("torch", "cupy"):
+            return resolve_backend(module).xp
+    return active_backend().xp
+
+
+register_backend("numpy", ArrayBackend)
+register_backend("torch", TorchBackend)
+register_backend("cupy", CupyBackend)

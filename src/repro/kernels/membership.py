@@ -23,6 +23,7 @@ from collections.abc import Sequence
 import numpy as np
 
 from ..obs import metrics
+from .backend import active_backend
 
 __all__ = ["first_covering_k", "membership_matrix"]
 
@@ -33,13 +34,16 @@ def membership_matrix(regions: Sequence, coords: np.ndarray) -> np.ndarray:
     Args:
         regions: objects exposing ``contains((N, 3)) -> (N,) bool``
             (``RegionHull`` or ``KCoverage`` instances).
-        coords: query points, shape ``(N, 3)`` (or a single triple).
+        coords: query points, shape ``(N, 3)`` (or a single triple) —
+            any backend's array type; the hull tests themselves run on
+            the host (scipy ``Delaunay`` is CPU-only), so adapter
+            arrays transfer back to numpy once at this edge.
 
     Returns:
         Array of shape ``(len(regions), N)``; row ``r`` is one batched
         ``contains`` evaluation of region ``r``.
     """
-    coords = np.atleast_2d(np.asarray(coords, dtype=float))
+    coords = np.atleast_2d(active_backend().to_numpy(coords, "float"))
     metrics.histogram(
         "repro.kernels.membership_batch", metrics.BATCH_SIZE_BUCKETS
     ).observe(len(coords))
@@ -54,9 +58,11 @@ def first_covering_k(coverages: Sequence, coords: np.ndarray) -> np.ndarray:
     ``coverages`` is an ordered sequence of objects with an integer
     ``k`` attribute and a vectorized ``contains``; points already
     resolved at a smaller K are excluded from later queries, so the
-    total membership work is one narrowing ``contains`` sweep.
+    total membership work is one narrowing ``contains`` sweep.  Like
+    :func:`membership_matrix`, adapter arrays are normalized to numpy
+    once at this edge (the hulls are host-side).
     """
-    coords = np.atleast_2d(np.asarray(coords, dtype=float))
+    coords = np.atleast_2d(active_backend().to_numpy(coords, "float"))
     result = np.full(len(coords), len(coverages) + 1, dtype=int)
     unresolved = np.arange(len(coords))
     for coverage in coverages:

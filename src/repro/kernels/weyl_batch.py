@@ -13,6 +13,12 @@ sit exactly on classification boundaries — which is what lets the
 compiler's basis-translation pass batch per circuit without perturbing
 pinned digests or decomposition-cache keys.
 
+The kernel is written against :mod:`repro.kernels.backend`: on the
+default numpy backend every operation is the literal numpy expression
+(bit parity preserved); under torch/cupy the same code runs on the
+adapter namespace and the result rides back to numpy at the public edge
+with ``allclose``-level agreement.
+
 Defensively, any row whose folded coordinates fail chamber validation is
 recomputed through the exact scalar :func:`repro.quantum.kak.kak_decompose`
 (which handles degenerate spectra via simultaneous diagonalization); with
@@ -24,6 +30,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..quantum.gates import MAGIC_BASIS
+from .backend import ArrayBackend, active_backend
 
 __all__ = ["canonicalize_coordinates_many", "weyl_coordinates_many"]
 
@@ -38,67 +45,72 @@ _HALF_PI = np.pi / 2
 _MAGIC_DAG = MAGIC_BASIS.conj().T
 
 
-def _sort_rows_descending(values: np.ndarray) -> np.ndarray:
-    """Row-wise descending sort, same op sequence as ``np.sort(x)[::-1]``."""
-    return np.sort(values, axis=1)[:, ::-1]
+def _canonicalize(backend: ArrayBackend, coords):
+    """Chamber fold on a validated ``(N, 3)`` backend array.
 
-
-def canonicalize_coordinates_many(coords: np.ndarray) -> np.ndarray:
-    """Vectorized :func:`repro.quantum.weyl.canonicalize_coordinates`.
-
-    Folds each row into the canonical Weyl chamber with per-row
-    convergence tracking, applying the exact scalar operation sequence
-    (mod pi, descending sort, pairwise flip, boundary snaps, base-plane
-    and rear-edge mirrors) so results are bit-identical to a scalar
-    loop.
-
-    Raises:
-        ValueError: when ``coords`` is not an (N, 3) array.
-        RuntimeError: when any row fails to converge (defensive; the
-            fold converges in <= 3 steps for finite inputs).
+    Applies the exact scalar operation sequence (mod pi, descending
+    sort, pairwise flip, boundary snaps, base-plane and rear-edge
+    mirrors) with per-row convergence tracking; stays on the backend's
+    device throughout.
     """
-    coords = np.atleast_2d(np.asarray(coords, dtype=float))
-    if coords.ndim != 2 or coords.shape[1] != 3:
-        raise ValueError("expected an (N, 3) coordinate array")
-    c = np.array(coords)
-    active = np.ones(len(c), dtype=bool)
+    xp = backend.xp
+    c = backend.copy(coords)
+    active = backend.full(len(c), True, "bool")
     for _ in range(16):
         if not active.any():
             break
-        rows = np.mod(c[active], np.pi)
-        rows = _sort_rows_descending(rows)
+        rows = backend.mod(c[active], np.pi)
+        rows = backend.sort_rows_descending(rows)
         overflow = rows[:, 0] + rows[:, 1] > np.pi + _ATOL
         flipped = rows[overflow]
         flipped[:, 0] = np.pi - flipped[:, 0]
         flipped[:, 1] = np.pi - flipped[:, 1]
         rows[overflow] = flipped
         c[active] = rows
-        indices = np.flatnonzero(active)
+        indices = backend.flatnonzero(active)
         active[indices[~overflow]] = False
     if active.any():  # pragma: no cover - defensive; mirrors the scalar cap
         raise RuntimeError(
             f"canonicalization failed for {coords[active][0]!r}"
         )
-    c = _sort_rows_descending(c)
-    c[np.abs(c) < _ATOL] = 0.0
-    c[np.abs(c - np.pi) < _ATOL] = np.pi
-    base = (np.abs(c[:, 2]) <= _ATOL) & (c[:, 0] > _HALF_PI + _ATOL)
+    c = backend.sort_rows_descending(c)
+    c[xp.abs(c) < _ATOL] = 0.0
+    c[xp.abs(c - np.pi) < _ATOL] = np.pi
+    base = (xp.abs(c[:, 2]) <= _ATOL) & (c[:, 0] > _HALF_PI + _ATOL)
     if base.any():
         mirrored = c[base]
         mirrored[:, 0] = np.pi - mirrored[:, 0]
-        c[base] = _sort_rows_descending(mirrored)
-    rear = (np.abs(c[:, 0] + c[:, 1] - np.pi) <= _ATOL) & (c[:, 2] > _ATOL)
+        c[base] = backend.sort_rows_descending(mirrored)
+    rear = (xp.abs(c[:, 0] + c[:, 1] - np.pi) <= _ATOL) & (c[:, 2] > _ATOL)
     if rear.any():
         rows = c[rear]
         left = np.pi - rows[:, 0]
         right = np.pi - rows[:, 1]
-        rows[:, 0] = np.maximum(left, right)
-        rows[:, 1] = np.minimum(left, right)
-        c[rear] = _sort_rows_descending(rows)
+        rows[:, 0] = backend.maximum(left, right)
+        rows[:, 1] = backend.minimum(left, right)
+        c[rear] = backend.sort_rows_descending(rows)
     return c
 
 
-def _in_chamber_mask(c: np.ndarray, atol: float = 1e-7) -> np.ndarray:
+def canonicalize_coordinates_many(coords) -> np.ndarray:
+    """Vectorized :func:`repro.quantum.weyl.canonicalize_coordinates`.
+
+    Folds each row into the canonical Weyl chamber; bit-identical to a
+    scalar loop on the numpy backend.
+
+    Raises:
+        ValueError: when ``coords`` is not an (N, 3) array.
+        RuntimeError: when any row fails to converge (defensive; the
+            fold converges in <= 3 steps for finite inputs).
+    """
+    backend = active_backend()
+    coords = backend.xp.atleast_2d(backend.asarray(coords, "float"))
+    if coords.ndim != 2 or coords.shape[1] != 3:
+        raise ValueError("expected an (N, 3) coordinate array")
+    return backend.to_numpy(_canonicalize(backend, coords), "float")
+
+
+def _in_chamber_mask(backend: ArrayBackend, c, atol: float = 1e-7):
     """Vectorized :func:`repro.quantum.weyl.in_weyl_chamber`."""
     c1, c2, c3 = c[:, 0], c[:, 1], c[:, 2]
     ok = (c1 + atol >= c2) & (c2 >= c3 - atol) & (c3 >= -atol)
@@ -107,17 +119,18 @@ def _in_chamber_mask(c: np.ndarray, atol: float = 1e-7) -> np.ndarray:
     return ok
 
 
-def _nonunitary_rows(unitaries: np.ndarray) -> np.ndarray:
+def _nonunitary_rows(backend: ArrayBackend, unitaries):
     """Indices of rows failing the scalar unitarity check."""
-    products = unitaries @ unitaries.conj().transpose(0, 2, 1)
-    identity = np.eye(4)
-    close = np.isclose(
+    xp = backend.xp
+    products = unitaries @ backend.matrix_transpose(unitaries.conj())
+    identity = backend.eye(4, "complex")
+    close = xp.isclose(
         products, identity, rtol=_UNITARY_RTOL, atol=_UNITARY_ATOL
     )
-    return np.flatnonzero(~close.all(axis=(1, 2)))
+    return backend.flatnonzero(~close.reshape(len(close), -1).all(1))
 
 
-def weyl_coordinates_many(unitaries: np.ndarray) -> np.ndarray:
+def weyl_coordinates_many(unitaries) -> np.ndarray:
     """Canonical Weyl coordinates of a stacked ``(N, 4, 4)`` unitary array.
 
     Bit-identical to calling :func:`repro.quantum.weyl.weyl_coordinates`
@@ -126,10 +139,13 @@ def weyl_coordinates_many(unitaries: np.ndarray) -> np.ndarray:
     Raises:
         ValueError: when the input is not a stack of 4x4 unitaries.
     """
-    unitaries = np.asarray(unitaries, dtype=complex)
+    backend = active_backend()
+    xp = backend.xp
+    unitaries = backend.asarray(unitaries, "complex")
     if unitaries.ndim != 3 or unitaries.shape[1:] != (4, 4):
         raise ValueError(
-            f"expected a stack of 4x4 unitaries, got shape {unitaries.shape}"
+            f"expected a stack of 4x4 unitaries, got shape "
+            f"{tuple(unitaries.shape)}"
         )
     if len(unitaries) == 0:
         return np.zeros((0, 3))
@@ -138,7 +154,7 @@ def weyl_coordinates_many(unitaries: np.ndarray) -> np.ndarray:
     metrics.histogram(
         "repro.kernels.weyl_batch", metrics.BATCH_SIZE_BUCKETS
     ).observe(len(unitaries))
-    bad = _nonunitary_rows(unitaries)
+    bad = _nonunitary_rows(backend, unitaries)
     if len(bad):
         raise ValueError(
             f"matrix {int(bad[0])} of {len(unitaries)} is not unitary"
@@ -146,40 +162,50 @@ def weyl_coordinates_many(unitaries: np.ndarray) -> np.ndarray:
 
     # SU(4) normalization: principal 4th root of the determinant, the
     # same branch as linalg.to_special_unitary (det ** (1/4) == ** 0.25).
-    dets = np.linalg.det(unitaries)
+    dets = backend.det(unitaries)
     special = unitaries / (dets**0.25)[:, None, None]
     # Magic-basis conjugation, evaluated (M† @ U) @ M like the scalar path.
-    magic = (_MAGIC_DAG @ special) @ MAGIC_BASIS
-    gram = magic.transpose(0, 2, 1) @ magic
-    eigenvalues = np.linalg.eigvals(gram)
+    magic_dag = backend.asarray(_MAGIC_DAG, "complex")
+    magic_basis = backend.asarray(MAGIC_BASIS, "complex")
+    magic = (magic_dag @ special) @ magic_basis
+    gram = backend.matrix_transpose(magic) @ magic
+    eigenvalues = backend.eigvals(gram)
 
     # Half-phases in units of pi, branch (-1/4, 3/4], sorted descending.
-    half = -np.angle(eigenvalues) / (2 * np.pi)
-    half = np.where(half <= -0.25, half + 1.0, half)
-    half = _sort_rows_descending(half)
+    half = -xp.angle(eigenvalues) / (2 * np.pi)
+    half = xp.where(half <= -0.25, half + 1.0, half)
+    half = backend.sort_rows_descending(half)
     # det(gram) == 1 forces each row sum to an integer; fold it to zero
     # by lowering the largest entries.  Python's round() is half-to-even,
     # as is np.rint; the slice semantics of `half[:total]` (clamped at 4,
     # wrapping for negative totals) are reproduced exactly.
-    totals = np.rint(np.sum(half, axis=1)).astype(int)
-    effective = np.where(
-        totals >= 0, np.minimum(totals, 4), np.maximum(totals + 4, 0)
+    totals = backend.astype(backend.rint(half.sum(1)), "int")
+    effective = xp.where(
+        totals >= 0,
+        backend.minimum(totals, 4),
+        backend.maximum(totals + 4, 0),
     )
-    half = half - (np.arange(4)[None, :] < effective[:, None])
-    half = _sort_rows_descending(half)
+    half = half - (backend.arange(4)[None, :] < effective[:, None])
+    half = backend.sort_rows_descending(half)
 
     c1 = (half[:, 0] + half[:, 1]) * np.pi
     c2 = (half[:, 0] + half[:, 2]) * np.pi
     c3 = (half[:, 1] + half[:, 2]) * np.pi
     negative = c3 < 0  # mirror into the chamber (transpose class)
-    c1 = np.where(negative, np.pi - c1, c1)
-    c3 = np.where(negative, -c3, c3)
-    coords = canonicalize_coordinates_many(np.stack([c1, c2, c3], axis=1))
+    c1 = xp.where(negative, np.pi - c1, c1)
+    c3 = xp.where(negative, -c3, c3)
+    coords = _canonicalize(backend, backend.stack([c1, c2, c3], 1))
 
-    invalid = ~(_in_chamber_mask(coords) & np.isfinite(coords).all(axis=1))
+    invalid = ~(
+        _in_chamber_mask(backend, coords)
+        & xp.isfinite(coords).all(1)
+    )
     if invalid.any():  # pragma: no cover - defensive, parity is exact
         from ..quantum.kak import kak_decompose
 
-        for index in np.flatnonzero(invalid):
-            coords[index] = kak_decompose(unitaries[index]).coordinates
-    return coords
+        for index in backend.flatnonzero(invalid):
+            fixed = kak_decompose(
+                backend.to_numpy(unitaries[int(index)], "complex")
+            ).coordinates
+            coords[int(index)] = backend.asarray(fixed, "float")
+    return backend.to_numpy(coords, "float")

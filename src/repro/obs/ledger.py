@@ -46,6 +46,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 
 __all__ = [
+    "BENCH_ARTIFACT_SCHEMA",
     "GateConfig",
     "LEDGER_SCHEMA_VERSION",
     "LedgerError",
@@ -61,7 +62,13 @@ __all__ = [
 ]
 
 #: Version of the sqlite layout below; bump on incompatible changes.
-LEDGER_SCHEMA_VERSION = 1
+#: v2 added ``runs.array_backend`` (migrated in place from v1).
+LEDGER_SCHEMA_VERSION = 2
+
+#: Version of the ``results/*_bench.json`` envelope written by
+#: ``benchmarks/_artifact.py`` (kind/schema/stamp/metrics keys).
+#: Ingestion refuses artifacts stamped with a different version.
+BENCH_ARTIFACT_SCHEMA = 1
 
 #: Name suffixes that imply a gate direction.  Checked in order; the
 #: first match wins.  Everything else is informational (never gated).
@@ -140,11 +147,17 @@ class RunStamp:
     numpy_version: str
     source: str = "manual"
     note: str = ""
+    #: Active kernel array backend (``repro.kernels.backend``) when the
+    #: run was recorded — numpy and torch timings must never be
+    #: compared against each other silently.
+    array_backend: str = "numpy"
 
     @classmethod
     def collect(cls, source: str = "manual", note: str = "") -> "RunStamp":
         """Stamp the current process/checkout."""
         import numpy as np
+
+        from ..kernels.backend import active_backend
 
         sha = os.environ.get("GITHUB_SHA") or _git("rev-parse", "HEAD")
         branch = os.environ.get("GITHUB_REF_NAME") or _git(
@@ -159,6 +172,7 @@ class RunStamp:
             numpy_version=np.__version__,
             source=source,
             note=note,
+            array_backend=active_backend().name,
         )
 
     def as_dict(self) -> dict:
@@ -172,6 +186,7 @@ class RunStamp:
             "numpy_version": self.numpy_version,
             "source": self.source,
             "note": self.note,
+            "array_backend": self.array_backend,
         }
 
 
@@ -297,6 +312,14 @@ def ingest_file(path: str | Path) -> dict[str, float]:
         except SchemaError as exc:
             raise LedgerError(str(exc)) from None
         return samples_from_metrics_snapshot(payload)
+    schema = payload.get("schema")
+    if schema is not None and int(schema) != BENCH_ARTIFACT_SCHEMA:
+        raise LedgerError(
+            f"{path} carries bench-artifact schema v{schema}, but this "
+            f"build reads v{BENCH_ARTIFACT_SCHEMA}; regenerate it "
+            "(scripts/refresh_results.sh) instead of ingesting a stale "
+            "committed artifact"
+        )
     kind = payload.get("kind") or path.stem.removesuffix("_bench")
     if kind.startswith("BENCH_"):
         kind = kind[len("BENCH_"):]
@@ -348,6 +371,18 @@ class PerfLedger:
                     "INSERT INTO meta VALUES ('schema_version', ?)",
                     (str(LEDGER_SCHEMA_VERSION),),
                 )
+            elif int(row[0]) == 1:
+                # In-place v1 -> v2 migration: one new stamped column.
+                # History recorded before the column existed is numpy
+                # by construction (no other backend existed then).
+                conn.execute(
+                    "ALTER TABLE runs ADD COLUMN array_backend TEXT"
+                    " NOT NULL DEFAULT 'numpy'"
+                )
+                conn.execute(
+                    "UPDATE meta SET value = ? WHERE key = 'schema_version'",
+                    (str(LEDGER_SCHEMA_VERSION),),
+                )
             elif int(row[0]) != LEDGER_SCHEMA_VERSION:
                 conn.close()
                 raise LedgerError(
@@ -366,7 +401,8 @@ class PerfLedger:
                 "  python_version TEXT NOT NULL,"
                 "  numpy_version TEXT NOT NULL,"
                 "  source TEXT NOT NULL,"
-                "  note TEXT NOT NULL)"
+                "  note TEXT NOT NULL,"
+                "  array_backend TEXT NOT NULL DEFAULT 'numpy')"
             )
             conn.execute(
                 "CREATE TABLE IF NOT EXISTS samples ("
@@ -416,8 +452,8 @@ class PerfLedger:
         conn = self._connection()
         cursor = conn.execute(
             "INSERT INTO runs (recorded_at, git_sha, branch, host,"
-            " python_version, numpy_version, source, note)"
-            " VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
+            " python_version, numpy_version, source, note, array_backend)"
+            " VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?)",
             (
                 stamp.recorded_at,
                 stamp.git_sha,
@@ -427,6 +463,7 @@ class PerfLedger:
                 stamp.numpy_version,
                 stamp.source,
                 stamp.note,
+                stamp.array_backend,
             ),
         )
         run_id = int(cursor.lastrowid)
@@ -448,7 +485,7 @@ class PerfLedger:
         query = (
             "SELECT r.id, r.recorded_at, r.git_sha, r.branch, r.host,"
             " r.python_version, r.numpy_version, r.source, r.note,"
-            " COUNT(s.metric)"
+            " r.array_backend, COUNT(s.metric)"
             " FROM runs r LEFT JOIN samples s ON s.run_id = r.id"
             " GROUP BY r.id ORDER BY r.id DESC"
         )
@@ -457,7 +494,8 @@ class PerfLedger:
         rows = conn.execute(query).fetchall()
         keys = (
             "id", "recorded_at", "git_sha", "branch", "host",
-            "python_version", "numpy_version", "source", "note", "samples",
+            "python_version", "numpy_version", "source", "note",
+            "array_backend", "samples",
         )
         return [dict(zip(keys, row)) for row in rows]
 
@@ -476,20 +514,45 @@ class PerfLedger:
         ).fetchall()
         return {metric: value for metric, value in rows}
 
+    def run_array_backend(self, run_id: int) -> str:
+        """The array backend a run was stamped with ('numpy' default)."""
+        row = self._connection().execute(
+            "SELECT array_backend FROM runs WHERE id = ?", (run_id,)
+        ).fetchone()
+        return str(row[0]) if row and row[0] else "numpy"
+
     def metric_history(
-        self, metric: str, limit: int | None = None
+        self,
+        metric: str,
+        limit: int | None = None,
+        array_backend: str | None = None,
     ) -> list[tuple[int, float]]:
-        """``(run_id, value)`` pairs for one metric, newest first."""
-        query = (
-            "SELECT run_id, value FROM samples WHERE metric = ?"
-            " ORDER BY run_id DESC"
-        )
+        """``(run_id, value)`` pairs for one metric, newest first.
+
+        ``array_backend`` restricts history to runs stamped with that
+        backend — the filter :meth:`compare_latest` applies so numpy
+        baselines never gate torch/cupy runs (or vice versa).
+        """
+        params: tuple = (metric,)
+        if array_backend is None:
+            query = (
+                "SELECT run_id, value FROM samples WHERE metric = ?"
+                " ORDER BY run_id DESC"
+            )
+        else:
+            query = (
+                "SELECT s.run_id, s.value FROM samples s"
+                " JOIN runs r ON r.id = s.run_id"
+                " WHERE s.metric = ? AND r.array_backend = ?"
+                " ORDER BY s.run_id DESC"
+            )
+            params = (metric, array_backend)
         if limit is not None:
             query += f" LIMIT {int(limit)}"
         return [
             (int(run_id), float(value))
             for run_id, value in
-            self._connection().execute(query, (metric,)).fetchall()
+            self._connection().execute(query, params).fetchall()
         ]
 
     def metrics(self, contains: str | None = None) -> list[str]:
@@ -510,8 +573,11 @@ class PerfLedger:
         """Latest run vs. the median of the previous ``window`` runs.
 
         Metrics without any prior history are reported with a ``None``
-        baseline (new metrics never fail a gate).  Raises
-        :class:`LedgerError` when the ledger holds no runs at all.
+        baseline (new metrics never fail a gate).  Baselines only come
+        from runs stamped with the latest run's array backend — a torch
+        run is never judged against numpy history, or vice versa.
+        Raises :class:`LedgerError` when the ledger holds no runs at
+        all.
         """
         config = config if config is not None else GateConfig()
         latest = self.latest_run_id()
@@ -520,12 +586,15 @@ class PerfLedger:
                 f"perf ledger {self.path} holds no runs; run "
                 "'repro perf record' first"
             )
+        backend = self.run_array_backend(latest)
         current = self.samples_for_run(latest)
         comparisons = []
         for metric in sorted(current):
             history = [
                 value
-                for run_id, value in self.metric_history(metric)
+                for run_id, value in self.metric_history(
+                    metric, array_backend=backend
+                )
                 if run_id != latest
             ][: config.window]
             comparisons.append(

@@ -4,11 +4,22 @@ Propagators are computed by exact Hermitian eigendecomposition, which for
 the 4x4 problems here is both faster and better conditioned than generic
 ``expm``.  Batched variants vectorize over thousands of parameter sets —
 the hot path of coverage-set sampling (paper Alg. 2).
+
+All entry points are written against :mod:`repro.kernels.backend`: on
+the default numpy backend every operation is the literal numpy
+expression the module always used (bit parity preserved); under
+torch/cupy the stacked ``eigh`` and ``einsum`` contractions run on the
+adapter namespace and results ride back to numpy at the public edges.
+Inputs are normalized through the backend resolver once, at the edge —
+Python lists of step matrices (``[ham]``, ``[dt]``) are accepted
+everywhere without callers scattering their own ``np.asarray`` calls.
 """
 
 from __future__ import annotations
 
 import numpy as np
+
+from ..kernels.backend import ArrayBackend, active_backend
 
 __all__ = [
     "step_propagator",
@@ -20,52 +31,93 @@ __all__ = [
 
 def step_propagator(hamiltonian: np.ndarray, dt: float) -> np.ndarray:
     """Exact ``exp(-i H dt)`` for a Hermitian ``H``."""
-    hamiltonian = np.asarray(hamiltonian, dtype=complex)
-    values, vectors = np.linalg.eigh(hamiltonian)
-    phases = np.exp(-1j * values * dt)
-    return (vectors * phases) @ vectors.conj().T
+    backend = active_backend()
+    hamiltonian = backend.asarray(hamiltonian, "complex")
+    values, vectors = backend.eigh(hamiltonian)
+    phases = backend.xp.exp(-1j * values * dt)
+    return backend.to_numpy(
+        (vectors * phases) @ backend.matrix_transpose(vectors.conj()),
+        "complex",
+    )
 
 
 def propagate_piecewise(
-    hamiltonians: list[np.ndarray], dts: list[float] | np.ndarray
+    hamiltonians: list[np.ndarray] | np.ndarray,
+    dts: list[float] | np.ndarray,
 ) -> np.ndarray:
     """Total propagator of a piecewise-constant schedule (first step first).
 
     Returns ``U = U_n ... U_2 U_1`` where ``U_k = exp(-i H_k dt_k)``.
-    All step propagators come from one stacked eigendecomposition
-    (:func:`batched_step_propagators`) instead of a scalar
-    :func:`step_propagator` call per step; only the ordered product
-    remains sequential.
+    ``hamiltonians`` may be a Python list of step matrices or an
+    ``(S, d, d)`` stack — both are normalized through the backend
+    resolver here, once.  All step propagators come from one stacked
+    eigendecomposition (:func:`batched_step_propagators`); only the
+    ordered product remains sequential.
     """
     if len(hamiltonians) != len(dts):
         raise ValueError("need one dt per Hamiltonian step")
-    if not hamiltonians:
+    if not len(hamiltonians):
         raise ValueError("schedule must contain at least one step")
-    stacked = np.stack(
-        [np.asarray(h, dtype=complex) for h in hamiltonians]
+    backend = active_backend()
+    stacked = backend.asarray(hamiltonians, "complex")
+    if stacked.ndim != 3:
+        raise ValueError("expected (S, d, d) Hamiltonian steps")
+    propagators = _batched_step_propagators(
+        backend, stacked, backend.asarray(dts, "float")
     )
-    propagators = batched_step_propagators(
-        stacked, np.asarray(dts, dtype=float)
-    )
-    unitary = np.eye(stacked.shape[-1], dtype=complex)
+    unitary = backend.eye(stacked.shape[-1], "complex")
     for propagator in propagators:
         unitary = propagator @ unitary
-    return unitary
+    return backend.to_numpy(unitary, "complex")
+
+
+def _batched_step_propagators(
+    backend: ArrayBackend, hamiltonians, dt
+):
+    """Backend-array core of :func:`batched_step_propagators`."""
+    values, vectors = backend.eigh(hamiltonians)
+    if dt.ndim == 0:
+        dt = backend.full(hamiltonians.shape[0], float(dt), "float")
+    phases = backend.xp.exp(-1j * values * dt[:, None])
+    return backend.einsum(
+        "nij,nj,nkj->nik", vectors, phases, vectors.conj()
+    )
 
 
 def batched_step_propagators(
     hamiltonians: np.ndarray, dt: float | np.ndarray
 ) -> np.ndarray:
     """``exp(-i H_k dt_k)`` for a stack of Hermitian matrices ``(N, d, d)``."""
-    hamiltonians = np.asarray(hamiltonians, dtype=complex)
-    values, vectors = np.linalg.eigh(hamiltonians)
-    dt = np.asarray(dt, dtype=float)
-    if dt.ndim == 0:
-        dt = np.full(hamiltonians.shape[0], float(dt))
-    phases = np.exp(-1j * values * dt[:, None])
-    return np.einsum(
-        "nij,nj,nkj->nik", vectors, phases, vectors.conj()
+    backend = active_backend()
+    return backend.to_numpy(
+        _batched_step_propagators(
+            backend,
+            backend.asarray(hamiltonians, "complex"),
+            backend.asarray(dt, "float"),
+        ),
+        "complex",
     )
+
+
+def _batched_piecewise_propagators(
+    backend: ArrayBackend, step_hamiltonians, dts
+):
+    """Backend-array core of :func:`batched_piecewise_propagators`."""
+    xp = backend.xp
+    if step_hamiltonians.ndim != 4:
+        raise ValueError("expected shape (N, S, d, d)")
+    count, steps, dim, _ = step_hamiltonians.shape
+    if dts.ndim == 1:
+        dts = xp.broadcast_to(dts, (count, steps))
+    unitaries = backend.copy(
+        xp.broadcast_to(backend.eye(dim, "complex"), (count, dim, dim))
+    )
+    for step in range(steps):
+        props = _batched_step_propagators(
+            backend, step_hamiltonians[:, step], dts[:, step]
+        )
+        unitaries = backend.einsum("nij,njk->nik", props, unitaries)
+    return unitaries
 
 
 def batched_piecewise_propagators(
@@ -81,19 +133,12 @@ def batched_piecewise_propagators(
         Array of shape ``(N, d, d)`` with ``U_n = prod_s exp(-i H_ns dt_s)``
         applied in schedule order (step 0 acts first).
     """
-    step_hamiltonians = np.asarray(step_hamiltonians, dtype=complex)
-    if step_hamiltonians.ndim != 4:
-        raise ValueError("expected shape (N, S, d, d)")
-    count, steps, dim, _ = step_hamiltonians.shape
-    dts = np.asarray(dts, dtype=float)
-    if dts.ndim == 1:
-        dts = np.broadcast_to(dts, (count, steps))
-    unitaries = np.broadcast_to(
-        np.eye(dim, dtype=complex), (count, dim, dim)
-    ).copy()
-    for step in range(steps):
-        props = batched_step_propagators(
-            step_hamiltonians[:, step], dts[:, step]
-        )
-        unitaries = np.einsum("nij,njk->nik", props, unitaries)
-    return unitaries
+    backend = active_backend()
+    return backend.to_numpy(
+        _batched_piecewise_propagators(
+            backend,
+            backend.asarray(step_hamiltonians, "complex"),
+            backend.asarray(dts, "float"),
+        ),
+        "complex",
+    )

@@ -10,6 +10,12 @@ two seams:
   digest-stable training for the paper pipeline, batched multi-start
   training for throughput, and coverage building wired to the
   service-layer :class:`~repro.service.coverage_store.CoverageStore`.
+
+On top of the engine, :mod:`repro.synthesis.racing` races the chosen
+multi-start refinements through concurrent workers and accepts the
+first result under a fidelity threshold
+(``synthesize_multistart(strategy="race")``), cutting the heavy tail
+of hard Nelder–Mead refinements.
 """
 
 from .backends import (
@@ -31,9 +37,12 @@ from .engine import (
     synthesize,
     target_invariants,
 )
+from .racing import RaceOutcome, RefinementRacer
 
 __all__ = [
     "MultiStartResult",
+    "RaceOutcome",
+    "RefinementRacer",
     "SynthesisBackend",
     "SynthesisEngine",
     "SynthesisResult",

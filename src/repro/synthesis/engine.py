@@ -36,6 +36,7 @@ from ..quantum.makhlin import makhlin_from_coordinates, makhlin_invariants
 from ..quantum.random import as_rng
 from ..quantum.weyl import batched_weyl_coordinates, weyl_coordinates
 from .backends import SynthesisBackend, build_template, get_backend
+from .racing import RaceOutcome, RefinementRacer
 
 __all__ = [
     "MultiStartResult",
@@ -215,6 +216,8 @@ class MultiStartResult:
     start_losses: np.ndarray  # initial loss of every start, start order
     refined_indices: tuple[int, ...]  # which starts paid for refinement
     refined_losses: dict[int, float]  # start index -> refined loss
+    #: Race telemetry when strategy="race"; None on the default path.
+    race: "RaceOutcome | None" = None
 
     @property
     def converged(self) -> bool:
@@ -337,6 +340,8 @@ class SynthesisEngine:
         seed: int | np.random.Generator | None = None,
         max_iterations: int = 2000,
         tolerance: float = 1e-8,
+        strategy: str = "rank",
+        race_threshold: float | None = None,
     ) -> MultiStartResult:
         """Batched multi-start training.
 
@@ -345,12 +350,29 @@ class SynthesisEngine:
         one vectorized pass (stacked Hamiltonian assembly + batched
         piecewise propagators), and the ``refine`` most promising
         starts run Nelder–Mead — in-process or across a fork pool when
-        ``workers > 1``.  Results are independent of the worker count.
+        ``workers > 1``.
+
+        ``strategy`` selects how refinements settle:
+
+        * ``"rank"`` (default) — every chosen start refines to
+          completion; the best loss wins.  Results are independent of
+          the worker count.
+        * ``"race"`` — refinements stream through a
+          :class:`~repro.synthesis.racing.RefinementRacer`; the first
+          result whose loss clears ``race_threshold`` (default:
+          ``tolerance``) is accepted and the rest are cancelled,
+          cutting tail latency on hard targets.  Falls back to the
+          best completed refinement when nothing meets the threshold.
         """
         if starts < 1:
             raise ValueError("starts must be >= 1")
         if not 1 <= refine <= starts:
             raise ValueError("refine must be in 1..starts")
+        if strategy not in ("rank", "race"):
+            raise ValueError(
+                f"unknown multistart strategy {strategy!r} "
+                "(expected 'rank' or 'race')"
+            )
         invariants = target_invariants(target)
         if template.num_parameters == 0:
             result = synthesize(
@@ -402,26 +424,45 @@ class SynthesisEngine:
                 )
                 for index in chosen
             ]
-            # Wide refinement rides the batch-service fan-out primitive
-            # — the same fork/streaming discipline compile rounds use.
-            from ..service.engine import fan_out
-
             refined: dict[int, tuple[np.ndarray, float]] = {}
+            outcome: RaceOutcome | None = None
             refine_at = perf_counter()
-            with trace.span("synth.refine", rounds=len(payloads)):
-                for index, params, loss in fan_out(
-                    _refine_payload, payloads, self.workers
-                ):
-                    refined[index] = (params, loss)
+            if strategy == "race":
+                racer = RefinementRacer(
+                    workers=self.workers,
+                    threshold=(
+                        tolerance
+                        if race_threshold is None
+                        else race_threshold
+                    ),
+                )
+                refined, outcome = racer.race(_refine_payload, payloads)
+            else:
+                # Wide refinement rides the batch-service fan-out
+                # primitive — the same fork/streaming discipline compile
+                # rounds use.
+                from ..service.engine import fan_out
+
+                with trace.span("synth.refine", rounds=len(payloads)):
+                    for index, params, loss in fan_out(
+                        _refine_payload, payloads, self.workers
+                    ):
+                        refined[index] = (params, loss)
             metrics.histogram("repro.synth.refine_seconds").observe(
                 perf_counter() - refine_at
             )
-        # Deterministic winner: iterate in chosen (quality) order so a
-        # loss tie resolves to the better-ranked start, not pool timing.
-        best_index = chosen[0]
-        for index in chosen:
-            if refined[index][1] < refined[best_index][1]:
-                best_index = index
+        if outcome is not None and outcome.winner is not None:
+            best_index = outcome.winner
+        else:
+            # Deterministic winner: iterate in chosen (quality) order so
+            # a loss tie resolves to the better-ranked start, not pool
+            # timing.  Under a fallen-back race only completed
+            # refinements compete.
+            completed = [i for i in chosen if i in refined]
+            best_index = completed[0]
+            for index in completed:
+                if refined[index][1] < refined[best_index][1]:
+                    best_index = index
         best_params, best_loss = refined[best_index]
         best = SynthesisResult(
             template=template,
@@ -433,10 +474,15 @@ class SynthesisEngine:
         return MultiStartResult(
             best=best,
             start_losses=start_losses,
-            refined_indices=chosen,
+            refined_indices=(
+                chosen
+                if outcome is None
+                else tuple(i for i in chosen if i in refined)
+            ),
             refined_losses={
                 index: loss for index, (_, loss) in refined.items()
             },
+            race=outcome,
         )
 
     # -- sampling ------------------------------------------------------------

@@ -1,0 +1,159 @@
+"""Racing refinement: first acceptable result wins, losers cancelled.
+
+The hardest Nelder–Mead refinements have a heavy tail — a start that
+wanders near a flat region can take many times the median iteration
+count to converge.  Instead of waiting for every scheduled refinement,
+a :class:`RefinementRacer` streams results off the service tier's
+:func:`~repro.service.engine.fan_out` primitive and *accepts the first
+one whose loss clears a fidelity threshold*, cancelling the rest (the
+``SolverRacer`` idea from the sat_revsynth cluster tooling, applied to
+template training).  With ``workers > 1`` the candidates genuinely run
+concurrently and cancellation terminates the pool; with one worker the
+race degenerates to early-stopping a quality-ordered sequential sweep —
+either way the tail never has to be paid once a winner exists.
+
+Racing trades the deterministic "best of all refinements" answer for
+latency: the accepted result is digest-valid (it is a real refinement
+output under the requested tolerance) but may differ from the rank
+strategy's pick, so ``strategy="race"`` is opt-in and the default
+multi-start path is unchanged.
+
+Metrics recorded under ``repro.synth.race.*``: wins by start index,
+cancelled refinement count, fallbacks (no candidate met the threshold),
+time-to-acceptance, and estimated tail latency saved.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from time import perf_counter
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..obs import metrics, trace
+
+__all__ = ["RaceOutcome", "RefinementRacer"]
+
+
+@dataclass(frozen=True)
+class RaceOutcome:
+    """What happened in one refinement race.
+
+    Attributes:
+        winner: start index of the first result under the threshold, or
+            ``None`` when no candidate met it (the caller falls back to
+            the best completed refinement).
+        threshold: the accepting loss threshold.
+        completed: start indices whose refinement finished, in arrival
+            order.
+        cancelled: refinements scheduled but terminated (or never
+            started) once the winner was accepted.
+        elapsed_seconds: wall time from race start to acceptance (or to
+            exhaustion on fallback).
+        tail_latency_saved_seconds: estimated wall time the cancelled
+            refinements would have cost, assuming each runs about as
+            long as the mean completed refinement.  An estimate — the
+            true counterfactual is unknowable without running the very
+            work the race exists to skip.
+    """
+
+    winner: int | None
+    threshold: float
+    completed: tuple[int, ...]
+    cancelled: int
+    elapsed_seconds: float
+    tail_latency_saved_seconds: float
+
+    @property
+    def accepted(self) -> bool:
+        """Whether some candidate met the threshold."""
+        return self.winner is not None
+
+
+class RefinementRacer:
+    """Race refinement payloads through a worker pool, keep the winner.
+
+    Args:
+        workers: fan-out width (``<= 1`` races as an early-stopped
+            sequential sweep over the payload order — deterministic and
+            still tail-cutting, since payloads arrive quality-ordered).
+        threshold: accept the first refinement whose loss is strictly
+            below this value.
+    """
+
+    def __init__(self, workers: int = 1, threshold: float = 1e-8):
+        if threshold <= 0:
+            raise ValueError("threshold must be positive")
+        self.workers = max(1, int(workers))
+        self.threshold = float(threshold)
+
+    def __repr__(self) -> str:
+        return (
+            f"RefinementRacer(workers={self.workers}, "
+            f"threshold={self.threshold})"
+        )
+
+    def race(
+        self,
+        refine: Callable[[tuple], tuple[int, np.ndarray, float]],
+        payloads: Sequence[tuple],
+    ) -> tuple[dict[int, tuple[np.ndarray, float]], RaceOutcome]:
+        """Run the race; return completed refinements and the outcome.
+
+        ``refine`` must be a module-level callable (pool-picklable)
+        returning ``(start_index, parameters, loss)`` — the contract of
+        :func:`repro.synthesis.engine._refine_payload`.
+        """
+        from ..service.engine import fan_out
+
+        payloads = list(payloads)
+        refined: dict[int, tuple[np.ndarray, float]] = {}
+        arrival: list[int] = []
+        winner: int | None = None
+        started = perf_counter()
+        with trace.span(
+            "synth.race", candidates=len(payloads), workers=self.workers
+        ):
+            stream = fan_out(refine, payloads, self.workers)
+            try:
+                for index, params, loss in stream:
+                    refined[index] = (np.asarray(params), float(loss))
+                    arrival.append(index)
+                    if loss < self.threshold:
+                        winner = index
+                        break
+            finally:
+                # Closing the generator mid-stream exits fan_out's pool
+                # context, terminating in-flight losers.
+                stream.close()
+        elapsed = perf_counter() - started
+        cancelled = len(payloads) - len(refined)
+        mean_seconds = elapsed / len(refined) if refined else 0.0
+        saved = mean_seconds * cancelled
+        outcome = RaceOutcome(
+            winner=winner,
+            threshold=self.threshold,
+            completed=tuple(arrival),
+            cancelled=cancelled,
+            elapsed_seconds=elapsed,
+            tail_latency_saved_seconds=saved,
+        )
+        self._record(outcome)
+        return refined, outcome
+
+    @staticmethod
+    def _record(outcome: RaceOutcome) -> None:
+        if outcome.winner is None:
+            metrics.counter("repro.synth.race.fallbacks").inc()
+        else:
+            metrics.counter(
+                f"repro.synth.race.wins.start_{outcome.winner}"
+            ).inc()
+        metrics.counter("repro.synth.race.cancelled").inc(outcome.cancelled)
+        metrics.histogram("repro.synth.race.accept_seconds").observe(
+            outcome.elapsed_seconds
+        )
+        metrics.histogram("repro.synth.race.saved_seconds").observe(
+            outcome.tail_latency_saved_seconds
+        )

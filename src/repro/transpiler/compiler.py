@@ -24,6 +24,7 @@ exactly the hardware-target flow.
 from __future__ import annotations
 
 import json
+from contextlib import nullcontext
 from dataclasses import dataclass, replace
 from typing import TYPE_CHECKING
 
@@ -77,6 +78,13 @@ class CompilerConfig:
     #: per-pass wall-time records — this one samples call stacks and
     #: attributes them to the active span.
     profile: bool = False
+    #: Array backend for the batched kernels under this compilation
+    #: (``"numpy"``, ``"torch"``, ``"cupy"``, or ``"auto"``; see
+    #: :mod:`repro.kernels.backend`).  ``None`` leaves the process-wide
+    #: selection (``REPRO_ARRAY_BACKEND`` or numpy) untouched.  Only
+    #: the numpy path is bit-stable; configs pinning digests should
+    #: leave this unset.
+    array_backend: str | None = None
 
     def __post_init__(self) -> None:
         get_pipeline(self.pipeline)  # raises ValueError on unknown name
@@ -84,6 +92,15 @@ class CompilerConfig:
             raise ValueError(
                 f"unknown rules {self.rules!r}; known: {RULE_ENGINES}"
             )
+        if self.array_backend is not None:
+            from ..kernels.backend import registered_backends
+
+            known = registered_backends() + ("auto",)
+            if self.array_backend not in known:
+                raise ValueError(
+                    f"unknown array_backend {self.array_backend!r}; "
+                    f"known: {known}"
+                )
         if self.scheduler is not None and self.scheduler not in SCHEDULERS:
             raise ValueError(
                 f"unknown scheduler {self.scheduler!r}; "
@@ -152,6 +169,7 @@ class CompilerConfig:
             "selection": self.selection,
             "trace": self.trace,
             "profile": self.profile,
+            "array_backend": self.array_backend,
         }
 
     @classmethod
@@ -223,7 +241,13 @@ def compile(  # noqa: A001 - deliberate facade name, repro.compile(...)
         obs_profile.enable_profiling()
     rules = hardware.build_rules(config.rules)
     manager = config.build_manager()
-    with obs_trace.span(
+    if config.array_backend is not None:
+        from ..kernels.backend import use_array_backend
+
+        backend_scope = use_array_backend(config.array_backend)
+    else:
+        backend_scope = nullcontext()
+    with backend_scope, obs_trace.span(
         "compile",
         pipeline=config.pipeline,
         rules=config.rules,

@@ -1,0 +1,248 @@
+"""Array-backend contract tests (repro.kernels.backend).
+
+Two distinct parity promises are under test:
+
+* **bitwise** — the numpy backend is a literal pass-through, so running
+  the kernels through the resolver must produce byte-identical output
+  to the default path (the digest-stability contract);
+* **allclose** — adapter backends (torch, cupy) agree with numpy to
+  numerical tolerance on the same inputs.  Adapter tests auto-skip on
+  hosts where the library is not importable, and run for real on the
+  CI torch-CPU leg (``REPRO_ARRAY_BACKEND=torch``).
+
+Plus the selection machinery itself: registry, env/context precedence,
+``auto`` resolution, and the ``CompilerConfig(array_backend=...)``
+round-trip.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.parallel_drive import ParallelDriveTemplate
+from repro.kernels import (
+    canonicalize_coordinates_many,
+    first_covering_k,
+    membership_matrix,
+    weyl_coordinates_many,
+)
+from repro.kernels.backend import (
+    ArrayBackend,
+    ArrayBackendError,
+    active_backend,
+    available_backends,
+    get_namespace,
+    register_backend,
+    registered_backends,
+    resolve_backend,
+    use_array_backend,
+)
+from repro.pulse.evolution import (
+    batched_piecewise_propagators,
+    batched_step_propagators,
+    propagate_piecewise,
+    step_propagator,
+)
+from repro.quantum import gates
+from repro.quantum.random import haar_unitaries_batch
+from repro.transpiler.compiler import CompilerConfig
+
+_ADAPTERS = [
+    name for name in ("torch", "cupy") if name in available_backends()
+]
+
+
+@pytest.fixture(autouse=True)
+def _numpy_default(monkeypatch):
+    """Pin the ambient default to numpy whatever the runner exports.
+
+    Every parity test compares an explicitly scoped backend against
+    the *default* path; a REPRO_ARRAY_BACKEND leaking in from the
+    environment (e.g. the CI torch leg) would silently turn bitwise
+    baselines into adapter output.  Tests that exercise env selection
+    set the variable themselves.
+    """
+    monkeypatch.delenv("REPRO_ARRAY_BACKEND", raising=False)
+
+
+def _unitary_stack(count: int = 24, seed: int = 3) -> np.ndarray:
+    named = np.stack(
+        [np.eye(4, dtype=complex), gates.CNOT, gates.SWAP, gates.ISWAP]
+    )
+    return np.concatenate([named, haar_unitaries_batch(4, count, seed=seed)])
+
+
+def _hamiltonian_steps(
+    count: int, steps: int, dim: int = 4, seed: int = 5
+) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    raw = rng.normal(size=(count, steps, dim, dim)) + 1j * rng.normal(
+        size=(count, steps, dim, dim)
+    )
+    return (raw + np.swapaxes(raw, -1, -2).conj()) / 2
+
+
+class TestSelection:
+    def test_numpy_is_default_and_registered(self):
+        assert active_backend().name == "numpy"
+        assert "numpy" in registered_backends()
+        assert "torch" in registered_backends()
+        assert "cupy" in registered_backends()
+        assert "numpy" in available_backends()
+
+    def test_unknown_name_is_loud(self):
+        with pytest.raises(ArrayBackendError, match="unknown array backend"):
+            resolve_backend("not_a_backend")
+
+    def test_duplicate_registration_refused(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_backend("numpy", ArrayBackend)
+
+    def test_env_selection(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ARRAY_BACKEND", "numpy")
+        assert active_backend().name == "numpy"
+        monkeypatch.setenv("REPRO_ARRAY_BACKEND", "bogus")
+        with pytest.raises(ArrayBackendError):
+            active_backend()
+
+    def test_context_overrides_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ARRAY_BACKEND", "bogus")
+        with use_array_backend("numpy") as backend:
+            assert backend.name == "numpy"
+            assert active_backend() is backend
+
+    def test_context_unwinds_on_error(self):
+        with pytest.raises(RuntimeError, match="boom"):
+            with use_array_backend("numpy"):
+                raise RuntimeError("boom")
+        assert active_backend().name == "numpy"
+
+    def test_context_fails_eagerly_on_unknown(self):
+        with pytest.raises(ArrayBackendError):
+            with use_array_backend("nope"):
+                pass  # pragma: no cover - must not be reached
+
+    def test_auto_resolves_to_something_importable(self):
+        assert resolve_backend("auto").name in available_backends()
+
+    def test_get_namespace_defaults_to_active(self):
+        assert get_namespace() is np
+        assert get_namespace(np.zeros(3)) is np
+
+    def test_unknown_dtype_kind(self):
+        with pytest.raises(ValueError, match="unknown dtype kind"):
+            ArrayBackend().dtype("quaternion")
+
+    def test_compiler_config_round_trip(self):
+        config = CompilerConfig(array_backend="numpy")
+        assert CompilerConfig.from_json(config.to_json()) == config
+        with pytest.raises(ValueError, match="unknown array_backend"):
+            CompilerConfig(array_backend="bogus")
+
+
+class TestNumpyBitwiseParity:
+    """Kernels through the resolver == kernels on the default path."""
+
+    def test_weyl_stack(self):
+        unitaries = _unitary_stack()
+        baseline = weyl_coordinates_many(unitaries)
+        with use_array_backend("numpy"):
+            routed = weyl_coordinates_many(unitaries)
+        assert routed.tobytes() == baseline.tobytes()
+
+    def test_canonicalize(self):
+        rng = np.random.default_rng(17)
+        coords = rng.uniform(-np.pi, np.pi, size=(64, 3))
+        baseline = canonicalize_coordinates_many(coords)
+        with use_array_backend("numpy"):
+            routed = canonicalize_coordinates_many(coords)
+        assert routed.tobytes() == baseline.tobytes()
+
+    def test_membership(self, baseline_rules):
+        coords = weyl_coordinates_many(_unitary_stack())
+        regions = baseline_rules.coverage.coverages
+        baseline_m = membership_matrix(regions, coords)
+        baseline_k = first_covering_k(regions, coords)
+        with use_array_backend("numpy"):
+            routed_m = membership_matrix(regions, coords)
+            routed_k = first_covering_k(regions, coords)
+        assert routed_m.tobytes() == baseline_m.tobytes()
+        assert routed_k.tobytes() == baseline_k.tobytes()
+
+    def test_propagators(self):
+        hams = _hamiltonian_steps(6, 5)
+        dts = np.linspace(0.05, 0.3, 5)
+        baseline = batched_piecewise_propagators(hams, dts)
+        baseline_steps = batched_step_propagators(hams[:, 0], 0.1)
+        baseline_piece = propagate_piecewise(list(hams[0]), dts)
+        with use_array_backend("numpy"):
+            assert (
+                batched_piecewise_propagators(hams, dts).tobytes()
+                == baseline.tobytes()
+            )
+            assert (
+                batched_step_propagators(hams[:, 0], 0.1).tobytes()
+                == baseline_steps.tobytes()
+            )
+            assert (
+                propagate_piecewise(list(hams[0]), dts).tobytes()
+                == baseline_piece.tobytes()
+            )
+
+
+@pytest.mark.parametrize("name", _ADAPTERS)
+class TestAdapterParity:
+    """torch/cupy agree with numpy to tolerance (skipped when absent)."""
+
+    def test_weyl_stack_allclose(self, name):
+        unitaries = _unitary_stack()
+        baseline = weyl_coordinates_many(unitaries)
+        with use_array_backend(name):
+            routed = weyl_coordinates_many(unitaries)
+        assert routed.dtype == baseline.dtype
+        np.testing.assert_allclose(routed, baseline, atol=1e-9)
+
+    def test_canonicalize_allclose(self, name):
+        rng = np.random.default_rng(23)
+        coords = rng.uniform(-np.pi, np.pi, size=(64, 3))
+        baseline = canonicalize_coordinates_many(coords)
+        with use_array_backend(name):
+            routed = canonicalize_coordinates_many(coords)
+        np.testing.assert_allclose(routed, baseline, atol=1e-12)
+
+    def test_membership_identical(self, name, baseline_rules):
+        coords = weyl_coordinates_many(_unitary_stack())
+        regions = baseline_rules.coverage.coverages
+        baseline = first_covering_k(regions, coords)
+        with use_array_backend(name):
+            routed = first_covering_k(regions, coords)
+        # Hull tests run on the host either way; verdicts must match
+        # exactly, not just closely.
+        assert np.array_equal(routed, baseline)
+
+    def test_propagators_allclose(self, name):
+        hams = _hamiltonian_steps(6, 5)
+        dts = np.linspace(0.05, 0.3, 5)
+        baseline = batched_piecewise_propagators(hams, dts)
+        single = step_propagator(hams[0, 0], 0.2)
+        with use_array_backend(name):
+            routed = batched_piecewise_propagators(hams, dts)
+            routed_single = step_propagator(hams[0, 0], 0.2)
+        assert isinstance(routed, np.ndarray)
+        np.testing.assert_allclose(routed, baseline, atol=1e-10)
+        np.testing.assert_allclose(routed_single, single, atol=1e-12)
+
+    def test_template_unitaries_allclose(self, name):
+        template = ParallelDriveTemplate(
+            gc=1.0, gg=0.5, pulse_duration=1.0, repetitions=2
+        )
+        rng = np.random.default_rng(31)
+        params = rng.uniform(
+            -np.pi, np.pi, size=(8, template.num_parameters)
+        )
+        baseline = template.batched_unitaries(params)
+        with use_array_backend(name):
+            routed = template.batched_unitaries(params)
+        assert isinstance(routed, np.ndarray)
+        np.testing.assert_allclose(routed, baseline, atol=1e-10)

@@ -252,6 +252,59 @@ class TestPerfLedger:
         assert comparison.status == "new"
         assert not comparison.regressed
 
+    def test_v1_ledger_migrates_in_place(self, tmp_path):
+        # CI caches ledgers across builds; a v1 file must keep working.
+        path = tmp_path / "perf.sqlite"
+        PerfLedger(path=path).record({"a_s": 1.0}, stamp=_stamp())
+        conn = sqlite3.connect(path)
+        conn.execute("ALTER TABLE runs DROP COLUMN array_backend")
+        conn.execute(
+            "UPDATE meta SET value = '1' WHERE key = 'schema_version'"
+        )
+        conn.commit()
+        conn.close()
+        ledger = PerfLedger(path=path)
+        (run,) = ledger.runs()
+        assert run["array_backend"] == "numpy"  # migration default
+        ledger.record(
+            {"a_s": 2.0}, stamp=_stamp(array_backend="torch")
+        )
+        backends = [r["array_backend"] for r in ledger.runs()]
+        assert sorted(backends) == ["numpy", "torch"]
+
+    def test_stamp_records_active_array_backend(self):
+        assert RunStamp.collect(source="test").array_backend == "numpy"
+        assert "array_backend" in RunStamp.collect(source="test").as_dict()
+
+    def test_compare_latest_never_crosses_backends(self, tmp_path):
+        ledger = PerfLedger(path=tmp_path / "perf.sqlite")
+        # Fast numpy history, then a slower torch run: the torch run
+        # has no same-backend baseline, so it must read as new, not as
+        # a regression against numpy.
+        for value in (0.010, 0.011, 0.009):
+            ledger.record({"k.run_s": value}, stamp=_stamp())
+        ledger.record(
+            {"k.run_s": 0.050}, stamp=_stamp(array_backend="torch")
+        )
+        (comparison,) = ledger.compare_latest()
+        assert comparison.baseline is None
+        assert comparison.status == "new"
+        # A second torch run gates against the first torch run only.
+        ledger.record(
+            {"k.run_s": 0.051}, stamp=_stamp(array_backend="torch")
+        )
+        (comparison,) = ledger.compare_latest()
+        assert comparison.baseline == 0.050
+        assert not comparison.regressed
+
+    def test_stale_bench_artifact_schema_is_refused(self, tmp_path):
+        stale = tmp_path / "kernels_bench.json"
+        stale.write_text(json.dumps(
+            {"kind": "kernels", "schema": 99, "metrics": {"a_s": 1.0}}
+        ))
+        with pytest.raises(LedgerError, match="schema v99"):
+            ingest_file(stale)
+
 
 class TestComparisonMath:
     def test_noise_floor_absorbs_jitter(self):

@@ -1,0 +1,173 @@
+"""Tests for racing refinement (repro.synthesis.racing + strategy wiring).
+
+Race semantics under test: the first refinement whose loss clears the
+threshold wins and the rest are cancelled (``cancelled > 0`` on any
+multi-candidate race with an early winner); a race nobody wins falls
+back to the best completed refinement; and the accepted result is a
+real refinement output — on the serial one-worker path it is the very
+parameters the rank strategy would have produced.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.obs import metrics
+from repro.synthesis import (
+    RaceOutcome,
+    RefinementRacer,
+    SynthesisEngine,
+)
+from repro.quantum import gates
+
+_LOSSES = {0: 0.5, 1: 2e-7, 2: 0.3, 3: 4e-9}
+
+
+def _fake_refine(payload):
+    """Pool-picklable stand-in for ``engine._refine_payload``."""
+    index = payload[0]
+    return index, np.full(3, float(index)), _LOSSES[index]
+
+
+class TestRefinementRacer:
+    def test_threshold_must_be_positive(self):
+        with pytest.raises(ValueError, match="threshold must be positive"):
+            RefinementRacer(threshold=0.0)
+
+    def test_serial_race_stops_at_first_winner(self):
+        racer = RefinementRacer(workers=1, threshold=1e-6)
+        refined, outcome = racer.race(
+            _fake_refine, [(i,) for i in range(4)]
+        )
+        # Quality order is the payload order; start 1 is the first to
+        # clear the threshold, so starts 2 and 3 are never refined.
+        assert outcome.winner == 1
+        assert outcome.accepted
+        assert outcome.completed == (0, 1)
+        assert outcome.cancelled == 2
+        assert set(refined) == {0, 1}
+        assert refined[1][1] == pytest.approx(2e-7)
+
+    def test_fallback_when_nothing_clears(self):
+        racer = RefinementRacer(workers=1, threshold=1e-12)
+        refined, outcome = racer.race(
+            _fake_refine, [(i,) for i in range(4)]
+        )
+        assert outcome.winner is None
+        assert not outcome.accepted
+        assert outcome.cancelled == 0
+        assert outcome.completed == (0, 1, 2, 3)
+        assert len(refined) == 4
+
+    def test_metrics_recorded(self):
+        registry = metrics.REGISTRY
+        before = registry.snapshot().get("counters", {}).get(
+            "repro.synth.race.cancelled", 0
+        )
+        racer = RefinementRacer(workers=1, threshold=1e-6)
+        racer.race(_fake_refine, [(i,) for i in range(4)])
+        snapshot = registry.snapshot()
+        assert (
+            snapshot["counters"]["repro.synth.race.cancelled"] - before == 2
+        )
+        assert "repro.synth.race.accept_seconds" in snapshot["histograms"]
+
+    def test_outcome_saved_estimate_scales_with_cancelled(self):
+        racer = RefinementRacer(workers=1, threshold=1e-6)
+        _, outcome = racer.race(_fake_refine, [(i,) for i in range(4)])
+        mean = outcome.elapsed_seconds / len(outcome.completed)
+        assert outcome.tail_latency_saved_seconds == pytest.approx(
+            mean * outcome.cancelled
+        )
+
+
+class TestRaceStrategy:
+    """strategy="race" wiring through SynthesisEngine.multistart."""
+
+    @pytest.fixture(scope="class")
+    def engine_and_template(self):
+        engine = SynthesisEngine("piecewise", workers=1)
+        template = engine.template(
+            gc=1.0, gg=0.0, pulse_duration=np.pi / 2, repetitions=1
+        )
+        return engine, template
+
+    def test_unknown_strategy_is_loud(self, engine_and_template):
+        engine, template = engine_and_template
+        with pytest.raises(ValueError, match="unknown multistart strategy"):
+            engine.synthesize_multistart(
+                template, gates.CNOT, starts=4, strategy="lottery"
+            )
+
+    def test_race_cancels_and_matches_rank_winner(self, engine_and_template):
+        engine, template = engine_and_template
+        registry = metrics.REGISTRY
+        before = registry.snapshot().get("counters", {}).get(
+            "repro.synth.race.cancelled", 0
+        )
+        rank = engine.synthesize_multistart(
+            template, gates.CNOT, starts=8, refine=4, seed=7
+        )
+        race = engine.synthesize_multistart(
+            template,
+            gates.CNOT,
+            starts=8,
+            refine=4,
+            seed=7,
+            strategy="race",
+            race_threshold=1e-6,
+        )
+        assert rank.race is None
+        assert isinstance(race.race, RaceOutcome)
+        assert race.race.accepted
+        assert race.race.cancelled > 0
+        cancelled = registry.snapshot()["counters"][
+            "repro.synth.race.cancelled"
+        ]
+        assert cancelled - before == race.race.cancelled
+        # The accepted result is a real refinement output: it clears
+        # the threshold and is bit-identical to what the rank strategy
+        # computed for the same start (one worker, same seed).
+        assert race.best.loss < 1e-6
+        assert race.race.winner in rank.refined_losses
+        assert race.best.loss == rank.refined_losses[race.race.winner]
+        # Only completed refinements are reported as refined.
+        assert set(race.refined_indices) <= set(rank.refined_indices)
+        assert len(race.refined_indices) < len(rank.refined_indices)
+
+    def test_race_fallback_returns_best_completed(self, engine_and_template):
+        engine, template = engine_and_template
+        result = engine.synthesize_multistart(
+            template,
+            gates.CNOT,
+            starts=6,
+            refine=2,
+            seed=7,
+            max_iterations=3,  # starve the optimizer: nobody converges
+            strategy="race",
+            race_threshold=1e-30,
+        )
+        assert result.race is not None
+        assert result.race.winner is None
+        assert result.race.cancelled == 0
+        assert not result.best.converged
+        assert np.isfinite(result.best.loss)
+
+    def test_pool_race_terminates_losers(self, engine_and_template):
+        engine = SynthesisEngine("piecewise", workers=2)
+        template = engine.template(
+            gc=1.0, gg=0.0, pulse_duration=np.pi / 2, repetitions=1
+        )
+        result = engine.synthesize_multistart(
+            template,
+            gates.CNOT,
+            starts=8,
+            refine=4,
+            seed=7,
+            strategy="race",
+            race_threshold=1e-6,
+        )
+        assert result.race is not None
+        assert result.race.accepted
+        assert result.best.loss < 1e-6
