@@ -16,6 +16,10 @@ Usage::
     python -m repro serve --ping http://127.0.0.1:8234
     python -m repro batch --suite smoke --submit http://127.0.0.1:8234
     python -m repro serve --stop http://127.0.0.1:8234
+    python -m repro serve --shards 4 --results-db results.sqlite
+    python -m repro route --shard http://h1:8234 --shard http://h2:8234
+    python -m repro store stats results.shard0.sqlite
+    python -m repro store merge --into results.sqlite results.shard*.sqlite
     python -m repro synth --list-backends
     python -m repro synth CNOT --basis iSWAP --starts 16 --refine 2
     python -m repro synth SWAP --backend fourier --repetitions 2
@@ -293,6 +297,21 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             f"({'drain' if args.drain else 'immediate'})"
         )
         return 0
+    if args.shards > 1:
+        from .service import serve_sharded
+
+        return serve_sharded(
+            host=args.host,
+            port=args.port,
+            shards=args.shards,
+            merge_on_drain=args.merge_on_drain,
+            workers=args.workers,
+            use_cache=args.cache,
+            cache_path=args.cache_path,
+            retries=args.retries,
+            queue_path=args.queue,
+            results_path=args.results_db,
+        )
     return serve(
         host=args.host,
         port=args.port,
@@ -303,6 +322,149 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         queue_path=args.queue,
         results_path=args.results_db,
     )
+
+
+def _cmd_route(args: argparse.Namespace) -> int:
+    """Run a standalone digest-range router over already-running shards."""
+    import asyncio
+
+    from .service import ShardRouter, shard_ranges
+
+    router = ShardRouter(
+        args.shard, host=args.host, port=args.port, timeout=args.timeout
+    )
+    ranges = shard_ranges(len(args.shard))
+
+    def announce(r) -> None:
+        print(
+            f"repro shard router listening on http://{r.host}:{r.port} "
+            f"({len(args.shard)} shards)",
+            flush=True,
+        )
+        for index, url in enumerate(args.shard):
+            print(
+                f"  shard {index}: {url} owns digests "
+                f"{ranges[index].label}",
+                flush=True,
+            )
+
+    try:
+        asyncio.run(router.run(ready_callback=announce))
+    except KeyboardInterrupt:
+        print("repro route: interrupted, stopping", flush=True)
+    return 0
+
+
+#: Store kind -> (primary table, human label) for ``repro store``.
+_STORE_KINDS = {
+    "results": ("results", "result store"),
+    "decomp": ("templates", "decomposition cache"),
+    "coverage": ("clouds", "coverage store"),
+    "queue": ("queue", "job queue"),
+    "ledger": ("runs", "perf ledger"),
+}
+
+
+def _store_rows(path, table: str) -> int:
+    import sqlite3
+
+    conn = sqlite3.connect(f"file:{path}?mode=ro", uri=True, timeout=30.0)
+    try:
+        (count,) = conn.execute(f"SELECT COUNT(*) FROM {table}").fetchone()
+    finally:
+        conn.close()
+    return int(count)
+
+
+def _cmd_store(args: argparse.Namespace) -> int:
+    from .service import (
+        QueueError,
+        ResultMergeError,
+        ResultStoreError,
+        StoreError,
+        detect_store_kind,
+    )
+
+    store_errors = (StoreError, ResultStoreError, QueueError)
+
+    if args.store_command == "stats":
+        try:
+            for path in args.paths:
+                kind = detect_store_kind(path)
+                table, label = _STORE_KINDS[kind]
+                print(f"{path}: {label} ({kind}), "
+                      f"{_store_rows(path, table)} row(s)")
+        except store_errors as exc:
+            print(f"store: {exc}", file=sys.stderr)
+            return 1
+        return 0
+
+    # merge
+    try:
+        kinds = {detect_store_kind(path) for path in args.sources}
+    except store_errors as exc:
+        print(f"store: {exc}", file=sys.stderr)
+        return 1
+    if len(kinds) > 1:
+        print(
+            f"store: sources mix store kinds {sorted(kinds)}; "
+            "merge one family at a time",
+            file=sys.stderr,
+        )
+        return 1
+    (kind,) = kinds
+    if kind == "ledger":
+        print(
+            "store: perf ledgers record append-only run history; "
+            "merge them with 'repro perf' tooling, not 'store merge'",
+            file=sys.stderr,
+        )
+        return 1
+    store = _open_merge_target(kind, args.into)
+    absorbed = 0
+    try:
+        for source in args.sources:
+            absorbed += store.merge(source)
+    except ResultMergeError as exc:
+        print(f"store: merge refused: {exc}", file=sys.stderr)
+        for key, ours, theirs in exc.conflicts:
+            print(
+                f"store:   conflict job {key[:16]}…: "
+                f"ours {ours[:16]}… theirs {theirs[:16]}…",
+                file=sys.stderr,
+            )
+        return 1
+    except store_errors as exc:
+        print(f"store: {exc}", file=sys.stderr)
+        return 1
+    finally:
+        store.close()
+    table, label = _STORE_KINDS[kind]
+    print(
+        f"absorbed {absorbed} row(s) from {len(args.sources)} "
+        f"{label}(s) into {args.into} "
+        f"({_store_rows(args.into, table)} total)"
+    )
+    return 0
+
+
+def _open_merge_target(kind: str, path):
+    """The right store class for a merge destination, by kind."""
+    if kind == "results":
+        from .service import ResultStore
+
+        return ResultStore(path=path)
+    if kind == "decomp":
+        from .service.cache import DecompositionCache
+
+        return DecompositionCache(path=path)
+    if kind == "coverage":
+        from .service.coverage_store import CoverageStore
+
+        return CoverageStore(path=path)
+    from .service import PersistentJobQueue
+
+    return PersistentJobQueue(path)
 
 
 def _parse_synth_target(tokens: list[str]):
@@ -973,6 +1135,69 @@ def main(argv: list[str] | None = None) -> int:
         "--timeout", type=float, default=30.0,
         help="client timeout for --ping/--stop, seconds",
     )
+    serve_parser.add_argument(
+        "--shards", type=int, default=1,
+        help="with N > 1: fork N shard servers partitioning the digest "
+             "keyspace and front them with a digest-range router "
+             "(store paths gain .shardI suffixes)",
+    )
+    serve_parser.add_argument(
+        "--merge-on-drain",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="with --shards: fold shard result partitions into the "
+             "canonical --results-db after the topology drains",
+    )
+
+    route_parser = sub.add_parser(
+        "route",
+        help="run a standalone digest-range router over already-running "
+             "shard servers (see 'repro serve')",
+    )
+    route_parser.add_argument(
+        "--shard", action="append", required=True, metavar="URL",
+        help="shard server URL; repeat once per shard, in digest-range "
+             "order (shard i owns range i of N)",
+    )
+    route_parser.add_argument(
+        "--host", default="127.0.0.1", help="bind address"
+    )
+    route_parser.add_argument(
+        "--port", type=int, default=8234,
+        help="bind port (0 = OS-assigned)",
+    )
+    route_parser.add_argument(
+        "--timeout", type=float, default=120.0,
+        help="per-read timeout on shard streams, seconds",
+    )
+
+    store_parser = sub.add_parser(
+        "store",
+        help="inspect and fold the service's sqlite stores (results, "
+             "decomposition cache, coverage, queue)",
+    )
+    store_sub = store_parser.add_subparsers(
+        dest="store_command", required=True
+    )
+    store_stats = store_sub.add_parser(
+        "stats", help="print each database's store kind and row count"
+    )
+    store_stats.add_argument(
+        "paths", nargs="+", metavar="PATH", help="store database path"
+    )
+    store_merge = store_sub.add_parser(
+        "merge",
+        help="fold shard store partitions into one canonical database "
+             "(kind auto-detected; result-digest conflicts refuse)",
+    )
+    store_merge.add_argument(
+        "--into", required=True, metavar="PATH",
+        help="destination database (created if missing)",
+    )
+    store_merge.add_argument(
+        "sources", nargs="+", metavar="SRC",
+        help="source database(s) to absorb",
+    )
 
     synth_parser = sub.add_parser(
         "synth",
@@ -1180,6 +1405,8 @@ def main(argv: list[str] | None = None) -> int:
         "targets": _cmd_targets,
         "batch": _cmd_batch,
         "serve": _cmd_serve,
+        "route": _cmd_route,
+        "store": _cmd_store,
         "synth": _cmd_synth,
         "trace": _cmd_trace,
         "metrics": _cmd_metrics,

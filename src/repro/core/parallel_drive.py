@@ -269,15 +269,29 @@ def sample_template_coordinates(
     Vectorizes the whole pipeline — Hamiltonian assembly, piecewise
     propagation, interleaved Haar-random locals, coordinate extraction —
     so Alg. 2's N=3000 sampling phase runs in well under a second.
+
+    Random draws stay on the host RNG (draw order is part of the seeded
+    contract); Hamiltonian assembly stays on the host too (cheap index
+    writes).  The propagation and accumulation contractions run on the
+    active array backend, transferring once per repetition at this
+    edge — the same split :meth:`ParallelDriveTemplate.batched_unitaries`
+    uses, so the coverage point-cloud build rides a GPU backend end to
+    end.  Under the numpy backend every step is a literal pass-through,
+    keeping sampled clouds bit-identical to the historical path.
     """
     if count < 1:
         raise ValueError("count must be positive")
     rng = as_rng(seed)
+    backend = active_backend()
     steps = template.steps_per_pulse
-    total = np.broadcast_to(
-        np.eye(4, dtype=complex), (count, 4, 4)
-    ).copy()
-    dts = np.full(steps, template.step_duration)
+    total = backend.copy(
+        backend.xp.broadcast_to(
+            backend.eye(4, "complex"), (count, 4, 4)
+        )
+    )
+    dts = backend.asarray(
+        np.full(steps, template.step_duration), "float"
+    )
     for rep in range(template.repetitions):
         if template.parallel:
             phi_c = rng.uniform(0, 2 * np.pi, count)
@@ -287,12 +301,17 @@ def sample_template_coordinates(
         else:
             phi_c = phi_g = np.zeros(count)
             eps1 = eps2 = np.zeros((count, steps))
-        hams = batched_hamiltonians(
-            template.gc, template.gg, phi_c, phi_g, eps1, eps2
+        hams = backend.asarray(
+            batched_hamiltonians(
+                template.gc, template.gg, phi_c, phi_g, eps1, eps2
+            ),
+            "complex",
         )
-        pulses = batched_piecewise_propagators(hams, dts)
-        total = np.einsum("nij,njk->nik", pulses, total)
+        pulses = _batched_piecewise_propagators(backend, hams, dts)
+        total = backend.einsum("nij,njk->nik", pulses, total)
         if rep < template.repetitions - 1:
-            locals_batch = random_local_pairs_batch(count, rng)
-            total = np.einsum("nij,njk->nik", locals_batch, total)
-    return batched_weyl_coordinates(total)
+            locals_batch = backend.asarray(
+                random_local_pairs_batch(count, rng), "complex"
+            )
+            total = backend.einsum("nij,njk->nik", locals_batch, total)
+    return batched_weyl_coordinates(backend.to_numpy(total, "complex"))

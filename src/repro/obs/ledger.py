@@ -9,17 +9,16 @@ ingested run is stamped with its git sha, branch, timestamp, host, and
 python/numpy versions, so speedup claims become trajectories instead of
 screenshots.
 
-Keyspace/atomic-write discipline matches the repo's other sqlite
-stores (:class:`~repro.service.cache.DecompositionCache`,
-:class:`~repro.service.coverage_store.CoverageStore`): WAL journal,
-fork-safe lazy reconnect, one write transaction per logical operation.
-Unlike the caches, the ledger is *loud* on an unusable store — a cache
-that degrades to memory loses nothing but speed, while a ledger that
-silently drops history defeats its purpose — so schema mismatches
-raise :class:`LedgerError` with a pointed message instead of degrading.
-(The shared schema-versioned ``meta`` table is the concrete first step
-toward the ROADMAP "store unification" item: all three stores now
-carry an explicit, checkable schema version in sqlite.)
+Keyspace/atomic-write discipline is the shared
+:class:`~repro.service.store_base.SqliteStoreMixin` contract (WAL
+journal, fork-safe lazy reconnect, schema-versioned ``meta`` table,
+one write transaction per logical operation) — the ledger pioneered
+the pattern and now rides the one unified copy alongside the caches,
+the job queue, and the result store.  Unlike the caches, the ledger
+is *loud* on an unusable store — a cache that degrades to memory
+loses nothing but speed, while a ledger that silently drops history
+defeats its purpose — so schema mismatches raise :class:`LedgerError`
+with a pointed message instead of degrading.
 
 The regression sentinel rides on top: :meth:`PerfLedger.compare_latest`
 compares the newest run against the median of the previous *N* runs
@@ -44,6 +43,10 @@ import subprocess
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
+
+# Imported from the stdlib-only leaf, not repro.service.store_base:
+# obs must not pull the service package at import time (circular).
+from .._storebase import SqliteStoreMixin
 
 __all__ = [
     "BENCH_ARTIFACT_SCHEMA",
@@ -329,7 +332,7 @@ def ingest_file(path: str | Path) -> dict[str, float]:
 # -- the store ---------------------------------------------------------------
 
 
-class PerfLedger:
+class PerfLedger(SqliteStoreMixin):
     """Schema-versioned sqlite time-series store of perf samples.
 
     Layout (``LEDGER_SCHEMA_VERSION`` in a ``meta`` table):
@@ -339,98 +342,78 @@ class PerfLedger:
     * ``samples`` — ``(run_id, metric) -> value`` with the inferred
       gate direction denormalized per row (so history stays readable
       even if the inference rules evolve).
+
+    Connection discipline (WAL, fork-safe reconnect, loud schema
+    refusal) comes from the shared store mixin
+    (:mod:`repro.service.store_base`); the ledger predates it and
+    contributed the pattern.
     """
 
+    _STORE_SCHEMA = LEDGER_SCHEMA_VERSION
+    # Historical meta key: the ledger shipped before the shared mixin
+    # standardized on 'schema', and existing dbs must keep opening.
+    _STORE_SCHEMA_KEY = "schema_version"
+    _STORE_DDL = (
+        "CREATE TABLE IF NOT EXISTS runs ("
+        "  id INTEGER PRIMARY KEY AUTOINCREMENT,"
+        "  recorded_at REAL NOT NULL,"
+        "  git_sha TEXT NOT NULL,"
+        "  branch TEXT NOT NULL,"
+        "  host TEXT NOT NULL,"
+        "  python_version TEXT NOT NULL,"
+        "  numpy_version TEXT NOT NULL,"
+        "  source TEXT NOT NULL,"
+        "  note TEXT NOT NULL,"
+        "  array_backend TEXT NOT NULL DEFAULT 'numpy')",
+        "CREATE TABLE IF NOT EXISTS samples ("
+        "  run_id INTEGER NOT NULL REFERENCES runs(id),"
+        "  metric TEXT NOT NULL,"
+        "  value REAL NOT NULL,"
+        "  direction TEXT,"
+        "  PRIMARY KEY (run_id, metric))",
+        "CREATE INDEX IF NOT EXISTS samples_by_metric "
+        "ON samples (metric, run_id)",
+    )
+    _STORE_ERROR = LedgerError
+    _STORE_LABEL = "perf ledger"
+
     def __init__(self, path: str | Path | None = None):
-        self.path = Path(path) if path is not None else default_ledger_path()
-        self._conn: sqlite3.Connection | None = None
-        self._pid = os.getpid()
+        self._init_store(
+            Path(path) if path is not None else default_ledger_path()
+        )
 
     # -- connection ----------------------------------------------------------
 
-    def _connection(self) -> sqlite3.Connection:
-        """Open (or re-open after fork) the backing database."""
-        if self._conn is not None and self._pid == os.getpid():
-            return self._conn
-        self._conn = None
-        self._pid = os.getpid()
-        try:
-            self.path.parent.mkdir(parents=True, exist_ok=True)
-            conn = sqlite3.connect(self.path, timeout=30.0)
-            conn.execute("PRAGMA journal_mode=WAL")
-            conn.execute("PRAGMA synchronous=NORMAL")
+    def _store_migrate(self, conn: sqlite3.Connection, found: int) -> bool:
+        if found == 1:
+            # In-place v1 -> v2 migration: one new stamped column.
+            # History recorded before the column existed is numpy by
+            # construction (no other backend existed then).
             conn.execute(
-                "CREATE TABLE IF NOT EXISTS meta ("
-                "  key TEXT PRIMARY KEY, value TEXT NOT NULL)"
-            )
-            row = conn.execute(
-                "SELECT value FROM meta WHERE key = 'schema_version'"
-            ).fetchone()
-            if row is None:
-                conn.execute(
-                    "INSERT INTO meta VALUES ('schema_version', ?)",
-                    (str(LEDGER_SCHEMA_VERSION),),
-                )
-            elif int(row[0]) == 1:
-                # In-place v1 -> v2 migration: one new stamped column.
-                # History recorded before the column existed is numpy
-                # by construction (no other backend existed then).
-                conn.execute(
-                    "ALTER TABLE runs ADD COLUMN array_backend TEXT"
-                    " NOT NULL DEFAULT 'numpy'"
-                )
-                conn.execute(
-                    "UPDATE meta SET value = ? WHERE key = 'schema_version'",
-                    (str(LEDGER_SCHEMA_VERSION),),
-                )
-            elif int(row[0]) != LEDGER_SCHEMA_VERSION:
-                conn.close()
-                raise LedgerError(
-                    f"perf ledger {self.path} has schema v{row[0]}, but "
-                    f"this build reads v{LEDGER_SCHEMA_VERSION}; point "
-                    "--ledger (or REPRO_PERF_LEDGER) at a fresh path, or "
-                    "re-record history with a matching build"
-                )
-            conn.execute(
-                "CREATE TABLE IF NOT EXISTS runs ("
-                "  id INTEGER PRIMARY KEY AUTOINCREMENT,"
-                "  recorded_at REAL NOT NULL,"
-                "  git_sha TEXT NOT NULL,"
-                "  branch TEXT NOT NULL,"
-                "  host TEXT NOT NULL,"
-                "  python_version TEXT NOT NULL,"
-                "  numpy_version TEXT NOT NULL,"
-                "  source TEXT NOT NULL,"
-                "  note TEXT NOT NULL,"
-                "  array_backend TEXT NOT NULL DEFAULT 'numpy')"
+                "ALTER TABLE runs ADD COLUMN array_backend TEXT"
+                " NOT NULL DEFAULT 'numpy'"
             )
             conn.execute(
-                "CREATE TABLE IF NOT EXISTS samples ("
-                "  run_id INTEGER NOT NULL REFERENCES runs(id),"
-                "  metric TEXT NOT NULL,"
-                "  value REAL NOT NULL,"
-                "  direction TEXT,"
-                "  PRIMARY KEY (run_id, metric))"
+                "UPDATE meta SET value = ? WHERE key = 'schema_version'",
+                (str(LEDGER_SCHEMA_VERSION),),
             )
-            conn.execute(
-                "CREATE INDEX IF NOT EXISTS samples_by_metric "
-                "ON samples (metric, run_id)"
-            )
-            conn.commit()
-        except sqlite3.Error as exc:
-            raise LedgerError(
-                f"cannot open perf ledger at {self.path}: {exc}; pass "
-                "--ledger PATH (or set REPRO_PERF_LEDGER) to a writable "
-                "location"
-            ) from None
-        self._conn = conn
-        return conn
+            return True
+        return found == LEDGER_SCHEMA_VERSION
 
-    def close(self) -> None:
-        """Close the database handle (reopened lazily on next use)."""
-        if self._conn is not None and self._pid == os.getpid():
-            self._conn.close()
-        self._conn = None
+    def _store_schema_message(self, found: int) -> str:
+        return (
+            f"perf ledger {self.path} has schema v{found}, but "
+            f"this build reads v{LEDGER_SCHEMA_VERSION}; point "
+            "--ledger (or REPRO_PERF_LEDGER) at a fresh path, or "
+            "re-record history with a matching build"
+        )
+
+    def _store_open_message(self, exc: Exception) -> str:
+        return (
+            f"cannot open perf ledger at {self.path}: {exc}; pass "
+            "--ledger PATH (or set REPRO_PERF_LEDGER) to a writable "
+            "location"
+        )
 
     # -- writing -------------------------------------------------------------
 

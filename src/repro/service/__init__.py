@@ -24,7 +24,16 @@ suites best-of-N per circuit.  This package turns those one-off
   network tier: :class:`CompileServer`, an asyncio job server with
   digest dedup, a crash-safe :class:`PersistentJobQueue`, streaming
   ndjson results, and bounded worker requeue; :class:`ServiceClient`,
-  the blocking submit/stream client behind ``repro batch --submit``.
+  the blocking submit/stream client behind ``repro batch --submit``;
+* :mod:`repro.service.router` — the sharded tier: :class:`ShardRouter`
+  partitions the digest keyspace into contiguous ranges across N
+  independent shard servers (``repro serve --shards N``), and
+  :func:`merge_shard_stores` folds shard result partitions back into
+  one canonical store;
+* :mod:`repro.service.store_base` — :class:`SqliteStoreMixin`, the one
+  copy of the WAL/fork-safe/schema-versioned sqlite discipline every
+  persistent store rides, with the ``iter_range``/``merge`` key-range
+  surface the shard fold uses.
 """
 
 from __future__ import annotations
@@ -55,7 +64,18 @@ from .engine import (
 )
 from .jobs import CompileJob, CompileResult, circuit_digest
 from .queue import PersistentJobQueue, QueuedJob, QueueError
+from .router import (
+    DigestRange,
+    RouterThread,
+    ShardRouter,
+    merge_shard_stores,
+    serve_sharded,
+    shard_index,
+    shard_ranges,
+    shard_store_path,
+)
 from .server import CompileServer, ServerThread, serve
+from .store_base import SqliteStoreMixin, StoreError, detect_store_kind
 
 __all__ = [
     "BatchEngine",
@@ -66,25 +86,36 @@ __all__ = [
     "CoverageStore",
     "CoverageStoreStats",
     "DecompositionCache",
+    "DigestRange",
     "PersistentJobQueue",
     "QueueError",
     "QueuedJob",
     "ResultMergeError",
     "ResultStore",
     "ResultStoreError",
+    "RouterThread",
     "SUITES",
     "ServerThread",
     "ServiceClient",
     "ServiceError",
     "ServiceTimeout",
     "ServiceUnavailable",
+    "ShardRouter",
+    "SqliteStoreMixin",
+    "StoreError",
     "circuit_digest",
     "default_coverage_store",
     "default_decomp_cache_dir",
+    "detect_store_kind",
+    "merge_shard_stores",
     "record_job_retry",
     "record_job_settled",
     "run_with_freight",
     "serve",
+    "serve_sharded",
+    "shard_index",
+    "shard_ranges",
+    "shard_store_path",
     "suite_jobs",
     "wait_until_ready",
 ]

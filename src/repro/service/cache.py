@@ -50,8 +50,12 @@ import numpy as np
 
 from ..core.decomposition_rules import TemplateSpec
 from ..obs import metrics
+from .store_base import SqliteStoreMixin
 
 __all__ = ["CacheStats", "DecompositionCache", "default_decomp_cache_dir"]
+
+#: Template-store schema version (bumped on incompatible layout changes).
+_CACHE_SCHEMA = 1
 
 #: Quantization grid for cache keys (finer than the 1e-6 rule tolerance).
 _KEY_DECIMALS = 8
@@ -140,7 +144,7 @@ class CacheStats:
         }
 
 
-class DecompositionCache:
+class DecompositionCache(SqliteStoreMixin):
     """Two-tier (LRU + sqlite) store of decomposition templates.
 
     Args:
@@ -154,6 +158,19 @@ class DecompositionCache:
             memoization).
     """
 
+    _STORE_SCHEMA = _CACHE_SCHEMA
+    _STORE_DDL = (
+        "CREATE TABLE IF NOT EXISTS templates ("
+        "  key TEXT PRIMARY KEY,"
+        "  pulses TEXT NOT NULL,"
+        "  layer_count INTEGER NOT NULL,"
+        "  description TEXT NOT NULL)",
+    )
+    # A cache that cannot persist must never fail a compilation.
+    _STORE_DEGRADE = True
+    _STORE_TABLE = "templates"
+    _STORE_LABEL = "decomposition cache"
+
     def __init__(
         self,
         path: str | Path | None = None,
@@ -163,18 +180,15 @@ class DecompositionCache:
         if memory_size < 1:
             raise ValueError("memory_size must be >= 1")
         self.persistent = bool(persistent)
-        self.path: Path | None = None
-        if self.persistent:
-            self.path = (
-                Path(path)
-                if path is not None
-                else default_decomp_cache_dir() / "templates.sqlite"
-            )
+        if self.persistent and path is None:
+            path = default_decomp_cache_dir() / "templates.sqlite"
+        self._init_store(path if self.persistent else None)
         self.memory_size = int(memory_size)
         self._memory: OrderedDict[str, TemplateSpec] = OrderedDict()
         self.stats = CacheStats()
-        self._conn: sqlite3.Connection | None = None
-        self._pid = os.getpid()
+
+    def _store_degraded(self) -> None:
+        self.persistent = False
 
     # -- keys ----------------------------------------------------------------
 
@@ -200,46 +214,6 @@ class DecompositionCache:
             f"|{row[1]:.{_KEY_DECIMALS}f}|{row[2]:.{_KEY_DECIMALS}f}"
             for row in c
         ]
-
-    # -- sqlite backend ------------------------------------------------------
-
-    def _connection(self) -> sqlite3.Connection | None:
-        """Open (or re-open after fork) the backing database."""
-        if not self.persistent:
-            return None
-        if self._conn is not None and self._pid == os.getpid():
-            return self._conn
-        # Connections must never cross a fork; drop the parent's handle.
-        self._conn = None
-        self._pid = os.getpid()
-        assert self.path is not None
-        try:
-            self.path.parent.mkdir(parents=True, exist_ok=True)
-            conn = sqlite3.connect(self.path, timeout=30.0)
-            conn.execute("PRAGMA journal_mode=WAL")
-            conn.execute("PRAGMA synchronous=NORMAL")
-            conn.execute(
-                "CREATE TABLE IF NOT EXISTS templates ("
-                "  key TEXT PRIMARY KEY,"
-                "  pulses TEXT NOT NULL,"
-                "  layer_count INTEGER NOT NULL,"
-                "  description TEXT NOT NULL)"
-            )
-            conn.commit()
-        except (OSError, sqlite3.Error):
-            # Unusable store (read-only fs blocking the mkdir,
-            # corrupted file, ...): degrade to memory-only rather than
-            # failing compilations.
-            self.persistent = False
-            return None
-        self._conn = conn
-        return conn
-
-    def close(self) -> None:
-        """Close the database handle (reopened lazily on next use)."""
-        if self._conn is not None and self._pid == os.getpid():
-            self._conn.close()
-        self._conn = None
 
     # -- core operations -----------------------------------------------------
 

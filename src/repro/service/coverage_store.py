@@ -35,7 +35,6 @@ row straight into sqlite.
 from __future__ import annotations
 
 import io
-import os
 import sqlite3
 from collections import OrderedDict
 from dataclasses import dataclass
@@ -44,12 +43,16 @@ from pathlib import Path
 import numpy as np
 
 from ..obs import metrics
+from .store_base import SqliteStoreMixin
 
 __all__ = [
     "CoverageStoreStats",
     "CoverageStore",
     "default_coverage_store",
 ]
+
+#: Cloud-store schema version (bumped on incompatible layout changes).
+_COVERAGE_SCHEMA = 1
 
 
 @dataclass
@@ -107,7 +110,7 @@ def _decode_clouds(payload: bytes, kmax: int) -> list[np.ndarray]:
         return [data[f"k{k}"] for k in range(1, kmax + 1)]
 
 
-class CoverageStore:
+class CoverageStore(SqliteStoreMixin):
     """Two-tier (LRU + sqlite) store of coverage point clouds.
 
     Args:
@@ -119,6 +122,18 @@ class CoverageStore:
             explicit no-disk flows).
     """
 
+    _STORE_SCHEMA = _COVERAGE_SCHEMA
+    _STORE_DDL = (
+        "CREATE TABLE IF NOT EXISTS clouds ("
+        "  key TEXT PRIMARY KEY,"
+        "  kmax INTEGER NOT NULL,"
+        "  payload BLOB NOT NULL)",
+    )
+    # A store that cannot persist must never fail a coverage build.
+    _STORE_DEGRADE = True
+    _STORE_TABLE = "clouds"
+    _STORE_LABEL = "coverage store"
+
     def __init__(
         self,
         path: str | Path | None = None,
@@ -128,57 +143,17 @@ class CoverageStore:
         if memory_size < 1:
             raise ValueError("memory_size must be >= 1")
         self.persistent = bool(persistent)
-        self.path: Path | None = None
-        if self.persistent:
-            if path is None:
-                from ..core.coverage import default_cache_dir
+        if self.persistent and path is None:
+            from ..core.coverage import default_cache_dir
 
-                path = default_cache_dir() / "coverage.sqlite"
-            self.path = Path(path)
+            path = default_cache_dir() / "coverage.sqlite"
+        self._init_store(path if self.persistent else None)
         self.memory_size = int(memory_size)
         self._memory: OrderedDict[str, object] = OrderedDict()
         self.stats = CoverageStoreStats()
-        self._conn: sqlite3.Connection | None = None
-        self._pid = os.getpid()
 
-    # -- sqlite backend ------------------------------------------------------
-
-    def _connection(self) -> sqlite3.Connection | None:
-        """Open (or re-open after fork) the backing database."""
-        if not self.persistent:
-            return None
-        if self._conn is not None and self._pid == os.getpid():
-            return self._conn
-        # Connections must never cross a fork; drop the parent's handle.
-        self._conn = None
-        self._pid = os.getpid()
-        assert self.path is not None
-        try:
-            self.path.parent.mkdir(parents=True, exist_ok=True)
-            conn = sqlite3.connect(self.path, timeout=30.0)
-            conn.execute("PRAGMA journal_mode=WAL")
-            conn.execute("PRAGMA synchronous=NORMAL")
-            conn.execute(
-                "CREATE TABLE IF NOT EXISTS clouds ("
-                "  key TEXT PRIMARY KEY,"
-                "  kmax INTEGER NOT NULL,"
-                "  payload BLOB NOT NULL)"
-            )
-            conn.commit()
-        except (OSError, sqlite3.Error):
-            # Unusable store (read-only fs blocking the mkdir,
-            # corrupted file, ...): degrade to memory-only rather than
-            # failing builds.
-            self.persistent = False
-            return None
-        self._conn = conn
-        return conn
-
-    def close(self) -> None:
-        """Close the database handle (reopened lazily on next use)."""
-        if self._conn is not None and self._pid == os.getpid():
-            self._conn.close()
-        self._conn = None
+    def _store_degraded(self) -> None:
+        self.persistent = False
 
     # -- assembled-set tier --------------------------------------------------
 

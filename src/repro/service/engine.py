@@ -37,6 +37,7 @@ from ..obs import metrics, trace
 from ..obs import profile as obs_profile
 from .cache import DecompositionCache, default_decomp_cache_dir
 from .jobs import CompileJob, CompileResult, circuit_digest
+from .store_base import SqliteStoreMixin
 
 __all__ = [
     "BatchEngine",
@@ -552,7 +553,7 @@ class ResultMergeError(ResultStoreError):
 _RESULT_SCHEMA = 1
 
 
-class ResultStore:
+class ResultStore(SqliteStoreMixin):
     """Accumulate compile results and aggregate per-(workload, rules).
 
     The store is what table drivers and the CLI consume: it keeps the
@@ -568,6 +569,23 @@ class ResultStore:
     let a transient crash permanently shadow a job's real result.
     """
 
+    _STORE_SCHEMA = _RESULT_SCHEMA
+    _STORE_DDL = (
+        "CREATE TABLE IF NOT EXISTS results ("
+        "  job_key TEXT PRIMARY KEY,"
+        "  digest TEXT NOT NULL,"
+        "  payload TEXT NOT NULL,"
+        "  recorded_at REAL NOT NULL)",
+    )
+    _STORE_ERROR = ResultStoreError
+    # check_same_thread off: the compile server opens the store on its
+    # constructing thread and serves it from the event loop's thread;
+    # each instance stays single-writer.
+    _STORE_SAME_THREAD = False
+    _STORE_TABLE = "results"
+    _STORE_KEY = "job_key"
+    _STORE_LABEL = "result store"
+
     def __init__(
         self,
         results: Sequence[CompileResult] = (),
@@ -575,9 +593,7 @@ class ResultStore:
     ):
         self._results: list[CompileResult] = []
         self._by_key: dict[str, CompileResult] = {}
-        self.path = Path(path) if path is not None else None
-        self._conn: sqlite3.Connection | None = None
-        self._pid = os.getpid()
+        self._init_store(path)
         if self.path is not None:
             for result in self._load_persisted(self.path):
                 self._results.append(result)
@@ -587,57 +603,12 @@ class ResultStore:
 
     # -- persistence ---------------------------------------------------------
 
-    def _connection(self) -> sqlite3.Connection | None:
-        """Open (or re-open after fork) the backing database."""
-        if self.path is None:
-            return None
-        if self._conn is not None and self._pid == os.getpid():
-            return self._conn
-        self._conn = None
-        self._pid = os.getpid()
-        try:
-            self.path.parent.mkdir(parents=True, exist_ok=True)
-            # check_same_thread off: the compile server opens the store
-            # on its constructing thread and serves it from the event
-            # loop's thread; each instance stays single-writer.
-            conn = sqlite3.connect(
-                self.path, timeout=30.0, check_same_thread=False
-            )
-            conn.execute("PRAGMA journal_mode=WAL")
-            conn.execute("PRAGMA synchronous=NORMAL")
-            conn.execute(
-                "CREATE TABLE IF NOT EXISTS meta ("
-                "  key TEXT PRIMARY KEY, value TEXT NOT NULL)"
-            )
-            conn.execute(
-                "CREATE TABLE IF NOT EXISTS results ("
-                "  job_key TEXT PRIMARY KEY,"
-                "  digest TEXT NOT NULL,"
-                "  payload TEXT NOT NULL,"
-                "  recorded_at REAL NOT NULL)"
-            )
-            row = conn.execute(
-                "SELECT value FROM meta WHERE key = 'schema'"
-            ).fetchone()
-            if row is None:
-                conn.execute(
-                    "INSERT INTO meta VALUES ('schema', ?)",
-                    (str(_RESULT_SCHEMA),),
-                )
-            elif int(row[0]) != _RESULT_SCHEMA:
-                conn.close()
-                raise ResultStoreError(
-                    f"result store {self.path} has schema v{row[0]}, "
-                    f"this build writes v{_RESULT_SCHEMA}; migrate or "
-                    "point the server at a fresh --results-db path"
-                )
-            conn.commit()
-        except (OSError, sqlite3.Error) as exc:
-            raise ResultStoreError(
-                f"cannot open result store at {self.path}: {exc}"
-            ) from exc
-        self._conn = conn
-        return conn
+    def _store_schema_message(self, found: int) -> str:
+        return (
+            f"result store {self.path} has schema v{found}, "
+            f"this build writes v{_RESULT_SCHEMA}; migrate or "
+            "point the server at a fresh --results-db path"
+        )
 
     def _load_persisted(self, path: Path) -> list[CompileResult]:
         """All persisted results of the store at ``path`` (may be new)."""
@@ -650,12 +621,6 @@ class ResultStore:
             "SELECT payload FROM results ORDER BY recorded_at, job_key"
         ).fetchall()
         return [CompileResult.from_dict(json.loads(p)) for (p,) in rows]
-
-    def close(self) -> None:
-        """Close the database handle (reopened lazily on next use)."""
-        if self._conn is not None and self._pid == os.getpid():
-            self._conn.close()
-        self._conn = None
 
     def add(self, result: CompileResult) -> None:
         """Record one result (persisted when backed and successful)."""
@@ -696,6 +661,15 @@ class ResultStore:
         the exception names the full damage and the store is left
         untouched.
         """
+        other_path = Path(other_path)
+        if (
+            self.path is not None
+            and other_path.exists()
+            and other_path.resolve() == self.path.resolve()
+        ):
+            raise ResultStoreError(
+                f"refusing to merge result store {self.path} into itself"
+            )
         other = ResultStore(path=other_path)
         try:
             fresh: list[CompileResult] = []

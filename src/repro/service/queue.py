@@ -9,9 +9,9 @@ handles it, and — the point of the exercise — any row still
 back by :meth:`PersistentJobQueue.recover`: a server that crashed
 mid-job resumes exactly the work it lost, attempts preserved.
 
-Follows the repo's sqlite store discipline (WAL journal, fork-safe
-lazy connections, schema-versioned ``meta`` table with a loud refusal
-on mismatch — the :class:`~repro.obs.ledger.PerfLedger` pattern).
+The sqlite store discipline (WAL journal, fork-safe lazy connections,
+schema-versioned ``meta`` table with a loud refusal on mismatch) comes
+from :class:`~repro.service.store_base.SqliteStoreMixin`.
 ``path=None`` degrades to a memory-only queue with the same
 interface, for tests and throwaway servers where durability is not
 wanted.
@@ -20,13 +20,13 @@ wanted.
 from __future__ import annotations
 
 import json
-import os
 import sqlite3
 import time
 from dataclasses import dataclass
 from pathlib import Path
 
 from .jobs import CompileJob
+from .store_base import SqliteStoreMixin
 
 __all__ = ["PersistentJobQueue", "QueueError", "QueuedJob"]
 
@@ -49,7 +49,7 @@ class QueuedJob:
     submitted_at: float
 
 
-class PersistentJobQueue:
+class PersistentJobQueue(SqliteStoreMixin):
     """Sqlite-backed job ledger with pending/running/done lifecycle.
 
     Not itself a scheduler: ordering lives in the server's heap.  This
@@ -57,10 +57,25 @@ class PersistentJobQueue:
     after a crash, and that completed work is never re-run.
     """
 
+    _STORE_SCHEMA = _QUEUE_SCHEMA
+    _STORE_DDL = (
+        "CREATE TABLE IF NOT EXISTS queue ("
+        "  key TEXT PRIMARY KEY,"
+        "  payload TEXT NOT NULL,"
+        "  priority INTEGER NOT NULL,"
+        "  status TEXT NOT NULL,"
+        "  attempts INTEGER NOT NULL,"
+        "  submitted_at REAL NOT NULL)",
+    )
+    _STORE_ERROR = QueueError
+    # check_same_thread off: constructed on the caller's thread, served
+    # from the event loop's (single-writer per instance).
+    _STORE_SAME_THREAD = False
+    _STORE_TABLE = "queue"
+    _STORE_LABEL = "job queue"
+
     def __init__(self, path: str | Path | None = None):
-        self.path = Path(path) if path is not None else None
-        self._conn: sqlite3.Connection | None = None
-        self._pid = os.getpid()
+        self._init_store(path)
         #: Memory-only fallback rows, keyed like the sqlite table.
         self._rows: dict[str, dict] = {}
         if self.path is not None:
@@ -68,57 +83,12 @@ class PersistentJobQueue:
 
     # -- backend -------------------------------------------------------------
 
-    def _connection(self) -> sqlite3.Connection | None:
-        if self.path is None:
-            return None
-        if self._conn is not None and self._pid == os.getpid():
-            return self._conn
-        self._conn = None
-        self._pid = os.getpid()
-        try:
-            self.path.parent.mkdir(parents=True, exist_ok=True)
-            # check_same_thread off: constructed on the caller's thread,
-            # served from the event loop's (single-writer per instance).
-            conn = sqlite3.connect(
-                self.path, timeout=30.0, check_same_thread=False
-            )
-            conn.execute("PRAGMA journal_mode=WAL")
-            conn.execute("PRAGMA synchronous=NORMAL")
-            conn.execute(
-                "CREATE TABLE IF NOT EXISTS meta ("
-                "  key TEXT PRIMARY KEY, value TEXT NOT NULL)"
-            )
-            conn.execute(
-                "CREATE TABLE IF NOT EXISTS queue ("
-                "  key TEXT PRIMARY KEY,"
-                "  payload TEXT NOT NULL,"
-                "  priority INTEGER NOT NULL,"
-                "  status TEXT NOT NULL,"
-                "  attempts INTEGER NOT NULL,"
-                "  submitted_at REAL NOT NULL)"
-            )
-            row = conn.execute(
-                "SELECT value FROM meta WHERE key = 'schema'"
-            ).fetchone()
-            if row is None:
-                conn.execute(
-                    "INSERT INTO meta VALUES ('schema', ?)",
-                    (str(_QUEUE_SCHEMA),),
-                )
-            elif int(row[0]) != _QUEUE_SCHEMA:
-                conn.close()
-                raise QueueError(
-                    f"job queue {self.path} has schema v{row[0]}, this "
-                    f"build writes v{_QUEUE_SCHEMA}; point the server at "
-                    "a fresh --queue path or migrate the old one"
-                )
-            conn.commit()
-        except (OSError, sqlite3.Error) as exc:
-            raise QueueError(
-                f"cannot open job queue at {self.path}: {exc}"
-            ) from exc
-        self._conn = conn
-        return conn
+    def _store_schema_message(self, found: int) -> str:
+        return (
+            f"job queue {self.path} has schema v{found}, this "
+            f"build writes v{_QUEUE_SCHEMA}; point the server at "
+            "a fresh --queue path or migrate the old one"
+        )
 
     def _execute(self, sql: str, params: tuple) -> None:
         conn = self._connection()
@@ -131,12 +101,6 @@ class PersistentJobQueue:
             raise QueueError(
                 f"cannot write job queue at {self.path}: {exc}"
             ) from exc
-
-    def close(self) -> None:
-        """Close the database handle (reopened lazily on next use)."""
-        if self._conn is not None and self._pid == os.getpid():
-            self._conn.close()
-        self._conn = None
 
     # -- lifecycle -----------------------------------------------------------
 

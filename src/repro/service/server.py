@@ -24,15 +24,20 @@ Workers below those tiers still share the persistent
 :class:`~repro.service.cache.DecompositionCache` and coverage store,
 so even a cold job reuses every previously-templated coordinate class.
 
-Protocol (newline-delimited JSON over HTTP/1.1, ``Connection: close``):
+Protocol (newline-delimited JSON over HTTP/1.1, keep-alive): every
+connection serves requests in a loop until the client hangs up, so a
+:class:`~repro.service.client.ServiceClient` reuses one TCP connection
+across submissions instead of reconnecting per call.
 
 * ``POST /v1/submit`` — body ``{"jobs": [job payloads], "priority": n}``;
-  response streams one JSON object per line: ``hello``, per-job
-  ``accepted`` / ``running`` / ``requeued`` / ``result`` events, then
-  ``done``.  ``result`` events carry the serialized
-  :class:`~repro.service.jobs.CompileResult` plus observability
-  freight (worker spans and metric deltas) so a traced client renders
-  one client → server → worker Perfetto timeline.
+  response streams one JSON object per line (``Transfer-Encoding:
+  chunked``, one chunk per event, a terminal zero-chunk after the last
+  — which is what lets ``http.client`` see the response end and reuse
+  the connection): ``hello``, per-job ``accepted`` / ``running`` /
+  ``requeued`` / ``result`` events, then ``done``.  ``result`` events
+  carry the serialized :class:`~repro.service.jobs.CompileResult` plus
+  observability freight (worker spans and metric deltas) so a traced
+  client renders one client → server → worker Perfetto timeline.
 * ``GET /v1/health`` — queue depth, inflight count, results held.
 * ``GET /v1/metrics`` — the server's metrics-registry snapshot.
 * ``POST /v1/shutdown`` — body ``{"drain": bool}``; drain finishes all
@@ -90,6 +95,68 @@ WORKER_DELAY_ENV = "REPRO_SERVICE_WORKER_DELAY"
 #: Distinct id stream for the server's hand-built ``service.job`` spans
 #: (kept out of the tracer's own counter so ids never collide).
 _SPAN_IDS = itertools.count(1)
+
+
+# -- HTTP plumbing (shared with the shard router) ----------------------------
+
+
+async def _read_http_request(reader):
+    """One request off a (possibly reused) connection, or ``None`` at EOF."""
+    line = await reader.readline()
+    if not line:
+        return None
+    parts = line.decode("latin-1").split()
+    if len(parts) < 2:
+        return None
+    method, path = parts[0].upper(), parts[1]
+    length = 0
+    while True:
+        header = await reader.readline()
+        if header in (b"\r\n", b"\n", b""):
+            break
+        name, _, value = header.decode("latin-1").partition(":")
+        if name.strip().lower() == "content-length":
+            length = int(value.strip())
+    body = await reader.readexactly(length) if length else b""
+    return method, path, body
+
+
+async def _write_json_response(writer, status: int, payload: dict) -> None:
+    """One JSON control response; Content-Length keeps the conn reusable."""
+    body = json.dumps(payload).encode()
+    reason = {200: "OK", 404: "Not Found", 500: "Error",
+              503: "Unavailable", 400: "Bad Request"}.get(status, "OK")
+    writer.write(
+        f"HTTP/1.1 {status} {reason}\r\n"
+        "Content-Type: application/json\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        "Connection: keep-alive\r\n\r\n".encode() + body
+    )
+    await writer.drain()
+
+
+async def _start_event_stream(writer) -> None:
+    """Open a chunked ndjson response (one event per chunk follows)."""
+    writer.write(
+        b"HTTP/1.1 200 OK\r\n"
+        b"Content-Type: application/x-ndjson\r\n"
+        b"Cache-Control: no-store\r\n"
+        b"Transfer-Encoding: chunked\r\n"
+        b"Connection: keep-alive\r\n\r\n"
+    )
+    await writer.drain()
+
+
+async def _write_stream_event(writer, event: dict) -> None:
+    line = json.dumps(event).encode() + b"\n"
+    writer.write(f"{len(line):x}\r\n".encode() + line + b"\r\n")
+    await writer.drain()
+
+
+async def _end_event_stream(writer) -> None:
+    """Terminal zero-chunk: marks the stream finished for http.client."""
+    writer.write(b"0\r\n\r\n")
+    await writer.drain()
 
 
 def _env_worker_delay() -> float:
@@ -217,6 +284,10 @@ class CompileServer:
         self._work_available: asyncio.Event | None = None
         self._slots: asyncio.Semaphore | None = None
         self._live_procs: set = set()
+        #: Open client writers — keep-alive connections idle between
+        #: requests must be force-closed at stop, or ``wait_closed``
+        #: (which waits on handlers since 3.12.1) would hang on them.
+        self._connections: set = set()
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -258,6 +329,8 @@ class CompileServer:
             for proc in list(self._live_procs):
                 if proc.is_alive():
                     proc.terminate()
+            for conn in list(self._connections):
+                conn.close()
             server.close()
             await server.wait_closed()
             self.results.close()
@@ -522,88 +595,63 @@ class CompileServer:
     # -- HTTP ----------------------------------------------------------------
 
     async def _handle_connection(self, reader, writer) -> None:
+        self._connections.add(writer)
         try:
-            request = await self._read_request(reader)
-            if request is None:
-                return
-            method, path, body = request
-            if method == "GET" and path == "/v1/health":
-                await self._respond_json(writer, 200, self._health())
-            elif method == "GET" and path == "/v1/metrics":
-                await self._respond_json(
-                    writer, 200, metrics.REGISTRY.snapshot()
-                )
-            elif method == "POST" and path == "/v1/shutdown":
-                payload = json.loads(body or b"{}")
-                drain = bool(payload.get("drain", True))
-                await self._respond_json(
-                    writer, 200, {"ok": True, "drain": drain}
-                )
-                asyncio.ensure_future(self.shutdown(drain=drain))
-            elif method == "POST" and path == "/v1/submit":
-                await self._handle_submit(writer, body)
-            else:
-                await self._respond_json(
-                    writer, 404, {"error": f"no route {method} {path}"}
-                )
+            # Keep-alive: serve requests until the client hangs up (or
+            # asks for shutdown — terminal by construction).
+            while True:
+                request = await _read_http_request(reader)
+                if request is None:
+                    break
+                method, path, body = request
+                if method == "GET" and path == "/v1/health":
+                    await _write_json_response(writer, 200, self._health())
+                elif method == "GET" and path == "/v1/metrics":
+                    await _write_json_response(
+                        writer, 200, metrics.REGISTRY.snapshot()
+                    )
+                elif method == "POST" and path == "/v1/shutdown":
+                    payload = json.loads(body or b"{}")
+                    drain = bool(payload.get("drain", True))
+                    await _write_json_response(
+                        writer, 200, {"ok": True, "drain": drain}
+                    )
+                    asyncio.ensure_future(self.shutdown(drain=drain))
+                    break
+                elif method == "POST" and path == "/v1/submit":
+                    await self._handle_submit(writer, body)
+                else:
+                    await _write_json_response(
+                        writer, 404, {"error": f"no route {method} {path}"}
+                    )
         except (
             ConnectionResetError,
             BrokenPipeError,
             asyncio.IncompleteReadError,
         ):
             pass  # Client went away; its jobs still run to completion.
+        except asyncio.CancelledError:
+            # Loop teardown cancelled an idle keep-alive handler;
+            # returning (not re-raising) keeps shutdown quiet.
+            pass
         except Exception as exc:  # noqa: BLE001 - report, don't crash server
             try:
-                await self._respond_json(
+                await _write_json_response(
                     writer, 500, {"error": f"{type(exc).__name__}: {exc}"}
                 )
             except OSError:
                 pass
         finally:
+            self._connections.discard(writer)
             try:
                 writer.close()
                 await writer.wait_closed()
             except (OSError, ConnectionResetError):
                 pass
 
-    async def _read_request(self, reader):
-        line = await reader.readline()
-        if not line:
-            return None
-        parts = line.decode("latin-1").split()
-        if len(parts) < 2:
-            return None
-        method, path = parts[0].upper(), parts[1]
-        length = 0
-        while True:
-            header = await reader.readline()
-            if header in (b"\r\n", b"\n", b""):
-                break
-            name, _, value = header.decode("latin-1").partition(":")
-            if name.strip().lower() == "content-length":
-                length = int(value.strip())
-        body = await reader.readexactly(length) if length else b""
-        return method, path, body
-
-    async def _respond_json(self, writer, status: int, payload: dict):
-        body = json.dumps(payload).encode()
-        reason = {200: "OK", 404: "Not Found", 500: "Error",
-                  503: "Unavailable", 400: "Bad Request"}.get(status, "OK")
-        writer.write(
-            f"HTTP/1.1 {status} {reason}\r\n"
-            "Content-Type: application/json\r\n"
-            f"Content-Length: {len(body)}\r\n"
-            "Connection: close\r\n\r\n".encode() + body
-        )
-        await writer.drain()
-
-    async def _send_event(self, writer, event: dict) -> None:
-        writer.write(json.dumps(event).encode() + b"\n")
-        await writer.drain()
-
     async def _handle_submit(self, writer, body: bytes) -> None:
         if not self._accepting:
-            await self._respond_json(
+            await _write_json_response(
                 writer, 503, {"error": "server is draining/stopped"}
             )
             return
@@ -615,24 +663,18 @@ class CompileServer:
             ]
             priority = int(payload.get("priority", 0))
         except (ValueError, TypeError, KeyError) as exc:
-            await self._respond_json(
+            await _write_json_response(
                 writer, 400, {"error": f"bad submission: {exc}"}
             )
             return
         if not jobs:
-            await self._respond_json(
+            await _write_json_response(
                 writer, 400, {"error": "submission carries no jobs"}
             )
             return
-        writer.write(
-            b"HTTP/1.1 200 OK\r\n"
-            b"Content-Type: application/x-ndjson\r\n"
-            b"Cache-Control: no-store\r\n"
-            b"Connection: close\r\n\r\n"
-        )
-        await writer.drain()
+        await _start_event_stream(writer)
         events: asyncio.Queue = asyncio.Queue()
-        await self._send_event(
+        await _write_stream_event(
             writer,
             {"event": "hello", "server_pid": os.getpid(),
              "count": len(jobs)},
@@ -642,15 +684,16 @@ class CompileServer:
             for event in self._admit(index, job, priority, events):
                 if event["event"] == "result":
                     finished += 1
-                await self._send_event(writer, event)
+                await _write_stream_event(writer, event)
         while finished < len(jobs):
             event = await events.get()
-            await self._send_event(writer, event)
+            await _write_stream_event(writer, event)
             if event["event"] == "result":
                 finished += 1
-        await self._send_event(
+        await _write_stream_event(
             writer, {"event": "done", "count": len(jobs)}
         )
+        await _end_event_stream(writer)
 
     def _health(self) -> dict:
         return {

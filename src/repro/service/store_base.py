@@ -1,0 +1,20 @@
+"""Shared sqlite store discipline (public home of the store mixin).
+
+:class:`SqliteStoreMixin` is the one copy of the WAL-journaled,
+fork-safe, schema-versioned connection management that the job queue,
+result store, decomposition cache, coverage store, and perf ledger all
+ride, plus the ``iter_range``/``row_count``/``merge`` key-range
+surface the sharded service tier folds shard partitions with.
+
+The implementation lives in :mod:`repro._storebase` — a stdlib-only
+leaf module — so that :mod:`repro.obs.ledger` can mix it in without
+importing the ``repro.service`` package (which would be circular:
+``service`` pulls the compile stack, which reports into ``obs``).
+Service-side code should import from here.
+"""
+
+from __future__ import annotations
+
+from .._storebase import SqliteStoreMixin, StoreError, detect_store_kind
+
+__all__ = ["SqliteStoreMixin", "StoreError", "detect_store_kind"]

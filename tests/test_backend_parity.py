@@ -20,7 +20,10 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.core.parallel_drive import ParallelDriveTemplate
+from repro.core.parallel_drive import (
+    ParallelDriveTemplate,
+    sample_template_coordinates,
+)
 from repro.kernels import (
     canonicalize_coordinates_many,
     first_covering_k,
@@ -190,6 +193,17 @@ class TestNumpyBitwiseParity:
                 == baseline_piece.tobytes()
             )
 
+    def test_sample_template_coordinates(self):
+        # repetitions=2 exercises the interior Haar-local layer; the
+        # seeded host RNG draw order is part of the parity contract.
+        template = ParallelDriveTemplate(
+            gc=1.0, gg=0.5, pulse_duration=1.0, repetitions=2
+        )
+        baseline = sample_template_coordinates(template, 32, seed=7)
+        with use_array_backend("numpy"):
+            routed = sample_template_coordinates(template, 32, seed=7)
+        assert routed.tobytes() == baseline.tobytes()
+
 
 @pytest.mark.parametrize("name", _ADAPTERS)
 class TestAdapterParity:
@@ -246,3 +260,13 @@ class TestAdapterParity:
             routed = template.batched_unitaries(params)
         assert isinstance(routed, np.ndarray)
         np.testing.assert_allclose(routed, baseline, atol=1e-10)
+
+    def test_sample_coordinates_allclose(self, name):
+        template = ParallelDriveTemplate(
+            gc=1.0, gg=0.5, pulse_duration=1.0, repetitions=2
+        )
+        baseline = sample_template_coordinates(template, 16, seed=11)
+        with use_array_backend(name):
+            routed = sample_template_coordinates(template, 16, seed=11)
+        assert isinstance(routed, np.ndarray)
+        np.testing.assert_allclose(routed, baseline, atol=1e-9)

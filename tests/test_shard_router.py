@@ -1,0 +1,511 @@
+"""Sharded compile service: digest-range routing, merge, degradation.
+
+The acceptance criteria under test:
+
+* the keyspace partition tiles exactly and ``shard_index`` inverts it;
+* digests served through a 4-shard router are bit-identical to the
+  single-process path, and each shard's result partition only holds
+  keys inside its range;
+* folding shard partitions into one canonical store yields exactly the
+  union of the shards (plus the conflict/refusal edge cases of
+  :meth:`ResultStore.merge` itself);
+* a down shard degrades *its* digest range — ``shard_down`` event,
+  per-job failure results naming the range, degraded health — while
+  other ranges keep serving;
+* the keep-alive client reuses one connection across calls and
+  survives a server restart on the same port;
+* the ``repro store`` CLI folds and inspects store databases.
+"""
+
+from __future__ import annotations
+
+import socket
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.obs import REGISTRY, MetricsRegistry, TRACER
+from repro.service import (
+    CompileJob,
+    CompileResult,
+    PersistentJobQueue,
+    QueueError,
+    ResultMergeError,
+    ResultStore,
+    ResultStoreError,
+    RouterThread,
+    ServerThread,
+    ServiceClient,
+    merge_shard_stores,
+    shard_index,
+    shard_ranges,
+    shard_store_path,
+)
+from repro.service.engine import execute_job
+from repro.service.router import _KEYSPACE
+
+_FAST = dict(
+    workload="ghz", num_qubits=4, target="square_2x2",
+    trials=1, rules="baseline", pipeline="fast",
+)
+
+
+def fast_job(**overrides) -> CompileJob:
+    return CompileJob(**{**_FAST, **overrides})
+
+
+def counters_delta(before: dict) -> dict:
+    return MetricsRegistry.delta(before, REGISTRY.snapshot()).get(
+        "counters", {}
+    )
+
+
+def free_port() -> int:
+    sock = socket.socket()
+    sock.bind(("127.0.0.1", 0))
+    port = sock.getsockname()[1]
+    sock.close()
+    return port
+
+
+def jobs_covering_shards(
+    count: int, shards: int, minimum: int = 2
+) -> list[CompileJob]:
+    """``count`` deterministic jobs whose digests hit >= ``minimum`` shards."""
+    minimum = min(minimum, shards)
+    picked: list[CompileJob] = []
+    seen: set[int] = set()
+    for index in range(512):
+        job = fast_job(tag=f"cover{index}")
+        shard = shard_index(job.identity_digest(), shards)
+        if shard not in seen:
+            seen.add(shard)
+            picked.append(job)
+            if len(seen) >= minimum:
+                break
+    if len(seen) < minimum:
+        raise AssertionError("could not cover enough shards in 512 tags")
+    for index in range(count):
+        if len(picked) >= count:
+            break
+        picked.append(fast_job(tag=f"fill{index}"))
+    return picked[:count]
+
+
+@pytest.fixture(autouse=True)
+def _clean_tracer():
+    TRACER.disable()
+    TRACER.clear()
+    yield
+    TRACER.disable()
+    TRACER.clear()
+
+
+class TestRanges:
+    def test_partition_tiles_keyspace(self):
+        for count in (1, 2, 3, 4, 5, 8):
+            ranges = shard_ranges(count)
+            assert ranges[0].lo == 0
+            assert ranges[-1].hi == _KEYSPACE
+            for left, right in zip(ranges, ranges[1:]):
+                assert left.hi == right.lo  # gap-free, overlap-free
+
+    def test_shard_index_inverts_partition(self):
+        for count in (1, 2, 3, 4, 7):
+            ranges = shard_ranges(count)
+            for bucket in range(0, _KEYSPACE, 97):
+                digest = format(bucket, "04x") + "f" * 60
+                index = shard_index(digest, count)
+                assert ranges[index].contains(digest)
+
+    def test_key_bounds_compose_with_iter_range(self):
+        ranges = shard_ranges(4)
+        assert ranges[1].key_bounds() == ("4000", "8000")
+        # The last range is unbounded above for string keys.
+        assert ranges[3].key_bounds() == ("c000", None)
+        assert ranges[3].label == "[c000, 10000)"
+
+    def test_invalid_count(self):
+        with pytest.raises(ValueError, match=">= 1"):
+            shard_ranges(0)
+
+    def test_shard_store_path(self):
+        assert shard_store_path("a/results.sqlite", 2) == str(
+            Path("a/results.shard2.sqlite")
+        )
+        assert shard_store_path(None, 0) is None
+
+
+class TestRouterParity:
+    def test_four_shard_digests_match_single_process(self, tmp_path):
+        jobs = jobs_covering_shards(6, shards=4, minimum=2)
+        with ServerThread(workers=2, use_cache=False) as single:
+            baseline = ServiceClient(single.url, timeout=60).submit(jobs)
+        assert all(r.ok for r in baseline)
+        shard_threads = [
+            ServerThread(
+                workers=2, use_cache=False,
+                results_path=tmp_path / f"results.shard{i}.sqlite",
+            )
+            for i in range(4)
+        ]
+        try:
+            for thread in shard_threads:
+                thread.start()
+            with RouterThread([t.url for t in shard_threads]) as rt:
+                client = ServiceClient(rt.url, timeout=60)
+                routed = client.submit(jobs)
+                client.close()
+        finally:
+            for thread in shard_threads:
+                thread.stop()
+        assert all(r.ok for r in routed)
+        assert [r.digest for r in routed] == [r.digest for r in baseline]
+        # Each shard's partition only holds keys inside its range.
+        ranges = shard_ranges(4)
+        union = 0
+        for index in range(4):
+            store = ResultStore(
+                path=tmp_path / f"results.shard{index}.sqlite"
+            )
+            keys = [row[0] for row in store.iter_range()]
+            union += len(keys)
+            assert all(ranges[index].contains(key) for key in keys)
+            store.close()
+        assert union == len({j.identity_digest() for j in jobs})
+        # Post-drain fold: the canonical store is exactly the union.
+        canonical = tmp_path / "results.sqlite"
+        absorbed = merge_shard_stores(canonical, 4)
+        assert absorbed == union
+        merged = ResultStore(path=canonical)
+        assert merged.row_count() == union
+        merged.close()
+
+    def test_router_memo_answers_repeats(self):
+        job = fast_job(tag="memo")
+        before = REGISTRY.snapshot()
+        with ServerThread(workers=1, use_cache=False) as shard:
+            with RouterThread([shard.url]) as rt:
+                client = ServiceClient(rt.url, timeout=60)
+                (cold,) = client.submit([job])
+                statuses = [
+                    e["status"]
+                    for e in client.submit_stream([job])
+                    if e.get("event") == "accepted"
+                ]
+                client.close()
+        assert cold.ok
+        assert statuses == ["dedup_router"]
+        delta = counters_delta(before)
+        assert delta.get("repro.service.router.dedup_hits") == 1
+        assert delta.get("repro.service.router.submissions") == 2
+
+    def test_router_health_aggregates_shards(self):
+        with ServerThread(workers=1, use_cache=False) as shard:
+            with RouterThread([shard.url]) as rt:
+                client = ServiceClient(rt.url, timeout=30)
+                health = client.health()
+                client.close()
+        assert health["router"] is True
+        assert health["status"] == "ok"
+        assert health["degraded_ranges"] == []
+        assert len(health["shards"]) == 1
+        assert health["shards"][0]["range"] == "[0000, 10000)"
+
+
+class TestDegradation:
+    def test_down_shard_degrades_only_its_range(self):
+        jobs = jobs_covering_shards(4, shards=2, minimum=2)
+        with ServerThread(workers=2, use_cache=False) as alive:
+            dead = ServerThread(workers=1, use_cache=False)
+            dead.start()
+            dead.stop()
+            before = REGISTRY.snapshot()
+            with RouterThread([alive.url, dead.url]) as rt:
+                client = ServiceClient(rt.url, timeout=60)
+                assert client.health()["status"] == "degraded"
+                events = list(client.submit_stream(jobs))
+                client.close()
+        downs = [e for e in events if e["event"] == "shard_down"]
+        assert len(downs) == 1 and downs[0]["shard"] == 1
+        assert downs[0]["range"] == "[8000, 10000)"
+        results = {
+            e["index"]: e for e in events if e["event"] == "result"
+        }
+        assert len(results) == len(jobs)
+        for index, job in enumerate(jobs):
+            event = results[index]
+            if shard_index(job.identity_digest(), 2) == 0:
+                assert event["ok"]
+            else:
+                assert not event["ok"]
+                error = event["result"]["error"]
+                assert "[8000, 10000)" in error and "degraded" in error
+        delta = counters_delta(before)
+        assert delta.get("repro.service.router.shard_down") == 1
+        assert delta.get("repro.service.shard.1.errors") == 1
+
+    def test_client_surfaces_degraded_ranges(self):
+        job = fast_job(tag="degraded-surface")
+        dead = ServerThread(workers=1, use_cache=False)
+        dead.start()
+        dead.stop()
+        with RouterThread([dead.url]) as rt:
+            client = ServiceClient(rt.url, timeout=30)
+            (result,) = client.submit([job])
+            assert not result.ok
+            assert client.degraded_ranges
+            assert client.degraded_ranges[0]["range"] == "[0000, 10000)"
+            client.close()
+
+
+class TestKeepAlive:
+    def test_one_connection_across_calls(self):
+        job = fast_job(tag="keepalive")
+        with ServerThread(workers=1, use_cache=False) as st:
+            client = ServiceClient(st.url, timeout=60)
+            client.health()
+            first = client._local.conn
+            assert first is not None
+            client.submit([job])
+            client.submit([job])  # warm dedup, same socket
+            client.server_metrics()
+            assert client._local.conn is first
+            client.close()
+            assert client._local.conn is None
+
+    def test_stale_connection_redials_transparently(self):
+        first = ServerThread(workers=1, use_cache=False)
+        first.start()
+        port = first.server.port
+        client = ServiceClient(first.url, timeout=30, connect_retries=8)
+        assert client.health()["status"] == "ok"
+        first.stop()
+        # New server on the same port: the cached socket is dead, so
+        # the next request must re-dial transparently, not raise.
+        second = ServerThread(workers=1, use_cache=False, port=port)
+        second.start()
+        try:
+            deadline = time.monotonic() + 30
+            while True:
+                try:
+                    assert client.health()["status"] == "ok"
+                    break
+                except Exception:
+                    if time.monotonic() > deadline:
+                        raise
+                    time.sleep(0.1)
+            client.close()
+        finally:
+            second.stop()
+
+
+class TestResultStoreMergeEdges:
+    def _persisted(self, path, results) -> None:
+        store = ResultStore(path=path)
+        for result in results:
+            store.add(result)
+        store.close()
+
+    def test_merge_empty_shard_absorbs_nothing(self, tmp_path):
+        # Constructing a backed store creates its schema eagerly, so
+        # an empty partition is a real (zero-row) database on disk.
+        self._persisted(tmp_path / "empty.sqlite", [])
+        dest = ResultStore(path=tmp_path / "dest.sqlite")
+        assert dest.merge(tmp_path / "empty.sqlite") == 0
+        assert dest.row_count() == 0
+        dest.close()
+
+    def test_mixin_merge_missing_source_refuses(self, tmp_path):
+        queue = PersistentJobQueue(tmp_path / "q.sqlite")
+        with pytest.raises(QueueError, match="no job queue to merge"):
+            queue.merge(tmp_path / "never-written.sqlite")
+        queue.close()
+
+    def test_self_merge_refused(self, tmp_path):
+        path = tmp_path / "self.sqlite"
+        store = ResultStore(path=path)
+        with pytest.raises(ResultStoreError, match="into itself"):
+            store.merge(path)
+        store.close()
+
+    def test_three_way_fold_reports_conflict_pairs(self, tmp_path):
+        job_a, job_b = fast_job(tag="a"), fast_job(tag="b")
+        result_a = execute_job(job_a, use_cache=False)
+        result_b = execute_job(job_b, use_cache=False)
+        assert result_a.ok and result_b.ok
+        # Shard 1 holds job_a as compiled, shard 2 holds job_b, and
+        # shard 3 claims job_a again with a doctored digest — a
+        # determinism violation the fold must refuse loudly.
+        self._persisted(tmp_path / "s1.sqlite", [result_a])
+        self._persisted(tmp_path / "s2.sqlite", [result_b])
+        forged = CompileResult.from_dict(
+            {**result_a.to_dict(), "digest": "f" * 64}
+        )
+        self._persisted(tmp_path / "s3.sqlite", [forged])
+        dest = ResultStore(path=tmp_path / "dest.sqlite")
+        assert dest.merge(tmp_path / "s1.sqlite") == 1
+        assert dest.merge(tmp_path / "s2.sqlite") == 1
+        with pytest.raises(ResultMergeError, match="refusing to merge") as e:
+            dest.merge(tmp_path / "s3.sqlite")
+        (conflict,) = e.value.conflicts
+        key, ours, theirs = conflict
+        assert key == job_a.identity_digest()
+        assert ours == result_a.digest
+        assert theirs == "f" * 64
+        assert key[:12] in str(e.value)
+        # The refused fold wrote nothing.
+        assert dest.row_count() == 2
+        dest.close()
+
+    def test_idempotent_refold(self, tmp_path):
+        result = execute_job(fast_job(tag="idem"), use_cache=False)
+        self._persisted(tmp_path / "s1.sqlite", [result])
+        dest = ResultStore(path=tmp_path / "dest.sqlite")
+        assert dest.merge(tmp_path / "s1.sqlite") == 1
+        assert dest.merge(tmp_path / "s1.sqlite") == 0
+        assert dest.row_count() == 1
+        dest.close()
+
+
+class TestStoreCli:
+    def test_store_merge_and_stats(self, tmp_path, capsys):
+        from repro.cli import main
+
+        result = execute_job(fast_job(tag="cli-store"), use_cache=False)
+        shard0 = ResultStore(path=tmp_path / "r.shard0.sqlite")
+        shard0.add(result)
+        shard0.close()
+        ResultStore(path=tmp_path / "r.shard1.sqlite").close()  # empty
+        dest = str(tmp_path / "r.sqlite")
+        code = main(
+            ["store", "merge", "--into", dest,
+             str(tmp_path / "r.shard0.sqlite"),
+             str(tmp_path / "r.shard1.sqlite")]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "absorbed 1 row(s)" in out
+        code = main(["store", "stats", dest])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "result store (results), 1 row(s)" in out
+
+    def test_store_merge_conflict_exits_nonzero(self, tmp_path, capsys):
+        from repro.cli import main
+
+        result = execute_job(fast_job(tag="cli-conflict"), use_cache=False)
+        a = ResultStore(path=tmp_path / "a.sqlite")
+        a.add(result)
+        a.close()
+        forged = CompileResult.from_dict(
+            {**result.to_dict(), "digest": "e" * 64}
+        )
+        b = ResultStore(path=tmp_path / "b.sqlite")
+        b.add(forged)
+        b.close()
+        code = main(
+            ["store", "merge", "--into", str(tmp_path / "dest.sqlite"),
+             str(tmp_path / "a.sqlite"), str(tmp_path / "b.sqlite")]
+        )
+        err = capsys.readouterr().err
+        assert code == 1
+        assert "merge refused" in err and "conflict job" in err
+
+    def test_store_stats_unknown_db(self, tmp_path, capsys):
+        from repro.cli import main
+
+        code = main(["store", "stats", str(tmp_path / "nope.sqlite")])
+        assert code == 1
+        assert "no store database" in capsys.readouterr().err
+
+    def test_store_merge_refuses_mixed_kinds(self, tmp_path, capsys):
+        from repro.cli import main
+
+        ResultStore(path=tmp_path / "r.sqlite").close()
+        PersistentJobQueue(tmp_path / "q.sqlite").close()
+        code = main(
+            ["store", "merge", "--into", str(tmp_path / "dest.sqlite"),
+             str(tmp_path / "r.sqlite"), str(tmp_path / "q.sqlite")]
+        )
+        assert code == 1
+        assert "mix store kinds" in capsys.readouterr().err
+
+    def test_queue_store_merges_via_mixin(self, tmp_path, capsys):
+        from repro.cli import main
+
+        job = fast_job(tag="qmerge")
+        source = PersistentJobQueue(tmp_path / "q.shard0.sqlite")
+        source.put(job.identity_digest(), job)
+        source.close()
+        code = main(
+            ["store", "merge", "--into", str(tmp_path / "q.sqlite"),
+             str(tmp_path / "q.shard0.sqlite")]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "absorbed 1 row(s)" in out
+        merged = PersistentJobQueue(tmp_path / "q.sqlite")
+        assert merged.depth() == 1
+        merged.close()
+
+
+class TestServeShardedCli:
+    def test_serve_shards_end_to_end(self, tmp_path):
+        """``repro serve --shards 2``: parity, drain, and the fold."""
+        import os
+        import subprocess
+        import sys
+
+        from repro.service import wait_until_ready
+
+        port = free_port()
+        results_db = tmp_path / "results.sqlite"
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(Path(__file__).resolve().parents[1] / "src")
+        proc = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro", "serve",
+                "--shards", "2", "--port", str(port),
+                "--workers", "2", "--no-cache",
+                "--results-db", str(results_db),
+            ],
+            env=env,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+        )
+        url = f"http://127.0.0.1:{port}"
+        try:
+            wait_until_ready(url, timeout=120)
+            jobs = jobs_covering_shards(4, shards=2, minimum=2)
+            local = {
+                job.identity_digest():
+                    execute_job(job, use_cache=False).digest
+                for job in jobs
+            }
+            client = ServiceClient(url, timeout=120)
+            served = client.submit(jobs)
+            assert all(r.ok for r in served)
+            for job, result in zip(jobs, served):
+                assert result.digest == local[job.identity_digest()]
+            client.shutdown(drain=True)
+            output, _ = proc.communicate(timeout=120)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.communicate(timeout=30)
+        assert "folded" in output
+        for shard in range(2):
+            partition = ResultStore(
+                path=shard_store_path(results_db, shard)
+            )
+            assert all(
+                shard_index(row[0], 2) == shard
+                for row in partition.iter_range()
+            )
+            partition.close()
+        merged = ResultStore(path=results_db)
+        assert merged.row_count() == len(local)
+        merged.close()
